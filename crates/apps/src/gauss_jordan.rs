@@ -1,0 +1,424 @@
+//! Gauss-Jordan linear solver with partial pivoting (paper §4, Figure 7).
+//!
+//! "The parallel implementation of this algorithm partitions the matrix A
+//! into equal sized groups of contiguous rows; each partition is assigned
+//! to a process.  Each process searches for the maximum element in the
+//! current column, and sends this value to an arbiter process.  The
+//! arbiter process identifies the maximum of the maxima, and advises the
+//! process holding this value.  The identified process broadcasts the
+//! selected pivot row to all other processes.  The processes then sweep
+//! the rows of their partition using this pivot row and begin a new
+//! iteration."
+//!
+//! Because rows stay put (no inter-process row swaps), pivoting tracks a
+//! *used* flag per row: column `k`'s pivot is the unused row with the
+//! largest `|a[r][k]|`; after `n` rounds every row is the pivot of exactly
+//! one column and `x[col(r)] = b[r] / a[r][col(r)]`.
+//!
+//! Three variants share that algorithm: [`solve_sequential`] (the speedup
+//! baseline), [`solve_mpf`] (message passing over four LNVCs), and
+//! [`solve_shared`] (the shared-memory paradigm the paper contrasts:
+//! barriers plus a shared pivot slot).
+
+use mpf::{Mpf, MpfConfig, ProcessId, Protocol};
+use mpf_shm::barrier::SpinBarrier;
+use mpf_shm::process::run_processes_collect;
+
+use crate::linalg::Matrix;
+use crate::wire;
+
+/// Splits `n` rows into `parts` contiguous partitions; returns `(lo, hi)`
+/// for partition `i` (empty when there are more workers than rows).
+pub fn partition(n: usize, parts: usize, i: usize) -> (usize, usize) {
+    let base = n / parts;
+    let extra = n % parts;
+    let lo = i * base + i.min(extra);
+    let hi = lo + base + usize::from(i < extra);
+    (lo, hi)
+}
+
+/// Sequential Gauss-Jordan with partial pivoting (no row exchanges; used
+/// flags, as in the parallel version).  Returns `x` with `A·x = b`.
+pub fn solve_sequential(a: &Matrix, b: &[f64]) -> Vec<f64> {
+    let n = a.n();
+    assert_eq!(b.len(), n);
+    let mut m = a.clone();
+    let mut rhs = b.to_vec();
+    let mut used = vec![false; n];
+    let mut pivot_col = vec![usize::MAX; n];
+
+    for k in 0..n {
+        // Partial pivot: the unused row maximizing |a[r][k]|.
+        let piv = (0..n)
+            .filter(|&r| !used[r])
+            .max_by(|&r1, &r2| {
+                f64::abs(m.get(r1, k))
+                    .partial_cmp(&f64::abs(m.get(r2, k)))
+                    .expect("matrix entries are finite")
+            })
+            .expect("an unused row always remains");
+        used[piv] = true;
+        pivot_col[piv] = k;
+        let piv_row: Vec<f64> = m.row(piv).to_vec();
+        let piv_b = rhs[piv];
+        for r in 0..n {
+            if r == piv {
+                continue;
+            }
+            let factor = m.get(r, k) / piv_row[k];
+            if factor != 0.0 {
+                for c in 0..n {
+                    let v = m.get(r, c) - factor * piv_row[c];
+                    m.set(r, c, v);
+                }
+                rhs[r] -= factor * piv_b;
+            }
+        }
+    }
+
+    let mut x = vec![0.0; n];
+    for r in 0..n {
+        let k = pivot_col[r];
+        x[k] = rhs[r] / m.get(r, k);
+    }
+    x
+}
+
+/// Message-passing Gauss-Jordan over MPF with `workers` worker processes
+/// plus one arbiter.  Each process owns only its row partition; all
+/// coordination flows through four LNVCs:
+///
+/// | LNVC | protocol | traffic |
+/// |---|---|---|
+/// | `gj:cand`   | FCFS to arbiter | per-column local maxima |
+/// | `gj:winner` | BROADCAST from arbiter | winning worker index |
+/// | `gj:pivot`  | BROADCAST among workers | the pivot row (+ rhs) |
+/// | `gj:x`      | FCFS to arbiter | solution fragments |
+pub fn solve_mpf(a: &Matrix, b: &[f64], workers: usize) -> Vec<f64> {
+    let n = a.n();
+    assert_eq!(b.len(), n);
+    assert!(workers >= 1);
+    let row_bytes = (n + 1) * 8;
+    let cfg = MpfConfig::new(8, workers as u32 + 1)
+        .with_block_payload(64)
+        .with_total_blocks(((workers + 4) * (row_bytes / 64 + 2) + 1024) as u32)
+        .with_max_messages(2048.max(4 * workers as u32 + 64));
+    let mpf = Mpf::init(cfg).expect("facility init");
+    let arbiter_pid = ProcessId::from_index(workers);
+
+    let results = run_processes_collect(workers + 1, |pid| {
+        if pid == arbiter_pid {
+            Some(arbiter(&mpf, pid, n, workers))
+        } else {
+            worker(&mpf, pid, a, b, workers);
+            None
+        }
+    });
+    results
+        .into_iter()
+        .flatten()
+        .next()
+        .expect("arbiter produced the solution")
+}
+
+fn worker(mpf: &Mpf, pid: ProcessId, a: &Matrix, b: &[f64], workers: usize) {
+    let me = pid.index();
+    let n = a.n();
+    let (lo, hi) = partition(n, workers, me);
+
+    // Local copy of this worker's partition only — message passing means
+    // no shared matrix.
+    let mut rows: Vec<Vec<f64>> = (lo..hi).map(|r| a.row(r).to_vec()).collect();
+    let mut rhs: Vec<f64> = b[lo..hi].to_vec();
+    let mut used = vec![false; hi - lo];
+    let mut pivot_col = vec![usize::MAX; hi - lo];
+
+    let cand_tx = mpf.sender(pid, "gj:cand").expect("open cand");
+    let winner_rx = mpf
+        .receiver(pid, "gj:winner", Protocol::Broadcast)
+        .expect("open winner");
+    let pivot_tx = mpf.sender(pid, "gj:pivot").expect("open pivot tx");
+    let pivot_rx = mpf
+        .receiver(pid, "gj:pivot", Protocol::Broadcast)
+        .expect("open pivot rx");
+    let x_tx = mpf.sender(pid, "gj:x").expect("open x");
+
+    for k in 0..n {
+        // Local pivot candidate.
+        let best = (0..rows.len()).filter(|&r| !used[r]).max_by(|&r1, &r2| {
+            f64::abs(rows[r1][k])
+                .partial_cmp(&f64::abs(rows[r2][k]))
+                .expect("finite")
+        });
+        let magnitude = best.map_or(-1.0, |r| f64::abs(rows[r][k]));
+        cand_tx
+            .send(&wire::u32_f64_to_bytes(me as u32, magnitude))
+            .expect("send candidate");
+
+        // Arbiter's verdict.
+        let verdict = winner_rx.recv_vec().expect("recv winner");
+        let winner = wire::bytes_to_u32(&verdict) as usize;
+
+        let mut current_pivot = usize::MAX;
+        if winner == me {
+            let r = best.expect("winner must hold a candidate");
+            used[r] = true;
+            pivot_col[r] = k;
+            current_pivot = r;
+            let mut msg = rows[r].clone();
+            msg.push(rhs[r]);
+            pivot_tx
+                .send(&wire::f64s_to_bytes(&msg))
+                .expect("broadcast pivot row");
+        }
+
+        // Everyone (winner included) consumes the broadcast pivot row.
+        let pivot_msg = wire::bytes_to_f64s(&pivot_rx.recv_vec().expect("recv pivot"));
+        let (piv_row, piv_b) = (&pivot_msg[..n], pivot_msg[n]);
+
+        // Gauss-Jordan sweeps *every* row except the pivot itself —
+        // including rows that were pivots of earlier columns (that is what
+        // diagonalizes A rather than merely triangularizing it).
+        for r in 0..rows.len() {
+            if r == current_pivot {
+                continue;
+            }
+            let factor = rows[r][k] / piv_row[k];
+            if factor != 0.0 {
+                for c in 0..n {
+                    rows[r][c] -= factor * piv_row[c];
+                }
+                rhs[r] -= factor * piv_b;
+            }
+        }
+    }
+
+    // Ship solution fragments.
+    for r in 0..rows.len() {
+        let k = pivot_col[r];
+        debug_assert_ne!(k, usize::MAX, "every row pivoted exactly once");
+        let x_val = rhs[r] / rows[r][k];
+        x_tx.send(&wire::u32_f64_to_bytes(k as u32, x_val))
+            .expect("send solution fragment");
+    }
+}
+
+fn arbiter(mpf: &Mpf, pid: ProcessId, n: usize, workers: usize) -> Vec<f64> {
+    let cand_rx = mpf
+        .receiver(pid, "gj:cand", Protocol::Fcfs)
+        .expect("open cand rx");
+    let winner_tx = mpf.sender(pid, "gj:winner").expect("open winner tx");
+    let x_rx = mpf
+        .receiver(pid, "gj:x", Protocol::Fcfs)
+        .expect("open x rx");
+
+    for _k in 0..n {
+        let mut best_worker = u32::MAX;
+        let mut best_val = -1.0f64;
+        for _ in 0..workers {
+            let (w, v) = wire::bytes_to_u32_f64(&cand_rx.recv_vec().expect("recv candidate"));
+            // Deterministic tie-break on worker index.
+            if v > best_val || (v == best_val && w < best_worker) {
+                best_val = v;
+                best_worker = w;
+            }
+        }
+        assert!(best_val >= 0.0, "someone must hold an unused row");
+        winner_tx
+            .send(&wire::u32_to_bytes(best_worker))
+            .expect("announce winner");
+    }
+
+    let mut x = vec![0.0; n];
+    for _ in 0..n {
+        let (k, v) = wire::bytes_to_u32_f64(&x_rx.recv_vec().expect("recv fragment"));
+        x[k as usize] = v;
+    }
+    x
+}
+
+/// Shared-memory baseline: the same pivoting algorithm over a shared
+/// matrix, synchronized with barriers — the paradigm the paper's
+/// introduction contrasts message passing against.
+pub fn solve_shared(a: &Matrix, b: &[f64], workers: usize) -> Vec<f64> {
+    use parking_lot::Mutex;
+
+    let n = a.n();
+    assert_eq!(b.len(), n);
+    struct Row {
+        coeffs: Vec<f64>,
+        rhs: f64,
+        used: bool,
+        pivot_col: usize,
+    }
+    let rows: Vec<Mutex<Row>> = (0..n)
+        .map(|r| {
+            Mutex::new(Row {
+                coeffs: a.row(r).to_vec(),
+                rhs: b[r],
+                used: false,
+                pivot_col: usize::MAX,
+            })
+        })
+        .collect();
+    // Per-worker candidate slots and the shared pivot-row slot.
+    let candidates: Vec<Mutex<(f64, usize)>> =
+        (0..workers).map(|_| Mutex::new((-1.0, 0))).collect();
+    let pivot_slot: Mutex<(Vec<f64>, f64, usize)> = Mutex::new((Vec::new(), 0.0, 0));
+    let barrier = SpinBarrier::new(workers as u32);
+
+    run_processes_collect(workers, |pid| {
+        let me = pid.index();
+        let (lo, hi) = partition(n, workers, me);
+        for k in 0..n {
+            // Phase 1: local candidates.
+            let mut best = (-1.0, lo);
+            for r in lo..hi {
+                let row = rows[r].lock();
+                if !row.used && f64::abs(row.coeffs[k]) > best.0 {
+                    best = (f64::abs(row.coeffs[k]), r);
+                }
+            }
+            *candidates[me].lock() = best;
+            barrier.wait();
+
+            // Phase 2: one worker arbitrates and publishes the pivot row.
+            if me == 0 {
+                let (mut best_val, mut best_row) = (-1.0, usize::MAX);
+                for c in &candidates {
+                    let (v, r) = *c.lock();
+                    if v > best_val {
+                        best_val = v;
+                        best_row = r;
+                    }
+                }
+                let mut row = rows[best_row].lock();
+                row.used = true;
+                row.pivot_col = k;
+                *pivot_slot.lock() = (row.coeffs.clone(), row.rhs, best_row);
+            }
+            barrier.wait();
+
+            // Phase 3: sweep every row except the current pivot (see the
+            // message-passing worker for why used rows are included).
+            let (piv_row, piv_b, piv_global_row) = {
+                let g = pivot_slot.lock();
+                (g.0.clone(), g.1, g.2)
+            };
+            for r in lo..hi {
+                if r == piv_global_row {
+                    continue;
+                }
+                let mut row = rows[r].lock();
+                let factor = row.coeffs[k] / piv_row[k];
+                if factor != 0.0 {
+                    for c in 0..n {
+                        row.coeffs[c] -= factor * piv_row[c];
+                    }
+                    row.rhs -= factor * piv_b;
+                }
+            }
+            barrier.wait();
+        }
+    });
+
+    let mut x = vec![0.0; n];
+    for r in 0..n {
+        let row = rows[r].lock();
+        x[row.pivot_col] = row.rhs / row.coeffs[row.pivot_col];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::{random_rhs, residual_inf};
+
+    const TOL: f64 = 1e-8;
+
+    #[test]
+    fn partition_covers_everything_contiguously() {
+        for (n, parts) in [(10usize, 3usize), (7, 7), (5, 8), (96, 16)] {
+            let mut covered = 0;
+            for i in 0..parts {
+                let (lo, hi) = partition(n, parts, i);
+                assert_eq!(lo, covered, "partitions must be contiguous");
+                covered = hi;
+            }
+            assert_eq!(covered, n);
+        }
+    }
+
+    #[test]
+    fn sequential_solves_known_system() {
+        // 2x + y = 5; x - y = 1  →  x = 2, y = 1.
+        let a = Matrix::from_vec(2, vec![2.0, 1.0, 1.0, -1.0]);
+        let x = solve_sequential(&a, &[5.0, 1.0]);
+        assert!(
+            (x[0] - 2.0).abs() < TOL && (x[1] - 1.0).abs() < TOL,
+            "{x:?}"
+        );
+    }
+
+    #[test]
+    fn sequential_small_residuals_on_random_systems() {
+        for seed in 0..5 {
+            let a = Matrix::random_diag_dominant(24, seed);
+            let b = random_rhs(24, seed);
+            let x = solve_sequential(&a, &b);
+            assert!(residual_inf(&a, &x, &b) < TOL, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sequential_needs_pivoting() {
+        // Zero on the natural first pivot position: only partial pivoting
+        // survives this.
+        let a = Matrix::from_vec(2, vec![0.0, 1.0, 1.0, 0.0]);
+        let x = solve_sequential(&a, &[3.0, 7.0]);
+        assert!((x[0] - 7.0).abs() < TOL && (x[1] - 3.0).abs() < TOL);
+    }
+
+    #[test]
+    fn mpf_matches_sequential() {
+        for workers in [1usize, 2, 3, 4] {
+            let a = Matrix::random_diag_dominant(16, 99);
+            let b = random_rhs(16, 99);
+            let seq = solve_sequential(&a, &b);
+            let par = solve_mpf(&a, &b, workers);
+            for (s, p) in seq.iter().zip(&par) {
+                assert!((s - p).abs() < 1e-6, "workers={workers}: {s} vs {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn mpf_more_workers_than_rows() {
+        let a = Matrix::random_diag_dominant(3, 5);
+        let b = random_rhs(3, 5);
+        let x = solve_mpf(&a, &b, 6);
+        assert!(residual_inf(&a, &x, &b) < TOL);
+    }
+
+    #[test]
+    fn shared_matches_sequential() {
+        for workers in [1usize, 2, 4] {
+            let a = Matrix::random_diag_dominant(16, 7);
+            let b = random_rhs(16, 7);
+            let seq = solve_sequential(&a, &b);
+            let par = solve_shared(&a, &b, workers);
+            for (s, p) in seq.iter().zip(&par) {
+                assert!((s - p).abs() < 1e-6, "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn mpf_residual_on_larger_system() {
+        let a = Matrix::random_diag_dominant(32, 123);
+        let b = random_rhs(32, 123);
+        let x = solve_mpf(&a, &b, 4);
+        assert!(residual_inf(&a, &x, &b) < 1e-7);
+    }
+}

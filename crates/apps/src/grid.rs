@@ -1,0 +1,193 @@
+//! The elliptic PDE test problem and sequential SOR solver (paper §4,
+//! Figure 8 substrate).
+//!
+//! We solve Poisson's equation `∇²u = f` on the unit square with
+//! homogeneous Dirichlet boundaries, discretized on a `(p+2) × (p+2)`
+//! five-point stencil grid (`p × p` interior points).  The manufactured
+//! solution `u*(x,y) = sin(πx)·sin(πy)` (so `f = −2π²·u*`) lets every
+//! solver variant be checked against an analytic answer.
+
+use std::f64::consts::PI;
+
+/// A square grid with boundary, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid {
+    /// Interior points per side.
+    p: usize,
+    /// `(p+2)²` values including the boundary ring.
+    u: Vec<f64>,
+}
+
+impl Grid {
+    /// Zero-initialized grid with `p × p` interior points.
+    pub fn zeros(p: usize) -> Self {
+        Self {
+            p,
+            u: vec![0.0; (p + 2) * (p + 2)],
+        }
+    }
+
+    /// Interior points per side.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Mesh spacing.
+    pub fn h(&self) -> f64 {
+        1.0 / (self.p + 1) as f64
+    }
+
+    /// Value at grid coordinates (0-based including boundary).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.u[i * (self.p + 2) + j]
+    }
+
+    /// Sets the value at grid coordinates.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.u[i * (self.p + 2) + j] = v;
+    }
+
+    /// Maximum absolute error against the manufactured solution.
+    pub fn error_vs_analytic(&self) -> f64 {
+        let h = self.h();
+        let mut worst: f64 = 0.0;
+        for i in 1..=self.p {
+            for j in 1..=self.p {
+                let exact = analytic_u(i as f64 * h, j as f64 * h);
+                worst = worst.max(f64::abs(self.get(i, j) - exact));
+            }
+        }
+        worst
+    }
+}
+
+/// The manufactured solution `u*`.
+pub fn analytic_u(x: f64, y: f64) -> f64 {
+    (PI * x).sin() * (PI * y).sin()
+}
+
+/// Its source term `f = ∇²u* = −2π²·u*`.
+pub fn source_f(x: f64, y: f64) -> f64 {
+    -2.0 * PI * PI * analytic_u(x, y)
+}
+
+/// The optimal SOR relaxation factor for the 5-point Laplacian on a
+/// `p × p` interior grid.
+pub fn optimal_omega(p: usize) -> f64 {
+    let rho = (PI / (p + 1) as f64).cos();
+    2.0 / (1.0 + (1.0 - rho * rho).sqrt())
+}
+
+/// One in-place SOR update at `(i, j)`; returns `|Δu|`.
+#[inline]
+pub fn sor_update(grid: &mut Grid, i: usize, j: usize, omega: f64) -> f64 {
+    let h = grid.h();
+    let f = source_f(i as f64 * h, j as f64 * h);
+    let gauss = 0.25
+        * (grid.get(i - 1, j) + grid.get(i + 1, j) + grid.get(i, j - 1) + grid.get(i, j + 1)
+            - h * h * f);
+    let old = grid.get(i, j);
+    let new = old + omega * (gauss - old);
+    grid.set(i, j, new);
+    f64::abs(new - old)
+}
+
+/// Sequential SOR: iterates until the max update falls below `tol` (or
+/// `max_iters`).  Returns the iteration count taken.
+pub fn solve_sequential(grid: &mut Grid, tol: f64, max_iters: usize) -> usize {
+    let omega = optimal_omega(grid.p());
+    for iter in 1..=max_iters {
+        let mut delta: f64 = 0.0;
+        for i in 1..=grid.p() {
+            for j in 1..=grid.p() {
+                delta = delta.max(sor_update(grid, i, j, omega));
+            }
+        }
+        if delta < tol {
+            return iter;
+        }
+    }
+    max_iters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        let g = Grid::zeros(9);
+        assert_eq!(g.p(), 9);
+        assert!((g.h() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_stays_zero() {
+        let mut g = Grid::zeros(9);
+        solve_sequential(&mut g, 1e-8, 500);
+        for k in 0..=10 {
+            assert_eq!(g.get(0, k), 0.0);
+            assert_eq!(g.get(10, k), 0.0);
+            assert_eq!(g.get(k, 0), 0.0);
+            assert_eq!(g.get(k, 10), 0.0);
+        }
+    }
+
+    #[test]
+    fn sequential_converges_to_analytic_solution() {
+        // Discretization error is O(h²); on a 17×17 interior grid h ≈ 1/18.
+        let mut g = Grid::zeros(17);
+        let iters = solve_sequential(&mut g, 1e-9, 2000);
+        assert!(iters < 2000, "must converge before the cap");
+        let err = g.error_vs_analytic();
+        assert!(
+            err < 5e-3,
+            "error {err} too large for h²≈{:.4}",
+            g.h() * g.h()
+        );
+    }
+
+    #[test]
+    fn finer_grids_are_more_accurate() {
+        let mut coarse = Grid::zeros(9);
+        let mut fine = Grid::zeros(33);
+        solve_sequential(&mut coarse, 1e-10, 5000);
+        solve_sequential(&mut fine, 1e-10, 5000);
+        assert!(fine.error_vs_analytic() < coarse.error_vs_analytic());
+    }
+
+    #[test]
+    fn omega_in_valid_sor_range() {
+        for p in [9usize, 17, 33, 65] {
+            let w = optimal_omega(p);
+            assert!((1.0..2.0).contains(&w), "omega {w} out of range for p={p}");
+        }
+    }
+
+    #[test]
+    fn sor_beats_gauss_seidel_iterations() {
+        let run = |omega_override: Option<f64>| {
+            let mut g = Grid::zeros(17);
+            let omega = omega_override.unwrap_or_else(|| optimal_omega(17));
+            let mut iters = 0;
+            for _ in 0..5000 {
+                iters += 1;
+                let mut delta: f64 = 0.0;
+                for i in 1..=17 {
+                    for j in 1..=17 {
+                        delta = delta.max(sor_update(&mut g, i, j, omega));
+                    }
+                }
+                if delta < 1e-9 {
+                    break;
+                }
+            }
+            iters
+        };
+        let sor = run(None);
+        let gs = run(Some(1.0));
+        assert!(sor < gs, "SOR ({sor}) should beat Gauss-Seidel ({gs})");
+    }
+}

@@ -1,0 +1,26 @@
+//! # mpf-apps — the paper's application studies
+//!
+//! Two parallel applications exercise MPF end-to-end, exactly as in §4:
+//!
+//! * [`gauss_jordan`] — the Gauss-Jordan linear solver with partial
+//!   pivoting: rows are partitioned over worker processes; each worker
+//!   sends its local pivot candidate to an **arbiter** over an FCFS LNVC;
+//!   the arbiter picks the global pivot and notifies the owner; the owner
+//!   **broadcasts** the pivot row; everyone sweeps.  "It contains both
+//!   one-to-one and broadcast communications."
+//! * [`sor`] — the successive over-relaxation Poisson solver ported from
+//!   a hypercube: the grid is split into N×N subgrids; boundary rows and
+//!   columns are exchanged with the four neighbours over FCFS LNVCs; a
+//!   monitor process collects per-subgrid convergence flags and
+//!   broadcasts the verdict.
+//!
+//! Each application ships three variants for the paper's cross-paradigm
+//! comparison: sequential (baseline for speedup), MPF message passing,
+//! and native shared memory (barrier-synchronized — the paradigm the
+//! paper contrasts MPF against).
+
+pub mod gauss_jordan;
+pub mod grid;
+pub mod linalg;
+pub mod sor;
+pub mod wire;

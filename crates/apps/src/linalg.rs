@@ -1,0 +1,153 @@
+//! Dense linear-algebra plumbing for the Gauss-Jordan study: a row-major
+//! matrix type, well-conditioned random test systems, and residual checks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A dense, row-major `n × n` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// From a row-major vector (length must be `n²`).
+    pub fn from_vec(n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * n, "row-major data must be n^2 long");
+        Self { n, data }
+    }
+
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.n + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.n + c] = v;
+    }
+
+    /// Borrow of row `r`.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.n..(r + 1) * self.n]
+    }
+
+    /// Mutable borrow of row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.n..(r + 1) * self.n]
+    }
+
+    /// `A · x`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        (0..self.n)
+            .map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// A diagonally dominant random matrix — guaranteed non-singular, so
+    /// every generated test system is solvable (the workload generator for
+    /// Figure 7).
+    pub fn random_diag_dominant(n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = Self::zeros(n);
+        for r in 0..n {
+            let mut off_sum = 0.0;
+            for c in 0..n {
+                if c != r {
+                    let v = rng.gen_range(-1.0..1.0);
+                    m.set(r, c, v);
+                    off_sum += f64::abs(v);
+                }
+            }
+            // Strict dominance with a random sign keeps pivoting honest.
+            let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            m.set(r, r, sign * (off_sum + rng.gen_range(1.0..2.0)));
+        }
+        m
+    }
+}
+
+/// Random right-hand side.
+pub fn random_rhs(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xB5);
+    (0..n).map(|_| rng.gen_range(-10.0..10.0)).collect()
+}
+
+/// `‖A·x − b‖∞` — the residual the correctness tests bound.
+pub fn residual_inf(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+    a.mul_vec(x)
+        .iter()
+        .zip(b)
+        .map(|(ax, bi)| f64::abs(ax - bi))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_accessors() {
+        let mut m = Matrix::zeros(3);
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+        m.row_mut(0)[0] = 1.0;
+        assert_eq!(m.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn mul_vec_identity() {
+        let mut id = Matrix::zeros(4);
+        for i in 0..4 {
+            id.set(i, i, 1.0);
+        }
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(id.mul_vec(&x), x);
+    }
+
+    #[test]
+    fn random_matrix_is_diagonally_dominant() {
+        let m = Matrix::random_diag_dominant(16, 42);
+        for r in 0..16 {
+            let diag = f64::abs(m.get(r, r));
+            let off: f64 = (0..16)
+                .filter(|&c| c != r)
+                .map(|c| f64::abs(m.get(r, c)))
+                .sum();
+            assert!(diag > off, "row {r} not dominant");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(
+            Matrix::random_diag_dominant(8, 7),
+            Matrix::random_diag_dominant(8, 7)
+        );
+        assert_eq!(random_rhs(8, 7), random_rhs(8, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "n^2")]
+    fn bad_from_vec_panics() {
+        let _ = Matrix::from_vec(2, vec![1.0; 3]);
+    }
+}

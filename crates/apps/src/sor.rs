@@ -1,0 +1,452 @@
+//! Parallel SOR Poisson solver (paper §4, Figure 8).
+//!
+//! "If the grid of points contains P×P points, it is partitioned into N×N
+//! subgrids of size P/N × P/N.  Each subgrid is assigned to a processor,
+//! and each processor iterates over its subgrid.  On each iteration, the
+//! boundaries of each sub-grid must be exchanged with the four neighboring
+//! processors.  In addition, the processors determine if the local
+//! sub-grid has converged and send this status information to a monitoring
+//! process."
+//!
+//! "The interprocess communication among neighbors corresponds naturally
+//! to FCFS LNVC's.  Similarly, BROADCAST LNVC's were used to broadcast
+//! convergence information from the monitoring process."
+//!
+//! [`solve_mpf`] follows that structure exactly: one FCFS LNVC per
+//! directed neighbour edge, an FCFS LNVC funnelling convergence status to
+//! the monitor, and a BROADCAST LNVC for the monitor's verdict.  Subgrids
+//! relax with ghost values from the previous exchange (block-chaotic
+//! relaxation — the standard distributed-memory SOR the hypercube original
+//! used).  [`solve_shared`] is the shared-memory baseline: red-black SOR
+//! with barriers.
+
+use mpf::{Mpf, MpfConfig, ProcessId, Protocol};
+use mpf_shm::barrier::SpinBarrier;
+use mpf_shm::process::{run_processes, run_processes_collect};
+
+use crate::gauss_jordan::partition;
+use crate::grid::{optimal_omega, sor_update, Grid};
+use crate::wire;
+
+/// Result of a parallel solve.
+#[derive(Debug)]
+pub struct SorRun {
+    /// The assembled solution grid.
+    pub grid: Grid,
+    /// Iterations executed.
+    pub iters: usize,
+}
+
+/// Verdict codes on the monitor's broadcast LNVC.
+const CONTINUE: u8 = 1;
+const STOP: u8 = 0;
+
+fn edge_name(from: usize, to: usize) -> String {
+    format!("sor:e:{from}:{to}")
+}
+
+/// Message-passing SOR on a `p × p` interior grid with `n × n` worker
+/// processes plus a monitor.  Runs until the global maximum update falls
+/// below `tol` or `max_iters` is reached (set `tol = 0.0` to time a fixed
+/// iteration count).
+pub fn solve_mpf(p: usize, n: usize, tol: f64, max_iters: usize) -> SorRun {
+    assert!(
+        n >= 1 && n <= p,
+        "need at least one grid point per worker in each dimension"
+    );
+    let workers = n * n;
+    let cfg = MpfConfig::new((4 * workers + 8) as u32, workers as u32 + 1)
+        .with_block_payload(64)
+        .with_total_blocks(((p * p * 8) / 64 + 16 * p + 4096) as u32)
+        .with_max_messages((8 * workers + 256) as u32)
+        .with_max_connections((12 * workers + 64) as u32);
+    let mpf = Mpf::init(cfg).expect("facility init");
+    let monitor_pid = ProcessId::from_index(workers);
+
+    let results = run_processes_collect(workers + 1, |pid| {
+        if pid == monitor_pid {
+            Some(monitor(&mpf, pid, p, n, tol, max_iters))
+        } else {
+            sor_worker(&mpf, pid, p, n, max_iters);
+            None
+        }
+    });
+    results
+        .into_iter()
+        .flatten()
+        .next()
+        .expect("monitor produced the solution")
+}
+
+/// The (row, col) position of worker `w` in the `n × n` process grid.
+fn pos(w: usize, n: usize) -> (usize, usize) {
+    (w / n, w % n)
+}
+
+fn sor_worker(mpf: &Mpf, pid: ProcessId, p: usize, n: usize, max_iters: usize) {
+    let me = pid.index();
+    let (pi, pj) = pos(me, n);
+    // Interior ranges (1-based grid coordinates).
+    let (ilo, ihi) = {
+        let (a, b) = partition(p, n, pi);
+        (a + 1, b)
+    };
+    let (jlo, jhi) = {
+        let (a, b) = partition(p, n, pj);
+        (a + 1, b)
+    };
+    // Block-chaotic relaxation (ghost values one exchange stale) is not
+    // stable at the sequential optimum ω → 2; under-relax as the process
+    // grid gets finer.  n = 1 has no stale boundaries and keeps the
+    // sequential optimum.
+    let omega = if n == 1 {
+        optimal_omega(p)
+    } else {
+        optimal_omega(p).min(1.0 + 1.0 / n as f64)
+    };
+
+    // Full-size local grid; only our block and its ghost ring are used.
+    let mut grid = Grid::zeros(p);
+
+    // Neighbour ids: up/down/left/right in the process grid.
+    let up = (pi > 0).then(|| (pi - 1) * n + pj);
+    let down = (pi + 1 < n).then(|| (pi + 1) * n + pj);
+    let left = (pj > 0).then(|| pi * n + (pj - 1));
+    let right = (pj + 1 < n).then(|| pi * n + (pj + 1));
+
+    // One FCFS LNVC per directed edge.
+    let mut edge_tx = Vec::new();
+    let mut edge_rx = Vec::new();
+    for nb in [up, down, left, right].into_iter().flatten() {
+        edge_tx.push((nb, mpf.sender(pid, &edge_name(me, nb)).expect("edge tx")));
+        edge_rx.push((
+            nb,
+            mpf.receiver(pid, &edge_name(nb, me), Protocol::Fcfs)
+                .expect("edge rx"),
+        ));
+    }
+    let conv_tx = mpf.sender(pid, "sor:conv").expect("conv tx");
+    let verdict_rx = mpf
+        .receiver(pid, "sor:verdict", Protocol::Broadcast)
+        .expect("verdict rx");
+    let result_tx = mpf.sender(pid, "sor:result").expect("result tx");
+
+    for _iter in 0..max_iters {
+        // Exchange boundaries: sends are asynchronous, so everyone sends
+        // all four strips before receiving any (no deadlock).
+        for (nb, tx) in &edge_tx {
+            let strip: Vec<f64> = if Some(*nb) == up {
+                (jlo..=jhi).map(|j| grid.get(ilo, j)).collect()
+            } else if Some(*nb) == down {
+                (jlo..=jhi).map(|j| grid.get(ihi, j)).collect()
+            } else if Some(*nb) == left {
+                (ilo..=ihi).map(|i| grid.get(i, jlo)).collect()
+            } else {
+                (ilo..=ihi).map(|i| grid.get(i, jhi)).collect()
+            };
+            tx.send(&wire::f64s_to_bytes(&strip)).expect("send strip");
+        }
+        for (nb, rx) in &edge_rx {
+            let strip = wire::bytes_to_f64s(&rx.recv_vec().expect("recv strip"));
+            if Some(*nb) == up {
+                for (k, j) in (jlo..=jhi).enumerate() {
+                    grid.set(ilo - 1, j, strip[k]);
+                }
+            } else if Some(*nb) == down {
+                for (k, j) in (jlo..=jhi).enumerate() {
+                    grid.set(ihi + 1, j, strip[k]);
+                }
+            } else if Some(*nb) == left {
+                for (k, i) in (ilo..=ihi).enumerate() {
+                    grid.set(i, jlo - 1, strip[k]);
+                }
+            } else {
+                for (k, i) in (ilo..=ihi).enumerate() {
+                    grid.set(i, jhi + 1, strip[k]);
+                }
+            }
+        }
+
+        // Relax our subgrid.
+        let mut delta: f64 = 0.0;
+        for i in ilo..=ihi {
+            for j in jlo..=jhi {
+                delta = delta.max(sor_update(&mut grid, i, j, omega));
+            }
+        }
+
+        // Convergence status to the monitor; block on the verdict.
+        conv_tx
+            .send(&wire::f64s_to_bytes(&[delta]))
+            .expect("send status");
+        let verdict = verdict_rx.recv_vec().expect("recv verdict");
+        if verdict[0] == STOP {
+            break;
+        }
+    }
+
+    // Ship our block to the monitor: (worker, then row-major block data).
+    let mut payload = Vec::with_capacity(4 + (ihi - ilo + 1) * (jhi - jlo + 1) * 8);
+    payload.extend_from_slice(&wire::u32_to_bytes(me as u32));
+    for i in ilo..=ihi {
+        for j in jlo..=jhi {
+            payload.extend_from_slice(&grid.get(i, j).to_le_bytes());
+        }
+    }
+    result_tx.send(&payload).expect("send result block");
+}
+
+fn monitor(mpf: &Mpf, pid: ProcessId, p: usize, n: usize, tol: f64, max_iters: usize) -> SorRun {
+    let workers = n * n;
+    let conv_rx = mpf
+        .receiver(pid, "sor:conv", Protocol::Fcfs)
+        .expect("conv rx");
+    let verdict_tx = mpf.sender(pid, "sor:verdict").expect("verdict tx");
+    let result_rx = mpf
+        .receiver(pid, "sor:result", Protocol::Fcfs)
+        .expect("result rx");
+
+    let mut iters = 0;
+    for iter in 1..=max_iters {
+        iters = iter;
+        let mut global_delta: f64 = 0.0;
+        for _ in 0..workers {
+            let delta = wire::bytes_to_f64s(&conv_rx.recv_vec().expect("recv status"))[0];
+            global_delta = global_delta.max(delta);
+        }
+        let stop = global_delta < tol || iter == max_iters;
+        verdict_tx
+            .send(&[if stop { STOP } else { CONTINUE }])
+            .expect("broadcast verdict");
+        if stop {
+            break;
+        }
+    }
+
+    // Assemble the solution from the workers' blocks.
+    let mut grid = Grid::zeros(p);
+    for _ in 0..workers {
+        let msg = result_rx.recv_vec().expect("recv result block");
+        let w = wire::bytes_to_u32(&msg[..4]) as usize;
+        let data = wire::bytes_to_f64s(&msg[4..]);
+        let (wi, wj) = pos(w, n);
+        let (ilo, ihi) = {
+            let (a, b) = partition(p, n, wi);
+            (a + 1, b)
+        };
+        let (jlo, jhi) = {
+            let (a, b) = partition(p, n, wj);
+            (a + 1, b)
+        };
+        let mut k = 0;
+        for i in ilo..=ihi {
+            for j in jlo..=jhi {
+                grid.set(i, j, data[k]);
+                k += 1;
+            }
+        }
+    }
+    SorRun { grid, iters }
+}
+
+/// A grid of atomic cells for the shared-memory baseline.  Red-black
+/// ordering guarantees each phase's loads and stores touch disjoint cells,
+/// so `Relaxed` atomics (with barrier-provided phase ordering) are exactly
+/// the right tool — no locks on the data path, the shared-memory idiom
+/// the paper contrasts MPF against.
+struct AtomicGrid {
+    p: usize,
+    cells: Vec<std::sync::atomic::AtomicU64>,
+}
+
+impl AtomicGrid {
+    fn zeros(p: usize) -> Self {
+        Self {
+            p,
+            cells: (0..(p + 2) * (p + 2))
+                .map(|_| std::sync::atomic::AtomicU64::new(0f64.to_bits()))
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn get(&self, i: usize, j: usize) -> f64 {
+        f64::from_bits(self.cells[i * (self.p + 2) + j].load(std::sync::atomic::Ordering::Relaxed))
+    }
+
+    #[inline]
+    fn set(&self, i: usize, j: usize, v: f64) {
+        self.cells[i * (self.p + 2) + j].store(v.to_bits(), std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// One SOR update at `(i, j)`; returns `|Δu|`.
+    fn sor_update(&self, i: usize, j: usize, omega: f64) -> f64 {
+        let h = 1.0 / (self.p + 1) as f64;
+        let f = crate::grid::source_f(i as f64 * h, j as f64 * h);
+        let gauss = 0.25
+            * (self.get(i - 1, j) + self.get(i + 1, j) + self.get(i, j - 1) + self.get(i, j + 1)
+                - h * h * f);
+        let old = self.get(i, j);
+        let new = old + omega * (gauss - old);
+        self.set(i, j, new);
+        f64::abs(new - old)
+    }
+
+    fn into_grid(self) -> Grid {
+        let mut g = Grid::zeros(self.p);
+        for i in 0..self.p + 2 {
+            for j in 0..self.p + 2 {
+                g.set(
+                    i,
+                    j,
+                    f64::from_bits(
+                        self.cells[i * (self.p + 2) + j].load(std::sync::atomic::Ordering::Relaxed),
+                    ),
+                );
+            }
+        }
+        g
+    }
+}
+
+/// Shared-memory baseline: red-black SOR with barriers.
+///
+/// Red points (`(i + j)` even) read only black neighbours and vice versa,
+/// so within one colour phase every store targets a cell no other thread
+/// loads or stores — the classic data-race-free colouring.
+pub fn solve_shared(p: usize, threads: usize, tol: f64, max_iters: usize) -> SorRun {
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    assert!(threads >= 1 && threads <= p);
+    let shared = AtomicGrid::zeros(p);
+    let omega = optimal_omega(p);
+    let barrier = SpinBarrier::new(threads as u32);
+    let max_delta_bits = AtomicU64::new(0);
+    let iters_done = AtomicUsize::new(max_iters);
+
+    run_processes(threads, |pid| {
+        let me = pid.index();
+        let (lo, hi) = partition(p, threads, me);
+        let (ilo, ihi) = (lo + 1, hi);
+        for iter in 1..=max_iters {
+            if iter > iters_done.load(Ordering::Acquire) {
+                break;
+            }
+            let mut delta: f64 = 0.0;
+            for colour in 0..2usize {
+                for i in ilo..=ihi {
+                    for j in 1..=p {
+                        if (i + j) % 2 == colour {
+                            delta = delta.max(shared.sor_update(i, j, omega));
+                        }
+                    }
+                }
+                barrier.wait();
+            }
+            // Reduce the per-iteration delta; the leader decides.
+            max_delta_bits.fetch_max(delta.to_bits(), Ordering::AcqRel);
+            if barrier.wait() {
+                let global = f64::from_bits(max_delta_bits.swap(0, Ordering::AcqRel));
+                if global < tol {
+                    iters_done.store(iter, Ordering::Release);
+                }
+            }
+            barrier.wait();
+        }
+    });
+
+    let iters = iters_done.load(Ordering::Acquire).min(max_iters);
+    SorRun {
+        grid: shared.into_grid(),
+        iters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::solve_sequential;
+
+    #[test]
+    fn pos_roundtrip() {
+        assert_eq!(pos(0, 2), (0, 0));
+        assert_eq!(pos(3, 2), (1, 1));
+        assert_eq!(pos(5, 3), (1, 2));
+    }
+
+    #[test]
+    fn mpf_single_worker_matches_sequential_accuracy() {
+        let run = solve_mpf(9, 1, 1e-9, 2000);
+        assert!(run.iters < 2000);
+        let err = run.grid.error_vs_analytic();
+        assert!(err < 5e-2, "error {err}");
+    }
+
+    #[test]
+    fn mpf_2x2_converges_to_analytic() {
+        let run = solve_mpf(17, 2, 1e-9, 4000);
+        assert!(run.iters < 4000, "did not converge");
+        let err = run.grid.error_vs_analytic();
+        assert!(err < 5e-3, "error {err}");
+    }
+
+    #[test]
+    fn mpf_3x3_converges() {
+        let run = solve_mpf(17, 3, 1e-9, 5000);
+        let err = run.grid.error_vs_analytic();
+        assert!(err < 5e-3, "error {err}");
+    }
+
+    #[test]
+    fn mpf_matches_sequential_solution_closely() {
+        let mut seq = Grid::zeros(17);
+        solve_sequential(&mut seq, 1e-10, 5000);
+        let par = solve_mpf(17, 2, 1e-10, 5000);
+        let mut worst: f64 = 0.0;
+        for i in 1..=17 {
+            for j in 1..=17 {
+                worst = worst.max(f64::abs(seq.get(i, j) - par.grid.get(i, j)));
+            }
+        }
+        assert!(worst < 1e-6, "solutions diverge by {worst}");
+    }
+
+    #[test]
+    fn paper_figure8_extreme_decomposition_runs() {
+        // Figure 8's smallest problem at its largest process grid: 9x9
+        // points on 4x4 processes (2-3 point subgrids, communication
+        // dominated — the point the paper makes).
+        let run = solve_mpf(9, 4, 0.0, 10);
+        assert_eq!(run.iters, 10);
+    }
+
+    #[test]
+    fn fixed_iteration_mode_runs_exactly() {
+        let run = solve_mpf(9, 2, 0.0, 25);
+        assert_eq!(run.iters, 25);
+    }
+
+    #[test]
+    fn shared_baseline_converges() {
+        let run = solve_shared(17, 3, 1e-9, 5000);
+        assert!(run.iters < 5000);
+        let err = run.grid.error_vs_analytic();
+        assert!(err < 5e-3, "error {err}");
+    }
+
+    #[test]
+    fn shared_single_thread_matches_multi() {
+        let a = solve_shared(9, 1, 1e-10, 5000);
+        let b = solve_shared(9, 3, 1e-10, 5000);
+        let mut worst: f64 = 0.0;
+        for i in 1..=9 {
+            for j in 1..=9 {
+                worst = worst.max(f64::abs(a.grid.get(i, j) - b.grid.get(i, j)));
+            }
+        }
+        assert!(
+            worst < 1e-6,
+            "red-black result must not depend on threads ({worst})"
+        );
+    }
+}

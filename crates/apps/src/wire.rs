@@ -1,0 +1,89 @@
+//! Byte-level message encoding for the applications.
+//!
+//! MPF transfers untyped byte buffers (`char *` in the paper's C
+//! interface), so the applications marshal their floats and indices by
+//! hand, little-endian, exactly as the 1987 programs would have memcpy'd
+//! structs.
+
+/// Encodes a slice of `f64` values.
+pub fn f64s_to_bytes(values: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a byte buffer into `f64` values.
+///
+/// # Panics
+/// If the length is not a multiple of 8.
+pub fn bytes_to_f64s(bytes: &[u8]) -> Vec<f64> {
+    assert_eq!(bytes.len() % 8, 0, "not a whole number of f64s");
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("chunk is 8 bytes")))
+        .collect()
+}
+
+/// Encodes `(u32, f64)` — e.g. a pivot candidate `(row, magnitude)`.
+pub fn u32_f64_to_bytes(i: u32, v: f64) -> [u8; 12] {
+    let mut out = [0u8; 12];
+    out[..4].copy_from_slice(&i.to_le_bytes());
+    out[4..].copy_from_slice(&v.to_le_bytes());
+    out
+}
+
+/// Decodes `(u32, f64)`.
+///
+/// # Panics
+/// If the buffer is not exactly 12 bytes.
+pub fn bytes_to_u32_f64(bytes: &[u8]) -> (u32, f64) {
+    assert_eq!(bytes.len(), 12);
+    (
+        u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")),
+        f64::from_le_bytes(bytes[4..].try_into().expect("8 bytes")),
+    )
+}
+
+/// Encodes a bare `u32`.
+pub fn u32_to_bytes(i: u32) -> [u8; 4] {
+    i.to_le_bytes()
+}
+
+/// Decodes a bare `u32`.
+///
+/// # Panics
+/// If the buffer is not exactly 4 bytes.
+pub fn bytes_to_u32(bytes: &[u8]) -> u32 {
+    u32::from_le_bytes(bytes.try_into().expect("4 bytes"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_roundtrip() {
+        let v = vec![0.0, -1.5, std::f64::consts::PI, f64::MAX];
+        assert_eq!(bytes_to_f64s(&f64s_to_bytes(&v)), v);
+    }
+
+    #[test]
+    fn pair_roundtrip() {
+        let (i, v) = bytes_to_u32_f64(&u32_f64_to_bytes(42, -2.5));
+        assert_eq!(i, 42);
+        assert_eq!(v, -2.5);
+    }
+
+    #[test]
+    fn u32_roundtrip() {
+        assert_eq!(bytes_to_u32(&u32_to_bytes(0xDEAD_BEEF)), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number")]
+    fn ragged_f64_buffer_panics() {
+        let _ = bytes_to_f64s(&[0u8; 9]);
+    }
+}

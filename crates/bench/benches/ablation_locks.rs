@@ -1,0 +1,36 @@
+//! Ablation A2 — LNVC lock implementation (spin vs ticket vs OS mutex).
+//!
+//! The paper's substrate was a busy-wait lock; §5 observes that restricted
+//! protocols could drop locking altogether.  This bench isolates the lock
+//! choice on the loop-back path (uncontended) — the contended case is what
+//! `fig4_fcfs --sim` models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpf::{Mpf, MpfConfig, ProcessId, Protocol};
+use mpf_shm::lock::LockKind;
+
+fn bench_locks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lock_kind_128B_roundtrip");
+    for (name, kind) in [
+        ("spin", LockKind::Spin),
+        ("ticket", LockKind::Ticket),
+        ("os", LockKind::Os),
+    ] {
+        let mpf = Mpf::init(MpfConfig::new(4, 2).with_lock_kind(kind)).expect("init");
+        let p = ProcessId::from_index(0);
+        let tx = mpf.sender(p, "a2").expect("tx");
+        let rx = mpf.receiver(p, "a2", Protocol::Fcfs).expect("rx");
+        let payload = [2u8; 128];
+        let mut buf = [0u8; 128];
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| {
+                tx.send(&payload).expect("send");
+                rx.recv(&mut buf).expect("recv")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_locks);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Ablation A5 — one-to-one lock-free channel vs the general LNVC.
+//!
+//! The paper's §5: "if only one-to-one communication is implemented, all
+//! locking associated with message handling is removed."  This bench
+//! quantifies what the generality of LNVCs costs on a pure two-party
+//! stream.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpf::one2one::one2one;
+use mpf::{Mpf, MpfConfig, ProcessId, Protocol};
+
+const LEN: usize = 128;
+
+fn lnvc_stream(mpf: &Mpf, rounds: u64) -> Duration {
+    let p0 = ProcessId::from_index(0);
+    let p1 = ProcessId::from_index(1);
+    // Open the receive side before the sender can finish and close
+    // (paper §3.2: closing the last connection discards the stream).
+    let rx = mpf.receiver(p1, "a5:chan", Protocol::Fcfs).expect("rx");
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        let rx = &rx;
+        s.spawn(move || {
+            let mut buf = [0u8; LEN];
+            for _ in 0..rounds {
+                rx.recv(&mut buf).expect("recv");
+            }
+        });
+        let tx = mpf.sender(p0, "a5:chan").expect("tx");
+        let payload = [4u8; LEN];
+        for _ in 0..rounds {
+            tx.send(&payload).expect("send");
+        }
+    });
+    start.elapsed()
+}
+
+fn one2one_stream(rounds: u64) -> Duration {
+    let (mut tx, mut rx) = one2one(64 * 1024);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            let mut buf = [0u8; LEN];
+            for _ in 0..rounds {
+                rx.recv(&mut buf).expect("recv");
+            }
+        });
+        let payload = [4u8; LEN];
+        for _ in 0..rounds {
+            tx.send(&payload).expect("send");
+        }
+    });
+    start.elapsed()
+}
+
+fn bench_one2one_vs_lnvc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("one2one_vs_lnvc_128B_stream");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(LEN as u64));
+
+    let mpf = Mpf::init(
+        MpfConfig::new(4, 2)
+            .with_block_payload(64)
+            .with_total_blocks(8192),
+    )
+    .expect("init");
+    group.bench_with_input(BenchmarkId::from_parameter("general_lnvc"), &(), |b, ()| {
+        b.iter_custom(|iters| lnvc_stream(&mpf, iters))
+    });
+    group.bench_with_input(
+        BenchmarkId::from_parameter("one2one_lock_free"),
+        &(),
+        |b, ()| b.iter_custom(|iters| one2one_stream(iters)),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_one2one_vs_lnvc);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Ablation A4 — synchronous (single-copy) vs asynchronous (double-copy)
+//! message passing.
+//!
+//! The paper's §5: "to support synchronous message passing, copying of
+//! data from a sending buffer to a linked message buffer and then to the
+//! receiving buffer is unnecessary; direct data transfer is possible."
+//! This bench measures that claim: a rendezvous transfer against the
+//! general LNVC path, cross-thread, for a copy-dominated message size.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpf::sync_channel::Rendezvous;
+use mpf::{Mpf, MpfConfig, ProcessId, Protocol};
+
+const LEN: usize = 2048;
+
+fn async_rounds(mpf: &Mpf, rounds: u64) -> Duration {
+    let p0 = ProcessId::from_index(0);
+    let p1 = ProcessId::from_index(1);
+    // Open the receive side first (paper §3.2; see ablation_one2one).
+    let rx = mpf.receiver(p1, "a4:chan", Protocol::Fcfs).expect("rx");
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        let rx = &rx;
+        s.spawn(move || {
+            let mut buf = [0u8; LEN];
+            for _ in 0..rounds {
+                rx.recv(&mut buf).expect("recv");
+            }
+        });
+        let tx = mpf.sender(p0, "a4:chan").expect("tx");
+        let payload = [9u8; LEN];
+        for _ in 0..rounds {
+            tx.send(&payload).expect("send");
+        }
+    });
+    start.elapsed()
+}
+
+fn sync_rounds(r: &Rendezvous, rounds: u64) -> Duration {
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let mut buf = [0u8; LEN];
+            for _ in 0..rounds {
+                r.recv(&mut buf).expect("recv");
+            }
+        });
+        let payload = [9u8; LEN];
+        for _ in 0..rounds {
+            r.send(&payload);
+        }
+    });
+    start.elapsed()
+}
+
+fn bench_sync_vs_async(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sync_vs_async_2048B");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(LEN as u64));
+
+    let mpf = Mpf::init(
+        MpfConfig::new(4, 2)
+            .with_block_payload(64)
+            .with_total_blocks(8192),
+    )
+    .expect("init");
+    group.bench_with_input(
+        BenchmarkId::from_parameter("async_lnvc_double_copy"),
+        &(),
+        |b, ()| b.iter_custom(|iters| async_rounds(&mpf, iters)),
+    );
+
+    let rendezvous = Rendezvous::default();
+    group.bench_with_input(
+        BenchmarkId::from_parameter("sync_rendezvous_single_copy"),
+        &(),
+        |b, ()| b.iter_custom(|iters| sync_rounds(&rendezvous, iters)),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_sync_vs_async);
+criterion_main!(benches);

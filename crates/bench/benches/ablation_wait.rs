@@ -1,0 +1,55 @@
+//! Ablation A3 — blocking-wait strategy (spin vs yield vs park).
+//!
+//! `message_receive` blocks; how it waits decides the wakeup latency and
+//! the CPU burned while idle.  Cross-thread ping-pong exposes the
+//! difference: every round trip includes one receiver wakeup.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpf::{Mpf, MpfConfig, ProcessId, Protocol};
+use mpf_shm::waitq::WaitStrategy;
+
+fn ping_pong_rounds(mpf: &Mpf, rounds: u64) -> Duration {
+    let p0 = ProcessId::from_index(0);
+    let p1 = ProcessId::from_index(1);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let rx = mpf.receiver(p1, "a3:ping", Protocol::Fcfs).expect("rx");
+            let tx = mpf.sender(p1, "a3:pong").expect("tx");
+            let mut buf = [0u8; 8];
+            for _ in 0..rounds {
+                rx.recv(&mut buf).expect("recv");
+                tx.send(&buf).expect("send");
+            }
+        });
+        let tx = mpf.sender(p0, "a3:ping").expect("tx");
+        let rx = mpf.receiver(p0, "a3:pong", Protocol::Fcfs).expect("rx");
+        let mut buf = [0u8; 8];
+        for i in 0..rounds {
+            tx.send(&i.to_le_bytes()).expect("send");
+            rx.recv(&mut buf).expect("recv");
+        }
+    });
+    start.elapsed()
+}
+
+fn bench_wait_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wait_strategy_pingpong");
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("spin", WaitStrategy::Spin),
+        ("yield", WaitStrategy::Yield),
+        ("park", WaitStrategy::Park),
+    ] {
+        let mpf = Mpf::init(MpfConfig::new(8, 2).with_wait_strategy(strategy)).expect("init");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter_custom(|iters| ping_pong_rounds(&mpf, iters));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wait_strategies);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Ablation A6 — zero-copy receive (`message_receive_scan`) vs the
+//! buffered receive.
+//!
+//! §5: "copying of data from a sending buffer to a linked message buffer
+//! and then to the receiving buffer is unnecessary; direct data transfer
+//! is possible."  The scan API removes the *second* copy; this bench
+//! measures what that is worth per message size (the first copy, into
+//! blocks, is inherent to the asynchronous model).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpf::{Mpf, MpfConfig, ProcessId, Protocol};
+
+fn bench_zero_copy(c: &mut Criterion) {
+    let mpf = Mpf::init(
+        MpfConfig::new(4, 2)
+            .with_block_payload(64)
+            .with_total_blocks(8192),
+    )
+    .expect("init");
+    let p = ProcessId::from_index(0);
+    let tx = mpf.sender(p, "a6").expect("tx");
+    let rx = mpf.receiver(p, "a6", Protocol::Fcfs).expect("rx");
+
+    for len in [128usize, 1024, 4096] {
+        let payload = vec![6u8; len];
+        let mut group = c.benchmark_group(format!("zero_copy_{len}B"));
+        group.throughput(Throughput::Bytes(len as u64));
+        let mut buf = vec![0u8; len];
+        group.bench_with_input(BenchmarkId::from_parameter("buffered_recv"), &(), |b, ()| {
+            b.iter(|| {
+                tx.send(&payload).expect("send");
+                rx.recv(&mut buf).expect("recv")
+            });
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("scan_recv"), &(), |b, ()| {
+            b.iter(|| {
+                tx.send(&payload).expect("send");
+                let mut checksum = 0u64;
+                rx.recv_scan(|chunk| {
+                    checksum = checksum.wrapping_add(chunk.iter().map(|&x| x as u64).sum::<u64>());
+                })
+                .expect("scan");
+                checksum
+            });
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_zero_copy);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Microbenchmarks of the MPF primitives: loop-back round-trip latency by
+//! message size (the per-point cost behind Figure 3), open/close cost, and
+//! `check_receive`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpf::{Mpf, MpfConfig, ProcessId, Protocol};
+
+fn pid(i: usize) -> ProcessId {
+    ProcessId::from_index(i)
+}
+
+fn facility() -> Mpf {
+    Mpf::init(
+        MpfConfig::new(16, 4)
+            .with_block_payload(64)
+            .with_total_blocks(4096),
+    )
+    .expect("init")
+}
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let mpf = facility();
+    let tx = mpf.sender(pid(0), "micro:loop").expect("tx");
+    let rx = mpf
+        .receiver(pid(0), "micro:loop", Protocol::Fcfs)
+        .expect("rx");
+    let mut group = c.benchmark_group("loopback_roundtrip");
+    for len in [0usize, 16, 128, 1024, 2048] {
+        let payload = vec![7u8; len];
+        let mut buf = vec![0u8; len.max(1)];
+        group.throughput(Throughput::Bytes(len as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| {
+                tx.send(&payload).expect("send");
+                rx.recv(&mut buf).expect("recv")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_open_close(c: &mut Criterion) {
+    let mpf = facility();
+    c.bench_function("open_close_send", |b| {
+        b.iter(|| {
+            let id = mpf.open_send(pid(1), "micro:oc").expect("open");
+            mpf.close_send(pid(1), id).expect("close");
+        });
+    });
+}
+
+fn bench_check_receive(c: &mut Criterion) {
+    let mpf = facility();
+    let tx = mpf.sender(pid(0), "micro:chk").expect("tx");
+    let rx = mpf
+        .receiver(pid(1), "micro:chk", Protocol::Broadcast)
+        .expect("rx");
+    tx.send(b"waiting").expect("send");
+    c.bench_function("check_receive_nonempty", |b| {
+        b.iter(|| rx.check().expect("check"));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_roundtrip,
+    bench_open_close,
+    bench_check_receive
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! The paper's closing research question (§5): "One important research
+//! issue with these systems is the effect of the parallel programming
+//! paradigm (message passing or shared memory) on application
+//! performance."
+//!
+//! Both applications ship in both paradigms; this bench times them
+//! head-to-head on the host (plus the sequential baseline).  On a
+//! single-core host the parallel variants measure pure paradigm
+//! *overhead*; on a multi-core host they measure the paradigm's scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpf_apps::gauss_jordan;
+use mpf_apps::grid::{self, Grid};
+use mpf_apps::linalg::{random_rhs, Matrix};
+use mpf_apps::sor;
+
+fn bench_gauss_paradigms(c: &mut Criterion) {
+    let n = 32;
+    let workers = 2;
+    let a = Matrix::random_diag_dominant(n, 404);
+    let b = random_rhs(n, 404);
+    let mut group = c.benchmark_group("gauss_jordan_32x32");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter("sequential"), &(), |bch, ()| {
+        bch.iter(|| gauss_jordan::solve_sequential(&a, &b));
+    });
+    group.bench_with_input(
+        BenchmarkId::from_parameter("mpf_message_passing"),
+        &(),
+        |bch, ()| {
+            bch.iter(|| gauss_jordan::solve_mpf(&a, &b, workers));
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("shared_memory"),
+        &(),
+        |bch, ()| {
+            bch.iter(|| gauss_jordan::solve_shared(&a, &b, workers));
+        },
+    );
+    group.finish();
+}
+
+fn bench_sor_paradigms(c: &mut Criterion) {
+    let p = 17;
+    let iters = 40;
+    let mut group = c.benchmark_group("sor_17x17_40iters");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter("sequential"), &(), |bch, ()| {
+        bch.iter(|| {
+            let mut g = Grid::zeros(p);
+            grid::solve_sequential(&mut g, 0.0, iters)
+        });
+    });
+    group.bench_with_input(
+        BenchmarkId::from_parameter("mpf_message_passing_2x2"),
+        &(),
+        |bch, ()| {
+            bch.iter(|| sor::solve_mpf(p, 2, 0.0, iters));
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("shared_memory_4thr"),
+        &(),
+        |bch, ()| {
+            bch.iter(|| sor::solve_shared(p, 4, 0.0, iters));
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_gauss_paradigms, bench_sor_paradigms);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 4 — `fcfs` benchmark: throughput vs number of FCFS receivers,
+//! for 16-, 128- and 1024-byte messages.
+//!
+//! Paper: "the total message throughput is limited by the message
+//! transmission rate.  The decreasing throughputs for 16-byte and 128-byte
+//! messages are caused by increased LNVC contention with additional
+//! receiver processes.  For larger messages, this contention is masked by
+//! message copying costs."
+//!
+//! Usage: `fig4_fcfs [--sim | --native | --both]` (default `--sim`).
+
+use mpf_bench::report::{print_series, Mode};
+use mpf_bench::{native, Series};
+use mpf_sim::{figures, CostModel, MachineConfig};
+
+fn main() {
+    let mode = Mode::from_args();
+    if mode.sim {
+        let machine = MachineConfig::balance21000();
+        let costs = CostModel::calibrated(&machine);
+        let series = figures::fig4_fcfs(&machine, &costs);
+        print_series(
+            "Figure 4 (fcfs): throughput (bytes/s) vs receiving processes [simulated Balance 21000]",
+            &series,
+        );
+    }
+    if mode.native {
+        let receivers = [1u32, 2, 4, 8, 12, 16];
+        let series: Vec<Series> = [16usize, 128, 1024]
+            .iter()
+            .map(|&len| Series {
+                label: format!("{len} byte messages"),
+                points: receivers
+                    .iter()
+                    .map(|&n| (n as f64, native::fcfs_throughput(len, n, 500)))
+                    .collect(),
+            })
+            .collect();
+        print_series(
+            "Figure 4 (fcfs): throughput (bytes/s) vs receiving processes [native host]",
+            &series,
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Figure 5 — `broadcast` benchmark: effective throughput vs number of
+//! BROADCAST receivers, for 16-, 128- and 1024-byte messages.
+//!
+//! Paper: "by allowing the receiver processes to copy messages
+//! concurrently, higher throughputs can be achieved … MPF achieved an
+//! effective throughput of 687,245 bytes per second for 1024-byte messages
+//! and 16 receiving processes."
+//!
+//! Usage: `fig5_broadcast [--sim | --native | --both]` (default `--sim`).
+
+use mpf_bench::report::{print_series, Mode};
+use mpf_bench::{native, Series};
+use mpf_sim::{figures, CostModel, MachineConfig};
+
+fn main() {
+    let mode = Mode::from_args();
+    if mode.sim {
+        let machine = MachineConfig::balance21000();
+        let costs = CostModel::calibrated(&machine);
+        let series = figures::fig5_broadcast(&machine, &costs);
+        print_series(
+            "Figure 5 (broadcast): effective throughput (bytes/s) vs receiving processes [simulated Balance 21000]",
+            &series,
+        );
+    }
+    if mode.native {
+        let receivers = [1u32, 2, 4, 8, 12, 16];
+        let series: Vec<Series> = [16usize, 128, 1024]
+            .iter()
+            .map(|&len| Series {
+                label: format!("{len} byte messages"),
+                points: receivers
+                    .iter()
+                    .map(|&n| (n as f64, native::broadcast_throughput(len, n, 300)))
+                    .collect(),
+            })
+            .collect();
+        print_series(
+            "Figure 5 (broadcast): effective throughput (bytes/s) vs receiving processes [native host]",
+            &series,
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Figure 6 — `random` benchmark: throughput vs number of processes, for
+//! 1-, 8-, 64-, 256- and 1024-byte messages.
+//!
+//! Paper: "message throughput increases as additional processes are added
+//! … For 1024-byte messages, paging overhead increases rapidly for more
+//! than 10 processes; this is the reason for the decrease in observed
+//! throughput.  Paging overheads are also significant for 256-byte
+//! messages but do not occur until there are 20 active processes."
+//!
+//! Usage: `fig6_random [--sim | --native | --both]` (default `--sim`).
+
+use mpf_bench::report::{print_series, Mode};
+use mpf_bench::{native, Series};
+use mpf_sim::{figures, CostModel, MachineConfig};
+
+fn main() {
+    let mode = Mode::from_args();
+    if mode.sim {
+        let machine = MachineConfig::balance21000();
+        let costs = CostModel::calibrated(&machine);
+        let series = figures::fig6_random(&machine, &costs, 0xF16);
+        print_series(
+            "Figure 6 (random): throughput (bytes/s) vs processes [simulated Balance 21000]",
+            &series,
+        );
+    }
+    if mode.native {
+        let procs = [2u32, 4, 8, 12, 16, 20];
+        let series: Vec<Series> = [1usize, 8, 64, 256, 1024]
+            .iter()
+            .map(|&len| Series {
+                label: format!("{len} byte messages"),
+                points: procs
+                    .iter()
+                    .map(|&p| (p as f64, native::random_throughput(len, p, 200, 0xF16)))
+                    .collect(),
+            })
+            .collect();
+        print_series(
+            "Figure 6 (random): throughput (bytes/s) vs processes [native host]",
+            &series,
+        );
+    }
+}

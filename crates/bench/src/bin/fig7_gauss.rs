@@ -1,0 +1,47 @@
+//! Figure 7 — Gauss-Jordan speedup vs number of processes, for 32×32,
+//! 48×48, 64×64 and 96×96 matrices.
+//!
+//! Paper: "Speedup is greater with larger matrices; this is the classic
+//! computation versus communication balance … In the extreme, excessive
+//! parallelization yields insufficient computation per iteration, and
+//! speedup declines.  The most important conclusion … is that real
+//! speedups can be obtained in the MPF environment."
+//!
+//! Sim mode prices the algorithm's communication on the Balance 21000
+//! model; native mode times the real solver on the host (speedup > 1
+//! requires the host to actually have multiple cores).
+//!
+//! Usage: `fig7_gauss [--sim | --native | --both]` (default `--sim`).
+
+use mpf_bench::report::{print_series, Mode};
+use mpf_bench::{native, Series};
+use mpf_sim::{figures, CostModel, MachineConfig};
+
+fn main() {
+    let mode = Mode::from_args();
+    if mode.sim {
+        let costs = CostModel::calibrated(&MachineConfig::balance21000());
+        let series = figures::fig7_gauss(&costs);
+        print_series(
+            "Figure 7 (Gauss-Jordan): speedup vs processes [modeled Balance 21000]",
+            &series,
+        );
+    }
+    if mode.native {
+        let procs = [1usize, 2, 4, 8];
+        let series: Vec<Series> = [32usize, 48, 64, 96]
+            .iter()
+            .map(|&n| Series {
+                label: format!("{n}x{n} matrix"),
+                points: procs
+                    .iter()
+                    .map(|&p| (p as f64, native::gauss_speedup(n, p, 0xF17)))
+                    .collect(),
+            })
+            .collect();
+        print_series(
+            "Figure 7 (Gauss-Jordan): speedup vs processes [native host]",
+            &series,
+        );
+    }
+}

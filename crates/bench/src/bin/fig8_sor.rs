@@ -1,0 +1,49 @@
+//! Figure 8 — SOR Poisson solver: per-iteration speedup vs processor-grid
+//! dimension N (N×N processes), for 9×9, 17×17, 33×33 and 65×65 problems.
+//!
+//! Paper: "the computation cost for an iteration is proportional to the
+//! area of the sub-grids, and the communication cost is proportional to
+//! their perimeter … Because no equivalent sequential solver was
+//! available, all speedups are shown relative to the smallest parallel
+//! solver: 4 processes."
+//!
+//! Usage: `fig8_sor [--sim | --native | --both]` (default `--sim`).
+
+use mpf_bench::report::{print_series, Mode};
+use mpf_bench::{native, Series};
+use mpf_sim::{figures, CostModel, MachineConfig};
+
+fn main() {
+    let mode = Mode::from_args();
+    if mode.sim {
+        let costs = CostModel::calibrated(&MachineConfig::balance21000());
+        let series = figures::fig8_sor(&costs);
+        print_series(
+            "Figure 8 (SOR): per-iteration speedup vs dimension N, relative to 2x2 [modeled Balance 21000]",
+            &series,
+        );
+    }
+    if mode.native {
+        let dims = [1usize, 2, 3, 4];
+        let series: Vec<Series> = [65usize, 33, 17, 9]
+            .iter()
+            .map(|&grid| {
+                let baseline = native::sor_iteration_secs(grid, 2, 30);
+                Series {
+                    label: format!("{grid} x {grid} problem"),
+                    points: dims
+                        .iter()
+                        .map(|&n| {
+                            let t = native::sor_iteration_secs(grid, n, 30);
+                            (n as f64, baseline / t)
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        print_series(
+            "Figure 8 (SOR): per-iteration speedup vs dimension N, relative to 2x2 [native host]",
+            &series,
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Reprints the paper's headline prose numbers next to this
+//! reproduction's equivalents — the quotable one-liners of §4/§5.
+//!
+//! * "The MPF run-time support is only a few hundred lines of C code" /
+//!   "takes only 800 lines of heavy-commented C code" → our core line
+//!   counts (printed per module at build time of this table).
+//! * "MPF achieved an effective throughput of 687,245 bytes per second
+//!   for 1024-byte messages and 16 receiving processes" → simulated
+//!   equivalent.
+//! * Figure 3's asymptote → simulated 2 KB loop-back throughput.
+//!
+//! Usage: `paper_stats`
+
+use mpf_sim::{validate, workloads, CostModel, MachineConfig};
+
+fn main() {
+    let machine = MachineConfig::balance21000();
+    let costs = CostModel::calibrated(&machine);
+
+    println!("paper claim vs reproduction (simulated Balance 21000)\n");
+    println!("{}", validate::render(&validate::anchors(&machine, &costs)));
+
+    let base = workloads::run_base(&machine, &costs, 2048, 120);
+    println!(
+        "Figure 3 asymptote      paper ~25,000 B/s      sim {:>10.0} B/s",
+        base.send_throughput()
+    );
+
+    let bcast = workloads::run_broadcast(&machine, &costs, 1024, 16, 200);
+    println!(
+        "broadcast peak          paper  687,245 B/s      sim {:>10.0} B/s   (1024 B x 16 receivers)",
+        bcast.delivered_throughput()
+    );
+
+    let fcfs = workloads::run_fcfs(&machine, &costs, 1024, 16, 200);
+    println!(
+        "fcfs 1 KB plateau       paper  ~40-50 KB/s      sim {:>10.0} B/s   (1024 B x 16 receivers)",
+        fcfs.send_throughput()
+    );
+
+    println!(
+        "\nbus utilization during the 16-receiver broadcast: {:.1}%  (the 'memory bandwidth' ceiling)",
+        bcast.bus_utilization * 100.0
+    );
+    println!(
+        "lock acquisitions that queued during the 16-receiver fcfs run: {}",
+        fcfs.lock_waits
+    );
+
+    let cfg = mpf::MpfConfig::paper_faithful(16, 20);
+    let layout = mpf::layout::RegionLayout::for_config(&cfg);
+    println!(
+        "\npaper: 'adds 7000 bytes to a user's program'; our paper-faithful region: {} KiB",
+        layout.total_bytes() / 1024
+    );
+    println!("{}", layout.render());
+}

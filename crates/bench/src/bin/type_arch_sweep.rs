@@ -1,0 +1,99 @@
+//! Type-architecture sweep — the paper's motivating question (§1).
+//!
+//! "Snyder has argued eloquently that we must develop a suitable set of
+//! type architectures … [to] permit an algorithm designer to accurately
+//! estimate the performance penalties when moving from one type
+//! architecture to another.  Unfortunately, no such abstractions and
+//! performance models yet exist."
+//!
+//! The calibrated machine model *is* such a performance model for one
+//! point in the design space; this binary sweeps the machine parameters
+//! around the Balance 21000 to show how the message-passing penalty moves:
+//!
+//! * bus bandwidth ×{0.5, 1, 2, 8} — when does broadcast stop scaling?
+//! * CPU speed ×{1, 4, 16} at fixed bus — when does the bus, not the
+//!   copy loop, become "the performance limiting factor"?
+//! * Gauss-Jordan speedup for a faster interconnect — how much of
+//!   Figure 7's communication tax is machine, not model?
+//!
+//! Usage: `type_arch_sweep`
+
+use mpf_bench::report::print_series;
+use mpf_bench::Series;
+use mpf_sim::{apps_model, workloads, CostModel, MachineConfig};
+
+fn main() {
+    // Sweep 1: bus bandwidth vs broadcast effective throughput.
+    let receivers = [1u32, 4, 8, 16];
+    let bus_series: Vec<Series> = [0.5f64, 1.0, 2.0, 8.0]
+        .iter()
+        .map(|&factor| {
+            let mut machine = MachineConfig::balance21000();
+            machine.bus_bytes_per_sec = (machine.bus_bytes_per_sec as f64 * factor) as u64;
+            let costs = CostModel::calibrated(&machine);
+            Series {
+                label: format!("{factor}x bus"),
+                points: receivers
+                    .iter()
+                    .map(|&n| {
+                        let r = workloads::run_broadcast(&machine, &costs, 1024, n, 120);
+                        (n as f64, r.delivered_throughput())
+                    })
+                    .collect(),
+            }
+        })
+        .collect();
+    print_series(
+        "Type-architecture sweep A: broadcast effective throughput (1 KB) vs receivers, by bus bandwidth",
+        &bus_series,
+    );
+
+    // Sweep 2: CPU speed vs base asymptote (fixed 80 MB/s bus).
+    let lengths = [256usize, 1024, 2048];
+    let cpu_series: Vec<Series> = [1u64, 4, 16]
+        .iter()
+        .map(|&factor| {
+            let mut machine = MachineConfig::balance21000();
+            machine.cpu_hz *= factor;
+            let costs = CostModel::calibrated(&machine);
+            Series {
+                label: format!("{factor}x CPU"),
+                points: lengths
+                    .iter()
+                    .map(|&len| {
+                        let r = workloads::run_base(&machine, &costs, len, 80);
+                        (len as f64, r.send_throughput())
+                    })
+                    .collect(),
+            }
+        })
+        .collect();
+    print_series(
+        "Type-architecture sweep B: base loop-back throughput vs message length, by CPU speed",
+        &cpu_series,
+    );
+
+    // Sweep 3: Gauss-Jordan speedup under cheaper communication — halve
+    // the per-block and per-byte costs (a 'better library / faster
+    // memory' hypothetical) and compare the 48x48 curve.
+    let procs = [2usize, 4, 8, 16];
+    let machine = MachineConfig::balance21000();
+    let baseline = CostModel::calibrated(&machine);
+    let mut cheap = baseline.clone();
+    cheap.per_block_alloc /= 4;
+    cheap.copy_cycles_per_byte /= 4;
+    let gj_series: Vec<Series> = [("Balance 21000", &baseline), ("4x cheaper comm", &cheap)]
+        .iter()
+        .map(|(label, costs)| Series {
+            label: (*label).to_string(),
+            points: procs
+                .iter()
+                .map(|&p| (p as f64, apps_model::gj_speedup(costs, 48, p)))
+                .collect(),
+        })
+        .collect();
+    print_series(
+        "Type-architecture sweep C: 48x48 Gauss-Jordan speedup vs processes, by communication cost",
+        &gj_series,
+    );
+}

@@ -1,0 +1,23 @@
+//! # mpf-bench — the figure-regeneration harness
+//!
+//! For every figure in the paper's evaluation there is a binary that
+//! reprints its series (`fig3_base` … `fig8_sor`, plus `all_figures`).
+//! Each experiment runs in two modes:
+//!
+//! * **sim** — on the `mpf-sim` Balance 21000 model, which reproduces the
+//!   paper's curve *shapes* (contention declines, broadcast scaling,
+//!   paging cliff) and magnitudes;
+//! * **native** — the real `mpf` library driven by OS threads on the host.
+//!   Native numbers depend on the host's core count (the reproduction
+//!   machine may have a single core, where parallel speedup is
+//!   impossible); they validate functionality and relative ordering, not
+//!   the paper's absolute values.
+//!
+//! The [`native`] module contains the thread-backed measurement routines;
+//! [`report`] prints series as aligned tables.
+
+pub mod native;
+pub mod replay;
+pub mod report;
+
+pub use mpf_sim::figures::Series;

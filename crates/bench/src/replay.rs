@@ -1,0 +1,125 @@
+//! Bridges `mpf::trace::TraceLog` (what a native run did) to
+//! `mpf_sim::replay::ReplaySchedule` (what it would cost on the Balance
+//! 21000).
+
+use mpf::trace::{EventKind, TraceLog};
+use mpf::Protocol;
+use mpf_sim::replay::{ReplayOp, ReplaySchedule};
+
+/// Converts a trace into a replay schedule.
+///
+/// Receive protocol per `(pid, lnvc)` is taken from the `OpenRecv` events
+/// when `protocols` does not override it; since the trace does not carry
+/// the protocol, callers that mixed protocols should pass an explicit
+/// mapping via `broadcast_lnvcs` (conversation indices whose receivers
+/// were BROADCAST).  `cycles_per_ns` scales host gaps to Balance cycles —
+/// `0.0` drops think-time entirely (pure communication replay).
+pub fn trace_to_schedule(
+    log: &TraceLog,
+    broadcast_lnvcs: &[u32],
+    cycles_per_ns: f64,
+) -> ReplaySchedule {
+    let timed: Vec<(u32, u64, ReplayOp)> = log
+        .events
+        .iter()
+        .filter_map(|e| {
+            let op = match e.kind {
+                EventKind::Send => Some(ReplayOp::Send {
+                    lnvc: e.lnvc as usize,
+                    len: e.len as usize,
+                }),
+                EventKind::Recv => Some(if broadcast_lnvcs.contains(&e.lnvc) {
+                    ReplayOp::RecvBroadcast {
+                        lnvc: e.lnvc as usize,
+                    }
+                } else {
+                    ReplayOp::RecvFcfs {
+                        lnvc: e.lnvc as usize,
+                    }
+                }),
+                _ => None,
+            };
+            op.map(|op| (e.pid, e.at_ns, op))
+        })
+        .collect();
+    ReplaySchedule::from_timed_ops(&timed, cycles_per_ns)
+}
+
+/// Runs a small traced native workload (`senders` → one FCFS receiver,
+/// `msgs` × `len` bytes) and returns its trace.  Used by the
+/// `replay_trace` binary and tests.
+pub fn traced_fanin(senders: usize, msgs: u64, len: usize) -> TraceLog {
+    use mpf::{Mpf, MpfConfig, ProcessId};
+    let mpf = Mpf::init(
+        MpfConfig::new(8, senders as u32 + 1)
+            .with_total_blocks(8192)
+            .with_tracing(1 << 20),
+    )
+    .expect("init");
+    // Open the receive connection before any sender thread exists: if the
+    // senders ran to completion (send + close) first, the conversation
+    // would be deleted and the stream discarded (paper §3.2).
+    let rx = mpf
+        .receiver(
+            ProcessId::from_index(senders),
+            "traced:fanin",
+            Protocol::Fcfs,
+        )
+        .expect("rx");
+    std::thread::scope(|s| {
+        for i in 0..senders {
+            let mpf = &mpf;
+            s.spawn(move || {
+                let tx = mpf
+                    .sender(ProcessId::from_index(i), "traced:fanin")
+                    .expect("tx");
+                let payload = vec![i as u8; len];
+                for _ in 0..msgs {
+                    tx.send(&payload).expect("send");
+                }
+            });
+        }
+        let rx = &rx;
+        s.spawn(move || {
+            let mut buf = vec![0u8; len.max(1)];
+            for _ in 0..senders as u64 * msgs {
+                rx.recv(&mut buf).expect("recv");
+            }
+        });
+    });
+    drop(rx);
+    mpf.take_trace().expect("tracing enabled")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpf_sim::{replay, CostModel, MachineConfig};
+
+    #[test]
+    fn native_trace_replays_on_the_model() {
+        let log = traced_fanin(2, 15, 64);
+        let summary = log.summary();
+        assert_eq!(summary.sends, 30);
+        assert_eq!(summary.receives, 30);
+
+        let schedule = trace_to_schedule(&log, &[], 0.0);
+        assert_eq!(schedule.total_sends(), 30);
+        let machine = MachineConfig::balance21000();
+        let costs = CostModel::calibrated(&machine);
+        let report = replay::replay(&machine, &costs, &schedule);
+        assert_eq!(report.msgs_sent, 30);
+        assert_eq!(report.msgs_received, 30);
+        assert!(report.elapsed_secs > 0.0);
+    }
+
+    #[test]
+    fn think_time_scaling_lengthens_the_replay() {
+        let log = traced_fanin(1, 10, 32);
+        let machine = MachineConfig::balance21000();
+        let costs = CostModel::calibrated(&machine);
+        let no_think = replay::replay(&machine, &costs, &trace_to_schedule(&log, &[], 0.0));
+        let with_think = replay::replay(&machine, &costs, &trace_to_schedule(&log, &[], 0.05));
+        assert!(with_think.elapsed_cycles >= no_think.elapsed_cycles);
+    }
+}

@@ -1,0 +1,110 @@
+//! Plain-text rendering of figure series.
+
+use mpf_sim::figures::Series;
+
+/// Prints one figure's series as an aligned table:
+///
+/// ```text
+/// # Figure 4 (fcfs): throughput vs receivers [sim]
+/// x          16 byte messages   128 byte messages  1024 byte messages
+/// 1          7812               21067              44321
+/// ```
+pub fn print_series(title: &str, series: &[Series]) {
+    println!("# {title}");
+    if series.is_empty() {
+        println!("(no data)");
+        return;
+    }
+    let mut header = format!("{:<10}", "x");
+    for s in series {
+        header.push_str(&format!("{:>22}", s.label));
+    }
+    println!("{header}");
+    let rows = series[0].points.len();
+    for r in 0..rows {
+        let mut line = format!("{:<10}", trim_float(series[0].points[r].0));
+        for s in series {
+            let y = s.points.get(r).map_or(f64::NAN, |p| p.1);
+            line.push_str(&format!("{:>22}", trim_float(y)));
+        }
+        println!("{line}");
+    }
+    println!();
+}
+
+/// Formats a number compactly: integers without decimals, small values
+/// with three significant decimals.
+pub fn trim_float(v: f64) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else if v.abs() >= 100.0 || (v.fract() == 0.0 && v.abs() < 1e15) {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Parses the common `--sim` / `--native` / `--both` flags; defaults to
+/// sim-only (fast, reproduces the paper's shapes deterministically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mode {
+    /// Run the Balance 21000 simulation.
+    pub sim: bool,
+    /// Run the native (thread-backed) measurement.
+    pub native: bool,
+}
+
+impl Mode {
+    /// Parses process arguments.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Self::parse(&args)
+    }
+
+    /// Parses a flag list.
+    pub fn parse(args: &[String]) -> Self {
+        let native = args.iter().any(|a| a == "--native" || a == "--both");
+        let sim = args.iter().any(|a| a == "--sim" || a == "--both") || !native;
+        Self { sim, native }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trim_float_formats() {
+        assert_eq!(trim_float(25000.4), "25000");
+        assert_eq!(trim_float(1.2345), "1.234");
+        assert_eq!(trim_float(4.0), "4");
+        assert_eq!(trim_float(f64::NAN), "-");
+    }
+
+    #[test]
+    fn mode_defaults_to_sim() {
+        let m = Mode::parse(&[]);
+        assert!(m.sim && !m.native);
+    }
+
+    #[test]
+    fn mode_flags() {
+        let native = Mode::parse(&["--native".into()]);
+        assert!(!native.sim && native.native);
+        let both = Mode::parse(&["--both".into()]);
+        assert!(both.sim && both.native);
+    }
+
+    #[test]
+    fn print_series_smoke() {
+        // Just exercise the formatting path.
+        print_series(
+            "test",
+            &[Series {
+                label: "a".into(),
+                points: vec![(1.0, 10.0), (2.0, 20.0)],
+            }],
+        );
+        print_series("empty", &[]);
+    }
+}

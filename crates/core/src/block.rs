@@ -1,0 +1,274 @@
+//! Message blocks — the paper's fundamental data structure.
+//!
+//! §3.1: "During MPF initialization, a free list of linked message blocks
+//! is created in shared memory.  Space allocated from this free list is
+//! used for messages during program execution."  A message's payload is
+//! scattered across a singly linked chain of fixed-size blocks (10 bytes in
+//! the paper's experiments); `message_send` copies the send buffer in,
+//! `message_receive` copies it back out.
+//!
+//! Block *links* live in a typed pool; block *payloads* live in a strided
+//! byte arena.  Both are addressed by the same `u32` block index.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use mpf_shm::arena::StridedArena;
+use mpf_shm::idxstack::NIL;
+use mpf_shm::pool::Pool;
+
+use crate::error::{MpfError, Result};
+
+/// Link word for one block.  `next` is only read/written by the block's
+/// current owner (the sender before publication; receivers and the
+/// reclaimer under the LNVC lock afterwards), so `Relaxed` suffices —
+/// cross-thread visibility rides on the lock / free-list edges.
+#[derive(Debug, Default)]
+pub struct BlockLink {
+    next: AtomicU32,
+}
+
+/// A allocated chain of blocks holding one message payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chain {
+    /// First block index, or `NIL` for an empty payload.
+    pub head: u32,
+    /// Number of blocks in the chain.
+    pub blocks: u32,
+}
+
+/// The block free list plus the payload arena.
+#[derive(Debug)]
+pub struct BlockPool {
+    links: Pool<BlockLink>,
+    payloads: StridedArena,
+}
+
+impl BlockPool {
+    /// Creates `total` blocks of `payload` bytes each.
+    pub fn new(total: u32, payload: usize) -> Self {
+        Self {
+            links: Pool::new(total),
+            payloads: StridedArena::new(total, payload),
+        }
+    }
+
+    /// Payload bytes per block.
+    pub fn payload_size(&self) -> usize {
+        self.payloads.stride()
+    }
+
+    /// Total blocks in the region.
+    pub fn capacity(&self) -> u32 {
+        self.links.capacity()
+    }
+
+    /// Approximate free blocks.
+    pub fn available(&self) -> u32 {
+        self.links.available()
+    }
+
+    /// Blocks needed for a payload of `len` bytes.
+    pub fn blocks_needed(&self, len: usize) -> u32 {
+        (len.div_ceil(self.payload_size())) as u32
+    }
+
+    /// Allocates a chain and copies `data` into it.
+    ///
+    /// On exhaustion mid-allocation every block taken so far is returned to
+    /// the free list and `BlocksExhausted` is reported, so a failed send
+    /// never leaks region memory.
+    pub fn alloc_chain(&self, data: &[u8]) -> Result<Chain> {
+        let needed = self.blocks_needed(data.len());
+        if needed as usize > self.capacity() as usize {
+            return Err(MpfError::MessageTooLarge {
+                len: data.len(),
+                max: self.capacity() as usize * self.payload_size(),
+            });
+        }
+        let stride = self.payload_size();
+        let mut head = NIL;
+        let mut tail = NIL;
+        for i in 0..needed {
+            let Some(idx) = self.links.alloc() else {
+                if head != NIL {
+                    self.free_chain(Chain { head, blocks: i });
+                }
+                return Err(MpfError::BlocksExhausted);
+            };
+            self.links.get(idx).next.store(NIL, Ordering::Relaxed);
+            let off = i as usize * stride;
+            let end = (off + stride).min(data.len());
+            // SAFETY: we own `idx` (freshly popped, not yet linked into any
+            // published message).
+            unsafe { self.payloads.write(idx, 0, &data[off..end]) };
+            if head == NIL {
+                head = idx;
+            } else {
+                self.links.get(tail).next.store(idx, Ordering::Relaxed);
+            }
+            tail = idx;
+        }
+        Ok(Chain {
+            head,
+            blocks: needed,
+        })
+    }
+
+    /// Copies `len` bytes out of the chain starting at `head` into `dst`.
+    ///
+    /// # Panics
+    /// If the chain is shorter than `len` requires (region corruption).
+    pub fn read_chain(&self, head: u32, len: usize, dst: &mut [u8]) {
+        debug_assert!(dst.len() >= len);
+        let stride = self.payload_size();
+        let mut idx = head;
+        let mut off = 0;
+        while off < len {
+            assert!(idx != NIL, "message chain truncated at byte {off} of {len}");
+            let take = stride.min(len - off);
+            // SAFETY: the caller reached this chain through a published
+            // message under the LNVC protocol; blocks of a published
+            // message are never written.
+            unsafe { self.payloads.read(idx, 0, &mut dst[off..off + take]) };
+            off += take;
+            idx = self.links.get(idx).next.load(Ordering::Relaxed);
+        }
+    }
+
+    /// Visits the chain's payload as borrowed per-block slices without
+    /// copying — the zero-copy read path (paper §5: "direct data transfer
+    /// is possible").
+    ///
+    /// # Safety
+    /// The chain must belong to a published message that is pinned
+    /// (`MsgSlot::begin_copy`) for the duration of the call, so no
+    /// reclaimer frees the blocks and no writer exists.
+    pub unsafe fn scan_chain(&self, head: u32, len: usize, mut f: impl FnMut(&[u8])) {
+        let stride = self.payload_size();
+        let mut idx = head;
+        let mut off = 0;
+        while off < len {
+            assert!(idx != NIL, "message chain truncated at byte {off} of {len}");
+            let take = stride.min(len - off);
+            self.payloads.with_slice(idx, take, &mut f);
+            off += take;
+            idx = self.links.get(idx).next.load(Ordering::Relaxed);
+        }
+    }
+
+    /// Returns every block of `chain` to the free list.
+    pub fn free_chain(&self, chain: Chain) {
+        let mut idx = chain.head;
+        let mut freed = 0;
+        while idx != NIL && freed < chain.blocks {
+            let next = self.links.get(idx).next.load(Ordering::Relaxed);
+            self.links.free(idx);
+            idx = next;
+            freed += 1;
+        }
+        debug_assert_eq!(freed, chain.blocks, "chain length mismatch on free");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> BlockPool {
+        BlockPool::new(64, 10)
+    }
+
+    #[test]
+    fn blocks_needed_matches_paper_example() {
+        let p = pool();
+        // 10-byte blocks, as in all of the paper's experiments.
+        assert_eq!(p.blocks_needed(0), 0);
+        assert_eq!(p.blocks_needed(1), 1);
+        assert_eq!(p.blocks_needed(10), 1);
+        assert_eq!(p.blocks_needed(11), 2);
+        assert_eq!(p.blocks_needed(1024), 103);
+    }
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        let p = pool();
+        for len in [0usize, 1, 9, 10, 11, 25, 100, 640] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 7 + len) as u8).collect();
+            let chain = p.alloc_chain(&data).unwrap();
+            assert_eq!(chain.blocks, p.blocks_needed(len));
+            let mut out = vec![0u8; len];
+            p.read_chain(chain.head, len, &mut out);
+            assert_eq!(out, data, "len {len}");
+            p.free_chain(chain);
+            assert_eq!(p.available(), 64, "leak at len {len}");
+        }
+    }
+
+    #[test]
+    fn empty_chain_has_nil_head() {
+        let p = pool();
+        let chain = p.alloc_chain(&[]).unwrap();
+        assert_eq!(chain.head, NIL);
+        assert_eq!(chain.blocks, 0);
+        p.free_chain(chain);
+    }
+
+    #[test]
+    fn exhaustion_frees_partial_chain() {
+        let p = BlockPool::new(4, 10);
+        let keep = p.alloc_chain(&[0u8; 20]).unwrap(); // 2 blocks
+        let err = p.alloc_chain(&[0u8; 30]).unwrap_err(); // needs 3, only 2 free
+        assert_eq!(err, MpfError::BlocksExhausted);
+        assert_eq!(p.available(), 2, "partial allocation must be rolled back");
+        p.free_chain(keep);
+        assert_eq!(p.available(), 4);
+    }
+
+    #[test]
+    fn oversized_message_rejected_up_front() {
+        let p = BlockPool::new(4, 10);
+        let err = p.alloc_chain(&[0u8; 41]).unwrap_err();
+        assert!(matches!(
+            err,
+            MpfError::MessageTooLarge { len: 41, max: 40 }
+        ));
+        assert_eq!(p.available(), 4);
+    }
+
+    #[test]
+    fn scan_chain_matches_read_chain() {
+        let p = pool();
+        let data: Vec<u8> = (0..57u8).collect();
+        let chain = p.alloc_chain(&data).unwrap();
+        let mut scanned = Vec::new();
+        // SAFETY: chain is privately owned by this test (never shared).
+        unsafe { p.scan_chain(chain.head, data.len(), |c| scanned.extend_from_slice(c)) };
+        assert_eq!(scanned, data);
+        let mut copied = vec![0u8; data.len()];
+        p.read_chain(chain.head, data.len(), &mut copied);
+        assert_eq!(copied, data);
+        p.free_chain(chain);
+    }
+
+    #[test]
+    fn concurrent_senders_do_not_cross_chains() {
+        let p = BlockPool::new(512, 10);
+        std::thread::scope(|s| {
+            for t in 0..4u8 {
+                let p = &p;
+                s.spawn(move || {
+                    for round in 0..500 {
+                        let len = (round % 64) + 1;
+                        let data = vec![t.wrapping_mul(31).wrapping_add(round as u8); len];
+                        let chain = p.alloc_chain(&data).unwrap();
+                        let mut out = vec![0u8; len];
+                        p.read_chain(chain.head, len, &mut out);
+                        assert_eq!(out, data);
+                        p.free_chain(chain);
+                    }
+                });
+            }
+        });
+        assert_eq!(p.available(), 512);
+    }
+}

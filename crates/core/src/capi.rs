@@ -1,0 +1,208 @@
+//! The literal C-style interface — the paper's §2 function signatures.
+//!
+//! "Because our current implementation is based on the C programming
+//! language, the MPF programming primitives are defined below as C function
+//! calls."  This module reproduces that surface: free functions over one
+//! global facility, integer process ids, integer LNVC identifiers, and
+//! negative status codes (see [`crate::MpfError::status_code`]).
+//!
+//! The global is process-wide: call [`init`] exactly once, [`shutdown`] to
+//! tear down (test support; the 1987 library lived until `exit`).  New code
+//! should prefer the instance-based [`crate::Mpf`] API; this layer exists
+//! so the paper's example programs port line-for-line.
+
+use std::sync::{Mutex, OnceLock};
+
+use mpf_shm::process::ProcessId;
+
+use crate::config::MpfConfig;
+use crate::error::MpfError;
+use crate::facility::Mpf;
+use crate::types::{LnvcId, Protocol};
+
+/// Receiver protocol code: first-come, first-served.
+pub const MPF_FCFS: i32 = 0;
+/// Receiver protocol code: broadcast.
+pub const MPF_BROADCAST: i32 = 1;
+/// Success status.
+pub const MPF_OK: i32 = 0;
+
+static FACILITY: OnceLock<Mutex<Option<&'static Mpf>>> = OnceLock::new();
+
+fn cell() -> &'static Mutex<Option<&'static Mpf>> {
+    FACILITY.get_or_init(|| Mutex::new(None))
+}
+
+fn with_facility<T>(f: impl FnOnce(&Mpf) -> Result<T, MpfError>) -> Result<T, MpfError> {
+    let guard = cell().lock().expect("capi mutex poisoned");
+    match *guard {
+        Some(mpf) => f(mpf),
+        None => Err(MpfError::BadInit),
+    }
+}
+
+fn pid(process_id: i32) -> Result<ProcessId, MpfError> {
+    u32::try_from(process_id)
+        .ok()
+        .and_then(ProcessId::new)
+        .ok_or(MpfError::InvalidProcess)
+}
+
+fn lnvc(lnvc_id: i32) -> Result<LnvcId, MpfError> {
+    LnvcId::from_i32(lnvc_id).ok_or(MpfError::UnknownLnvc)
+}
+
+fn status(result: Result<i32, MpfError>) -> i32 {
+    result.unwrap_or_else(|e| e.status_code())
+}
+
+/// `init(maxLNVC's, max_processes)` — allocates the shared region.
+/// Returns [`MPF_OK`] or a negative status.  Calling twice without
+/// [`shutdown`] fails with [`MpfError::BadInit`]'s code.
+pub fn init(max_lnvcs: i32, max_processes: i32) -> i32 {
+    status((|| {
+        let (l, p) = (
+            u32::try_from(max_lnvcs).map_err(|_| MpfError::BadInit)?,
+            u32::try_from(max_processes).map_err(|_| MpfError::BadInit)?,
+        );
+        let mut guard = cell().lock().expect("capi mutex poisoned");
+        if guard.is_some() {
+            return Err(MpfError::BadInit);
+        }
+        let mpf = Mpf::init(MpfConfig::new(l, p))?;
+        *guard = Some(Box::leak(Box::new(mpf)));
+        Ok(MPF_OK)
+    })())
+}
+
+/// Tears down the global facility (test support).  Returns [`MPF_OK`], or
+/// [`MpfError::BadInit`]'s code if not initialized.
+///
+/// The leaked region is intentionally not reclaimed: outstanding raw ids in
+/// other threads must fail softly, exactly like the 1987 library's region,
+/// which lived until process exit.
+pub fn shutdown() -> i32 {
+    let mut guard = cell().lock().expect("capi mutex poisoned");
+    if guard.take().is_some() {
+        MPF_OK
+    } else {
+        MpfError::BadInit.status_code()
+    }
+}
+
+/// `open_send(process_id, lnvc_name)` — returns the LNVC identifier
+/// (non-negative) or a negative status.
+pub fn open_send(process_id: i32, lnvc_name: &str) -> i32 {
+    status(with_facility(|m| {
+        m.open_send(pid(process_id)?, lnvc_name).map(LnvcId::as_i32)
+    }))
+}
+
+/// `open_receive(process_id, lnvc_name, protocol)` — `protocol` is
+/// [`MPF_FCFS`] or [`MPF_BROADCAST`].  Returns the LNVC identifier or a
+/// negative status.
+pub fn open_receive(process_id: i32, lnvc_name: &str, protocol: i32) -> i32 {
+    status(with_facility(|m| {
+        let protocol = u8::try_from(protocol)
+            .ok()
+            .and_then(Protocol::from_raw)
+            .ok_or(MpfError::ProtocolConflict)?;
+        m.open_receive(pid(process_id)?, lnvc_name, protocol)
+            .map(LnvcId::as_i32)
+    }))
+}
+
+/// `close_send(process_id, lnvc_id)`.
+pub fn close_send(process_id: i32, lnvc_id: i32) -> i32 {
+    status(with_facility(|m| {
+        m.close_send(pid(process_id)?, lnvc(lnvc_id)?)
+            .map(|()| MPF_OK)
+    }))
+}
+
+/// `close_receive(process_id, lnvc_id)`.
+pub fn close_receive(process_id: i32, lnvc_id: i32) -> i32 {
+    status(with_facility(|m| {
+        m.close_receive(pid(process_id)?, lnvc(lnvc_id)?)
+            .map(|()| MPF_OK)
+    }))
+}
+
+/// `message_send(process_id, lnvc_id, send_buffer, buffer_length)` — the
+/// buffer length is the slice length.
+pub fn message_send(process_id: i32, lnvc_id: i32, send_buffer: &[u8]) -> i32 {
+    status(with_facility(|m| {
+        m.message_send(pid(process_id)?, lnvc(lnvc_id)?, send_buffer)
+            .map(|()| MPF_OK)
+    }))
+}
+
+/// `message_receive(process_id, lnvc_id, receive_buffer, buffer_length)` —
+/// blocking; returns the number of bytes transferred ("buffer_length is
+/// set to the number of bytes transferred") or a negative status.
+pub fn message_receive(process_id: i32, lnvc_id: i32, receive_buffer: &mut [u8]) -> i32 {
+    status(with_facility(|m| {
+        m.message_receive(pid(process_id)?, lnvc(lnvc_id)?, receive_buffer)
+            .map(|n| n as i32)
+    }))
+}
+
+/// `check_receive(process_id, lnvc_id)` — "a non-zero return value
+/// indicates the existence of a message"; negative on error.
+pub fn check_receive(process_id: i32, lnvc_id: i32) -> i32 {
+    status(with_facility(|m| {
+        m.check_receive(pid(process_id)?, lnvc(lnvc_id)?)
+            .map(|b| b as i32)
+    }))
+}
+
+/// Serializes tests that touch the process-wide facility (this module's
+/// and `capi_ffi`'s).
+#[cfg(test)]
+pub(crate) static CAPI_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The C layer is a process-wide global; exercise it in one test so
+    // parallel test threads cannot interleave init/shutdown.
+    #[test]
+    fn c_interface_end_to_end() {
+        let _serial = CAPI_TEST_LOCK.lock().expect("capi test lock");
+        assert!(message_send(1, 0, b"x") < 0, "use before init fails");
+        assert_eq!(init(8, 4), MPF_OK);
+        assert!(init(8, 4) < 0, "double init fails");
+
+        let tx = open_send(1, "pipe");
+        assert!(tx >= 0);
+        let rx = open_receive(2, "pipe", MPF_FCFS);
+        assert!(rx >= 0);
+        assert_eq!(tx, rx);
+
+        assert_eq!(check_receive(2, rx), 0);
+        assert_eq!(message_send(1, tx, b"hello from C land"), MPF_OK);
+        assert_eq!(check_receive(2, rx), 1);
+
+        let mut buf = [0u8; 64];
+        let n = message_receive(2, rx, &mut buf);
+        assert_eq!(n, 17);
+        assert_eq!(&buf[..17], b"hello from C land");
+
+        // Bad protocol code.
+        assert!(open_receive(3, "pipe", 7) < 0);
+        // Negative process id.
+        assert!(open_send(-1, "pipe") < 0);
+        // Stale/unknown lnvc id.
+        assert!(message_send(1, 0x7FFF0000, b"x") < 0);
+
+        assert_eq!(close_send(1, tx), MPF_OK);
+        assert_eq!(close_receive(2, rx), MPF_OK);
+        // LNVC deleted; ids now stale.
+        assert!(close_send(1, tx) < 0);
+
+        assert_eq!(shutdown(), MPF_OK);
+        assert!(shutdown() < 0);
+        assert!(open_send(1, "pipe") < 0, "use after shutdown fails");
+    }
+}

@@ -1,0 +1,190 @@
+//! `extern "C"` bindings — the paper's interface as an actual C ABI.
+//!
+//! "The message passing primitives for this model are implemented as a
+//! portable library of C function calls."  [`crate::capi`] reproduces the
+//! *shape* of that interface for Rust callers; this module exports it
+//! with C linkage so a 1987-style C program can link against the crate
+//! (`crate-type = "staticlib"` downstream) and call:
+//!
+//! ```c
+//! int id = mpf_open_send(pid, "pipe");
+//! mpf_message_send(pid, id, buf, len);
+//! n = mpf_message_receive(pid, id, buf, cap);
+//! ```
+//!
+//! All functions return the same status codes as [`crate::capi`].
+
+use std::ffi::CStr;
+use std::os::raw::{c_char, c_int};
+
+use crate::capi;
+use crate::error::MpfError;
+
+/// Converts a C string to `&str`, mapping NULL/invalid UTF-8 to the
+/// invalid-name status.
+///
+/// # Safety
+/// `name` must be NULL or a valid NUL-terminated string.
+unsafe fn name_arg<'a>(name: *const c_char) -> Result<&'a str, c_int> {
+    if name.is_null() {
+        return Err(MpfError::InvalidName { len: 0, max: 0 }.status_code());
+    }
+    CStr::from_ptr(name)
+        .to_str()
+        .map_err(|_| MpfError::InvalidName { len: 0, max: 0 }.status_code())
+}
+
+/// C ABI `init(maxLNVC's, max_processes)`.
+#[no_mangle]
+pub extern "C" fn mpf_init(max_lnvcs: c_int, max_processes: c_int) -> c_int {
+    capi::init(max_lnvcs, max_processes)
+}
+
+/// C ABI shutdown (test support; not in the 1987 interface).
+#[no_mangle]
+pub extern "C" fn mpf_shutdown() -> c_int {
+    capi::shutdown()
+}
+
+/// C ABI `open_send(process_id, lnvc_name)`.
+///
+/// # Safety
+/// `lnvc_name` must be NULL or a valid NUL-terminated string.
+#[no_mangle]
+pub unsafe extern "C" fn mpf_open_send(process_id: c_int, lnvc_name: *const c_char) -> c_int {
+    match name_arg(lnvc_name) {
+        Ok(name) => capi::open_send(process_id, name),
+        Err(code) => code,
+    }
+}
+
+/// C ABI `open_receive(process_id, lnvc_name, protocol)`; `protocol` is
+/// `0` (FCFS) or `1` (BROADCAST).
+///
+/// # Safety
+/// `lnvc_name` must be NULL or a valid NUL-terminated string.
+#[no_mangle]
+pub unsafe extern "C" fn mpf_open_receive(
+    process_id: c_int,
+    lnvc_name: *const c_char,
+    protocol: c_int,
+) -> c_int {
+    match name_arg(lnvc_name) {
+        Ok(name) => capi::open_receive(process_id, name, protocol),
+        Err(code) => code,
+    }
+}
+
+/// C ABI `close_send(process_id, lnvc_id)`.
+#[no_mangle]
+pub extern "C" fn mpf_close_send(process_id: c_int, lnvc_id: c_int) -> c_int {
+    capi::close_send(process_id, lnvc_id)
+}
+
+/// C ABI `close_receive(process_id, lnvc_id)`.
+#[no_mangle]
+pub extern "C" fn mpf_close_receive(process_id: c_int, lnvc_id: c_int) -> c_int {
+    capi::close_receive(process_id, lnvc_id)
+}
+
+/// C ABI `message_send(process_id, lnvc_id, send_buffer, buffer_length)`.
+///
+/// # Safety
+/// `send_buffer` must point to at least `buffer_length` readable bytes
+/// (or be NULL with `buffer_length == 0`).
+#[no_mangle]
+pub unsafe extern "C" fn mpf_message_send(
+    process_id: c_int,
+    lnvc_id: c_int,
+    send_buffer: *const u8,
+    buffer_length: c_int,
+) -> c_int {
+    if buffer_length < 0 || (send_buffer.is_null() && buffer_length != 0) {
+        return MpfError::BufferTooSmall { needed: 0 }.status_code();
+    }
+    let buf = if buffer_length == 0 {
+        &[][..]
+    } else {
+        std::slice::from_raw_parts(send_buffer, buffer_length as usize)
+    };
+    capi::message_send(process_id, lnvc_id, buf)
+}
+
+/// C ABI `message_receive(process_id, lnvc_id, receive_buffer,
+/// buffer_length)` — blocking; returns bytes transferred or a negative
+/// status.
+///
+/// # Safety
+/// `receive_buffer` must point to at least `buffer_length` writable bytes
+/// (or be NULL with `buffer_length == 0`).
+#[no_mangle]
+pub unsafe extern "C" fn mpf_message_receive(
+    process_id: c_int,
+    lnvc_id: c_int,
+    receive_buffer: *mut u8,
+    buffer_length: c_int,
+) -> c_int {
+    if buffer_length < 0 || (receive_buffer.is_null() && buffer_length != 0) {
+        return MpfError::BufferTooSmall { needed: 0 }.status_code();
+    }
+    let buf = if buffer_length == 0 {
+        &mut [][..]
+    } else {
+        std::slice::from_raw_parts_mut(receive_buffer, buffer_length as usize)
+    };
+    capi::message_receive(process_id, lnvc_id, buf)
+}
+
+/// C ABI `check_receive(process_id, lnvc_id)` — non-zero means a message
+/// is present (advisory for FCFS); negative on error.
+#[no_mangle]
+pub extern "C" fn mpf_check_receive(process_id: c_int, lnvc_id: c_int) -> c_int {
+    capi::check_receive(process_id, lnvc_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test: the global C facility is process-wide state (see capi).
+    #[test]
+    fn ffi_surface_end_to_end() {
+        let _serial = crate::capi::CAPI_TEST_LOCK.lock().expect("capi test lock");
+        let name = c"ffi:pipe";
+        unsafe {
+            // Use before init fails.
+            assert!(mpf_open_send(1, name.as_ptr()) < 0);
+            assert_eq!(mpf_init(8, 4), 0);
+
+            let tx = mpf_open_send(1, name.as_ptr());
+            assert!(tx >= 0);
+            let rx = mpf_open_receive(2, name.as_ptr(), 0);
+            assert_eq!(tx, rx);
+
+            let payload = b"over the C ABI";
+            assert_eq!(
+                mpf_message_send(1, tx, payload.as_ptr(), payload.len() as c_int),
+                0
+            );
+            assert_eq!(mpf_check_receive(2, rx), 1);
+
+            let mut buf = [0u8; 64];
+            let n = mpf_message_receive(2, rx, buf.as_mut_ptr(), buf.len() as c_int);
+            assert_eq!(n as usize, payload.len());
+            assert_eq!(&buf[..n as usize], payload);
+
+            // NULL / invalid arguments fail softly.
+            assert!(mpf_open_send(1, std::ptr::null()) < 0);
+            assert!(mpf_message_send(1, tx, std::ptr::null(), 4) < 0);
+            assert!(mpf_message_receive(2, rx, std::ptr::null_mut(), 4) < 0);
+            // Zero-length send/receive with NULL buffers is legal.
+            assert_eq!(mpf_message_send(1, tx, std::ptr::null(), 0), 0);
+            let n = mpf_message_receive(2, rx, std::ptr::null_mut(), 0);
+            assert_eq!(n, 0);
+
+            assert_eq!(mpf_close_send(1, tx), 0);
+            assert_eq!(mpf_close_receive(2, rx), 0);
+            assert_eq!(mpf_shutdown(), 0);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Facility configuration — the paper's `init(maxLNVC's, max_processes)`
+//! plus the knobs its implementation fixes implicitly.
+//!
+//! The paper: "The parameters maxLNVC's and max_processes … are used to
+//! estimate the amount of shared memory necessary."  [`MpfConfig::new`]
+//! performs that estimate; every derived quantity can be overridden with
+//! the builder methods (the ablation benches sweep them).
+
+use mpf_shm::lock::LockKind;
+use mpf_shm::waitq::WaitStrategy;
+
+use crate::types::MAX_LNVC_INDEX;
+
+/// What `message_send` does when the message-header or block pools are
+/// exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExhaustPolicy {
+    /// Block until another process frees capacity (flow control).  This is
+    /// the default: the paper's fixed region simply fills and senders are
+    /// at the mercy of consumers.
+    #[default]
+    Wait,
+    /// Fail immediately with `MessagesExhausted`/`BlocksExhausted`.
+    Error,
+}
+
+/// Configuration for [`crate::Mpf::init`].
+#[derive(Debug, Clone)]
+pub struct MpfConfig {
+    /// Maximum simultaneously existing LNVCs (paper: `maxLNVC's`).
+    pub max_lnvcs: u32,
+    /// Maximum participating processes (paper: `max_processes`).
+    pub max_processes: u32,
+    /// Payload bytes per message block.  The paper used 10-byte blocks in
+    /// all experiments (§3.1 footnote 4).
+    pub block_payload: usize,
+    /// Number of message blocks in the shared region.
+    pub total_blocks: u32,
+    /// Number of message headers in the shared region.
+    pub max_messages: u32,
+    /// Number of send-connection descriptors.
+    pub max_send_conns: u32,
+    /// Number of receive-connection descriptors.
+    pub max_recv_conns: u32,
+    /// Lock implementation for LNVC descriptors (ablation A2).
+    pub lock_kind: LockKind,
+    /// How blocked receivers (and senders under [`ExhaustPolicy::Wait`])
+    /// wait (ablation A3).
+    pub wait_strategy: WaitStrategy,
+    /// Behaviour when the region is full.
+    pub exhaust_policy: ExhaustPolicy,
+    /// Event-trace capacity; 0 disables tracing (see [`crate::trace`]).
+    pub trace_capacity: usize,
+}
+
+/// The paper's experimental block payload: 10 bytes.
+pub const PAPER_BLOCK_PAYLOAD: usize = 10;
+
+impl MpfConfig {
+    /// The paper-style constructor: estimates pool sizes from the two
+    /// parameters.  Defaults favour practicality (64-byte blocks); use
+    /// [`MpfConfig::paper_faithful`] for the 10-byte experimental setup.
+    pub fn new(max_lnvcs: u32, max_processes: u32) -> Self {
+        assert!(max_lnvcs >= 1 && max_lnvcs <= MAX_LNVC_INDEX + 1);
+        assert!(max_processes >= 1);
+        let conns = (max_processes * 8).max(max_lnvcs * 2).max(64);
+        Self {
+            max_lnvcs,
+            max_processes,
+            block_payload: 64,
+            total_blocks: 8192,
+            max_messages: 2048,
+            max_send_conns: conns,
+            max_recv_conns: conns,
+            lock_kind: LockKind::Spin,
+            wait_strategy: WaitStrategy::Yield,
+            exhaust_policy: ExhaustPolicy::Wait,
+            trace_capacity: 0,
+        }
+    }
+
+    /// The configuration the paper's experiments ran with: 10-byte message
+    /// blocks.
+    pub fn paper_faithful(max_lnvcs: u32, max_processes: u32) -> Self {
+        Self::new(max_lnvcs, max_processes).with_block_payload(PAPER_BLOCK_PAYLOAD)
+    }
+
+    /// Sets the per-block payload size (≥ 1 byte).
+    pub fn with_block_payload(mut self, bytes: usize) -> Self {
+        assert!(bytes >= 1, "block payload must be at least one byte");
+        self.block_payload = bytes;
+        self
+    }
+
+    /// Sets the total number of message blocks.
+    pub fn with_total_blocks(mut self, blocks: u32) -> Self {
+        self.total_blocks = blocks;
+        self
+    }
+
+    /// Sets the number of message headers.
+    pub fn with_max_messages(mut self, messages: u32) -> Self {
+        self.max_messages = messages;
+        self
+    }
+
+    /// Sets the connection descriptor counts (both directions).
+    pub fn with_max_connections(mut self, conns: u32) -> Self {
+        self.max_send_conns = conns;
+        self.max_recv_conns = conns;
+        self
+    }
+
+    /// Sets the LNVC lock implementation.
+    pub fn with_lock_kind(mut self, kind: LockKind) -> Self {
+        self.lock_kind = kind;
+        self
+    }
+
+    /// Sets the blocking-wait strategy.
+    pub fn with_wait_strategy(mut self, strategy: WaitStrategy) -> Self {
+        self.wait_strategy = strategy;
+        self
+    }
+
+    /// Sets the pool-exhaustion policy.
+    pub fn with_exhaust_policy(mut self, policy: ExhaustPolicy) -> Self {
+        self.exhaust_policy = policy;
+        self
+    }
+
+    /// Enables event tracing with the given buffer capacity (events past
+    /// the bound are dropped and counted).
+    pub fn with_tracing(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Largest single message payload the configured region can hold
+    /// (every block devoted to one message).
+    pub fn max_message_bytes(&self) -> usize {
+        self.block_payload * self.total_blocks as usize
+    }
+
+    /// The paper's "estimate [of] the amount of shared memory necessary":
+    /// bytes of shared region this configuration will allocate, counting
+    /// block payloads, block links, and all descriptor pools.
+    pub fn estimated_shared_bytes(&self) -> usize {
+        let block_bytes = self.total_blocks as usize * (self.block_payload + 4);
+        let msg_bytes = self.max_messages as usize * 32;
+        let lnvc_bytes = self.max_lnvcs as usize * 192;
+        let conn_bytes = (self.max_send_conns + self.max_recv_conns) as usize * 16;
+        block_bytes + msg_bytes + lnvc_bytes + conn_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_faithful_uses_ten_byte_blocks() {
+        let cfg = MpfConfig::paper_faithful(16, 20);
+        assert_eq!(cfg.block_payload, PAPER_BLOCK_PAYLOAD);
+    }
+
+    #[test]
+    fn builders_override_defaults() {
+        let cfg = MpfConfig::new(4, 4)
+            .with_block_payload(128)
+            .with_total_blocks(100)
+            .with_max_messages(10)
+            .with_max_connections(7)
+            .with_lock_kind(LockKind::Ticket)
+            .with_wait_strategy(WaitStrategy::Park)
+            .with_exhaust_policy(ExhaustPolicy::Error);
+        assert_eq!(cfg.block_payload, 128);
+        assert_eq!(cfg.total_blocks, 100);
+        assert_eq!(cfg.max_messages, 10);
+        assert_eq!(cfg.max_send_conns, 7);
+        assert_eq!(cfg.max_recv_conns, 7);
+        assert_eq!(cfg.lock_kind, LockKind::Ticket);
+        assert_eq!(cfg.wait_strategy, WaitStrategy::Park);
+        assert_eq!(cfg.exhaust_policy, ExhaustPolicy::Error);
+    }
+
+    #[test]
+    fn max_message_bytes_is_block_capacity() {
+        let cfg = MpfConfig::new(4, 4)
+            .with_block_payload(10)
+            .with_total_blocks(100);
+        assert_eq!(cfg.max_message_bytes(), 1000);
+    }
+
+    #[test]
+    fn estimate_grows_with_everything() {
+        let small = MpfConfig::new(4, 4);
+        let big = MpfConfig::new(64, 64).with_total_blocks(small.total_blocks * 2);
+        assert!(big.estimated_shared_bytes() > small.estimated_shared_bytes());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_lnvcs_rejected() {
+        let _ = MpfConfig::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one byte")]
+    fn zero_block_payload_rejected() {
+        let _ = MpfConfig::new(1, 1).with_block_payload(0);
+    }
+}

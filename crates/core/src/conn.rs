@@ -1,0 +1,160 @@
+//! Connection descriptors.
+//!
+//! §3.1: "The LNVC connections are represented by send descriptors and
+//! receive descriptors, which contain the process identifier of the
+//! connected process.  BROADCAST receive processes have an additional
+//! descriptor field used for individual FIFO head pointers.  Like message
+//! blocks, LNVC, send, and receive descriptors are linked into free lists
+//! when not in use."
+//!
+//! All fields are read and written under the owning LNVC's lock.
+
+use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
+
+use mpf_shm::idxstack::NIL;
+
+use crate::types::Protocol;
+
+/// A send connection: one process's open sending attachment to an LNVC.
+#[derive(Debug)]
+pub struct SendConn {
+    /// Raw process id (`ProcessId::raw`); 0 when the slot is free.
+    pid: AtomicU32,
+    /// Next send descriptor on the LNVC's list.
+    next: AtomicU32,
+}
+
+impl Default for SendConn {
+    fn default() -> Self {
+        Self {
+            pid: AtomicU32::new(0),
+            next: AtomicU32::new(NIL),
+        }
+    }
+}
+
+impl SendConn {
+    /// Initializes a freshly allocated descriptor.
+    pub fn reset(&self, pid_raw: u32, next: u32) {
+        self.pid.store(pid_raw, Ordering::Relaxed);
+        self.next.store(next, Ordering::Relaxed);
+    }
+
+    /// Raw process id of the connected process.
+    pub fn pid_raw(&self) -> u32 {
+        self.pid.load(Ordering::Relaxed)
+    }
+
+    /// Next descriptor on the list.
+    pub fn next(&self) -> u32 {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// Relinks the list tail.
+    pub fn set_next(&self, next: u32) {
+        self.next.store(next, Ordering::Relaxed);
+    }
+}
+
+/// A receive connection, carrying the declared protocol and — for
+/// BROADCAST — the receiver's individual FIFO head pointer.
+#[derive(Debug)]
+pub struct RecvConn {
+    /// Raw process id; 0 when the slot is free.
+    pid: AtomicU32,
+    /// Next receive descriptor on the LNVC's list.
+    next: AtomicU32,
+    /// [`Protocol::to_raw`] encoding.
+    protocol: AtomicU8,
+    /// BROADCAST: next unread message for this receiver; `NIL` means "at
+    /// the queue tail" (the receiver has read everything sent so far).
+    /// Unused for FCFS (those share the LNVC's head pointer, Figure 2).
+    head: AtomicU32,
+}
+
+impl Default for RecvConn {
+    fn default() -> Self {
+        Self {
+            pid: AtomicU32::new(0),
+            next: AtomicU32::new(NIL),
+            protocol: AtomicU8::new(0),
+            head: AtomicU32::new(NIL),
+        }
+    }
+}
+
+impl RecvConn {
+    /// Initializes a freshly allocated descriptor.  Broadcast receivers
+    /// start "at the tail": they see only messages sent after they join.
+    pub fn reset(&self, pid_raw: u32, protocol: Protocol, next: u32) {
+        self.pid.store(pid_raw, Ordering::Relaxed);
+        self.next.store(next, Ordering::Relaxed);
+        self.protocol.store(protocol.to_raw(), Ordering::Relaxed);
+        self.head.store(NIL, Ordering::Relaxed);
+    }
+
+    /// Raw process id of the connected process.
+    pub fn pid_raw(&self) -> u32 {
+        self.pid.load(Ordering::Relaxed)
+    }
+
+    /// Next descriptor on the list.
+    pub fn next(&self) -> u32 {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// Relinks the list tail.
+    pub fn set_next(&self, next: u32) {
+        self.next.store(next, Ordering::Relaxed);
+    }
+
+    /// The declared protocol.
+    pub fn protocol(&self) -> Protocol {
+        Protocol::from_raw(self.protocol.load(Ordering::Relaxed))
+            .expect("descriptor holds a valid protocol")
+    }
+
+    /// This broadcast receiver's next unread message (`NIL` = at tail).
+    pub fn head(&self) -> u32 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Advances this broadcast receiver's head.
+    pub fn set_head(&self, head: u32) {
+        self.head.store(head, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_conn_reset_and_fields() {
+        let c = SendConn::default();
+        c.reset(7, 3);
+        assert_eq!(c.pid_raw(), 7);
+        assert_eq!(c.next(), 3);
+        c.set_next(NIL);
+        assert_eq!(c.next(), NIL);
+    }
+
+    #[test]
+    fn recv_conn_starts_at_tail() {
+        let c = RecvConn::default();
+        c.set_head(5);
+        c.reset(9, Protocol::Broadcast, NIL);
+        assert_eq!(c.pid_raw(), 9);
+        assert_eq!(c.protocol(), Protocol::Broadcast);
+        assert_eq!(c.head(), NIL, "new broadcast receivers join at the tail");
+    }
+
+    #[test]
+    fn recv_conn_protocol_roundtrip() {
+        let c = RecvConn::default();
+        c.reset(1, Protocol::Fcfs, NIL);
+        assert_eq!(c.protocol(), Protocol::Fcfs);
+        c.reset(1, Protocol::Broadcast, NIL);
+        assert_eq!(c.protocol(), Protocol::Broadcast);
+    }
+}

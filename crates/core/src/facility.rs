@@ -1,0 +1,1152 @@
+//! The MPF facility: the paper's eight programming primitives.
+//!
+//! Locking discipline (deadlock freedom):
+//!
+//! 1. `open_*`/`close_*` take the **registry lock first**, then the LNVC
+//!    descriptor lock, so name resolution and conversation lifetime can
+//!    never disagree.
+//! 2. `message_send`/`message_receive`/`check_receive` take only the
+//!    descriptor lock (identified by index from the [`LnvcId`]), keeping
+//!    the global lock off the data path.
+//! 3. Pool free lists are lock-free; wait-queue tickets are taken while
+//!    the descriptor lock is held, so wakeups are never lost.
+//!
+//! Payload copies happen **outside** the descriptor lock: a sender fills
+//! its block chain before linking it; a receiver pins the message
+//! ([`crate::message::MsgSlot::begin_copy`]), drops the lock, copies, then
+//! re-locks to finish delivery bookkeeping.  This is what lets multiple
+//! BROADCAST receivers copy one message concurrently — the effect behind
+//! the paper's Figure 5.
+
+use mpf_shm::idxstack::NIL;
+use mpf_shm::pool::Pool;
+use mpf_shm::process::ProcessId;
+use mpf_shm::waitq::WaitQueue;
+
+use crate::block::BlockPool;
+use crate::config::{ExhaustPolicy, MpfConfig};
+use crate::conn::{RecvConn, SendConn};
+use crate::error::{MpfError, Result};
+use crate::lnvc::{Ctx, LnvcSlot};
+use crate::message::MsgSlot;
+use crate::registry::Registry;
+use crate::stats::MpfStats;
+use crate::trace::{EventKind, TraceLog, Tracer, NO_STAMP};
+use crate::types::{LnvcId, LnvcName, Protocol, MAX_LNVC_INDEX};
+
+/// The message passing facility.  One instance is one shared region;
+/// share it among "processes" with `Arc` or scoped borrows.
+#[derive(Debug)]
+pub struct Mpf {
+    cfg: MpfConfig,
+    lnvcs: Pool<LnvcSlot>,
+    msgs: Pool<MsgSlot>,
+    blocks: BlockPool,
+    sends: Pool<SendConn>,
+    recvs: Pool<RecvConn>,
+    registry: Registry,
+    /// Senders blocked on region exhaustion wait here (flow control).
+    mem_waitq: WaitQueue,
+    stats: MpfStats,
+    tracer: Option<Tracer>,
+}
+
+impl Mpf {
+    /// The paper's `init()`: allocates the shared region — every pool and
+    /// free list — and returns the facility.
+    pub fn init(cfg: MpfConfig) -> Result<Self> {
+        if cfg.max_lnvcs == 0 || cfg.max_lnvcs > MAX_LNVC_INDEX + 1 || cfg.max_processes == 0 {
+            return Err(MpfError::BadInit);
+        }
+        let lock_kind = cfg.lock_kind;
+        Ok(Self {
+            lnvcs: Pool::new_with(cfg.max_lnvcs, |_| LnvcSlot::new(lock_kind)),
+            msgs: Pool::new(cfg.max_messages),
+            blocks: BlockPool::new(cfg.total_blocks, cfg.block_payload),
+            sends: Pool::new(cfg.max_send_conns),
+            recvs: Pool::new(cfg.max_recv_conns),
+            registry: Registry::new(cfg.max_lnvcs as usize),
+            mem_waitq: WaitQueue::new(),
+            stats: MpfStats::default(),
+            tracer: (cfg.trace_capacity > 0).then(|| Tracer::new(cfg.trace_capacity)),
+            cfg,
+        })
+    }
+
+    /// The configuration this facility was initialized with.
+    pub fn config(&self) -> &MpfConfig {
+        &self.cfg
+    }
+
+    /// The shared-region memory map implied by the configuration (what a
+    /// literal one-`mmap` port would carve; see [`crate::layout`]).
+    pub fn region_layout(&self) -> crate::layout::RegionLayout {
+        crate::layout::RegionLayout::for_config(&self.cfg)
+    }
+
+    /// Live instrumentation counters.
+    pub fn stats(&self) -> &MpfStats {
+        &self.stats
+    }
+
+    /// Drains the event trace, if tracing was enabled at `init`.
+    pub fn take_trace(&self) -> Option<TraceLog> {
+        self.tracer.as_ref().map(Tracer::take_log)
+    }
+
+    /// Trace events dropped by the capacity bound so far.
+    pub fn trace_dropped(&self) -> u64 {
+        self.tracer.as_ref().map_or(0, Tracer::dropped)
+    }
+
+    #[inline]
+    fn trace(&self, pid: ProcessId, kind: EventKind, lnvc: u32, len: usize, stamp: u64) {
+        if let Some(t) = &self.tracer {
+            t.record(pid.raw(), kind, lnvc, len, stamp);
+        }
+    }
+
+    /// Number of currently existing conversations.
+    pub fn live_lnvcs(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// Approximate free message blocks (diagnostic / flow-control hints).
+    pub fn free_blocks(&self) -> u32 {
+        self.blocks.available()
+    }
+
+    fn check_pid(&self, pid: ProcessId) -> Result<()> {
+        if pid.index() < self.cfg.max_processes as usize {
+            Ok(())
+        } else {
+            Err(MpfError::InvalidProcess)
+        }
+    }
+
+    fn ctx<'a>(&'a self, lnvc: &'a LnvcSlot) -> Ctx<'a> {
+        Ctx {
+            lnvc,
+            msgs: &self.msgs,
+            blocks: &self.blocks,
+            sends: &self.sends,
+            recvs: &self.recvs,
+        }
+    }
+
+    /// Resolves an id to its slot, without liveness validation (that
+    /// happens under the descriptor lock via [`Self::validate`]).
+    fn slot(&self, id: LnvcId) -> Result<&LnvcSlot> {
+        if id.index() < self.lnvcs.capacity() {
+            Ok(self.lnvcs.get(id.index()))
+        } else {
+            Err(MpfError::UnknownLnvc)
+        }
+    }
+
+    /// Liveness + generation check; call with the descriptor lock held.
+    fn validate(slot: &LnvcSlot, id: LnvcId) -> Result<()> {
+        if slot.is_active() && id.matches_generation(slot.generation()) {
+            Ok(())
+        } else {
+            Err(MpfError::UnknownLnvc)
+        }
+    }
+
+    /// Looks up `name`, creating the conversation if absent (both
+    /// `open_send` and `open_receive` create on first use, §2).  Returns
+    /// `(index, created)`.  Caller holds the registry lock.
+    fn find_or_create(
+        &self,
+        reg: &mut std::collections::HashMap<LnvcName, u32>,
+        name: LnvcName,
+    ) -> Result<(u32, bool)> {
+        if let Some(&idx) = reg.get(&name) {
+            return Ok((idx, false));
+        }
+        let Some(idx) = self.lnvcs.alloc() else {
+            return Err(MpfError::LnvcsExhausted);
+        };
+        self.lnvcs.get(idx).activate();
+        reg.insert(name, idx);
+        self.stats.lnvcs_created.inc();
+        Ok((idx, true))
+    }
+
+    /// Rolls back a just-created conversation after a failed open.
+    fn rollback_create(
+        &self,
+        reg: &mut std::collections::HashMap<LnvcName, u32>,
+        name: LnvcName,
+        idx: u32,
+    ) {
+        reg.remove(&name);
+        let slot = self.lnvcs.get(idx);
+        slot.deactivate();
+        self.lnvcs.free(idx);
+        self.stats.lnvcs_deleted.inc();
+    }
+
+    /// `open_send(process_id, lnvc_name)`: establishes a send connection,
+    /// creating the conversation if needed.  Returns MPF's internal LNVC
+    /// identifier for use in `message_send` and `close_send`.
+    pub fn open_send(&self, pid: ProcessId, name: &str) -> Result<LnvcId> {
+        self.check_pid(pid)?;
+        let name = LnvcName::new(name)?;
+        let mut reg = self.registry.lock();
+        let (idx, created) = self.find_or_create(&mut reg, name)?;
+        let slot = self.lnvcs.get(idx);
+        let result = (|| {
+            let _guard = slot.lock.lock();
+            let ctx = self.ctx(slot);
+            if ctx.find_send(pid).is_some() {
+                return Err(MpfError::AlreadyConnected);
+            }
+            let Some(conn) = self.sends.alloc() else {
+                return Err(MpfError::ConnectionsExhausted);
+            };
+            self.sends.get(conn).reset(pid.raw(), NIL);
+            ctx.link_send(conn);
+            Ok(LnvcId::from_parts(idx, slot.generation()))
+        })();
+        if result.is_err() && created {
+            self.rollback_create(&mut reg, name, idx);
+        }
+        if result.is_ok() {
+            self.trace(pid, EventKind::OpenSend, idx, 0, NO_STAMP);
+        }
+        result
+    }
+
+    /// `open_receive(process_id, lnvc_name, protocol)`: establishes a
+    /// receive connection with the given protocol, creating the
+    /// conversation if needed.
+    ///
+    /// Per the paper's footnote 3, one process cannot hold both FCFS and
+    /// BROADCAST receive connections on an LNVC — a second `open_receive`
+    /// by the same process fails (with [`MpfError::ProtocolConflict`] if
+    /// the protocols differ, [`MpfError::AlreadyConnected`] otherwise).
+    pub fn open_receive(&self, pid: ProcessId, name: &str, protocol: Protocol) -> Result<LnvcId> {
+        self.check_pid(pid)?;
+        let name = LnvcName::new(name)?;
+        let mut reg = self.registry.lock();
+        let (idx, created) = self.find_or_create(&mut reg, name)?;
+        let slot = self.lnvcs.get(idx);
+        let result = (|| {
+            let _guard = slot.lock.lock();
+            let ctx = self.ctx(slot);
+            if let Some(existing) = ctx.find_recv(pid) {
+                return Err(if self.recvs.get(existing).protocol() != protocol {
+                    MpfError::ProtocolConflict
+                } else {
+                    MpfError::AlreadyConnected
+                });
+            }
+            let Some(conn) = self.recvs.alloc() else {
+                return Err(MpfError::ConnectionsExhausted);
+            };
+            self.recvs.get(conn).reset(pid.raw(), protocol, NIL);
+            ctx.link_recv(conn, protocol);
+            Ok(LnvcId::from_parts(idx, slot.generation()))
+        })();
+        if result.is_err() && created {
+            self.rollback_create(&mut reg, name, idx);
+        }
+        if result.is_ok() {
+            self.trace(pid, EventKind::OpenRecv, idx, 0, NO_STAMP);
+        }
+        result
+    }
+
+    /// Deletes the conversation once its last connection closes: "the LNVC
+    /// is deleted and all unread messages are discarded" (§2).  Caller
+    /// holds the registry lock and the descriptor lock.
+    fn maybe_delete(
+        &self,
+        reg: &mut std::collections::HashMap<LnvcName, u32>,
+        idx: u32,
+        slot: &LnvcSlot,
+    ) -> bool {
+        if slot.total_connections() > 0 {
+            return false;
+        }
+        let ctx = self.ctx(slot);
+        ctx.discard_all_messages();
+        reg.retain(|_, &mut v| v != idx);
+        slot.deactivate();
+        self.lnvcs.free(idx);
+        self.stats.lnvcs_deleted.inc();
+        true
+    }
+
+    /// `close_send(process_id, lnvc_id)`: removes the process's send
+    /// connection.
+    pub fn close_send(&self, pid: ProcessId, id: LnvcId) -> Result<()> {
+        self.check_pid(pid)?;
+        let mut reg = self.registry.lock();
+        let slot = self.slot(id)?;
+        {
+            let _guard = slot.lock.lock();
+            Self::validate(slot, id)?;
+            let ctx = self.ctx(slot);
+            let conn = ctx.unlink_send(pid).ok_or(MpfError::NotConnected)?;
+            self.sends.free(conn);
+            self.maybe_delete(&mut reg, id.index(), slot);
+        }
+        drop(reg);
+        // Wake receivers so any blocked on a now-deleted conversation can
+        // observe UnknownLnvc; wake memory waiters (messages may be freed).
+        slot.waitq.notify_all();
+        self.mem_waitq.notify_all();
+        self.trace(pid, EventKind::CloseSend, id.index(), 0, NO_STAMP);
+        Ok(())
+    }
+
+    /// `close_receive(process_id, lnvc_id)`: removes the process's receive
+    /// connection.  For a BROADCAST receiver with unread messages this
+    /// performs the paper's §3.2 sweep, releasing the receiver's claim on
+    /// every message from its head pointer to the tail.
+    pub fn close_receive(&self, pid: ProcessId, id: LnvcId) -> Result<()> {
+        self.check_pid(pid)?;
+        let mut reg = self.registry.lock();
+        let slot = self.slot(id)?;
+        let mut reclaimed = 0;
+        {
+            let _guard = slot.lock.lock();
+            Self::validate(slot, id)?;
+            let ctx = self.ctx(slot);
+            let (conn, protocol, head) = ctx.unlink_recv(pid).ok_or(MpfError::NotConnected)?;
+            self.recvs.free(conn);
+            if protocol == Protocol::Broadcast && head != NIL {
+                reclaimed = ctx.release_bcast_claims(head);
+            }
+            self.maybe_delete(&mut reg, id.index(), slot);
+        }
+        drop(reg);
+        if reclaimed > 0 {
+            self.stats.reclaims.add(reclaimed as u64);
+        }
+        slot.waitq.notify_all();
+        self.mem_waitq.notify_all();
+        self.trace(pid, EventKind::CloseRecv, id.index(), 0, NO_STAMP);
+        Ok(())
+    }
+
+    /// Allocates a header and a populated block chain, honouring the
+    /// exhaustion policy.  Returns `(msg_idx, chain)`.
+    fn alloc_message(&self, buf: &[u8]) -> Result<(u32, crate::block::Chain)> {
+        loop {
+            let ticket = self.mem_waitq.ticket();
+            match self.blocks.alloc_chain(buf) {
+                Ok(chain) => match self.msgs.alloc() {
+                    Some(msg) => return Ok((msg, chain)),
+                    None => {
+                        // Release the chain before waiting: holding blocks
+                        // while blocked on headers could deadlock the
+                        // region.
+                        self.blocks.free_chain(chain);
+                        if self.cfg.exhaust_policy == ExhaustPolicy::Error {
+                            return Err(MpfError::MessagesExhausted);
+                        }
+                        self.stats.send_waits.inc();
+                        self.mem_waitq.wait(ticket, self.cfg.wait_strategy);
+                    }
+                },
+                Err(MpfError::BlocksExhausted)
+                    if self.cfg.exhaust_policy == ExhaustPolicy::Wait =>
+                {
+                    self.stats.send_waits.inc();
+                    self.mem_waitq.wait(ticket, self.cfg.wait_strategy);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// `message_send(process_id, lnvc_id, send_buffer, buffer_length)`:
+    /// asynchronous send.  The payload is copied into linked message
+    /// blocks *before* the descriptor lock is taken, then the message is
+    /// linked at the FIFO tail and waiting receivers are woken.
+    pub fn message_send(&self, pid: ProcessId, id: LnvcId, buf: &[u8]) -> Result<()> {
+        self.check_pid(pid)?;
+        let slot = self.slot(id)?;
+        // Cheap stale-id rejection before paying for allocation; the
+        // authoritative check repeats under the lock.
+        Self::validate(slot, id)?;
+        let (msg_idx, chain) = self.alloc_message(buf)?;
+        {
+            let _guard = slot.lock.lock();
+            let ctx = self.ctx(slot);
+            let valid = Self::validate(slot, id)
+                .and_then(|()| ctx.find_send(pid).map(|_| ()).ok_or(MpfError::NotConnected));
+            if let Err(e) = valid {
+                drop(_guard);
+                self.blocks.free_chain(chain);
+                self.msgs.free(msg_idx);
+                self.mem_waitq.notify_all();
+                return Err(e);
+            }
+            let stamp = ctx.enqueue(msg_idx, buf.len(), chain);
+            drop(_guard);
+            self.trace(pid, EventKind::Send, id.index(), buf.len(), stamp);
+        }
+        slot.waitq.notify_all();
+        self.stats.sends.inc();
+        self.stats.bytes_in.add(buf.len() as u64);
+        Ok(())
+    }
+
+    /// Core receive step.  With the descriptor locked, finds the next
+    /// message for `pid` (per its protocol), copies it out with the lock
+    /// *dropped*, completes delivery bookkeeping, and reclaims.  Returns
+    /// `Ok(Some(len))`, `Ok(None)` for "nothing available", or an error.
+    fn recv_once(&self, pid: ProcessId, id: LnvcId, buf: &mut [u8]) -> Result<Option<usize>> {
+        let slot = self.slot(id)?;
+        let guard = slot.lock.lock();
+        Self::validate(slot, id)?;
+        let ctx = self.ctx(slot);
+        let Some(conn_idx) = ctx.find_recv(pid) else {
+            return Err(MpfError::NotConnected);
+        };
+        let conn = self.recvs.get(conn_idx);
+        let protocol = conn.protocol();
+        let found = match protocol {
+            Protocol::Fcfs => ctx.fcfs_peek(),
+            Protocol::Broadcast => {
+                let h = conn.head();
+                (h != NIL).then_some(h)
+            }
+        };
+        let Some(msg_idx) = found else {
+            return Ok(None);
+        };
+        let msg = self.msgs.get(msg_idx);
+        let len = msg.len();
+        if buf.len() < len {
+            // Message is left queued (not consumed).
+            return Err(MpfError::BufferTooSmall { needed: len });
+        }
+        match protocol {
+            Protocol::Fcfs => msg.set_fcfs_taken(),
+            Protocol::Broadcast => conn.set_head(msg.next()),
+        }
+        msg.begin_copy();
+        let head_block = msg.head_block();
+        let stamp = msg.stamp();
+        drop(guard);
+
+        self.blocks.read_chain(head_block, len, &mut buf[..len]);
+        msg.end_copy();
+
+        let _guard = slot.lock.lock();
+        if protocol == Protocol::Broadcast {
+            msg.dec_bcast_pending();
+        }
+        let ctx = self.ctx(slot);
+        let freed = ctx.reclaim_prefix();
+        drop(_guard);
+        if freed > 0 {
+            self.stats.reclaims.add(freed as u64);
+            self.mem_waitq.notify_all();
+        }
+        self.stats.receives.inc();
+        self.stats.bytes_out.add(len as u64);
+        self.trace(pid, EventKind::Recv, id.index(), len, stamp);
+        Ok(Some(len))
+    }
+
+    /// `message_receive(process_id, lnvc_id, receive_buffer,
+    /// buffer_length)`: blocking receive.  Returns the number of bytes
+    /// transferred ("buffer_length is set to the number of bytes
+    /// transferred").
+    pub fn message_receive(&self, pid: ProcessId, id: LnvcId, buf: &mut [u8]) -> Result<usize> {
+        self.check_pid(pid)?;
+        loop {
+            // Ticket before the check: a send between our check and our
+            // wait bumps the sequence and the wait returns immediately.
+            let slot = self.slot(id)?;
+            let ticket = slot.waitq.ticket();
+            if let Some(len) = self.recv_once(pid, id, buf)? {
+                return Ok(len);
+            }
+            self.stats.recv_waits.inc();
+            self.trace(pid, EventKind::RecvBlocked, id.index(), 0, NO_STAMP);
+            slot.waitq.wait(ticket, self.cfg.wait_strategy);
+        }
+    }
+
+    /// Non-blocking variant of [`Self::message_receive`]; `Ok(None)` when
+    /// no message is available.
+    pub fn try_message_receive(
+        &self,
+        pid: ProcessId,
+        id: LnvcId,
+        buf: &mut [u8],
+    ) -> Result<Option<usize>> {
+        self.check_pid(pid)?;
+        self.recv_once(pid, id, buf)
+    }
+
+    /// Zero-copy blocking receive: the next message's payload is visited
+    /// as a sequence of block-sized slices, borrowed straight from the
+    /// shared region, with no intermediate copy into a user buffer —
+    /// the paper's §5 "direct data transfer" idea applied to the receive
+    /// side.  Returns the message length.
+    ///
+    /// The message is consumed exactly as by [`Self::message_receive`];
+    /// the visitor runs outside the descriptor lock (the message is
+    /// pinned), so other receivers proceed concurrently.
+    pub fn message_receive_scan(
+        &self,
+        pid: ProcessId,
+        id: LnvcId,
+        mut visit: impl FnMut(&[u8]),
+    ) -> Result<usize> {
+        self.check_pid(pid)?;
+        loop {
+            let slot = self.slot(id)?;
+            let ticket = slot.waitq.ticket();
+            let guard = slot.lock.lock();
+            Self::validate(slot, id)?;
+            let ctx = self.ctx(slot);
+            let Some(conn_idx) = ctx.find_recv(pid) else {
+                return Err(MpfError::NotConnected);
+            };
+            let conn = self.recvs.get(conn_idx);
+            let protocol = conn.protocol();
+            let found = match protocol {
+                Protocol::Fcfs => ctx.fcfs_peek(),
+                Protocol::Broadcast => {
+                    let h = conn.head();
+                    (h != NIL).then_some(h)
+                }
+            };
+            let Some(msg_idx) = found else {
+                drop(guard);
+                self.stats.recv_waits.inc();
+                self.trace(pid, EventKind::RecvBlocked, id.index(), 0, NO_STAMP);
+                slot.waitq.wait(ticket, self.cfg.wait_strategy);
+                continue;
+            };
+            let msg = self.msgs.get(msg_idx);
+            let len = msg.len();
+            match protocol {
+                Protocol::Fcfs => msg.set_fcfs_taken(),
+                Protocol::Broadcast => conn.set_head(msg.next()),
+            }
+            msg.begin_copy();
+            let head_block = msg.head_block();
+            let stamp = msg.stamp();
+            drop(guard);
+
+            // SAFETY: the message is published and pinned; blocks of a
+            // published message are never written, and reclamation skips
+            // pinned messages.
+            unsafe { self.blocks.scan_chain(head_block, len, &mut visit) };
+            msg.end_copy();
+
+            let _guard = slot.lock.lock();
+            if protocol == Protocol::Broadcast {
+                msg.dec_bcast_pending();
+            }
+            let ctx = self.ctx(slot);
+            let freed = ctx.reclaim_prefix();
+            drop(_guard);
+            if freed > 0 {
+                self.stats.reclaims.add(freed as u64);
+                self.mem_waitq.notify_all();
+            }
+            self.stats.receives.inc();
+            self.stats.bytes_out.add(len as u64);
+            self.trace(pid, EventKind::Recv, id.index(), len, stamp);
+            return Ok(len);
+        }
+    }
+
+    /// Blocking receive into a freshly sized `Vec` (convenience; not in
+    /// the paper's C interface).
+    pub fn message_receive_vec(&self, pid: ProcessId, id: LnvcId) -> Result<Vec<u8>> {
+        self.check_pid(pid)?;
+        let mut buf = Vec::new();
+        loop {
+            let slot = self.slot(id)?;
+            let ticket = slot.waitq.ticket();
+            match self.pending_len(pid, id)? {
+                Some(len) => {
+                    buf.resize(len.max(1), 0);
+                    match self.recv_once(pid, id, &mut buf) {
+                        Ok(Some(n)) => {
+                            buf.truncate(n);
+                            return Ok(buf);
+                        }
+                        // Another FCFS receiver raced us to it, or a
+                        // longer message is now at the head; retry.
+                        Ok(None) | Err(MpfError::BufferTooSmall { .. }) => continue,
+                        Err(e) => return Err(e),
+                    }
+                }
+                None => {
+                    self.stats.recv_waits.inc();
+                    slot.waitq.wait(ticket, self.cfg.wait_strategy);
+                }
+            }
+        }
+    }
+
+    /// Length of the next message `pid` would receive, if any.
+    fn pending_len(&self, pid: ProcessId, id: LnvcId) -> Result<Option<usize>> {
+        let slot = self.slot(id)?;
+        let _guard = slot.lock.lock();
+        Self::validate(slot, id)?;
+        let ctx = self.ctx(slot);
+        let Some(conn_idx) = ctx.find_recv(pid) else {
+            return Err(MpfError::NotConnected);
+        };
+        let conn = self.recvs.get(conn_idx);
+        let found = match conn.protocol() {
+            Protocol::Fcfs => ctx.fcfs_peek(),
+            Protocol::Broadcast => {
+                let h = conn.head();
+                (h != NIL).then_some(h)
+            }
+        };
+        Ok(found.map(|m| self.msgs.get(m).len()))
+    }
+
+    /// `check_receive(process_id, lnvc_id)`: true if a message is waiting
+    /// for this process.  For BROADCAST the message is then guaranteed to
+    /// be present at the next `message_receive`; for FCFS another receiver
+    /// may still take it first (the paper's §2 caution).
+    pub fn check_receive(&self, pid: ProcessId, id: LnvcId) -> Result<bool> {
+        self.check_pid(pid)?;
+        let present = self.pending_len(pid, id)?.is_some();
+        self.trace(pid, EventKind::Check, id.index(), 0, NO_STAMP);
+        Ok(present)
+    }
+
+    /// Polls several conversations; returns the first (in argument order)
+    /// with a message waiting for `pid`.  The FCFS caveat of
+    /// [`Self::check_receive`] applies per conversation.
+    pub fn check_any(&self, pid: ProcessId, ids: &[LnvcId]) -> Result<Option<LnvcId>> {
+        self.check_pid(pid)?;
+        for &id in ids {
+            if self.pending_len(pid, id)?.is_some() {
+                return Ok(Some(id));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Blocks until one of the conversations has a message for `pid`;
+    /// returns which.  Not a paper primitive — 1987 programs built
+    /// exactly this select loop out of `check_receive` (the SOR solver's
+    /// monitor is the use case), so it polls with backoff rather than
+    /// multiplexing wait queues.
+    pub fn wait_any(&self, pid: ProcessId, ids: &[LnvcId]) -> Result<LnvcId> {
+        let mut backoff = mpf_shm::backoff::Backoff::new();
+        loop {
+            if let Some(id) = self.check_any(pid, ids)? {
+                return Ok(id);
+            }
+            backoff.snooze();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn facility() -> Mpf {
+        Mpf::init(
+            MpfConfig::new(8, 8)
+                .with_total_blocks(256)
+                .with_max_messages(64),
+        )
+        .unwrap()
+    }
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::from_index(i)
+    }
+
+    #[test]
+    fn loopback_send_receive() {
+        // The paper's `base` benchmark shape: one process, loop-back LNVC.
+        let mpf = facility();
+        let tx = mpf.open_send(p(0), "loop").unwrap();
+        let rx = mpf.open_receive(p(0), "loop", Protocol::Fcfs).unwrap();
+        assert_eq!(tx, rx, "same conversation, same id");
+        mpf.message_send(p(0), tx, b"ping").unwrap();
+        let mut buf = [0u8; 16];
+        assert_eq!(mpf.message_receive(p(0), rx, &mut buf).unwrap(), 4);
+        assert_eq!(&buf[..4], b"ping");
+    }
+
+    #[test]
+    fn open_creates_close_deletes() {
+        let mpf = facility();
+        assert_eq!(mpf.live_lnvcs(), 0);
+        let id = mpf.open_send(p(0), "chat").unwrap();
+        assert_eq!(mpf.live_lnvcs(), 1);
+        mpf.close_send(p(0), id).unwrap();
+        assert_eq!(mpf.live_lnvcs(), 0);
+        // Stale id now rejected.
+        assert_eq!(
+            mpf.message_send(p(0), id, b"x").unwrap_err(),
+            MpfError::UnknownLnvc
+        );
+    }
+
+    #[test]
+    fn unread_messages_discarded_on_delete() {
+        let mpf = facility();
+        let id = mpf.open_send(p(0), "chat").unwrap();
+        mpf.message_send(p(0), id, &[1u8; 100]).unwrap();
+        let before = mpf.free_blocks();
+        assert!(before < 256);
+        mpf.close_send(p(0), id).unwrap();
+        assert_eq!(mpf.free_blocks(), 256, "deletion frees all blocks");
+    }
+
+    #[test]
+    fn fcfs_delivers_each_message_once() {
+        let mpf = facility();
+        let tx = mpf.open_send(p(0), "q").unwrap();
+        let r1 = mpf.open_receive(p(1), "q", Protocol::Fcfs).unwrap();
+        let r2 = mpf.open_receive(p(2), "q", Protocol::Fcfs).unwrap();
+        mpf.message_send(p(0), tx, b"a").unwrap();
+        mpf.message_send(p(0), tx, b"b").unwrap();
+        let mut buf = [0u8; 4];
+        let n1 = mpf.message_receive(p(1), r1, &mut buf).unwrap();
+        let first = buf[..n1].to_vec();
+        let n2 = mpf.message_receive(p(2), r2, &mut buf).unwrap();
+        let second = buf[..n2].to_vec();
+        let mut got = vec![first, second];
+        got.sort();
+        assert_eq!(got, vec![b"a".to_vec(), b"b".to_vec()]);
+        assert!(!mpf.check_receive(p(1), r1).unwrap());
+    }
+
+    #[test]
+    fn broadcast_delivers_to_all() {
+        let mpf = facility();
+        let tx = mpf.open_send(p(0), "news").unwrap();
+        let r1 = mpf.open_receive(p(1), "news", Protocol::Broadcast).unwrap();
+        let r2 = mpf.open_receive(p(2), "news", Protocol::Broadcast).unwrap();
+        mpf.message_send(p(0), tx, b"extra extra").unwrap();
+        for (pid, rx) in [(p(1), r1), (p(2), r2)] {
+            let v = mpf.message_receive_vec(pid, rx).unwrap();
+            assert_eq!(v, b"extra extra");
+        }
+        // Fully consumed: blocks back on the free list.
+        assert_eq!(mpf.free_blocks(), 256);
+    }
+
+    #[test]
+    fn mixed_protocols_fan_out_correctly() {
+        let mpf = facility();
+        let tx = mpf.open_send(p(0), "mix").unwrap();
+        let rf = mpf.open_receive(p(1), "mix", Protocol::Fcfs).unwrap();
+        let rb1 = mpf.open_receive(p(2), "mix", Protocol::Broadcast).unwrap();
+        let rb2 = mpf.open_receive(p(3), "mix", Protocol::Broadcast).unwrap();
+        mpf.message_send(p(0), tx, b"both").unwrap();
+        assert_eq!(mpf.message_receive_vec(p(1), rf).unwrap(), b"both");
+        assert_eq!(mpf.message_receive_vec(p(2), rb1).unwrap(), b"both");
+        assert_eq!(mpf.message_receive_vec(p(3), rb2).unwrap(), b"both");
+        assert!(!mpf.check_receive(p(1), rf).unwrap());
+    }
+
+    #[test]
+    fn check_receive_semantics() {
+        let mpf = facility();
+        let tx = mpf.open_send(p(0), "c").unwrap();
+        let rx = mpf.open_receive(p(1), "c", Protocol::Broadcast).unwrap();
+        assert!(!mpf.check_receive(p(1), rx).unwrap());
+        mpf.message_send(p(0), tx, b"x").unwrap();
+        assert!(mpf.check_receive(p(1), rx).unwrap());
+    }
+
+    #[test]
+    fn buffer_too_small_leaves_message_queued() {
+        let mpf = facility();
+        let tx = mpf.open_send(p(0), "big").unwrap();
+        let rx = mpf.open_receive(p(1), "big", Protocol::Fcfs).unwrap();
+        mpf.message_send(p(0), tx, &[7u8; 100]).unwrap();
+        let mut small = [0u8; 10];
+        assert_eq!(
+            mpf.try_message_receive(p(1), rx, &mut small).unwrap_err(),
+            MpfError::BufferTooSmall { needed: 100 }
+        );
+        // Still there; a big enough buffer gets it.
+        let v = mpf.message_receive_vec(p(1), rx).unwrap();
+        assert_eq!(v.len(), 100);
+    }
+
+    #[test]
+    fn double_open_rules() {
+        let mpf = facility();
+        let _tx = mpf.open_send(p(0), "dup").unwrap();
+        assert_eq!(
+            mpf.open_send(p(0), "dup").unwrap_err(),
+            MpfError::AlreadyConnected
+        );
+        let _rx = mpf.open_receive(p(0), "dup", Protocol::Fcfs).unwrap();
+        assert_eq!(
+            mpf.open_receive(p(0), "dup", Protocol::Broadcast)
+                .unwrap_err(),
+            MpfError::ProtocolConflict,
+            "paper footnote 3: no process may use both protocols"
+        );
+        assert_eq!(
+            mpf.open_receive(p(0), "dup", Protocol::Fcfs).unwrap_err(),
+            MpfError::AlreadyConnected
+        );
+    }
+
+    #[test]
+    fn send_without_connection_rejected() {
+        let mpf = facility();
+        let tx = mpf.open_send(p(0), "only-mine").unwrap();
+        assert_eq!(
+            mpf.message_send(p(1), tx, b"x").unwrap_err(),
+            MpfError::NotConnected
+        );
+        let mut buf = [0u8; 4];
+        assert_eq!(
+            mpf.try_message_receive(p(0), tx, &mut buf).unwrap_err(),
+            MpfError::NotConnected
+        );
+    }
+
+    #[test]
+    fn invalid_process_rejected() {
+        let mpf = facility();
+        let too_big = ProcessId::from_index(99);
+        assert_eq!(
+            mpf.open_send(too_big, "x").unwrap_err(),
+            MpfError::InvalidProcess
+        );
+    }
+
+    #[test]
+    fn messages_sent_before_receiver_joins_are_kept_for_fcfs() {
+        // §3.2: messages are lost only at LNVC deletion, not merely because
+        // no receiver was connected at send time.
+        let mpf = facility();
+        let tx = mpf.open_send(p(0), "early").unwrap();
+        mpf.message_send(p(0), tx, b"waiting for you").unwrap();
+        let rx = mpf.open_receive(p(1), "early", Protocol::Fcfs).unwrap();
+        assert_eq!(
+            mpf.message_receive_vec(p(1), rx).unwrap(),
+            b"waiting for you"
+        );
+    }
+
+    #[test]
+    fn late_broadcast_receiver_misses_earlier_messages() {
+        let mpf = facility();
+        let tx = mpf.open_send(p(0), "talk").unwrap();
+        let _r1 = mpf.open_receive(p(1), "talk", Protocol::Broadcast).unwrap();
+        mpf.message_send(p(0), tx, b"before").unwrap();
+        let r2 = mpf.open_receive(p(2), "talk", Protocol::Broadcast).unwrap();
+        assert!(!mpf.check_receive(p(2), r2).unwrap());
+        mpf.message_send(p(0), tx, b"after").unwrap();
+        assert_eq!(mpf.message_receive_vec(p(2), r2).unwrap(), b"after");
+    }
+
+    #[test]
+    fn broadcast_close_with_unread_messages_reclaims() {
+        let mpf = facility();
+        let tx = mpf.open_send(p(0), "v").unwrap();
+        let r1 = mpf.open_receive(p(1), "v", Protocol::Broadcast).unwrap();
+        let r2 = mpf.open_receive(p(2), "v", Protocol::Broadcast).unwrap();
+        for _ in 0..3 {
+            mpf.message_send(p(0), tx, &[1u8; 64]).unwrap();
+        }
+        // r1 reads everything; r2 reads nothing and closes.
+        for _ in 0..3 {
+            mpf.message_receive_vec(p(1), r1).unwrap();
+        }
+        assert!(mpf.free_blocks() < 256, "r2's claims pin the messages");
+        mpf.close_receive(p(2), r2).unwrap();
+        assert_eq!(
+            mpf.free_blocks(),
+            256,
+            "the vexing-problem sweep frees them"
+        );
+    }
+
+    #[test]
+    fn name_reuse_after_delete_is_fresh() {
+        let mpf = facility();
+        let id1 = mpf.open_send(p(0), "temp").unwrap();
+        mpf.message_send(p(0), id1, b"old").unwrap();
+        mpf.close_send(p(0), id1).unwrap();
+        let id2 = mpf.open_receive(p(1), "temp", Protocol::Fcfs).unwrap();
+        assert_ne!(id1, id2);
+        assert!(
+            !mpf.check_receive(p(1), id2).unwrap(),
+            "old message is gone"
+        );
+        assert_eq!(
+            mpf.close_send(p(0), id1).unwrap_err(),
+            MpfError::UnknownLnvc
+        );
+        mpf.close_receive(p(1), id2).unwrap();
+    }
+
+    #[test]
+    fn zero_length_messages_flow() {
+        let mpf = facility();
+        let tx = mpf.open_send(p(0), "z").unwrap();
+        let rx = mpf.open_receive(p(1), "z", Protocol::Fcfs).unwrap();
+        mpf.message_send(p(0), tx, b"").unwrap();
+        let mut buf = [0u8; 1];
+        assert_eq!(mpf.message_receive(p(1), rx, &mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn exhaust_error_policy_reports() {
+        let mpf = Mpf::init(
+            MpfConfig::new(2, 2)
+                .with_total_blocks(4)
+                .with_block_payload(10)
+                .with_exhaust_policy(ExhaustPolicy::Error),
+        )
+        .unwrap();
+        let tx = mpf.open_send(p(0), "full").unwrap();
+        mpf.message_send(p(0), tx, &[0u8; 40]).unwrap();
+        assert_eq!(
+            mpf.message_send(p(0), tx, &[0u8; 10]).unwrap_err(),
+            MpfError::BlocksExhausted
+        );
+        assert_eq!(
+            mpf.message_send(p(0), tx, &[0u8; 1000]).unwrap_err(),
+            MpfError::MessageTooLarge { len: 1000, max: 40 }
+        );
+    }
+
+    #[test]
+    fn flow_control_unblocks_sender() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let mpf = Mpf::init(
+            MpfConfig::new(2, 2)
+                .with_total_blocks(4)
+                .with_block_payload(10),
+        )
+        .unwrap();
+        let tx = mpf.open_send(p(0), "fc").unwrap();
+        let rx = mpf.open_receive(p(1), "fc", Protocol::Fcfs).unwrap();
+        mpf.message_send(p(0), tx, &[1u8; 40]).unwrap(); // region full
+        let sent_second = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                mpf.message_send(p(0), tx, &[2u8; 20]).unwrap(); // blocks
+                sent_second.store(true, Ordering::SeqCst);
+            });
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            assert!(!sent_second.load(Ordering::SeqCst), "sender must block");
+            let v = mpf.message_receive_vec(p(1), rx).unwrap();
+            assert_eq!(v.len(), 40);
+        });
+        assert!(sent_second.load(Ordering::SeqCst));
+        let v = mpf.message_receive_vec(p(1), rx).unwrap();
+        assert_eq!(v, vec![2u8; 20]);
+    }
+
+    #[test]
+    fn blocking_receive_wakes_on_send() {
+        let mpf = facility();
+        let tx = mpf.open_send(p(0), "wake").unwrap();
+        let rx = mpf.open_receive(p(1), "wake", Protocol::Fcfs).unwrap();
+        std::thread::scope(|s| {
+            let h = s.spawn(|| mpf.message_receive_vec(p(1), rx).unwrap());
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            mpf.message_send(p(0), tx, b"good morning").unwrap();
+            assert_eq!(h.join().unwrap(), b"good morning");
+        });
+    }
+
+    #[test]
+    fn stats_track_traffic() {
+        let mpf = facility();
+        let tx = mpf.open_send(p(0), "s").unwrap();
+        let rx = mpf.open_receive(p(1), "s", Protocol::Fcfs).unwrap();
+        mpf.message_send(p(0), tx, &[0u8; 50]).unwrap();
+        mpf.message_receive_vec(p(1), rx).unwrap();
+        let snap = mpf.stats().snapshot();
+        assert_eq!(snap.sends, 1);
+        assert_eq!(snap.receives, 1);
+        assert_eq!(snap.bytes_in, 50);
+        assert_eq!(snap.bytes_out, 50);
+        assert_eq!(snap.lnvcs_created, 1);
+    }
+
+    #[test]
+    fn fifo_order_preserved_for_single_fcfs_receiver() {
+        let mpf = facility();
+        let tx = mpf.open_send(p(0), "fifo").unwrap();
+        let rx = mpf.open_receive(p(1), "fifo", Protocol::Fcfs).unwrap();
+        for i in 0..20u8 {
+            mpf.message_send(p(0), tx, &[i]).unwrap();
+        }
+        for i in 0..20u8 {
+            assert_eq!(mpf.message_receive_vec(p(1), rx).unwrap(), vec![i]);
+        }
+    }
+
+    #[test]
+    fn check_any_and_wait_any_select_across_conversations() {
+        let mpf = facility();
+        let a_tx = mpf.open_send(p(0), "sel:a").unwrap();
+        let b_tx = mpf.open_send(p(0), "sel:b").unwrap();
+        let a_rx = mpf.open_receive(p(1), "sel:a", Protocol::Fcfs).unwrap();
+        let b_rx = mpf.open_receive(p(1), "sel:b", Protocol::Fcfs).unwrap();
+
+        assert_eq!(mpf.check_any(p(1), &[a_rx, b_rx]).unwrap(), None);
+        mpf.message_send(p(0), b_tx, b"second conversation").unwrap();
+        assert_eq!(mpf.check_any(p(1), &[a_rx, b_rx]).unwrap(), Some(b_rx));
+        assert_eq!(mpf.wait_any(p(1), &[a_rx, b_rx]).unwrap(), b_rx);
+
+        // Argument order breaks ties.
+        mpf.message_send(p(0), a_tx, b"first too").unwrap();
+        assert_eq!(mpf.check_any(p(1), &[a_rx, b_rx]).unwrap(), Some(a_rx));
+
+        // A cross-thread wake: wait_any sees a message sent later.
+        let v = mpf.message_receive_vec(p(1), a_rx).unwrap();
+        assert_eq!(v, b"first too");
+        let v = mpf.message_receive_vec(p(1), b_rx).unwrap();
+        assert_eq!(v, b"second conversation");
+        std::thread::scope(|s| {
+            let h = s.spawn(|| mpf.wait_any(p(1), &[a_rx, b_rx]).unwrap());
+            std::thread::sleep(std::time::Duration::from_millis(15));
+            mpf.message_send(p(0), a_tx, b"wake").unwrap();
+            assert_eq!(h.join().unwrap(), a_rx);
+        });
+    }
+
+    #[test]
+    fn zero_copy_scan_sees_block_sized_pieces() {
+        let mpf = Mpf::init(
+            MpfConfig::new(4, 4)
+                .with_block_payload(10)
+                .with_total_blocks(64),
+        )
+        .unwrap();
+        let tx = mpf.open_send(p(0), "scan").unwrap();
+        let rx = mpf.open_receive(p(1), "scan", Protocol::Fcfs).unwrap();
+        let payload: Vec<u8> = (0..35u8).collect();
+        mpf.message_send(p(0), tx, &payload).unwrap();
+        let mut gathered = Vec::new();
+        let mut pieces = 0;
+        let n = mpf
+            .message_receive_scan(p(1), rx, |chunk| {
+                pieces += 1;
+                gathered.extend_from_slice(chunk);
+            })
+            .unwrap();
+        assert_eq!(n, 35);
+        assert_eq!(gathered, payload);
+        assert_eq!(pieces, 4, "35 bytes over 10-byte blocks = 4 pieces");
+        // Consumed: nothing left, blocks reclaimed.
+        assert!(!mpf.check_receive(p(1), rx).unwrap());
+        assert_eq!(mpf.free_blocks(), 64);
+    }
+
+    #[test]
+    fn zero_copy_scan_broadcast_consumes_once_per_receiver() {
+        let mpf = facility();
+        let tx = mpf.open_send(p(0), "scanb").unwrap();
+        let r1 = mpf
+            .open_receive(p(1), "scanb", Protocol::Broadcast)
+            .unwrap();
+        let r2 = mpf
+            .open_receive(p(2), "scanb", Protocol::Broadcast)
+            .unwrap();
+        mpf.message_send(p(0), tx, b"to everyone").unwrap();
+        for (pid, rx) in [(p(1), r1), (p(2), r2)] {
+            let mut got = Vec::new();
+            mpf.message_receive_scan(pid, rx, |c| got.extend_from_slice(c))
+                .unwrap();
+            assert_eq!(got, b"to everyone");
+        }
+        assert_eq!(mpf.free_blocks(), 256);
+    }
+
+    #[test]
+    fn tracing_records_the_full_lifecycle() {
+        use crate::trace::EventKind;
+        let mpf = Mpf::init(MpfConfig::new(4, 4).with_tracing(1024)).unwrap();
+        let tx = mpf.open_send(p(0), "traced").unwrap();
+        let rx = mpf.open_receive(p(1), "traced", Protocol::Fcfs).unwrap();
+        mpf.message_send(p(0), tx, &[1u8; 40]).unwrap();
+        mpf.check_receive(p(1), rx).unwrap();
+        let mut buf = [0u8; 64];
+        mpf.message_receive(p(1), rx, &mut buf).unwrap();
+        mpf.close_send(p(0), tx).unwrap();
+        mpf.close_receive(p(1), rx).unwrap();
+
+        let log = mpf.take_trace().expect("tracing enabled");
+        let kinds: Vec<EventKind> = log.events.iter().map(|e| e.kind).collect();
+        for expected in [
+            EventKind::OpenSend,
+            EventKind::OpenRecv,
+            EventKind::Send,
+            EventKind::Check,
+            EventKind::Recv,
+            EventKind::CloseSend,
+            EventKind::CloseRecv,
+        ] {
+            assert!(
+                kinds.contains(&expected),
+                "missing {expected:?} in {kinds:?}"
+            );
+        }
+        let summary = log.summary();
+        assert_eq!(summary.sends, 1);
+        assert_eq!(summary.receives, 1);
+        assert_eq!(summary.bytes_sent, 40);
+        assert_eq!(summary.matched, 1, "send matched to its receive by stamp");
+        assert_eq!(mpf.trace_dropped(), 0);
+    }
+
+    #[test]
+    fn tracing_disabled_by_default() {
+        let mpf = facility();
+        assert!(mpf.take_trace().is_none());
+    }
+
+    #[test]
+    fn slot_recycling_survives_generation_mask_wrap() {
+        // Found by the open_close_send microbenchmark: after 2^15 recycles
+        // of one slot the id's 15-bit generation wraps; a fresh id must
+        // still validate (and the previous generation's id must not).
+        let mpf = Mpf::init(MpfConfig::new(1, 2)).unwrap();
+        let mut prev = None;
+        for round in 0..((1 << 15) + 5) {
+            let id = mpf.open_send(p(0), "churn").unwrap();
+            if let Some(prev) = prev {
+                assert_ne!(prev, id, "round {round}");
+            }
+            mpf.message_send(p(0), id, b"x").expect("fresh id must validate");
+            mpf.close_send(p(0), id).unwrap();
+            assert!(
+                mpf.message_send(p(0), id, b"x").is_err(),
+                "closed id must be stale (round {round})"
+            );
+            prev = Some(id);
+        }
+    }
+
+    #[test]
+    fn lnvcs_exhausted_when_all_slots_live() {
+        let mpf = Mpf::init(MpfConfig::new(2, 4)).unwrap();
+        let _a = mpf.open_send(p(0), "a").unwrap();
+        let _b = mpf.open_send(p(0), "b").unwrap();
+        assert_eq!(
+            mpf.open_send(p(0), "c").unwrap_err(),
+            MpfError::LnvcsExhausted
+        );
+    }
+}

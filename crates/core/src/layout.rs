@@ -1,0 +1,190 @@
+//! The shared-region memory map.
+//!
+//! The paper's `init()` allocates one shared region and carves it up; the
+//! parameters "are used to estimate the amount of shared memory
+//! necessary" (§2).  [`RegionLayout`] is that estimate made exact: the
+//! byte offset and size of every segment a given [`MpfConfig`] implies,
+//! in allocation order.  (Our pools allocate independently for Rust
+//! hygiene, but the layout is the single source of truth for sizing and
+//! reporting, and documents what a literal one-mmap port would map.)
+
+use crate::config::MpfConfig;
+
+/// One carved segment of the region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// What lives here.
+    pub name: &'static str,
+    /// Byte offset from the region base.
+    pub offset: usize,
+    /// Segment size in bytes.
+    pub bytes: usize,
+    /// Number of fixed-size slots (0 for raw byte areas).
+    pub slots: usize,
+}
+
+/// The full region map for a configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionLayout {
+    /// Segments in allocation order.
+    pub segments: Vec<Segment>,
+}
+
+/// Bytes per descriptor, mirroring the slot structs (rounded to the
+/// region's natural alignment).
+const LNVC_DESC_BYTES: usize = 192; // name ref, queue/head/tail ptrs, counts, lock, waitq
+const MSG_HEADER_BYTES: usize = 40; // len, chain, next, pending, flags, stamp
+const SEND_DESC_BYTES: usize = 8; // pid, next
+const RECV_DESC_BYTES: usize = 16; // pid, next, protocol, head
+const BLOCK_LINK_BYTES: usize = 4; // next index
+const REGISTRY_ENTRY_BYTES: usize = 40; // 32-byte name + index + state
+
+impl RegionLayout {
+    /// Computes the layout for `cfg`.
+    pub fn for_config(cfg: &MpfConfig) -> Self {
+        let mut segments = Vec::new();
+        let mut cursor = 0usize;
+        let mut push = |name, bytes: usize, slots: usize| {
+            // Keep every segment 8-byte aligned, as a real region would.
+            let aligned = bytes.div_ceil(8) * 8;
+            segments.push(Segment {
+                name,
+                offset: cursor,
+                bytes: aligned,
+                slots,
+            });
+            cursor += aligned;
+        };
+        push(
+            "lnvc descriptors",
+            cfg.max_lnvcs as usize * LNVC_DESC_BYTES,
+            cfg.max_lnvcs as usize,
+        );
+        push(
+            "name registry",
+            cfg.max_lnvcs as usize * REGISTRY_ENTRY_BYTES,
+            cfg.max_lnvcs as usize,
+        );
+        push(
+            "message headers",
+            cfg.max_messages as usize * MSG_HEADER_BYTES,
+            cfg.max_messages as usize,
+        );
+        push(
+            "send descriptors",
+            cfg.max_send_conns as usize * SEND_DESC_BYTES,
+            cfg.max_send_conns as usize,
+        );
+        push(
+            "receive descriptors",
+            cfg.max_recv_conns as usize * RECV_DESC_BYTES,
+            cfg.max_recv_conns as usize,
+        );
+        push(
+            "block links",
+            cfg.total_blocks as usize * BLOCK_LINK_BYTES,
+            cfg.total_blocks as usize,
+        );
+        push(
+            "block payloads",
+            cfg.total_blocks as usize * cfg.block_payload,
+            cfg.total_blocks as usize,
+        );
+        Self { segments }
+    }
+
+    /// Total region bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.segments
+            .last()
+            .map_or(0, |s| s.offset + s.bytes)
+    }
+
+    /// Looks a segment up by name.
+    pub fn segment(&self, name: &str) -> Option<&Segment> {
+        self.segments.iter().find(|s| s.name == name)
+    }
+
+    /// Renders the map as an `init()`-time banner.
+    pub fn render(&self) -> String {
+        let mut out = String::from("shared region map:\n");
+        for s in &self.segments {
+            out.push_str(&format!(
+                "  {:>8} .. {:>8}  {:<20} ({} slots)\n",
+                s.offset,
+                s.offset + s.bytes,
+                s.name,
+                s.slots
+            ));
+        }
+        out.push_str(&format!("  total: {} bytes\n", self.total_bytes()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> RegionLayout {
+        RegionLayout::for_config(&MpfConfig::paper_faithful(16, 20))
+    }
+
+    #[test]
+    fn segments_are_contiguous_and_aligned() {
+        let l = layout();
+        let mut cursor = 0;
+        for s in &l.segments {
+            assert_eq!(s.offset, cursor, "{} not contiguous", s.name);
+            assert_eq!(s.offset % 8, 0, "{} misaligned", s.name);
+            assert_eq!(s.bytes % 8, 0, "{} ragged", s.name);
+            cursor += s.bytes;
+        }
+        assert_eq!(l.total_bytes(), cursor);
+    }
+
+    #[test]
+    fn block_payloads_match_config() {
+        let cfg = MpfConfig::paper_faithful(16, 20);
+        let l = RegionLayout::for_config(&cfg);
+        let payloads = l.segment("block payloads").unwrap();
+        assert_eq!(payloads.slots, cfg.total_blocks as usize);
+        assert!(payloads.bytes >= cfg.total_blocks as usize * cfg.block_payload);
+    }
+
+    #[test]
+    fn layout_grows_with_configuration() {
+        let small = RegionLayout::for_config(&MpfConfig::new(4, 4));
+        let big = RegionLayout::for_config(&MpfConfig::new(64, 64));
+        assert!(big.total_bytes() > small.total_bytes());
+    }
+
+    #[test]
+    fn render_names_every_segment() {
+        let text = layout().render();
+        for name in [
+            "lnvc descriptors",
+            "name registry",
+            "message headers",
+            "send descriptors",
+            "receive descriptors",
+            "block links",
+            "block payloads",
+            "total:",
+        ] {
+            assert!(text.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn estimate_agrees_with_config_method() {
+        let cfg = MpfConfig::new(16, 20);
+        let layout_total = RegionLayout::for_config(&cfg).total_bytes();
+        let estimate = cfg.estimated_shared_bytes();
+        let ratio = layout_total as f64 / estimate as f64;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "estimate {estimate} vs layout {layout_total}"
+        );
+    }
+}

@@ -1,0 +1,238 @@
+//! Message headers.
+//!
+//! §3.1: "Messages are composed of linked message blocks together with a
+//! header for saving pertinent message information (e.g., message length, a
+//! pointer to the tail, and a pointer to the next message in a list of
+//! messages for an LNVC)."
+//!
+//! Our header additionally carries the delivery bookkeeping that realizes
+//! the FCFS/BROADCAST semantics (DESIGN.md "MPF semantics"):
+//!
+//! * `bcast_pending` — broadcast receivers (at send time) that have not yet
+//!   consumed this message;
+//! * `needs_fcfs` / `fcfs_taken` — whether an FCFS delivery is owed and
+//!   whether it has happened;
+//! * `copying` — receivers currently copying the payload outside the LNVC
+//!   lock (reclamation must not free blocks under them);
+//! * `stamp` — per-LNVC send sequence number, giving tests a direct witness
+//!   of the virtual circuit's time-ordering guarantee.
+//!
+//! All fields are accessed under the owning LNVC's lock (hence `Relaxed`),
+//! except `copying`, which receivers decrement after an unlocked payload
+//! copy and the reclaimer reads under the lock.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+use mpf_shm::idxstack::NIL;
+
+/// One message header slot in the shared region.
+#[derive(Debug)]
+pub struct MsgSlot {
+    /// Payload length in bytes.
+    len: AtomicU32,
+    /// First block of the payload chain (`NIL` for empty payloads).
+    head_block: AtomicU32,
+    /// Number of blocks in the chain.
+    blocks: AtomicU32,
+    /// Next message in the LNVC FIFO.
+    next: AtomicU32,
+    /// Broadcast receivers still owed this message.
+    bcast_pending: AtomicU32,
+    /// Whether an FCFS delivery is owed.
+    needs_fcfs: AtomicBool,
+    /// Whether the FCFS delivery has happened.
+    fcfs_taken: AtomicBool,
+    /// Receivers copying the payload right now (blocks pinned).
+    copying: AtomicU32,
+    /// Per-LNVC send sequence number.
+    stamp: AtomicU64,
+}
+
+impl Default for MsgSlot {
+    fn default() -> Self {
+        Self {
+            len: AtomicU32::new(0),
+            head_block: AtomicU32::new(NIL),
+            blocks: AtomicU32::new(0),
+            next: AtomicU32::new(NIL),
+            bcast_pending: AtomicU32::new(0),
+            needs_fcfs: AtomicBool::new(false),
+            fcfs_taken: AtomicBool::new(false),
+            copying: AtomicU32::new(0),
+            stamp: AtomicU64::new(0),
+        }
+    }
+}
+
+impl MsgSlot {
+    /// Initializes a freshly allocated header for a new send.
+    #[allow(clippy::too_many_arguments)]
+    pub fn reset(
+        &self,
+        len: usize,
+        head_block: u32,
+        blocks: u32,
+        bcast_pending: u32,
+        needs_fcfs: bool,
+        stamp: u64,
+    ) {
+        self.len.store(len as u32, Ordering::Relaxed);
+        self.head_block.store(head_block, Ordering::Relaxed);
+        self.blocks.store(blocks, Ordering::Relaxed);
+        self.next.store(NIL, Ordering::Relaxed);
+        self.bcast_pending.store(bcast_pending, Ordering::Relaxed);
+        self.needs_fcfs.store(needs_fcfs, Ordering::Relaxed);
+        self.fcfs_taken.store(false, Ordering::Relaxed);
+        self.copying.store(0, Ordering::Relaxed);
+        self.stamp.store(stamp, Ordering::Relaxed);
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed) as usize
+    }
+
+    /// True for zero-length payloads.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// First payload block index.
+    pub fn head_block(&self) -> u32 {
+        self.head_block.load(Ordering::Relaxed)
+    }
+
+    /// Payload chain length in blocks.
+    pub fn blocks(&self) -> u32 {
+        self.blocks.load(Ordering::Relaxed)
+    }
+
+    /// FIFO successor.
+    pub fn next(&self) -> u32 {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// Links `next` after this message.
+    pub fn set_next(&self, next: u32) {
+        self.next.store(next, Ordering::Relaxed);
+    }
+
+    /// Broadcast deliveries still owed.
+    pub fn bcast_pending(&self) -> u32 {
+        self.bcast_pending.load(Ordering::Relaxed)
+    }
+
+    /// Records one broadcast delivery (or a broadcast receiver closing
+    /// unread — the paper's `close_receive` sweep).
+    pub fn dec_bcast_pending(&self) {
+        let prev = self.bcast_pending.fetch_sub(1, Ordering::Relaxed);
+        debug_assert!(prev > 0, "bcast_pending underflow");
+    }
+
+    /// Whether an FCFS delivery is owed.
+    pub fn needs_fcfs(&self) -> bool {
+        self.needs_fcfs.load(Ordering::Relaxed)
+    }
+
+    /// Whether the owed FCFS delivery happened.
+    pub fn fcfs_taken(&self) -> bool {
+        self.fcfs_taken.load(Ordering::Relaxed)
+    }
+
+    /// Marks the FCFS delivery done.
+    pub fn set_fcfs_taken(&self) {
+        self.fcfs_taken.store(true, Ordering::Relaxed);
+    }
+
+    /// Pins the payload for an out-of-lock copy.
+    pub fn begin_copy(&self) {
+        self.copying.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Unpins after the copy.  Uses `Release` so the reclaimer's later
+    /// `Acquire` read observes the copy as finished.
+    pub fn end_copy(&self) {
+        let prev = self.copying.fetch_sub(1, Ordering::Release);
+        debug_assert!(prev > 0, "copying underflow");
+    }
+
+    /// True while any receiver is copying the payload.
+    pub fn is_pinned(&self) -> bool {
+        self.copying.load(Ordering::Acquire) != 0
+    }
+
+    /// Send sequence number within the LNVC.
+    pub fn stamp(&self) -> u64 {
+        self.stamp.load(Ordering::Relaxed)
+    }
+
+    /// A message is consumed — and its region memory reclaimable — once no
+    /// broadcast deliveries are owed and the FCFS disposition is satisfied.
+    pub fn fully_consumed(&self) -> bool {
+        self.bcast_pending() == 0 && (!self.needs_fcfs() || self.fcfs_taken())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_initializes_all_delivery_state() {
+        let m = MsgSlot::default();
+        m.set_fcfs_taken();
+        m.begin_copy();
+        m.reset(100, 7, 10, 3, true, 42);
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.head_block(), 7);
+        assert_eq!(m.blocks(), 10);
+        assert_eq!(m.next(), NIL);
+        assert_eq!(m.bcast_pending(), 3);
+        assert!(m.needs_fcfs());
+        assert!(!m.fcfs_taken());
+        assert!(!m.is_pinned());
+        assert_eq!(m.stamp(), 42);
+    }
+
+    #[test]
+    fn consumed_requires_both_dispositions() {
+        let m = MsgSlot::default();
+        m.reset(1, 0, 1, 2, true, 0);
+        assert!(!m.fully_consumed());
+        m.dec_bcast_pending();
+        m.dec_bcast_pending();
+        assert!(!m.fully_consumed(), "FCFS still owed");
+        m.set_fcfs_taken();
+        assert!(m.fully_consumed());
+    }
+
+    #[test]
+    fn bcast_only_message_consumed_without_fcfs() {
+        let m = MsgSlot::default();
+        m.reset(1, 0, 1, 1, false, 0);
+        assert!(!m.fully_consumed());
+        m.dec_bcast_pending();
+        assert!(m.fully_consumed());
+    }
+
+    #[test]
+    fn pin_counts_nest() {
+        let m = MsgSlot::default();
+        m.reset(1, 0, 1, 0, true, 0);
+        m.begin_copy();
+        m.begin_copy();
+        assert!(m.is_pinned());
+        m.end_copy();
+        assert!(m.is_pinned());
+        m.end_copy();
+        assert!(!m.is_pinned());
+    }
+
+    #[test]
+    fn empty_message_is_legal() {
+        let m = MsgSlot::default();
+        m.reset(0, NIL, 0, 0, true, 5);
+        assert!(m.is_empty());
+        assert_eq!(m.head_block(), NIL);
+    }
+}

@@ -1,0 +1,241 @@
+//! Synchronous (rendezvous) message passing — the paper's first §5 variant.
+//!
+//! "For instance, to support synchronous message passing, copying of data
+//! from a sending buffer to a linked message buffer and then to the
+//! receiving buffer is unnecessary; direct data transfer is possible."
+//!
+//! A [`Rendezvous`] performs exactly that: the sender publishes the address
+//! of its own buffer and blocks; a receiver copies **sender buffer →
+//! receiver buffer** in one step and releases the sender.  No message
+//! blocks, no headers, one copy instead of two.  The ablation bench A4
+//! quantifies the §5 claim against the general asynchronous LNVC path.
+//!
+//! Any number of senders and receivers may share one rendezvous; offers are
+//! serialized (one outstanding offer at a time), and each message pairs one
+//! sender with one receiver — the synchronous analogue of an FCFS LNVC.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+
+use mpf_shm::lock::{LockKind, ShmLock};
+use mpf_shm::waitq::{WaitQueue, WaitStrategy};
+
+use crate::error::{MpfError, Result};
+
+const EMPTY: u8 = 0;
+const OFFER: u8 = 1;
+
+/// A synchronous exchange point.
+///
+/// ```
+/// use mpf::sync_channel::Rendezvous;
+/// let r = Rendezvous::default();
+/// std::thread::scope(|s| {
+///     s.spawn(|| r.send(b"single copy"));
+///     let mut buf = [0u8; 16];
+///     let n = r.recv(&mut buf).unwrap();
+///     assert_eq!(&buf[..n], b"single copy");
+/// });
+/// ```
+#[derive(Debug)]
+pub struct Rendezvous {
+    lock: ShmLock,
+    /// `EMPTY` or `OFFER`.
+    state: AtomicU8,
+    /// Address of the offering sender's buffer (valid only in `OFFER`;
+    /// the sender's borrow outlives the offer because it blocks in
+    /// [`Rendezvous::send`] until released).
+    offer_addr: AtomicUsize,
+    /// Length of the offered payload.
+    offer_len: AtomicUsize,
+    /// Token of the current offer (monotonic, assigned under the lock).
+    offer_token: AtomicU64,
+    /// Tokens issued so far.
+    next_token: AtomicU64,
+    /// Highest token whose copy has completed.
+    completed: AtomicU64,
+    /// Senders waiting for `EMPTY` or for their offer to complete.
+    senders: WaitQueue,
+    /// Receivers waiting for an offer.
+    receivers: WaitQueue,
+    strategy: WaitStrategy,
+}
+
+impl Default for Rendezvous {
+    fn default() -> Self {
+        Self::new(LockKind::Spin, WaitStrategy::Yield)
+    }
+}
+
+impl Rendezvous {
+    /// Creates an exchange point.
+    pub fn new(lock_kind: LockKind, strategy: WaitStrategy) -> Self {
+        Self {
+            lock: ShmLock::new(lock_kind),
+            state: AtomicU8::new(EMPTY),
+            offer_addr: AtomicUsize::new(0),
+            offer_len: AtomicUsize::new(0),
+            offer_token: AtomicU64::new(0),
+            next_token: AtomicU64::new(1),
+            completed: AtomicU64::new(0),
+            senders: WaitQueue::new(),
+            receivers: WaitQueue::new(),
+            strategy,
+        }
+    }
+
+    /// Synchronously sends `buf`: blocks until a receiver has copied it.
+    pub fn send(&self, buf: &[u8]) {
+        // Phase 1: claim the offer slot.
+        let token = loop {
+            let ticket = self.senders.ticket();
+            {
+                let _g = self.lock.lock();
+                if self.state.load(Ordering::Relaxed) == EMPTY {
+                    let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+                    self.offer_addr
+                        .store(buf.as_ptr() as usize, Ordering::Relaxed);
+                    self.offer_len.store(buf.len(), Ordering::Relaxed);
+                    self.offer_token.store(token, Ordering::Relaxed);
+                    self.state.store(OFFER, Ordering::Relaxed);
+                    break token;
+                }
+            }
+            self.senders.wait(ticket, self.strategy);
+        };
+        self.receivers.notify_all();
+        // Phase 2: block until the rendezvous completes.  `completed` is
+        // monotonic, so a later offer can never mask ours.
+        loop {
+            let ticket = self.senders.ticket();
+            if self.completed.load(Ordering::Acquire) >= token {
+                return;
+            }
+            self.senders.wait(ticket, self.strategy);
+        }
+    }
+
+    /// Synchronously receives into `buf`; blocks for a sender.  Returns
+    /// bytes transferred.  [`MpfError::BufferTooSmall`] leaves the offer
+    /// standing.
+    pub fn recv(&self, buf: &mut [u8]) -> Result<usize> {
+        loop {
+            let ticket = self.receivers.ticket();
+            {
+                let _g = self.lock.lock();
+                if self.state.load(Ordering::Relaxed) == OFFER {
+                    let len = self.offer_len.load(Ordering::Relaxed);
+                    if buf.len() < len {
+                        return Err(MpfError::BufferTooSmall { needed: len });
+                    }
+                    let addr = self.offer_addr.load(Ordering::Relaxed) as *const u8;
+                    // SAFETY: the offering sender blocks in `send` until we
+                    // publish `completed` below, so its borrow is live, and
+                    // the lock serializes all access to the offer fields.
+                    unsafe {
+                        std::ptr::copy_nonoverlapping(addr, buf.as_mut_ptr(), len);
+                    }
+                    let token = self.offer_token.load(Ordering::Relaxed);
+                    self.state.store(EMPTY, Ordering::Relaxed);
+                    self.completed.store(token, Ordering::Release);
+                    drop(_g);
+                    self.senders.notify_all();
+                    return Ok(len);
+                }
+            }
+            self.receivers.wait(ticket, self.strategy);
+        }
+    }
+
+    /// Non-blocking probe: is a sender currently offering?
+    pub fn check(&self) -> bool {
+        self.state.load(Ordering::Relaxed) == OFFER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn ping_pong() {
+        let r = Rendezvous::default();
+        thread::scope(|s| {
+            s.spawn(|| r.send(b"synchronous hello"));
+            let mut buf = [0u8; 32];
+            let n = r.recv(&mut buf).unwrap();
+            assert_eq!(&buf[..n], b"synchronous hello");
+        });
+    }
+
+    #[test]
+    fn sender_blocks_until_received() {
+        use std::sync::atomic::AtomicBool;
+        let r = Rendezvous::default();
+        let done = AtomicBool::new(false);
+        thread::scope(|s| {
+            s.spawn(|| {
+                r.send(b"x");
+                done.store(true, Ordering::SeqCst);
+            });
+            thread::sleep(std::time::Duration::from_millis(30));
+            assert!(!done.load(Ordering::SeqCst), "synchronous send must block");
+            let mut buf = [0u8; 1];
+            r.recv(&mut buf).unwrap();
+        });
+        assert!(done.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn many_senders_one_receiver_delivers_all() {
+        let r = Rendezvous::default();
+        const SENDERS: usize = 4;
+        const EACH: usize = 50;
+        thread::scope(|s| {
+            for t in 0..SENDERS as u8 {
+                let r = &r;
+                s.spawn(move || {
+                    for i in 0..EACH as u8 {
+                        r.send(&[t, i]);
+                    }
+                });
+            }
+            let mut seen = std::collections::HashSet::new();
+            let mut buf = [0u8; 2];
+            for _ in 0..SENDERS * EACH {
+                let n = r.recv(&mut buf).unwrap();
+                assert_eq!(n, 2);
+                assert!(seen.insert((buf[0], buf[1])), "duplicate delivery");
+            }
+            assert_eq!(seen.len(), SENDERS * EACH);
+        });
+    }
+
+    #[test]
+    fn too_small_buffer_leaves_offer() {
+        let r = Rendezvous::default();
+        thread::scope(|s| {
+            s.spawn(|| r.send(b"four"));
+            while !r.check() {
+                std::hint::spin_loop();
+            }
+            let mut tiny = [0u8; 2];
+            assert_eq!(
+                r.recv(&mut tiny).unwrap_err(),
+                MpfError::BufferTooSmall { needed: 4 }
+            );
+            let mut ok = [0u8; 8];
+            assert_eq!(r.recv(&mut ok).unwrap(), 4);
+        });
+    }
+
+    #[test]
+    fn zero_length_rendezvous() {
+        let r = Rendezvous::default();
+        thread::scope(|s| {
+            s.spawn(|| r.send(b""));
+            let mut buf = [0u8; 0];
+            assert_eq!(r.recv(&mut buf).unwrap(), 0);
+        });
+    }
+}

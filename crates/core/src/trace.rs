@@ -1,0 +1,310 @@
+//! Event tracing for MPF programs.
+//!
+//! The paper's evaluation ("Detailed measurements show that, for large
+//! messages, LNVC updates are of negligible cost.  Instead, message
+//! copying costs dominate") required exactly this kind of instrumentation.
+//! When enabled ([`crate::MpfConfig::with_tracing`]), the facility records
+//! a timestamped event for every primitive: opens, closes, sends,
+//! receives (including how long a receiver blocked), and checks.
+//!
+//! [`TraceLog::summary`] reduces a trace to the paper-style quantities:
+//! per-conversation message counts and bytes, send/receive rates, and
+//! message *queueing latency* (send completion → matching receive
+//! completion, matched through the LNVC sequence stamp).
+//!
+//! Traces are also the input to `mpf-sim`'s trace replay, which re-prices
+//! a natively recorded run on the Balance 21000 model.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// `open_send` succeeded.
+    OpenSend,
+    /// `open_receive` succeeded.
+    OpenRecv,
+    /// `close_send` succeeded.
+    CloseSend,
+    /// `close_receive` succeeded.
+    CloseRecv,
+    /// `message_send` completed; `stamp` identifies the message.
+    Send,
+    /// A receive completed; `stamp` identifies the message.
+    Recv,
+    /// A receiver went to sleep waiting for a message.
+    RecvBlocked,
+    /// `check_receive` executed.
+    Check,
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Nanoseconds since facility initialization.
+    pub at_ns: u64,
+    /// Raw process id of the caller.
+    pub pid: u32,
+    /// Event kind.
+    pub kind: EventKind,
+    /// LNVC slot index the event concerns.
+    pub lnvc: u32,
+    /// Payload bytes (sends/receives) or zero.
+    pub len: u32,
+    /// LNVC sequence stamp for `Send`/`Recv` (matches a send to its
+    /// receives); `u64::MAX` otherwise.
+    pub stamp: u64,
+}
+
+/// The facility-side recorder: a bounded, mutex-protected event buffer.
+/// Tracing is off the hot path unless enabled, and even then one
+/// uncontended lock per primitive is comparable to the LNVC lock itself.
+#[derive(Debug)]
+pub struct Tracer {
+    epoch: Instant,
+    events: Mutex<Vec<TraceEvent>>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+impl Tracer {
+    /// A tracer retaining at most `capacity` events (drops the rest).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            epoch: Instant::now(),
+            events: Mutex::new(Vec::with_capacity(capacity.min(1 << 20))),
+            capacity,
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Nanoseconds since the tracer epoch.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Records one event (drops it if the buffer is full).
+    pub fn record(&self, pid: u32, kind: EventKind, lnvc: u32, len: usize, stamp: u64) {
+        let ev = TraceEvent {
+            at_ns: self.now_ns(),
+            pid,
+            kind,
+            lnvc,
+            len: len as u32,
+            stamp,
+        };
+        let mut events = self.events.lock();
+        if events.len() < self.capacity {
+            events.push(ev);
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Events dropped due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Takes the recorded events (sorted by time) as an immutable log.
+    pub fn take_log(&self) -> TraceLog {
+        let mut events = std::mem::take(&mut *self.events.lock());
+        events.sort_by_key(|e| e.at_ns);
+        TraceLog { events }
+    }
+}
+
+/// An immutable, time-sorted trace.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    /// Events in time order.
+    pub events: Vec<TraceEvent>,
+}
+
+/// Paper-style reduction of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Wall-clock span of the trace in nanoseconds.
+    pub span_ns: u64,
+    /// `message_send` count.
+    pub sends: u64,
+    /// Receive count (each broadcast delivery counts).
+    pub receives: u64,
+    /// Bytes through `message_send`.
+    pub bytes_sent: u64,
+    /// Bytes delivered.
+    pub bytes_received: u64,
+    /// Times any receiver blocked.
+    pub recv_blocks: u64,
+    /// Sent-side throughput over the span, bytes/second.
+    pub send_throughput: f64,
+    /// Mean send→receive latency over matched (lnvc, stamp) pairs, ns.
+    pub mean_latency_ns: f64,
+    /// Maximum matched latency, ns.
+    pub max_latency_ns: u64,
+    /// Matched (send, receive) pairs used for the latency figures.
+    pub matched: u64,
+}
+
+impl TraceLog {
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events of one process, in time order.
+    pub fn for_pid(&self, pid: u32) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.pid == pid)
+    }
+
+    /// Reduces the trace to summary statistics.
+    pub fn summary(&self) -> TraceSummary {
+        use std::collections::HashMap;
+        let mut sends = 0u64;
+        let mut receives = 0u64;
+        let mut bytes_sent = 0u64;
+        let mut bytes_received = 0u64;
+        let mut recv_blocks = 0u64;
+        let mut send_at: HashMap<(u32, u64), u64> = HashMap::new();
+        let mut latency_sum = 0u128;
+        let mut latency_max = 0u64;
+        let mut matched = 0u64;
+        for e in &self.events {
+            match e.kind {
+                EventKind::Send => {
+                    sends += 1;
+                    bytes_sent += e.len as u64;
+                    send_at.insert((e.lnvc, e.stamp), e.at_ns);
+                }
+                EventKind::Recv => {
+                    receives += 1;
+                    bytes_received += e.len as u64;
+                    if let Some(&t0) = send_at.get(&(e.lnvc, e.stamp)) {
+                        let lat = e.at_ns.saturating_sub(t0);
+                        latency_sum += lat as u128;
+                        latency_max = latency_max.max(lat);
+                        matched += 1;
+                    }
+                }
+                EventKind::RecvBlocked => recv_blocks += 1,
+                _ => {}
+            }
+        }
+        let span_ns = match (self.events.first(), self.events.last()) {
+            (Some(a), Some(b)) => b.at_ns - a.at_ns,
+            _ => 0,
+        };
+        TraceSummary {
+            span_ns,
+            sends,
+            receives,
+            bytes_sent,
+            bytes_received,
+            recv_blocks,
+            send_throughput: if span_ns == 0 {
+                0.0
+            } else {
+                bytes_sent as f64 / (span_ns as f64 / 1e9)
+            },
+            mean_latency_ns: if matched == 0 {
+                0.0
+            } else {
+                latency_sum as f64 / matched as f64
+            },
+            max_latency_ns: latency_max,
+            matched,
+        }
+    }
+}
+
+/// Stamp value used for events that do not identify a message.
+pub const NO_STAMP: u64 = u64::MAX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at_ns: u64, pid: u32, kind: EventKind, lnvc: u32, len: u32, stamp: u64) -> TraceEvent {
+        TraceEvent {
+            at_ns,
+            pid,
+            kind,
+            lnvc,
+            len,
+            stamp,
+        }
+    }
+
+    #[test]
+    fn tracer_records_and_takes_sorted() {
+        let t = Tracer::new(16);
+        t.record(1, EventKind::Send, 0, 100, 0);
+        t.record(2, EventKind::Recv, 0, 100, 0);
+        let log = t.take_log();
+        assert_eq!(log.len(), 2);
+        assert!(log.events[0].at_ns <= log.events[1].at_ns);
+        assert!(t.take_log().is_empty(), "take drains");
+    }
+
+    #[test]
+    fn capacity_bound_drops_and_counts() {
+        let t = Tracer::new(2);
+        for _ in 0..5 {
+            t.record(1, EventKind::Check, 0, 0, NO_STAMP);
+        }
+        assert_eq!(t.take_log().len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn summary_matches_send_recv_pairs() {
+        let log = TraceLog {
+            events: vec![
+                ev(0, 1, EventKind::Send, 7, 50, 0),
+                ev(1_000, 2, EventKind::Recv, 7, 50, 0),
+                ev(2_000, 1, EventKind::Send, 7, 30, 1),
+                ev(2_500, 2, EventKind::RecvBlocked, 7, 0, NO_STAMP),
+                ev(5_000, 2, EventKind::Recv, 7, 30, 1),
+            ],
+        };
+        let s = log.summary();
+        assert_eq!(s.sends, 2);
+        assert_eq!(s.receives, 2);
+        assert_eq!(s.bytes_sent, 80);
+        assert_eq!(s.recv_blocks, 1);
+        assert_eq!(s.matched, 2);
+        assert_eq!(s.max_latency_ns, 3_000);
+        assert!((s.mean_latency_ns - 2_000.0).abs() < 1e-9);
+        assert_eq!(s.span_ns, 5_000);
+    }
+
+    #[test]
+    fn summary_of_empty_log() {
+        let s = TraceLog::default().summary();
+        assert_eq!(s.sends, 0);
+        assert_eq!(s.send_throughput, 0.0);
+        assert_eq!(s.mean_latency_ns, 0.0);
+    }
+
+    #[test]
+    fn for_pid_filters() {
+        let log = TraceLog {
+            events: vec![
+                ev(0, 1, EventKind::Send, 0, 1, 0),
+                ev(1, 2, EventKind::Recv, 0, 1, 0),
+                ev(2, 1, EventKind::Send, 0, 1, 1),
+            ],
+        };
+        assert_eq!(log.for_pid(1).count(), 2);
+        assert_eq!(log.for_pid(2).count(), 1);
+        assert_eq!(log.for_pid(3).count(), 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Core vocabulary types: protocols, LNVC names, LNVC identifiers.
+
+use crate::error::{MpfError, Result};
+
+/// Maximum LNVC name length in bytes (fixed-size storage in the shared
+/// region — the paper's "mutually selected names" must fit the descriptor).
+pub const MAX_NAME_LEN: usize = 31;
+
+/// Receiver protocol declared at `open_receive` (paper §1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// First-come, first-served: each message is delivered to exactly one
+    /// FCFS receiver.
+    Fcfs,
+    /// Every broadcast receiver sees every message.
+    Broadcast,
+}
+
+impl Protocol {
+    /// Encoding used in shared-region descriptors and the C API.
+    pub fn to_raw(self) -> u8 {
+        match self {
+            Protocol::Fcfs => 0,
+            Protocol::Broadcast => 1,
+        }
+    }
+
+    /// Decodes a raw protocol value.
+    pub fn from_raw(raw: u8) -> Option<Self> {
+        match raw {
+            0 => Some(Protocol::Fcfs),
+            1 => Some(Protocol::Broadcast),
+            _ => None,
+        }
+    }
+}
+
+/// A fixed-capacity, heap-free LNVC name (lives in descriptor tables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LnvcName {
+    bytes: [u8; MAX_NAME_LEN],
+    len: u8,
+}
+
+impl LnvcName {
+    /// Validates and stores a name.  Names must be non-empty and at most
+    /// [`MAX_NAME_LEN`] bytes.
+    pub fn new(name: &str) -> Result<Self> {
+        let raw = name.as_bytes();
+        if raw.is_empty() || raw.len() > MAX_NAME_LEN {
+            return Err(MpfError::InvalidName {
+                len: raw.len(),
+                max: MAX_NAME_LEN,
+            });
+        }
+        let mut bytes = [0u8; MAX_NAME_LEN];
+        bytes[..raw.len()].copy_from_slice(raw);
+        Ok(Self {
+            bytes,
+            len: raw.len() as u8,
+        })
+    }
+
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        // Construction from &str guarantees valid UTF-8 on these bytes.
+        std::str::from_utf8(&self.bytes[..self.len as usize]).expect("name is valid UTF-8")
+    }
+}
+
+impl std::fmt::Display for LnvcName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for LnvcName {
+    type Err = MpfError;
+    fn from_str(s: &str) -> Result<Self> {
+        Self::new(s)
+    }
+}
+
+/// MPF's internal LNVC identifier, returned by `open_send`/`open_receive`
+/// and required by the transfer and close primitives (paper §2).
+///
+/// Like the paper's `int`, it fits a non-negative `i32` for the C layer.
+/// Internally it packs a slot index (low 16 bits) and a 15-bit generation
+/// so a stale identifier for a deleted-and-recycled LNVC is detected rather
+/// than silently addressing the wrong conversation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LnvcId(u32);
+
+/// Maximum LNVC slot index representable in an [`LnvcId`].
+pub const MAX_LNVC_INDEX: u32 = u16::MAX as u32;
+const GEN_MASK: u32 = 0x7FFF;
+
+impl LnvcId {
+    /// Packs a slot index and generation.
+    pub(crate) fn from_parts(index: u32, generation: u32) -> Self {
+        debug_assert!(index <= MAX_LNVC_INDEX);
+        Self(((generation & GEN_MASK) << 16) | index)
+    }
+
+    /// The LNVC slot index.
+    pub(crate) fn index(self) -> u32 {
+        self.0 & 0xFFFF
+    }
+
+    /// The generation tag this identifier was minted with.
+    pub(crate) fn generation(self) -> u32 {
+        (self.0 >> 16) & GEN_MASK
+    }
+
+    /// Whether this identifier was minted under `slot_generation`.  The
+    /// id carries only [`GEN_MASK`] bits, so the slot's full counter must
+    /// be masked before comparing (a slot recycled 2^15 times must not
+    /// invalidate fresh identifiers).
+    pub(crate) fn matches_generation(self, slot_generation: u32) -> bool {
+        (slot_generation & GEN_MASK) == self.generation()
+    }
+
+    /// Non-negative integer form (what the paper's C functions return).
+    pub fn as_i32(self) -> i32 {
+        self.0 as i32
+    }
+
+    /// Parses the integer form.  Returns `None` for negative values.
+    pub fn from_i32(raw: i32) -> Option<Self> {
+        (raw >= 0).then_some(Self(raw as u32))
+    }
+}
+
+impl std::fmt::Display for LnvcId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lnvc#{}@{}", self.index(), self.generation())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_raw_roundtrip() {
+        for p in [Protocol::Fcfs, Protocol::Broadcast] {
+            assert_eq!(Protocol::from_raw(p.to_raw()), Some(p));
+        }
+        assert_eq!(Protocol::from_raw(2), None);
+    }
+
+    #[test]
+    fn name_accepts_max_len() {
+        let s = "x".repeat(MAX_NAME_LEN);
+        let n = LnvcName::new(&s).unwrap();
+        assert_eq!(n.as_str(), s);
+    }
+
+    #[test]
+    fn name_rejects_empty_and_too_long() {
+        assert!(LnvcName::new("").is_err());
+        assert!(LnvcName::new(&"x".repeat(MAX_NAME_LEN + 1)).is_err());
+    }
+
+    #[test]
+    fn name_equality_ignores_padding() {
+        let a = LnvcName::new("pivot").unwrap();
+        let b = LnvcName::new("pivot").unwrap();
+        let c = LnvcName::new("pivotx").unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn name_display_and_fromstr() {
+        let n: LnvcName = "edge:3->4".parse().unwrap();
+        assert_eq!(n.to_string(), "edge:3->4");
+    }
+
+    #[test]
+    fn id_pack_unpack() {
+        let id = LnvcId::from_parts(513, 77);
+        assert_eq!(id.index(), 513);
+        assert_eq!(id.generation(), 77);
+    }
+
+    #[test]
+    fn id_i32_roundtrip_is_nonnegative() {
+        let id = LnvcId::from_parts(MAX_LNVC_INDEX, GEN_MASK);
+        let raw = id.as_i32();
+        assert!(raw >= 0, "C-layer ids must be non-negative");
+        assert_eq!(LnvcId::from_i32(raw), Some(id));
+        assert_eq!(LnvcId::from_i32(-1), None);
+    }
+
+    #[test]
+    fn generation_wraps_in_mask() {
+        let id = LnvcId::from_parts(1, GEN_MASK + 5);
+        assert_eq!(id.generation(), 4);
+        assert!(id.matches_generation(GEN_MASK + 5));
+        assert!(!id.matches_generation(GEN_MASK + 6));
+    }
+}

@@ -1,0 +1,367 @@
+//! Collective operations built purely from `message_send` /
+//! `message_receive` over a [`CommGroup`].
+//!
+//! These are the textbook message-passing collectives of the era — the
+//! ones the paper's applications hand-roll (the Gauss-Jordan arbiter is a
+//! reduce + one-to-one + broadcast; the SOR monitor is a gather +
+//! broadcast):
+//!
+//! * [`barrier`] — dissemination barrier, ⌈log₂ n⌉ rounds;
+//! * [`broadcast`] — binomial tree from `root`;
+//! * [`reduce_f64`] — binomial tree to `root` with an elementwise
+//!   combiner;
+//! * [`allreduce_sum_f64`] — reduce to rank 0, then broadcast;
+//! * [`gather`] / [`scatter`] — hub-based, rank order preserved.
+//!
+//! All of them assume every member calls the same collectives in the same
+//! order (the usual SPMD contract).
+
+use mpf::{MpfError, Result};
+
+use crate::group::CommGroup;
+
+fn f64s_to_bytes(values: &[f64]) -> Vec<u8> {
+    values.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+fn bytes_to_f64s(bytes: &[u8]) -> Vec<f64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect()
+}
+
+/// Number of rounds for `size` participants.
+fn rounds(size: usize) -> u32 {
+    usize::BITS - (size - 1).leading_zeros()
+}
+
+/// Dissemination barrier: after ⌈log₂ n⌉ exchange rounds every member has
+/// transitively heard from every other.
+pub fn barrier(group: &CommGroup<'_>) -> Result<()> {
+    let (rank, size) = (group.rank(), group.size());
+    if size == 1 {
+        return Ok(());
+    }
+    for k in 0..rounds(size) {
+        let stride = 1usize << k;
+        let to = (rank + stride) % size;
+        let from = (rank + size - stride % size) % size;
+        group.send_to(to, &[k as u8])?;
+        let token = group.recv_from(from)?;
+        debug_assert_eq!(token, vec![k as u8]);
+    }
+    Ok(())
+}
+
+/// Binomial-tree broadcast: `root`'s `data` reaches everyone; returns the
+/// received (or original) payload.
+pub fn broadcast(group: &CommGroup<'_>, root: usize, data: &[u8]) -> Result<Vec<u8>> {
+    let size = group.size();
+    assert!(root < size);
+    if size == 1 {
+        return Ok(data.to_vec());
+    }
+    // Work in root-relative ranks so any root uses the same tree.
+    let rel = (group.rank() + size - root) % size;
+    let abs = |r: usize| (r + root) % size;
+
+    let mut payload = if rel == 0 { data.to_vec() } else { Vec::new() };
+    let total_rounds = rounds(size);
+    // Receive: a node with relative rank r (r > 0) hears from r - 2^k,
+    // where 2^k is r's highest set bit.
+    if rel > 0 {
+        let k = usize::BITS - 1 - rel.leading_zeros();
+        let parent = rel - (1 << k);
+        payload = group.recv_from(abs(parent))?;
+    }
+    // Send onward: after hearing in round k, forward in rounds k+1…
+    let first_round = if rel == 0 {
+        0
+    } else {
+        (usize::BITS - rel.leading_zeros()) as u32
+    };
+    for k in first_round..total_rounds {
+        let child = rel + (1 << k);
+        if child < size {
+            group.send_to(abs(child), &payload)?;
+        }
+    }
+    Ok(payload)
+}
+
+/// Binomial-tree reduce to `root`: every member contributes an equal-
+/// length `f64` vector; `root` receives the elementwise combination and
+/// others receive an empty vector.
+pub fn reduce_f64(
+    group: &CommGroup<'_>,
+    root: usize,
+    contribution: &[f64],
+    op: impl Fn(f64, f64) -> f64,
+) -> Result<Vec<f64>> {
+    let size = group.size();
+    assert!(root < size);
+    let rel = (group.rank() + size - root) % size;
+    let abs = |r: usize| (r + root) % size;
+    let mut acc = contribution.to_vec();
+
+    for k in 0..rounds(size.max(2)) {
+        let bit = 1usize << k;
+        if rel & (bit - 1) != 0 {
+            break;
+        }
+        if rel & bit != 0 {
+            // Send up to the parent and leave.
+            group.send_to(abs(rel & !bit), &f64s_to_bytes(&acc))?;
+            return Ok(Vec::new());
+        }
+        let child = rel | bit;
+        if child < size {
+            let theirs = bytes_to_f64s(&group.recv_from(abs(child))?);
+            if theirs.len() != acc.len() {
+                return Err(MpfError::BufferTooSmall {
+                    needed: acc.len() * 8,
+                });
+            }
+            for (a, b) in acc.iter_mut().zip(theirs) {
+                *a = op(*a, b);
+            }
+        }
+    }
+    Ok(acc)
+}
+
+/// All-reduce (sum): reduce to the group's rank 0, broadcast the result.
+pub fn allreduce_sum_f64(group: &CommGroup<'_>, contribution: &[f64]) -> Result<Vec<f64>> {
+    let reduced = reduce_f64(group, 0, contribution, |a, b| a + b)?;
+    let wire = if group.rank() == 0 {
+        f64s_to_bytes(&reduced)
+    } else {
+        Vec::new()
+    };
+    Ok(bytes_to_f64s(&broadcast(group, 0, &wire)?))
+}
+
+/// All-to-all personalized exchange: member `i` supplies one chunk per
+/// destination; returns the chunks every peer addressed to us, ordered by
+/// source rank.  (Our own chunk to ourselves comes back in place.)
+pub fn alltoall(group: &CommGroup<'_>, chunks: &[Vec<u8>]) -> Result<Vec<Vec<u8>>> {
+    let (rank, size) = (group.rank(), group.size());
+    assert_eq!(chunks.len(), size, "one chunk per destination");
+    // Phase 1: fire all sends (asynchronous — no deadlock possible).
+    for (dst, chunk) in chunks.iter().enumerate() {
+        if dst != rank {
+            group.send_to(dst, chunk)?;
+        }
+    }
+    // Phase 2: collect in source order.
+    let mut out = Vec::with_capacity(size);
+    for src in 0..size {
+        if src == rank {
+            out.push(chunks[rank].clone());
+        } else {
+            out.push(group.recv_from(src)?);
+        }
+    }
+    Ok(out)
+}
+
+/// Gather: everyone's `data` arrives at `root`, ordered by rank; others
+/// get an empty vector.
+pub fn gather(group: &CommGroup<'_>, root: usize, data: &[u8]) -> Result<Vec<Vec<u8>>> {
+    if group.rank() == root {
+        let mut out = Vec::with_capacity(group.size());
+        for r in 0..group.size() {
+            if r == root {
+                out.push(data.to_vec());
+            } else {
+                out.push(group.recv_from(r)?);
+            }
+        }
+        Ok(out)
+    } else {
+        group.send_to(root, data)?;
+        Ok(Vec::new())
+    }
+}
+
+/// Scatter: `root` distributes `chunks[r]` to rank `r`; returns this
+/// member's chunk.
+pub fn scatter(group: &CommGroup<'_>, root: usize, chunks: Option<&[Vec<u8>]>) -> Result<Vec<u8>> {
+    if group.rank() == root {
+        let chunks = chunks.expect("root must supply the chunks");
+        assert_eq!(chunks.len(), group.size(), "one chunk per rank");
+        for (r, chunk) in chunks.iter().enumerate() {
+            if r != root {
+                group.send_to(r, chunk)?;
+            }
+        }
+        Ok(chunks[root].clone())
+    } else {
+        group.recv_from(root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpf::{Mpf, MpfConfig, ProcessId};
+    use mpf_shm::process::run_processes_collect;
+
+    fn facility(procs: u32) -> Mpf {
+        Mpf::init(
+            MpfConfig::new(4 * procs * procs + 16, procs)
+                .with_max_connections(8 * procs * procs + 64),
+        )
+        .expect("init")
+    }
+
+    fn with_group<T: Send>(
+        procs: usize,
+        tag: &str,
+        f: impl Fn(&CommGroup<'_>) -> T + Sync,
+    ) -> Vec<T> {
+        let mpf = facility(procs as u32);
+        run_processes_collect(procs, |pid: ProcessId| {
+            let g = CommGroup::create(&mpf, pid, pid.index(), procs, tag).unwrap();
+            f(&g)
+        })
+    }
+
+    #[test]
+    fn barrier_completes_at_many_sizes() {
+        for procs in [1usize, 2, 3, 4, 5, 8] {
+            with_group(procs, &format!("bar{procs}"), |g| {
+                for _ in 0..3 {
+                    barrier(g).unwrap();
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn barrier_actually_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let arrived = AtomicUsize::new(0);
+        let arrived_ref = &arrived;
+        with_group(4, "barsync", move |g| {
+            for phase in 1..=5usize {
+                arrived_ref.fetch_add(1, Ordering::SeqCst);
+                barrier(g).unwrap();
+                assert!(
+                    arrived_ref.load(Ordering::SeqCst) >= phase * 4,
+                    "barrier released before all arrived"
+                );
+                barrier(g).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn broadcast_from_every_root() {
+        for procs in [2usize, 3, 5, 8] {
+            for root in 0..procs {
+                let results = with_group(procs, &format!("bc{procs}r{root}"), move |g| {
+                    let data = if g.rank() == root {
+                        format!("hello from {root}").into_bytes()
+                    } else {
+                        Vec::new()
+                    };
+                    broadcast(g, root, &data).unwrap()
+                });
+                for r in results {
+                    assert_eq!(r, format!("hello from {root}").into_bytes());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sums_to_root() {
+        for procs in [1usize, 2, 3, 4, 7] {
+            let results = with_group(procs, &format!("rd{procs}"), move |g| {
+                reduce_f64(g, 0, &[g.rank() as f64 + 1.0, 1.0], |a, b| a + b).unwrap()
+            });
+            let expected: f64 = (1..=procs).map(|v| v as f64).sum();
+            assert_eq!(results[0], vec![expected, procs as f64]);
+            for r in &results[1..] {
+                assert!(r.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_respects_the_operator() {
+        let results = with_group(4, "rdmax", |g| {
+            reduce_f64(g, 0, &[g.rank() as f64], f64::max).unwrap()
+        });
+        assert_eq!(results[0], vec![3.0]);
+    }
+
+    #[test]
+    fn allreduce_gives_everyone_the_sum() {
+        for procs in [2usize, 4, 6] {
+            let results = with_group(procs, &format!("ar{procs}"), |g| {
+                allreduce_sum_f64(g, &[g.rank() as f64 + 1.0]).unwrap()[0]
+            });
+            let expected: f64 = (1..=procs).map(|v| v as f64).sum();
+            assert!(results.iter().all(|&s| s == expected), "{results:?}");
+        }
+    }
+
+    #[test]
+    fn gather_preserves_rank_order() {
+        let results = with_group(5, "ga", |g| {
+            gather(g, 2, &[g.rank() as u8; 3]).unwrap()
+        });
+        let at_root = &results[2];
+        assert_eq!(at_root.len(), 5);
+        for (r, chunk) in at_root.iter().enumerate() {
+            assert_eq!(chunk, &vec![r as u8; 3]);
+        }
+    }
+
+    #[test]
+    fn scatter_distributes_chunks() {
+        let results = with_group(4, "sc", |g| {
+            let chunks: Option<Vec<Vec<u8>>> = (g.rank() == 1)
+                .then(|| (0..4).map(|r| vec![r as u8 * 10; 2]).collect());
+            scatter(g, 1, chunks.as_deref()).unwrap()
+        });
+        for (r, chunk) in results.iter().enumerate() {
+            assert_eq!(chunk, &vec![r as u8 * 10; 2]);
+        }
+    }
+
+    #[test]
+    fn alltoall_full_exchange() {
+        let results = with_group(4, "a2a", |g| {
+            let chunks: Vec<Vec<u8>> = (0..4)
+                .map(|dst| vec![g.rank() as u8 * 16 + dst as u8; 3])
+                .collect();
+            alltoall(g, &chunks).unwrap()
+        });
+        for (me, received) in results.iter().enumerate() {
+            for (src, chunk) in received.iter().enumerate() {
+                let expected = vec![src as u8 * 16 + me as u8; 3];
+                assert_eq!(chunk, &expected, "rank {me} from {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn collectives_compose_in_sequence() {
+        // A miniature iterative algorithm: local work, allreduce, barrier,
+        // repeated — the SOR control pattern.
+        let results = with_group(4, "seq", |g| {
+            let mut value = g.rank() as f64;
+            for _ in 0..5 {
+                value = allreduce_sum_f64(g, &[value]).unwrap()[0];
+                barrier(g).unwrap();
+            }
+            value
+        });
+        // 0+1+2+3 = 6; then 6×4 = 24; 96; 384; 1536.
+        assert!(results.iter().all(|&v| v == 1536.0), "{results:?}");
+    }
+}

@@ -1,0 +1,39 @@
+//! # mpf-proto — a prototyping environment over MPF
+//!
+//! The paper's closing claim: "Programs destined for message passing
+//! systems can be easily prototyped in the MPF environment" (§5), citing
+//! the Purtilo/Reed/Grunwald prototyping-environment work [PuRG86].  This
+//! crate is that environment: the structured layer a 1987 group would
+//! have grown on top of the eight raw primitives.
+//!
+//! * [`topology`] — virtual interconnects (ring, 2-D mesh, hypercube,
+//!   star) with neighbour arithmetic, so an algorithm written for a
+//!   message-passing machine keeps its communication structure when
+//!   prototyped on the shared-memory machine.
+//! * [`group`] — [`group::CommGroup`]: ranked point-to-point messaging
+//!   over dedicated pairwise LNVCs, with connection caching (which also
+//!   defuses the paper's §3.2 lost-message hazard: connections live as
+//!   long as the group).
+//! * [`collectives`] — barrier (dissemination), broadcast and reduce
+//!   (binomial trees), all-reduce, gather and scatter, all built purely
+//!   from `message_send`/`message_receive`.
+//!
+//! ```
+//! use mpf::{Mpf, MpfConfig};
+//! use mpf_proto::group::CommGroup;
+//! use mpf_shm::process::run_processes_collect;
+//!
+//! let mpf = Mpf::init(MpfConfig::new(64, 8).with_max_connections(512)).unwrap();
+//! let sums = run_processes_collect(4, |pid| {
+//!     let group = CommGroup::create(&mpf, pid, pid.index(), 4, "demo").unwrap();
+//!     mpf_proto::collectives::allreduce_sum_f64(&group, &[pid.index() as f64 + 1.0]).unwrap()[0]
+//! });
+//! assert!(sums.iter().all(|&s| s == 10.0));
+//! ```
+
+pub mod collectives;
+pub mod group;
+pub mod topology;
+
+pub use group::CommGroup;
+pub use topology::Topology;

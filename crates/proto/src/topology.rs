@@ -1,0 +1,203 @@
+//! Virtual interconnect topologies.
+//!
+//! An algorithm destined for a hypercube or a mesh is written against its
+//! topology's neighbour structure; prototyping it over MPF means keeping
+//! that structure and merely renaming "physical link" to "LNVC".  These
+//! types provide the neighbour arithmetic for the interconnects of the
+//! era (the paper's SOR solver came from a hypercube; the Balance's rival
+//! machines were meshes and cubes).
+
+/// A virtual interconnect over ranks `0..size`.
+///
+/// ```
+/// use mpf_proto::Topology;
+/// let cube = Topology::Hypercube { dim: 3 };
+/// assert_eq!(cube.size(), 8);
+/// assert_eq!(cube.neighbors(5), vec![4, 7, 1]);
+/// assert_eq!(cube.diameter(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Topology {
+    /// Bidirectional ring.
+    Ring {
+        /// Number of nodes.
+        size: usize,
+    },
+    /// Non-wrapping 2-D mesh, row-major ranks.
+    Mesh2D {
+        /// Columns.
+        width: usize,
+        /// Rows.
+        height: usize,
+    },
+    /// d-dimensional hypercube (2^d nodes).
+    Hypercube {
+        /// Dimension.
+        dim: u32,
+    },
+    /// Star: rank 0 is the hub, all others are leaves.
+    Star {
+        /// Number of nodes (hub included).
+        size: usize,
+    },
+}
+
+impl Topology {
+    /// Number of nodes.
+    pub fn size(&self) -> usize {
+        match *self {
+            Topology::Ring { size } => size,
+            Topology::Mesh2D { width, height } => width * height,
+            Topology::Hypercube { dim } => 1 << dim,
+            Topology::Star { size } => size,
+        }
+    }
+
+    /// The ranks directly connected to `rank`, in a deterministic order.
+    ///
+    /// # Panics
+    /// If `rank` is out of range.
+    pub fn neighbors(&self, rank: usize) -> Vec<usize> {
+        assert!(rank < self.size(), "rank {rank} out of range");
+        match *self {
+            Topology::Ring { size } => {
+                if size <= 1 {
+                    Vec::new()
+                } else if size == 2 {
+                    vec![1 - rank]
+                } else {
+                    vec![(rank + size - 1) % size, (rank + 1) % size]
+                }
+            }
+            Topology::Mesh2D { width, height } => {
+                let (r, c) = (rank / width, rank % width);
+                let mut out = Vec::with_capacity(4);
+                if r > 0 {
+                    out.push(rank - width);
+                }
+                if r + 1 < height {
+                    out.push(rank + width);
+                }
+                if c > 0 {
+                    out.push(rank - 1);
+                }
+                if c + 1 < width {
+                    out.push(rank + 1);
+                }
+                out
+            }
+            Topology::Hypercube { dim } => {
+                (0..dim).map(|k| rank ^ (1 << k)).collect()
+            }
+            Topology::Star { size } => {
+                if rank == 0 {
+                    (1..size).collect()
+                } else {
+                    vec![0]
+                }
+            }
+        }
+    }
+
+    /// True when `a` and `b` share a link.
+    pub fn connected(&self, a: usize, b: usize) -> bool {
+        self.neighbors(a).contains(&b)
+    }
+
+    /// Network diameter (longest shortest path), by BFS — prototyping aid
+    /// for estimating collective round counts.
+    pub fn diameter(&self) -> usize {
+        let n = self.size();
+        let mut worst = 0;
+        for start in 0..n {
+            let mut dist = vec![usize::MAX; n];
+            dist[start] = 0;
+            let mut queue = std::collections::VecDeque::from([start]);
+            while let Some(u) = queue.pop_front() {
+                for v in self.neighbors(u) {
+                    if dist[v] == usize::MAX {
+                        dist[v] = dist[u] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            worst = worst.max(*dist.iter().filter(|&&d| d != usize::MAX).max().unwrap_or(&0));
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_neighbors_wrap() {
+        let t = Topology::Ring { size: 5 };
+        assert_eq!(t.neighbors(0), vec![4, 1]);
+        assert_eq!(t.neighbors(4), vec![3, 0]);
+        assert_eq!(t.diameter(), 2);
+    }
+
+    #[test]
+    fn tiny_rings_do_not_duplicate_links() {
+        assert_eq!(Topology::Ring { size: 1 }.neighbors(0), Vec::<usize>::new());
+        assert_eq!(Topology::Ring { size: 2 }.neighbors(0), vec![1]);
+    }
+
+    #[test]
+    fn mesh_corners_edges_interior() {
+        let t = Topology::Mesh2D {
+            width: 3,
+            height: 3,
+        };
+        assert_eq!(t.neighbors(0).len(), 2, "corner");
+        assert_eq!(t.neighbors(1).len(), 3, "edge");
+        assert_eq!(t.neighbors(4).len(), 4, "interior");
+        assert_eq!(t.diameter(), 4);
+    }
+
+    #[test]
+    fn hypercube_neighbors_differ_in_one_bit() {
+        let t = Topology::Hypercube { dim: 3 };
+        for rank in 0..8 {
+            for nb in t.neighbors(rank) {
+                assert_eq!((rank ^ nb).count_ones(), 1);
+            }
+        }
+        assert_eq!(t.diameter(), 3);
+    }
+
+    #[test]
+    fn star_hub_and_leaves() {
+        let t = Topology::Star { size: 6 };
+        assert_eq!(t.neighbors(0), vec![1, 2, 3, 4, 5]);
+        assert_eq!(t.neighbors(3), vec![0]);
+        assert_eq!(t.diameter(), 2);
+    }
+
+    #[test]
+    fn connectivity_is_symmetric() {
+        for t in [
+            Topology::Ring { size: 6 },
+            Topology::Mesh2D {
+                width: 4,
+                height: 2,
+            },
+            Topology::Hypercube { dim: 3 },
+            Topology::Star { size: 5 },
+        ] {
+            for a in 0..t.size() {
+                for b in 0..t.size() {
+                    assert_eq!(t.connected(a, b), t.connected(b, a), "{t:?} {a} {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_rank_panics() {
+        Topology::Ring { size: 3 }.neighbors(3);
+    }
+}

@@ -1,0 +1,172 @@
+//! The shared byte region for message payloads.
+//!
+//! MPF allocated one contiguous shared-memory region at `init()` and carved
+//! message blocks out of it.  [`StridedArena`] is that region: a fixed byte
+//! buffer divided into equal-stride slots.  Slot payloads are reached by
+//! index; a slot's bytes are written by exactly one owner before the slot is
+//! published (linked into a message under the LNVC lock, or the queue
+//! pointer is released), after which any number of readers may copy from it
+//! concurrently — the concurrency that gives the paper's Figure 5 its
+//! super-single-stream broadcast throughput.
+
+use std::cell::UnsafeCell;
+
+/// Fixed shared byte region divided into `slots` slots of `stride` bytes.
+#[derive(Debug)]
+pub struct StridedArena {
+    data: Box<[UnsafeCell<u8>]>,
+    stride: usize,
+}
+
+// SAFETY: all access to the underlying bytes goes through the unsafe
+// `write`/`read` methods whose contracts delegate exclusion and ordering to
+// the caller (the MPF message/block protocol).
+unsafe impl Sync for StridedArena {}
+unsafe impl Send for StridedArena {}
+
+impl StridedArena {
+    /// Allocates a region of `slots * stride` zeroed bytes.
+    pub fn new(slots: u32, stride: usize) -> Self {
+        assert!(stride > 0, "stride must be non-zero");
+        let len = slots as usize * stride;
+        let data: Box<[UnsafeCell<u8>]> = (0..len).map(|_| UnsafeCell::new(0)).collect();
+        Self { data, stride }
+    }
+
+    /// Bytes per slot.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Number of slots.
+    pub fn slots(&self) -> u32 {
+        (self.data.len() / self.stride) as u32
+    }
+
+    /// Total bytes in the region (the paper's "amount of shared memory
+    /// necessary" estimate, for reporting).
+    pub fn bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    fn base(&self, slot: u32, offset: usize, len: usize) -> *mut u8 {
+        let start = slot as usize * self.stride + offset;
+        assert!(
+            offset + len <= self.stride && (slot as usize) < self.slots() as usize,
+            "arena access out of bounds: slot {slot}, offset {offset}, len {len}, stride {}",
+            self.stride
+        );
+        self.data[start].get()
+    }
+
+    /// Copies `src` into slot `slot` starting at `offset`.
+    ///
+    /// # Safety
+    /// The caller must own the slot (no concurrent writer, no concurrent
+    /// reader) — in MPF, the slot has been popped from the block free list
+    /// and not yet linked into a published message.
+    pub unsafe fn write(&self, slot: u32, offset: usize, src: &[u8]) {
+        let dst = self.base(slot, offset, src.len());
+        std::ptr::copy_nonoverlapping(src.as_ptr(), dst, src.len());
+    }
+
+    /// Lends the first `len` bytes of slot `slot` as a borrowed slice.
+    ///
+    /// # Safety
+    /// Same contract as [`StridedArena::read`], plus: no writer may exist
+    /// for the duration of `f` (the slice aliases the region).
+    pub unsafe fn with_slice(&self, slot: u32, len: usize, f: &mut impl FnMut(&[u8])) {
+        let ptr = self.base(slot, 0, len) as *const u8;
+        f(std::slice::from_raw_parts(ptr, len));
+    }
+
+    /// Copies from slot `slot` starting at `offset` into `dst`.
+    ///
+    /// # Safety
+    /// The caller must hold a happens-after edge from the owning write
+    /// (in MPF, the acquire of the LNVC lock or queue pointer under which
+    /// the message was published) and the slot must not be concurrently
+    /// written.
+    pub unsafe fn read(&self, slot: u32, offset: usize, dst: &mut [u8]) {
+        let src = self.base(slot, offset, dst.len());
+        std::ptr::copy_nonoverlapping(src as *const u8, dst.as_mut_ptr(), dst.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::thread;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let a = StridedArena::new(4, 16);
+        let payload = [1u8, 2, 3, 4, 5];
+        unsafe { a.write(2, 3, &payload) };
+        let mut out = [0u8; 5];
+        unsafe { a.read(2, 3, &mut out) };
+        assert_eq!(out, payload);
+    }
+
+    #[test]
+    fn slots_do_not_alias() {
+        let a = StridedArena::new(3, 8);
+        unsafe {
+            a.write(0, 0, &[0xAA; 8]);
+            a.write(1, 0, &[0xBB; 8]);
+            a.write(2, 0, &[0xCC; 8]);
+        }
+        for (slot, byte) in [(0u32, 0xAAu8), (1, 0xBB), (2, 0xCC)] {
+            let mut out = [0u8; 8];
+            unsafe { a.read(slot, 0, &mut out) };
+            assert!(out.iter().all(|&b| b == byte), "slot {slot} corrupted");
+        }
+    }
+
+    #[test]
+    fn geometry_reporting() {
+        let a = StridedArena::new(10, 10);
+        assert_eq!(a.stride(), 10);
+        assert_eq!(a.slots(), 10);
+        assert_eq!(a.bytes(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn overrun_within_slot_panics() {
+        let a = StridedArena::new(2, 8);
+        unsafe { a.write(0, 4, &[0u8; 5]) };
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bad_slot_panics() {
+        let a = StridedArena::new(2, 8);
+        let mut out = [0u8; 1];
+        unsafe { a.read(2, 0, &mut out) };
+    }
+
+    #[test]
+    fn publish_then_concurrent_readers() {
+        let a = StridedArena::new(1, 64);
+        let ready = AtomicBool::new(false);
+        thread::scope(|s| {
+            s.spawn(|| {
+                unsafe { a.write(0, 0, &[7u8; 64]) };
+                ready.store(true, Ordering::Release);
+            });
+            for _ in 0..4 {
+                s.spawn(|| {
+                    while !ready.load(Ordering::Acquire) {
+                        std::hint::spin_loop();
+                    }
+                    let mut out = [0u8; 64];
+                    unsafe { a.read(0, 0, &mut out) };
+                    assert!(out.iter().all(|&b| b == 7));
+                });
+            }
+        });
+    }
+}

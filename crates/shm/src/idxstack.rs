@@ -1,0 +1,235 @@
+//! Lock-free free list over slot indices (Treiber stack with an ABA tag).
+//!
+//! The paper's §3.1: "message blocks … are linked into free lists when not
+//! in use."  MPF protected those lists with its global lock; we make them
+//! lock-free so allocation never serializes senders — the same observation
+//! the paper makes in §5 about removing locking where the protocol allows.
+//!
+//! Links are stored out-of-band in a parallel `next` array indexed by slot,
+//! so the payload slots themselves never carry list pointers.  The head
+//! packs a 32-bit modification tag with the 32-bit top index to defeat ABA.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Sentinel "no slot" index.
+pub const NIL: u32 = u32::MAX;
+
+#[inline]
+fn pack(tag: u32, idx: u32) -> u64 {
+    ((tag as u64) << 32) | idx as u64
+}
+
+#[inline]
+fn unpack(word: u64) -> (u32, u32) {
+    ((word >> 32) as u32, word as u32)
+}
+
+/// A lock-free stack of slot indices in `0..capacity`.
+#[derive(Debug)]
+pub struct IndexStack {
+    head: AtomicU64,
+    next: Box<[AtomicU32]>,
+    len: AtomicU32,
+}
+
+impl IndexStack {
+    /// Creates a stack over `capacity` slots.  If `full`, every index starts
+    /// on the stack (the usual "everything free" initial state); otherwise
+    /// the stack starts empty.
+    pub fn new(capacity: u32, full: bool) -> Self {
+        assert!(
+            capacity < NIL,
+            "capacity must leave room for the NIL sentinel"
+        );
+        let next: Box<[AtomicU32]> = (0..capacity)
+            .map(|i| AtomicU32::new(if full && i + 1 < capacity { i + 1 } else { NIL }))
+            .collect();
+        let top = if full && capacity > 0 { 0 } else { NIL };
+        Self {
+            head: AtomicU64::new(pack(0, top)),
+            next,
+            len: AtomicU32::new(if full { capacity } else { 0 }),
+        }
+    }
+
+    /// Total number of slots this stack can hold.
+    pub fn capacity(&self) -> u32 {
+        self.next.len() as u32
+    }
+
+    /// Approximate number of indices currently on the stack.
+    pub fn len(&self) -> u32 {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// True if (approximately) no indices are available.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pushes `idx` onto the stack.
+    ///
+    /// # Panics
+    /// If `idx` is out of range.  Pushing an index that is already on the
+    /// stack is a logic error that corrupts the list; the typed pools in
+    /// [`crate::pool`] guarantee each index is pushed at most once per pop.
+    pub fn push(&self, idx: u32) {
+        assert!((idx as usize) < self.next.len(), "index out of range");
+        let mut head = self.head.load(Ordering::Acquire);
+        loop {
+            let (tag, top) = unpack(head);
+            self.next[idx as usize].store(top, Ordering::Relaxed);
+            match self.head.compare_exchange_weak(
+                head,
+                pack(tag.wrapping_add(1), idx),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.len.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                Err(actual) => head = actual,
+            }
+        }
+    }
+
+    /// Pops an index, or `None` if the stack is empty.
+    pub fn pop(&self) -> Option<u32> {
+        let mut head = self.head.load(Ordering::Acquire);
+        loop {
+            let (tag, top) = unpack(head);
+            if top == NIL {
+                return None;
+            }
+            let next = self.next[top as usize].load(Ordering::Relaxed);
+            match self.head.compare_exchange_weak(
+                head,
+                pack(tag.wrapping_add(1), next),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.len.fetch_sub(1, Ordering::Relaxed);
+                    return Some(top);
+                }
+                Err(actual) => head = actual,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::thread;
+
+    #[test]
+    fn full_stack_pops_every_index_once() {
+        let s = IndexStack::new(100, true);
+        let mut seen = HashSet::new();
+        while let Some(i) = s.pop() {
+            assert!(seen.insert(i), "duplicate index {i}");
+        }
+        assert_eq!(seen.len(), 100);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn empty_stack_pops_none() {
+        let s = IndexStack::new(10, false);
+        assert_eq!(s.pop(), None);
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let s = IndexStack::new(4, false);
+        s.push(2);
+        s.push(0);
+        assert_eq!(s.pop(), Some(0));
+        assert_eq!(s.pop(), Some(2));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn lifo_order_single_thread() {
+        let s = IndexStack::new(8, false);
+        for i in 0..8 {
+            s.push(i);
+        }
+        for i in (0..8).rev() {
+            assert_eq!(s.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of range")]
+    fn push_out_of_range_panics() {
+        let s = IndexStack::new(4, false);
+        s.push(4);
+    }
+
+    #[test]
+    fn zero_capacity_is_fine() {
+        let s = IndexStack::new(0, true);
+        assert_eq!(s.pop(), None);
+        assert_eq!(s.capacity(), 0);
+    }
+
+    #[test]
+    fn concurrent_alloc_free_conserves_indices() {
+        const CAP: u32 = 256;
+        const THREADS: usize = 8;
+        const ITERS: usize = 10_000;
+        let s = IndexStack::new(CAP, true);
+        thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| {
+                    let mut held = Vec::new();
+                    for i in 0..ITERS {
+                        if i % 3 != 2 {
+                            if let Some(idx) = s.pop() {
+                                held.push(idx);
+                            }
+                        } else if let Some(idx) = held.pop() {
+                            s.push(idx);
+                        }
+                    }
+                    for idx in held {
+                        s.push(idx);
+                    }
+                });
+            }
+        });
+        // All indices must be back, each exactly once.
+        let mut seen = HashSet::new();
+        while let Some(i) = s.pop() {
+            assert!(seen.insert(i), "duplicate index {i} after concurrent run");
+        }
+        assert_eq!(seen.len(), CAP as usize, "lost indices");
+    }
+
+    #[test]
+    fn concurrent_pushers_and_poppers_meet_in_the_middle() {
+        let s = IndexStack::new(64, true);
+        let drained: Vec<u32> = std::iter::from_fn(|| s.pop()).collect();
+        assert_eq!(drained.len(), 64);
+        thread::scope(|scope| {
+            let (a, b) = drained.split_at(32);
+            let s = &s;
+            scope.spawn(move || {
+                for &i in a {
+                    s.push(i);
+                }
+            });
+            scope.spawn(move || {
+                for &i in b {
+                    s.push(i);
+                }
+            });
+        });
+        assert_eq!(s.len(), 64);
+    }
+}

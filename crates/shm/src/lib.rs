@@ -1,0 +1,55 @@
+//! # mpf-shm — shared-memory multiprocessor substrate
+//!
+//! MPF (Malony, Reed, McGuire; ICPP 1987) is "completely portable between
+//! shared memory multiprocessors that provide locking and memory sharing
+//! between concurrently executing processes."  This crate is that substrate,
+//! built from scratch in safe-by-construction Rust:
+//!
+//! * [`arena::StridedArena`] — a fixed shared byte region carved into
+//!   equal-size slots, addressed by **index, not pointer**.  On the Sequent
+//!   Balance 21000 the MPF shared region was a range of physical memory
+//!   mapped into each Unix process at a potentially different virtual
+//!   address, so every internal link had to be position independent.  We
+//!   keep that discipline: all cross-"process" references in this workspace
+//!   are `u32` slot indices.
+//! * [`pool::Pool`] — typed slot pools with a lock-free free list, the
+//!   "free list of linked message blocks … created in shared memory" of the
+//!   paper's §3.1.
+//! * [`idxstack::IndexStack`] — the free list itself: a Treiber stack over
+//!   slot indices with an ABA tag.
+//! * [`lock::ShmLock`] — the synchronization primitive: test-and-test-and-set
+//!   spin lock with exponential backoff (the Balance's ALM atomic-lock-memory
+//!   equivalent), a FIFO ticket lock, and an OS mutex, selectable at run time
+//!   (ablation A2 in DESIGN.md).
+//! * [`waitq::WaitQueue`] — wait/notify used by the blocking
+//!   `message_receive()`; spin, yield and park strategies (ablation A3).
+//! * [`process`] — the paper's "group of Unix processes" realized as scoped
+//!   OS threads carrying [`process::ProcessId`]s.
+//! * [`barrier::SpinBarrier`] — sense-reversing barrier used by the
+//!   shared-memory baseline applications and the benchmark harness.
+//!
+//! Nothing in this crate knows about messages or LNVCs; it only provides
+//! "shared memory allocation and synchronization", the two facilities the
+//! paper names as its portability boundary.
+
+pub mod arena;
+pub mod backoff;
+pub mod barrier;
+pub mod idxstack;
+pub mod lock;
+pub mod pad;
+pub mod pool;
+pub mod process;
+pub mod stats;
+pub mod waitq;
+
+pub use arena::StridedArena;
+pub use backoff::Backoff;
+pub use barrier::SpinBarrier;
+pub use idxstack::{IndexStack, NIL};
+pub use lock::{LockKind, ShmLock, ShmLockGuard};
+pub use pad::CachePadded;
+pub use pool::Pool;
+pub use process::{run_processes, run_processes_collect, ProcessId};
+pub use stats::Counter;
+pub use waitq::{WaitQueue, WaitStrategy};

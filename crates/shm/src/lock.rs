@@ -1,0 +1,371 @@
+//! Mutual-exclusion primitives for the shared region.
+//!
+//! The paper's §3.1: "a synchronization lock for mutual exclusive access to
+//! the LNVC descriptor".  On the Balance 21000 this was a busy-wait lock on
+//! the bus's atomic lock memory.  We provide three interchangeable
+//! realizations (DESIGN.md ablation A2):
+//!
+//! * [`SpinLock`] — test-and-test-and-set with exponential backoff; the
+//!   closest analogue of the 1987 primitive.
+//! * [`TicketLock`] — FIFO-fair; trades throughput for fairness, which
+//!   matters for the FCFS receiver pools in Figure 4 style workloads.
+//! * OS mutex (`parking_lot::RawMutex`) — what a modern port would use.
+//!
+//! Every variant counts contended acquisitions so benchmarks can report
+//! how much of a throughput dip is lock contention (the paper attributes
+//! the 16/128-byte declines in Figure 4 to "increased LNVC contention").
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+use parking_lot::lock_api::RawMutex as _;
+
+use crate::backoff::Backoff;
+
+/// Which lock implementation to use for region-internal mutual exclusion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LockKind {
+    /// Test-and-test-and-set spin lock with exponential backoff (default;
+    /// closest to the 1987 substrate).
+    #[default]
+    Spin,
+    /// FIFO ticket lock.
+    Ticket,
+    /// Operating-system mutex (`parking_lot`).
+    Os,
+}
+
+/// Test-and-test-and-set spin lock with exponential backoff.
+#[derive(Debug, Default)]
+pub struct SpinLock {
+    locked: AtomicBool,
+    contended: AtomicU64,
+}
+
+impl SpinLock {
+    /// New, unlocked.
+    pub const fn new() -> Self {
+        Self {
+            locked: AtomicBool::new(false),
+            contended: AtomicU64::new(0),
+        }
+    }
+
+    /// Attempts to acquire without waiting.
+    #[inline]
+    pub fn try_lock(&self) -> bool {
+        self.locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Acquires, spinning with backoff.  The read-only inner loop keeps the
+    /// lock word in-cache so retries do not occupy the bus.
+    pub fn lock(&self) {
+        if self.try_lock() {
+            return;
+        }
+        self.contended.fetch_add(1, Ordering::Relaxed);
+        let mut backoff = Backoff::new();
+        loop {
+            while self.locked.load(Ordering::Relaxed) {
+                backoff.snooze();
+            }
+            if self.try_lock() {
+                return;
+            }
+        }
+    }
+
+    /// Releases.  Caller must hold the lock.
+    #[inline]
+    pub fn unlock(&self) {
+        self.locked.store(false, Ordering::Release);
+    }
+
+    /// Number of acquisitions that did not succeed on the first attempt.
+    pub fn contended_count(&self) -> u64 {
+        self.contended.load(Ordering::Relaxed)
+    }
+}
+
+/// FIFO ticket lock: acquirers take a ticket and wait for it to be served.
+#[derive(Debug, Default)]
+pub struct TicketLock {
+    next: AtomicU32,
+    serving: AtomicU32,
+    contended: AtomicU64,
+}
+
+impl TicketLock {
+    /// New, unlocked.
+    pub const fn new() -> Self {
+        Self {
+            next: AtomicU32::new(0),
+            serving: AtomicU32::new(0),
+            contended: AtomicU64::new(0),
+        }
+    }
+
+    /// Attempts to acquire without waiting.
+    pub fn try_lock(&self) -> bool {
+        let serving = self.serving.load(Ordering::Relaxed);
+        self.next
+            .compare_exchange(
+                serving,
+                serving.wrapping_add(1),
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+    }
+
+    /// Acquires in FIFO order.
+    pub fn lock(&self) {
+        let ticket = self.next.fetch_add(1, Ordering::Relaxed);
+        if self.serving.load(Ordering::Acquire) == ticket {
+            return;
+        }
+        self.contended.fetch_add(1, Ordering::Relaxed);
+        let mut backoff = Backoff::new();
+        while self.serving.load(Ordering::Acquire) != ticket {
+            backoff.snooze();
+        }
+    }
+
+    /// Releases.  Caller must hold the lock.
+    pub fn unlock(&self) {
+        let serving = self.serving.load(Ordering::Relaxed);
+        self.serving
+            .store(serving.wrapping_add(1), Ordering::Release);
+    }
+
+    /// Number of acquisitions that had to wait.
+    pub fn contended_count(&self) -> u64 {
+        self.contended.load(Ordering::Relaxed)
+    }
+}
+
+/// A region lock with a run-time-selected implementation.
+///
+/// LNVC descriptors embed one of these; the kind is fixed at
+/// [`ShmLock::new`] time from the facility configuration.
+pub enum ShmLock {
+    /// TTAS spin lock.
+    Spin(SpinLock),
+    /// FIFO ticket lock.
+    Ticket(TicketLock),
+    /// OS mutex.
+    Os(parking_lot::RawMutex, AtomicU64),
+}
+
+impl std::fmt::Debug for ShmLock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self {
+            ShmLock::Spin(_) => "Spin",
+            ShmLock::Ticket(_) => "Ticket",
+            ShmLock::Os(..) => "Os",
+        };
+        f.debug_struct("ShmLock")
+            .field("kind", &kind)
+            .field("contended", &self.contended_count())
+            .finish()
+    }
+}
+
+impl Default for ShmLock {
+    fn default() -> Self {
+        ShmLock::Spin(SpinLock::new())
+    }
+}
+
+impl ShmLock {
+    /// Creates an unlocked lock of the requested kind.
+    pub fn new(kind: LockKind) -> Self {
+        match kind {
+            LockKind::Spin => ShmLock::Spin(SpinLock::new()),
+            LockKind::Ticket => ShmLock::Ticket(TicketLock::new()),
+            LockKind::Os => ShmLock::Os(parking_lot::RawMutex::INIT, AtomicU64::new(0)),
+        }
+    }
+
+    /// Acquires; the guard releases on drop.
+    pub fn lock(&self) -> ShmLockGuard<'_> {
+        match self {
+            ShmLock::Spin(l) => l.lock(),
+            ShmLock::Ticket(l) => l.lock(),
+            ShmLock::Os(l, contended) => {
+                if !l.try_lock() {
+                    contended.fetch_add(1, Ordering::Relaxed);
+                    l.lock();
+                }
+            }
+        }
+        ShmLockGuard { lock: self }
+    }
+
+    /// Attempts to acquire without waiting.
+    pub fn try_lock(&self) -> Option<ShmLockGuard<'_>> {
+        let ok = match self {
+            ShmLock::Spin(l) => l.try_lock(),
+            ShmLock::Ticket(l) => l.try_lock(),
+            ShmLock::Os(l, _) => l.try_lock(),
+        };
+        // `then` (not `then_some`): the guard must only exist — and thus
+        // only ever unlock on drop — if the acquisition succeeded.
+        ok.then(|| ShmLockGuard { lock: self })
+    }
+
+    /// Number of acquisitions that had to wait.
+    pub fn contended_count(&self) -> u64 {
+        match self {
+            ShmLock::Spin(l) => l.contended_count(),
+            ShmLock::Ticket(l) => l.contended_count(),
+            ShmLock::Os(_, c) => c.load(Ordering::Relaxed),
+        }
+    }
+
+    fn unlock(&self) {
+        match self {
+            ShmLock::Spin(l) => l.unlock(),
+            ShmLock::Ticket(l) => l.unlock(),
+            // SAFETY: only ShmLockGuard::drop calls this, and a guard is
+            // only created after a successful acquisition on this lock.
+            ShmLock::Os(l, _) => unsafe { l.unlock() },
+        }
+    }
+}
+
+/// RAII guard; releases the [`ShmLock`] on drop.
+#[derive(Debug)]
+pub struct ShmLockGuard<'a> {
+    lock: &'a ShmLock,
+}
+
+impl Drop for ShmLockGuard<'_> {
+    fn drop(&mut self) {
+        self.lock.unlock();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::thread;
+
+    struct Wrap(std::cell::UnsafeCell<usize>);
+    unsafe impl Sync for Wrap {}
+    impl Wrap {
+        fn ptr(&self) -> *mut usize {
+            self.0.get()
+        }
+    }
+
+    fn hammer(lock: &ShmLock, threads: usize, iters: usize) -> usize {
+        let counter = AtomicUsize::new(0);
+        let wrap = Wrap(std::cell::UnsafeCell::new(0usize));
+        thread::scope(|s| {
+            for _ in 0..threads {
+                let wrap = &wrap;
+                let counter = &counter;
+                s.spawn(move || {
+                    for _ in 0..iters {
+                        let _g = lock.lock();
+                        // SAFETY: mutual exclusion provided by the lock.
+                        unsafe { *wrap.ptr() += 1 };
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        unsafe { *wrap.ptr() }
+    }
+
+    #[test]
+    fn spin_lock_mutual_exclusion() {
+        let lock = ShmLock::new(LockKind::Spin);
+        assert_eq!(hammer(&lock, 4, 5_000), 20_000);
+    }
+
+    #[test]
+    fn ticket_lock_mutual_exclusion() {
+        let lock = ShmLock::new(LockKind::Ticket);
+        assert_eq!(hammer(&lock, 4, 5_000), 20_000);
+    }
+
+    #[test]
+    fn os_lock_mutual_exclusion() {
+        let lock = ShmLock::new(LockKind::Os);
+        assert_eq!(hammer(&lock, 4, 5_000), 20_000);
+    }
+
+    #[test]
+    fn try_lock_fails_while_held() {
+        for kind in [LockKind::Spin, LockKind::Ticket, LockKind::Os] {
+            let lock = ShmLock::new(kind);
+            let g = lock.lock();
+            assert!(lock.try_lock().is_none(), "{kind:?}");
+            drop(g);
+            assert!(lock.try_lock().is_some(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn guard_releases_on_drop() {
+        let lock = ShmLock::new(LockKind::Spin);
+        drop(lock.lock());
+        drop(lock.lock());
+    }
+
+    #[test]
+    fn contention_counter_counts_forced_contention() {
+        for kind in [LockKind::Spin, LockKind::Ticket, LockKind::Os] {
+            let lock = ShmLock::new(kind);
+            let entered = AtomicUsize::new(0);
+            thread::scope(|s| {
+                let g = lock.lock();
+                let handle = s.spawn(|| {
+                    entered.fetch_add(1, Ordering::SeqCst);
+                    let _g = lock.lock(); // must contend: main holds it
+                });
+                while entered.load(Ordering::SeqCst) == 0 {
+                    std::hint::spin_loop();
+                }
+                thread::sleep(std::time::Duration::from_millis(10));
+                drop(g);
+                handle.join().unwrap();
+            });
+            assert!(lock.contended_count() > 0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn raw_spin_try_lock_semantics() {
+        let l = SpinLock::new();
+        assert!(l.try_lock());
+        assert!(!l.try_lock());
+        l.unlock();
+        assert!(l.try_lock());
+        l.unlock();
+    }
+
+    #[test]
+    fn raw_ticket_try_lock_semantics() {
+        let l = TicketLock::new();
+        assert!(l.try_lock());
+        assert!(!l.try_lock());
+        l.unlock();
+        assert!(l.try_lock());
+        l.unlock();
+    }
+
+    #[test]
+    fn ticket_lock_is_fifo_under_sequential_use() {
+        let l = TicketLock::new();
+        for _ in 0..1000 {
+            l.lock();
+            l.unlock();
+        }
+        assert_eq!(l.contended_count(), 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Cache-line padding to prevent false sharing between hot shared counters.
+//!
+//! The Balance 21000 had 8 KB write-through caches; false sharing on a
+//! write-through bus turns every neighbour's store into a bus transaction.
+//! Modern machines invalidate instead, but the remedy is the same: keep
+//! independently-written hot words on separate lines.
+
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns `T` to 128 bytes (two 64-byte lines, covering adjacent
+/// line prefetchers).
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in a cache-line-aligned cell.
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+
+    /// Consumes the padding, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_is_128() {
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 128);
+        assert!(std::mem::size_of::<CachePadded<u8>>() >= 128);
+    }
+
+    #[test]
+    fn deref_roundtrip() {
+        let mut c = CachePadded::new(41u64);
+        *c += 1;
+        assert_eq!(*c, 42);
+        assert_eq!(c.into_inner(), 42);
+    }
+
+    #[test]
+    fn from_and_default() {
+        let c: CachePadded<u32> = 7u32.into();
+        assert_eq!(*c, 7);
+        let d: CachePadded<u32> = CachePadded::default();
+        assert_eq!(*d, 0);
+    }
+}

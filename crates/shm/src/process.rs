@@ -1,0 +1,130 @@
+//! The paper's "group of Unix processes", realized as scoped OS threads.
+//!
+//! MPF parallel programs on the Balance 21000 were Unix processes sharing a
+//! mapped region.  Threads give us the same shared region with the same
+//! explicit-identity discipline: every participant carries a [`ProcessId`]
+//! and all MPF calls name the calling process, exactly as the C interface
+//! (`process_id` first argument) requires.
+
+use std::num::NonZeroU32;
+
+/// Identity of an MPF "process" (a participant in conversations).
+///
+/// Wraps a non-zero id so `Option<ProcessId>` is free and an uninitialized
+/// zero in the shared region can never masquerade as a real process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcessId(NonZeroU32);
+
+impl ProcessId {
+    /// Creates a process id from a non-zero raw value.
+    pub fn new(raw: u32) -> Option<Self> {
+        NonZeroU32::new(raw).map(Self)
+    }
+
+    /// Process id `index + 1`; convenient for loop-spawned workers.
+    pub fn from_index(index: usize) -> Self {
+        Self(NonZeroU32::new(index as u32 + 1).expect("index + 1 overflowed"))
+    }
+
+    /// Raw non-zero value.
+    pub fn raw(self) -> u32 {
+        self.0.get()
+    }
+
+    /// The zero-based index this id was created from.
+    pub fn index(self) -> usize {
+        (self.0.get() - 1) as usize
+    }
+}
+
+impl std::fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Runs `n` processes, each executing `body(pid)`, and joins them all.
+///
+/// Panics propagate: if any process panics, this function panics after all
+/// others have been joined (scoped-thread semantics).
+pub fn run_processes<F>(n: usize, body: F)
+where
+    F: Fn(ProcessId) + Sync,
+{
+    std::thread::scope(|s| {
+        for i in 0..n {
+            let body = &body;
+            s.spawn(move || body(ProcessId::from_index(i)));
+        }
+    });
+}
+
+/// Like [`run_processes`] but collects each process's return value,
+/// ordered by process index.
+pub fn run_processes_collect<F, T>(n: usize, body: F) -> Vec<T>
+where
+    F: Fn(ProcessId) -> T + Sync,
+    T: Send,
+{
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let body = &body;
+                s.spawn(move || body(ProcessId::from_index(i)))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("process panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn ids_are_distinct_and_indexed() {
+        let ids = run_processes_collect(8, |pid| pid);
+        for (i, pid) in ids.iter().enumerate() {
+            assert_eq!(pid.index(), i);
+            assert_eq!(pid.raw(), i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn zero_raw_id_rejected() {
+        assert!(ProcessId::new(0).is_none());
+        assert!(ProcessId::new(1).is_some());
+    }
+
+    #[test]
+    fn option_process_id_is_free() {
+        assert_eq!(
+            std::mem::size_of::<Option<ProcessId>>(),
+            std::mem::size_of::<u32>()
+        );
+    }
+
+    #[test]
+    fn run_processes_runs_all() {
+        let count = AtomicU32::new(0);
+        run_processes(16, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        let squares = run_processes_collect(10, |pid| pid.index() * pid.index());
+        assert_eq!(squares, (0..10).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(ProcessId::from_index(0).to_string(), "P1");
+    }
+}

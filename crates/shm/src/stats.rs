@@ -1,0 +1,79 @@
+//! Lightweight shared counters for instrumentation.
+//!
+//! The paper's performance analysis ("detailed measurements show that, for
+//! large messages, LNVC updates are of negligible cost … message copying
+//! costs dominate") needs the library to attribute time and traffic.  These
+//! counters are cache-padded so the instrumentation does not itself create
+//! the contention it measures.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::pad::CachePadded;
+
+/// A relaxed, cache-padded monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: CachePadded<AtomicU64>,
+}
+
+impl Counter {
+    /// Zeroed counter.
+    pub const fn new() -> Self {
+        Self {
+            value: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (between benchmark phases).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn inc_add_get_reset() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn concurrent_increments_are_exact() {
+        let c = Counter::new();
+        thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+    }
+}

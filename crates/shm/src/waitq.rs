@@ -1,0 +1,195 @@
+//! Wait/notify for blocking `message_receive()`.
+//!
+//! The paper's `message_receive()` "is blocking; it returns only after a
+//! message has been received."  On the Balance the natural realization was
+//! busy-waiting; a modern port parks the thread.  [`WaitQueue`] offers both
+//! (plus a yield middle ground) behind one sequence-count protocol, selected
+//! at facility-init time (DESIGN.md ablation A3).
+//!
+//! # Protocol
+//!
+//! A waiter, *while still holding the lock under which it observed "no
+//! message"*, reads a ticket with [`WaitQueue::ticket`], drops the lock,
+//! and calls [`WaitQueue::wait`].  A notifier makes its state change under
+//! the same lock and then calls [`WaitQueue::notify_all`], which bumps the
+//! sequence before waking.  `wait` returns as soon as the sequence differs
+//! from the ticket, so a notification between ticket-read and wait is never
+//! lost.  Spurious returns are allowed; callers re-check their predicate.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::thread::{self, Thread};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::backoff::Backoff;
+
+/// How a blocked receiver waits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WaitStrategy {
+    /// Busy-wait with exponential backoff — the 1987 idiom.
+    Spin,
+    /// Spin briefly, then `yield_now` — tolerant of oversubscription
+    /// (the paper runs 20 processes plus an arbiter on 20 CPUs).
+    #[default]
+    Yield,
+    /// Park the OS thread until notified.
+    Park,
+}
+
+/// A notify-all wait queue with a monotonically increasing sequence.
+#[derive(Debug)]
+pub struct WaitQueue {
+    seq: AtomicU32,
+    parked: Mutex<Vec<Thread>>,
+}
+
+impl Default for WaitQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WaitQueue {
+    /// New queue with sequence 0 and no waiters.
+    pub fn new() -> Self {
+        Self {
+            seq: AtomicU32::new(0),
+            parked: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Snapshot of the sequence.  Must be taken before releasing the lock
+    /// that protects the waited-on predicate.
+    #[inline]
+    pub fn ticket(&self) -> u32 {
+        self.seq.load(Ordering::Acquire)
+    }
+
+    /// Blocks until the sequence moves past `ticket` (or spuriously).
+    pub fn wait(&self, ticket: u32, strategy: WaitStrategy) {
+        match strategy {
+            WaitStrategy::Spin => {
+                let mut backoff = Backoff::new();
+                while self.seq.load(Ordering::Acquire) == ticket {
+                    backoff.spin();
+                }
+            }
+            WaitStrategy::Yield => {
+                let mut backoff = Backoff::new();
+                while self.seq.load(Ordering::Acquire) == ticket {
+                    backoff.snooze();
+                }
+            }
+            WaitStrategy::Park => {
+                loop {
+                    if self.seq.load(Ordering::Acquire) != ticket {
+                        return;
+                    }
+                    self.parked.lock().push(thread::current());
+                    if self.seq.load(Ordering::Acquire) != ticket {
+                        // Notification raced with registration; our stale
+                        // handle will at worst receive a harmless unpark.
+                        return;
+                    }
+                    // The timeout is a belt-and-braces bound, not the wake
+                    // mechanism; notify_all unparks promptly.
+                    thread::park_timeout(Duration::from_millis(2));
+                }
+            }
+        }
+    }
+
+    /// Bumps the sequence and wakes every parked waiter.  Call after the
+    /// state change is visible under the predicate's lock.
+    pub fn notify_all(&self) {
+        self.seq.fetch_add(1, Ordering::Release);
+        let mut parked = self.parked.lock();
+        for t in parked.drain(..) {
+            t.unpark();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    fn wakeup_smoke(strategy: WaitStrategy) {
+        let q = Arc::new(WaitQueue::new());
+        let hits = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let q = Arc::clone(&q);
+            let hits = Arc::clone(&hits);
+            handles.push(thread::spawn(move || {
+                let t = q.ticket();
+                q.wait(t, strategy);
+                hits.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        // Give waiters a moment to block, then notify.
+        thread::sleep(Duration::from_millis(20));
+        q.notify_all();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn spin_wakeup() {
+        wakeup_smoke(WaitStrategy::Spin);
+    }
+
+    #[test]
+    fn yield_wakeup() {
+        wakeup_smoke(WaitStrategy::Yield);
+    }
+
+    #[test]
+    fn park_wakeup() {
+        wakeup_smoke(WaitStrategy::Park);
+    }
+
+    #[test]
+    fn notify_before_wait_is_not_lost() {
+        let q = WaitQueue::new();
+        let t = q.ticket();
+        q.notify_all();
+        // Must return immediately: sequence already moved past the ticket.
+        q.wait(t, WaitStrategy::Park);
+    }
+
+    #[test]
+    fn ticket_reflects_notifications() {
+        let q = WaitQueue::new();
+        let t0 = q.ticket();
+        q.notify_all();
+        q.notify_all();
+        assert_ne!(q.ticket(), t0);
+    }
+
+    #[test]
+    fn producer_consumer_handshake() {
+        let q = Arc::new(WaitQueue::new());
+        let value = Arc::new(AtomicUsize::new(0));
+        let consumer = {
+            let q = Arc::clone(&q);
+            let value = Arc::clone(&value);
+            thread::spawn(move || loop {
+                let t = q.ticket();
+                if value.load(Ordering::Acquire) == 42 {
+                    return;
+                }
+                q.wait(t, WaitStrategy::Park);
+            })
+        };
+        thread::sleep(Duration::from_millis(10));
+        value.store(42, Ordering::Release);
+        q.notify_all();
+        consumer.join().unwrap();
+    }
+}

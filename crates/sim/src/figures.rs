@@ -1,0 +1,220 @@
+//! One entry point per paper figure, with the paper's own parameters.
+//!
+//! Each function returns labelled series of `(x, y)` points — exactly what
+//! the figures plot — for the `mpf-bench` harness binaries to print and
+//! for EXPERIMENTS.md to compare against the paper.
+
+use crate::apps_model;
+use crate::costs::CostModel;
+use crate::machine::MachineConfig;
+use crate::workloads;
+
+/// A labelled data series (one curve of a figure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label, e.g. `"16 byte messages"`.
+    pub label: String,
+    /// `(x, y)` points in plot order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Messages per simulated measurement; large enough to amortize startup,
+/// small enough to keep the harness fast.
+const MSGS: u64 = 200;
+
+/// Figure 3 — `base`: throughput (bytes/s) vs message length (bytes),
+/// loop-back LNVC, single process.
+pub fn fig3_base(machine: &MachineConfig, costs: &CostModel) -> Series {
+    let lengths = [
+        16usize, 32, 64, 128, 256, 512, 768, 1024, 1280, 1536, 1792, 2048,
+    ];
+    Series {
+        label: "base loop-back".to_string(),
+        points: lengths
+            .iter()
+            .map(|&len| {
+                let r = workloads::run_base(machine, costs, len, MSGS.min(100));
+                (len as f64, r.send_throughput())
+            })
+            .collect(),
+    }
+}
+
+/// Figure 4 — `fcfs`: throughput vs number of receiving processes, for
+/// 16-, 128- and 1024-byte messages.
+pub fn fig4_fcfs(machine: &MachineConfig, costs: &CostModel) -> Vec<Series> {
+    fanout(machine, costs, false)
+}
+
+/// Figure 5 — `broadcast`: effective throughput vs number of receiving
+/// processes, for 16-, 128- and 1024-byte messages.
+pub fn fig5_broadcast(machine: &MachineConfig, costs: &CostModel) -> Vec<Series> {
+    fanout(machine, costs, true)
+}
+
+fn fanout(machine: &MachineConfig, costs: &CostModel, broadcast: bool) -> Vec<Series> {
+    let receiver_counts = [1u32, 2, 4, 8, 12, 16];
+    [16usize, 128, 1024]
+        .iter()
+        .map(|&len| Series {
+            label: format!("{len} byte messages"),
+            points: receiver_counts
+                .iter()
+                .map(|&n| {
+                    let y = if broadcast {
+                        workloads::run_broadcast(machine, costs, len, n, MSGS)
+                            .delivered_throughput()
+                    } else {
+                        workloads::run_fcfs(machine, costs, len, n, MSGS).send_throughput()
+                    };
+                    (n as f64, y)
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Figure 6 — `random`: throughput vs number of processes, for 1-, 8-,
+/// 64-, 256- and 1024-byte messages, fully connected FCFS LNVCs, random
+/// destinations.
+pub fn fig6_random(machine: &MachineConfig, costs: &CostModel, seed: u64) -> Vec<Series> {
+    let proc_counts = [2u32, 4, 6, 8, 10, 12, 14, 16, 18, 20];
+    [1usize, 8, 64, 256, 1024]
+        .iter()
+        .map(|&len| Series {
+            label: format!("{len} byte messages"),
+            points: proc_counts
+                .iter()
+                .map(|&p| {
+                    let r = workloads::run_random(machine, costs, len, p, 60, seed);
+                    (p as f64, r.send_throughput())
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Figure 7 — Gauss-Jordan speedup vs processes for 32², 48², 64² and 96²
+/// matrices (analytic Balance model; the native implementation lives in
+/// `mpf-apps`).
+pub fn fig7_gauss(costs: &CostModel) -> Vec<Series> {
+    let procs = [1usize, 2, 4, 6, 8, 10, 12, 14, 16];
+    [32usize, 48, 64, 96]
+        .iter()
+        .map(|&n| Series {
+            label: format!("{n}x{n} matrix"),
+            points: procs
+                .iter()
+                .map(|&p| (p as f64, apps_model::gj_speedup(costs, n, p)))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Figure 8 — SOR per-iteration speedup vs processor-grid dimension N for
+/// 9², 17², 33² and 65² problems, relative to the 4-process solver.
+pub fn fig8_sor(costs: &CostModel) -> Vec<Series> {
+    let dims = [1usize, 2, 3, 4];
+    [65usize, 33, 17, 9]
+        .iter()
+        .map(|&grid| Series {
+            label: format!("{grid} x {grid} problem"),
+            points: dims
+                .iter()
+                .map(|&n| (n as f64, apps_model::sor_per_iter_speedup(costs, grid, n)))
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (MachineConfig, CostModel) {
+        let m = MachineConfig::balance21000();
+        let c = CostModel::calibrated(&m);
+        (m, c)
+    }
+
+    #[test]
+    fn fig3_is_monotone_saturating() {
+        let (m, c) = setup();
+        let s = fig3_base(&m, &c);
+        assert_eq!(s.points.len(), 12);
+        for w in s.points.windows(2) {
+            assert!(w[1].1 >= w[0].1, "throughput must not decline with length");
+        }
+        let first = s.points.first().unwrap().1;
+        let last = s.points.last().unwrap().1;
+        assert!(last > 3.0 * first, "large messages must beat small ones");
+    }
+
+    #[test]
+    fn fig4_has_three_curves_over_receiver_counts() {
+        let (m, c) = setup();
+        let series = fig4_fcfs(&m, &c);
+        assert_eq!(series.len(), 3);
+        for s in &series {
+            assert_eq!(s.points.len(), 6);
+        }
+        // 1024-byte curve dominates the 16-byte curve everywhere.
+        let small = &series[0];
+        let large = &series[2];
+        for (a, b) in small.points.iter().zip(&large.points) {
+            assert!(b.1 > a.1);
+        }
+    }
+
+    #[test]
+    fn fig5_scales_beyond_fig4() {
+        let (m, c) = setup();
+        let fcfs = fig4_fcfs(&m, &c);
+        let bcast = fig5_broadcast(&m, &c);
+        // At 16 receivers and 1024 bytes, broadcast's effective throughput
+        // dwarfs fcfs (paper: 687 KB/s vs ~45 KB/s).
+        let f = fcfs[2].points.last().unwrap().1;
+        let b = bcast[2].points.last().unwrap().1;
+        assert!(b > 5.0 * f, "fcfs={f:.0} broadcast={b:.0}");
+    }
+
+    #[test]
+    fn fig6_large_messages_peak_then_decline() {
+        let (m, c) = setup();
+        let series = fig6_random(&m, &c, 7);
+        let kb = series.last().unwrap(); // 1024-byte curve
+        let peak =
+            kb.points
+                .iter()
+                .cloned()
+                .fold((0.0f64, 0.0f64), |acc, p| if p.1 > acc.1 { p } else { acc });
+        let last = *kb.points.last().unwrap();
+        assert!(
+            peak.0 <= 14.0,
+            "peak should come before 16 procs, at {}",
+            peak.0
+        );
+        assert!(last.1 < peak.1, "throughput must decline after the peak");
+    }
+
+    #[test]
+    fn fig7_bigger_matrices_win() {
+        let (_, c) = setup();
+        let series = fig7_gauss(&c);
+        let s32 = series[0].points.last().unwrap().1;
+        let s96 = series[3].points.last().unwrap().1;
+        assert!(s96 > s32);
+    }
+
+    #[test]
+    fn fig8_order_matches_problem_size() {
+        let (_, c) = setup();
+        let series = fig8_sor(&c);
+        // At N=4, larger problems show larger per-iteration speedup.
+        let at4: Vec<f64> = series.iter().map(|s| s.points.last().unwrap().1).collect();
+        assert!(
+            at4[0] > at4[1] && at4[1] > at4[2] && at4[2] > at4[3],
+            "{at4:?}"
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Text rendering of simulation results.
+//!
+//! The paper reports throughput figures plus prose diagnoses ("contention
+//! is masked by message copying costs", "memory bandwidth is the
+//! performance limiting factor").  [`describe`] produces the same style of
+//! reduction from an [`EngineReport`]: the headline rates plus the
+//! utilization facts that justify a diagnosis.
+
+use crate::engine::EngineReport;
+
+/// One-line-per-fact description of a run.
+pub fn describe(label: &str, r: &EngineReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("run: {label}\n"));
+    out.push_str(&format!(
+        "  simulated time      {:>12.3} s ({} cycles)\n",
+        r.elapsed_secs, r.elapsed_cycles
+    ));
+    out.push_str(&format!(
+        "  messages            {:>12} sent, {} delivered\n",
+        r.msgs_sent, r.msgs_received
+    ));
+    out.push_str(&format!(
+        "  sent throughput     {:>12.0} bytes/s\n",
+        r.send_throughput()
+    ));
+    out.push_str(&format!(
+        "  effective delivery  {:>12.0} bytes/s\n",
+        r.delivered_throughput()
+    ));
+    out.push_str(&format!(
+        "  bus utilization     {:>12.1} %\n",
+        r.bus_utilization * 100.0
+    ));
+    out.push_str(&format!("  queued lock waits   {:>12}\n", r.lock_waits));
+    out.push_str(&format!(
+        "  peak working set    {:>12} KiB\n",
+        r.peak_working_set / 1024
+    ));
+    out.push_str(&format!("  diagnosis           {:>12}\n", diagnosis(r)));
+    out
+}
+
+/// The paper-style one-word diagnosis of what bounded the run.
+pub fn diagnosis(r: &EngineReport) -> &'static str {
+    if r.bus_utilization > 0.7 {
+        "bus-bound"
+    } else if r.lock_waits > r.msgs_sent.saturating_mul(4) {
+        "lock-bound"
+    } else if r.peak_working_set > 12 << 20 {
+        "paging-bound"
+    } else {
+        "cpu-bound"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costs::CostModel;
+    use crate::machine::MachineConfig;
+    use crate::workloads;
+
+    fn setup() -> (MachineConfig, CostModel) {
+        let m = MachineConfig::balance21000();
+        let c = CostModel::calibrated(&m);
+        (m, c)
+    }
+
+    #[test]
+    fn describe_contains_the_headline_facts() {
+        let (m, c) = setup();
+        let r = workloads::run_base(&m, &c, 1024, 20);
+        let text = describe("base 1024B", &r);
+        assert!(text.contains("base 1024B"));
+        assert!(text.contains("sent throughput"));
+        assert!(text.contains("bytes/s"));
+        assert!(text.contains("diagnosis"));
+    }
+
+    #[test]
+    fn base_run_is_cpu_bound() {
+        // Figure 3's conclusion for the copy loop on this machine.
+        let (m, c) = setup();
+        let r = workloads::run_base(&m, &c, 2048, 30);
+        assert_eq!(diagnosis(&r), "cpu-bound");
+    }
+
+    #[test]
+    fn contended_fcfs_is_lock_bound() {
+        let (m, c) = setup();
+        let r = workloads::run_fcfs(&m, &c, 16, 16, 200);
+        assert_eq!(diagnosis(&r), "lock-bound", "lock_waits={}", r.lock_waits);
+    }
+
+    #[test]
+    fn paging_run_is_detected() {
+        let (m, c) = setup();
+        let r = workloads::run_random(&m, &c, 1024, 20, 60, 7);
+        assert_eq!(diagnosis(&r), "paging-bound");
+    }
+}

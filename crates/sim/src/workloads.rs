@@ -1,0 +1,372 @@
+//! The paper's four synthetic benchmark programs (§4) as simulator drivers.
+//!
+//! * `base` — "establishes a loop-back connection through an LNVC for a
+//!   single process, and then alternates between sending and receiving
+//!   fixed-length messages" (Figure 3).
+//! * `fcfs` — "uses one process to send messages of length K to an LNVC
+//!   with N FCFS receiving processes" (Figure 4).
+//! * `broadcast` — "similar except the receiving processes are of type
+//!   BROADCAST" (Figure 5).
+//! * `random` — "processes can each send to and receive from all other
+//!   processes … fully-connected with a FCFS LNVC defined for each
+//!   destination process … Each time a process executes a message_send(),
+//!   it then receives all messages that are queued in its LNVC" (Figure 6).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::costs::CostModel;
+use crate::driver::{Driver, DriverOp, OpResult, RecvKind};
+use crate::engine::{Engine, EngineReport};
+use crate::machine::MachineConfig;
+
+/// `base`: one process, send then receive, `iters` times.
+struct BaseDriver {
+    lnvc: usize,
+    len: usize,
+    remaining: u64,
+    sending: bool,
+}
+
+impl Driver for BaseDriver {
+    fn next(&mut self, _last: OpResult) -> DriverOp {
+        if self.remaining == 0 {
+            return DriverOp::Stop;
+        }
+        if self.sending {
+            self.sending = false;
+            DriverOp::Send {
+                lnvc: self.lnvc,
+                len: self.len,
+            }
+        } else {
+            self.sending = true;
+            self.remaining -= 1;
+            DriverOp::Recv {
+                lnvc: self.lnvc,
+                kind: RecvKind::Fcfs,
+            }
+        }
+    }
+}
+
+/// A sender that emits `count` messages of `len` bytes, then stops.
+struct StreamSender {
+    lnvc: usize,
+    len: usize,
+    remaining: u64,
+}
+
+impl Driver for StreamSender {
+    fn next(&mut self, _last: OpResult) -> DriverOp {
+        if self.remaining == 0 {
+            return DriverOp::Stop;
+        }
+        self.remaining -= 1;
+        DriverOp::Send {
+            lnvc: self.lnvc,
+            len: self.len,
+        }
+    }
+}
+
+/// A receiver that blocks forever (the measurement window ends when the
+/// simulation quiesces with the stream drained).
+struct SinkReceiver {
+    lnvc: usize,
+    kind: RecvKind,
+}
+
+impl Driver for SinkReceiver {
+    fn next(&mut self, _last: OpResult) -> DriverOp {
+        DriverOp::Recv {
+            lnvc: self.lnvc,
+            kind: self.kind,
+        }
+    }
+}
+
+/// `random`: send `remaining` messages to random destinations, draining
+/// one's own LNVC after every send.
+struct RandomDriver {
+    own_lnvc: usize,
+    all_lnvcs: Vec<usize>,
+    me: usize,
+    len: usize,
+    remaining: u64,
+    draining: bool,
+    rng: StdRng,
+}
+
+impl Driver for RandomDriver {
+    fn next(&mut self, last: OpResult) -> DriverOp {
+        if self.draining {
+            match last {
+                OpResult::RecvEmpty => {
+                    self.draining = false;
+                }
+                _ => {
+                    return DriverOp::TryRecv {
+                        lnvc: self.own_lnvc,
+                        kind: RecvKind::Fcfs,
+                    }
+                }
+            }
+        }
+        if self.remaining == 0 {
+            return DriverOp::Stop;
+        }
+        self.remaining -= 1;
+        self.draining = true;
+        // Pick any destination except ourselves (a process does not mail
+        // itself in the fully connected pattern).
+        let mut dest = self.rng.gen_range(0..self.all_lnvcs.len());
+        if self.all_lnvcs.len() > 1 {
+            while dest == self.me {
+                dest = self.rng.gen_range(0..self.all_lnvcs.len());
+            }
+        }
+        DriverOp::Send {
+            lnvc: self.all_lnvcs[dest],
+            len: self.len,
+        }
+    }
+}
+
+fn engine_for(machine: &MachineConfig, costs: &CostModel, procs: u32) -> Engine {
+    Engine::new(machine.clone(), costs.clone(), procs)
+}
+
+/// Runs the `base` benchmark: loop-back `iters` messages of `len` bytes.
+/// Figure 3 plots [`EngineReport::send_throughput`] against `len`.
+pub fn run_base(
+    machine: &MachineConfig,
+    costs: &CostModel,
+    len: usize,
+    iters: u64,
+) -> EngineReport {
+    let mut e = engine_for(machine, costs, 1);
+    let lnvc = e.add_lnvc();
+    e.add_proc(Box::new(BaseDriver {
+        lnvc,
+        len,
+        remaining: iters,
+        sending: true,
+    }));
+    e.run()
+}
+
+/// Runs the `fcfs` benchmark: one sender, `receivers` FCFS receivers,
+/// `msgs` messages of `len` bytes.  Figure 4 plots
+/// [`EngineReport::send_throughput`] against `receivers`.
+pub fn run_fcfs(
+    machine: &MachineConfig,
+    costs: &CostModel,
+    len: usize,
+    receivers: u32,
+    msgs: u64,
+) -> EngineReport {
+    let mut e = engine_for(machine, costs, receivers + 1);
+    let lnvc = e.add_lnvc();
+    e.add_proc(Box::new(StreamSender {
+        lnvc,
+        len,
+        remaining: msgs,
+    }));
+    for _ in 0..receivers {
+        e.add_proc(Box::new(SinkReceiver {
+            lnvc,
+            kind: RecvKind::Fcfs,
+        }));
+    }
+    e.run()
+}
+
+/// Runs the `broadcast` benchmark: one sender, `receivers` BROADCAST
+/// receivers, `msgs` messages of `len` bytes.  Figure 5 plots
+/// [`EngineReport::delivered_throughput`] against `receivers`.
+pub fn run_broadcast(
+    machine: &MachineConfig,
+    costs: &CostModel,
+    len: usize,
+    receivers: u32,
+    msgs: u64,
+) -> EngineReport {
+    let mut e = engine_for(machine, costs, receivers + 1);
+    let lnvc = e.add_lnvc();
+    for _ in 0..receivers {
+        let rcv = e.add_broadcast_receiver(lnvc);
+        e.add_proc(Box::new(SinkReceiver {
+            lnvc,
+            kind: RecvKind::Broadcast(rcv),
+        }));
+    }
+    e.add_proc(Box::new(StreamSender {
+        lnvc,
+        len,
+        remaining: msgs,
+    }));
+    e.run()
+}
+
+/// Runs the `random` benchmark: `procs` fully connected processes, each
+/// sending `msgs_per_proc` messages of `len` bytes to random destinations
+/// and draining its own LNVC after each send.  Figure 6 plots
+/// [`EngineReport::send_throughput`] against `procs`.
+pub fn run_random(
+    machine: &MachineConfig,
+    costs: &CostModel,
+    len: usize,
+    procs: u32,
+    msgs_per_proc: u64,
+    seed: u64,
+) -> EngineReport {
+    let mut e = engine_for(machine, costs, procs);
+    let lnvcs: Vec<usize> = (0..procs).map(|_| e.add_lnvc()).collect();
+    for me in 0..procs as usize {
+        e.add_proc(Box::new(RandomDriver {
+            own_lnvc: lnvcs[me],
+            all_lnvcs: lnvcs.clone(),
+            me,
+            len,
+            remaining: msgs_per_proc,
+            draining: false,
+            rng: StdRng::seed_from_u64(seed ^ (me as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }));
+    }
+    e.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (MachineConfig, CostModel) {
+        let m = MachineConfig::balance21000();
+        let c = CostModel::calibrated(&m);
+        (m, c)
+    }
+
+    #[test]
+    fn base_throughput_rises_with_length_and_saturates() {
+        // Figure 3's shape: monotone increase, asymptote.
+        let (m, c) = setup();
+        let t16 = run_base(&m, &c, 16, 50).send_throughput();
+        let t256 = run_base(&m, &c, 256, 50).send_throughput();
+        let t1024 = run_base(&m, &c, 1024, 50).send_throughput();
+        let t2048 = run_base(&m, &c, 2048, 50).send_throughput();
+        assert!(t16 < t256 && t256 < t1024 && t1024 < t2048);
+        // Saturation: doubling 1024 → 2048 gains much less than 2×.
+        assert!(t2048 < 1.5 * t1024, "t1024={t1024:.0} t2048={t2048:.0}");
+        // Paper's asymptote neighbourhood (~25 KB/s at 2 KB).
+        assert!(
+            (15_000.0..40_000.0).contains(&t2048),
+            "2 KB base throughput {t2048:.0} far from the paper's ~25 KB/s"
+        );
+    }
+
+    #[test]
+    fn base_delivers_exactly_what_was_sent() {
+        let (m, c) = setup();
+        let r = run_base(&m, &c, 128, 40);
+        assert_eq!(r.msgs_sent, 40);
+        assert_eq!(r.msgs_received, 40);
+        assert_eq!(r.bytes_sent, 40 * 128);
+    }
+
+    #[test]
+    fn fcfs_large_messages_bottlenecked_by_sender() {
+        // Figure 4: 1024-byte throughput roughly flat in receiver count.
+        let (m, c) = setup();
+        let t1 = run_fcfs(&m, &c, 1024, 1, 60).send_throughput();
+        let t8 = run_fcfs(&m, &c, 1024, 8, 60).send_throughput();
+        let ratio = t8 / t1;
+        assert!(
+            (0.5..1.6).contains(&ratio),
+            "1 KB fcfs should be sender-bound: t1={t1:.0} t8={t8:.0}"
+        );
+        // Paper's magnitude: ~40-50 KB/s.
+        assert!((25_000.0..80_000.0).contains(&t8), "t8={t8:.0}");
+    }
+
+    #[test]
+    fn fcfs_small_messages_decline_with_contention() {
+        // Figure 4: 16-byte curve *decreases* as receivers are added.
+        let (m, c) = setup();
+        let t2 = run_fcfs(&m, &c, 16, 2, 300).send_throughput();
+        let t16 = run_fcfs(&m, &c, 16, 16, 300).send_throughput();
+        assert!(
+            t16 < t2,
+            "contention must hurt small messages: t2={t2:.0} t16={t16:.0}"
+        );
+    }
+
+    #[test]
+    fn broadcast_effective_throughput_scales_with_receivers() {
+        // Figure 5: delivered throughput grows with receiver count…
+        let (m, c) = setup();
+        let t1 = run_broadcast(&m, &c, 1024, 1, 40).delivered_throughput();
+        let t8 = run_broadcast(&m, &c, 1024, 8, 40).delivered_throughput();
+        let t16 = run_broadcast(&m, &c, 1024, 16, 40).delivered_throughput();
+        assert!(t8 > 3.0 * t1, "t1={t1:.0} t8={t8:.0}");
+        assert!(t16 > t8);
+        // …to the paper's magnitude: 687,245 B/s at 16 × 1024.
+        assert!(
+            (300_000.0..1_200_000.0).contains(&t16),
+            "16-receiver broadcast {t16:.0} B/s far from paper's ~687 KB/s"
+        );
+    }
+
+    #[test]
+    fn broadcast_beats_fcfs_effectively() {
+        let (m, c) = setup();
+        let f = run_fcfs(&m, &c, 1024, 8, 40).delivered_throughput();
+        let b = run_broadcast(&m, &c, 1024, 8, 40).delivered_throughput();
+        assert!(b > 2.0 * f, "fcfs={f:.0} broadcast={b:.0}");
+    }
+
+    #[test]
+    fn random_throughput_grows_then_pages() {
+        // Figure 6: 1024-byte curve rises with processes, then virtual
+        // memory overhead bites above ~10 processes.
+        let (m, c) = setup();
+        let t2 = run_random(&m, &c, 1024, 2, 60, 7).send_throughput();
+        let t12 = run_random(&m, &c, 1024, 12, 60, 7).send_throughput();
+        let t20 = run_random(&m, &c, 1024, 20, 60, 7).send_throughput();
+        assert!(t12 > t2, "concurrency should help: t2={t2:.0} t12={t12:.0}");
+        assert!(
+            t20 < t12,
+            "paging must bite past the peak: t12={t12:.0} t20={t20:.0}"
+        );
+    }
+
+    #[test]
+    fn random_small_messages_do_not_page() {
+        let (m, c) = setup();
+        let t8 = run_random(&m, &c, 8, 8, 40, 7).send_throughput();
+        let t16 = run_random(&m, &c, 8, 16, 40, 7).send_throughput();
+        assert!(
+            t16 > 0.7 * t8,
+            "8-byte messages should not collapse: t8={t8:.0} t16={t16:.0}"
+        );
+    }
+
+    #[test]
+    fn random_conserves_messages() {
+        let (m, c) = setup();
+        let r = run_random(&m, &c, 64, 6, 25, 42);
+        assert_eq!(r.msgs_sent, 6 * 25);
+        assert!(r.msgs_received <= r.msgs_sent);
+        // Nearly everything should be drained (final drains happen after
+        // the last send in each process).
+        assert!(r.msgs_received as f64 >= 0.5 * r.msgs_sent as f64);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (m, c) = setup();
+        let a = run_random(&m, &c, 256, 10, 20, 1234).elapsed_cycles;
+        let b = run_random(&m, &c, 256, 10, 20, 1234).elapsed_cycles;
+        assert_eq!(a, b);
+    }
+}

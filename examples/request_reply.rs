@@ -1,0 +1,124 @@
+//! Request/reply (RPC) over LNVCs: a service conversation shared by many
+//! clients, with per-client reply conversations — the standard pattern
+//! for building client/server programs on the MPF model.
+//!
+//! Demonstrates two properties of the model at once:
+//! * many senders on one FCFS conversation (clients) with a pool of
+//!   servers splitting the load, and
+//! * dynamically named conversations (each client names its own reply
+//!   channel, and servers join it just long enough to answer — LNVCs are
+//!   created on first open and deleted on last close).
+//!
+//! ```sh
+//! cargo run --example request_reply
+//! ```
+
+use mpf::{Mpf, MpfConfig, ProcessId, Protocol};
+
+const CLIENTS: usize = 4;
+const SERVERS: usize = 2;
+const REQUESTS_PER_CLIENT: u32 = 8;
+
+fn main() {
+    let mpf_owned = Mpf::init(MpfConfig::new(32, 16)).expect("init");
+    let mpf = &mpf_owned;
+
+    // All receive connections on the service conversation are opened
+    // before any client thread exists.  Two reasons (both §1/§3.2 model
+    // semantics): the auditor's broadcast ear sees only messages sent
+    // after it joins, and a request sent while *only* broadcast receivers
+    // are connected owes no FCFS delivery — a server joining later would
+    // never see it.
+    let controller_pid = ProcessId::from_index(CLIENTS + SERVERS);
+    let probe = mpf
+        .receiver(controller_pid, "service", Protocol::Broadcast)
+        .expect("ctl probe");
+    let server_rxs: Vec<_> = (0..SERVERS)
+        .map(|srv| {
+            mpf.receiver(
+                ProcessId::from_index(CLIENTS + srv),
+                "service",
+                Protocol::Fcfs,
+            )
+            .expect("service rx")
+        })
+        .collect();
+
+    std::thread::scope(|s| {
+        for c in 0..CLIENTS {
+            s.spawn(move || {
+                let me = ProcessId::from_index(c);
+                let reply_name = format!("reply:{c}");
+                // Open our reply ear before sending, so no answer is lost.
+                let reply_rx = mpf
+                    .receiver(me, &reply_name, Protocol::Fcfs)
+                    .expect("reply rx");
+                let svc = mpf.sender(me, "service").expect("service tx");
+                for i in 0..REQUESTS_PER_CLIENT {
+                    // Request = client id, then the operand to square.
+                    let mut req = Vec::new();
+                    req.extend_from_slice(&(c as u32).to_le_bytes());
+                    req.extend_from_slice(&i.to_le_bytes());
+                    svc.send(&req).expect("request");
+                    let reply = reply_rx.recv_vec().expect("reply");
+                    let v = u32::from_le_bytes(reply.as_slice().try_into().expect("4 bytes"));
+                    assert_eq!(v, i * i, "client {c} got a wrong answer");
+                }
+                println!("client {c}: {REQUESTS_PER_CLIENT} calls answered correctly");
+            });
+        }
+
+        for (srv, rx) in server_rxs.into_iter().enumerate() {
+            s.spawn(move || {
+                let me = ProcessId::from_index(CLIENTS + srv);
+                let mut served = 0;
+                loop {
+                    let req = rx.recv_vec().expect("take request");
+                    if req.is_empty() {
+                        break;
+                    }
+                    let client = u32::from_le_bytes(req[..4].try_into().expect("4"));
+                    let operand = u32::from_le_bytes(req[4..].try_into().expect("4"));
+                    // Join the client's reply conversation only to answer.
+                    let reply = mpf
+                        .sender(me, &format!("reply:{client}"))
+                        .expect("reply tx");
+                    reply
+                        .send(&(operand * operand).to_le_bytes())
+                        .expect("answer");
+                    served += 1;
+                    // `reply` drops here: the server leaves; the
+                    // conversation survives because the client still holds
+                    // its receive connection.
+                }
+                println!("server {srv}: served {served} requests");
+            });
+        }
+
+        // Controller: shuts the servers down after the last request.  It
+        // audits the service conversation with a BROADCAST ear (every
+        // request is delivered to one FCFS server *and* to the auditor),
+        // counts requests, and poisons the servers when all clients are
+        // accounted for — mixed protocols on one LNVC doing real work.
+        let probe = probe;
+        s.spawn(move || {
+            let svc = mpf.sender(controller_pid, "service").expect("ctl tx");
+            let expected = (CLIENTS as u32 * REQUESTS_PER_CLIENT) as usize;
+            for _ in 0..expected {
+                let req = probe.recv_vec().expect("audit");
+                assert_eq!(req.len(), 8, "auditor sees every well-formed request");
+            }
+            // Every request was *sent*; each client blocks on its reply
+            // before sending the next, so after the auditor has seen the
+            // final request the servers can be poisoned: FIFO order
+            // guarantees the poisons queue behind it.
+            for _ in 0..SERVERS {
+                svc.send(&[]).expect("poison");
+            }
+        });
+    });
+    println!(
+        "rpc demo complete; live conversations: {}",
+        mpf.live_lnvcs()
+    );
+}

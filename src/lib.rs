@@ -1,0 +1,10 @@
+//! Facade crate for the MPF reproduction; see README.md.
+//!
+//! Re-exports every workspace crate under one roof so the examples and
+//! cross-crate integration tests have a single dependency.
+
+pub use mpf;
+pub use mpf_apps as apps;
+pub use mpf_proto as proto;
+pub use mpf_shm as shm;
+pub use mpf_sim as sim;

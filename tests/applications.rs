@@ -1,0 +1,100 @@
+//! Cross-variant application tests: the three implementations of each
+//! paper application (sequential, MPF message passing, shared memory)
+//! must agree with each other and with ground truth.
+
+use mpf_apps::gauss_jordan;
+use mpf_apps::grid::{self, Grid};
+use mpf_apps::linalg::{random_rhs, residual_inf, Matrix};
+use mpf_apps::sor;
+
+#[test]
+fn gauss_jordan_three_way_agreement() {
+    let n = 24;
+    let a = Matrix::random_diag_dominant(n, 2024);
+    let b = random_rhs(n, 2024);
+    let x_seq = gauss_jordan::solve_sequential(&a, &b);
+    let x_mpf = gauss_jordan::solve_mpf(&a, &b, 3);
+    let x_shm = gauss_jordan::solve_shared(&a, &b, 3);
+    for i in 0..n {
+        assert!(
+            (x_seq[i] - x_mpf[i]).abs() < 1e-8,
+            "mpf differs at {i}: {} vs {}",
+            x_seq[i],
+            x_mpf[i]
+        );
+        assert!((x_seq[i] - x_shm[i]).abs() < 1e-8, "shared differs at {i}");
+    }
+    assert!(residual_inf(&a, &x_seq, &b) < 1e-8);
+}
+
+#[test]
+fn gauss_jordan_scales_across_worker_counts() {
+    let n = 20;
+    let a = Matrix::random_diag_dominant(n, 55);
+    let b = random_rhs(n, 55);
+    let reference = gauss_jordan::solve_sequential(&a, &b);
+    for workers in 1..=5 {
+        let x = gauss_jordan::solve_mpf(&a, &b, workers);
+        let worst = reference
+            .iter()
+            .zip(&x)
+            .map(|(r, v)| (r - v).abs())
+            .fold(0.0f64, f64::max);
+        assert!(worst < 1e-7, "workers={workers} diverged by {worst}");
+    }
+}
+
+#[test]
+fn sor_all_variants_reach_the_analytic_solution() {
+    let p = 17;
+    let budget = 6000;
+    let tol = 1e-9;
+
+    let mut seq = Grid::zeros(p);
+    let seq_iters = grid::solve_sequential(&mut seq, tol, budget);
+    assert!(seq_iters < budget);
+
+    let mpf_run = sor::solve_mpf(p, 2, tol, budget);
+    assert!(mpf_run.iters < budget, "mpf variant did not converge");
+
+    let shm_run = sor::solve_shared(p, 4, tol, budget);
+    assert!(shm_run.iters < budget, "shared variant did not converge");
+
+    let h2 = (1.0 / (p + 1) as f64).powi(2);
+    for (label, err) in [
+        ("sequential", seq.error_vs_analytic()),
+        ("mpf", mpf_run.grid.error_vs_analytic()),
+        ("shared", shm_run.grid.error_vs_analytic()),
+    ] {
+        assert!(
+            err < 10.0 * h2,
+            "{label} error {err} exceeds the discretization floor {h2}"
+        );
+    }
+}
+
+#[test]
+fn sor_process_grids_agree_with_each_other() {
+    let p = 9;
+    let a = sor::solve_mpf(p, 1, 1e-10, 8000);
+    let b = sor::solve_mpf(p, 3, 1e-10, 8000);
+    let mut worst: f64 = 0.0;
+    for i in 1..=p {
+        for j in 1..=p {
+            worst = worst.max((a.grid.get(i, j) - b.grid.get(i, j)).abs());
+        }
+    }
+    assert!(worst < 1e-7, "1x1 and 3x3 solutions differ by {worst}");
+}
+
+#[test]
+fn paper_parameter_smoke_runs() {
+    // The paper's smallest figure configurations, end to end.
+    let a = Matrix::random_diag_dominant(32, 1);
+    let b = random_rhs(32, 1);
+    let x = gauss_jordan::solve_mpf(&a, &b, 4);
+    assert!(residual_inf(&a, &x, &b) < 1e-7);
+
+    let run = sor::solve_mpf(9, 2, 1e-8, 4000);
+    assert!(run.grid.error_vs_analytic() < 0.05);
+}

@@ -1,0 +1,243 @@
+//! Cross-crate integration tests of the LNVC delivery semantics under real
+//! concurrency: exactly-once FCFS, all-see-all broadcast, FIFO
+//! sub-streams, dynamic join/leave, and region conservation.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use mpf::{Mpf, MpfConfig, MpfError, ProcessId, Protocol};
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::from_index(i)
+}
+
+fn facility(processes: u32) -> Mpf {
+    Mpf::init(
+        MpfConfig::new(32, processes)
+            .with_total_blocks(8192)
+            .with_max_messages(2048),
+    )
+    .expect("init")
+}
+
+#[test]
+fn fcfs_exactly_once_under_concurrency() {
+    const MSGS: u64 = 500;
+    const RECEIVERS: usize = 4;
+    let mpf = facility(8);
+    let seen = Mutex::new(HashSet::new());
+    // Open the send connection before any thread exists: the sender handle
+    // outlives the scope, so the conversation cannot be deleted before the
+    // receivers join (paper §3.2's lost-message hazard).
+    let tx = mpf.sender(p(0), "work").expect("tx");
+    std::thread::scope(|s| {
+        for r in 0..RECEIVERS {
+            let mpf = &mpf;
+            let seen = &seen;
+            s.spawn(move || {
+                let rx = mpf.receiver(p(r + 1), "work", Protocol::Fcfs).expect("rx");
+                loop {
+                    let msg = rx.recv_vec().expect("recv");
+                    if msg.is_empty() {
+                        break;
+                    }
+                    let id = u64::from_le_bytes(msg.as_slice().try_into().expect("8 bytes"));
+                    assert!(
+                        seen.lock().unwrap().insert(id),
+                        "message {id} delivered twice"
+                    );
+                }
+            });
+        }
+        for i in 0..MSGS {
+            tx.send(&i.to_le_bytes()).expect("send");
+        }
+        for _ in 0..RECEIVERS {
+            tx.send(&[]).expect("poison");
+        }
+    });
+    drop(tx);
+    assert_eq!(seen.lock().unwrap().len(), MSGS as usize, "lost messages");
+}
+
+#[test]
+fn broadcast_everyone_sees_everything_in_order() {
+    const MSGS: u64 = 300;
+    const RECEIVERS: usize = 3;
+    let mpf = facility(8);
+    let ready = mpf_shm::barrier::SpinBarrier::new(RECEIVERS as u32 + 1);
+    std::thread::scope(|s| {
+        for r in 0..RECEIVERS {
+            let mpf = &mpf;
+            let ready = &ready;
+            s.spawn(move || {
+                let rx = mpf
+                    .receiver(p(r + 1), "feed", Protocol::Broadcast)
+                    .expect("rx");
+                ready.wait();
+                // The virtual circuit is sequence preserving: every
+                // broadcast receiver sees the identical total order.
+                for expect in 0..MSGS {
+                    let msg = rx.recv_vec().expect("recv");
+                    let id = u64::from_le_bytes(msg.as_slice().try_into().expect("8"));
+                    assert_eq!(id, expect, "receiver {r} saw out-of-order stream");
+                }
+            });
+        }
+        let tx = mpf.sender(p(0), "feed").expect("tx");
+        ready.wait();
+        for i in 0..MSGS {
+            tx.send(&i.to_le_bytes()).expect("send");
+        }
+    });
+    // All consumed: the whole region is back on the free lists.
+    drop(mpf);
+}
+
+#[test]
+fn fcfs_substream_preserves_fifo_order() {
+    // One sender, many receivers: each receiver's sub-stream must be
+    // monotonically increasing (time-ordering of the sub-stream, §3.1).
+    const MSGS: u64 = 400;
+    let mpf = facility(8);
+    let tx = mpf.sender(p(0), "stream").expect("tx");
+    std::thread::scope(|s| {
+        for r in 0..3 {
+            let mpf = &mpf;
+            s.spawn(move || {
+                let rx = mpf
+                    .receiver(p(r + 1), "stream", Protocol::Fcfs)
+                    .expect("rx");
+                let mut last: i64 = -1;
+                loop {
+                    let msg = rx.recv_vec().expect("recv");
+                    if msg.is_empty() {
+                        break;
+                    }
+                    let id = u64::from_le_bytes(msg.as_slice().try_into().expect("8")) as i64;
+                    assert!(id > last, "receiver {r}: {id} after {last}");
+                    last = id;
+                }
+            });
+        }
+        for i in 0..MSGS {
+            tx.send(&i.to_le_bytes()).expect("send");
+        }
+        for _ in 0..3 {
+            tx.send(&[]).expect("poison");
+        }
+    });
+    drop(tx);
+}
+
+#[test]
+fn join_leave_churn_keeps_region_consistent() {
+    let mpf = facility(16);
+    let delivered = AtomicU64::new(0);
+    // Open the persistent receiver before any sender thread can possibly
+    // run to completion, or a fast first wave could delete the
+    // conversation and discard its stream (paper §3.2).
+    let persistent_rx = mpf.receiver(p(15), "churn", Protocol::Fcfs).expect("rx");
+    std::thread::scope(|s| {
+        // A persistent receiver keeps the conversation alive throughout.
+        let mpf_ref = &mpf;
+        let delivered_ref = &delivered;
+        let rx = persistent_rx;
+        s.spawn(move || {
+            loop {
+                let msg = rx.recv_vec().expect("recv");
+                if msg.is_empty() {
+                    break;
+                }
+                delivered_ref.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        // Senders and broadcast observers come and go.
+        for wave in 0..4 {
+            std::thread::scope(|inner| {
+                for t in 0..4 {
+                    inner.spawn(move || {
+                        let pid = p(1 + wave as usize % 2 * 4 + t);
+                        let tx = mpf_ref.sender(pid, "churn").expect("tx");
+                        let _observer = mpf_ref
+                            .receiver(pid, "churn", Protocol::Broadcast)
+                            .expect("observer");
+                        for i in 0..25u64 {
+                            tx.send(&i.to_le_bytes()).expect("send");
+                        }
+                        // Observer leaves with unread messages: the close
+                        // sweep (the paper's vexing problem) must release
+                        // its claims.
+                    });
+                }
+            });
+        }
+        let tx = mpf_ref.sender(p(14), "churn").expect("final tx");
+        tx.send(&[]).expect("poison");
+    });
+    assert_eq!(delivered.load(Ordering::Relaxed), 4 * 4 * 25);
+    // Everything closed: conversation deleted, region fully free.
+    assert_eq!(mpf.live_lnvcs(), 0);
+    assert_eq!(
+        mpf.free_blocks(),
+        mpf.config().total_blocks,
+        "block leak after churn"
+    );
+}
+
+#[test]
+fn deleted_conversation_wakes_blocked_receiver_with_error() {
+    let mpf = facility(4);
+    let rx_id = mpf
+        .open_receive(p(1), "doomed", Protocol::Fcfs)
+        .expect("rx");
+    std::thread::scope(|s| {
+        let mpf = &mpf;
+        let h = s.spawn(move || {
+            let mut buf = [0u8; 8];
+            // Blocks; then another process force-closes our connection and
+            // the conversation dies under us.
+            mpf.message_receive(p(1), rx_id, &mut buf)
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        mpf.close_receive(p(1), rx_id).expect("force close");
+        let err = h.join().unwrap().unwrap_err();
+        assert!(
+            matches!(err, MpfError::NotConnected | MpfError::UnknownLnvc),
+            "blocked receiver must observe the close, got {err:?}"
+        );
+    });
+}
+
+#[test]
+fn many_conversations_in_parallel() {
+    let mpf = facility(16);
+    std::thread::scope(|s| {
+        for pair in 0..6 {
+            let mpf = &mpf;
+            s.spawn(move || {
+                let a = p(pair * 2);
+                let b = p(pair * 2 + 1);
+                let name = format!("pair:{pair}");
+                let tx = mpf.sender(a, &name).expect("tx");
+                let rx = mpf.receiver(b, &name, Protocol::Fcfs).expect("rx");
+                std::thread::scope(|inner| {
+                    inner.spawn(|| {
+                        for i in 0..200u32 {
+                            tx.send(&i.to_le_bytes()).expect("send");
+                        }
+                    });
+                    inner.spawn(|| {
+                        let mut buf = [0u8; 4];
+                        for i in 0..200u32 {
+                            rx.recv(&mut buf).expect("recv");
+                            assert_eq!(u32::from_le_bytes(buf), i);
+                        }
+                    });
+                });
+            });
+        }
+    });
+    assert_eq!(mpf.live_lnvcs(), 0);
+}
