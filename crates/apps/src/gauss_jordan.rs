@@ -20,6 +20,10 @@
 //! [`solve_shared`] (the shared-memory paradigm the paper contrasts:
 //! barriers plus a shared pivot slot).
 
+// Index loops mirror the paper's row/column sweeps; iterator forms
+// obscure the `a[r][c]` arithmetic clippy would trade them for.
+#![allow(clippy::needless_range_loop)]
+
 use mpf::{Mpf, MpfConfig, ProcessId, Protocol};
 use mpf_shm::barrier::SpinBarrier;
 use mpf_shm::process::run_processes_collect;
@@ -241,7 +245,7 @@ fn arbiter(mpf: &Mpf, pid: ProcessId, n: usize, workers: usize) -> Vec<f64> {
 /// matrix, synchronized with barriers — the paradigm the paper's
 /// introduction contrasts message passing against.
 pub fn solve_shared(a: &Matrix, b: &[f64], workers: usize) -> Vec<f64> {
-    use parking_lot::Mutex;
+    use std::sync::Mutex;
 
     let n = a.n();
     assert_eq!(b.len(), n);
@@ -274,42 +278,42 @@ pub fn solve_shared(a: &Matrix, b: &[f64], workers: usize) -> Vec<f64> {
             // Phase 1: local candidates.
             let mut best = (-1.0, lo);
             for r in lo..hi {
-                let row = rows[r].lock();
+                let row = rows[r].lock().unwrap();
                 if !row.used && f64::abs(row.coeffs[k]) > best.0 {
                     best = (f64::abs(row.coeffs[k]), r);
                 }
             }
-            *candidates[me].lock() = best;
+            *candidates[me].lock().unwrap() = best;
             barrier.wait();
 
             // Phase 2: one worker arbitrates and publishes the pivot row.
             if me == 0 {
                 let (mut best_val, mut best_row) = (-1.0, usize::MAX);
                 for c in &candidates {
-                    let (v, r) = *c.lock();
+                    let (v, r) = *c.lock().unwrap();
                     if v > best_val {
                         best_val = v;
                         best_row = r;
                     }
                 }
-                let mut row = rows[best_row].lock();
+                let mut row = rows[best_row].lock().unwrap();
                 row.used = true;
                 row.pivot_col = k;
-                *pivot_slot.lock() = (row.coeffs.clone(), row.rhs, best_row);
+                *pivot_slot.lock().unwrap() = (row.coeffs.clone(), row.rhs, best_row);
             }
             barrier.wait();
 
             // Phase 3: sweep every row except the current pivot (see the
             // message-passing worker for why used rows are included).
             let (piv_row, piv_b, piv_global_row) = {
-                let g = pivot_slot.lock();
+                let g = pivot_slot.lock().unwrap();
                 (g.0.clone(), g.1, g.2)
             };
             for r in lo..hi {
                 if r == piv_global_row {
                     continue;
                 }
-                let mut row = rows[r].lock();
+                let mut row = rows[r].lock().unwrap();
                 let factor = row.coeffs[k] / piv_row[k];
                 if factor != 0.0 {
                     for c in 0..n {
@@ -324,7 +328,7 @@ pub fn solve_shared(a: &Matrix, b: &[f64], workers: usize) -> Vec<f64> {
 
     let mut x = vec![0.0; n];
     for r in 0..n {
-        let row = rows[r].lock();
+        let row = rows[r].lock().unwrap();
         x[row.pivot_col] = row.rhs / row.coeffs[row.pivot_col];
     }
     x

@@ -1,8 +1,7 @@
 //! Dense linear-algebra plumbing for the Gauss-Jordan study: a row-major
 //! matrix type, well-conditioned random test systems, and residual checks.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mpf_shm::SmallRng;
 
 /// A dense, row-major `n × n` matrix of `f64`.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,7 +64,7 @@ impl Matrix {
     /// every generated test system is solvable (the workload generator for
     /// Figure 7).
     pub fn random_diag_dominant(n: usize, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SmallRng::seed_from_u64(seed);
         let mut m = Self::zeros(n);
         for r in 0..n {
             let mut off_sum = 0.0;
@@ -86,7 +85,7 @@ impl Matrix {
 
 /// Random right-hand side.
 pub fn random_rhs(n: usize, seed: u64) -> Vec<f64> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xB5);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xB5);
     (0..n).map(|_| rng.gen_range(-10.0..10.0)).collect()
 }
 

@@ -5,8 +5,9 @@
 //! and link stores.  This bench sweeps the block payload to quantify that
 //! design choice.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mpf::{Mpf, MpfConfig, ProcessId, Protocol};
+use mpf_bench::crit::{BenchmarkId, Criterion, Throughput};
+use mpf_bench::{criterion_group, criterion_main};
 
 fn bench_block_sizes(c: &mut Criterion) {
     let mut group = c.benchmark_group("block_size_1024B_roundtrip");

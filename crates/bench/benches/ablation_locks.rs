@@ -5,8 +5,9 @@
 //! choice on the loop-back path (uncontended) — the contended case is what
 //! `fig4_fcfs --sim` models.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mpf::{Mpf, MpfConfig, ProcessId, Protocol};
+use mpf_bench::crit::{BenchmarkId, Criterion};
+use mpf_bench::{criterion_group, criterion_main};
 use mpf_shm::lock::LockKind;
 
 fn bench_locks(c: &mut Criterion) {

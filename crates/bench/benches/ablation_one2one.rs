@@ -7,9 +7,10 @@
 
 use std::time::{Duration, Instant};
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mpf::one2one::one2one;
 use mpf::{Mpf, MpfConfig, ProcessId, Protocol};
+use mpf_bench::crit::{BenchmarkId, Criterion, Throughput};
+use mpf_bench::{criterion_group, criterion_main};
 
 const LEN: usize = 128;
 
@@ -72,7 +73,7 @@ fn bench_one2one_vs_lnvc(c: &mut Criterion) {
     group.bench_with_input(
         BenchmarkId::from_parameter("one2one_lock_free"),
         &(),
-        |b, ()| b.iter_custom(|iters| one2one_stream(iters)),
+        |b, ()| b.iter_custom(one2one_stream),
     );
     group.finish();
 }

@@ -9,9 +9,10 @@
 
 use std::time::{Duration, Instant};
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mpf::sync_channel::Rendezvous;
 use mpf::{Mpf, MpfConfig, ProcessId, Protocol};
+use mpf_bench::crit::{BenchmarkId, Criterion, Throughput};
+use mpf_bench::{criterion_group, criterion_main};
 
 const LEN: usize = 2048;
 

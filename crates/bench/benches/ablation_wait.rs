@@ -6,8 +6,9 @@
 
 use std::time::{Duration, Instant};
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mpf::{Mpf, MpfConfig, ProcessId, Protocol};
+use mpf_bench::crit::{BenchmarkId, Criterion};
+use mpf_bench::{criterion_group, criterion_main};
 use mpf_shm::waitq::WaitStrategy;
 
 fn ping_pong_rounds(mpf: &Mpf, rounds: u64) -> Duration {

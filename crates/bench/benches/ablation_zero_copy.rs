@@ -7,8 +7,9 @@
 //! measures what that is worth per message size (the first copy, into
 //! blocks, is inherent to the asynchronous model).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mpf::{Mpf, MpfConfig, ProcessId, Protocol};
+use mpf_bench::crit::{BenchmarkId, Criterion, Throughput};
+use mpf_bench::{criterion_group, criterion_main};
 
 fn bench_zero_copy(c: &mut Criterion) {
     let mpf = Mpf::init(
@@ -26,12 +27,16 @@ fn bench_zero_copy(c: &mut Criterion) {
         let mut group = c.benchmark_group(format!("zero_copy_{len}B"));
         group.throughput(Throughput::Bytes(len as u64));
         let mut buf = vec![0u8; len];
-        group.bench_with_input(BenchmarkId::from_parameter("buffered_recv"), &(), |b, ()| {
-            b.iter(|| {
-                tx.send(&payload).expect("send");
-                rx.recv(&mut buf).expect("recv")
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter("buffered_recv"),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    tx.send(&payload).expect("send");
+                    rx.recv(&mut buf).expect("recv")
+                });
+            },
+        );
         group.bench_with_input(BenchmarkId::from_parameter("scan_recv"), &(), |b, ()| {
             b.iter(|| {
                 tx.send(&payload).expect("send");

@@ -2,8 +2,9 @@
 //! message size (the per-point cost behind Figure 3), open/close cost, and
 //! `check_receive`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mpf::{Mpf, MpfConfig, ProcessId, Protocol};
+use mpf_bench::crit::{BenchmarkId, Criterion, Throughput};
+use mpf_bench::{criterion_group, criterion_main};
 
 fn pid(i: usize) -> ProcessId {
     ProcessId::from_index(i)

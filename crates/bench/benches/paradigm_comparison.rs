@@ -8,11 +8,12 @@
 //! single-core host the parallel variants measure pure paradigm
 //! *overhead*; on a multi-core host they measure the paradigm's scaling.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mpf_apps::gauss_jordan;
 use mpf_apps::grid::{self, Grid};
 use mpf_apps::linalg::{random_rhs, Matrix};
 use mpf_apps::sor;
+use mpf_bench::crit::{BenchmarkId, Criterion};
+use mpf_bench::{criterion_group, criterion_main};
 
 fn bench_gauss_paradigms(c: &mut Criterion) {
     let n = 32;

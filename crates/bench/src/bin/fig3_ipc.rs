@@ -1,0 +1,169 @@
+//! Figure 3 on the multi-process backend: throughput vs message length.
+//!
+//! Three series, same x-axis as `fig3_base`:
+//!
+//! * `threads`  — the in-process thread backend (`mpf::Mpf`), identical
+//!   to `fig3_base --native`;
+//! * `ipc loop-back` — the shared-region backend (`mpf_ipc::IpcMpf`)
+//!   with sender and receiver in ONE process, isolating the cost of the
+//!   offset-addressed region + `IpcLock`/futex primitives;
+//! * `ipc 2-process` — sender and receiver in genuinely separate OS
+//!   processes (the receiver is this binary re-exec'd with `--worker`),
+//!   the configuration the paper actually measured.
+//!
+//! Usage: `fig3_ipc [--msgs N]` (default 2000 messages per point).
+
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use mpf::{MpfConfig, MpfError, Protocol};
+use mpf_bench::report::print_series;
+use mpf_bench::{native, Series};
+use mpf_ipc::IpcMpf;
+
+const LENGTHS: [usize; 8] = [16, 64, 128, 256, 512, 1024, 1536, 2048];
+const REGION_ENV: &str = "MPF_FIG3_REGION";
+const ROUNDS_ENV: &str = "MPF_FIG3_ROUNDS";
+
+fn region_config() -> MpfConfig {
+    MpfConfig::new(4, 4)
+        .with_block_payload(256)
+        .with_total_blocks(1024)
+        .with_max_messages(256)
+        .with_max_connections(8)
+}
+
+/// Sends with back-pressure: pool exhaustion usually means the receiver
+/// is behind, so spin until a slot frees up — but a receiver that DIED
+/// will never drain the pools, so sweep for dead peers while spinning;
+/// the sweep poisons the conversation and the next send reports
+/// `PeerDied` instead of hanging this process forever.
+fn send_retry(m: &IpcMpf, id: mpf_ipc::IpcLnvcId, payload: &[u8]) {
+    loop {
+        match m.message_send(id, payload) {
+            Ok(()) => return,
+            Err(MpfError::MessagesExhausted) | Err(MpfError::BlocksExhausted) => {
+                m.sweep_dead_peers();
+                std::thread::yield_now();
+            }
+            Err(e) => panic!("send failed: {e}"),
+        }
+    }
+}
+
+/// In-process loop-back over the shared region (alternating send/recv,
+/// exactly the paper's `base` loop).
+fn ipc_loopback_throughput(len: usize, iters: u64) -> f64 {
+    let m = IpcMpf::create(
+        &format!("fig3-loop-{}", std::process::id()),
+        &region_config(),
+    )
+    .expect("create region");
+    let tx = m.open_send("bench").expect("tx");
+    let rx = m.open_receive("bench", Protocol::Fcfs).expect("rx");
+    let payload = vec![0xA5u8; len];
+    let mut buf = vec![0u8; len.max(1)];
+    let start = Instant::now();
+    for _ in 0..iters {
+        m.message_send(tx, &payload).expect("send");
+        m.message_receive(rx, &mut buf).expect("recv");
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (iters as usize * len) as f64 / secs
+}
+
+/// Worker half of the 2-process measurement: drain `bench`, ack each
+/// round (a 1-byte message marks end-of-round) on `ack`.
+fn worker_main(region: &str, rounds: usize) {
+    let m = IpcMpf::attach(region).expect("attach");
+    let rx = m.open_receive("bench", Protocol::Fcfs).expect("rx");
+    let ack = m.open_send("ack").expect("ack tx");
+    let mut buf = vec![0u8; 4096];
+    for _ in 0..rounds {
+        loop {
+            let n = m
+                .message_receive_timeout(rx, &mut buf, Duration::from_secs(60))
+                .expect("worker recv");
+            if n == 1 {
+                break;
+            }
+        }
+        send_retry(&m, ack, b"ok");
+    }
+}
+
+/// Parent half: per length, time `msgs` sends plus the worker's ack.
+fn ipc_two_process_series(msgs: u64) -> Series {
+    let region = format!("fig3-xp-{}", std::process::id());
+    let m = IpcMpf::create(&region, &region_config()).expect("create region");
+    let tx = m.open_send("bench").expect("tx");
+    let ack = m.open_receive("ack", Protocol::Fcfs).expect("ack rx");
+
+    let mut worker = Command::new(std::env::current_exe().expect("current_exe"))
+        .arg("--worker")
+        .env(REGION_ENV, &region)
+        .env(ROUNDS_ENV, LENGTHS.len().to_string())
+        .stdout(Stdio::null())
+        .spawn()
+        .expect("spawn worker");
+
+    let mut points = Vec::new();
+    let mut buf = [0u8; 8];
+    for &len in &LENGTHS {
+        let payload = vec![0x5Au8; len];
+        let start = Instant::now();
+        for _ in 0..msgs {
+            send_retry(&m, tx, &payload);
+        }
+        send_retry(&m, tx, &[0u8; 1]); // end-of-round marker
+        m.message_receive_timeout(ack, &mut buf, Duration::from_secs(60))
+            .expect("ack");
+        let secs = start.elapsed().as_secs_f64();
+        points.push((len as f64, (msgs as usize * len) as f64 / secs));
+    }
+    let status = worker.wait().expect("reap worker");
+    assert!(status.success(), "worker exited with {status}");
+    Series {
+        label: "ipc 2-process".to_string(),
+        points,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--worker") {
+        let region = std::env::var(REGION_ENV).expect(REGION_ENV);
+        let rounds: usize = std::env::var(ROUNDS_ENV)
+            .expect(ROUNDS_ENV)
+            .parse()
+            .unwrap();
+        worker_main(&region, rounds);
+        return;
+    }
+    let msgs: u64 = args
+        .iter()
+        .position(|a| a == "--msgs")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--msgs N"))
+        .unwrap_or(2000);
+
+    let threads = Series {
+        label: "threads".to_string(),
+        points: LENGTHS
+            .iter()
+            .map(|&len| (len as f64, native::base_throughput(len, msgs)))
+            .collect(),
+    };
+    let ipc_loop = Series {
+        label: "ipc loop-back".to_string(),
+        points: LENGTHS
+            .iter()
+            .map(|&len| (len as f64, ipc_loopback_throughput(len, msgs)))
+            .collect(),
+    };
+    let ipc_xp = ipc_two_process_series(msgs);
+    print_series(
+        "Figure 3 on the process backend: throughput (bytes/s) vs message length",
+        &[threads, ipc_loop, ipc_xp],
+    );
+}

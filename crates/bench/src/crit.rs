@@ -1,0 +1,212 @@
+//! A tiny in-repo stand-in for the `criterion` API subset the ablation
+//! benches use, so the workspace builds with no external crates.
+//!
+//! Semantics: each benchmark is warmed up briefly, then timed over enough
+//! iterations to fill a short measurement window; the per-iteration time
+//! (and derived byte throughput, when declared) is printed as one aligned
+//! line.  No statistics beyond the mean — these benches inform relative
+//! ordering, not publication-grade confidence intervals.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock spent measuring one benchmark.
+const MEASURE_WINDOW: Duration = Duration::from_millis(200);
+/// Iterations used to estimate the per-iteration cost before measuring.
+const PILOT_ITERS: u64 = 8;
+
+/// Benchmark identifier: `from_parameter(16)` → `"16"`,
+/// `new("paper_10B_vs", 40)` → `"paper_10B_vs/40"`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Id from a bare parameter.
+    pub fn from_parameter<P: std::fmt::Display>(p: P) -> Self {
+        Self {
+            label: p.to_string(),
+        }
+    }
+
+    /// Id from a function name plus parameter.
+    pub fn new<P: std::fmt::Display>(name: &str, p: P) -> Self {
+        Self {
+            label: format!("{name}/{p}"),
+        }
+    }
+}
+
+/// Throughput declaration attached to a group.
+#[derive(Clone, Copy)]
+pub enum Throughput {
+    /// Bytes moved per iteration.
+    Bytes(u64),
+}
+
+/// Per-iteration timer handed to the closure.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f` over a calibrated number of iterations.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Pilot: estimate cost so the real run fits the window.
+        let t0 = Instant::now();
+        for _ in 0..PILOT_ITERS {
+            std::hint::black_box(f());
+        }
+        let pilot = t0.elapsed().max(Duration::from_nanos(1));
+        let per = pilot.as_nanos().max(1) / PILOT_ITERS as u128;
+        let iters = (MEASURE_WINDOW.as_nanos() / per).clamp(1, 10_000_000) as u64;
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = t1.elapsed();
+        self.iters = iters;
+    }
+
+    /// Lets the closure time `iters` iterations itself (for paths that
+    /// need threads spun up around the measured loop).
+    pub fn iter_custom(&mut self, mut f: impl FnMut(u64) -> Duration) {
+        let pilot = f(PILOT_ITERS).max(Duration::from_nanos(1));
+        let per = pilot.as_nanos().max(1) / PILOT_ITERS as u128;
+        let iters = (MEASURE_WINDOW.as_nanos() / per).clamp(1, 10_000_000) as u64;
+        self.elapsed = f(iters);
+        self.iters = iters;
+    }
+}
+
+/// A named group of related measurements.
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Criterion compatibility: sample count is ignored (we time one
+    /// calibrated window per bench).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one measurement under this group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.label), &b, self.throughput);
+        self
+    }
+
+    /// Flushes the group (printing happens eagerly; this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone measurement.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        report(name, &b, None);
+        self
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    if b.iters == 0 {
+        println!("{name:<48} (not measured)");
+        return;
+    }
+    let per_ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    match throughput {
+        Some(Throughput::Bytes(bytes)) if per_ns > 0.0 => {
+            let mbps = bytes as f64 * 1e9 / per_ns / (1024.0 * 1024.0);
+            println!("{name:<48} {per_ns:>12.1} ns/iter  {mbps:>10.2} MiB/s");
+        }
+        _ => println!("{name:<48} {per_ns:>12.1} ns/iter"),
+    }
+}
+
+/// Criterion-compatible group definition: expands to a runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::crit::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Criterion-compatible entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1u64 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Bytes(64));
+        g.bench_with_input(BenchmarkId::from_parameter(64), &64usize, |b, &n| {
+            b.iter(|| vec![0u8; n])
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn iter_custom_scales_iters() {
+        let mut got = 0u64;
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        b.iter_custom(|iters| {
+            got = iters;
+            Duration::from_millis(50)
+        });
+        assert_eq!(b.iters, got);
+        assert!(b.iters >= 1);
+    }
+}

@@ -14,8 +14,7 @@ use std::time::Instant;
 use mpf::{Mpf, MpfConfig, ProcessId, Protocol};
 use mpf_shm::barrier::SpinBarrier;
 use mpf_shm::process::run_processes;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mpf_shm::SmallRng;
 
 fn config(processes: u32) -> MpfConfig {
     MpfConfig::new(64.max(processes * 2), processes + 1)
@@ -139,7 +138,7 @@ pub fn random_throughput(len: usize, procs: u32, msgs_per_proc: u64, seed: u64) 
             .collect();
         setup.wait();
 
-        let mut rng = StdRng::seed_from_u64(seed ^ (me as u64) << 32);
+        let mut rng = SmallRng::seed_from_u64(seed ^ (me as u64) << 32);
         let payload = vec![me as u8; len];
         let mut buf = vec![0u8; len.max(1)];
         for _ in 0..msgs_per_proc {

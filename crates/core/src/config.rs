@@ -61,7 +61,7 @@ impl MpfConfig {
     /// parameters.  Defaults favour practicality (64-byte blocks); use
     /// [`MpfConfig::paper_faithful`] for the 10-byte experimental setup.
     pub fn new(max_lnvcs: u32, max_processes: u32) -> Self {
-        assert!(max_lnvcs >= 1 && max_lnvcs <= MAX_LNVC_INDEX + 1);
+        assert!((1..=MAX_LNVC_INDEX + 1).contains(&max_lnvcs));
         assert!(max_processes >= 1);
         let conns = (max_processes * 8).max(max_lnvcs * 2).max(64);
         Self {

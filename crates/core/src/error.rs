@@ -54,6 +54,22 @@ pub enum MpfError {
     WouldBlock,
     /// The C layer was used before `init` (or `init` was called twice).
     BadInit,
+    /// A peer process died mid-conversation (multi-process backend): a
+    /// lock it held was broken or its connections were swept, and the
+    /// LNVC is poisoned rather than left to deadlock survivors.
+    PeerDied {
+        /// Raw MPF process id of the dead peer (0 when unknown — the
+        /// poison was discovered after the sweep recorded no culprit).
+        pid: u32,
+    },
+    /// `attach` found a shared region whose header does not match this
+    /// library (wrong magic, layout version, or configuration echo).
+    LayoutMismatch {
+        /// Layout version this library writes.
+        expected: u32,
+        /// Layout version found in the region header.
+        found: u32,
+    },
 }
 
 impl MpfError {
@@ -74,6 +90,8 @@ impl MpfError {
             MpfError::BufferTooSmall { .. } => -12,
             MpfError::WouldBlock => -13,
             MpfError::BadInit => -14,
+            MpfError::PeerDied { .. } => -15,
+            MpfError::LayoutMismatch { .. } => -16,
         }
     }
 }
@@ -106,6 +124,19 @@ impl std::fmt::Display for MpfError {
             }
             MpfError::WouldBlock => write!(f, "no message available"),
             MpfError::BadInit => write!(f, "facility not initialized (or initialized twice)"),
+            MpfError::PeerDied { pid: 0 } => {
+                write!(f, "a peer process died mid-conversation; LNVC poisoned")
+            }
+            MpfError::PeerDied { pid } => {
+                write!(
+                    f,
+                    "peer process P{pid} died mid-conversation; LNVC poisoned"
+                )
+            }
+            MpfError::LayoutMismatch { expected, found } => write!(
+                f,
+                "region layout mismatch: library speaks version {expected}, region is {found}"
+            ),
         }
     }
 }
@@ -133,6 +164,11 @@ mod tests {
             MpfError::BufferTooSmall { needed: 9 },
             MpfError::WouldBlock,
             MpfError::BadInit,
+            MpfError::PeerDied { pid: 3 },
+            MpfError::LayoutMismatch {
+                expected: 1,
+                found: 2,
+            },
         ];
         let mut codes: Vec<i32> = all.iter().map(|e| e.status_code()).collect();
         assert!(codes.iter().all(|&c| c < 0));

@@ -1005,7 +1005,8 @@ mod tests {
         let b_rx = mpf.open_receive(p(1), "sel:b", Protocol::Fcfs).unwrap();
 
         assert_eq!(mpf.check_any(p(1), &[a_rx, b_rx]).unwrap(), None);
-        mpf.message_send(p(0), b_tx, b"second conversation").unwrap();
+        mpf.message_send(p(0), b_tx, b"second conversation")
+            .unwrap();
         assert_eq!(mpf.check_any(p(1), &[a_rx, b_rx]).unwrap(), Some(b_rx));
         assert_eq!(mpf.wait_any(p(1), &[a_rx, b_rx]).unwrap(), b_rx);
 
@@ -1129,7 +1130,8 @@ mod tests {
             if let Some(prev) = prev {
                 assert_ne!(prev, id, "round {round}");
             }
-            mpf.message_send(p(0), id, b"x").expect("fresh id must validate");
+            mpf.message_send(p(0), id, b"x")
+                .expect("fresh id must validate");
             mpf.close_send(p(0), id).unwrap();
             assert!(
                 mpf.message_send(p(0), id, b"x").is_err(),

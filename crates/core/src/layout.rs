@@ -4,11 +4,27 @@
 //! parameters "are used to estimate the amount of shared memory
 //! necessary" (§2).  [`RegionLayout`] is that estimate made exact: the
 //! byte offset and size of every segment a given [`MpfConfig`] implies,
-//! in allocation order.  (Our pools allocate independently for Rust
-//! hygiene, but the layout is the single source of truth for sizing and
-//! reporting, and documents what a literal one-mmap port would map.)
+//! in allocation order.  (The thread backend's pools allocate
+//! independently for Rust hygiene, but the layout is the single source of
+//! truth for sizing and reporting.)
+//!
+//! The multi-process backend (`mpf-ipc`) performs the literal one-mmap
+//! carve: [`RegionLayout::for_ipc`] prepends a region header and
+//! per-process heartbeat slots, aligns every segment to a cache line, and
+//! the `#[repr(C)]` in-region structs over there are compile-time
+//! asserted to match the byte constants here.  [`LAYOUT_VERSION`] is the
+//! cross-binary contract: a process may only attach a region whose header
+//! echoes the version (and configuration) it was carved with.
 
 use crate::config::MpfConfig;
+
+/// Version of the region byte layout.  Bump on ANY change to the segment
+/// order, the constants below, or the in-region struct layouts; attach
+/// refuses regions with a different version ([`crate::MpfError::LayoutMismatch`]).
+pub const LAYOUT_VERSION: u32 = 1;
+
+/// Magic at byte 0 of every MPF region ("MPFREGN1" little-endian).
+pub const REGION_MAGIC: u64 = u64::from_le_bytes(*b"MPFREGN1");
 
 /// One carved segment of the region.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,14 +46,26 @@ pub struct RegionLayout {
     pub segments: Vec<Segment>,
 }
 
-/// Bytes per descriptor, mirroring the slot structs (rounded to the
-/// region's natural alignment).
-const LNVC_DESC_BYTES: usize = 192; // name ref, queue/head/tail ptrs, counts, lock, waitq
-const MSG_HEADER_BYTES: usize = 40; // len, chain, next, pending, flags, stamp
-const SEND_DESC_BYTES: usize = 8; // pid, next
-const RECV_DESC_BYTES: usize = 16; // pid, next, protocol, head
-const BLOCK_LINK_BYTES: usize = 4; // next index
-const REGISTRY_ENTRY_BYTES: usize = 40; // 32-byte name + index + state
+/// Bytes per LNVC descriptor: lock, waitq, queue head/tail, connection
+/// lists, counts, stamp.  `mpf-ipc` const-asserts its `#[repr(C)]` struct
+/// against this.
+pub const LNVC_DESC_BYTES: usize = 192;
+/// Bytes per message header: len, chain, next, pending, flags, stamp.
+pub const MSG_HEADER_BYTES: usize = 40;
+/// Bytes per send-connection descriptor: pid, next.
+pub const SEND_DESC_BYTES: usize = 8;
+/// Bytes per receive-connection descriptor: pid, next, protocol, head.
+pub const RECV_DESC_BYTES: usize = 16;
+/// Bytes per block link: next index.
+pub const BLOCK_LINK_BYTES: usize = 4;
+/// Bytes per registry entry: 32-byte name + index + state.
+pub const REGISTRY_ENTRY_BYTES: usize = 40;
+/// Bytes reserved for the region header (magic, version, config echo,
+/// init barrier, registry lock, pool free lists) in an ipc carve.
+pub const REGION_HEADER_BYTES: usize = 512;
+/// Bytes per process heartbeat slot in an ipc carve (one cache-padded
+/// cell per process: os pid, attach generation, liveness, heartbeat).
+pub const PROCESS_SLOT_BYTES: usize = 128;
 
 impl RegionLayout {
     /// Computes the layout for `cfg`.
@@ -93,11 +121,74 @@ impl RegionLayout {
         Self { segments }
     }
 
+    /// Computes the layout for a genuine one-mmap multi-process region.
+    ///
+    /// Same pools as [`Self::for_config`], but prefixed with the region
+    /// header and per-process heartbeat slots, and with every segment
+    /// aligned to a 64-byte cache line (descriptor pools in a live region
+    /// are written by different processes; ragged segment starts would
+    /// let the last slot of one pool share a line with the first slot of
+    /// the next).
+    pub fn for_ipc(cfg: &MpfConfig) -> Self {
+        let mut segments = Vec::new();
+        let mut cursor = 0usize;
+        let mut push = |name, bytes: usize, slots: usize| {
+            let aligned = bytes.div_ceil(64) * 64;
+            segments.push(Segment {
+                name,
+                offset: cursor,
+                bytes: aligned,
+                slots,
+            });
+            cursor += aligned;
+        };
+        push("region header", REGION_HEADER_BYTES, 1);
+        push(
+            "process slots",
+            cfg.max_processes as usize * PROCESS_SLOT_BYTES,
+            cfg.max_processes as usize,
+        );
+        push(
+            "lnvc descriptors",
+            cfg.max_lnvcs as usize * LNVC_DESC_BYTES,
+            cfg.max_lnvcs as usize,
+        );
+        push(
+            "name registry",
+            cfg.max_lnvcs as usize * REGISTRY_ENTRY_BYTES,
+            cfg.max_lnvcs as usize,
+        );
+        push(
+            "message headers",
+            cfg.max_messages as usize * MSG_HEADER_BYTES,
+            cfg.max_messages as usize,
+        );
+        push(
+            "send descriptors",
+            cfg.max_send_conns as usize * SEND_DESC_BYTES,
+            cfg.max_send_conns as usize,
+        );
+        push(
+            "receive descriptors",
+            cfg.max_recv_conns as usize * RECV_DESC_BYTES,
+            cfg.max_recv_conns as usize,
+        );
+        push(
+            "block links",
+            cfg.total_blocks as usize * BLOCK_LINK_BYTES,
+            cfg.total_blocks as usize,
+        );
+        push(
+            "block payloads",
+            cfg.total_blocks as usize * cfg.block_payload,
+            cfg.total_blocks as usize,
+        );
+        Self { segments }
+    }
+
     /// Total region bytes.
     pub fn total_bytes(&self) -> usize {
-        self.segments
-            .last()
-            .map_or(0, |s| s.offset + s.bytes)
+        self.segments.last().map_or(0, |s| s.offset + s.bytes)
     }
 
     /// Looks a segment up by name.
@@ -174,6 +265,32 @@ mod tests {
         ] {
             assert!(text.contains(name), "missing {name}");
         }
+    }
+
+    #[test]
+    fn ipc_layout_is_cache_line_aligned_and_superset() {
+        let cfg = MpfConfig::paper_faithful(16, 20);
+        let ipc = RegionLayout::for_ipc(&cfg);
+        let mut cursor = 0;
+        for s in &ipc.segments {
+            assert_eq!(s.offset, cursor, "{} not contiguous", s.name);
+            assert_eq!(s.offset % 64, 0, "{} not line-aligned", s.name);
+            cursor += s.bytes;
+        }
+        let header = ipc.segment("region header").unwrap();
+        assert_eq!(header.offset, 0);
+        assert!(header.bytes >= REGION_HEADER_BYTES);
+        let slots = ipc.segment("process slots").unwrap();
+        assert_eq!(slots.slots, cfg.max_processes as usize);
+        // Every thread-backend segment exists in the ipc carve too.
+        for s in &RegionLayout::for_config(&cfg).segments {
+            assert!(
+                ipc.segment(s.name).is_some(),
+                "ipc carve missing {}",
+                s.name
+            );
+        }
+        assert!(ipc.total_bytes() > RegionLayout::for_config(&cfg).total_bytes());
     }
 
     #[test]

@@ -11,8 +11,7 @@
 //! many LNVCs.
 
 use std::collections::HashMap;
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::types::LnvcName;
 
@@ -26,7 +25,7 @@ pub struct Registry {
 /// Guard over the registry map.  Open/close hold this across descriptor
 /// creation/deletion so name lookup and conversation lifetime can never
 /// disagree (lock order: registry, then LNVC descriptor).
-pub type RegistryGuard<'a> = parking_lot::MutexGuard<'a, HashMap<LnvcName, u32>>;
+pub type RegistryGuard<'a> = std::sync::MutexGuard<'a, HashMap<LnvcName, u32>>;
 
 impl Registry {
     /// Creates an empty registry bounded by `capacity` names (the
@@ -38,9 +37,11 @@ impl Registry {
         }
     }
 
-    /// Acquires the registry lock.
+    /// Acquires the registry lock.  A poisoning panic elsewhere does not
+    /// invalidate the map (every mutation is a single insert/remove), so
+    /// poison is shrugged off.
     pub fn lock(&self) -> RegistryGuard<'_> {
-        self.inner.lock()
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Maximum simultaneous names.
@@ -50,7 +51,7 @@ impl Registry {
 
     /// Number of live conversations (diagnostic).
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// True when no conversations exist.
@@ -60,7 +61,12 @@ impl Registry {
 
     /// Snapshot of live conversation names (diagnostic).
     pub fn names(&self) -> Vec<LnvcName> {
-        self.inner.lock().keys().copied().collect()
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .keys()
+            .copied()
+            .collect()
     }
 }
 

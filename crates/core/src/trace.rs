@@ -18,7 +18,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// What happened.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,7 +96,7 @@ impl Tracer {
             len: len as u32,
             stamp,
         };
-        let mut events = self.events.lock();
+        let mut events = self.events.lock().unwrap_or_else(|e| e.into_inner());
         if events.len() < self.capacity {
             events.push(ev);
         } else {
@@ -111,7 +111,8 @@ impl Tracer {
 
     /// Takes the recorded events (sorted by time) as an immutable log.
     pub fn take_log(&self) -> TraceLog {
-        let mut events = std::mem::take(&mut *self.events.lock());
+        let mut events =
+            std::mem::take(&mut *self.events.lock().unwrap_or_else(|e| e.into_inner()));
         events.sort_by_key(|e| e.at_ns);
         TraceLog { events }
     }

@@ -1,0 +1,1318 @@
+//! The multi-process MPF facility: the paper's eight primitives executed
+//! directly against a named, mmap'd shared-memory region.
+//!
+//! Where `mpf-core`'s thread backend keeps descriptors in typed Rust
+//! pools, this backend performs the literal carve of
+//! [`RegionLayout::for_ipc`]: every descriptor is a `#[repr(C)]` struct
+//! overlaid on region bytes, every link a `u32` index, every blocking
+//! wait a cross-process futex.  Any process on the machine can
+//! [`IpcMpf::attach`] the region by name and converse with the creator.
+//!
+//! Dead-peer robustness (the part the 1987 paper never needed, because a
+//! hung Balance process took the whole job down with it): every attached
+//! process owns a heartbeat slot carrying its OS pid.  Lock acquisition
+//! probes holders that stall past a patience threshold and breaks locks
+//! whose holders died ([`mpf_shm::IpcLock`]); the liveness sweep
+//! ([`IpcMpf::sweep_dead_peers`]) detects dead peers, unlinks their
+//! connections, and **poisons** the conversations they touched so
+//! survivors unblock with [`MpfError::PeerDied`] instead of deadlocking.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, Instant};
+
+use mpf::layout::{RegionLayout, LAYOUT_VERSION, REGION_MAGIC};
+use mpf::{LnvcName, MpfConfig, MpfError, Protocol, Result};
+use mpf_shm::ShmRegion;
+
+use crate::shmem::{
+    msg_flags, region_state, slot_state, LnvcDesc, MsgDesc, ProcessSlot, RecvDesc, RegionHeader,
+    RegistryEntry, SendDesc, NIL,
+};
+
+/// How long a blocked receive sleeps between liveness sweeps.
+const RECV_SWEEP_INTERVAL: Duration = Duration::from_millis(50);
+/// How long `attach` waits for the creator to finish carving.
+const ATTACH_BARRIER_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Handle to one conversation: `generation << 32 | descriptor index`.
+/// Stale handles from deleted conversations are detected, not dereferenced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IpcLnvcId(u64);
+
+impl IpcLnvcId {
+    fn new(generation: u32, index: u32) -> Self {
+        Self(((generation as u64) << 32) | index as u64)
+    }
+
+    fn index(self) -> u32 {
+        self.0 as u32
+    }
+
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    /// Raw transport form (for FFI).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a handle from its raw form.
+    pub fn from_raw(raw: u64) -> Self {
+        Self(raw)
+    }
+}
+
+/// Errors from region creation/attachment (everything after that speaks
+/// [`MpfError`]).
+#[derive(Debug)]
+pub enum AttachError {
+    /// The OS refused the shared mapping (or the region does not exist).
+    Io(std::io::Error),
+    /// The region exists but its header disagrees with this library
+    /// (magic, layout version) or all process slots are taken.
+    Mpf(MpfError),
+}
+
+impl std::fmt::Display for AttachError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttachError::Io(e) => write!(f, "shared region i/o: {e}"),
+            AttachError::Mpf(e) => write!(f, "shared region rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AttachError {}
+
+impl From<std::io::Error> for AttachError {
+    fn from(e: std::io::Error) -> Self {
+        AttachError::Io(e)
+    }
+}
+
+impl From<MpfError> for AttachError {
+    fn from(e: MpfError) -> Self {
+        AttachError::Mpf(e)
+    }
+}
+
+/// Which connection pool an index-linked list lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnKind {
+    Send,
+    Recv,
+}
+
+/// Resolved byte offsets of every segment (computed once at map time from
+/// the config echo — identical in every process because the layout is a
+/// pure function of the config).
+#[derive(Debug, Clone, Copy)]
+struct Offsets {
+    header: usize,
+    slots: usize,
+    lnvcs: usize,
+    registry: usize,
+    msgs: usize,
+    sends: usize,
+    recvs: usize,
+    links: usize,
+    payloads: usize,
+}
+
+/// Pool sizes (config echo, denormalized for hot-path use).
+#[derive(Debug, Clone, Copy)]
+struct Counts {
+    max_lnvcs: u32,
+    max_processes: u32,
+    block_payload: usize,
+    total_blocks: u32,
+    max_messages: u32,
+}
+
+fn offsets_for(cfg: &MpfConfig) -> Offsets {
+    let l = RegionLayout::for_ipc(cfg);
+    let seg = |name: &str| l.segment(name).expect("for_ipc segment").offset;
+    Offsets {
+        header: seg("region header"),
+        slots: seg("process slots"),
+        lnvcs: seg("lnvc descriptors"),
+        registry: seg("name registry"),
+        msgs: seg("message headers"),
+        sends: seg("send descriptors"),
+        recvs: seg("receive descriptors"),
+        links: seg("block links"),
+        payloads: seg("block payloads"),
+    }
+}
+
+/// The multi-process facility handle: one per process (or per
+/// [`IpcMpf::attach_view`] for in-process tests of position independence).
+#[derive(Debug)]
+pub struct IpcMpf {
+    region: ShmRegion,
+    off: Offsets,
+    counts: Counts,
+    /// Our process slot index — the MPF process id.
+    me: u32,
+}
+
+impl IpcMpf {
+    // -- construction --------------------------------------------------
+
+    /// Creates the named region, carves it, and claims process slot 0.
+    pub fn create(name: &str, cfg: &MpfConfig) -> std::result::Result<Self, AttachError> {
+        let layout = RegionLayout::for_ipc(cfg);
+        let total = layout.total_bytes();
+        let region = ShmRegion::create(name, total)?;
+        let off = offsets_for(cfg);
+        let counts = Counts {
+            max_lnvcs: cfg.max_lnvcs,
+            max_processes: cfg.max_processes,
+            block_payload: cfg.block_payload,
+            total_blocks: cfg.total_blocks,
+            max_messages: cfg.max_messages,
+        };
+        let mut this = Self {
+            region,
+            off,
+            counts,
+            me: 0,
+        };
+        this.carve(cfg, total);
+        this.me = this.claim_slot().map_err(AttachError::Mpf)?;
+        Ok(this)
+    }
+
+    /// Attaches an existing region by name, verifying its header, and
+    /// claims a free process slot.
+    pub fn attach(name: &str) -> std::result::Result<Self, AttachError> {
+        let region = Self::attach_region_with_barrier(name)?;
+        Self::adopt(region)
+    }
+
+    /// Maps the same region a second time (at a different base address)
+    /// and claims a fresh process slot — an in-process stand-in for
+    /// another OS process, used by position-independence tests.
+    pub fn attach_view(&self) -> std::result::Result<Self, AttachError> {
+        let region = self.region.attach_again()?;
+        Self::adopt(region)
+    }
+
+    fn attach_region_with_barrier(name: &str) -> std::result::Result<ShmRegion, AttachError> {
+        // The creator writes the file length before carving, so a fresh
+        // attach can observe a zero-length or still-building region; spin
+        // on both until the init barrier opens.
+        let deadline = Instant::now() + ATTACH_BARRIER_TIMEOUT;
+        loop {
+            match ShmRegion::attach(name) {
+                Ok(region) => return Ok(region),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(AttachError::Io(e));
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => return Err(AttachError::Io(e)),
+            }
+        }
+    }
+
+    fn adopt(region: ShmRegion) -> std::result::Result<Self, AttachError> {
+        if region.len() < std::mem::size_of::<RegionHeader>() {
+            return Err(MpfError::LayoutMismatch {
+                expected: LAYOUT_VERSION,
+                found: 0,
+            }
+            .into());
+        }
+        let header: &RegionHeader = unsafe { region.at(0) };
+        // Init barrier: wait for the creator to finish carving.
+        let deadline = Instant::now() + ATTACH_BARRIER_TIMEOUT;
+        while header.state.load(Ordering::Acquire) != region_state::READY {
+            if Instant::now() >= deadline {
+                return Err(AttachError::Io(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "region never became ready",
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        if header.magic.load(Ordering::Acquire) != REGION_MAGIC {
+            return Err(MpfError::LayoutMismatch {
+                expected: LAYOUT_VERSION,
+                found: 0,
+            }
+            .into());
+        }
+        let found = header.layout_version.load(Ordering::Acquire);
+        if found != LAYOUT_VERSION {
+            return Err(MpfError::LayoutMismatch {
+                expected: LAYOUT_VERSION,
+                found,
+            }
+            .into());
+        }
+        let echo = &header.cfg;
+        let mut cfg = MpfConfig::new(
+            echo.max_lnvcs.load(Ordering::Acquire),
+            echo.max_processes.load(Ordering::Acquire),
+        )
+        .with_block_payload(echo.block_payload.load(Ordering::Acquire) as usize)
+        .with_total_blocks(echo.total_blocks.load(Ordering::Acquire))
+        .with_max_messages(echo.max_messages.load(Ordering::Acquire));
+        cfg.max_send_conns = echo.max_send_conns.load(Ordering::Acquire);
+        cfg.max_recv_conns = echo.max_recv_conns.load(Ordering::Acquire);
+        let expected_bytes = header.total_bytes.load(Ordering::Acquire) as usize;
+        if region.len() < expected_bytes {
+            return Err(MpfError::LayoutMismatch {
+                expected: LAYOUT_VERSION,
+                found,
+            }
+            .into());
+        }
+        let counts = Counts {
+            max_lnvcs: cfg.max_lnvcs,
+            max_processes: cfg.max_processes,
+            block_payload: cfg.block_payload,
+            total_blocks: cfg.total_blocks,
+            max_messages: cfg.max_messages,
+        };
+        let mut this = Self {
+            region,
+            off: offsets_for(&cfg),
+            counts,
+            me: 0,
+        };
+        this.me = this.claim_slot().map_err(AttachError::Mpf)?;
+        Ok(this)
+    }
+
+    /// One-time carve: header fields, then free-list threading, then the
+    /// `state = READY` barrier release (`Release` ordering publishes the
+    /// carve to attaching processes).
+    fn carve(&self, cfg: &MpfConfig, total: usize) {
+        let h = self.header();
+        h.layout_version.store(LAYOUT_VERSION, Ordering::Relaxed);
+        h.total_bytes.store(total as u64, Ordering::Relaxed);
+        h.cfg.max_lnvcs.store(cfg.max_lnvcs, Ordering::Relaxed);
+        h.cfg
+            .max_processes
+            .store(cfg.max_processes, Ordering::Relaxed);
+        h.cfg
+            .block_payload
+            .store(cfg.block_payload as u32, Ordering::Relaxed);
+        h.cfg
+            .total_blocks
+            .store(cfg.total_blocks, Ordering::Relaxed);
+        h.cfg
+            .max_messages
+            .store(cfg.max_messages, Ordering::Relaxed);
+        h.cfg
+            .max_send_conns
+            .store(cfg.max_send_conns, Ordering::Relaxed);
+        h.cfg
+            .max_recv_conns
+            .store(cfg.max_recv_conns, Ordering::Relaxed);
+        // Thread the four free lists (region bytes start zeroed; push in
+        // reverse so pops hand out low indices first).
+        h.msg_free.reset();
+        for i in (0..cfg.max_messages).rev() {
+            h.msg_free
+                .push(i, |s, n| self.msg(s).next.store(n, Ordering::Relaxed));
+        }
+        h.block_free.reset();
+        for i in (0..cfg.total_blocks).rev() {
+            h.block_free
+                .push(i, |s, n| self.block_link(s).store(n, Ordering::Relaxed));
+        }
+        h.send_free.reset();
+        for i in (0..cfg.max_send_conns).rev() {
+            h.send_free
+                .push(i, |s, n| self.send(s).next.store(n, Ordering::Relaxed));
+        }
+        h.recv_free.reset();
+        for i in (0..cfg.max_recv_conns).rev() {
+            h.recv_free
+                .push(i, |s, n| self.recv(s).next.store(n, Ordering::Relaxed));
+        }
+        for i in 0..cfg.max_lnvcs {
+            self.lnvc(i).q_head.store(NIL, Ordering::Relaxed);
+            self.lnvc(i).q_tail.store(NIL, Ordering::Relaxed);
+            self.lnvc(i).send_head.store(NIL, Ordering::Relaxed);
+            self.lnvc(i).recv_head.store(NIL, Ordering::Relaxed);
+        }
+        h.magic.store(REGION_MAGIC, Ordering::Release);
+        h.state.store(region_state::READY, Ordering::Release);
+    }
+
+    /// Claims a free (or swept-dead) process slot; the index becomes this
+    /// process's MPF pid.
+    fn claim_slot(&self) -> Result<u32> {
+        for i in 0..self.counts.max_processes {
+            let s = self.slot(i);
+            for from in [slot_state::FREE, slot_state::DEAD] {
+                if s.state
+                    .compare_exchange(
+                        from,
+                        slot_state::ATTACHED,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    )
+                    .is_ok()
+                {
+                    s.os_pid.store(std::process::id(), Ordering::Release);
+                    s.generation.fetch_add(1, Ordering::AcqRel);
+                    s.heartbeat.store(1, Ordering::Release);
+                    return Ok(i);
+                }
+            }
+        }
+        Err(MpfError::InvalidProcess)
+    }
+
+    // -- raw accessors -------------------------------------------------
+
+    fn header(&self) -> &RegionHeader {
+        unsafe { self.region.at(self.off.header) }
+    }
+
+    fn slot(&self, i: u32) -> &ProcessSlot {
+        debug_assert!(i < self.counts.max_processes);
+        unsafe {
+            self.region
+                .at(self.off.slots + i as usize * std::mem::size_of::<ProcessSlot>())
+        }
+    }
+
+    fn lnvc(&self, i: u32) -> &LnvcDesc {
+        debug_assert!(i < self.counts.max_lnvcs);
+        unsafe {
+            self.region
+                .at(self.off.lnvcs + i as usize * std::mem::size_of::<LnvcDesc>())
+        }
+    }
+
+    fn reg_entry(&self, i: u32) -> &RegistryEntry {
+        unsafe {
+            self.region
+                .at(self.off.registry + i as usize * std::mem::size_of::<RegistryEntry>())
+        }
+    }
+
+    fn msg(&self, i: u32) -> &MsgDesc {
+        debug_assert!(i < self.counts.max_messages);
+        unsafe {
+            self.region
+                .at(self.off.msgs + i as usize * std::mem::size_of::<MsgDesc>())
+        }
+    }
+
+    fn send(&self, i: u32) -> &SendDesc {
+        unsafe {
+            self.region
+                .at(self.off.sends + i as usize * std::mem::size_of::<SendDesc>())
+        }
+    }
+
+    fn recv(&self, i: u32) -> &RecvDesc {
+        unsafe {
+            self.region
+                .at(self.off.recvs + i as usize * std::mem::size_of::<RecvDesc>())
+        }
+    }
+
+    fn block_link(&self, i: u32) -> &AtomicU32 {
+        debug_assert!(i < self.counts.total_blocks);
+        unsafe { self.region.at(self.off.links + i as usize * 4) }
+    }
+
+    fn payload_ptr(&self, block: u32) -> *mut u8 {
+        unsafe {
+            self.region.bytes_at(
+                self.off.payloads + block as usize * self.counts.block_payload,
+                self.counts.block_payload,
+            )
+        }
+    }
+
+    /// Liveness oracle for [`mpf_shm::IpcLock`] holders.  Lock owner ids
+    /// are `mpf_pid + 1` (0 means "free"), hence the shift.
+    fn holder_alive(&self, owner: u32) -> bool {
+        if owner == 0 || owner > self.counts.max_processes {
+            return false;
+        }
+        self.slot(owner - 1).owner_alive()
+    }
+
+    fn lock_owner(&self) -> u32 {
+        self.me + 1
+    }
+
+    /// Acquires an LNVC (or registry) lock, poisoning `d` if the previous
+    /// holder died inside its critical section.
+    fn lock_lnvc(&self, d: &LnvcDesc) {
+        let acq = d.lock.lock(self.lock_owner(), |o| self.holder_alive(o));
+        if matches!(acq, mpf_shm::IpcAcquire::Poisoned) {
+            // The structure may be torn; survivors must not trust it.
+            // The broken lock knows which owner died — surface it so
+            // PeerDied names the right process.
+            if let Some(owner) = d.lock.poison_culprit() {
+                d.dead_pid.store(owner - 1, Ordering::Release);
+            }
+            d.poisoned.store(1, Ordering::Release);
+            d.waitq.notify_all();
+        }
+    }
+
+    fn heartbeat(&self) {
+        self.slot(self.me).heartbeat.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // -- identity ------------------------------------------------------
+
+    /// This process's MPF pid (its process-slot index).
+    pub fn pid(&self) -> u32 {
+        self.me
+    }
+
+    /// Total region bytes mapped.
+    pub fn region_bytes(&self) -> usize {
+        self.region.len()
+    }
+
+    /// Base address of this mapping (differs between processes — that is
+    /// the point).
+    pub fn base_addr(&self) -> usize {
+        self.region.base() as usize
+    }
+
+    // -- the eight primitives ------------------------------------------
+
+    /// `open_LNVC_send`: joins (or creates) the named conversation as a
+    /// sender.
+    pub fn open_send(&self, name: &str) -> Result<IpcLnvcId> {
+        let lname = LnvcName::new(name)?;
+        self.heartbeat();
+        self.with_registry(|| {
+            let (idx, created) = self.find_or_create(lname.as_str())?;
+            let d = self.lnvc(idx);
+            self.lock_lnvc(d);
+            let result = (|| {
+                if d.poisoned.load(Ordering::Acquire) != 0 {
+                    return Err(MpfError::PeerDied {
+                        pid: d.dead_pid.load(Ordering::Acquire),
+                    });
+                }
+                if self
+                    .find_conn(ConnKind::Send, d.send_head.load(Ordering::Acquire), self.me)
+                    .is_some()
+                {
+                    return Err(MpfError::AlreadyConnected);
+                }
+                let conn = self
+                    .header()
+                    .send_free
+                    .pop(|i| self.send(i).next.load(Ordering::Acquire))
+                    .ok_or(MpfError::ConnectionsExhausted)?;
+                let s = self.send(conn);
+                s.pid.store(self.me, Ordering::Release);
+                s.next
+                    .store(d.send_head.load(Ordering::Acquire), Ordering::Release);
+                d.send_head.store(conn, Ordering::Release);
+                d.n_senders.fetch_add(1, Ordering::AcqRel);
+                Ok(IpcLnvcId::new(d.generation.load(Ordering::Acquire), idx))
+            })();
+            if result.is_err() && created {
+                self.deactivate(idx);
+            }
+            d.lock.unlock();
+            result
+        })
+    }
+
+    /// `open_LNVC_receive`: joins (or creates) the named conversation as
+    /// an FCFS or BROADCAST receiver.
+    pub fn open_receive(&self, name: &str, protocol: Protocol) -> Result<IpcLnvcId> {
+        let lname = LnvcName::new(name)?;
+        self.heartbeat();
+        self.with_registry(|| {
+            let (idx, created) = self.find_or_create(lname.as_str())?;
+            let d = self.lnvc(idx);
+            self.lock_lnvc(d);
+            let result = (|| {
+                if d.poisoned.load(Ordering::Acquire) != 0 {
+                    return Err(MpfError::PeerDied {
+                        pid: d.dead_pid.load(Ordering::Acquire),
+                    });
+                }
+                if let Some(existing) =
+                    self.find_conn(ConnKind::Recv, d.recv_head.load(Ordering::Acquire), self.me)
+                {
+                    let have = self.recv(existing).protocol.load(Ordering::Acquire);
+                    return Err(if have == proto_code(protocol) {
+                        MpfError::AlreadyConnected
+                    } else {
+                        MpfError::ProtocolConflict
+                    });
+                }
+                let conn = self
+                    .header()
+                    .recv_free
+                    .pop(|i| self.recv(i).next.load(Ordering::Acquire))
+                    .ok_or(MpfError::ConnectionsExhausted)?;
+                let r = self.recv(conn);
+                r.pid.store(self.me, Ordering::Release);
+                r.protocol.store(proto_code(protocol), Ordering::Release);
+                // BROADCAST receivers see only messages sent after they
+                // join (paper §3.2).
+                r.cursor
+                    .store(d.next_seq.load(Ordering::Acquire), Ordering::Release);
+                r.next
+                    .store(d.recv_head.load(Ordering::Acquire), Ordering::Release);
+                d.recv_head.store(conn, Ordering::Release);
+                match protocol {
+                    Protocol::Fcfs => d.n_fcfs.fetch_add(1, Ordering::AcqRel),
+                    Protocol::Broadcast => d.n_bcast.fetch_add(1, Ordering::AcqRel),
+                };
+                Ok(IpcLnvcId::new(d.generation.load(Ordering::Acquire), idx))
+            })();
+            if result.is_err() && created {
+                self.deactivate(idx);
+            }
+            d.lock.unlock();
+            result
+        })
+    }
+
+    /// `close_LNVC_send`: leaves the conversation as a sender; the last
+    /// connection out deletes the conversation and frees its queue.
+    pub fn close_send(&self, id: IpcLnvcId) -> Result<()> {
+        self.heartbeat();
+        self.with_registry(|| {
+            let (idx, d) = self.resolve(id)?;
+            self.lock_lnvc(d);
+            let result = (|| {
+                let conn = self
+                    .unlink_conn(ConnKind::Send, &d.send_head, self.me)
+                    .ok_or(MpfError::NotConnected)?;
+                self.header()
+                    .send_free
+                    .push(conn, |s, n| self.send(s).next.store(n, Ordering::Release));
+                d.n_senders.fetch_sub(1, Ordering::AcqRel);
+                if d.total_connections() == 0 {
+                    self.delete_conversation(idx, d);
+                }
+                Ok(())
+            })();
+            d.lock.unlock();
+            result
+        })
+    }
+
+    /// `close_LNVC_receive`: leaves as a receiver.  A departing BROADCAST
+    /// receiver releases its delivery claims so fully-delivered messages
+    /// can be reclaimed.
+    pub fn close_receive(&self, id: IpcLnvcId) -> Result<()> {
+        self.heartbeat();
+        self.with_registry(|| {
+            let (idx, d) = self.resolve(id)?;
+            self.lock_lnvc(d);
+            let result = (|| {
+                let conn = self
+                    .unlink_conn(ConnKind::Recv, &d.recv_head, self.me)
+                    .ok_or(MpfError::NotConnected)?;
+                let r = self.recv(conn);
+                let protocol = r.protocol.load(Ordering::Acquire);
+                let cursor = r.cursor.load(Ordering::Acquire);
+                self.header()
+                    .recv_free
+                    .push(conn, |s, n| self.recv(s).next.store(n, Ordering::Release));
+                if protocol == proto_code(Protocol::Broadcast) {
+                    d.n_bcast.fetch_sub(1, Ordering::AcqRel);
+                    self.release_bcast_claims(d, cursor);
+                } else {
+                    d.n_fcfs.fetch_sub(1, Ordering::AcqRel);
+                }
+                self.reclaim_prefix(d);
+                if d.total_connections() == 0 {
+                    self.delete_conversation(idx, d);
+                }
+                Ok(())
+            })();
+            d.lock.unlock();
+            result
+        })
+    }
+
+    /// `message_send`: scatters the payload into shared blocks and
+    /// enqueues it on the conversation.
+    pub fn message_send(&self, id: IpcLnvcId, payload: &[u8]) -> Result<()> {
+        self.heartbeat();
+        let max = self.counts.block_payload * self.counts.total_blocks as usize;
+        if payload.len() > max {
+            return Err(MpfError::MessageTooLarge {
+                len: payload.len(),
+                max,
+            });
+        }
+        let (_, d) = self.resolve(id)?;
+        // Poison is sticky for this descriptor generation, so an
+        // unlocked pre-check is sound — and it must precede pool
+        // allocation: a poisoned conversation whose corpse's messages
+        // exhausted the pools would otherwise report `MessagesExhausted`
+        // forever instead of `PeerDied`.
+        if d.poisoned.load(Ordering::Acquire) != 0 {
+            return Err(MpfError::PeerDied {
+                pid: d.dead_pid.load(Ordering::Acquire),
+            });
+        }
+        // Allocate from the lock-free pools *before* taking the LNVC
+        // lock: exhaustion then never happens inside the critical
+        // section, and a death mid-allocation cannot corrupt the queue.
+        let h = self.header();
+        let m_idx = h
+            .msg_free
+            .pop(|i| self.msg(i).next.load(Ordering::Acquire))
+            .ok_or(MpfError::MessagesExhausted)?;
+        let blocks = match self.alloc_blocks(payload) {
+            Ok(b) => b,
+            Err(e) => {
+                h.msg_free
+                    .push(m_idx, |s, n| self.msg(s).next.store(n, Ordering::Release));
+                return Err(e);
+            }
+        };
+        let m = self.msg(m_idx);
+        m.head_block.store(blocks.0, Ordering::Release);
+        m.n_blocks.store(blocks.1, Ordering::Release);
+        m.len.store(payload.len() as u32, Ordering::Release);
+        m.next.store(NIL, Ordering::Release);
+
+        self.lock_lnvc(d);
+        let result = (|| {
+            if d.poisoned.load(Ordering::Acquire) != 0 {
+                return Err(MpfError::PeerDied {
+                    pid: d.dead_pid.load(Ordering::Acquire),
+                });
+            }
+            if self
+                .find_conn(ConnKind::Send, d.send_head.load(Ordering::Acquire), self.me)
+                .is_none()
+            {
+                return Err(MpfError::NotConnected);
+            }
+            let n_fcfs = d.n_fcfs.load(Ordering::Acquire);
+            let n_bcast = d.n_bcast.load(Ordering::Acquire);
+            // Delivery obligations fix at send time (DESIGN.md): one FCFS
+            // delivery iff FCFS receivers exist or nobody listens yet;
+            // one broadcast delivery per connected BROADCAST receiver.
+            let needs_fcfs = n_fcfs > 0 || (n_fcfs + n_bcast) == 0;
+            let seq = d.next_seq.fetch_add(1, Ordering::AcqRel);
+            let stamp = h.next_stamp.fetch_add(1, Ordering::AcqRel);
+            m.seq.store(seq, Ordering::Release);
+            m.stamp.store(stamp, Ordering::Release);
+            m.bcast_pending.store(n_bcast, Ordering::Release);
+            m.flags.store(
+                if needs_fcfs { msg_flags::NEEDS_FCFS } else { 0 },
+                Ordering::Release,
+            );
+            // Tail-enqueue.
+            let tail = d.q_tail.load(Ordering::Acquire);
+            if tail == NIL {
+                d.q_head.store(m_idx, Ordering::Release);
+            } else {
+                self.msg(tail).next.store(m_idx, Ordering::Release);
+            }
+            d.q_tail.store(m_idx, Ordering::Release);
+            d.msg_count.fetch_add(1, Ordering::AcqRel);
+            d.last_stamp.store(stamp, Ordering::Release);
+            Ok(())
+        })();
+        d.lock.unlock();
+        match result {
+            Ok(()) => {
+                d.waitq.notify_all();
+                Ok(())
+            }
+            Err(e) => {
+                self.free_message(m_idx);
+                Err(e)
+            }
+        }
+    }
+
+    /// `check_receive`: non-destructively reports whether a message is
+    /// deliverable to this process.
+    pub fn check_receive(&self, id: IpcLnvcId) -> Result<bool> {
+        self.heartbeat();
+        let (_, d) = self.resolve(id)?;
+        self.lock_lnvc(d);
+        let result = (|| {
+            self.poison_check(d)?;
+            let conn = self
+                .find_conn(ConnKind::Recv, d.recv_head.load(Ordering::Acquire), self.me)
+                .ok_or(MpfError::NotConnected)?;
+            Ok(self.next_deliverable(d, conn).is_some())
+        })();
+        d.lock.unlock();
+        result
+    }
+
+    /// Non-blocking `message_receive`: `Ok(None)` when nothing is
+    /// deliverable.
+    pub fn try_message_receive(&self, id: IpcLnvcId, buf: &mut [u8]) -> Result<Option<usize>> {
+        self.heartbeat();
+        let (_, d) = self.resolve(id)?;
+        self.lock_lnvc(d);
+        let result = self.receive_locked(d, buf);
+        d.lock.unlock();
+        result
+    }
+
+    /// Blocking `message_receive`: the paper's default.  Waits on the
+    /// in-region futex sequence, waking to run a liveness sweep every
+    /// [`RECV_SWEEP_INTERVAL`], so a dead sender converts a would-be
+    /// deadlock into [`MpfError::PeerDied`].
+    pub fn message_receive(&self, id: IpcLnvcId, buf: &mut [u8]) -> Result<usize> {
+        self.message_receive_deadline(id, buf, None)
+    }
+
+    /// Blocking receive with an optional timeout ([`MpfError::WouldBlock`]
+    /// when it expires).
+    pub fn message_receive_timeout(
+        &self,
+        id: IpcLnvcId,
+        buf: &mut [u8],
+        timeout: Duration,
+    ) -> Result<usize> {
+        self.message_receive_deadline(id, buf, Some(Instant::now() + timeout))
+    }
+
+    fn message_receive_deadline(
+        &self,
+        id: IpcLnvcId,
+        buf: &mut [u8],
+        deadline: Option<Instant>,
+    ) -> Result<usize> {
+        loop {
+            let (_, d) = self.resolve(id)?;
+            // Ticket before the predicate check (the sequence-count
+            // protocol): a send between our check and our wait bumps the
+            // sequence and the wait returns immediately.
+            let ticket = d.waitq.ticket();
+            self.lock_lnvc(d);
+            let result = self.receive_locked(d, buf);
+            d.lock.unlock();
+            match result? {
+                Some(n) => return Ok(n),
+                None => {
+                    if let Some(dl) = deadline {
+                        if Instant::now() >= dl {
+                            return Err(MpfError::WouldBlock);
+                        }
+                    }
+                    d.waitq.wait(ticket, Some(RECV_SWEEP_INTERVAL));
+                    // Between naps, look for dead peers so a vanished
+                    // sender poisons the conversation instead of leaving
+                    // us blocked forever.
+                    self.sweep_dead_peers();
+                }
+            }
+        }
+    }
+
+    // -- receive internals ---------------------------------------------
+
+    fn poison_check(&self, d: &LnvcDesc) -> Result<()> {
+        if d.poisoned.load(Ordering::Acquire) != 0 {
+            return Err(MpfError::PeerDied {
+                pid: d.dead_pid.load(Ordering::Acquire),
+            });
+        }
+        Ok(())
+    }
+
+    /// The scan both receive flavours share; caller holds the LNVC lock.
+    fn receive_locked(&self, d: &LnvcDesc, buf: &mut [u8]) -> Result<Option<usize>> {
+        self.poison_check(d)?;
+        let conn = self
+            .find_conn(ConnKind::Recv, d.recv_head.load(Ordering::Acquire), self.me)
+            .ok_or(MpfError::NotConnected)?;
+        let Some(m_idx) = self.next_deliverable(d, conn) else {
+            return Ok(None);
+        };
+        let m = self.msg(m_idx);
+        let len = m.len.load(Ordering::Acquire) as usize;
+        if buf.len() < len {
+            // Message stays queued — the caller may retry with a bigger
+            // buffer (paper: the receiver learns the needed size).
+            return Err(MpfError::BufferTooSmall { needed: len });
+        }
+        self.gather(m, &mut buf[..len]);
+        let r = self.recv(conn);
+        if r.protocol.load(Ordering::Acquire) == proto_code(Protocol::Broadcast) {
+            r.cursor
+                .store(m.seq.load(Ordering::Acquire) + 1, Ordering::Release);
+            m.bcast_pending.fetch_sub(1, Ordering::AcqRel);
+        } else {
+            m.flags.fetch_or(msg_flags::FCFS_TAKEN, Ordering::AcqRel);
+        }
+        self.reclaim_prefix(d);
+        Ok(Some(len))
+    }
+
+    /// First queued message deliverable to connection `conn`.
+    fn next_deliverable(&self, d: &LnvcDesc, conn: u32) -> Option<u32> {
+        let r = self.recv(conn);
+        let bcast = r.protocol.load(Ordering::Acquire) == proto_code(Protocol::Broadcast);
+        let cursor = r.cursor.load(Ordering::Acquire);
+        let mut cur = d.q_head.load(Ordering::Acquire);
+        while cur != NIL {
+            let m = self.msg(cur);
+            if bcast {
+                if m.seq.load(Ordering::Acquire) >= cursor {
+                    return Some(cur);
+                }
+            } else {
+                let flags = m.flags.load(Ordering::Acquire);
+                if flags & msg_flags::NEEDS_FCFS != 0 && flags & msg_flags::FCFS_TAKEN == 0 {
+                    return Some(cur);
+                }
+            }
+            cur = m.next.load(Ordering::Acquire);
+        }
+        None
+    }
+
+    /// Pops fully-delivered messages off the queue head and frees them.
+    fn reclaim_prefix(&self, d: &LnvcDesc) {
+        loop {
+            let head = d.q_head.load(Ordering::Acquire);
+            if head == NIL {
+                return;
+            }
+            let m = self.msg(head);
+            let flags = m.flags.load(Ordering::Acquire);
+            let fcfs_done =
+                flags & msg_flags::NEEDS_FCFS == 0 || flags & msg_flags::FCFS_TAKEN != 0;
+            let bcast_done = m.bcast_pending.load(Ordering::Acquire) == 0;
+            if !(fcfs_done && bcast_done) {
+                return;
+            }
+            let next = m.next.load(Ordering::Acquire);
+            d.q_head.store(next, Ordering::Release);
+            if next == NIL {
+                d.q_tail.store(NIL, Ordering::Release);
+            }
+            d.msg_count.fetch_sub(1, Ordering::AcqRel);
+            self.free_message(head);
+        }
+    }
+
+    /// Releases a departing/dead BROADCAST receiver's claims from
+    /// `cursor` onward.
+    fn release_bcast_claims(&self, d: &LnvcDesc, cursor: u32) {
+        let mut cur = d.q_head.load(Ordering::Acquire);
+        while cur != NIL {
+            let m = self.msg(cur);
+            if m.seq.load(Ordering::Acquire) >= cursor
+                && m.bcast_pending.load(Ordering::Acquire) > 0
+            {
+                m.bcast_pending.fetch_sub(1, Ordering::AcqRel);
+            }
+            cur = m.next.load(Ordering::Acquire);
+        }
+    }
+
+    // -- allocation helpers --------------------------------------------
+
+    /// Allocates and fills a block chain; returns (head, count).
+    fn alloc_blocks(&self, payload: &[u8]) -> Result<(u32, u32)> {
+        let bp = self.counts.block_payload;
+        let n_needed = payload.len().div_ceil(bp) as u32;
+        let h = self.header();
+        let mut head = NIL;
+        let mut tail = NIL;
+        for _ in 0..n_needed {
+            match h
+                .block_free
+                .pop(|i| self.block_link(i).load(Ordering::Acquire))
+            {
+                Some(b) => {
+                    self.block_link(b).store(NIL, Ordering::Release);
+                    if head == NIL {
+                        head = b;
+                    } else {
+                        self.block_link(tail).store(b, Ordering::Release);
+                    }
+                    tail = b;
+                }
+                None => {
+                    self.free_block_chain(head);
+                    return Err(MpfError::BlocksExhausted);
+                }
+            }
+        }
+        // Scatter the payload.
+        let mut cur = head;
+        for chunk in payload.chunks(bp) {
+            unsafe {
+                std::ptr::copy_nonoverlapping(chunk.as_ptr(), self.payload_ptr(cur), chunk.len());
+            }
+            cur = self.block_link(cur).load(Ordering::Acquire);
+        }
+        Ok((head, n_needed))
+    }
+
+    /// Gathers a message's block chain into `out` (`out.len()` = msg len).
+    fn gather(&self, m: &MsgDesc, out: &mut [u8]) {
+        let bp = self.counts.block_payload;
+        let mut cur = m.head_block.load(Ordering::Acquire);
+        for chunk in out.chunks_mut(bp) {
+            debug_assert_ne!(cur, NIL);
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    self.payload_ptr(cur),
+                    chunk.as_mut_ptr(),
+                    chunk.len(),
+                );
+            }
+            cur = self.block_link(cur).load(Ordering::Acquire);
+        }
+    }
+
+    fn free_block_chain(&self, head: u32) {
+        let h = self.header();
+        let mut cur = head;
+        while cur != NIL {
+            let next = self.block_link(cur).load(Ordering::Acquire);
+            h.block_free
+                .push(cur, |s, n| self.block_link(s).store(n, Ordering::Release));
+            cur = next;
+        }
+    }
+
+    fn free_message(&self, m_idx: u32) {
+        let m = self.msg(m_idx);
+        self.free_block_chain(m.head_block.load(Ordering::Acquire));
+        m.head_block.store(NIL, Ordering::Release);
+        self.header()
+            .msg_free
+            .push(m_idx, |s, n| self.msg(s).next.store(n, Ordering::Release));
+    }
+
+    // -- conversation lifecycle (registry lock held) --------------------
+
+    /// Runs `f` holding the registry lock (lock order: registry → LNVC).
+    fn with_registry<T>(&self, f: impl FnOnce() -> Result<T>) -> Result<T> {
+        let h = self.header();
+        let _ = h
+            .registry_lock
+            .lock(self.lock_owner(), |o| self.holder_alive(o));
+        // Registry mutations are single-word writes; a broken dead
+        // holder cannot tear them, so a poisoned registry stays usable.
+        let out = f();
+        h.registry_lock.unlock();
+        out
+    }
+
+    /// Name lookup, creating the conversation when absent.  Returns
+    /// `(descriptor index, created_now)`.  Caller holds the registry lock.
+    fn find_or_create(&self, name: &str) -> Result<(u32, bool)> {
+        let bytes = name.as_bytes();
+        let mut padded = [0u8; 32];
+        padded[..bytes.len()].copy_from_slice(bytes);
+        let mut free_entry = NIL;
+        for i in 0..self.counts.max_lnvcs {
+            let e = self.reg_entry(i);
+            if e.used.load(Ordering::Acquire) == 1 {
+                if e.get_name() == padded {
+                    return Ok((e.lnvc.load(Ordering::Acquire), false));
+                }
+            } else if free_entry == NIL {
+                free_entry = i;
+            }
+        }
+        if free_entry == NIL {
+            return Err(MpfError::LnvcsExhausted);
+        }
+        // Find a free descriptor slot.
+        for idx in 0..self.counts.max_lnvcs {
+            let d = self.lnvc(idx);
+            if d.active.load(Ordering::Acquire) == 0 {
+                // (Re)activate: pristine lock, fresh generation, empty
+                // queue and lists.
+                d.lock.reset();
+                d.generation.fetch_add(1, Ordering::AcqRel);
+                d.registry_idx.store(free_entry, Ordering::Release);
+                d.q_head.store(NIL, Ordering::Release);
+                d.q_tail.store(NIL, Ordering::Release);
+                d.msg_count.store(0, Ordering::Release);
+                d.send_head.store(NIL, Ordering::Release);
+                d.recv_head.store(NIL, Ordering::Release);
+                d.n_senders.store(0, Ordering::Release);
+                d.n_fcfs.store(0, Ordering::Release);
+                d.n_bcast.store(0, Ordering::Release);
+                d.next_seq.store(0, Ordering::Release);
+                d.poisoned.store(0, Ordering::Release);
+                d.dead_pid.store(0, Ordering::Release);
+                d.active.store(1, Ordering::Release);
+                let e = self.reg_entry(free_entry);
+                e.set_name(bytes);
+                e.lnvc.store(idx, Ordering::Release);
+                e.used.store(1, Ordering::Release);
+                return Ok((idx, true));
+            }
+        }
+        Err(MpfError::LnvcsExhausted)
+    }
+
+    /// Rolls back a just-created conversation whose first open failed.
+    /// Caller holds the registry lock and the LNVC lock.
+    fn deactivate(&self, idx: u32) {
+        let d = self.lnvc(idx);
+        let e = self.reg_entry(d.registry_idx.load(Ordering::Acquire));
+        e.used.store(0, Ordering::Release);
+        d.active.store(0, Ordering::Release);
+    }
+
+    /// Deletes a conversation whose last connection just closed: frees
+    /// queued messages, releases the name.  Caller holds both locks.
+    fn delete_conversation(&self, idx: u32, d: &LnvcDesc) {
+        let mut cur = d.q_head.load(Ordering::Acquire);
+        while cur != NIL {
+            let next = self.msg(cur).next.load(Ordering::Acquire);
+            self.free_message(cur);
+            cur = next;
+        }
+        d.q_head.store(NIL, Ordering::Release);
+        d.q_tail.store(NIL, Ordering::Release);
+        d.msg_count.store(0, Ordering::Release);
+        self.deactivate(idx);
+        // Wake anything parked on the dead conversation; their next
+        // resolve() fails with UnknownLnvc.
+        d.waitq.notify_all();
+    }
+
+    fn resolve(&self, id: IpcLnvcId) -> Result<(u32, &LnvcDesc)> {
+        let idx = id.index();
+        if idx >= self.counts.max_lnvcs {
+            return Err(MpfError::UnknownLnvc);
+        }
+        let d = self.lnvc(idx);
+        if d.active.load(Ordering::Acquire) != 1
+            || d.generation.load(Ordering::Acquire) != id.generation()
+        {
+            return Err(MpfError::UnknownLnvc);
+        }
+        Ok((idx, d))
+    }
+
+    fn conn_pid(&self, kind: ConnKind, i: u32) -> u32 {
+        match kind {
+            ConnKind::Send => self.send(i).pid.load(Ordering::Acquire),
+            ConnKind::Recv => self.recv(i).pid.load(Ordering::Acquire),
+        }
+    }
+
+    fn conn_next(&self, kind: ConnKind, i: u32) -> u32 {
+        match kind {
+            ConnKind::Send => self.send(i).next.load(Ordering::Acquire),
+            ConnKind::Recv => self.recv(i).next.load(Ordering::Acquire),
+        }
+    }
+
+    fn set_conn_next(&self, kind: ConnKind, i: u32, v: u32) {
+        match kind {
+            ConnKind::Send => self.send(i).next.store(v, Ordering::Release),
+            ConnKind::Recv => self.recv(i).next.store(v, Ordering::Release),
+        }
+    }
+
+    /// Finds `pid`'s connection in an index-linked list.
+    fn find_conn(&self, kind: ConnKind, head: u32, pid: u32) -> Option<u32> {
+        let mut cur = head;
+        while cur != NIL {
+            if self.conn_pid(kind, cur) == pid {
+                return Some(cur);
+            }
+            cur = self.conn_next(kind, cur);
+        }
+        None
+    }
+
+    /// Unlinks `pid`'s connection from an index-linked list, returning it.
+    fn unlink_conn(&self, kind: ConnKind, head: &AtomicU32, pid: u32) -> Option<u32> {
+        let mut prev = NIL;
+        let mut cur = head.load(Ordering::Acquire);
+        while cur != NIL {
+            let next = self.conn_next(kind, cur);
+            if self.conn_pid(kind, cur) == pid {
+                if prev == NIL {
+                    head.store(next, Ordering::Release);
+                } else {
+                    self.set_conn_next(kind, prev, next);
+                }
+                return Some(cur);
+            }
+            prev = cur;
+            cur = next;
+        }
+        None
+    }
+
+    // -- dead-peer robustness ------------------------------------------
+
+    /// Scans the heartbeat table for attached processes whose OS process
+    /// no longer exists; each corpse's connections are swept and the
+    /// conversations it touched are poisoned.  Returns the number of
+    /// newly-found dead peers.  Every blocked receive runs this
+    /// periodically; it is also safe to call at any time.
+    pub fn sweep_dead_peers(&self) -> u32 {
+        let mut found = 0;
+        for p in 0..self.counts.max_processes {
+            if p == self.me {
+                continue;
+            }
+            let s = self.slot(p);
+            if s.state.load(Ordering::Acquire) != slot_state::ATTACHED {
+                continue;
+            }
+            let os_pid = s.os_pid.load(Ordering::Acquire);
+            if mpf_shm::futex::process_alive(os_pid) {
+                continue;
+            }
+            // CAS so exactly one surviving process performs the sweep.
+            if s.state
+                .compare_exchange(
+                    slot_state::ATTACHED,
+                    slot_state::DEAD,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                found += 1;
+                self.sweep_connections_of(p);
+            }
+        }
+        if found > 0 {
+            self.header().sweep_epoch.fetch_add(1, Ordering::AcqRel);
+        }
+        found
+    }
+
+    /// Removes every connection the dead process held and poisons the
+    /// conversations it was party to.
+    fn sweep_connections_of(&self, dead: u32) {
+        for idx in 0..self.counts.max_lnvcs {
+            let d = self.lnvc(idx);
+            if d.active.load(Ordering::Acquire) != 1 {
+                continue;
+            }
+            // The oracle knows `dead`'s slot is no longer ATTACHED, so a
+            // lock the corpse still holds is broken (and poisons) here
+            // rather than blocking the sweep.
+            self.lock_lnvc(d);
+            let mut touched = false;
+            if let Some(conn) = self.unlink_conn(ConnKind::Send, &d.send_head, dead) {
+                self.header()
+                    .send_free
+                    .push(conn, |s, n| self.send(s).next.store(n, Ordering::Release));
+                d.n_senders.fetch_sub(1, Ordering::AcqRel);
+                touched = true;
+            }
+            if let Some(conn) = self.unlink_conn(ConnKind::Recv, &d.recv_head, dead) {
+                let r = self.recv(conn);
+                let protocol = r.protocol.load(Ordering::Acquire);
+                let cursor = r.cursor.load(Ordering::Acquire);
+                self.header()
+                    .recv_free
+                    .push(conn, |s, n| self.recv(s).next.store(n, Ordering::Release));
+                if protocol == proto_code(Protocol::Broadcast) {
+                    d.n_bcast.fetch_sub(1, Ordering::AcqRel);
+                    self.release_bcast_claims(d, cursor);
+                } else {
+                    d.n_fcfs.fetch_sub(1, Ordering::AcqRel);
+                }
+                self.reclaim_prefix(d);
+                touched = true;
+            }
+            if touched {
+                d.dead_pid.store(dead, Ordering::Release);
+                d.poisoned.store(1, Ordering::Release);
+                // Nobody can drain a poisoned conversation (every
+                // receive now reports `PeerDied`), so its queued
+                // messages would leak pool slots for the region's
+                // lifetime: free the whole queue.
+                let mut cur = d.q_head.load(Ordering::Acquire);
+                while cur != NIL {
+                    let next = self.msg(cur).next.load(Ordering::Acquire);
+                    self.free_message(cur);
+                    cur = next;
+                }
+                d.q_head.store(NIL, Ordering::Release);
+                d.q_tail.store(NIL, Ordering::Release);
+                d.msg_count.store(0, Ordering::Release);
+            }
+            d.lock.unlock();
+            if touched {
+                // Unblock survivors; they will observe the poison.
+                d.waitq.notify_all();
+            }
+        }
+    }
+
+    // -- diagnostics ----------------------------------------------------
+
+    /// Number of active conversations.
+    pub fn live_lnvcs(&self) -> usize {
+        (0..self.counts.max_lnvcs)
+            .filter(|&i| self.lnvc(i).active.load(Ordering::Acquire) == 1)
+            .count()
+    }
+
+    /// Free payload blocks (walks the free list; quiescent diagnostic).
+    pub fn free_blocks(&self) -> u32 {
+        let mut n = 0;
+        let mut cur = self.header().block_free.head();
+        while cur != NIL && n < self.counts.total_blocks {
+            n += 1;
+            cur = self.block_link(cur).load(Ordering::Acquire);
+        }
+        n
+    }
+
+    /// Whether a given MPF pid's slot is currently attached and alive.
+    pub fn peer_alive(&self, pid: u32) -> bool {
+        pid < self.counts.max_processes && self.slot(pid).owner_alive()
+    }
+
+    /// Seizes the LNVC's in-region lock and never releases it — a test
+    /// hook for dead-lock-holder scenarios (the seizing process is then
+    /// killed, and survivors must break the lock).
+    #[doc(hidden)]
+    pub fn debug_seize_lnvc_lock(&self, id: IpcLnvcId) -> Result<()> {
+        let (_, d) = self.resolve(id)?;
+        self.lock_lnvc(d);
+        Ok(())
+    }
+}
+
+impl Drop for IpcMpf {
+    fn drop(&mut self) {
+        // Clean detach: release the heartbeat slot so the pid can be
+        // reused and sweeps don't flag us.
+        let s = self.slot(self.me);
+        s.os_pid.store(0, Ordering::Release);
+        s.state.store(slot_state::FREE, Ordering::Release);
+    }
+}
+
+fn proto_code(p: Protocol) -> u32 {
+    match p {
+        Protocol::Fcfs => 1,
+        Protocol::Broadcast => 2,
+    }
+}

@@ -1,0 +1,30 @@
+//! # mpf-ipc — MPF over a genuine OS shared-memory region
+//!
+//! The paper ran MPF as "a group of Unix processes" sharing one region of
+//! physical memory on the Sequent Balance 21000.  The workspace's thread
+//! backend (`mpf-core`) keeps the algorithms but fakes the processes;
+//! this crate removes the fake:
+//!
+//! * [`IpcMpf::create`] mmaps a named region (`/dev/shm/mpf-region-<name>`)
+//!   and carves it per [`mpf::layout::RegionLayout::for_ipc`] — a
+//!   header with magic/layout-version/config echo, per-process heartbeat
+//!   slots, then the descriptor pools and block store, all addressed by
+//!   `u32` index so the region works at any base address;
+//! * any other process [`IpcMpf::attach`]es by name (an init barrier in
+//!   the header orders attach after the carve) and the eight primitives
+//!   operate directly on the shared bytes, with
+//!   [`mpf_shm::IpcLock`]/[`mpf_shm::waitq::FutexSeq`] providing
+//!   cross-process mutual exclusion and blocking receive;
+//! * a peer that dies mid-conversation is detected (its heartbeat slot
+//!   names an OS pid that no longer exists), its held locks are broken,
+//!   its connections swept, and the conversations it touched poisoned —
+//!   survivors get [`mpf::MpfError::PeerDied`], never a deadlock.
+//!
+//! [`ffi`] exports the same surface with a C ABI so separately compiled
+//! binaries can join a conversation knowing only the region name.
+
+pub mod facility;
+pub mod ffi;
+pub mod shmem;
+
+pub use facility::{AttachError, IpcLnvcId, IpcMpf};

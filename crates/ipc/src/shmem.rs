@@ -1,0 +1,405 @@
+//! The `#[repr(C)]` structures that live *inside* the shared region.
+//!
+//! Every struct here is overlaid directly onto the mmap'd bytes at the
+//! offsets [`mpf::layout::RegionLayout::for_ipc`] computes, so three
+//! invariants are compile-time enforced at the bottom of this file:
+//!
+//! 1. sizes match the byte constants in `mpf::layout` (the carve's
+//!    slot strides);
+//! 2. every field shared between processes is an atomic (the region is
+//!    mapped writable in many address spaces at once — plain fields are
+//!    only written during single-owner initialization);
+//! 3. no struct contains a pointer — all links are `u32` slot indices
+//!    ([`NIL`]-terminated), because the region maps at a different base
+//!    address in every process (the Balance 21000 discipline).
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use mpf_shm::waitq::FutexSeq;
+use mpf_shm::IpcLock;
+
+use mpf::layout::{
+    LNVC_DESC_BYTES, MSG_HEADER_BYTES, PROCESS_SLOT_BYTES, RECV_DESC_BYTES, REGION_HEADER_BYTES,
+    REGISTRY_ENTRY_BYTES, SEND_DESC_BYTES,
+};
+
+/// Null link for all in-region index chains.
+pub const NIL: u32 = u32::MAX;
+
+/// Configuration echo stored in the header so `attach` can verify it
+/// speaks the same carve as `create`.
+#[repr(C)]
+#[derive(Debug)]
+pub struct ConfigEcho {
+    /// `max_lnvcs` the region was carved with.
+    pub max_lnvcs: AtomicU32,
+    /// `max_processes` (= number of process slots).
+    pub max_processes: AtomicU32,
+    /// Payload bytes per block.
+    pub block_payload: AtomicU32,
+    /// Total message blocks.
+    pub total_blocks: AtomicU32,
+    /// Message header pool size.
+    pub max_messages: AtomicU32,
+    /// Send-connection pool size.
+    pub max_send_conns: AtomicU32,
+    /// Receive-connection pool size.
+    pub max_recv_conns: AtomicU32,
+}
+
+/// A Treiber free-list head over pool indices: `(aba_tag << 32) | index`.
+///
+/// Lock-free, so a process dying mid-allocation can never strand the
+/// list in a locked state (at worst it leaks the one slot it had just
+/// popped).
+#[repr(C)]
+#[derive(Debug)]
+pub struct FreeHead {
+    word: AtomicU64,
+}
+
+impl FreeHead {
+    fn pack(tag: u32, idx: u32) -> u64 {
+        ((tag as u64) << 32) | idx as u64
+    }
+
+    /// Empties the list (init-time only).
+    pub fn reset(&self) {
+        self.word.store(Self::pack(0, NIL), Ordering::Release);
+    }
+
+    /// Pushes `idx`; `set_next` stores the link field of slot `idx`.
+    pub fn push(&self, idx: u32, set_next: impl Fn(u32, u32)) {
+        let mut cur = self.word.load(Ordering::Acquire);
+        loop {
+            let (tag, head) = ((cur >> 32) as u32, cur as u32);
+            set_next(idx, head);
+            match self.word.compare_exchange_weak(
+                cur,
+                Self::pack(tag.wrapping_add(1), idx),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current head index ([`NIL`] when empty) — diagnostic walks only.
+    pub fn head(&self) -> u32 {
+        self.word.load(Ordering::Acquire) as u32
+    }
+
+    /// Pops a slot index; `next_of` reads the link field of a slot.
+    pub fn pop(&self, next_of: impl Fn(u32) -> u32) -> Option<u32> {
+        let mut cur = self.word.load(Ordering::Acquire);
+        loop {
+            let (tag, head) = ((cur >> 32) as u32, cur as u32);
+            if head == NIL {
+                return None;
+            }
+            let next = next_of(head);
+            match self.word.compare_exchange_weak(
+                cur,
+                Self::pack(tag.wrapping_add(1), next),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(head),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+/// Region state machine values for [`RegionHeader::state`].
+pub mod region_state {
+    /// `create` is still carving and threading free lists.
+    pub const BUILDING: u32 = 0;
+    /// Header and pools are ready; attach may proceed.
+    pub const READY: u32 = 1;
+}
+
+/// First bytes of the region: identification, config echo, init barrier,
+/// the registry lock, and the four pool free lists.
+#[repr(C)]
+#[derive(Debug)]
+pub struct RegionHeader {
+    /// [`mpf::layout::REGION_MAGIC`]; written before `state` flips
+    /// to `READY`.
+    pub magic: AtomicU64,
+    /// [`mpf::layout::LAYOUT_VERSION`] of the creator.
+    pub layout_version: AtomicU32,
+    /// Init barrier: [`region_state::BUILDING`] → [`region_state::READY`].
+    pub state: AtomicU32,
+    /// Total carved bytes (attach cross-checks the file length).
+    pub total_bytes: AtomicU64,
+    /// Configuration the carve was computed from.
+    pub cfg: ConfigEcho,
+    _pad0: u32,
+    /// Guards the name registry and LNVC slot allocation (lock order:
+    /// registry, then LNVC descriptor).
+    pub registry_lock: IpcLock,
+    /// Free message headers.
+    pub msg_free: FreeHead,
+    /// Free payload blocks.
+    pub block_free: FreeHead,
+    /// Free send-connection descriptors.
+    pub send_free: FreeHead,
+    /// Free receive-connection descriptors.
+    pub recv_free: FreeHead,
+    /// Global send stamp (total order over all sends in the region).
+    pub next_stamp: AtomicU64,
+    /// Liveness-sweep epoch (diagnostic; bumped per completed sweep).
+    pub sweep_epoch: AtomicU32,
+    _pad: [u8; REGION_HEADER_BYTES - 116],
+}
+
+/// Process-slot state values.
+pub mod slot_state {
+    /// Never attached (or cleanly detached).
+    pub const FREE: u32 = 0;
+    /// A live process owns this slot.
+    pub const ATTACHED: u32 = 1;
+    /// The liveness sweep found the owner dead.
+    pub const DEAD: u32 = 2;
+}
+
+/// One per-process heartbeat slot; the slot index *is* the MPF process
+/// id.  Cache-padded so heartbeats never false-share.
+#[repr(C)]
+#[derive(Debug)]
+pub struct ProcessSlot {
+    /// [`slot_state`] value, CAS-claimed on attach.
+    pub state: AtomicU32,
+    /// OS pid of the owner (valid while `state != FREE`).
+    pub os_pid: AtomicU32,
+    /// Incarnation count: bumped each time the slot is (re)claimed, so a
+    /// recycled slot is distinguishable from its dead predecessor.
+    pub generation: AtomicU32,
+    _pad0: u32,
+    /// Bumped on every primitive the owner executes.
+    pub heartbeat: AtomicU64,
+    _pad: [u8; PROCESS_SLOT_BYTES - 24],
+}
+
+impl ProcessSlot {
+    /// True when this slot's owner should be treated as alive: the slot
+    /// is claimed and its OS process still exists.
+    pub fn owner_alive(&self) -> bool {
+        self.state.load(Ordering::Acquire) == slot_state::ATTACHED
+            && mpf_shm::futex::process_alive(self.os_pid.load(Ordering::Acquire))
+    }
+}
+
+/// One name-registry entry (guarded by [`RegionHeader::registry_lock`]).
+#[repr(C)]
+#[derive(Debug)]
+pub struct RegistryEntry {
+    /// Zero-padded LNVC name (`MAX_NAME_LEN` = 31 guarantees a NUL).
+    pub name: [AtomicU32; 8],
+    /// 0 free, 1 used.
+    pub used: AtomicU32,
+    /// Descriptor index the name maps to.
+    pub lnvc: AtomicU32,
+}
+
+impl RegistryEntry {
+    /// Stores `bytes` (≤ 32, zero-padded) into the name words.
+    pub fn set_name(&self, bytes: &[u8]) {
+        let mut padded = [0u8; 32];
+        padded[..bytes.len()].copy_from_slice(bytes);
+        for (i, w) in self.name.iter().enumerate() {
+            w.store(
+                u32::from_le_bytes(padded[i * 4..i * 4 + 4].try_into().unwrap()),
+                Ordering::Release,
+            );
+        }
+    }
+
+    /// Loads the zero-padded name bytes.
+    pub fn get_name(&self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (i, w) in self.name.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&w.load(Ordering::Acquire).to_le_bytes());
+        }
+        out
+    }
+}
+
+/// Message flag bits ([`MsgDesc::flags`]).
+pub mod msg_flags {
+    /// The message owes one FCFS delivery.
+    pub const NEEDS_FCFS: u32 = 1;
+    /// The FCFS delivery happened.
+    pub const FCFS_TAKEN: u32 = 2;
+}
+
+/// One in-region message header.
+#[repr(C)]
+#[derive(Debug)]
+pub struct MsgDesc {
+    /// Next message in the LNVC queue (or free-list link), [`NIL`]-ended.
+    pub next: AtomicU32,
+    /// First payload block index ([`NIL`] for empty payloads).
+    pub head_block: AtomicU32,
+    /// Number of chained blocks.
+    pub n_blocks: AtomicU32,
+    /// Payload length in bytes.
+    pub len: AtomicU32,
+    /// Per-LNVC sequence number (broadcast cursors compare against it).
+    pub seq: AtomicU32,
+    /// Broadcast deliveries still owed.
+    pub bcast_pending: AtomicU32,
+    /// [`msg_flags`] bits.
+    pub flags: AtomicU32,
+    _pad0: u32,
+    /// Global send stamp (total order / tracing).
+    pub stamp: AtomicU64,
+}
+
+/// One send-connection descriptor.
+#[repr(C)]
+#[derive(Debug)]
+pub struct SendDesc {
+    /// MPF process id of the holder.
+    pub pid: AtomicU32,
+    /// Next send descriptor on the LNVC (or free-list link).
+    pub next: AtomicU32,
+}
+
+/// One receive-connection descriptor.
+#[repr(C)]
+#[derive(Debug)]
+pub struct RecvDesc {
+    /// MPF process id of the holder.
+    pub pid: AtomicU32,
+    /// Next receive descriptor on the LNVC (or free-list link).
+    pub next: AtomicU32,
+    /// `Protocol::as_u32() + 1` (0 would be ambiguous with zeroed slots).
+    pub protocol: AtomicU32,
+    /// Broadcast cursor: the smallest [`MsgDesc::seq`] this receiver is
+    /// owed (set to the LNVC's `next_seq` at open, per the paper's
+    /// "new messages only" BROADCAST join rule).
+    pub cursor: AtomicU32,
+}
+
+/// One LNVC descriptor: the paper's per-conversation structure.
+#[repr(C)]
+#[derive(Debug)]
+pub struct LnvcDesc {
+    /// Per-conversation mutex with dead-holder recovery.
+    pub lock: IpcLock,
+    /// Blocked receivers wait here (cross-process futex sequence).
+    pub waitq: FutexSeq,
+    /// 0 free, 1 active.
+    pub active: AtomicU32,
+    /// Bumped on every activation; the high half of public LNVC ids, so
+    /// stale ids from a deleted conversation are detectable.
+    pub generation: AtomicU32,
+    /// Back-link to the registry entry holding this conversation's name.
+    pub registry_idx: AtomicU32,
+    /// Message queue head (oldest), [`NIL`] when empty.
+    pub q_head: AtomicU32,
+    /// Message queue tail (newest).
+    pub q_tail: AtomicU32,
+    /// Queued message count.
+    pub msg_count: AtomicU32,
+    /// Send-connection list head.
+    pub send_head: AtomicU32,
+    /// Receive-connection list head.
+    pub recv_head: AtomicU32,
+    /// Live send connections.
+    pub n_senders: AtomicU32,
+    /// Live FCFS receive connections.
+    pub n_fcfs: AtomicU32,
+    /// Live BROADCAST receive connections.
+    pub n_bcast: AtomicU32,
+    /// Next per-LNVC message sequence number.
+    pub next_seq: AtomicU32,
+    /// 1 once a peer died mid-conversation; survivors get `PeerDied`.
+    pub poisoned: AtomicU32,
+    /// MPF pid of the peer whose death poisoned the conversation.
+    pub dead_pid: AtomicU32,
+    _pad0: u32,
+    /// Stamp of the most recent send (diagnostic).
+    pub last_stamp: AtomicU64,
+    _pad: [u8; LNVC_DESC_BYTES - 88],
+}
+
+impl LnvcDesc {
+    /// Total live connections.
+    pub fn total_connections(&self) -> u32 {
+        self.n_senders.load(Ordering::Acquire)
+            + self.n_fcfs.load(Ordering::Acquire)
+            + self.n_bcast.load(Ordering::Acquire)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The carve contract: struct sizes must equal the layout's slot strides,
+// and alignments must divide the 64-byte segment alignment `for_ipc`
+// guarantees.  A drifting field breaks the build, not a live region.
+// ---------------------------------------------------------------------
+const _: () = assert!(std::mem::size_of::<RegionHeader>() == REGION_HEADER_BYTES);
+const _: () = assert!(std::mem::align_of::<RegionHeader>() == 8);
+const _: () = assert!(std::mem::size_of::<ProcessSlot>() == PROCESS_SLOT_BYTES);
+const _: () = assert!(std::mem::align_of::<ProcessSlot>() == 8);
+const _: () = assert!(std::mem::size_of::<RegistryEntry>() == REGISTRY_ENTRY_BYTES);
+const _: () = assert!(std::mem::align_of::<RegistryEntry>() == 4);
+const _: () = assert!(std::mem::size_of::<LnvcDesc>() == LNVC_DESC_BYTES);
+const _: () = assert!(std::mem::align_of::<LnvcDesc>() == 8);
+const _: () = assert!(std::mem::size_of::<MsgDesc>() == MSG_HEADER_BYTES);
+const _: () = assert!(std::mem::align_of::<MsgDesc>() == 8);
+const _: () = assert!(std::mem::size_of::<SendDesc>() == SEND_DESC_BYTES);
+const _: () = assert!(std::mem::size_of::<RecvDesc>() == RECV_DESC_BYTES);
+// Slot strides must preserve each struct's alignment within a segment.
+const _: () = assert!(LNVC_DESC_BYTES.is_multiple_of(std::mem::align_of::<LnvcDesc>()));
+const _: () = assert!(MSG_HEADER_BYTES.is_multiple_of(std::mem::align_of::<MsgDesc>()));
+const _: () = assert!(REGISTRY_ENTRY_BYTES.is_multiple_of(std::mem::align_of::<RegistryEntry>()));
+const _: () = assert!(PROCESS_SLOT_BYTES.is_multiple_of(std::mem::align_of::<ProcessSlot>()));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_head_push_pop_lifo() {
+        let links: Vec<AtomicU32> = (0..8).map(|_| AtomicU32::new(NIL)).collect();
+        let head = FreeHead {
+            word: AtomicU64::new(0),
+        };
+        head.reset();
+        assert!(head
+            .pop(|i| links[i as usize].load(Ordering::Acquire))
+            .is_none());
+        for i in 0..8u32 {
+            head.push(i, |slot, next| {
+                links[slot as usize].store(next, Ordering::Release)
+            });
+        }
+        for want in (0..8u32).rev() {
+            let got = head
+                .pop(|i| links[i as usize].load(Ordering::Acquire))
+                .unwrap();
+            assert_eq!(got, want);
+        }
+        assert!(head
+            .pop(|i| links[i as usize].load(Ordering::Acquire))
+            .is_none());
+    }
+
+    #[test]
+    fn registry_entry_name_roundtrip() {
+        let e = RegistryEntry {
+            name: Default::default(),
+            used: AtomicU32::new(0),
+            lnvc: AtomicU32::new(0),
+        };
+        e.set_name(b"conversation:pivot");
+        let got = e.get_name();
+        assert_eq!(&got[..18], b"conversation:pivot");
+        assert!(got[18..].iter().all(|&b| b == 0));
+    }
+}

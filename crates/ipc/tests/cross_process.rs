@@ -1,0 +1,212 @@
+//! Multi-OS-process integration tests.
+//!
+//! Each test re-executes the current test binary with `--exact
+//! helper_<role> --ignored`, so the child really is a separate process
+//! with its own address space that knows nothing about the region except
+//! its name (passed via `MPF_IPC_REGION`).  The `#[ignore]`d helpers are
+//! inert unless that variable is set.
+
+use std::io::Read as _;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use mpf::{MpfConfig, MpfError, Protocol};
+use mpf_ipc::IpcMpf;
+
+const REGION_ENV: &str = "MPF_IPC_REGION";
+
+fn unique_region(tag: &str) -> String {
+    format!("xp-{tag}-{}", std::process::id())
+}
+
+fn create_region(name: &str) -> IpcMpf {
+    let cfg = MpfConfig::new(8, 8)
+        .with_block_payload(64)
+        .with_total_blocks(128)
+        .with_max_messages(64)
+        .with_max_connections(32);
+    IpcMpf::create(name, &cfg).expect("create region")
+}
+
+fn spawn_helper(helper: &str, region: &str) -> Child {
+    Command::new(std::env::current_exe().expect("current_exe"))
+        .args([
+            "--exact",
+            helper,
+            "--ignored",
+            "--nocapture",
+            "--test-threads=1",
+        ])
+        .env(REGION_ENV, region)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn helper process")
+}
+
+fn finish(mut child: Child, what: &str) {
+    let status = child.wait().expect("wait child");
+    if !status.success() {
+        let mut out = String::new();
+        let mut err = String::new();
+        if let Some(mut s) = child.stdout.take() {
+            let _ = s.read_to_string(&mut out);
+        }
+        if let Some(mut s) = child.stderr.take() {
+            let _ = s.read_to_string(&mut err);
+        }
+        panic!("{what} exited with {status}\nstdout:\n{out}\nstderr:\n{err}");
+    }
+}
+
+/// Child role for [`separate_processes_exchange_fcfs_and_broadcast`]:
+/// announce readiness over the FCFS circuit, wait for the broadcast,
+/// echo it back.
+#[test]
+#[ignore = "helper: only meaningful when spawned by a parent test"]
+fn helper_echo_worker() {
+    let Ok(region) = std::env::var(REGION_ENV) else {
+        return;
+    };
+    let m = IpcMpf::attach(&region).expect("attach");
+    let results = m.open_send("results").expect("open_send results");
+    let news = m
+        .open_receive("news", Protocol::Broadcast)
+        .expect("open_receive news");
+
+    m.message_send(results, format!("ready:{}", m.pid()).as_bytes())
+        .expect("send ready");
+    let mut buf = [0u8; 256];
+    let n = m
+        .message_receive_timeout(news, &mut buf, Duration::from_secs(30))
+        .expect("receive broadcast");
+    let text = std::str::from_utf8(&buf[..n]).expect("utf8").to_string();
+    m.message_send(results, format!("got:{text}:{}", m.pid()).as_bytes())
+        .expect("send echo");
+}
+
+/// ≥ 2 genuinely separate OS processes exchange FCFS messages (worker →
+/// parent over `results`) and BROADCAST messages (parent → both workers
+/// over `news`) through one shared named region.
+#[test]
+fn separate_processes_exchange_fcfs_and_broadcast() {
+    let region = unique_region("fanout");
+    let m = create_region(&region);
+    let results = m.open_receive("results", Protocol::Fcfs).unwrap();
+    // Open the broadcast source BEFORE the workers connect so `news`
+    // exists; workers' broadcast cursors start at their join point.
+    let news = m.open_send("news").unwrap();
+
+    let a = spawn_helper("helper_echo_worker", &region);
+    let b = spawn_helper("helper_echo_worker", &region);
+
+    let mut buf = [0u8; 256];
+    let mut worker_pids = Vec::new();
+    for _ in 0..2 {
+        let n = m
+            .message_receive_timeout(results, &mut buf, Duration::from_secs(30))
+            .expect("ready message");
+        let text = std::str::from_utf8(&buf[..n]).unwrap();
+        let pid: u32 = text.strip_prefix("ready:").unwrap().parse().unwrap();
+        worker_pids.push(pid);
+    }
+    worker_pids.sort_unstable();
+    worker_pids.dedup();
+    assert_eq!(worker_pids.len(), 2, "two distinct MPF pids");
+    assert!(!worker_pids.contains(&m.pid()));
+
+    // Both workers are connected now, so one broadcast reaches both.
+    m.message_send(news, b"fanout-payload").unwrap();
+
+    let mut echoes = Vec::new();
+    for _ in 0..2 {
+        let n = m
+            .message_receive_timeout(results, &mut buf, Duration::from_secs(30))
+            .expect("echo message");
+        echoes.push(std::str::from_utf8(&buf[..n]).unwrap().to_string());
+    }
+    echoes.sort();
+    for (echo, pid) in echoes.iter().zip(worker_pids.iter()) {
+        assert_eq!(echo, &format!("got:fanout-payload:{pid}"));
+    }
+
+    finish(a, "worker a");
+    finish(b, "worker b");
+}
+
+/// Child role for [`killing_a_peer_unblocks_blocked_receivers`]: send one
+/// message, then — once the parent confirms it has drained it — grab the
+/// LNVC lock, report the seizure on a side channel, and go to sleep
+/// holding it.  The parent SIGKILLs this process mid-critical-section.
+/// The `ctl`/`seized` handshake makes the ordering deterministic: without
+/// it the parent's receive could block on the seized lock while the
+/// victim (still alive, just asleep) holds it, and the kill would never
+/// be issued.
+#[test]
+#[ignore = "helper: only meaningful when spawned by a parent test"]
+fn helper_victim() {
+    let Ok(region) = std::env::var(REGION_ENV) else {
+        return;
+    };
+    let m = IpcMpf::attach(&region).expect("attach");
+    let tx = m.open_send("doomed").expect("open_send doomed");
+    let ctl = m.open_receive("ctl", Protocol::Fcfs).expect("open ctl");
+    let seized = m.open_send("seized").expect("open_send seized");
+
+    m.message_send(tx, b"alive").expect("send");
+    let mut buf = [0u8; 8];
+    m.message_receive_timeout(ctl, &mut buf, Duration::from_secs(30))
+        .expect("go-ahead from parent");
+    // Die as rudely as possible: inside the critical section.  `seized`
+    // is a different descriptor, so signalling on it is safe while
+    // holding `doomed`'s lock.
+    m.debug_seize_lnvc_lock(tx).expect("seize lock");
+    m.message_send(seized, b"held").expect("report seizure");
+    std::thread::sleep(Duration::from_secs(60));
+}
+
+/// Killing a peer mid-conversation — while it HOLDS the LNVC lock — must
+/// leave the survivor with a clean [`MpfError::PeerDied`], not a hang:
+/// the liveness sweep breaks the dead holder's lock, removes its
+/// connections, and poisons the conversation.
+#[test]
+fn killing_a_peer_unblocks_blocked_receivers() {
+    let region = unique_region("kill");
+    let m = create_region(&region);
+    let rx = m.open_receive("doomed", Protocol::Fcfs).unwrap();
+    let ctl = m.open_send("ctl").unwrap();
+    let seized = m.open_receive("seized", Protocol::Fcfs).unwrap();
+
+    let mut victim = spawn_helper("helper_victim", &region);
+
+    let mut buf = [0u8; 64];
+    let n = m
+        .message_receive_timeout(rx, &mut buf, Duration::from_secs(30))
+        .expect("first message proves the victim is connected");
+    assert_eq!(&buf[..n], b"alive");
+
+    // Tell the victim to seize the lock, wait for confirmation that it
+    // holds it, then SIGKILL it mid-critical-section.
+    m.message_send(ctl, b"go").unwrap();
+    m.message_receive_timeout(seized, &mut buf, Duration::from_secs(30))
+        .expect("victim reports holding the lock");
+    victim.kill().expect("SIGKILL victim");
+    victim.wait().expect("reap victim");
+
+    // The survivor's blocked receive must resolve to PeerDied — within
+    // the timeout, i.e. no deadlock on the orphaned lock.
+    let err = m
+        .message_receive_timeout(rx, &mut buf, Duration::from_secs(10))
+        .expect_err("conversation must be poisoned");
+    match err {
+        MpfError::PeerDied { pid } => assert_ne!(pid, m.pid(), "culprit is the victim"),
+        other => panic!("expected PeerDied, got {other:?}"),
+    }
+
+    // The rest of the region stays usable: new conversations work.
+    let tx2 = m.open_send("aftermath").unwrap();
+    let rx2 = m.open_receive("aftermath", Protocol::Fcfs).unwrap();
+    m.message_send(tx2, b"still standing").unwrap();
+    let n = m.message_receive(rx2, &mut buf).unwrap();
+    assert_eq!(&buf[..n], b"still standing");
+}

@@ -79,7 +79,7 @@ pub fn broadcast(group: &CommGroup<'_>, root: usize, data: &[u8]) -> Result<Vec<
     let first_round = if rel == 0 {
         0
     } else {
-        (usize::BITS - rel.leading_zeros()) as u32
+        usize::BITS - rel.leading_zeros()
     };
     for k in first_round..total_rounds {
         let child = rel + (1 << k);
@@ -311,9 +311,7 @@ mod tests {
 
     #[test]
     fn gather_preserves_rank_order() {
-        let results = with_group(5, "ga", |g| {
-            gather(g, 2, &[g.rank() as u8; 3]).unwrap()
-        });
+        let results = with_group(5, "ga", |g| gather(g, 2, &[g.rank() as u8; 3]).unwrap());
         let at_root = &results[2];
         assert_eq!(at_root.len(), 5);
         for (r, chunk) in at_root.iter().enumerate() {
@@ -324,8 +322,8 @@ mod tests {
     #[test]
     fn scatter_distributes_chunks() {
         let results = with_group(4, "sc", |g| {
-            let chunks: Option<Vec<Vec<u8>>> = (g.rank() == 1)
-                .then(|| (0..4).map(|r| vec![r as u8 * 10; 2]).collect());
+            let chunks: Option<Vec<Vec<u8>>> =
+                (g.rank() == 1).then(|| (0..4).map(|r| vec![r as u8 * 10; 2]).collect());
             scatter(g, 1, chunks.as_deref()).unwrap()
         });
         for (r, chunk) in results.iter().enumerate() {

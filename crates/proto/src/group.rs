@@ -101,9 +101,9 @@ impl<'a> CommGroup<'a> {
     pub fn send_to(&self, dst: usize, data: &[u8]) -> Result<()> {
         assert!(dst < self.size && dst != self.rank, "bad destination {dst}");
         let mut senders = self.senders.borrow_mut();
-        if !senders.contains_key(&dst) {
+        if let std::collections::hash_map::Entry::Vacant(e) = senders.entry(dst) {
             let name = self.channel_name(self.rank, dst);
-            senders.insert(dst, self.mpf.sender(self.pid, &name)?);
+            e.insert(self.mpf.sender(self.pid, &name)?);
         }
         senders[&dst].send(data)
     }
@@ -112,12 +112,9 @@ impl<'a> CommGroup<'a> {
     pub fn recv_from(&self, src: usize) -> Result<Vec<u8>> {
         assert!(src < self.size && src != self.rank, "bad source {src}");
         let mut receivers = self.receivers.borrow_mut();
-        if !receivers.contains_key(&src) {
+        if let std::collections::hash_map::Entry::Vacant(e) = receivers.entry(src) {
             let name = self.channel_name(src, self.rank);
-            receivers.insert(
-                src,
-                self.mpf.receiver(self.pid, &name, Protocol::Fcfs)?,
-            );
+            e.insert(self.mpf.receiver(self.pid, &name, Protocol::Fcfs)?);
         }
         receivers[&src].recv_vec()
     }

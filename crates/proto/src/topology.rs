@@ -86,9 +86,7 @@ impl Topology {
                 }
                 out
             }
-            Topology::Hypercube { dim } => {
-                (0..dim).map(|k| rank ^ (1 << k)).collect()
-            }
+            Topology::Hypercube { dim } => (0..dim).map(|k| rank ^ (1 << k)).collect(),
             Topology::Star { size } => {
                 if rank == 0 {
                     (1..size).collect()
@@ -121,7 +119,13 @@ impl Topology {
                     }
                 }
             }
-            worst = worst.max(*dist.iter().filter(|&&d| d != usize::MAX).max().unwrap_or(&0));
+            worst = worst.max(
+                *dist
+                    .iter()
+                    .filter(|&&d| d != usize::MAX)
+                    .max()
+                    .unwrap_or(&0),
+            );
         }
         worst
     }

@@ -22,11 +22,23 @@
 //!   equivalent), a FIFO ticket lock, and an OS mutex, selectable at run time
 //!   (ablation A2 in DESIGN.md).
 //! * [`waitq::WaitQueue`] — wait/notify used by the blocking
-//!   `message_receive()`; spin, yield and park strategies (ablation A3).
+//!   `message_receive()`; spin, yield, park and futex strategies
+//!   (ablation A3).
 //! * [`process`] — the paper's "group of Unix processes" realized as scoped
 //!   OS threads carrying [`process::ProcessId`]s.
 //! * [`barrier::SpinBarrier`] — sense-reversing barrier used by the
 //!   shared-memory baseline applications and the benchmark harness.
+//!
+//! The genuine multi-process substrate lives here too:
+//!
+//! * [`sys`] — a four-syscall layer (`mmap`/`munmap`/`futex`/`kill`) with
+//!   portable fallbacks; the workspace builds with no external crates.
+//! * [`region::ShmRegion`] — a named, `mmap`ed OS shared-memory region
+//!   any process can attach.
+//! * [`futex`] — cross-process wait/notify on shared words.
+//! * [`lock::FutexLock`] / [`lock::IpcLock`] — `#[repr(C)]` in-region
+//!   locks; `IpcLock` adds holder identity and dead-peer recovery.
+//! * [`waitq::FutexSeq`] — the in-region wait queue.
 //!
 //! Nothing in this crate knows about messages or LNVCs; it only provides
 //! "shared memory allocation and synchronization", the two facilities the
@@ -35,21 +47,27 @@
 pub mod arena;
 pub mod backoff;
 pub mod barrier;
+pub mod futex;
 pub mod idxstack;
 pub mod lock;
 pub mod pad;
 pub mod pool;
 pub mod process;
+pub mod region;
+pub mod rng;
 pub mod stats;
+pub mod sys;
 pub mod waitq;
 
 pub use arena::StridedArena;
 pub use backoff::Backoff;
 pub use barrier::SpinBarrier;
 pub use idxstack::{IndexStack, NIL};
-pub use lock::{LockKind, ShmLock, ShmLockGuard};
+pub use lock::{FutexLock, IpcAcquire, IpcLock, LockKind, ShmLock, ShmLockGuard};
 pub use pad::CachePadded;
 pub use pool::Pool;
 pub use process::{run_processes, run_processes_collect, ProcessId};
+pub use region::ShmRegion;
+pub use rng::SmallRng;
 pub use stats::Counter;
-pub use waitq::{WaitQueue, WaitStrategy};
+pub use waitq::{FutexSeq, WaitQueue, WaitStrategy};

@@ -9,17 +9,27 @@
 //!   closest analogue of the 1987 primitive.
 //! * [`TicketLock`] — FIFO-fair; trades throughput for fairness, which
 //!   matters for the FCFS receiver pools in Figure 4 style workloads.
-//! * OS mutex (`parking_lot::RawMutex`) — what a modern port would use.
+//! * [`FutexLock`] — kernel-assisted sleeping lock (what a modern port
+//!   would use); also the only kind that blocks efficiently *across
+//!   processes*, since the futex is keyed by the physical page.
+//!
+//! All lock types are `#[repr(C)]` over atomics, so any of them may be
+//! placed inside a shared-memory region and used from several address
+//! spaces.  [`IpcLock`] extends [`FutexLock`]'s protocol with holder
+//! identity and a generation counter, the hooks the multi-process
+//! backend's dead-peer recovery needs (a crashed holder's lock can be
+//! detected, broken, and the protected structure poisoned instead of
+//! deadlocking every survivor).
 //!
 //! Every variant counts contended acquisitions so benchmarks can report
 //! how much of a throughput dip is lock contention (the paper attributes
 //! the 16/128-byte declines in Figure 4 to "increased LNVC contention").
 
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-
-use parking_lot::lock_api::RawMutex as _;
+use std::time::Duration;
 
 use crate::backoff::Backoff;
+use crate::futex;
 
 /// Which lock implementation to use for region-internal mutual exclusion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -30,12 +40,13 @@ pub enum LockKind {
     Spin,
     /// FIFO ticket lock.
     Ticket,
-    /// Operating-system mutex (`parking_lot`).
+    /// Kernel-assisted sleeping lock ([`FutexLock`]).
     Os,
 }
 
 /// Test-and-test-and-set spin lock with exponential backoff.
 #[derive(Debug, Default)]
+#[repr(C)]
 pub struct SpinLock {
     locked: AtomicBool,
     contended: AtomicU64,
@@ -90,6 +101,7 @@ impl SpinLock {
 
 /// FIFO ticket lock: acquirers take a ticket and wait for it to be served.
 #[derive(Debug, Default)]
+#[repr(C)]
 pub struct TicketLock {
     next: AtomicU32,
     serving: AtomicU32,
@@ -145,6 +157,214 @@ impl TicketLock {
     }
 }
 
+/// Kernel-assisted sleeping lock (Drepper's three-state futex mutex).
+///
+/// States: 0 free, 1 held, 2 held with (possible) sleepers.  Contended
+/// acquirers sleep in the kernel instead of burning a CPU, and because
+/// the futex is keyed by physical page, waiters in *other processes*
+/// mapping the same region sleep and wake correctly too.  On hosts
+/// without futexes the wait degrades to a bounded yield-sleep.
+#[derive(Debug, Default)]
+#[repr(C)]
+pub struct FutexLock {
+    state: AtomicU32,
+    contended: AtomicU64,
+}
+
+impl FutexLock {
+    /// New, unlocked.
+    pub const fn new() -> Self {
+        Self {
+            state: AtomicU32::new(0),
+            contended: AtomicU64::new(0),
+        }
+    }
+
+    /// Attempts to acquire without waiting.
+    #[inline]
+    pub fn try_lock(&self) -> bool {
+        self.state
+            .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Acquires, sleeping in the kernel while contended.
+    pub fn lock(&self) {
+        if self.try_lock() {
+            return;
+        }
+        self.contended.fetch_add(1, Ordering::Relaxed);
+        // Mark contended and sleep until handed 0.
+        while self.state.swap(2, Ordering::Acquire) != 0 {
+            futex::futex_wait(&self.state, 2, Some(Duration::from_millis(50)));
+        }
+    }
+
+    /// Releases.  Caller must hold the lock.
+    pub fn unlock(&self) {
+        if self.state.swap(0, Ordering::Release) == 2 {
+            futex::futex_wake_one(&self.state);
+        }
+    }
+
+    /// Number of acquisitions that had to wait.
+    pub fn contended_count(&self) -> u64 {
+        self.contended.load(Ordering::Relaxed)
+    }
+}
+
+/// Outcome of an [`IpcLock`] acquisition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IpcAcquire {
+    /// Acquired a healthy lock.
+    Clean,
+    /// Acquired, but the lock is poisoned: a previous holder died inside
+    /// the critical section, so the protected structure may be torn.
+    Poisoned,
+}
+
+/// The in-region lock of the multi-process backend: [`FutexLock`]'s
+/// protocol plus holder identity, a break generation, and a poison flag.
+///
+/// Deadlock robustness: an acquirer that waits longer than its patience
+/// asks a caller-supplied liveness oracle about the recorded holder.  If
+/// the holder is dead, the acquirer *breaks* the lock — poisons it,
+/// bumps the generation, force-releases — and acquisition proceeds.  The
+/// poison flag tells every later acquirer that the protected state may
+/// be mid-update (the facility layer then fails the conversation with a
+/// peer-death error instead of computing garbage).
+#[derive(Debug, Default)]
+#[repr(C)]
+pub struct IpcLock {
+    state: AtomicU32,
+    /// MPF process id (raw, non-zero) of the current holder; 0 when free.
+    owner: AtomicU32,
+    /// Bumped each time the lock is forcibly broken.
+    generation: AtomicU32,
+    /// Sticky: set when a holder died inside the critical section.
+    poisoned: AtomicU32,
+}
+
+/// How long an [`IpcLock`] acquirer waits between liveness probes.
+pub const IPC_LOCK_PATIENCE: Duration = Duration::from_millis(20);
+
+impl IpcLock {
+    /// New, unlocked, unpoisoned.
+    pub const fn new() -> Self {
+        Self {
+            state: AtomicU32::new(0),
+            owner: AtomicU32::new(0),
+            generation: AtomicU32::new(0),
+            poisoned: AtomicU32::new(0),
+        }
+    }
+
+    /// Attempts to acquire without waiting; records `me` as holder.
+    pub fn try_lock(&self, me: u32) -> bool {
+        if self
+            .state
+            .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.owner.store(me, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Acquires as process `me`.  `is_alive` maps a recorded holder id to
+    /// liveness; it is consulted only after [`IPC_LOCK_PATIENCE`] of
+    /// fruitless waiting.  Returns whether the lock was clean.
+    pub fn lock(&self, me: u32, is_alive: impl Fn(u32) -> bool) -> IpcAcquire {
+        if !self.try_lock(me) {
+            loop {
+                if self.state.swap(2, Ordering::Acquire) == 0 {
+                    self.owner.store(me, Ordering::Relaxed);
+                    break;
+                }
+                futex::futex_wait(&self.state, 2, Some(IPC_LOCK_PATIENCE));
+                let holder = self.owner.load(Ordering::Relaxed);
+                if holder != 0 && holder != me && !is_alive(holder) {
+                    self.break_dead_holder(holder);
+                }
+            }
+        }
+        if self.is_poisoned() {
+            IpcAcquire::Poisoned
+        } else {
+            IpcAcquire::Clean
+        }
+    }
+
+    /// Breaks a lock whose recorded holder is known dead: poison, bump
+    /// generation, force-release, wake everyone.  Idempotent — exactly
+    /// one concurrent breaker wins the owner CAS.
+    fn break_dead_holder(&self, holder: u32) {
+        if self
+            .owner
+            .compare_exchange(holder, 0, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+        {
+            // The poison word doubles as the culprit record: any nonzero
+            // value means poisoned, and a value other than `u32::MAX`
+            // names the dead holder's owner id.
+            self.poisoned.store(holder, Ordering::Release);
+            self.generation.fetch_add(1, Ordering::Release);
+            self.state.store(0, Ordering::Release);
+            futex::futex_wake_all(&self.state);
+        }
+    }
+
+    /// Releases.  Caller must hold the lock.
+    pub fn unlock(&self) {
+        self.owner.store(0, Ordering::Relaxed);
+        if self.state.swap(0, Ordering::Release) == 2 {
+            futex::futex_wake_one(&self.state);
+        }
+    }
+
+    /// Marks the protected structure as possibly torn (also set by
+    /// [`IpcLock::lock`] when it breaks a dead holder's lock).
+    pub fn poison(&self) {
+        self.poisoned.store(u32::MAX, Ordering::Release);
+    }
+
+    /// Returns the lock to its pristine free state (clears poison; keeps
+    /// the break generation, which is monotonic).  Only sound while no
+    /// other process can reach the protected structure — e.g. when a
+    /// deleted descriptor slot is reactivated under the allocation lock.
+    pub fn reset(&self) {
+        self.owner.store(0, Ordering::Relaxed);
+        self.poisoned.store(0, Ordering::Relaxed);
+        self.state.store(0, Ordering::Release);
+    }
+
+    /// Whether a holder ever died inside the critical section.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire) != 0
+    }
+
+    /// Owner id of the dead holder whose lock was broken, when known
+    /// (`None` if unpoisoned or poisoned via [`IpcLock::poison`]).
+    pub fn poison_culprit(&self) -> Option<u32> {
+        match self.poisoned.load(Ordering::Acquire) {
+            0 | u32::MAX => None,
+            holder => Some(holder),
+        }
+    }
+
+    /// Times the lock has been forcibly broken.
+    pub fn generation(&self) -> u32 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Recorded holder (0 when free) — diagnostic.
+    pub fn holder(&self) -> u32 {
+        self.owner.load(Ordering::Relaxed)
+    }
+}
+
 /// A region lock with a run-time-selected implementation.
 ///
 /// LNVC descriptors embed one of these; the kind is fixed at
@@ -154,8 +374,8 @@ pub enum ShmLock {
     Spin(SpinLock),
     /// FIFO ticket lock.
     Ticket(TicketLock),
-    /// OS mutex.
-    Os(parking_lot::RawMutex, AtomicU64),
+    /// Kernel-assisted sleeping lock.
+    Os(FutexLock),
 }
 
 impl std::fmt::Debug for ShmLock {
@@ -163,7 +383,7 @@ impl std::fmt::Debug for ShmLock {
         let kind = match self {
             ShmLock::Spin(_) => "Spin",
             ShmLock::Ticket(_) => "Ticket",
-            ShmLock::Os(..) => "Os",
+            ShmLock::Os(_) => "Os",
         };
         f.debug_struct("ShmLock")
             .field("kind", &kind)
@@ -184,7 +404,7 @@ impl ShmLock {
         match kind {
             LockKind::Spin => ShmLock::Spin(SpinLock::new()),
             LockKind::Ticket => ShmLock::Ticket(TicketLock::new()),
-            LockKind::Os => ShmLock::Os(parking_lot::RawMutex::INIT, AtomicU64::new(0)),
+            LockKind::Os => ShmLock::Os(FutexLock::new()),
         }
     }
 
@@ -193,12 +413,7 @@ impl ShmLock {
         match self {
             ShmLock::Spin(l) => l.lock(),
             ShmLock::Ticket(l) => l.lock(),
-            ShmLock::Os(l, contended) => {
-                if !l.try_lock() {
-                    contended.fetch_add(1, Ordering::Relaxed);
-                    l.lock();
-                }
-            }
+            ShmLock::Os(l) => l.lock(),
         }
         ShmLockGuard { lock: self }
     }
@@ -208,7 +423,7 @@ impl ShmLock {
         let ok = match self {
             ShmLock::Spin(l) => l.try_lock(),
             ShmLock::Ticket(l) => l.try_lock(),
-            ShmLock::Os(l, _) => l.try_lock(),
+            ShmLock::Os(l) => l.try_lock(),
         };
         // `then` (not `then_some`): the guard must only exist — and thus
         // only ever unlock on drop — if the acquisition succeeded.
@@ -220,7 +435,7 @@ impl ShmLock {
         match self {
             ShmLock::Spin(l) => l.contended_count(),
             ShmLock::Ticket(l) => l.contended_count(),
-            ShmLock::Os(_, c) => c.load(Ordering::Relaxed),
+            ShmLock::Os(l) => l.contended_count(),
         }
     }
 
@@ -228,9 +443,7 @@ impl ShmLock {
         match self {
             ShmLock::Spin(l) => l.unlock(),
             ShmLock::Ticket(l) => l.unlock(),
-            // SAFETY: only ShmLockGuard::drop calls this, and a guard is
-            // only created after a successful acquisition on this lock.
-            ShmLock::Os(l, _) => unsafe { l.unlock() },
+            ShmLock::Os(l) => l.unlock(),
         }
     }
 }
@@ -246,6 +459,20 @@ impl Drop for ShmLockGuard<'_> {
         self.lock.unlock();
     }
 }
+
+// Compile-time layout contracts.  These types are placed inside shared
+// regions at offsets computed from these exact sizes and alignments; a
+// refactor that changed them would silently corrupt every cross-process
+// layout (and could reintroduce false sharing the carve was sized
+// against), so the build fails instead.
+const _: () = assert!(std::mem::size_of::<SpinLock>() == 16);
+const _: () = assert!(std::mem::align_of::<SpinLock>() == 8);
+const _: () = assert!(std::mem::size_of::<TicketLock>() == 16);
+const _: () = assert!(std::mem::align_of::<TicketLock>() == 8);
+const _: () = assert!(std::mem::size_of::<FutexLock>() == 16);
+const _: () = assert!(std::mem::align_of::<FutexLock>() == 8);
+const _: () = assert!(std::mem::size_of::<IpcLock>() == 16);
+const _: () = assert!(std::mem::align_of::<IpcLock>() == 4);
 
 #[cfg(test)]
 mod tests {
@@ -347,6 +574,82 @@ mod tests {
         l.unlock();
         assert!(l.try_lock());
         l.unlock();
+    }
+
+    #[test]
+    fn raw_futex_lock_semantics() {
+        let l = FutexLock::new();
+        assert!(l.try_lock());
+        assert!(!l.try_lock());
+        l.unlock();
+        assert!(l.try_lock());
+        l.unlock();
+    }
+
+    #[test]
+    fn ipc_lock_mutual_exclusion() {
+        let lock = IpcLock::new();
+        let counter = AtomicUsize::new(0);
+        let wrap = Wrap(std::cell::UnsafeCell::new(0usize));
+        thread::scope(|s| {
+            for t in 0..4u32 {
+                let wrap = &wrap;
+                let counter = &counter;
+                let lock = &lock;
+                s.spawn(move || {
+                    for _ in 0..5_000 {
+                        assert_eq!(lock.lock(t + 1, |_| true), IpcAcquire::Clean);
+                        // SAFETY: mutual exclusion provided by the lock.
+                        unsafe { *wrap.ptr() += 1 };
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        lock.unlock();
+                    }
+                });
+            }
+        });
+        assert_eq!(unsafe { *wrap.ptr() }, 20_000);
+        assert!(!lock.is_poisoned());
+    }
+
+    #[test]
+    fn ipc_lock_breaks_dead_holder_and_poisons() {
+        let lock = IpcLock::new();
+        // "Process 7" acquires and then dies without unlocking.
+        assert!(lock.try_lock(7));
+        assert_eq!(lock.holder(), 7);
+        let gen_before = lock.generation();
+        // Survivor (process 2) acquires with an oracle that knows 7 died.
+        let acq = lock.lock(2, |pid| pid != 7);
+        assert_eq!(acq, IpcAcquire::Poisoned);
+        assert_eq!(lock.holder(), 2);
+        assert!(lock.is_poisoned());
+        assert_eq!(lock.poison_culprit(), Some(7));
+        assert_eq!(lock.generation(), gen_before + 1);
+        lock.unlock();
+        // Poison is sticky for later acquirers.
+        assert_eq!(lock.lock(3, |_| true), IpcAcquire::Poisoned);
+        lock.unlock();
+    }
+
+    #[test]
+    fn ipc_lock_live_holder_is_waited_for() {
+        let lock = IpcLock::new();
+        let released = AtomicUsize::new(0);
+        thread::scope(|s| {
+            assert!(lock.try_lock(1));
+            let handle = s.spawn(|| {
+                // Holder is alive: must block until the real unlock, well
+                // past several patience windows.
+                assert_eq!(lock.lock(2, |_| true), IpcAcquire::Clean);
+                assert_eq!(released.load(Ordering::SeqCst), 1);
+                lock.unlock();
+            });
+            thread::sleep(IPC_LOCK_PATIENCE * 3);
+            released.store(1, Ordering::SeqCst);
+            lock.unlock();
+            handle.join().unwrap();
+        });
+        assert!(!lock.is_poisoned());
     }
 
     #[test]

@@ -46,6 +46,15 @@ impl<T> From<T> for CachePadded<T> {
     }
 }
 
+// Compile-time padding contract: a `CachePadded<T>` must always occupy
+// (and be aligned to) at least two 64-byte lines, whatever `T` is, so a
+// refactor can never silently reintroduce false sharing between two
+// adjacent padded cells.
+const _: () = assert!(std::mem::align_of::<CachePadded<u8>>() == 128);
+const _: () = assert!(std::mem::size_of::<CachePadded<u8>>() == 128);
+const _: () = assert!(std::mem::size_of::<CachePadded<[u64; 16]>>() == 128);
+const _: () = assert!(std::mem::size_of::<CachePadded<[u64; 17]>>() == 256);
+
 #[cfg(test)]
 mod tests {
     use super::*;

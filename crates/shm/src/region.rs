@@ -1,0 +1,351 @@
+//! A genuine OS shared-memory region, attachable by name.
+//!
+//! The paper's MPF ran as a group of Unix processes all mapping one
+//! physical shared-memory region.  [`ShmRegion`] is that region: a file
+//! in `/dev/shm` (tmpfs — pages never touch a disk) created by the
+//! initializing process and `mmap`ed `MAP_SHARED` by every participant.
+//! Because each process maps it at a different virtual address, nothing
+//! stored inside may be a pointer; the whole facility above this is
+//! offset-addressed (see `mpf-core`'s `layout` module), so a base pointer
+//! plus the layout is all a peer needs.
+//!
+//! On hosts without the syscall layer ([`crate::sys::HAVE_SYSCALLS`] is
+//! false) regions are heap-backed: fully functional within one process
+//! (threads), with [`ShmRegion::attach`] reporting unsupported.
+
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::PathBuf;
+
+use crate::sys;
+
+/// Longest accepted region name.
+pub const MAX_REGION_NAME: usize = 64;
+
+/// One mapped (or heap-emulated) shared region.
+#[derive(Debug)]
+pub struct ShmRegion {
+    base: *mut u8,
+    len: usize,
+    backing: Backing,
+}
+
+#[derive(Debug)]
+enum Backing {
+    /// A real `MAP_SHARED` mapping of `file`; `unlink` names the path to
+    /// remove on drop (the creator cleans up, attachers do not).
+    Mmap {
+        #[allow(dead_code)] // held to keep the fd (and thus fstat) valid
+        file: File,
+        unlink: Option<PathBuf>,
+    },
+    /// Heap fallback; the allocation owns the bytes `base` points into.
+    Heap(#[allow(dead_code)] Box<[u8]>),
+}
+
+// SAFETY: the region is raw shared memory; every access goes through
+// unsafe accessors whose contracts delegate synchronization to the
+// caller (the MPF protocol), exactly as with `StridedArena`.
+unsafe impl Send for ShmRegion {}
+unsafe impl Sync for ShmRegion {}
+
+fn region_dir() -> PathBuf {
+    let shm = PathBuf::from("/dev/shm");
+    if shm.is_dir() {
+        shm
+    } else {
+        std::env::temp_dir()
+    }
+}
+
+fn validate_name(name: &str) -> io::Result<()> {
+    let ok = !name.is_empty()
+        && name.len() <= MAX_REGION_NAME
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.' | ':'));
+    if ok {
+        Ok(())
+    } else {
+        Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("invalid region name {name:?} (1..={MAX_REGION_NAME} of [A-Za-z0-9._:-])"),
+        ))
+    }
+}
+
+/// Filesystem path backing region `name`.
+pub fn region_path(name: &str) -> PathBuf {
+    region_dir().join(format!("mpf-region-{name}"))
+}
+
+impl ShmRegion {
+    /// Creates and maps a new named region of `len` zeroed bytes.  Fails
+    /// with [`io::ErrorKind::AlreadyExists`] if the name is taken.  The
+    /// creator owns the name: dropping this region unlinks it.
+    pub fn create(name: &str, len: usize) -> io::Result<Self> {
+        validate_name(name)?;
+        if !sys::HAVE_SYSCALLS {
+            return Ok(Self::anon(len));
+        }
+        let path = region_path(name);
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)?;
+        file.set_len(len as u64)?;
+        Self::map(file, len, Some(path))
+    }
+
+    /// Maps an existing named region created by another process.
+    /// Attachers never unlink the name.
+    pub fn attach(name: &str) -> io::Result<Self> {
+        validate_name(name)?;
+        if !sys::HAVE_SYSCALLS {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "no mmap syscalls on this host; multi-process attach unavailable",
+            ));
+        }
+        let path = region_path(name);
+        let file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let len = file.metadata()?.len() as usize;
+        if len == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::WouldBlock,
+                "region exists but has not been sized yet",
+            ));
+        }
+        Self::map(file, len, None)
+    }
+
+    /// A second, independent mapping of the same named region *within
+    /// this process* — lands at a different base address, which is how
+    /// the position-independence tests exercise offset addressing.
+    pub fn attach_again(&self) -> io::Result<Self> {
+        match &self.backing {
+            Backing::Mmap {
+                unlink: Some(p), ..
+            } => {
+                let file = OpenOptions::new().read(true).write(true).open(p)?;
+                Self::map(file, self.len, None)
+            }
+            _ => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "only a named, creator-owned mapping can be re-attached",
+            )),
+        }
+    }
+
+    /// Anonymous single-process region (heap-backed, zeroed).  The
+    /// portable fallback, also handy for unit tests.
+    pub fn anon(len: usize) -> Self {
+        let mut heap = vec![0u8; len.max(1)].into_boxed_slice();
+        let base = heap.as_mut_ptr();
+        Self {
+            base,
+            len,
+            backing: Backing::Heap(heap),
+        }
+    }
+
+    fn map(file: File, len: usize, unlink: Option<PathBuf>) -> io::Result<Self> {
+        use std::os::fd::AsRawFd;
+        // SAFETY: `file` is open, sized to `len`, and stored in the
+        // backing so it outlives the mapping.
+        let base = unsafe { sys::mmap_shared(file.as_raw_fd(), len) }
+            .map_err(io::Error::from_raw_os_error)?;
+        Ok(Self {
+            base,
+            len,
+            backing: Backing::Mmap { file, unlink },
+        })
+    }
+
+    /// Base address of this process's mapping.  Never store this (or any
+    /// pointer derived from it) inside the region.
+    pub fn base(&self) -> *mut u8 {
+        self.base
+    }
+
+    /// Region length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for zero-length regions (never constructed in practice).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether this handle created (and will unlink) the name.
+    pub fn is_owner(&self) -> bool {
+        matches!(
+            &self.backing,
+            Backing::Mmap {
+                unlink: Some(_),
+                ..
+            }
+        )
+    }
+
+    /// Leaves the backing name in place on drop (the region outlives this
+    /// handle for other processes to attach).
+    pub fn persist(&mut self) {
+        if let Backing::Mmap { unlink, .. } = &mut self.backing {
+            *unlink = None;
+        }
+    }
+
+    /// A typed reference to the object at byte `offset`.
+    ///
+    /// # Safety
+    /// `T` must be valid for the bytes at `offset` (in-region structs are
+    /// `#[repr(C)]` with atomic fields, valid for any bit pattern), the
+    /// offset must be `align_of::<T>()`-aligned, and all concurrent
+    /// access must go through atomics or caller-provided exclusion.
+    pub unsafe fn at<T>(&self, offset: usize) -> &T {
+        assert!(
+            offset + std::mem::size_of::<T>() <= self.len,
+            "region access out of bounds: offset {offset}, size {}, region {}",
+            std::mem::size_of::<T>(),
+            self.len
+        );
+        let ptr = self.base.add(offset);
+        assert_eq!(
+            ptr as usize % std::mem::align_of::<T>(),
+            0,
+            "misaligned region access at offset {offset}"
+        );
+        &*(ptr as *const T)
+    }
+
+    /// Raw pointer to `len` bytes at `offset` (bounds-checked).
+    ///
+    /// # Safety
+    /// Concurrent access must be coordinated by the caller.
+    pub unsafe fn bytes_at(&self, offset: usize, len: usize) -> *mut u8 {
+        assert!(
+            offset + len <= self.len,
+            "region access out of bounds: offset {offset}, len {len}, region {}",
+            self.len
+        );
+        self.base.add(offset)
+    }
+}
+
+impl Drop for ShmRegion {
+    fn drop(&mut self) {
+        if let Backing::Mmap { unlink, .. } = &self.backing {
+            // SAFETY: `(base, len)` is the live mapping created in `map`;
+            // dropping self invalidates all references derived from it by
+            // the `at`/`bytes_at` contracts.
+            unsafe { sys::munmap(self.base, self.len) };
+            if let Some(path) = unlink {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn unique(tag: &str) -> String {
+        static NEXT: AtomicU32 = AtomicU32::new(0);
+        format!(
+            "test-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        )
+    }
+
+    #[test]
+    fn create_attach_share_bytes() {
+        if !sys::HAVE_SYSCALLS {
+            return;
+        }
+        let name = unique("share");
+        let a = ShmRegion::create(&name, 4096).unwrap();
+        let b = ShmRegion::attach(&name).unwrap();
+        // SAFETY: offsets in bounds; one writer, then one reader.
+        unsafe {
+            a.bytes_at(100, 1).write(0x5A);
+            assert_eq!(b.bytes_at(100, 1).read(), 0x5A);
+        }
+        // Atomics are shared too.
+        let wa: &AtomicU32 = unsafe { a.at(256) };
+        let wb: &AtomicU32 = unsafe { b.at(256) };
+        wa.store(77, Ordering::Release);
+        assert_eq!(wb.load(Ordering::Acquire), 77);
+    }
+
+    #[test]
+    fn creator_unlinks_on_drop() {
+        if !sys::HAVE_SYSCALLS {
+            return;
+        }
+        let name = unique("unlink");
+        let path = region_path(&name);
+        {
+            let _r = ShmRegion::create(&name, 4096).unwrap();
+            assert!(path.exists());
+        }
+        assert!(!path.exists());
+        assert!(ShmRegion::attach(&name).is_err());
+    }
+
+    #[test]
+    fn double_create_rejected() {
+        if !sys::HAVE_SYSCALLS {
+            return;
+        }
+        let name = unique("dup");
+        let _a = ShmRegion::create(&name, 4096).unwrap();
+        let err = ShmRegion::create(&name, 4096).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+    }
+
+    #[test]
+    fn attach_again_maps_at_new_base() {
+        if !sys::HAVE_SYSCALLS {
+            return;
+        }
+        let name = unique("twice");
+        let a = ShmRegion::create(&name, 8192).unwrap();
+        let b = a.attach_again().unwrap();
+        assert_ne!(a.base(), b.base(), "two mappings, two base addresses");
+        unsafe {
+            a.bytes_at(4096, 1).write(9);
+            assert_eq!(b.bytes_at(4096, 1).read(), 9);
+        }
+    }
+
+    #[test]
+    fn heap_fallback_works() {
+        let r = ShmRegion::anon(1024);
+        assert_eq!(r.len(), 1024);
+        assert!(!r.is_owner());
+        unsafe {
+            r.bytes_at(0, 1).write(1);
+            assert_eq!(r.bytes_at(0, 1).read(), 1);
+        }
+    }
+
+    #[test]
+    fn bad_names_rejected() {
+        assert!(ShmRegion::create("", 64).is_err());
+        assert!(ShmRegion::create("../evil", 64).is_err());
+        assert!(ShmRegion::create("has space", 64).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_at_panics() {
+        let r = ShmRegion::anon(16);
+        let _: &AtomicU32 = unsafe { r.at(16) };
+    }
+}

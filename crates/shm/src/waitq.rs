@@ -17,12 +17,12 @@
 //! lost.  Spurious returns are allowed; callers re-check their predicate.
 
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
 use std::thread::{self, Thread};
 use std::time::Duration;
 
-use parking_lot::Mutex;
-
 use crate::backoff::Backoff;
+use crate::futex;
 
 /// How a blocked receiver waits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -35,12 +35,20 @@ pub enum WaitStrategy {
     Yield,
     /// Park the OS thread until notified.
     Park,
+    /// Sleep in the kernel on the sequence word itself.  The only
+    /// strategy that can block across address spaces; the multi-process
+    /// backend always uses it (with a spin/yield fallback on hosts
+    /// without futexes).
+    Futex,
 }
 
 /// A notify-all wait queue with a monotonically increasing sequence.
 #[derive(Debug)]
 pub struct WaitQueue {
     seq: AtomicU32,
+    /// Number of waiters currently inside a futex sleep; lets
+    /// `notify_all` skip the wake syscall when nobody kernel-sleeps.
+    futex_waiters: AtomicU32,
     parked: Mutex<Vec<Thread>>,
 }
 
@@ -55,6 +63,7 @@ impl WaitQueue {
     pub fn new() -> Self {
         Self {
             seq: AtomicU32::new(0),
+            futex_waiters: AtomicU32::new(0),
             parked: Mutex::new(Vec::new()),
         }
     }
@@ -86,7 +95,10 @@ impl WaitQueue {
                     if self.seq.load(Ordering::Acquire) != ticket {
                         return;
                     }
-                    self.parked.lock().push(thread::current());
+                    self.parked
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push(thread::current());
                     if self.seq.load(Ordering::Acquire) != ticket {
                         // Notification raced with registration; our stale
                         // handle will at worst receive a harmless unpark.
@@ -97,6 +109,17 @@ impl WaitQueue {
                     thread::park_timeout(Duration::from_millis(2));
                 }
             }
+            WaitStrategy::Futex => {
+                self.futex_waiters.fetch_add(1, Ordering::SeqCst);
+                while self.seq.load(Ordering::Acquire) == ticket {
+                    // The futex atomically re-checks `seq == ticket` at
+                    // sleep time, so a notify between our check and the
+                    // syscall is never lost; the timeout is only a
+                    // liveness bound on fallback hosts.
+                    futex::futex_wait(&self.seq, ticket, Some(Duration::from_millis(50)));
+                }
+                self.futex_waiters.fetch_sub(1, Ordering::SeqCst);
+            }
         }
     }
 
@@ -104,12 +127,67 @@ impl WaitQueue {
     /// state change is visible under the predicate's lock.
     pub fn notify_all(&self) {
         self.seq.fetch_add(1, Ordering::Release);
-        let mut parked = self.parked.lock();
+        if self.futex_waiters.load(Ordering::SeqCst) != 0 {
+            futex::futex_wake_all(&self.seq);
+        }
+        let mut parked = self.parked.lock().unwrap_or_else(|e| e.into_inner());
         for t in parked.drain(..) {
             t.unpark();
         }
     }
 }
+
+/// The in-region counterpart of [`WaitQueue`]: the same sequence-count
+/// protocol, reduced to a single shared `u32` that waiters futex-sleep
+/// on.  `#[repr(C)]`, position-independent, valid for any bit pattern —
+/// safe to place at a fixed offset inside a mapped region and use from
+/// any number of processes.
+#[derive(Debug, Default)]
+#[repr(C)]
+pub struct FutexSeq {
+    seq: AtomicU32,
+}
+
+impl FutexSeq {
+    /// New queue with sequence 0.
+    pub const fn new() -> Self {
+        Self {
+            seq: AtomicU32::new(0),
+        }
+    }
+
+    /// Snapshot of the sequence.  Must be taken before releasing the lock
+    /// that protects the waited-on predicate.
+    #[inline]
+    pub fn ticket(&self) -> u32 {
+        self.seq.load(Ordering::Acquire)
+    }
+
+    /// Blocks until the sequence moves past `ticket`, the timeout
+    /// elapses, or spuriously.  Returns `true` if the sequence moved.
+    /// Callers re-check their predicate either way; bounded timeouts are
+    /// how the multi-process backend interleaves dead-peer sweeps with
+    /// blocking receives.
+    pub fn wait(&self, ticket: u32, timeout: Option<Duration>) -> bool {
+        if self.seq.load(Ordering::Acquire) != ticket {
+            return true;
+        }
+        futex::futex_wait(&self.seq, ticket, timeout);
+        self.seq.load(Ordering::Acquire) != ticket
+    }
+
+    /// Bumps the sequence and wakes every sleeping waiter, in every
+    /// attached process.
+    pub fn notify_all(&self) {
+        self.seq.fetch_add(1, Ordering::Release);
+        futex::futex_wake_all(&self.seq);
+    }
+}
+
+// Compile-time layout contract: `FutexSeq` sits inside in-region structs
+// whose byte layout is fixed by `mpf-core`'s layout module.
+const _: () = assert!(std::mem::size_of::<FutexSeq>() == 4);
+const _: () = assert!(std::mem::align_of::<FutexSeq>() == 4);
 
 #[cfg(test)]
 mod tests {
@@ -152,6 +230,41 @@ mod tests {
     #[test]
     fn park_wakeup() {
         wakeup_smoke(WaitStrategy::Park);
+    }
+
+    #[test]
+    fn futex_wakeup() {
+        wakeup_smoke(WaitStrategy::Futex);
+    }
+
+    #[test]
+    fn futex_seq_roundtrip() {
+        let q = Arc::new(FutexSeq::new());
+        let hits = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let q = Arc::clone(&q);
+            let hits = Arc::clone(&hits);
+            handles.push(thread::spawn(move || {
+                let t = q.ticket();
+                while !q.wait(t, Some(Duration::from_millis(50))) {}
+                hits.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        thread::sleep(Duration::from_millis(20));
+        q.notify_all();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn futex_seq_notify_before_wait_not_lost() {
+        let q = FutexSeq::new();
+        let t = q.ticket();
+        q.notify_all();
+        assert!(q.wait(t, None), "sequence already moved");
     }
 
     #[test]

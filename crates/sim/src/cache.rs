@@ -38,7 +38,7 @@ pub enum Access {
 impl WriteThroughCache {
     /// A cache of `total_bytes` with `line_bytes` lines.
     pub fn new(total_bytes: u64, line_bytes: u64) -> Self {
-        assert!(line_bytes.is_power_of_two() && total_bytes % line_bytes == 0);
+        assert!(line_bytes.is_power_of_two() && total_bytes.is_multiple_of(line_bytes));
         Self {
             line_bytes,
             lines: vec![None; (total_bytes / line_bytes) as usize],

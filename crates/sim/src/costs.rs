@@ -196,8 +196,8 @@ mod tests {
         // paper's ~687 KB/s.
         let c = model();
         let len = 1024usize;
-        let cycles = c.recv_setup + c.copy_cpu_cycles(len) + c.crit_recv + c.crit_reclaim
-            + 4 * c.lock_rmw;
+        let cycles =
+            c.recv_setup + c.copy_cpu_cycles(len) + c.crit_recv + c.crit_reclaim + 4 * c.lock_rmw;
         let throughput = len as f64 / (cycles as f64 / 10_000_000.0);
         assert!(
             (40_000.0..120_000.0).contains(&throughput),

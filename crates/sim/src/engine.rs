@@ -328,7 +328,8 @@ impl Engine {
             let held = now.saturating_sub(self.locks[lock].acquired_at);
             let polls = held / self.costs.spin_poll_interval;
             if polls > 0 {
-                self.bus.occupy(now, waiters * polls * self.costs.spin_poll_bus);
+                self.bus
+                    .occupy(now, waiters * polls * self.costs.spin_poll_bus);
             }
         }
         if let Some((next, ready_at)) = self.locks[lock].queue.pop_front() {

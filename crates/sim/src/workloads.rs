@@ -12,8 +12,7 @@
 //!   destination process … Each time a process executes a message_send(),
 //!   it then receives all messages that are queued in its LNVC" (Figure 6).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mpf_shm::SmallRng;
 
 use crate::costs::CostModel;
 use crate::driver::{Driver, DriverOp, OpResult, RecvKind};
@@ -95,7 +94,7 @@ struct RandomDriver {
     len: usize,
     remaining: u64,
     draining: bool,
-    rng: StdRng,
+    rng: SmallRng,
 }
 
 impl Driver for RandomDriver {
@@ -231,7 +230,7 @@ pub fn run_random(
             len,
             remaining: msgs_per_proc,
             draining: false,
-            rng: StdRng::seed_from_u64(seed ^ (me as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            rng: SmallRng::seed_from_u64(seed ^ (me as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
         }));
     }
     e.run()

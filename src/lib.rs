@@ -5,6 +5,7 @@
 
 pub use mpf;
 pub use mpf_apps as apps;
+pub use mpf_ipc as ipc;
 pub use mpf_proto as proto;
 pub use mpf_shm as shm;
 pub use mpf_sim as sim;

@@ -144,14 +144,12 @@ fn join_leave_churn_keeps_region_consistent() {
         let mpf_ref = &mpf;
         let delivered_ref = &delivered;
         let rx = persistent_rx;
-        s.spawn(move || {
-            loop {
-                let msg = rx.recv_vec().expect("recv");
-                if msg.is_empty() {
-                    break;
-                }
-                delivered_ref.fetch_add(1, Ordering::Relaxed);
+        s.spawn(move || loop {
+            let msg = rx.recv_vec().expect("recv");
+            if msg.is_empty() {
+                break;
             }
+            delivered_ref.fetch_add(1, Ordering::Relaxed);
         });
         // Senders and broadcast observers come and go.
         for wave in 0..4 {

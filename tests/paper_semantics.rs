@@ -27,7 +27,10 @@ fn sender_close_before_any_receiver_loses_the_messages() {
     let rx = mpf
         .open_receive(p(1), "fire-and-forget", Protocol::Fcfs)
         .unwrap();
-    assert!(!mpf.check_receive(p(1), rx).unwrap(), "message was discarded");
+    assert!(
+        !mpf.check_receive(p(1), rx).unwrap(),
+        "message was discarded"
+    );
 }
 
 /// §3.2, the same sentence's flip side: a receiver connected *before* the
@@ -88,7 +91,9 @@ fn check_receive_is_a_guarantee_for_broadcast() {
 fn broadcast_total_order_and_fcfs_suborder_coexist() {
     let mpf = facility();
     let tx = mpf.open_send(p(0), "order").unwrap();
-    let bc = mpf.open_receive(p(1), "order", Protocol::Broadcast).unwrap();
+    let bc = mpf
+        .open_receive(p(1), "order", Protocol::Broadcast)
+        .unwrap();
     let f1 = mpf.open_receive(p(2), "order", Protocol::Fcfs).unwrap();
     let f2 = mpf.open_receive(p(3), "order", Protocol::Fcfs).unwrap();
     for i in 0..10u8 {
@@ -162,7 +167,10 @@ fn broadcast_only_messages_are_not_kept_for_late_fcfs_receivers() {
         "the broadcast-only message is not owed to the late FCFS receiver"
     );
     // …while the broadcast receiver still gets it.
-    assert_eq!(mpf.message_receive_vec(p(1), bc).unwrap(), b"spoken to the room");
+    assert_eq!(
+        mpf.message_receive_vec(p(1), bc).unwrap(),
+        b"spoken to the room"
+    );
     // Messages sent from now on (with an FCFS receiver connected) are owed.
     mpf.message_send(p(0), tx, b"task").unwrap();
     assert_eq!(mpf.message_receive_vec(p(2), late).unwrap(), b"task");

@@ -4,8 +4,7 @@
 //! header, and descriptor to the free lists.
 
 use mpf::{Mpf, MpfConfig, MpfError, ProcessId, Protocol};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mpf_shm::SmallRng;
 
 fn p(i: usize) -> ProcessId {
     ProcessId::from_index(i)
@@ -19,16 +18,16 @@ fn random_single_threaded_traffic_conserves_blocks() {
         .with_max_messages(256);
     let total = cfg.total_blocks;
     let mpf = Mpf::init(cfg).expect("init");
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = SmallRng::seed_from_u64(99);
 
     for round in 0..50 {
         let name = format!("conv:{}", round % 3);
         let tx = mpf.sender(p(0), &name).expect("tx");
         let rx1 = mpf.receiver(p(1), &name, Protocol::Fcfs).expect("rx1");
         let rx2 = mpf.receiver(p(2), &name, Protocol::Broadcast).expect("rx2");
-        let n_msgs = rng.gen_range(1..10);
+        let n_msgs = rng.gen_range(1..10usize);
         for _ in 0..n_msgs {
-            let len = rng.gen_range(0..200);
+            let len = rng.gen_range(0..200usize);
             tx.send(&vec![round as u8; len]).expect("send");
         }
         // Consume a random prefix, abandon the rest.
@@ -116,10 +115,10 @@ fn concurrent_traffic_conserves_after_join() {
                 let name = format!("lane:{t}");
                 let tx = mpf.sender(me, &name).expect("tx");
                 let rx = mpf.receiver(peer, &name, Protocol::Fcfs).expect("rx");
-                let mut rng = StdRng::seed_from_u64(t as u64);
+                let mut rng = SmallRng::seed_from_u64(t as u64);
                 let mut buf = [0u8; 512];
                 for _ in 0..200 {
-                    let len = rng.gen_range(0..400);
+                    let len = rng.gen_range(0..400usize);
                     tx.send(&vec![t as u8; len]).expect("send");
                     let n = rx.recv(&mut buf).expect("recv");
                     assert_eq!(n, len);

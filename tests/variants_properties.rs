@@ -1,23 +1,29 @@
 //! Property tests for the §5 restricted variants: the lock-free
 //! one-to-one channel and the synchronous rendezvous must deliver
-//! arbitrary message sequences byte-exactly and in order.
-
-use proptest::prelude::*;
+//! arbitrary message sequences byte-exactly and in order.  Cases are
+//! generated from fixed seeds (deterministic; the case index is in every
+//! assertion message for replay).
 
 use mpf::one2one::one2one;
 use mpf::sync_channel::Rendezvous;
+use mpf_shm::SmallRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+fn random_msg(rng: &mut SmallRng, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0..max_len);
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
 
-    /// One-to-one: any sequence of variable-length messages survives the
-    /// framing and ring wraparound, in order, byte-exact (single thread:
-    /// interleaved send/recv with bounded occupancy).
-    #[test]
-    fn one2one_interleaved_roundtrip(
-        msgs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..100), 1..60),
-        drain_every in 1usize..5,
-    ) {
+/// One-to-one: any sequence of variable-length messages survives the
+/// framing and ring wraparound, in order, byte-exact (single thread:
+/// interleaved send/recv with bounded occupancy).
+#[test]
+fn one2one_interleaved_roundtrip() {
+    for case in 0..48u64 {
+        let mut rng = SmallRng::seed_from_u64(0x121_0000 + case);
+        let n_msgs = rng.gen_range(1..60usize);
+        let msgs: Vec<Vec<u8>> = (0..n_msgs).map(|_| random_msg(&mut rng, 100)).collect();
+        let drain_every = rng.gen_range(1..5usize);
+
         let (mut tx, mut rx) = one2one(1024);
         let mut pending: std::collections::VecDeque<Vec<u8>> = Default::default();
         let mut buf = [0u8; 128];
@@ -25,32 +31,38 @@ proptest! {
             // Send with backpressure: drain when the ring refuses.
             while !tx.try_send(msg).expect("size ok") {
                 let expected = pending.pop_front().expect("ring full implies pending");
-                let n = rx.try_recv(&mut buf).expect("recv")
+                let n = rx
+                    .try_recv(&mut buf)
+                    .expect("recv")
                     .expect("model says a message is queued");
-                prop_assert_eq!(&buf[..n], &expected[..]);
+                assert_eq!(&buf[..n], &expected[..], "case {case} msg {i}");
             }
             pending.push_back(msg.clone());
             if i % drain_every == 0 {
                 if let Some(expected) = pending.pop_front() {
                     let n = rx.try_recv(&mut buf).expect("recv").expect("queued");
-                    prop_assert_eq!(&buf[..n], &expected[..]);
+                    assert_eq!(&buf[..n], &expected[..], "case {case} msg {i}");
                 }
             }
         }
         while let Some(expected) = pending.pop_front() {
             let n = rx.try_recv(&mut buf).expect("recv").expect("queued");
-            prop_assert_eq!(&buf[..n], &expected[..]);
+            assert_eq!(&buf[..n], &expected[..], "case {case} drain");
         }
-        prop_assert_eq!(rx.try_recv(&mut buf).expect("recv"), None);
+        assert_eq!(rx.try_recv(&mut buf).expect("recv"), None, "case {case}");
     }
+}
 
-    /// Rendezvous: a cross-thread stream of arbitrary messages arrives
-    /// complete, in order, byte-exact — synchronous semantics make the
-    /// interleaving deterministic per message.
-    #[test]
-    fn rendezvous_stream_roundtrip(
-        msgs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..20),
-    ) {
+/// Rendezvous: a cross-thread stream of arbitrary messages arrives
+/// complete, in order, byte-exact — synchronous semantics make the
+/// interleaving deterministic per message.
+#[test]
+fn rendezvous_stream_roundtrip() {
+    for case in 0..24u64 {
+        let mut rng = SmallRng::seed_from_u64(0x5E4D_0000 + case);
+        let n_msgs = rng.gen_range(1..20usize);
+        let msgs: Vec<Vec<u8>> = (0..n_msgs).map(|_| random_msg(&mut rng, 64)).collect();
+
         let r = Rendezvous::default();
         let sent = msgs.clone();
         std::thread::scope(|s| {
@@ -62,25 +74,32 @@ proptest! {
             let mut buf = [0u8; 64];
             for m in &msgs {
                 let n = r.recv(&mut buf).expect("recv");
-                assert_eq!(&buf[..n], &m[..]);
+                assert_eq!(&buf[..n], &m[..], "case {case}");
             }
         });
     }
+}
 
-    /// The facility's scatter/gather across 10-byte blocks is identity for
-    /// arbitrary payloads (full-stack: send through a real conversation).
-    #[test]
-    fn lnvc_payload_roundtrip(payload in proptest::collection::vec(any::<u8>(), 0..600)) {
-        use mpf::{Mpf, MpfConfig, ProcessId, Protocol};
+/// The facility's scatter/gather across 10-byte blocks is identity for
+/// arbitrary payloads (full-stack: send through a real conversation).
+#[test]
+fn lnvc_payload_roundtrip() {
+    use mpf::{Mpf, MpfConfig, ProcessId, Protocol};
+    for case in 0..48u64 {
+        let mut rng = SmallRng::seed_from_u64(0x14C_0000 + case);
+        let payload = random_msg(&mut rng, 600);
         let mpf = Mpf::init(
-            MpfConfig::new(2, 2).with_block_payload(10).with_total_blocks(256),
-        ).expect("init");
+            MpfConfig::new(2, 2)
+                .with_block_payload(10)
+                .with_total_blocks(256),
+        )
+        .expect("init");
         let p0 = ProcessId::from_index(0);
         let tx = mpf.sender(p0, "prop").expect("tx");
         let rx = mpf.receiver(p0, "prop", Protocol::Fcfs).expect("rx");
         tx.send(&payload).expect("send");
         let got = rx.recv_vec().expect("recv");
-        prop_assert_eq!(got, payload);
-        prop_assert_eq!(mpf.free_blocks(), 256);
+        assert_eq!(got, payload, "case {case}");
+        assert_eq!(mpf.free_blocks(), 256, "case {case}");
     }
 }
