@@ -1,0 +1,471 @@
+//! The cooperative scheduler: runs N logical processes on N OS threads but
+//! lets exactly one make progress at a time, switching only at the
+//! instrumented sync points exported by `mpf_shm::hooks`.
+//!
+//! # Model
+//!
+//! Each logical process is an OS thread with a [`Binding`] installed as its
+//! thread-local [`SyncHook`].  The controller hands a single run token
+//! around: a thread executes until its next hook call, where the binding
+//! reports its state (still runnable, blocked on a lock, blocked on a wait
+//! queue) and the active [`Sched`] strategy picks who runs next.  Because
+//! every racy primitive in the facility funnels through the hook layer,
+//! permuting these decisions permutes every interleaving that matters,
+//! and the same decision sequence always reproduces the same execution.
+//!
+//! Blocking is modeled, not performed: a hooked lock acquire that fails
+//! `try_lock` parks the logical process in the controller until the
+//! holder's release hook fires, and a hooked wait parks until a notify on
+//! one of its queues — no OS-level spinning or futex waits, so a schedule
+//! in which the "wrong" process runs first costs microseconds, not
+//! timeouts.
+//!
+//! # Failure detection
+//!
+//! * **Deadlock** — a process blocks (or finishes) and no process is
+//!   runnable while some are still blocked.
+//! * **Step limit** — more scheduling decisions than `max_steps`: a
+//!   livelock or unbounded retry loop.
+//! * **Panic** — a process panics (assertion failure in scenario code or
+//!   in the facility itself).
+//!
+//! Any of these aborts the schedule: every parked thread is woken and torn
+//! down by unwinding with a private [`Aborted`] payload.  While a thread is
+//! unwinding, its hooks degrade to free-running (plain `try_lock` spins, no
+//! controller interaction) so drop glue that takes locks cannot wedge the
+//! teardown.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::rc::Rc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use mpf_shm::hooks::{self, SyncEvent, SyncHook};
+
+use crate::sched::Sched;
+
+/// Why a schedule failed.  Carried in [`crate::Failure`] together with the
+/// schedule id that reproduces it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A logical process panicked.
+    Panic {
+        /// Index of the process in the case's `procs` vector.
+        thread: usize,
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// No process runnable, some still blocked.
+    Deadlock {
+        /// The blocked process indices.
+        blocked: Vec<usize>,
+    },
+    /// The schedule exceeded the decision budget (livelock guard).
+    StepLimit,
+    /// The case's `check` closure rejected the final state.
+    CheckFailed(String),
+    /// A replayed schedule prefix diverged from its recording.
+    Nondeterminism(String),
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureKind::Panic { thread, message } => {
+                write!(f, "process {thread} panicked: {message}")
+            }
+            FailureKind::Deadlock { blocked } => {
+                write!(f, "deadlock: processes {blocked:?} blocked, none runnable")
+            }
+            FailureKind::StepLimit => write!(f, "step limit exceeded (livelock?)"),
+            FailureKind::CheckFailed(msg) => write!(f, "final-state check failed: {msg}"),
+            FailureKind::Nondeterminism(msg) => write!(f, "nondeterministic case: {msg}"),
+        }
+    }
+}
+
+/// Panic payload used to unwind a logical process when the schedule is
+/// torn down.  Not itself a failure; the real cause is already recorded.
+struct Aborted;
+
+/// Scheduling state of one logical process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Status {
+    /// Can be picked to run.
+    Runnable,
+    /// Waiting for the lock at this resource address to be released.
+    BlockedLock(usize),
+    /// Waiting for a notify on any of these wait-queue addresses.
+    BlockedWait(Vec<usize>),
+    /// Done (returned, or unwound after an abort).
+    Finished,
+}
+
+struct State {
+    /// Set by `launch` once all workers are spawned.
+    started: bool,
+    /// A failure was recorded; all parked threads must unwind.
+    aborted: bool,
+    /// Thread id currently holding the run token.
+    current: usize,
+    status: Vec<Status>,
+    /// Scheduling decisions taken so far.
+    steps: u64,
+    sched: Sched,
+    failure: Option<FailureKind>,
+}
+
+fn runnable_of(status: &[Status]) -> Vec<usize> {
+    status
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| **s == Status::Runnable)
+        .map(|(t, _)| t)
+        .collect()
+}
+
+fn blocked_of(status: &[Status]) -> Vec<usize> {
+    status
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| matches!(s, Status::BlockedLock(_) | Status::BlockedWait(_)))
+        .map(|(t, _)| t)
+        .collect()
+}
+
+/// Suppresses the default panic printout for the harness's own [`Aborted`]
+/// unwinds, which would otherwise spam one "thread panicked" banner per
+/// parked process per failing schedule.  Real panics still print.
+fn silence_aborted_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<Aborted>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Runs one case under one schedule.  See the module docs for the model.
+pub(crate) struct Controller {
+    state: Mutex<State>,
+    cv: Condvar,
+    /// Treat pool alloc/free events as preemption points too (finer
+    /// interleavings, much larger schedule tree).
+    preempt_events: bool,
+    max_steps: u64,
+}
+
+impl Controller {
+    pub fn new(n: usize, sched: Sched, preempt_events: bool, max_steps: u64) -> Arc<Self> {
+        assert!(n > 0, "a case needs at least one process");
+        Arc::new(Self {
+            state: Mutex::new(State {
+                started: false,
+                aborted: false,
+                current: usize::MAX,
+                status: vec![Status::Runnable; n],
+                steps: 0,
+                sched,
+                failure: None,
+            }),
+            cv: Condvar::new(),
+            preempt_events,
+            max_steps,
+        })
+    }
+
+    /// Runs `procs` to completion (or failure) under this controller's
+    /// schedule.  Returns the failure, if any, and the number of decisions
+    /// taken.
+    pub fn run(
+        self: &Arc<Self>,
+        procs: Vec<Box<dyn FnOnce() + Send>>,
+    ) -> (Option<FailureKind>, u64) {
+        silence_aborted_panics();
+        std::thread::scope(|scope| {
+            for (tid, proc) in procs.into_iter().enumerate() {
+                let ctrl = Arc::clone(self);
+                scope.spawn(move || ctrl.worker(tid, proc));
+            }
+            self.launch();
+        });
+        let st = self.lock_state();
+        (st.failure.clone(), st.steps)
+    }
+
+    /// Recovers the schedule strategy (with its recorded decisions) after
+    /// [`Self::run`] returned and all workers are joined.
+    pub fn into_sched(self: Arc<Self>) -> Sched {
+        let ctrl = Arc::try_unwrap(self)
+            .ok()
+            .expect("workers joined, no other controller refs remain");
+        ctrl.state
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+            .sched
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, State> {
+        // The state mutex is never held across a panic (every unwind drops
+        // the guard first), but stay deliberate about poisoning anyway.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn worker(self: Arc<Self>, tid: usize, proc: Box<dyn FnOnce() + Send>) {
+        let binding: Rc<dyn SyncHook> = Rc::new(Binding {
+            ctrl: Arc::clone(&self),
+            tid,
+        });
+        let _guard = hooks::install(binding);
+        match panic::catch_unwind(AssertUnwindSafe(|| {
+            self.first_wait(tid);
+            proc();
+        })) {
+            Ok(()) => self.finish(tid),
+            Err(payload) => {
+                if payload.downcast_ref::<Aborted>().is_some() {
+                    // Harness-initiated teardown; cause already recorded.
+                    self.finish_after_abort(tid);
+                } else {
+                    let message = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".into());
+                    self.abort(
+                        tid,
+                        FailureKind::Panic {
+                            thread: tid,
+                            message,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Parks a freshly spawned worker until the launch decision picks it.
+    fn first_wait(&self, tid: usize) {
+        let mut st = self.lock_state();
+        while !(st.aborted || st.started && st.current == tid) {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        if st.aborted {
+            drop(st);
+            panic::panic_any(Aborted);
+        }
+    }
+
+    /// Takes the first scheduling decision once every worker is spawned.
+    fn launch(&self) {
+        let mut st = self.lock_state();
+        st.started = true;
+        let runnable = runnable_of(&st.status);
+        st.current = st.sched.choose(&runnable);
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// The heart of the model: the calling process (which holds the run
+    /// token) records its new status, the strategy picks the next process,
+    /// and the caller parks until it is scheduled again.  Unwinds with
+    /// [`Aborted`] on abort, step-limit, or deadlock.
+    fn deschedule(&self, tid: usize, status: Status) {
+        let mut st = self.lock_state();
+        if st.aborted {
+            drop(st);
+            panic::panic_any(Aborted);
+        }
+        debug_assert_eq!(st.current, tid, "only the scheduled process may act");
+        st.steps += 1;
+        if st.steps > self.max_steps {
+            st.failure.get_or_insert(FailureKind::StepLimit);
+            self.abort_locked(st);
+        }
+        st.status[tid] = status;
+        let runnable = runnable_of(&st.status);
+        if runnable.is_empty() {
+            // The caller just blocked and nobody can make progress.
+            let blocked = blocked_of(&st.status);
+            st.failure.get_or_insert(FailureKind::Deadlock { blocked });
+            self.abort_locked(st);
+        }
+        st.current = st.sched.choose(&runnable);
+        self.cv.notify_all();
+        while !(st.aborted || st.current == tid && st.status[tid] == Status::Runnable) {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        if st.aborted {
+            drop(st);
+            panic::panic_any(Aborted);
+        }
+    }
+
+    /// Records the failure already stored in `st`, wakes every parked
+    /// process, and unwinds the caller.  Never returns.
+    fn abort_locked(&self, mut st: MutexGuard<'_, State>) -> ! {
+        st.aborted = true;
+        drop(st);
+        self.cv.notify_all();
+        panic::panic_any(Aborted);
+    }
+
+    /// Marks processes blocked on the lock at `res` runnable again.
+    fn wake_lock_waiters(&self, res: usize) {
+        let mut st = self.lock_state();
+        if st.aborted {
+            drop(st);
+            panic::panic_any(Aborted);
+        }
+        for s in st.status.iter_mut() {
+            if *s == Status::BlockedLock(res) {
+                *s = Status::Runnable;
+            }
+        }
+    }
+
+    /// Marks processes waiting on the queue at `res` runnable again; they
+    /// re-check their `ready` predicates once scheduled.
+    fn wake_wait_waiters(&self, res: usize) {
+        let mut st = self.lock_state();
+        if st.aborted {
+            drop(st);
+            panic::panic_any(Aborted);
+        }
+        for s in st.status.iter_mut() {
+            if matches!(s, Status::BlockedWait(rs) if rs.contains(&res)) {
+                *s = Status::Runnable;
+            }
+        }
+    }
+
+    /// Normal completion of a process: hand the token to whoever is next,
+    /// or detect termination / deadlock.
+    fn finish(&self, tid: usize) {
+        let mut st = self.lock_state();
+        st.status[tid] = Status::Finished;
+        if st.aborted || st.status.iter().all(|s| *s == Status::Finished) {
+            drop(st);
+            self.cv.notify_all();
+            return;
+        }
+        let runnable = runnable_of(&st.status);
+        if runnable.is_empty() {
+            let blocked = blocked_of(&st.status);
+            st.failure.get_or_insert(FailureKind::Deadlock { blocked });
+            st.aborted = true;
+        } else {
+            st.current = st.sched.choose(&runnable);
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Completion of a process that unwound with [`Aborted`]: just record
+    /// it so `run` can join everyone.
+    fn finish_after_abort(&self, tid: usize) {
+        let mut st = self.lock_state();
+        st.status[tid] = Status::Finished;
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// A process failed for real: record the cause and tear everything
+    /// down.
+    fn abort(&self, tid: usize, failure: FailureKind) {
+        let mut st = self.lock_state();
+        st.status[tid] = Status::Finished;
+        st.failure.get_or_insert(failure);
+        st.aborted = true;
+        drop(st);
+        self.cv.notify_all();
+    }
+}
+
+/// The per-thread [`SyncHook`] connecting a logical process to its
+/// controller.
+///
+/// Every method first checks [`std::thread::panicking`]: while the thread
+/// is unwinding (either from a real failure or from the harness's
+/// [`Aborted`] teardown) the hooks degrade to free-running — locks spin on
+/// `try_lock`, waits return immediately (a legal spurious wakeup), release
+/// and notify do nothing — so drop glue inside the facility can never
+/// re-enter the (now aborted) scheduler and wedge the teardown.
+struct Binding {
+    ctrl: Arc<Controller>,
+    tid: usize,
+}
+
+impl SyncHook for Binding {
+    fn yield_point(&self, _ev: SyncEvent) {
+        if std::thread::panicking() {
+            return;
+        }
+        if self.ctrl.preempt_events {
+            self.ctrl.deschedule(self.tid, Status::Runnable);
+        }
+    }
+
+    fn lock_acquire(&self, resource: usize, try_lock: &mut dyn FnMut() -> bool) {
+        if std::thread::panicking() {
+            // Free-running teardown: the holder is unwinding too and will
+            // release through its guard drops.
+            while !try_lock() {
+                std::thread::yield_now();
+            }
+            return;
+        }
+        loop {
+            // Acquiring is a preemption point: another process may run (and
+            // even take this lock) first.
+            self.ctrl.deschedule(self.tid, Status::Runnable);
+            if try_lock() {
+                return;
+            }
+            // Park until the holder's release hook marks us runnable, then
+            // retry — the release order is itself a scheduling decision.
+            self.ctrl
+                .deschedule(self.tid, Status::BlockedLock(resource));
+        }
+    }
+
+    fn lock_release(&self, resource: usize) {
+        if std::thread::panicking() {
+            return;
+        }
+        self.ctrl.wake_lock_waiters(resource);
+        self.ctrl.deschedule(self.tid, Status::Runnable);
+    }
+
+    fn wait(&self, resource: usize, ready: &mut dyn FnMut() -> bool) {
+        if std::thread::panicking() {
+            return;
+        }
+        // Execution is serialized, so nothing can fire the condition
+        // between this check and parking: no lost wakeups by construction.
+        while !ready() {
+            self.ctrl
+                .deschedule(self.tid, Status::BlockedWait(vec![resource]));
+        }
+    }
+
+    fn wait_multi(&self, resources: &[usize], ready: &mut dyn FnMut() -> bool) {
+        if std::thread::panicking() {
+            return;
+        }
+        while !ready() {
+            self.ctrl
+                .deschedule(self.tid, Status::BlockedWait(resources.to_vec()));
+        }
+    }
+
+    fn notify(&self, resource: usize) {
+        if std::thread::panicking() {
+            return;
+        }
+        self.ctrl.wake_wait_waiters(resource);
+        self.ctrl.deschedule(self.tid, Status::Runnable);
+    }
+}

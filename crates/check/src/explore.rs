@@ -1,0 +1,273 @@
+//! Exploration drivers: enumerate or sample schedules for a [`Case`] and
+//! report the first failing one with enough information to replay it.
+
+use crate::controller::Controller;
+pub use crate::controller::FailureKind;
+use crate::sched::{advance, DfsSched, RandomSched, ReplaySched, Sched};
+
+/// One concurrency scenario: `procs` are the logical processes raced under
+/// the scheduler; `check` inspects the final state once every process has
+/// finished (it runs unhooked, on the exploring thread).
+///
+/// The factory passed to the explorers builds a *fresh* case per schedule —
+/// shared state (the `Mpf` instance, result cells) is typically carried in
+/// `Arc`s cloned into the closures.
+pub struct Case {
+    /// The logical processes to race.  Index in this vector is the process
+    /// id that appears in failures and schedules.
+    pub procs: Vec<Box<dyn FnOnce() + Send>>,
+    /// Final-state predicate, e.g. `Mpf::check_invariants` plus
+    /// scenario-specific assertions.  An `Err` fails the schedule.
+    pub check: Box<dyn FnOnce() -> Result<(), String>>,
+}
+
+/// Identifies one schedule so a failure can be re-run exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleId {
+    /// A DFS schedule: the chosen index at each decision point.  Replay
+    /// with [`replay_choices`].
+    Choices(Vec<usize>),
+    /// A random schedule: the PCT seed.  Replay with [`replay_seed`].
+    Seed(u64),
+}
+
+/// A failing schedule: what went wrong and how to run it again.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// What went wrong.
+    pub kind: FailureKind,
+    /// The schedule that produced it.
+    pub schedule: ScheduleId,
+}
+
+impl Failure {
+    /// Human instructions for reproducing this exact schedule.
+    pub fn replay_hint(&self) -> String {
+        match &self.schedule {
+            ScheduleId::Choices(c) => {
+                format!("replay_choices(&opts, &{c:?}, make)")
+            }
+            ScheduleId::Seed(s) => format!("replay_seed(&opts, {s}, make)"),
+        }
+    }
+}
+
+/// Outcome of an exploration run.
+#[derive(Debug)]
+pub struct Report {
+    /// The case name (for messages).
+    pub name: String,
+    /// Schedules actually executed.
+    pub schedules: usize,
+    /// `true` if DFS enumerated the whole bounded tree (random exploration
+    /// never sets this).
+    pub exhausted: bool,
+    /// The first failing schedule, if any.
+    pub failure: Option<Failure>,
+}
+
+impl Report {
+    /// Panics with a replayable description if any schedule failed.
+    pub fn assert_ok(&self) {
+        if let Some(f) = &self.failure {
+            panic!(
+                "mpf-check case '{}' failed on schedule {} of {}: {}\n  schedule: {:?}\n  replay:   {}",
+                self.name,
+                self.schedules,
+                self.schedules,
+                f.kind,
+                f.schedule,
+                f.replay_hint()
+            );
+        }
+    }
+}
+
+/// Knobs for an exploration run.
+#[derive(Debug, Clone)]
+pub struct ExploreOpts {
+    /// Case name, used in reports.
+    pub name: String,
+    /// Base schedule budget; scaled by `MPF_CHECK_SCHEDULE_SCALE`.
+    pub max_schedules: usize,
+    /// Per-schedule decision budget (livelock guard).
+    pub max_steps: u64,
+    /// Also preempt at pool alloc/free events (finer-grained, much larger
+    /// tree).  Off by default: lock and wait-queue boundaries already
+    /// order every state transition in the facility.
+    pub preempt_events: bool,
+}
+
+impl ExploreOpts {
+    /// Defaults: 256 schedules (pre-scaling), 100k decisions per schedule,
+    /// coarse preemption.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            max_schedules: 256,
+            max_steps: 100_000,
+            preempt_events: false,
+        }
+    }
+
+    /// Sets the base schedule budget.
+    pub fn max_schedules(mut self, n: usize) -> Self {
+        self.max_schedules = n;
+        self
+    }
+
+    /// Sets the per-schedule decision budget.
+    pub fn max_steps(mut self, n: u64) -> Self {
+        self.max_steps = n;
+        self
+    }
+
+    /// Enables preemption at pool alloc/free events.
+    pub fn preempt_events(mut self, on: bool) -> Self {
+        self.preempt_events = on;
+        self
+    }
+
+    /// The effective schedule budget: `max_schedules` times the
+    /// `MPF_CHECK_SCHEDULE_SCALE` environment variable (a float, default
+    /// 1.0).  CI sets a small scale on pull requests and a large one on
+    /// the nightly run.
+    pub fn budget(&self) -> usize {
+        let scale = std::env::var("MPF_CHECK_SCHEDULE_SCALE")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .filter(|s| *s > 0.0)
+            .unwrap_or(1.0);
+        ((self.max_schedules as f64 * scale).ceil() as usize).max(1)
+    }
+}
+
+/// Runs one schedule of a freshly built case under `sched`.  Returns the
+/// failure (if any) and the strategy (with recorded decisions) back.
+fn run_once(opts: &ExploreOpts, sched: Sched, case: Case) -> (Option<FailureKind>, Sched) {
+    let Case { procs, check } = case;
+    let ctrl = Controller::new(procs.len(), sched, opts.preempt_events, opts.max_steps);
+    let (mut failure, _steps) = ctrl.run(procs);
+    if failure.is_none() {
+        failure = check().err().map(FailureKind::CheckFailed);
+    }
+    (failure, ctrl.into_sched())
+}
+
+/// Bounded exhaustive depth-first exploration.
+///
+/// Enumerates distinct interleavings by advancing the deepest scheduling
+/// decision with an untried option between runs, up to the schedule
+/// budget.  `exhausted` in the report tells you whether the whole tree fit
+/// inside the budget.
+pub fn explore_dfs(opts: &ExploreOpts, mut make: impl FnMut() -> Case) -> Report {
+    let budget = opts.budget();
+    let mut frames = Vec::new();
+    let mut schedules = 0usize;
+    loop {
+        let sched = Sched::Dfs(DfsSched::with_prefix(std::mem::take(&mut frames)));
+        let (failure, sched) = run_once(opts, sched, make());
+        let Sched::Dfs(dfs) = sched else {
+            unreachable!()
+        };
+        frames = dfs.frames;
+        schedules += 1;
+        let schedule_id = || ScheduleId::Choices(frames.iter().map(|f| f.chosen).collect());
+        if let Some(m) = dfs.mismatch {
+            return Report {
+                name: opts.name.clone(),
+                schedules,
+                exhausted: false,
+                failure: Some(Failure {
+                    kind: FailureKind::Nondeterminism(m),
+                    schedule: schedule_id(),
+                }),
+            };
+        }
+        if let Some(kind) = failure {
+            return Report {
+                name: opts.name.clone(),
+                schedules,
+                exhausted: false,
+                failure: Some(Failure {
+                    kind,
+                    schedule: schedule_id(),
+                }),
+            };
+        }
+        if !advance(&mut frames) {
+            return Report {
+                name: opts.name.clone(),
+                schedules,
+                exhausted: true,
+                failure: None,
+            };
+        }
+        if schedules >= budget {
+            return Report {
+                name: opts.name.clone(),
+                schedules,
+                exhausted: false,
+                failure: None,
+            };
+        }
+    }
+}
+
+/// Seeded random-priority exploration: runs the budgeted number of
+/// schedules with seeds `base_seed`, `base_seed + 1`, ….  Any failure is
+/// reported with the exact seed, so `replay_seed` reproduces it.
+pub fn explore_random(
+    opts: &ExploreOpts,
+    base_seed: u64,
+    mut make: impl FnMut() -> Case,
+) -> Report {
+    let budget = opts.budget();
+    for i in 0..budget {
+        let seed = base_seed.wrapping_add(i as u64);
+        let case = make();
+        let n = case.procs.len();
+        let sched = Sched::Random(RandomSched::new(seed, n));
+        let (failure, _) = run_once(opts, sched, case);
+        if let Some(kind) = failure {
+            return Report {
+                name: opts.name.clone(),
+                schedules: i + 1,
+                exhausted: false,
+                failure: Some(Failure {
+                    kind,
+                    schedule: ScheduleId::Seed(seed),
+                }),
+            };
+        }
+    }
+    Report {
+        name: opts.name.clone(),
+        schedules: budget,
+        exhausted: false,
+        failure: None,
+    }
+}
+
+/// Re-runs the single random schedule identified by `seed`.
+pub fn replay_seed(
+    opts: &ExploreOpts,
+    seed: u64,
+    make: impl FnOnce() -> Case,
+) -> Option<FailureKind> {
+    let case = make();
+    let n = case.procs.len();
+    let (failure, _) = run_once(opts, Sched::Random(RandomSched::new(seed, n)), case);
+    failure
+}
+
+/// Re-runs the single DFS schedule identified by its choice list.
+pub fn replay_choices(
+    opts: &ExploreOpts,
+    choices: &[usize],
+    make: impl FnOnce() -> Case,
+) -> Option<FailureKind> {
+    let sched = Sched::Replay(ReplaySched::new(choices.to_vec()));
+    let (failure, _) = run_once(opts, sched, make());
+    failure
+}

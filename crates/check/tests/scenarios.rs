@@ -1,0 +1,407 @@
+//! Schedule-exploration scenarios for the in-process facility (`Mpf`).
+//!
+//! Each scenario builds a fresh facility per schedule, races a small set of
+//! logical processes through a known-racy path, and checks the final state
+//! with [`Mpf::check_invariants`] plus scenario-specific conservation
+//! assertions.  Failures print a replayable schedule id (a DFS choice list
+//! or a PCT seed).
+//!
+//! Budgets are sized so that the suite explores well over a thousand
+//! distinct schedules at the default `MPF_CHECK_SCHEDULE_SCALE=1`; the
+//! nightly CI run raises the scale for a deeper sweep.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use mpf::{ExhaustPolicy, Mpf, MpfConfig, ProcessId, Protocol};
+use mpf_check::{explore_dfs, explore_random, Case, ExploreOpts};
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::from_index(i)
+}
+
+type Proc = Box<dyn FnOnce() + Send>;
+
+/// The headline regression: a sender races the departure of the last FCFS
+/// receiver while a BROADCAST receiver keeps the conversation alive.
+///
+/// Before the obligation re-evaluation fix in `close_receive`, any schedule
+/// in which a send enqueued while the FCFS receiver was still connected and
+/// the FCFS receiver then closed left the message permanently owed to a
+/// receiver class with no members: the broadcast receiver read it, but it
+/// could never be reclaimed, and the blocks stayed pinned until the
+/// conversation died.  The invariant audit reports exactly that.  Recorded
+/// against this tree with the `clear_fcfs_obligations` branch in
+/// `close_receive` reverted:
+///
+/// ```text
+/// mpf-check case 'fcfs-obligation-leak' failed on schedule 1 of 1:
+///   final-state check failed: LNVC 'leak' (slot 0): message 0 (stamp 0)
+///   awaits an FCFS delivery but no FCFS receiver is connected and
+///   broadcast receivers keep the LNVC alive
+///   schedule: Choices([0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+///                      0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0])
+///   replay:   replay_choices(&opts, &[0, 0, ...], make)
+/// mpf-check case 'fcfs-obligation-leak-pct' failed on schedule 2 of 2:
+///   ... schedule: Seed(20974)   replay: replay_seed(&opts, 20974, make)
+/// ```
+///
+/// The very first DFS schedule — the sender runs to completion, then the
+/// FCFS close, then the broadcast reads — already exhibits the bug, and
+/// PCT seed 20974 (base 0x51ED + 1) reproduces it independently.  With the
+/// fix, the full DFS tree and the seeded sweep pass; these tests keep both
+/// as regressions.
+fn leak_case() -> Case {
+    let cfg = MpfConfig::new(4, 4)
+        .with_total_blocks(64)
+        .with_block_payload(16)
+        .with_max_messages(16);
+    let total = cfg.total_blocks;
+    let mpf = Arc::new(Mpf::init(cfg).expect("init"));
+    let tx = mpf.open_send(p(0), "leak").expect("open_send");
+    let rf = mpf
+        .open_receive(p(1), "leak", Protocol::Fcfs)
+        .expect("open fcfs");
+    let rb = mpf
+        .open_receive(p(2), "leak", Protocol::Broadcast)
+        .expect("open bcast");
+
+    let sender = {
+        let mpf = Arc::clone(&mpf);
+        Box::new(move || {
+            mpf.message_send(p(0), tx, b"first").expect("send 1");
+            mpf.message_send(p(0), tx, b"second").expect("send 2");
+        }) as Proc
+    };
+    let fcfs_closer = {
+        let mpf = Arc::clone(&mpf);
+        Box::new(move || {
+            mpf.close_receive(p(1), rf).expect("close fcfs");
+        }) as Proc
+    };
+    let bcast_reader = {
+        let mpf = Arc::clone(&mpf);
+        Box::new(move || {
+            for _ in 0..2 {
+                mpf.message_receive_vec(p(2), rb).expect("bcast recv");
+            }
+        }) as Proc
+    };
+    Case {
+        procs: vec![sender, fcfs_closer, bcast_reader],
+        check: Box::new(move || {
+            mpf.check_invariants()?;
+            if mpf.free_blocks() != total {
+                return Err(format!(
+                    "blocks pinned after all messages were read: {} free of {}",
+                    mpf.free_blocks(),
+                    total
+                ));
+            }
+            Ok(())
+        }),
+    }
+}
+
+#[test]
+fn fcfs_obligation_leak_dfs() {
+    let opts = ExploreOpts::new("fcfs-obligation-leak").max_schedules(400);
+    let report = explore_dfs(&opts, leak_case);
+    report.assert_ok();
+    assert!(report.schedules >= 2, "{report:?}");
+}
+
+#[test]
+fn fcfs_obligation_leak_random() {
+    let opts = ExploreOpts::new("fcfs-obligation-leak-pct").max_schedules(600);
+    let report = explore_random(&opts, 0x51ED, leak_case);
+    report.assert_ok();
+    assert_eq!(report.schedules, opts.budget());
+}
+
+/// Two FCFS receivers race one pre-queued message: exactly one of them may
+/// get it, under every interleaving of the claim path.
+#[test]
+fn concurrent_fcfs_receivers_race_one_message() {
+    let make = || {
+        let cfg = MpfConfig::new(4, 4)
+            .with_total_blocks(32)
+            .with_max_messages(8);
+        let total = cfg.total_blocks;
+        let mpf = Arc::new(Mpf::init(cfg).expect("init"));
+        let tx = mpf.open_send(p(0), "race").expect("open_send");
+        let r1 = mpf
+            .open_receive(p(1), "race", Protocol::Fcfs)
+            .expect("open r1");
+        let r2 = mpf
+            .open_receive(p(2), "race", Protocol::Fcfs)
+            .expect("open r2");
+        mpf.message_send(p(0), tx, b"only").expect("seed send");
+        let got = Arc::new(AtomicUsize::new(0));
+        let receiver = |pid: usize, id| {
+            let (mpf, got) = (Arc::clone(&mpf), Arc::clone(&got));
+            Box::new(move || {
+                let mut buf = [0u8; 16];
+                if mpf
+                    .try_message_receive(p(pid), id, &mut buf)
+                    .expect("try_recv")
+                    .is_some()
+                {
+                    got.fetch_add(1, Ordering::Relaxed);
+                }
+            }) as Proc
+        };
+        let procs = vec![receiver(1, r1), receiver(2, r2)];
+        let got = Arc::clone(&got);
+        Case {
+            procs,
+            check: Box::new(move || {
+                mpf.check_invariants()?;
+                let n = got.load(Ordering::Relaxed);
+                if n != 1 {
+                    return Err(format!("FCFS message delivered {n} times, want exactly 1"));
+                }
+                if mpf.free_blocks() != total {
+                    return Err("blocks leaked after exactly-once delivery".into());
+                }
+                Ok(())
+            }),
+        }
+    };
+    let opts = ExploreOpts::new("fcfs-exactly-once").max_schedules(300);
+    explore_dfs(&opts, make).assert_ok();
+    explore_random(&opts, 0xACE, make).assert_ok();
+}
+
+/// One broadcast receiver closes with messages unread while its peer is
+/// still reading them: the departing receiver's claims must be released
+/// under every interleaving, and everything reclaimed once the reader is
+/// done.
+#[test]
+fn broadcast_close_with_unread_vs_concurrent_reads() {
+    let make = || {
+        let cfg = MpfConfig::new(4, 4)
+            .with_total_blocks(64)
+            .with_block_payload(16)
+            .with_max_messages(16);
+        let total = cfg.total_blocks;
+        let mpf = Arc::new(Mpf::init(cfg).expect("init"));
+        let tx = mpf.open_send(p(0), "bcast").expect("open_send");
+        let r1 = mpf
+            .open_receive(p(1), "bcast", Protocol::Broadcast)
+            .expect("open r1");
+        let r2 = mpf
+            .open_receive(p(2), "bcast", Protocol::Broadcast)
+            .expect("open r2");
+        for i in 0..3u8 {
+            mpf.message_send(p(0), tx, &[i; 24]).expect("seed send");
+        }
+        let reader = {
+            let mpf = Arc::clone(&mpf);
+            Box::new(move || {
+                for _ in 0..3 {
+                    mpf.message_receive_vec(p(1), r1).expect("recv");
+                }
+            }) as Proc
+        };
+        let closer = {
+            let mpf = Arc::clone(&mpf);
+            Box::new(move || {
+                mpf.close_receive(p(2), r2).expect("close");
+            }) as Proc
+        };
+        Case {
+            procs: vec![reader, closer],
+            check: Box::new(move || {
+                mpf.check_invariants()?;
+                if mpf.free_blocks() != total {
+                    return Err(format!(
+                        "unread-close left blocks pinned: {} free of {}",
+                        mpf.free_blocks(),
+                        total
+                    ));
+                }
+                Ok(())
+            }),
+        }
+    };
+    let opts = ExploreOpts::new("broadcast-unread-close").max_schedules(300);
+    explore_dfs(&opts, make).assert_ok();
+    explore_random(&opts, 0xBCA5, make).assert_ok();
+}
+
+/// Sends race the teardown of the whole conversation (both sides closing).
+/// Whatever interleaving runs, teardown must delete the LNVC and return
+/// every block — including backlog that was never received.
+#[test]
+fn send_races_delete() {
+    let make = || {
+        let cfg = MpfConfig::new(4, 4)
+            .with_total_blocks(32)
+            .with_max_messages(8);
+        let total = cfg.total_blocks;
+        let mpf = Arc::new(Mpf::init(cfg).expect("init"));
+        let tx = mpf.open_send(p(0), "doomed").expect("open_send");
+        let rx = mpf
+            .open_receive(p(1), "doomed", Protocol::Fcfs)
+            .expect("open recv");
+        let sender = {
+            let mpf = Arc::clone(&mpf);
+            Box::new(move || {
+                for i in 0..2u8 {
+                    mpf.message_send(p(0), tx, &[i; 8]).expect("send");
+                }
+                mpf.close_send(p(0), tx).expect("close_send");
+            }) as Proc
+        };
+        let receiver_closer = {
+            let mpf = Arc::clone(&mpf);
+            Box::new(move || {
+                let mut buf = [0u8; 16];
+                let _ = mpf.try_message_receive(p(1), rx, &mut buf).expect("try");
+                mpf.close_receive(p(1), rx).expect("close_receive");
+            }) as Proc
+        };
+        Case {
+            procs: vec![sender, receiver_closer],
+            check: Box::new(move || {
+                mpf.check_invariants()?;
+                if mpf.live_lnvcs() != 0 {
+                    return Err("conversation survived both sides closing".into());
+                }
+                if mpf.free_blocks() != total {
+                    return Err(format!(
+                        "teardown leaked blocks: {} free of {}",
+                        mpf.free_blocks(),
+                        total
+                    ));
+                }
+                Ok(())
+            }),
+        }
+    };
+    let opts = ExploreOpts::new("send-vs-delete").max_schedules(300);
+    explore_dfs(&opts, make).assert_ok();
+    explore_random(&opts, 0xDE1E7E, make).assert_ok();
+}
+
+/// Flow control in a tiny region: the sender must block on exhausted
+/// blocks and be woken by the receiver's frees — under every explored
+/// interleaving, with no lost wakeup (which the harness would report as a
+/// deadlock).
+#[test]
+fn flow_control_wakeups_under_pressure() {
+    let make = || {
+        let cfg = MpfConfig::new(2, 2)
+            .with_total_blocks(4)
+            .with_block_payload(16)
+            .with_max_messages(4)
+            .with_exhaust_policy(ExhaustPolicy::Wait);
+        let total = cfg.total_blocks;
+        let mpf = Arc::new(Mpf::init(cfg).expect("init"));
+        let tx = mpf.open_send(p(0), "pressure").expect("open_send");
+        let rx = mpf
+            .open_receive(p(1), "pressure", Protocol::Fcfs)
+            .expect("open recv");
+        let sender = {
+            let mpf = Arc::clone(&mpf);
+            Box::new(move || {
+                // Each message spans 2 of the 4 blocks: the third send can
+                // only proceed once the receiver frees one.
+                for i in 0..4u8 {
+                    mpf.message_send(p(0), tx, &[i; 20]).expect("send");
+                }
+            }) as Proc
+        };
+        let receiver = {
+            let mpf = Arc::clone(&mpf);
+            Box::new(move || {
+                for _ in 0..4 {
+                    mpf.message_receive_vec(p(1), rx).expect("recv");
+                }
+            }) as Proc
+        };
+        Case {
+            procs: vec![sender, receiver],
+            check: Box::new(move || {
+                mpf.check_invariants()?;
+                if mpf.free_blocks() != total {
+                    return Err("flow-controlled traffic leaked blocks".into());
+                }
+                Ok(())
+            }),
+        }
+    };
+    let opts = ExploreOpts::new("flow-control").max_schedules(200);
+    explore_dfs(&opts, make).assert_ok();
+    // Pool alloc/free preemption points matter here: the block-exhaustion
+    // window is exactly between an alloc attempt and the wait.
+    let fine = ExploreOpts::new("flow-control-fine")
+        .max_schedules(200)
+        .preempt_events(true);
+    explore_random(&fine, 0xF10, make).assert_ok();
+}
+
+/// Conversation churn: one side repeatedly opens, uses, and closes the
+/// conversation while the other does the same.  Exercises create/delete
+/// racing traffic; the registry and descriptor pools must end empty.
+#[test]
+fn open_close_churn_vs_traffic() {
+    let make = || {
+        let cfg = MpfConfig::new(4, 4)
+            .with_total_blocks(32)
+            .with_max_messages(8);
+        let total = cfg.total_blocks;
+        let mpf = Arc::new(Mpf::init(cfg).expect("init"));
+        let churn_sender = {
+            let mpf = Arc::clone(&mpf);
+            Box::new(move || {
+                for i in 0..2u8 {
+                    let tx = mpf.open_send(p(0), "churn").expect("open_send");
+                    mpf.message_send(p(0), tx, &[i; 8]).expect("send");
+                    mpf.close_send(p(0), tx).expect("close_send");
+                }
+            }) as Proc
+        };
+        let churn_receiver = {
+            let mpf = Arc::clone(&mpf);
+            Box::new(move || {
+                for _ in 0..2 {
+                    let rx = mpf
+                        .open_receive(p(1), "churn", Protocol::Fcfs)
+                        .expect("open_receive");
+                    let mut buf = [0u8; 16];
+                    let _ = mpf.try_message_receive(p(1), rx, &mut buf).expect("try");
+                    mpf.close_receive(p(1), rx).expect("close_receive");
+                }
+            }) as Proc
+        };
+        Case {
+            procs: vec![churn_sender, churn_receiver],
+            check: Box::new(move || {
+                mpf.check_invariants()?;
+                if mpf.live_lnvcs() != 0 {
+                    return Err("churn left a conversation alive".into());
+                }
+                if mpf.free_blocks() != total {
+                    return Err("churn leaked blocks".into());
+                }
+                Ok(())
+            }),
+        }
+    };
+    let opts = ExploreOpts::new("open-close-churn").max_schedules(300);
+    explore_dfs(&opts, make).assert_ok();
+    explore_random(&opts, 0xC4A1, make).assert_ok();
+}
+
+/// The schedule counts above must add up: this is the floor the PR CI run
+/// is expected to clear ("≥ 1000 distinct schedules across the suite").
+/// Random exploration always runs its full budget, so the guaranteed
+/// minimum is the sum of the random budgets alone: 600 + 300 + 300 + 300 +
+/// 200 + 300 = 2000.
+#[test]
+fn suite_budget_floor() {
+    let budgets = [600usize, 300, 300, 300, 200, 300];
+    assert!(budgets.iter().sum::<usize>() >= 1000);
+}

@@ -78,6 +78,8 @@ impl BlockPool {
     /// the free list and `BlocksExhausted` is reported, so a failed send
     /// never leaks region memory.
     pub fn alloc_chain(&self, data: &[u8]) -> Result<Chain> {
+        use mpf_shm::hooks::{self, SyncEvent};
+        hooks::yield_point(SyncEvent::Alloc(self as *const Self as usize));
         let needed = self.blocks_needed(data.len());
         if needed as usize > self.capacity() as usize {
             return Err(MpfError::MessageTooLarge {
@@ -158,6 +160,8 @@ impl BlockPool {
 
     /// Returns every block of `chain` to the free list.
     pub fn free_chain(&self, chain: Chain) {
+        use mpf_shm::hooks::{self, SyncEvent};
+        hooks::yield_point(SyncEvent::Free(self as *const Self as usize));
         let mut idx = chain.head;
         let mut freed = 0;
         while idx != NIL && freed < chain.blocks {

@@ -70,6 +70,9 @@ pub enum MpfError {
         /// Layout version found in the region header.
         found: u32,
     },
+    /// `wait_any`/`check_any` was given an empty LNVC set; waiting on
+    /// nothing would block forever.
+    EmptyWaitSet,
 }
 
 impl MpfError {
@@ -92,6 +95,7 @@ impl MpfError {
             MpfError::BadInit => -14,
             MpfError::PeerDied { .. } => -15,
             MpfError::LayoutMismatch { .. } => -16,
+            MpfError::EmptyWaitSet => -17,
         }
     }
 }
@@ -137,6 +141,7 @@ impl std::fmt::Display for MpfError {
                 f,
                 "region layout mismatch: library speaks version {expected}, region is {found}"
             ),
+            MpfError::EmptyWaitSet => write!(f, "wait_any on an empty LNVC set would never wake"),
         }
     }
 }
@@ -169,6 +174,7 @@ mod tests {
                 expected: 1,
                 found: 2,
             },
+            MpfError::EmptyWaitSet,
         ];
         let mut codes: Vec<i32> = all.iter().map(|e| e.status_code()).collect();
         assert!(codes.iter().all(|&c| c < 0));

@@ -232,6 +232,7 @@ impl Mpf {
         let mut reg = self.registry.lock();
         let (idx, created) = self.find_or_create(&mut reg, name)?;
         let slot = self.lnvcs.get(idx);
+        let mut freed = 0;
         let result = (|| {
             let _guard = slot.lock.lock();
             let ctx = self.ctx(slot);
@@ -245,12 +246,28 @@ impl Mpf {
             let Some(conn) = self.recvs.alloc() else {
                 return Err(MpfError::ConnectionsExhausted);
             };
+            let first_receiver = slot.n_fcfs() + slot.n_bcast() == 0;
             self.recvs.get(conn).reset(pid.raw(), protocol, NIL);
             ctx.link_recv(conn, protocol);
+            // Obligation re-evaluation (DESIGN.md): backlog sent before any
+            // receiver joined is owed to a *future FCFS receiver*.  If the
+            // first receiver ever to join is BROADCAST, it starts at the
+            // tail and never sees the backlog; the only receiver that could
+            // have taken it chose a protocol that will not.  Drop the
+            // obligations so the backlog does not pin pool memory forever.
+            if first_receiver && protocol == Protocol::Broadcast {
+                ctx.clear_fcfs_obligations();
+                freed = ctx.reclaim_consumed();
+            }
             Ok(LnvcId::from_parts(idx, slot.generation()))
         })();
         if result.is_err() && created {
             self.rollback_create(&mut reg, name, idx);
+        }
+        drop(reg);
+        if freed > 0 {
+            self.stats.reclaims.add(freed as u64);
+            self.mem_waitq.notify_all();
         }
         if result.is_ok() {
             self.trace(pid, EventKind::OpenRecv, idx, 0, NO_STAMP);
@@ -320,6 +337,22 @@ impl Mpf {
             if protocol == Protocol::Broadcast && head != NIL {
                 reclaimed = ctx.release_bcast_claims(head);
             }
+            // Obligation re-evaluation (DESIGN.md): when the last FCFS
+            // receiver leaves while BROADCAST receivers keep the
+            // conversation alive, the queued FCFS deliveries are dropped —
+            // the close discards the departing receiver's undelivered
+            // backlog exactly as the paper's §3.2 close-time sweep discards
+            // a broadcast receiver's unread claims.  Without this the
+            // messages are unreclaimable (no one in the current connection
+            // set will ever take them, and broadcast joiners never see
+            // backlog) and senders eventually wedge on exhaustion.
+            if protocol == Protocol::Fcfs && slot.n_fcfs() == 0 && slot.n_bcast() > 0 {
+                ctx.clear_fcfs_obligations();
+            }
+            // Close is the slow path: sweep the whole queue, not just the
+            // prefix, so interior messages freed by the sweeps above (or
+            // consumed behind a still-owed head) are returned too.
+            reclaimed += ctx.reclaim_consumed();
             self.maybe_delete(&mut reg, id.index(), slot);
         }
         drop(reg);
@@ -332,9 +365,25 @@ impl Mpf {
         Ok(())
     }
 
+    /// Under memory pressure, sweeps `slot`'s whole queue for consumed
+    /// interior messages the prefix reclaimer could not reach (e.g. behind
+    /// a message still owed a delivery).  Returns messages freed.
+    fn sweep_consumed(&self, slot: &LnvcSlot) -> u32 {
+        let _guard = slot.lock.lock();
+        let freed = self.ctx(slot).reclaim_consumed();
+        drop(_guard);
+        if freed > 0 {
+            self.stats.reclaims.add(freed as u64);
+            self.mem_waitq.notify_all();
+        }
+        freed
+    }
+
     /// Allocates a header and a populated block chain, honouring the
-    /// exhaustion policy.  Returns `(msg_idx, chain)`.
-    fn alloc_message(&self, buf: &[u8]) -> Result<(u32, crate::block::Chain)> {
+    /// exhaustion policy.  Before waiting (or erroring), tries a full-queue
+    /// sweep of the destination conversation — the sender-side slow path of
+    /// non-prefix reclamation.  Returns `(msg_idx, chain)`.
+    fn alloc_message(&self, slot: &LnvcSlot, buf: &[u8]) -> Result<(u32, crate::block::Chain)> {
         loop {
             let ticket = self.mem_waitq.ticket();
             match self.blocks.alloc_chain(buf) {
@@ -345,6 +394,9 @@ impl Mpf {
                         // while blocked on headers could deadlock the
                         // region.
                         self.blocks.free_chain(chain);
+                        if self.sweep_consumed(slot) > 0 {
+                            continue;
+                        }
                         if self.cfg.exhaust_policy == ExhaustPolicy::Error {
                             return Err(MpfError::MessagesExhausted);
                         }
@@ -352,9 +404,13 @@ impl Mpf {
                         self.mem_waitq.wait(ticket, self.cfg.wait_strategy);
                     }
                 },
-                Err(MpfError::BlocksExhausted)
-                    if self.cfg.exhaust_policy == ExhaustPolicy::Wait =>
-                {
+                Err(MpfError::BlocksExhausted) => {
+                    if self.sweep_consumed(slot) > 0 {
+                        continue;
+                    }
+                    if self.cfg.exhaust_policy == ExhaustPolicy::Error {
+                        return Err(MpfError::BlocksExhausted);
+                    }
                     self.stats.send_waits.inc();
                     self.mem_waitq.wait(ticket, self.cfg.wait_strategy);
                 }
@@ -373,7 +429,7 @@ impl Mpf {
         // Cheap stale-id rejection before paying for allocation; the
         // authoritative check repeats under the lock.
         Self::validate(slot, id)?;
-        let (msg_idx, chain) = self.alloc_message(buf)?;
+        let (msg_idx, chain) = self.alloc_message(slot, buf)?;
         {
             let _guard = slot.lock.lock();
             let ctx = self.ctx(slot);
@@ -638,17 +694,120 @@ impl Mpf {
     }
 
     /// Blocks until one of the conversations has a message for `pid`;
-    /// returns which.  Not a paper primitive — 1987 programs built
-    /// exactly this select loop out of `check_receive` (the SOR solver's
-    /// monitor is the use case), so it polls with backoff rather than
-    /// multiplexing wait queues.
+    /// returns which.  Not a paper primitive — 1987 programs built this
+    /// select loop out of `check_receive` (the SOR solver's monitor is the
+    /// use case) — but ours parks properly: tickets are taken on every
+    /// conversation's wait queue *before* the scan, so a send (or close)
+    /// landing after the scan bumps a sequence and the multi-queue wait
+    /// returns immediately instead of being lost.
+    ///
+    /// An empty `ids` slice is rejected with [`MpfError::EmptyWaitSet`]:
+    /// waiting on no conversations could never wake.
     pub fn wait_any(&self, pid: ProcessId, ids: &[LnvcId]) -> Result<LnvcId> {
-        let mut backoff = mpf_shm::backoff::Backoff::new();
+        self.check_pid(pid)?;
+        if ids.is_empty() {
+            return Err(MpfError::EmptyWaitSet);
+        }
         loop {
+            let mut entries = Vec::with_capacity(ids.len());
+            for &id in ids {
+                let slot = self.slot(id)?;
+                entries.push((&slot.waitq, slot.waitq.ticket()));
+            }
             if let Some(id) = self.check_any(pid, ids)? {
                 return Ok(id);
             }
-            backoff.snooze();
+            self.stats.recv_waits.inc();
+            WaitQueue::wait_many(&entries, self.cfg.wait_strategy);
+        }
+    }
+
+    /// Audits every structural invariant of the facility.  Intended for
+    /// **quiescent points** — moments when no operation is mid-flight (test
+    /// boundaries, scheduler-serialized checks in `mpf-check`) — because
+    /// in-flight receives legitimately hold partial state (e.g. a broadcast
+    /// head advanced before `bcast_pending` is decremented).
+    ///
+    /// Checks, per live conversation (registry lock, then descriptor lock —
+    /// the open/close order):
+    ///
+    /// * queue is acyclic; `msg_count`, `q_tail`, FIFO stamps agree with a
+    ///   full walk;
+    /// * connection lists match `n_senders`/`n_fcfs`/`n_bcast`;
+    /// * every `bcast_pending` equals the number of broadcast receivers
+    ///   whose cursor has not passed the message;
+    /// * the shared FCFS cursor has not skipped an owed message;
+    /// * no queued message waits on an FCFS delivery the current connection
+    ///   set can never produce (the obligation-leak class of bug);
+    /// * the queue head is not a fully-consumed, unpinned message (prefix
+    ///   reclamation keeps up);
+    ///
+    /// and globally that pool occupancy (messages, blocks, connections,
+    /// LNVC slots) is exactly accounted for by the walks.
+    pub fn check_invariants(&self) -> std::result::Result<(), String> {
+        let reg = self.registry.lock();
+        if reg.len() != self.lnvcs.in_use() as usize {
+            return Err(format!(
+                "registry has {} names but {} LNVC slots are allocated",
+                reg.len(),
+                self.lnvcs.in_use()
+            ));
+        }
+        let mut messages = 0u32;
+        let mut blocks = 0u64;
+        let mut senders = 0u32;
+        let mut receivers = 0u32;
+        for (name, &idx) in reg.iter() {
+            if idx >= self.lnvcs.capacity() {
+                return Err(format!("registry entry '{name}' points at bad slot {idx}"));
+            }
+            let slot = self.lnvcs.get(idx);
+            let _guard = slot.lock.lock();
+            if !slot.is_active() {
+                return Err(format!("registry entry '{name}' points at dead slot {idx}"));
+            }
+            let audit = self
+                .ctx(slot)
+                .audit()
+                .map_err(|e| format!("LNVC '{name}' (slot {idx}): {e}"))?;
+            messages += audit.messages;
+            blocks += audit.blocks;
+            senders += audit.senders;
+            receivers += audit.receivers;
+        }
+        let msgs_in_use = self.msgs.in_use();
+        if messages != msgs_in_use {
+            return Err(format!(
+                "message headers leaked: queues hold {messages}, pool has {msgs_in_use} allocated"
+            ));
+        }
+        let blocks_in_use = (self.blocks.capacity() - self.blocks.available()) as u64;
+        if blocks != blocks_in_use {
+            return Err(format!(
+                "blocks leaked: queues hold {blocks}, pool has {blocks_in_use} allocated"
+            ));
+        }
+        let sends_in_use = self.sends.in_use();
+        if senders != sends_in_use {
+            return Err(format!(
+                "send connections leaked: lists hold {senders}, pool has {sends_in_use} allocated"
+            ));
+        }
+        let recvs_in_use = self.recvs.in_use();
+        if receivers != recvs_in_use {
+            return Err(format!(
+                "receive connections leaked: lists hold {receivers}, \
+                 pool has {recvs_in_use} allocated"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Panics with the violation description if [`Self::check_invariants`]
+    /// fails.  Convenient at the end of tests.
+    pub fn assert_invariants(&self) {
+        if let Err(e) = self.check_invariants() {
+            panic!("MPF invariant violated: {e}");
         }
     }
 }
@@ -875,6 +1034,7 @@ mod tests {
             256,
             "the vexing-problem sweep frees them"
         );
+        mpf.assert_invariants();
     }
 
     #[test]
@@ -953,6 +1113,7 @@ mod tests {
         assert!(sent_second.load(Ordering::SeqCst));
         let v = mpf.message_receive_vec(p(1), rx).unwrap();
         assert_eq!(v, vec![2u8; 20]);
+        mpf.assert_invariants();
     }
 
     #[test]
@@ -966,6 +1127,7 @@ mod tests {
             mpf.message_send(p(0), tx, b"good morning").unwrap();
             assert_eq!(h.join().unwrap(), b"good morning");
         });
+        mpf.assert_invariants();
     }
 
     #[test]
@@ -1025,6 +1187,7 @@ mod tests {
             mpf.message_send(p(0), a_tx, b"wake").unwrap();
             assert_eq!(h.join().unwrap(), a_rx);
         });
+        mpf.assert_invariants();
     }
 
     #[test]
@@ -1116,6 +1279,138 @@ mod tests {
     fn tracing_disabled_by_default() {
         let mpf = facility();
         assert!(mpf.take_trace().is_none());
+    }
+
+    #[test]
+    fn fcfs_obligation_released_when_last_fcfs_receiver_leaves() {
+        // The obligation-leak regression: messages queued while an FCFS
+        // receiver was connected carry needs_fcfs.  If that receiver closes
+        // without reading while broadcast receivers keep the LNVC alive,
+        // the obligation could never be satisfied and the messages pinned
+        // pool memory forever.
+        let mpf = facility();
+        let tx = mpf.open_send(p(0), "leak").unwrap();
+        let rf = mpf.open_receive(p(1), "leak", Protocol::Fcfs).unwrap();
+        let rb = mpf.open_receive(p(2), "leak", Protocol::Broadcast).unwrap();
+        for _ in 0..3 {
+            mpf.message_send(p(0), tx, &[9u8; 30]).unwrap();
+        }
+        mpf.close_receive(p(1), rf).unwrap(); // never read anything
+        for _ in 0..3 {
+            assert_eq!(mpf.message_receive_vec(p(2), rb).unwrap(), vec![9u8; 30]);
+        }
+        assert_eq!(
+            mpf.free_blocks(),
+            256,
+            "obligation re-evaluation must free the backlog"
+        );
+        mpf.assert_invariants();
+        mpf.close_receive(p(2), rb).unwrap();
+        mpf.close_send(p(0), tx).unwrap();
+        mpf.assert_invariants();
+    }
+
+    #[test]
+    fn fcfs_obligation_released_after_broadcast_already_read() {
+        // Same leak, other interleaving: the broadcast receiver consumed
+        // everything first, so the close-time sweep itself must reclaim.
+        let mpf = facility();
+        let tx = mpf.open_send(p(0), "leak2").unwrap();
+        let rf = mpf.open_receive(p(1), "leak2", Protocol::Fcfs).unwrap();
+        let rb = mpf
+            .open_receive(p(2), "leak2", Protocol::Broadcast)
+            .unwrap();
+        for _ in 0..3 {
+            mpf.message_send(p(0), tx, &[5u8; 30]).unwrap();
+        }
+        for _ in 0..3 {
+            mpf.message_receive_vec(p(2), rb).unwrap();
+        }
+        assert!(mpf.free_blocks() < 256, "FCFS obligation pins the queue");
+        mpf.close_receive(p(1), rf).unwrap();
+        assert_eq!(mpf.free_blocks(), 256, "close sweep reclaims in place");
+        mpf.assert_invariants();
+    }
+
+    #[test]
+    fn blocked_sender_unwedges_when_last_fcfs_receiver_leaves() {
+        // Flow-control face of the same bug: the sender is parked on
+        // region exhaustion and the only event that can free memory is the
+        // FCFS receiver abandoning its obligations.
+        let mpf = Mpf::init(
+            MpfConfig::new(2, 4)
+                .with_total_blocks(4)
+                .with_block_payload(10),
+        )
+        .unwrap();
+        let tx = mpf.open_send(p(0), "wedge").unwrap();
+        let rf = mpf.open_receive(p(1), "wedge", Protocol::Fcfs).unwrap();
+        let rb = mpf
+            .open_receive(p(2), "wedge", Protocol::Broadcast)
+            .unwrap();
+        mpf.message_send(p(0), tx, &[1u8; 40]).unwrap(); // region full
+        mpf.message_receive_vec(p(2), rb).unwrap(); // bcast claim released
+        std::thread::scope(|s| {
+            let h = s.spawn(|| mpf.message_send(p(0), tx, &[2u8; 10]));
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            // Pre-fix the sender waits forever: the queued message is owed
+            // an FCFS delivery nobody will make.
+            mpf.close_receive(p(1), rf).unwrap();
+            h.join().unwrap().unwrap();
+        });
+        assert_eq!(mpf.message_receive_vec(p(2), rb).unwrap(), vec![2u8; 10]);
+        mpf.assert_invariants();
+    }
+
+    #[test]
+    fn backlog_dropped_when_first_receiver_is_broadcast() {
+        // Backlog sent before any receiver exists is owed to a future FCFS
+        // receiver; if the first receiver to show up is BROADCAST it starts
+        // at the tail, so the obligation is dropped and memory reclaimed.
+        let mpf = facility();
+        let tx = mpf.open_send(p(0), "drop").unwrap();
+        mpf.message_send(p(0), tx, &[3u8; 60]).unwrap();
+        assert!(mpf.free_blocks() < 256);
+        let rb = mpf.open_receive(p(1), "drop", Protocol::Broadcast).unwrap();
+        assert_eq!(mpf.free_blocks(), 256, "backlog freed at first join");
+        assert!(!mpf.check_receive(p(1), rb).unwrap());
+        // A later FCFS joiner also misses the dropped backlog but gets new
+        // traffic.
+        let rf = mpf.open_receive(p(2), "drop", Protocol::Fcfs).unwrap();
+        assert!(!mpf.check_receive(p(2), rf).unwrap());
+        mpf.message_send(p(0), tx, b"fresh").unwrap();
+        assert_eq!(mpf.message_receive_vec(p(2), rf).unwrap(), b"fresh");
+        mpf.assert_invariants();
+    }
+
+    #[test]
+    fn wait_any_rejects_empty_set() {
+        let mpf = facility();
+        assert_eq!(
+            mpf.wait_any(p(0), &[]).unwrap_err(),
+            MpfError::EmptyWaitSet,
+            "waiting on nothing would block forever"
+        );
+    }
+
+    #[test]
+    fn wait_any_parks_until_send() {
+        // Regression for the busy-poll bug: wait_any must genuinely park
+        // (Park strategy) across several conversations' wait queues and
+        // wake when any of them gets traffic.
+        let mpf =
+            Mpf::init(MpfConfig::new(8, 8).with_wait_strategy(mpf_shm::waitq::WaitStrategy::Park))
+                .unwrap();
+        let a_tx = mpf.open_send(p(0), "park:a").unwrap();
+        let a_rx = mpf.open_receive(p(1), "park:a", Protocol::Fcfs).unwrap();
+        let b_rx = mpf.open_receive(p(1), "park:b", Protocol::Fcfs).unwrap();
+        std::thread::scope(|s| {
+            let h = s.spawn(|| mpf.wait_any(p(1), &[b_rx, a_rx]).unwrap());
+            std::thread::sleep(std::time::Duration::from_millis(40));
+            mpf.message_send(p(0), a_tx, b"wake").unwrap();
+            assert_eq!(h.join().unwrap(), a_rx);
+        });
+        mpf.assert_invariants();
     }
 
     #[test]

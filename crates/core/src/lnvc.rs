@@ -150,6 +150,20 @@ impl LnvcSlot {
     }
 }
 
+/// Per-conversation occupancy reported by [`Ctx::audit`]; the facility
+/// sums these across live LNVCs against pool allocation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LnvcAudit {
+    /// Messages queued.
+    pub messages: u32,
+    /// Blocks held by queued messages.
+    pub blocks: u64,
+    /// Send connections linked.
+    pub senders: u32,
+    /// Receive connections linked (both protocols).
+    pub receivers: u32,
+}
+
 /// Borrow bundle: an LNVC plus the region pools its queue lives in.
 /// Constructed by the facility *after* acquiring `lnvc.lock`.
 pub struct Ctx<'a> {
@@ -359,6 +373,72 @@ impl<'a> Ctx<'a> {
         freed
     }
 
+    /// Drops the FCFS obligation of every queued message still waiting for
+    /// one.  Called when the connection set can no longer produce an FCFS
+    /// delivery for backlog: the last FCFS receiver closed while broadcast
+    /// receivers remain, or the first receiver ever to join is BROADCAST
+    /// (late joiners never see the backlog, so nobody will take it).
+    /// Returns the number of obligations cleared.
+    pub fn clear_fcfs_obligations(&self) -> u32 {
+        let mut cleared = 0;
+        let mut idx = self.lnvc.q_head.load(Ordering::Relaxed);
+        while idx != NIL {
+            let m = self.msgs.get(idx);
+            if m.needs_fcfs() && !m.fcfs_taken() {
+                m.clear_needs_fcfs();
+                cleared += 1;
+            }
+            idx = m.next();
+        }
+        // Nothing ahead of the (possibly stale) FCFS cursor is owed now.
+        self.lnvc.fcfs_head.store(NIL, Ordering::Relaxed);
+        cleared
+    }
+
+    /// Frees every fully-consumed, unpinned message anywhere in the FIFO —
+    /// not just the prefix.  `reclaim_prefix` is the O(1)-amortized hot
+    /// path; this full walk is the slow path for close-time sweeps and
+    /// block-starved senders, where an interior message (e.g. one whose
+    /// obligation was just cleared behind a still-claimed head) would
+    /// otherwise stay pinned behind the prefix rule.  Safe under the LNVC
+    /// lock: a fully-consumed message has `bcast_pending == 0`, so no live
+    /// broadcast receiver's head can point at it, and the shared FCFS head
+    /// is advanced past it when they coincide.  Returns messages reclaimed.
+    pub fn reclaim_consumed(&self) -> u32 {
+        let lnvc = self.lnvc;
+        let mut freed = 0;
+        let mut prev = NIL;
+        let mut idx = lnvc.q_head.load(Ordering::Relaxed);
+        while idx != NIL {
+            let m = self.msgs.get(idx);
+            let next = m.next();
+            if m.fully_consumed() && !m.is_pinned() {
+                if prev == NIL {
+                    lnvc.q_head.store(next, Ordering::Relaxed);
+                } else {
+                    self.msgs.get(prev).set_next(next);
+                }
+                if lnvc.q_tail.load(Ordering::Relaxed) == idx {
+                    lnvc.q_tail.store(prev, Ordering::Relaxed);
+                }
+                if lnvc.fcfs_head.load(Ordering::Relaxed) == idx {
+                    lnvc.fcfs_head.store(next, Ordering::Relaxed);
+                }
+                self.blocks.free_chain(Chain {
+                    head: m.head_block(),
+                    blocks: m.blocks(),
+                });
+                self.msgs.free(idx);
+                lnvc.msg_count.fetch_sub(1, Ordering::Relaxed);
+                freed += 1;
+            } else {
+                prev = idx;
+            }
+            idx = next;
+        }
+        freed
+    }
+
     /// The paper's "particularly vexing problem" (§3.2): a broadcast
     /// receiver closes with unread messages.  Walks from the receiver's
     /// head to the tail, releasing its claim on each message, then reclaims
@@ -396,6 +476,149 @@ impl<'a> Ctx<'a> {
         lnvc.fcfs_head.store(NIL, Ordering::Relaxed);
         lnvc.msg_count.store(0, Ordering::Relaxed);
         freed
+    }
+
+    /// Audits this conversation's structural invariants (lock held).
+    /// Returns per-LNVC occupancy for the facility's global conservation
+    /// check, or a description of the first violation found.
+    pub fn audit(&self) -> std::result::Result<LnvcAudit, String> {
+        let lnvc = self.lnvc;
+
+        // Connection lists vs. counters.
+        let mut senders = 0u32;
+        let mut idx = lnvc.send_list.load(Ordering::Relaxed);
+        while idx != NIL {
+            senders += 1;
+            if senders > self.sends.capacity() {
+                return Err("send list is cyclic".into());
+            }
+            idx = self.sends.get(idx).next();
+        }
+        if senders != lnvc.n_senders() {
+            return Err(format!(
+                "n_senders {} but send list holds {senders}",
+                lnvc.n_senders()
+            ));
+        }
+        let mut fcfs = 0u32;
+        let mut bcast_heads = Vec::new();
+        let mut idx = lnvc.recv_list.load(Ordering::Relaxed);
+        while idx != NIL {
+            if fcfs as usize + bcast_heads.len() >= self.recvs.capacity() as usize {
+                return Err("receive list is cyclic".into());
+            }
+            let c = self.recvs.get(idx);
+            match c.protocol() {
+                Protocol::Fcfs => fcfs += 1,
+                Protocol::Broadcast => bcast_heads.push(c.head()),
+            }
+            idx = c.next();
+        }
+        if fcfs != lnvc.n_fcfs() || bcast_heads.len() as u32 != lnvc.n_bcast() {
+            return Err(format!(
+                "counters say {} FCFS / {} BROADCAST but list holds {fcfs} / {}",
+                lnvc.n_fcfs(),
+                lnvc.n_bcast(),
+                bcast_heads.len()
+            ));
+        }
+
+        // Full queue walk: position map, stamps, block totals.
+        let mut pos_of = std::collections::HashMap::new();
+        let mut queue = Vec::new();
+        let mut blocks = 0u64;
+        let mut last_stamp = None;
+        let mut idx = lnvc.q_head.load(Ordering::Relaxed);
+        while idx != NIL {
+            if pos_of.insert(idx, queue.len()).is_some() {
+                return Err(format!("FIFO is cyclic at message {idx}"));
+            }
+            let m = self.msgs.get(idx);
+            queue.push(idx);
+            blocks += m.blocks() as u64;
+            if let Some(prev) = last_stamp {
+                if m.stamp() <= prev {
+                    return Err(format!(
+                        "stamps not increasing: {} then {} at message {idx}",
+                        prev,
+                        m.stamp()
+                    ));
+                }
+            }
+            last_stamp = Some(m.stamp());
+            idx = m.next();
+        }
+        if queue.len() as u32 != lnvc.msg_count() {
+            return Err(format!(
+                "msg_count {} but FIFO holds {}",
+                lnvc.msg_count(),
+                queue.len()
+            ));
+        }
+        let tail = lnvc.q_tail.load(Ordering::Relaxed);
+        if tail != queue.last().copied().unwrap_or(NIL) {
+            return Err(format!("q_tail {tail} is not the last queued message"));
+        }
+        for &h in &bcast_heads {
+            if h != NIL && !pos_of.contains_key(&h) {
+                return Err(format!("a broadcast cursor points at unqueued message {h}"));
+            }
+        }
+        let fcfs_head = lnvc.fcfs_head.load(Ordering::Relaxed);
+        if fcfs_head != NIL && !pos_of.contains_key(&fcfs_head) {
+            return Err(format!("fcfs_head points at unqueued message {fcfs_head}"));
+        }
+
+        // Per-message delivery bookkeeping.
+        for (pos, &mi) in queue.iter().enumerate() {
+            let m = self.msgs.get(mi);
+            let claims = bcast_heads
+                .iter()
+                .filter(|&&h| h != NIL && pos_of[&h] <= pos)
+                .count() as u32;
+            if m.bcast_pending() != claims {
+                return Err(format!(
+                    "message {mi} (stamp {}) has bcast_pending {} but {claims} \
+                     broadcast cursors have not passed it",
+                    m.stamp(),
+                    m.bcast_pending()
+                ));
+            }
+            if m.needs_fcfs() && !m.fcfs_taken() {
+                // The obligation-leak class of bug: an owed FCFS delivery
+                // that the current connection set can never produce.
+                if lnvc.n_fcfs() == 0 && lnvc.n_bcast() > 0 {
+                    return Err(format!(
+                        "message {mi} (stamp {}) awaits an FCFS delivery but no FCFS \
+                         receiver is connected and broadcast receivers keep the LNVC alive",
+                        m.stamp()
+                    ));
+                }
+                if fcfs_head == NIL || pos_of[&fcfs_head] > pos {
+                    return Err(format!(
+                        "fcfs_head skipped owed message {mi} (stamp {})",
+                        m.stamp()
+                    ));
+                }
+            }
+        }
+        if let Some(&head) = queue.first() {
+            let m = self.msgs.get(head);
+            if m.fully_consumed() && !m.is_pinned() {
+                return Err(format!(
+                    "FIFO head {head} (stamp {}) is fully consumed and unpinned \
+                     but was not reclaimed",
+                    m.stamp()
+                ));
+            }
+        }
+
+        Ok(LnvcAudit {
+            messages: queue.len() as u32,
+            blocks,
+            senders,
+            receivers: fcfs + bcast_heads.len() as u32,
+        })
     }
 
     /// Walks the queue collecting stamps (test/diagnostic helper).
@@ -617,6 +840,87 @@ mod tests {
         assert_eq!(f.lnvc.msg_count(), 0);
         assert_eq!(f.blocks.available(), 128);
         assert_eq!(f.msgs.in_use(), 0);
+    }
+
+    #[test]
+    fn clear_fcfs_obligations_makes_backlog_reclaimable() {
+        // Messages sent with no receivers connected are owed to a future
+        // FCFS receiver; if the conversation turns out broadcast-only the
+        // obligation must be droppable.
+        let f = Fixture::new();
+        f.add_send(9);
+        f.send(b"a");
+        f.send(b"b");
+        let ctx = f.ctx();
+        assert_eq!(ctx.reclaim_prefix(), 0, "obligation pins the backlog");
+        assert_eq!(ctx.clear_fcfs_obligations(), 2);
+        assert_eq!(ctx.reclaim_prefix(), 2);
+        assert_eq!(f.msgs.in_use(), 0);
+        assert_eq!(f.blocks.available(), 128);
+    }
+
+    #[test]
+    fn clear_fcfs_obligations_skips_taken() {
+        let f = Fixture::new();
+        f.add_recv(1, Protocol::Fcfs);
+        let a = f.send(b"a");
+        f.send(b"b");
+        f.msgs.get(a).set_fcfs_taken();
+        assert_eq!(f.ctx().clear_fcfs_obligations(), 1);
+    }
+
+    #[test]
+    fn reclaim_consumed_frees_interior_message() {
+        // Head is still claimed by a broadcast receiver; an interior
+        // message behind it is fully consumed.  The prefix reclaimer cannot
+        // touch it; the full-queue walk must.
+        let f = Fixture::new();
+        f.add_recv(1, Protocol::Broadcast);
+        let a = f.send(b"a");
+        let b = f.send(b"b");
+        let c = f.send(b"c");
+        f.msgs.get(b).dec_bcast_pending();
+        let ctx = f.ctx();
+        assert_eq!(ctx.reclaim_prefix(), 0);
+        assert_eq!(ctx.reclaim_consumed(), 1);
+        assert_eq!(ctx.collect_queue(), vec![a, c], "b unlinked from interior");
+        assert_eq!(f.lnvc.msg_count(), 2);
+    }
+
+    #[test]
+    fn reclaim_consumed_fixes_tail_and_fcfs_head() {
+        let f = Fixture::new();
+        f.add_recv(1, Protocol::Broadcast);
+        let a = f.send(b"a");
+        let b = f.send(b"b");
+        // Consume the tail only.
+        f.msgs.get(b).dec_bcast_pending();
+        let ctx = f.ctx();
+        assert_eq!(ctx.reclaim_consumed(), 1);
+        assert_eq!(f.lnvc.q_tail.load(Ordering::Relaxed), a, "tail relinked");
+        // New sends must append after `a`, not after the freed slot.
+        let c = f.send(b"c");
+        assert_eq!(ctx.collect_queue(), vec![a, c]);
+        // Consume everything; the full walk empties the queue.
+        f.msgs.get(a).dec_bcast_pending();
+        f.msgs.get(c).dec_bcast_pending();
+        assert_eq!(ctx.reclaim_consumed(), 2);
+        assert_eq!(f.lnvc.q_head.load(Ordering::Relaxed), NIL);
+        assert_eq!(f.lnvc.q_tail.load(Ordering::Relaxed), NIL);
+        assert_eq!(f.blocks.available(), 128);
+    }
+
+    #[test]
+    fn reclaim_consumed_skips_pinned() {
+        let f = Fixture::new();
+        f.add_recv(1, Protocol::Broadcast);
+        let a = f.send(b"a");
+        let m = f.msgs.get(a);
+        m.dec_bcast_pending();
+        m.begin_copy();
+        assert_eq!(f.ctx().reclaim_consumed(), 0, "pinned message stays");
+        m.end_copy();
+        assert_eq!(f.ctx().reclaim_consumed(), 1);
     }
 
     #[test]

@@ -144,6 +144,15 @@ impl MsgSlot {
         self.fcfs_taken.store(true, Ordering::Relaxed);
     }
 
+    /// Drops an unmet FCFS obligation.  Used by the close/open-time
+    /// re-evaluation sweeps (DESIGN.md "Obligation re-evaluation"): when the
+    /// last FCFS receiver leaves while broadcast receivers keep the LNVC
+    /// alive, queued messages waiting on a "future FCFS receiver" that can
+    /// now never be owed one would pin pool memory forever.
+    pub fn clear_needs_fcfs(&self) {
+        self.needs_fcfs.store(false, Ordering::Relaxed);
+    }
+
     /// Pins the payload for an out-of-lock copy.
     pub fn begin_copy(&self) {
         self.copying.fetch_add(1, Ordering::Relaxed);

@@ -11,37 +11,40 @@
 //! many LNVCs.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+
+use mpf_shm::hooks::{HookedMutex, HookedMutexGuard};
 
 use crate::types::LnvcName;
 
 /// The global name table.
 #[derive(Debug)]
 pub struct Registry {
-    inner: Mutex<HashMap<LnvcName, u32>>,
+    inner: HookedMutex<HashMap<LnvcName, u32>>,
     capacity: usize,
 }
 
 /// Guard over the registry map.  Open/close hold this across descriptor
 /// creation/deletion so name lookup and conversation lifetime can never
 /// disagree (lock order: registry, then LNVC descriptor).
-pub type RegistryGuard<'a> = std::sync::MutexGuard<'a, HashMap<LnvcName, u32>>;
+pub type RegistryGuard<'a> = HookedMutexGuard<'a, HashMap<LnvcName, u32>>;
 
 impl Registry {
     /// Creates an empty registry bounded by `capacity` names (the
     /// `maxLNVC's` given to `init`).
     pub fn new(capacity: usize) -> Self {
         Self {
-            inner: Mutex::new(HashMap::with_capacity(capacity)),
+            inner: HookedMutex::new(HashMap::with_capacity(capacity)),
             capacity,
         }
     }
 
     /// Acquires the registry lock.  A poisoning panic elsewhere does not
     /// invalidate the map (every mutation is a single insert/remove), so
-    /// poison is shrugged off.
+    /// poison is shrugged off.  Routed through [`mpf_shm::hooks`] so the
+    /// `mpf-check` scheduler can deschedule a holder without wedging peers
+    /// on an invisible OS mutex.
     pub fn lock(&self) -> RegistryGuard<'_> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        self.inner.lock()
     }
 
     /// Maximum simultaneous names.
@@ -51,7 +54,7 @@ impl Registry {
 
     /// Number of live conversations (diagnostic).
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.inner.lock().len()
     }
 
     /// True when no conversations exist.
@@ -61,12 +64,7 @@ impl Registry {
 
     /// Snapshot of live conversation names (diagnostic).
     pub fn names(&self) -> Vec<LnvcName> {
-        self.inner
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .keys()
-            .copied()
-            .collect()
+        self.inner.lock().keys().copied().collect()
     }
 }
 

@@ -556,6 +556,8 @@ impl IpcMpf {
                         MpfError::ProtocolConflict
                     });
                 }
+                let first_receiver =
+                    d.n_fcfs.load(Ordering::Acquire) + d.n_bcast.load(Ordering::Acquire) == 0;
                 let conn = self
                     .header()
                     .recv_free
@@ -575,6 +577,16 @@ impl IpcMpf {
                     Protocol::Fcfs => d.n_fcfs.fetch_add(1, Ordering::AcqRel),
                     Protocol::Broadcast => d.n_bcast.fetch_add(1, Ordering::AcqRel),
                 };
+                // Obligation re-evaluation (DESIGN.md): a backlog queued
+                // while nobody listened is owed to the first receiver —
+                // but a BROADCAST receiver's cursor starts at the current
+                // sequence, so if the first receiver ever to join is
+                // BROADCAST the backlog is invisible to everyone and can
+                // only pin blocks.  Drop it now.
+                if first_receiver && protocol == Protocol::Broadcast {
+                    self.clear_fcfs_obligations(d);
+                    self.reclaim_consumed(d);
+                }
                 Ok(IpcLnvcId::new(d.generation.load(Ordering::Acquire), idx))
             })();
             if result.is_err() && created {
@@ -633,8 +645,22 @@ impl IpcMpf {
                     self.release_bcast_claims(d, cursor);
                 } else {
                     d.n_fcfs.fetch_sub(1, Ordering::AcqRel);
+                    // Obligation re-evaluation (DESIGN.md): if the last
+                    // FCFS receiver just left while BROADCAST receivers
+                    // keep the conversation alive, nobody in the current
+                    // connection set can ever take the owed messages —
+                    // drop the obligation so they become reclaimable
+                    // instead of pinning blocks until the LNVC dies.
+                    if d.n_fcfs.load(Ordering::Acquire) == 0
+                        && d.n_bcast.load(Ordering::Acquire) > 0
+                    {
+                        self.clear_fcfs_obligations(d);
+                    }
                 }
-                self.reclaim_prefix(d);
+                // Close is the slow path: sweep the whole queue, not just
+                // the head, so interior messages unpinned above (or
+                // consumed behind a still-claimed head) are returned too.
+                self.reclaim_consumed(d);
                 if d.total_connections() == 0 {
                     self.delete_conversation(idx, d);
                 }
@@ -671,16 +697,34 @@ impl IpcMpf {
         // lock: exhaustion then never happens inside the critical
         // section, and a death mid-allocation cannot corrupt the queue.
         let h = self.header();
-        let m_idx = h
-            .msg_free
-            .pop(|i| self.msg(i).next.load(Ordering::Acquire))
-            .ok_or(MpfError::MessagesExhausted)?;
+        let pop_msg = || h.msg_free.pop(|i| self.msg(i).next.load(Ordering::Acquire));
+        let m_idx = match pop_msg() {
+            Some(i) => i,
+            // Memory pressure: reclaim fully-delivered messages stuck
+            // behind a still-claimed queue head, then retry once.
+            None => {
+                self.sweep_consumed(d);
+                pop_msg().ok_or(MpfError::MessagesExhausted)?
+            }
+        };
         let blocks = match self.alloc_blocks(payload) {
             Ok(b) => b,
-            Err(e) => {
-                h.msg_free
-                    .push(m_idx, |s, n| self.msg(s).next.store(n, Ordering::Release));
-                return Err(e);
+            Err(first_err) => {
+                let retried = if matches!(first_err, MpfError::BlocksExhausted)
+                    && self.sweep_consumed(d) > 0
+                {
+                    self.alloc_blocks(payload)
+                } else {
+                    Err(first_err)
+                };
+                match retried {
+                    Ok(b) => b,
+                    Err(e) => {
+                        h.msg_free
+                            .push(m_idx, |s, n| self.msg(s).next.store(n, Ordering::Release));
+                        return Err(e);
+                    }
+                }
             }
         };
         let m = self.msg(m_idx);
@@ -908,6 +952,76 @@ impl IpcMpf {
             d.msg_count.fetch_sub(1, Ordering::AcqRel);
             self.free_message(head);
         }
+    }
+
+    /// Clears the FCFS obligation on every still-owed queued message.
+    ///
+    /// Called (holding the LNVC lock) when the connected-receiver
+    /// population changes such that the obligation can never be satisfied:
+    /// the last FCFS receiver leaves while BROADCAST receivers keep the
+    /// conversation alive, or the first receiver ever to join is
+    /// BROADCAST (its cursor skips the backlog).  See DESIGN.md,
+    /// "Obligation re-evaluation".
+    fn clear_fcfs_obligations(&self, d: &LnvcDesc) {
+        let mut cur = d.q_head.load(Ordering::Acquire);
+        while cur != NIL {
+            let m = self.msg(cur);
+            let flags = m.flags.load(Ordering::Acquire);
+            if flags & msg_flags::NEEDS_FCFS != 0 && flags & msg_flags::FCFS_TAKEN == 0 {
+                m.flags.fetch_and(!msg_flags::NEEDS_FCFS, Ordering::AcqRel);
+            }
+            cur = m.next.load(Ordering::Acquire);
+        }
+    }
+
+    /// Full-queue variant of [`Self::reclaim_prefix`]: frees
+    /// fully-delivered messages anywhere in the queue, relinking around
+    /// them.  Interior messages become reclaimable when an FCFS receiver
+    /// takes a message parked behind a broadcast-claimed head or when
+    /// obligations are cleared; closes and memory-pressure sweeps use
+    /// this, the per-receive hot path keeps the cheap prefix pop.
+    fn reclaim_consumed(&self, d: &LnvcDesc) -> u32 {
+        let mut freed = 0;
+        let mut prev = NIL;
+        let mut cur = d.q_head.load(Ordering::Acquire);
+        while cur != NIL {
+            let m = self.msg(cur);
+            let next = m.next.load(Ordering::Acquire);
+            let flags = m.flags.load(Ordering::Acquire);
+            let fcfs_done =
+                flags & msg_flags::NEEDS_FCFS == 0 || flags & msg_flags::FCFS_TAKEN != 0;
+            if fcfs_done && m.bcast_pending.load(Ordering::Acquire) == 0 {
+                if prev == NIL {
+                    d.q_head.store(next, Ordering::Release);
+                } else {
+                    self.msg(prev).next.store(next, Ordering::Release);
+                }
+                if next == NIL {
+                    d.q_tail.store(prev, Ordering::Release);
+                }
+                d.msg_count.fetch_sub(1, Ordering::AcqRel);
+                self.free_message(cur);
+                freed += 1;
+            } else {
+                prev = cur;
+            }
+            cur = next;
+        }
+        freed
+    }
+
+    /// Best-effort sweep under memory pressure: a sender that finds the
+    /// pools exhausted reclaims fully-delivered messages stuck behind a
+    /// still-claimed queue head before giving up.  Takes the LNVC lock.
+    fn sweep_consumed(&self, d: &LnvcDesc) -> u32 {
+        self.lock_lnvc(d);
+        let freed = if d.poisoned.load(Ordering::Acquire) == 0 {
+            self.reclaim_consumed(d)
+        } else {
+            0
+        };
+        d.lock.unlock();
+        freed
     }
 
     /// Releases a departing/dead BROADCAST receiver's claims from
@@ -1235,8 +1349,15 @@ impl IpcMpf {
                     self.release_bcast_claims(d, cursor);
                 } else {
                     d.n_fcfs.fetch_sub(1, Ordering::AcqRel);
+                    // Same re-evaluation as close_receive: sweeping a dead
+                    // FCFS receiver must not strand its obligations.
+                    if d.n_fcfs.load(Ordering::Acquire) == 0
+                        && d.n_bcast.load(Ordering::Acquire) > 0
+                    {
+                        self.clear_fcfs_obligations(d);
+                    }
                 }
-                self.reclaim_prefix(d);
+                self.reclaim_consumed(d);
                 touched = true;
             }
             if touched {

@@ -210,3 +210,105 @@ fn killing_a_peer_unblocks_blocked_receivers() {
     let n = m.message_receive(rx2, &mut buf).unwrap();
     assert_eq!(&buf[..n], b"still standing");
 }
+
+/// Child role for [`fcfs_departure_releases_obligations_across_processes`]:
+/// a broadcast-only consumer in its own address space.
+#[test]
+#[ignore = "helper: only meaningful when spawned by a parent test"]
+fn helper_broadcast_only_consumer() {
+    let Ok(region) = std::env::var(REGION_ENV) else {
+        return;
+    };
+    let m = IpcMpf::attach(&region).expect("attach");
+    let flood = m
+        .open_receive("flood", Protocol::Broadcast)
+        .expect("open flood");
+    let ctl = m.open_send("ctl").expect("open ctl");
+    m.message_send(ctl, b"joined").expect("ack joined");
+
+    let mut buf = [0u8; 128];
+    for _ in 0..20 {
+        m.message_receive_timeout(flood, &mut buf, Duration::from_secs(30))
+            .expect("receive batch 1");
+    }
+    m.message_send(ctl, b"batch1").expect("ack batch1");
+    for _ in 0..8 {
+        m.message_receive_timeout(flood, &mut buf, Duration::from_secs(30))
+            .expect("receive batch 2");
+    }
+    // Leave before acking so the parent's conservation check runs after
+    // this receiver is really gone.
+    m.close_receive(flood).expect("close flood");
+    m.message_send(ctl, b"batch2").expect("ack batch2");
+    m.close_send(ctl).expect("close ctl");
+}
+
+/// Regression for the FCFS-obligation leak across real process
+/// boundaries: a sender floods a conversation whose FCFS receiver (the
+/// parent) departs while a broadcast-only consumer (the child process)
+/// keeps it alive.  Before the obligation re-evaluation fix the 20
+/// batch-1 messages stayed owed to the departed FCFS class forever —
+/// read by the child but never reclaimable — and the pool check at the
+/// end failed with 20 of 32 blocks pinned.
+#[test]
+fn fcfs_departure_releases_obligations_across_processes() {
+    let region = unique_region("fcfs-leak");
+    let cfg = MpfConfig::new(8, 8)
+        .with_block_payload(64)
+        .with_total_blocks(32)
+        .with_max_messages(64)
+        .with_max_connections(16);
+    let m = IpcMpf::create(&region, &cfg).expect("create region");
+    let total = m.free_blocks();
+
+    let flood_tx = m.open_send("flood").expect("open flood send");
+    let flood_rf = m
+        .open_receive("flood", Protocol::Fcfs)
+        .expect("open flood fcfs");
+    let ctl = m.open_receive("ctl", Protocol::Fcfs).expect("open ctl");
+
+    let child = spawn_helper("helper_broadcast_only_consumer", &region);
+    let mut buf = [0u8; 128];
+    let n = m
+        .message_receive_timeout(ctl, &mut buf, Duration::from_secs(30))
+        .expect("joined ack");
+    assert_eq!(&buf[..n], b"joined");
+
+    // Batch 1 is sent while an FCFS receiver is connected, so every
+    // message carries an FCFS obligation.
+    for i in 0..20u8 {
+        m.message_send(flood_tx, &[i]).expect("send batch 1");
+    }
+    let n = m
+        .message_receive_timeout(ctl, &mut buf, Duration::from_secs(30))
+        .expect("batch1 ack");
+    assert_eq!(&buf[..n], b"batch1");
+
+    // The last FCFS receiver leaves; the broadcast consumer lives on.
+    // The obligations must be re-evaluated here, or batch 1 pins 20
+    // blocks for the rest of the conversation's life.
+    m.close_receive(flood_rf).expect("close fcfs");
+
+    // Batch 2 must fit in the pool: bounded, not bled dry by batch 1.
+    for i in 0..8u8 {
+        m.message_send(flood_tx, &[i]).expect("send batch 2");
+    }
+    let n = m
+        .message_receive_timeout(ctl, &mut buf, Duration::from_secs(30))
+        .expect("batch2 ack");
+    assert_eq!(&buf[..n], b"batch2");
+    finish(child, "broadcast-only consumer");
+
+    // The child closed its broadcast connection before acking: only the
+    // sender connection remains, the queue must be fully drained, and
+    // every block back on the free list.
+    assert_eq!(
+        m.free_blocks(),
+        total,
+        "blocks still pinned by departed-FCFS obligations"
+    );
+    m.close_send(flood_tx).expect("close flood send");
+    m.close_receive(ctl).expect("close ctl");
+    assert_eq!(m.live_lnvcs(), 0);
+    assert_eq!(m.free_blocks(), total);
+}

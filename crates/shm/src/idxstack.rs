@@ -75,6 +75,9 @@ impl IndexStack {
     /// [`crate::pool`] guarantee each index is pushed at most once per pop.
     pub fn push(&self, idx: u32) {
         assert!((idx as usize) < self.next.len(), "index out of range");
+        crate::hooks::yield_point(crate::hooks::SyncEvent::StackPush(
+            self as *const Self as usize,
+        ));
         let mut head = self.head.load(Ordering::Acquire);
         loop {
             let (tag, top) = unpack(head);
@@ -96,6 +99,9 @@ impl IndexStack {
 
     /// Pops an index, or `None` if the stack is empty.
     pub fn pop(&self) -> Option<u32> {
+        crate::hooks::yield_point(crate::hooks::SyncEvent::StackPop(
+            self as *const Self as usize,
+        ));
         let mut head = self.head.load(Ordering::Acquire);
         loop {
             let (tag, top) = unpack(head);

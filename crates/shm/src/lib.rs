@@ -24,6 +24,9 @@
 //! * [`waitq::WaitQueue`] — wait/notify used by the blocking
 //!   `message_receive()`; spin, yield, park and futex strategies
 //!   (ablation A3).
+//! * [`hooks`] — the sync-event hook layer: every lock, wait queue, pool
+//!   and free list reports to an optional thread-local [`hooks::SyncHook`],
+//!   the seam the `mpf-check` schedule-exploration harness drives.
 //! * [`process`] — the paper's "group of Unix processes" realized as scoped
 //!   OS threads carrying [`process::ProcessId`]s.
 //! * [`barrier::SpinBarrier`] — sense-reversing barrier used by the
@@ -48,6 +51,7 @@ pub mod arena;
 pub mod backoff;
 pub mod barrier;
 pub mod futex;
+pub mod hooks;
 pub mod idxstack;
 pub mod lock;
 pub mod pad;
@@ -62,6 +66,7 @@ pub mod waitq;
 pub use arena::StridedArena;
 pub use backoff::Backoff;
 pub use barrier::SpinBarrier;
+pub use hooks::{HookGuard, HookedMutex, SyncEvent, SyncHook};
 pub use idxstack::{IndexStack, NIL};
 pub use lock::{FutexLock, IpcAcquire, IpcLock, LockKind, ShmLock, ShmLockGuard};
 pub use pad::CachePadded;

@@ -72,6 +72,9 @@ impl SpinLock {
     /// Acquires, spinning with backoff.  The read-only inner loop keeps the
     /// lock word in-cache so retries do not occupy the bus.
     pub fn lock(&self) {
+        if crate::hooks::lock_acquire(self as *const Self as usize, &mut || self.try_lock()) {
+            return;
+        }
         if self.try_lock() {
             return;
         }
@@ -91,6 +94,7 @@ impl SpinLock {
     #[inline]
     pub fn unlock(&self) {
         self.locked.store(false, Ordering::Release);
+        crate::hooks::lock_release(self as *const Self as usize);
     }
 
     /// Number of acquisitions that did not succeed on the first attempt.
@@ -132,7 +136,15 @@ impl TicketLock {
     }
 
     /// Acquires in FIFO order.
+    ///
+    /// Under a schedule-exploration hook the acquisition goes through
+    /// [`TicketLock::try_lock`] instead, so FIFO hand-off degenerates to
+    /// whatever order the harness scheduler picks — acceptable, since the
+    /// harness's whole point is to permute acquisition order.
     pub fn lock(&self) {
+        if crate::hooks::lock_acquire(self as *const Self as usize, &mut || self.try_lock()) {
+            return;
+        }
         let ticket = self.next.fetch_add(1, Ordering::Relaxed);
         if self.serving.load(Ordering::Acquire) == ticket {
             return;
@@ -149,6 +161,7 @@ impl TicketLock {
         let serving = self.serving.load(Ordering::Relaxed);
         self.serving
             .store(serving.wrapping_add(1), Ordering::Release);
+        crate::hooks::lock_release(self as *const Self as usize);
     }
 
     /// Number of acquisitions that had to wait.
@@ -190,6 +203,9 @@ impl FutexLock {
 
     /// Acquires, sleeping in the kernel while contended.
     pub fn lock(&self) {
+        if crate::hooks::lock_acquire(self as *const Self as usize, &mut || self.try_lock()) {
+            return;
+        }
         if self.try_lock() {
             return;
         }
@@ -205,6 +221,7 @@ impl FutexLock {
         if self.state.swap(0, Ordering::Release) == 2 {
             futex::futex_wake_one(&self.state);
         }
+        crate::hooks::lock_release(self as *const Self as usize);
     }
 
     /// Number of acquisitions that had to wait.
@@ -277,6 +294,16 @@ impl IpcLock {
     /// liveness; it is consulted only after [`IPC_LOCK_PATIENCE`] of
     /// fruitless waiting.  Returns whether the lock was clean.
     pub fn lock(&self, me: u32, is_alive: impl Fn(u32) -> bool) -> IpcAcquire {
+        // Under a schedule-exploration hook all peers are threads of one
+        // process and cannot die mid-section, so the liveness oracle is
+        // never consulted on the hooked path.
+        if crate::hooks::lock_acquire(self as *const Self as usize, &mut || self.try_lock(me)) {
+            return if self.is_poisoned() {
+                IpcAcquire::Poisoned
+            } else {
+                IpcAcquire::Clean
+            };
+        }
         if !self.try_lock(me) {
             loop {
                 if self.state.swap(2, Ordering::Acquire) == 0 {
@@ -322,6 +349,7 @@ impl IpcLock {
         if self.state.swap(0, Ordering::Release) == 2 {
             futex::futex_wake_one(&self.state);
         }
+        crate::hooks::lock_release(self as *const Self as usize);
     }
 
     /// Marks the protected structure as possibly torn (also set by

@@ -65,6 +65,7 @@ impl<T> Pool<T> {
     /// Takes a free slot, returning its index, or `None` when exhausted
     /// (the paper's fixed shared-memory budget is a hard limit too).
     pub fn alloc(&self) -> Option<u32> {
+        crate::hooks::yield_point(crate::hooks::SyncEvent::Alloc(self as *const Self as usize));
         self.free.pop()
     }
 
@@ -74,6 +75,7 @@ impl<T> Pool<T> {
     /// panics if out of range.
     pub fn free(&self, idx: u32) {
         debug_assert!(idx != NIL);
+        crate::hooks::yield_point(crate::hooks::SyncEvent::Free(self as *const Self as usize));
         self.free.push(idx);
     }
 

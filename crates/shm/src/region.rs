@@ -156,6 +156,11 @@ impl ShmRegion {
         // backing so it outlives the mapping.
         let base = unsafe { sys::mmap_shared(file.as_raw_fd(), len) }
             .map_err(io::Error::from_raw_os_error)?;
+        // Let the hook layer give in-region primitives a
+        // mapping-independent identity: two mappings of the same backing
+        // file must resolve a given lock or futex word to the same
+        // resource id even though their base addresses differ.
+        crate::hooks::register_region(base, len, region_key(&file)?);
         Ok(Self {
             base,
             len,
@@ -235,9 +240,28 @@ impl ShmRegion {
     }
 }
 
+/// Identity of the file backing a mapping — the same for every mapping of
+/// one region, distinct across regions.
+#[cfg(unix)]
+fn region_key(file: &File) -> io::Result<u64> {
+    use std::os::unix::fs::MetadataExt;
+    let md = file.metadata()?;
+    Ok(md.dev().wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ md.ino())
+}
+
+/// Without Unix file identity every mapping gets its own key; aliasing
+/// detection degrades to none, matching the platform's `attach` support.
+#[cfg(not(unix))]
+fn region_key(_file: &File) -> io::Result<u64> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    Ok(NEXT.fetch_add(1, Ordering::Relaxed))
+}
+
 impl Drop for ShmRegion {
     fn drop(&mut self) {
         if let Backing::Mmap { unlink, .. } = &self.backing {
+            crate::hooks::unregister_region(self.base);
             // SAFETY: `(base, len)` is the live mapping created in `map`;
             // dropping self invalidates all references derived from it by
             // the `at`/`bytes_at` contracts.

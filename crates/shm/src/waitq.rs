@@ -77,6 +77,11 @@ impl WaitQueue {
 
     /// Blocks until the sequence moves past `ticket` (or spuriously).
     pub fn wait(&self, ticket: u32, strategy: WaitStrategy) {
+        if crate::hooks::wait(self as *const Self as usize, &mut || {
+            self.seq.load(Ordering::Acquire) != ticket
+        }) {
+            return;
+        }
         match strategy {
             WaitStrategy::Spin => {
                 let mut backoff = Backoff::new();
@@ -134,6 +139,79 @@ impl WaitQueue {
         for t in parked.drain(..) {
             t.unpark();
         }
+        drop(parked);
+        crate::hooks::notify(self as *const Self as usize);
+    }
+
+    /// Blocks until *any* of `entries`' sequences moves past its ticket
+    /// (or spuriously) — the multiplexed wait behind
+    /// `Mpf::wait_any`.  Each `(queue, ticket)` pair must have had its
+    /// ticket taken before the caller last checked its predicate, exactly
+    /// as for [`WaitQueue::wait`].  Returns immediately for an empty
+    /// slice (there is nothing to wait on; callers reject that case
+    /// before blocking forever).
+    pub fn wait_many(entries: &[(&WaitQueue, u32)], strategy: WaitStrategy) {
+        if entries.is_empty() {
+            return;
+        }
+        let moved = || {
+            entries
+                .iter()
+                .any(|&(q, t)| q.seq.load(Ordering::Acquire) != t)
+        };
+        let resources: Vec<usize> = entries
+            .iter()
+            .map(|&(q, _)| q as *const WaitQueue as usize)
+            .collect();
+        if crate::hooks::wait_multi(&resources, &mut || moved()) {
+            return;
+        }
+        match strategy {
+            WaitStrategy::Spin => {
+                let mut backoff = Backoff::new();
+                while !moved() {
+                    backoff.spin();
+                }
+            }
+            WaitStrategy::Yield => {
+                let mut backoff = Backoff::new();
+                while !moved() {
+                    backoff.snooze();
+                }
+            }
+            WaitStrategy::Park => {
+                loop {
+                    if moved() {
+                        return;
+                    }
+                    // Register with every queue; whichever notifies first
+                    // unparks us, and the stale registrations at worst
+                    // deliver a harmless extra unpark later.
+                    for &(q, _) in entries {
+                        q.parked
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .push(thread::current());
+                    }
+                    if moved() {
+                        return;
+                    }
+                    thread::park_timeout(Duration::from_millis(2));
+                }
+            }
+            WaitStrategy::Futex => {
+                // A futex word can only sleep on one address; sleep on the
+                // first queue with a short bound so notifications on the
+                // others are observed within the timeout.  Queue-0 wakes
+                // are immediate, like the single-queue path.
+                let (q0, t0) = entries[0];
+                while !moved() {
+                    q0.futex_waiters.fetch_add(1, Ordering::SeqCst);
+                    futex::futex_wait(&q0.seq, t0, Some(Duration::from_millis(2)));
+                    q0.futex_waiters.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+        }
     }
 }
 
@@ -172,6 +250,14 @@ impl FutexSeq {
         if self.seq.load(Ordering::Acquire) != ticket {
             return true;
         }
+        // A hooked wait blocks until the sequence moves (the harness runs
+        // every peer in-process, so timeout-driven dead-peer sweeps are
+        // moot there).
+        if crate::hooks::wait(self as *const Self as usize, &mut || {
+            self.seq.load(Ordering::Acquire) != ticket
+        }) {
+            return true;
+        }
         futex::futex_wait(&self.seq, ticket, timeout);
         self.seq.load(Ordering::Acquire) != ticket
     }
@@ -181,6 +267,7 @@ impl FutexSeq {
     pub fn notify_all(&self) {
         self.seq.fetch_add(1, Ordering::Release);
         futex::futex_wake_all(&self.seq);
+        crate::hooks::notify(self as *const Self as usize);
     }
 }
 
@@ -265,6 +352,52 @@ mod tests {
         let t = q.ticket();
         q.notify_all();
         assert!(q.wait(t, None), "sequence already moved");
+    }
+
+    fn wait_many_smoke(strategy: WaitStrategy) {
+        let a = Arc::new(WaitQueue::new());
+        let b = Arc::new(WaitQueue::new());
+        let woken_by = {
+            let a = Arc::clone(&a);
+            let b = Arc::clone(&b);
+            thread::spawn(move || {
+                let entries = [(&*a, a.ticket()), (&*b, b.ticket())];
+                WaitQueue::wait_many(&entries, strategy);
+                // Exactly one queue was notified; report which moved.
+                usize::from(entries[0].0.ticket() == entries[0].1)
+            })
+        };
+        thread::sleep(Duration::from_millis(20));
+        b.notify_all();
+        assert_eq!(woken_by.join().unwrap(), 1, "queue b moved, not a");
+    }
+
+    #[test]
+    fn wait_many_wakes_on_second_queue_park() {
+        wait_many_smoke(WaitStrategy::Park);
+    }
+
+    #[test]
+    fn wait_many_wakes_on_second_queue_futex() {
+        wait_many_smoke(WaitStrategy::Futex);
+    }
+
+    #[test]
+    fn wait_many_wakes_on_second_queue_yield() {
+        wait_many_smoke(WaitStrategy::Yield);
+    }
+
+    #[test]
+    fn wait_many_empty_returns_immediately() {
+        WaitQueue::wait_many(&[], WaitStrategy::Park);
+    }
+
+    #[test]
+    fn wait_many_returns_immediately_if_already_notified() {
+        let q = WaitQueue::new();
+        let t = q.ticket();
+        q.notify_all();
+        WaitQueue::wait_many(&[(&q, t)], WaitStrategy::Park);
     }
 
     #[test]

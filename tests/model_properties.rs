@@ -9,6 +9,10 @@
 //! * it is owed a broadcast delivery to exactly the broadcast receivers
 //!   connected at send time;
 //! * broadcast receivers joining later see only later messages;
+//! * FCFS obligations are re-evaluated when the receiver population
+//!   changes: once no FCFS receiver is connected but broadcast receivers
+//!   are, untaken obligations are dropped (nobody left or joining later
+//!   will ever take them — DESIGN.md "Obligation re-evaluation");
 //! * closing the last connection discards the conversation and its queue.
 
 use std::collections::HashMap;
@@ -100,6 +104,25 @@ impl ModelLnvc {
         self.senders.len() + self.receivers.len()
     }
 
+    /// Obligation re-evaluation after any receiver-population change: when
+    /// no FCFS receiver remains but broadcast receivers keep the LNVC
+    /// alive, untaken FCFS obligations can never be satisfied (broadcast
+    /// joiners never see backlog) and are dropped; messages that become
+    /// fully consumed disappear.
+    fn reevaluate_obligations(&mut self) {
+        let has_fcfs = self.receivers.values().any(|&(b, _)| !b);
+        let has_bcast = self.receivers.values().any(|&(b, _)| b);
+        if !has_fcfs && has_bcast {
+            for m in &mut self.msgs {
+                if !m.fcfs_taken {
+                    m.needs_fcfs = false;
+                }
+            }
+        }
+        self.msgs
+            .retain(|m| !(m.bcast_owed.is_empty() && (!m.needs_fcfs || m.fcfs_taken)));
+    }
+
     fn next_for(&self, pid: usize) -> Option<&ModelMsg> {
         let (bcast, cursor) = *self.receivers.get(&pid)?;
         if bcast {
@@ -163,6 +186,7 @@ fn run_sequence(ops: Vec<Op>) {
                     let id = result.expect("open_receive");
                     ids.insert(name, id);
                     entry.receivers.insert(pid, (bcast, entry.sent_total));
+                    entry.reevaluate_obligations();
                 }
             }
             Op::CloseSend { pid, name } => {
@@ -199,10 +223,8 @@ fn run_sequence(ops: Vec<Op>) {
                                 m.bcast_owed.retain(|&r| r != pid);
                             }
                         }
-                        entry.msgs.retain(|m| {
-                            !(m.bcast_owed.is_empty() && (!m.needs_fcfs || m.fcfs_taken))
-                        });
                     }
+                    entry.reevaluate_obligations();
                     if entry.connections() == 0 {
                         model.lnvcs.remove(&name);
                         ids.remove(&name);

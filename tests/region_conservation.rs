@@ -46,6 +46,7 @@ fn random_single_threaded_traffic_conserves_blocks() {
             "round {round}: blocks leaked after conversation deletion"
         );
         assert_eq!(mpf.live_lnvcs(), 0, "round {round}");
+        mpf.assert_invariants();
     }
 }
 
@@ -73,6 +74,7 @@ fn exhaustion_error_path_conserves_blocks() {
     assert_eq!(mpf.free_blocks(), 5, "consumption reclaims");
     assert_eq!(rx.recv(&mut buf).expect("recv"), 30);
     assert_eq!(mpf.free_blocks(), 8);
+    mpf.assert_invariants();
 }
 
 #[test]
@@ -97,6 +99,7 @@ fn buffer_too_small_never_leaks_or_consumes() {
     let v = rx.recv_vec().expect("recv");
     assert_eq!(v.len(), 100);
     assert_eq!(mpf.free_blocks(), 64);
+    mpf.assert_invariants();
 }
 
 #[test]
@@ -133,4 +136,5 @@ fn concurrent_traffic_conserves_after_join() {
     assert_eq!(snap.sends, 800);
     assert_eq!(snap.receives, 800);
     assert_eq!(snap.bytes_in, snap.bytes_out, "loop traffic is symmetric");
+    mpf.assert_invariants();
 }
