@@ -5,22 +5,26 @@
 //! length [and] approaches an asymptote … message copying costs dominate;
 //! memory bandwidth is the performance limiting factor."
 //!
-//! Usage: `fig3_base [--sim | --native | --both]` (default `--sim`).
+//! Usage: `fig3_base [--sim | --native | --both] [--json <path>]`
+//! (default `--sim`).
 
-use mpf_bench::report::{print_series, Mode};
+use mpf_bench::report::{print_series, JsonReport, Mode};
 use mpf_bench::{native, Series};
 use mpf_sim::{figures, CostModel, MachineConfig};
 
 fn main() {
     let mode = Mode::from_args();
+    let mut json = JsonReport::from_args();
     if mode.sim {
         let machine = MachineConfig::balance21000();
         let costs = CostModel::calibrated(&machine);
         let series = figures::fig3_base(&machine, &costs);
-        print_series(
-            "Figure 3 (base): throughput (bytes/s) vs message length [simulated Balance 21000]",
-            &[series],
-        );
+        let title =
+            "Figure 3 (base): throughput (bytes/s) vs message length [simulated Balance 21000]";
+        print_series(title, std::slice::from_ref(&series));
+        if let Some(j) = json.as_mut() {
+            j.add(title, &[series]);
+        }
     }
     if mode.native {
         let lengths = [16usize, 64, 128, 256, 512, 1024, 1536, 2048];
@@ -31,9 +35,14 @@ fn main() {
                 .map(|&len| (len as f64, native::base_throughput(len, 2_000)))
                 .collect(),
         };
-        print_series(
-            "Figure 3 (base): throughput (bytes/s) vs message length [native host]",
-            &[series],
-        );
+        let title = "Figure 3 (base): throughput (bytes/s) vs message length [native host]";
+        print_series(title, std::slice::from_ref(&series));
+        if let Some(j) = json.as_mut() {
+            j.add(title, &[series]);
+        }
+    }
+    if let Some(j) = json {
+        let path = j.write().expect("write --json");
+        eprintln!("wrote {}", path.display());
     }
 }

@@ -11,26 +11,32 @@
 //!   processes (the receiver is this binary re-exec'd with `--worker`),
 //!   the configuration the paper actually measured.
 //!
-//! Usage: `fig3_ipc [--msgs N]` (default 2000 messages per point).
+//! Usage: `fig3_ipc [--msgs N] [--no-telemetry] [--json <path>]`
+//! (default 2000 messages per point). `--no-telemetry` creates the
+//! region with recording off, for measuring the telemetry overhead;
+//! `--json` additionally writes the series plus loop-back latency
+//! percentiles (from the in-region histogram) machine-readably.
 
 use std::process::{Command, Stdio};
 use std::time::{Duration, Instant};
 
 use mpf::{MpfConfig, MpfError, Protocol};
-use mpf_bench::report::print_series;
+use mpf_bench::report::{json_num, print_series, JsonReport};
 use mpf_bench::{native, Series};
 use mpf_ipc::IpcMpf;
+use mpf_shm::telemetry::HistSnapshot;
 
 const LENGTHS: [usize; 8] = [16, 64, 128, 256, 512, 1024, 1536, 2048];
 const REGION_ENV: &str = "MPF_FIG3_REGION";
 const ROUNDS_ENV: &str = "MPF_FIG3_ROUNDS";
 
-fn region_config() -> MpfConfig {
+fn region_config(telemetry: bool) -> MpfConfig {
     MpfConfig::new(4, 4)
         .with_block_payload(256)
         .with_total_blocks(1024)
         .with_max_messages(256)
         .with_max_connections(8)
+        .with_telemetry(telemetry)
 }
 
 /// Sends with back-pressure: pool exhaustion usually means the receiver
@@ -52,11 +58,12 @@ fn send_retry(m: &IpcMpf, id: mpf_ipc::IpcLnvcId, payload: &[u8]) {
 }
 
 /// In-process loop-back over the shared region (alternating send/recv,
-/// exactly the paper's `base` loop).
-fn ipc_loopback_throughput(len: usize, iters: u64) -> f64 {
+/// exactly the paper's `base` loop). Also returns the region's
+/// send-to-receive latency histogram (empty when telemetry is off).
+fn ipc_loopback_throughput(len: usize, iters: u64, telemetry: bool) -> (f64, HistSnapshot) {
     let m = IpcMpf::create(
         &format!("fig3-loop-{}", std::process::id()),
-        &region_config(),
+        &region_config(telemetry),
     )
     .expect("create region");
     let tx = m.open_send("bench").expect("tx");
@@ -69,7 +76,21 @@ fn ipc_loopback_throughput(len: usize, iters: u64) -> f64 {
         m.message_receive(rx, &mut buf).expect("recv");
     }
     let secs = start.elapsed().as_secs_f64();
-    (iters as usize * len) as f64 / secs
+    let tput = (iters as usize * len) as f64 / secs;
+    (tput, m.telemetry_snapshot().latency_hist)
+}
+
+/// Renders one latency histogram as a JSON object of percentiles.
+fn latency_json(h: &HistSnapshot) -> String {
+    format!(
+        "{{\"count\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+        h.count,
+        json_num(h.mean()),
+        h.percentile(0.50),
+        h.percentile(0.90),
+        h.percentile(0.99),
+        h.max
+    )
 }
 
 /// Worker half of the 2-process measurement: drain `bench`, ack each
@@ -93,9 +114,9 @@ fn worker_main(region: &str, rounds: usize) {
 }
 
 /// Parent half: per length, time `msgs` sends plus the worker's ack.
-fn ipc_two_process_series(msgs: u64) -> Series {
+fn ipc_two_process_series(msgs: u64, telemetry: bool) -> Series {
     let region = format!("fig3-xp-{}", std::process::id());
-    let m = IpcMpf::create(&region, &region_config()).expect("create region");
+    let m = IpcMpf::create(&region, &region_config(telemetry)).expect("create region");
     let tx = m.open_send("bench").expect("tx");
     let ack = m.open_receive("ack", Protocol::Fcfs).expect("ack rx");
 
@@ -146,6 +167,8 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|v| v.parse().expect("--msgs N"))
         .unwrap_or(2000);
+    let telemetry = !args.iter().any(|a| a == "--no-telemetry");
+    let mut json = JsonReport::from_args();
 
     let threads = Series {
         label: "threads".to_string(),
@@ -154,16 +177,51 @@ fn main() {
             .map(|&len| (len as f64, native::base_throughput(len, msgs)))
             .collect(),
     };
+    let mut latencies = Vec::new();
     let ipc_loop = Series {
         label: "ipc loop-back".to_string(),
         points: LENGTHS
             .iter()
-            .map(|&len| (len as f64, ipc_loopback_throughput(len, msgs)))
+            .map(|&len| {
+                let (tput, lat) = ipc_loopback_throughput(len, msgs, telemetry);
+                latencies.push((len, lat));
+                (len as f64, tput)
+            })
             .collect(),
     };
-    let ipc_xp = ipc_two_process_series(msgs);
-    print_series(
-        "Figure 3 on the process backend: throughput (bytes/s) vs message length",
-        &[threads, ipc_loop, ipc_xp],
+    let ipc_xp = ipc_two_process_series(msgs, telemetry);
+    let title = format!(
+        "Figure 3 on the process backend: throughput (bytes/s) vs message length [telemetry {}]",
+        if telemetry { "on" } else { "off" }
     );
+    let series = [threads, ipc_loop, ipc_xp];
+    print_series(&title, &series);
+    if telemetry {
+        println!("# loop-back send-to-receive latency (ns, in-region histogram)");
+        for (len, lat) in &latencies {
+            println!(
+                "len {len:<6} p50 {:<8} p90 {:<8} p99 {:<8} max {}",
+                lat.percentile(0.50),
+                lat.percentile(0.90),
+                lat.percentile(0.99),
+                lat.max
+            );
+        }
+        println!();
+    }
+    if let Some(j) = json.as_mut() {
+        j.add(&title, &series);
+        j.add_extra("telemetry", format!("{telemetry}"));
+        j.add_extra("msgs_per_point", format!("{msgs}"));
+        let lat = latencies
+            .iter()
+            .map(|(len, h)| format!("{{\"len\":{len},\"latency_ns\":{}}}", latency_json(h)))
+            .collect::<Vec<_>>()
+            .join(",");
+        j.add_extra("loopback_latency", format!("[{lat}]"));
+    }
+    if let Some(j) = json {
+        let path = j.write().expect("write --json");
+        eprintln!("wrote {}", path.display());
+    }
 }

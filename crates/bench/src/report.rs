@@ -1,4 +1,7 @@
-//! Plain-text rendering of figure series.
+//! Plain-text rendering of figure series, plus the `--json <path>`
+//! machine-readable writer shared by the figure binaries.
+
+use std::path::PathBuf;
 
 use mpf_sim::figures::Series;
 
@@ -69,9 +72,142 @@ impl Mode {
     }
 }
 
+/// Accumulates every figure rendered during one run and writes them as a
+/// single JSON document (hand-rolled — the workspace is dependency-free).
+///
+/// ```text
+/// {"figures":[{"title":"...","series":[{"label":"...","points":[[16,1.5e6],...]}]}],
+///  "extra":{"latency_ns":{...}}}
+/// ```
+#[derive(Debug)]
+pub struct JsonReport {
+    path: PathBuf,
+    figures: Vec<String>,
+    extra: Vec<(String, String)>,
+}
+
+impl JsonReport {
+    /// Parses `--json <path>` from the process arguments; `None` when the
+    /// flag is absent (text output only).
+    pub fn from_args() -> Option<Self> {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let i = args.iter().position(|a| a == "--json")?;
+        let path = args.get(i + 1)?;
+        if path.starts_with('-') {
+            return None;
+        }
+        Some(Self {
+            path: PathBuf::from(path),
+            figures: Vec::new(),
+            extra: Vec::new(),
+        })
+    }
+
+    /// Records one figure (same inputs as [`print_series`]).
+    pub fn add(&mut self, title: &str, series: &[Series]) {
+        let rendered = series
+            .iter()
+            .map(|s| {
+                let pts = s
+                    .points
+                    .iter()
+                    .map(|(x, y)| format!("[{},{}]", json_num(*x), json_num(*y)))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!("{{\"label\":{},\"points\":[{pts}]}}", json_str(&s.label))
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        self.figures.push(format!(
+            "{{\"title\":{},\"series\":[{rendered}]}}",
+            json_str(title)
+        ));
+    }
+
+    /// Attaches an arbitrary pre-rendered JSON value under a top-level
+    /// `extra` key (e.g. latency percentiles).
+    pub fn add_extra(&mut self, key: &str, raw_json: String) {
+        self.extra.push((key.to_string(), raw_json));
+    }
+
+    /// Writes the document; returns the path written.
+    pub fn write(self) -> std::io::Result<PathBuf> {
+        let extras = self
+            .extra
+            .iter()
+            .map(|(k, v)| format!("{}:{v}", json_str(k)))
+            .collect::<Vec<_>>()
+            .join(",");
+        let doc = format!(
+            "{{\"figures\":[{}],\"extra\":{{{extras}}}}}\n",
+            self.figures.join(",")
+        );
+        std::fs::write(&self.path, doc)?;
+        Ok(self.path)
+    }
+}
+
+/// JSON number: finite values as-is, NaN/inf as null (JSON has neither).
+pub fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// JSON string escape.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_report_renders_valid_document() {
+        let mut r = JsonReport {
+            path: std::env::temp_dir().join(format!("bench-json-{}.json", std::process::id())),
+            figures: Vec::new(),
+            extra: Vec::new(),
+        };
+        r.add(
+            "fig \"3\"",
+            &[Series {
+                label: "a\nb".into(),
+                points: vec![(16.0, 1.5e6), (64.0, f64::NAN)],
+            }],
+        );
+        r.add_extra("latency_ns", "{\"p50\":120}".into());
+        let path = r.write().unwrap();
+        let doc = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert!(doc.contains("\"fig \\\"3\\\"\""));
+        assert!(doc.contains("[16,1500000]"));
+        assert!(doc.contains("[64,null]"));
+        assert!(doc.contains("\"latency_ns\":{\"p50\":120}"));
+        // Balanced braces/brackets — cheap structural sanity without a parser.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                doc.matches(open).count(),
+                doc.matches(close).count(),
+                "unbalanced {open}{close} in {doc}"
+            );
+        }
+    }
 
     #[test]
     fn trim_float_formats() {

@@ -395,13 +395,104 @@ fn open_close_churn_vs_traffic() {
     explore_random(&opts, 0xC4A1, make).assert_ok();
 }
 
+/// Telemetry conservation under permuted schedules: however one sender
+/// and two competing FCFS receivers interleave, the in-region counters
+/// must agree with the final facility state — every send counted exactly
+/// once, every delivery exactly once, bytes in = bytes out, every freed
+/// message a counted reclaim, and no corpses left queued.  A counter
+/// update outside the right critical section (or a double count on a
+/// retry path) shows up here as a schedule-dependent mismatch.
+#[test]
+fn telemetry_conserved_under_schedules() {
+    let make = || {
+        let cfg = MpfConfig::new(4, 4)
+            .with_total_blocks(64)
+            .with_block_payload(16)
+            .with_max_messages(16);
+        let mpf = Arc::new(Mpf::init(cfg).expect("init"));
+        let tx = mpf.open_send(p(0), "meter").expect("open_send");
+        let r1 = mpf
+            .open_receive(p(1), "meter", Protocol::Fcfs)
+            .expect("open r1");
+        let r2 = mpf
+            .open_receive(p(2), "meter", Protocol::Fcfs)
+            .expect("open r2");
+        let sender = {
+            let mpf = Arc::clone(&mpf);
+            Box::new(move || {
+                for i in 0..4u8 {
+                    mpf.message_send(p(0), tx, &[i; 24]).expect("send");
+                }
+            }) as Proc
+        };
+        let reader = |pid: usize, id| {
+            let mpf = Arc::clone(&mpf);
+            Box::new(move || {
+                for _ in 0..2 {
+                    mpf.message_receive_vec(p(pid), id).expect("recv");
+                }
+            }) as Proc
+        };
+        let procs = vec![sender, reader(1, r1), reader(2, r2)];
+        Case {
+            procs,
+            check: Box::new(move || {
+                mpf.check_invariants()?;
+                let t = mpf.telemetry_snapshot();
+                if t.sends != 4 || t.receives != 4 {
+                    return Err(format!(
+                        "send/receive counters drifted: {} sent, {} received, want 4/4",
+                        t.sends, t.receives
+                    ));
+                }
+                if t.bytes_in != 96 || t.bytes_out != 96 {
+                    return Err(format!(
+                        "byte conservation broken: {} in, {} out, want 96/96",
+                        t.bytes_in, t.bytes_out
+                    ));
+                }
+                if t.size_hist.count != 4 || t.latency_hist.count != 4 {
+                    return Err(format!(
+                        "histogram samples drifted: {} sizes, {} latencies, want 4/4",
+                        t.size_hist.count, t.latency_hist.count
+                    ));
+                }
+                if t.reclaims != 4 {
+                    return Err(format!(
+                        "reclaim count drifted: {} freed, want 4 (one per message)",
+                        t.reclaims
+                    ));
+                }
+                let lt = mpf.lnvc_telemetry(tx).map_err(|e| e.to_string())?;
+                if lt.sends != 4 || lt.receives != 4 {
+                    return Err(format!(
+                        "per-LNVC counters drifted: {}/{}, want 4/4",
+                        lt.sends, lt.receives
+                    ));
+                }
+                if lt.depth_hwm == 0 || lt.depth_hwm > 4 {
+                    return Err(format!("depth high-water {} outside 1..=4", lt.depth_hwm));
+                }
+                let rec = mpf.reclaimable();
+                if rec != Default::default() {
+                    return Err(format!("corpses left after full drain: {rec:?}"));
+                }
+                Ok(())
+            }),
+        }
+    };
+    let opts = ExploreOpts::new("telemetry-conserved").max_schedules(300);
+    explore_dfs(&opts, make).assert_ok();
+    explore_random(&opts, 0x7E1E, make).assert_ok();
+}
+
 /// The schedule counts above must add up: this is the floor the PR CI run
 /// is expected to clear ("≥ 1000 distinct schedules across the suite").
 /// Random exploration always runs its full budget, so the guaranteed
 /// minimum is the sum of the random budgets alone: 600 + 300 + 300 + 300 +
-/// 200 + 300 = 2000.
+/// 200 + 300 + 300 = 2300.
 #[test]
 fn suite_budget_floor() {
-    let budgets = [600usize, 300, 300, 300, 200, 300];
+    let budgets = [600usize, 300, 300, 300, 200, 300, 300];
     assert!(budgets.iter().sum::<usize>() >= 1000);
 }

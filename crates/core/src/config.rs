@@ -51,6 +51,12 @@ pub struct MpfConfig {
     pub exhaust_policy: ExhaustPolicy,
     /// Event-trace capacity; 0 disables tracing (see [`crate::trace`]).
     pub trace_capacity: usize,
+    /// Whether the facility records in-region telemetry (counters,
+    /// histograms, flight rings).  On by default — the cost is one relaxed
+    /// atomic per counter; the off switch exists so benchmarks can measure
+    /// exactly that cost.  The telemetry segments are always carved (the
+    /// layout does not depend on this flag); disabling only stops writes.
+    pub telemetry: bool,
 }
 
 /// The paper's experimental block payload: 10 bytes.
@@ -76,6 +82,7 @@ impl MpfConfig {
             wait_strategy: WaitStrategy::Yield,
             exhaust_policy: ExhaustPolicy::Wait,
             trace_capacity: 0,
+            telemetry: true,
         }
     }
 
@@ -136,6 +143,12 @@ impl MpfConfig {
         self
     }
 
+    /// Enables or disables in-region telemetry recording (on by default).
+    pub fn with_telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
+        self
+    }
+
     /// Largest single message payload the configured region can hold
     /// (every block devoted to one message).
     pub fn max_message_bytes(&self) -> usize {
@@ -173,7 +186,9 @@ mod tests {
             .with_max_connections(7)
             .with_lock_kind(LockKind::Ticket)
             .with_wait_strategy(WaitStrategy::Park)
-            .with_exhaust_policy(ExhaustPolicy::Error);
+            .with_exhaust_policy(ExhaustPolicy::Error)
+            .with_telemetry(false);
+        assert!(!cfg.telemetry);
         assert_eq!(cfg.block_payload, 128);
         assert_eq!(cfg.total_blocks, 100);
         assert_eq!(cfg.max_messages, 10);

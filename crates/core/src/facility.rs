@@ -18,9 +18,14 @@
 //! BROADCAST receivers copy one message concurrently — the effect behind
 //! the paper's Figure 5.
 
+use std::sync::atomic::Ordering;
+
 use mpf_shm::idxstack::NIL;
 use mpf_shm::pool::Pool;
 use mpf_shm::process::ProcessId;
+use mpf_shm::telemetry::{
+    now_nanos, FacilityTelemetry, LnvcTelSnapshot, LnvcTelemetry, TelSnapshot,
+};
 use mpf_shm::waitq::WaitQueue;
 
 use crate::block::BlockPool;
@@ -30,7 +35,7 @@ use crate::error::{MpfError, Result};
 use crate::lnvc::{Ctx, LnvcSlot};
 use crate::message::MsgSlot;
 use crate::registry::Registry;
-use crate::stats::MpfStats;
+use crate::stats::{MpfStats, Reclaimable};
 use crate::trace::{EventKind, TraceLog, Tracer, NO_STAMP};
 use crate::types::{LnvcId, LnvcName, Protocol, MAX_LNVC_INDEX};
 
@@ -48,6 +53,13 @@ pub struct Mpf {
     /// Senders blocked on region exhaustion wait here (flow control).
     mem_waitq: WaitQueue,
     stats: MpfStats,
+    /// Region-global telemetry block.  This backend keeps it on the heap;
+    /// [`crate::layout`] carves the identical `#[repr(C)]` struct into the
+    /// shared region for the IPC backend, so the recording code paths are
+    /// the same shape in both.
+    tel: FacilityTelemetry,
+    /// Per-conversation telemetry, indexed like the LNVC pool.
+    lnvc_tel: Box<[LnvcTelemetry]>,
     tracer: Option<Tracer>,
 }
 
@@ -68,6 +80,10 @@ impl Mpf {
             registry: Registry::new(cfg.max_lnvcs as usize),
             mem_waitq: WaitQueue::new(),
             stats: MpfStats::default(),
+            tel: FacilityTelemetry::default(),
+            lnvc_tel: (0..cfg.max_lnvcs)
+                .map(|_| LnvcTelemetry::default())
+                .collect(),
             tracer: (cfg.trace_capacity > 0).then(|| Tracer::new(cfg.trace_capacity)),
             cfg,
         })
@@ -87,6 +103,85 @@ impl Mpf {
     /// Live instrumentation counters.
     pub fn stats(&self) -> &MpfStats {
         &self.stats
+    }
+
+    /// Point-in-time copy of the region telemetry block (stays zero when
+    /// [`MpfConfig::with_telemetry`] turned recording off).
+    pub fn telemetry_snapshot(&self) -> TelSnapshot {
+        self.tel.snapshot()
+    }
+
+    /// Point-in-time copy of one conversation's telemetry.
+    pub fn lnvc_telemetry(&self, id: LnvcId) -> Result<LnvcTelSnapshot> {
+        let slot = self.slot(id)?;
+        let _guard = slot.lock.lock();
+        Self::validate(slot, id)?;
+        Ok(self.lnvc_tel[id.index() as usize].snapshot())
+    }
+
+    /// Pool occupancy held by corpses: queued messages that are fully
+    /// consumed and unpinned, awaiting a reclamation sweep.  Distinguishes
+    /// "pool full of live messages" from "pool full of garbage a sweep
+    /// would free".  Locks registry then each descriptor, like
+    /// [`Self::check_invariants`], so call it at quiescent points.
+    pub fn reclaimable(&self) -> Reclaimable {
+        let reg = self.registry.lock();
+        let mut out = Reclaimable::default();
+        for &idx in reg.values() {
+            let slot = self.lnvcs.get(idx);
+            let _guard = slot.lock.lock();
+            if !slot.is_active() {
+                continue;
+            }
+            let (messages, blocks) = self.ctx(slot).count_reclaimable();
+            out.messages += messages;
+            out.blocks += blocks;
+        }
+        out
+    }
+
+    /// The facility telemetry block, when recording is enabled.
+    #[inline]
+    fn tel(&self) -> Option<&FacilityTelemetry> {
+        self.cfg.telemetry.then_some(&self.tel)
+    }
+
+    /// One conversation's telemetry block, when recording is enabled.
+    #[inline]
+    fn ltel(&self, idx: u32) -> Option<&LnvcTelemetry> {
+        self.cfg.telemetry.then(|| &self.lnvc_tel[idx as usize])
+    }
+
+    /// Telemetry for one completed delivery: receive counters, bytes, the
+    /// send→receive latency sample, and any piggybacked reclamation.
+    fn note_delivery(&self, idx: u32, len: usize, sent_at: u64, freed: u32) {
+        let Some(t) = self.tel() else { return };
+        t.receives.inc();
+        t.bytes_out.add(len as u64);
+        if freed > 0 {
+            t.reclaims.add(freed as u64);
+        }
+        let lt = &self.lnvc_tel[idx as usize];
+        lt.receives.fetch_add(1, Ordering::Relaxed);
+        lt.bytes_out.fetch_add(len as u64, Ordering::Relaxed);
+        if freed > 0 {
+            lt.reclaims.fetch_add(freed as u64, Ordering::Relaxed);
+        }
+        if sent_at != 0 {
+            let lat = now_nanos().saturating_sub(sent_at);
+            t.latency_hist.record(lat);
+            lt.latency.record(lat);
+        }
+    }
+
+    /// Telemetry for one blocked receive wait (mirrors `stats.recv_waits`).
+    fn note_recv_wait(&self, idx: u32) {
+        if let Some(t) = self.tel() {
+            t.recv_waits.inc();
+            self.lnvc_tel[idx as usize]
+                .recv_waits
+                .fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Drains the event trace, if tracing was enabled at `init`.
@@ -170,6 +265,11 @@ impl Mpf {
         self.lnvcs.get(idx).activate();
         reg.insert(name, idx);
         self.stats.lnvcs_created.inc();
+        if let Some(t) = self.tel() {
+            t.lnvcs_created.inc();
+            // A recycled slot must not inherit its predecessor's numbers.
+            self.lnvc_tel[idx as usize].reset();
+        }
         Ok((idx, true))
     }
 
@@ -185,6 +285,9 @@ impl Mpf {
         slot.deactivate();
         self.lnvcs.free(idx);
         self.stats.lnvcs_deleted.inc();
+        if let Some(t) = self.tel() {
+            t.lnvcs_deleted.inc();
+        }
     }
 
     /// `open_send(process_id, lnvc_name)`: establishes a send connection,
@@ -267,6 +370,12 @@ impl Mpf {
         drop(reg);
         if freed > 0 {
             self.stats.reclaims.add(freed as u64);
+            if let Some(t) = self.tel() {
+                t.reclaims.add(freed as u64);
+                self.lnvc_tel[idx as usize]
+                    .reclaims
+                    .fetch_add(freed as u64, Ordering::Relaxed);
+            }
             self.mem_waitq.notify_all();
         }
         if result.is_ok() {
@@ -293,6 +402,9 @@ impl Mpf {
         slot.deactivate();
         self.lnvcs.free(idx);
         self.stats.lnvcs_deleted.inc();
+        if let Some(t) = self.tel() {
+            t.lnvcs_deleted.inc();
+        }
         true
     }
 
@@ -358,6 +470,12 @@ impl Mpf {
         drop(reg);
         if reclaimed > 0 {
             self.stats.reclaims.add(reclaimed as u64);
+            if let Some(t) = self.tel() {
+                t.reclaims.add(reclaimed as u64);
+                self.lnvc_tel[id.index() as usize]
+                    .reclaims
+                    .fetch_add(reclaimed as u64, Ordering::Relaxed);
+            }
         }
         slot.waitq.notify_all();
         self.mem_waitq.notify_all();
@@ -374,6 +492,9 @@ impl Mpf {
         drop(_guard);
         if freed > 0 {
             self.stats.reclaims.add(freed as u64);
+            if let Some(t) = self.tel() {
+                t.reclaims.add(freed as u64);
+            }
             self.mem_waitq.notify_all();
         }
         freed
@@ -401,6 +522,9 @@ impl Mpf {
                             return Err(MpfError::MessagesExhausted);
                         }
                         self.stats.send_waits.inc();
+                        if let Some(t) = self.tel() {
+                            t.send_waits.inc();
+                        }
                         self.mem_waitq.wait(ticket, self.cfg.wait_strategy);
                     }
                 },
@@ -412,6 +536,9 @@ impl Mpf {
                         return Err(MpfError::BlocksExhausted);
                     }
                     self.stats.send_waits.inc();
+                    if let Some(t) = self.tel() {
+                        t.send_waits.inc();
+                    }
                     self.mem_waitq.wait(ticket, self.cfg.wait_strategy);
                 }
                 Err(e) => return Err(e),
@@ -443,12 +570,25 @@ impl Mpf {
                 return Err(e);
             }
             let stamp = ctx.enqueue(msg_idx, buf.len(), chain);
+            if let Some(lt) = self.ltel(id.index()) {
+                // Stamped under the lock, before receivers can see the
+                // message, so `sent_at` is final once the lock drops.
+                self.msgs.get(msg_idx).set_sent_at(now_nanos());
+                lt.sends.fetch_add(1, Ordering::Relaxed);
+                lt.bytes_in.fetch_add(buf.len() as u64, Ordering::Relaxed);
+                lt.note_depth(u64::from(slot.msg_count()));
+            }
             drop(_guard);
             self.trace(pid, EventKind::Send, id.index(), buf.len(), stamp);
         }
         slot.waitq.notify_all();
         self.stats.sends.inc();
         self.stats.bytes_in.add(buf.len() as u64);
+        if let Some(t) = self.tel() {
+            t.sends.inc();
+            t.bytes_in.add(buf.len() as u64);
+            t.size_hist.record(buf.len() as u64);
+        }
         Ok(())
     }
 
@@ -489,6 +629,7 @@ impl Mpf {
         msg.begin_copy();
         let head_block = msg.head_block();
         let stamp = msg.stamp();
+        let sent_at = msg.sent_at();
         drop(guard);
 
         self.blocks.read_chain(head_block, len, &mut buf[..len]);
@@ -507,6 +648,7 @@ impl Mpf {
         }
         self.stats.receives.inc();
         self.stats.bytes_out.add(len as u64);
+        self.note_delivery(id.index(), len, sent_at, freed);
         self.trace(pid, EventKind::Recv, id.index(), len, stamp);
         Ok(Some(len))
     }
@@ -526,6 +668,7 @@ impl Mpf {
                 return Ok(len);
             }
             self.stats.recv_waits.inc();
+            self.note_recv_wait(id.index());
             self.trace(pid, EventKind::RecvBlocked, id.index(), 0, NO_STAMP);
             slot.waitq.wait(ticket, self.cfg.wait_strategy);
         }
@@ -580,6 +723,7 @@ impl Mpf {
             let Some(msg_idx) = found else {
                 drop(guard);
                 self.stats.recv_waits.inc();
+                self.note_recv_wait(id.index());
                 self.trace(pid, EventKind::RecvBlocked, id.index(), 0, NO_STAMP);
                 slot.waitq.wait(ticket, self.cfg.wait_strategy);
                 continue;
@@ -593,6 +737,7 @@ impl Mpf {
             msg.begin_copy();
             let head_block = msg.head_block();
             let stamp = msg.stamp();
+            let sent_at = msg.sent_at();
             drop(guard);
 
             // SAFETY: the message is published and pinned; blocks of a
@@ -614,6 +759,7 @@ impl Mpf {
             }
             self.stats.receives.inc();
             self.stats.bytes_out.add(len as u64);
+            self.note_delivery(id.index(), len, sent_at, freed);
             self.trace(pid, EventKind::Recv, id.index(), len, stamp);
             return Ok(len);
         }
@@ -643,6 +789,7 @@ impl Mpf {
                 }
                 None => {
                     self.stats.recv_waits.inc();
+                    self.note_recv_wait(id.index());
                     slot.waitq.wait(ticket, self.cfg.wait_strategy);
                 }
             }
@@ -718,6 +865,9 @@ impl Mpf {
                 return Ok(id);
             }
             self.stats.recv_waits.inc();
+            if let Some(t) = self.tel() {
+                t.recv_waits.inc();
+            }
             WaitQueue::wait_many(&entries, self.cfg.wait_strategy);
         }
     }
@@ -1034,6 +1184,7 @@ mod tests {
             256,
             "the vexing-problem sweep frees them"
         );
+        assert_eq!(mpf.reclaimable(), Reclaimable::default());
         mpf.assert_invariants();
     }
 
@@ -1143,6 +1294,94 @@ mod tests {
         assert_eq!(snap.bytes_in, 50);
         assert_eq!(snap.bytes_out, 50);
         assert_eq!(snap.lnvcs_created, 1);
+    }
+
+    #[test]
+    fn telemetry_tracks_traffic_and_latency() {
+        let mpf = facility();
+        let tx = mpf.open_send(p(0), "tel").unwrap();
+        let rx = mpf.open_receive(p(1), "tel", Protocol::Fcfs).unwrap();
+        mpf.message_send(p(0), tx, &[0u8; 50]).unwrap();
+        mpf.message_send(p(0), tx, &[0u8; 70]).unwrap();
+        mpf.message_receive_vec(p(1), rx).unwrap();
+        mpf.message_receive_vec(p(1), rx).unwrap();
+        let t = mpf.telemetry_snapshot();
+        assert_eq!(t.sends, 2);
+        assert_eq!(t.receives, 2);
+        assert_eq!(t.bytes_in, 120);
+        assert_eq!(t.bytes_out, 120);
+        assert_eq!(t.lnvcs_created, 1);
+        assert_eq!(t.size_hist.count, 2);
+        assert_eq!(t.size_hist.sum, 120);
+        assert_eq!(t.size_hist.max, 70);
+        assert_eq!(t.latency_hist.count, 2, "every delivery samples latency");
+        assert!(t.latency_hist.percentile(0.99) >= t.latency_hist.percentile(0.50));
+        let lt = mpf.lnvc_telemetry(rx).unwrap();
+        assert_eq!(lt.sends, 2);
+        assert_eq!(lt.receives, 2);
+        assert_eq!(lt.bytes_in, 120);
+        assert_eq!(lt.depth_hwm, 2, "both messages were queued at once");
+        assert_eq!(lt.latency.count, 2);
+    }
+
+    #[test]
+    fn telemetry_off_records_nothing() {
+        let mpf = Mpf::init(
+            MpfConfig::new(4, 4)
+                .with_total_blocks(64)
+                .with_telemetry(false),
+        )
+        .unwrap();
+        let tx = mpf.open_send(p(0), "quiet").unwrap();
+        let rx = mpf.open_receive(p(1), "quiet", Protocol::Fcfs).unwrap();
+        mpf.message_send(p(0), tx, &[0u8; 50]).unwrap();
+        mpf.message_receive_vec(p(1), rx).unwrap();
+        let t = mpf.telemetry_snapshot();
+        assert_eq!(t.sends, 0);
+        assert_eq!(t.receives, 0);
+        assert_eq!(t.lnvcs_created, 0);
+        assert_eq!(t.latency_hist.count, 0);
+        // The classic stats stay on regardless.
+        assert_eq!(mpf.stats().snapshot().sends, 1);
+    }
+
+    #[test]
+    fn telemetry_resets_when_slot_recycled() {
+        let mpf = facility();
+        let id1 = mpf.open_send(p(0), "cycle").unwrap();
+        mpf.message_send(p(0), id1, b"old").unwrap();
+        mpf.close_send(p(0), id1).unwrap();
+        let id2 = mpf.open_send(p(0), "cycle").unwrap();
+        let lt = mpf.lnvc_telemetry(id2).unwrap();
+        assert_eq!(lt.sends, 0, "new conversation starts from zero");
+        assert_eq!(lt.depth_hwm, 0);
+    }
+
+    #[test]
+    fn reclaimable_reports_corpses_then_sweep_clears() {
+        // Same shape as broadcast_close_with_unread_messages_reclaims, but
+        // watching the metric: while r2's claims pin the queue the messages
+        // are *live* (not reclaimable); the close converts them to freed
+        // memory, never leaving corpses behind.
+        let mpf = facility();
+        let tx = mpf.open_send(p(0), "rec").unwrap();
+        let r1 = mpf.open_receive(p(1), "rec", Protocol::Broadcast).unwrap();
+        let r2 = mpf.open_receive(p(2), "rec", Protocol::Broadcast).unwrap();
+        for _ in 0..3 {
+            mpf.message_send(p(0), tx, &[1u8; 64]).unwrap();
+        }
+        for _ in 0..3 {
+            mpf.message_receive_vec(p(1), r1).unwrap();
+        }
+        assert_eq!(
+            mpf.reclaimable(),
+            Reclaimable::default(),
+            "messages pinned by r2's claims are live, not corpses"
+        );
+        mpf.close_receive(p(2), r2).unwrap();
+        assert_eq!(mpf.reclaimable(), Reclaimable::default());
+        assert_eq!(mpf.free_blocks(), 256);
+        mpf.assert_invariants();
     }
 
     #[test]
@@ -1327,8 +1566,14 @@ mod tests {
             mpf.message_receive_vec(p(2), rb).unwrap();
         }
         assert!(mpf.free_blocks() < 256, "FCFS obligation pins the queue");
+        assert_eq!(
+            mpf.reclaimable(),
+            Reclaimable::default(),
+            "obligated messages are live, not corpses"
+        );
         mpf.close_receive(p(1), rf).unwrap();
         assert_eq!(mpf.free_blocks(), 256, "close sweep reclaims in place");
+        assert_eq!(mpf.reclaimable(), Reclaimable::default());
         mpf.assert_invariants();
     }
 

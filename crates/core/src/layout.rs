@@ -21,7 +21,7 @@ use crate::config::MpfConfig;
 /// Version of the region byte layout.  Bump on ANY change to the segment
 /// order, the constants below, or the in-region struct layouts; attach
 /// refuses regions with a different version ([`crate::MpfError::LayoutMismatch`]).
-pub const LAYOUT_VERSION: u32 = 1;
+pub const LAYOUT_VERSION: u32 = 3;
 
 /// Magic at byte 0 of every MPF region ("MPFREGN1" little-endian).
 pub const REGION_MAGIC: u64 = u64::from_le_bytes(*b"MPFREGN1");
@@ -50,8 +50,9 @@ pub struct RegionLayout {
 /// lists, counts, stamp.  `mpf-ipc` const-asserts its `#[repr(C)]` struct
 /// against this.
 pub const LNVC_DESC_BYTES: usize = 192;
-/// Bytes per message header: len, chain, next, pending, flags, stamp.
-pub const MSG_HEADER_BYTES: usize = 40;
+/// Bytes per message header: len, chain, next, pending, flags, stamp,
+/// send timestamp (for the send→receive latency histogram).
+pub const MSG_HEADER_BYTES: usize = 48;
 /// Bytes per send-connection descriptor: pid, next.
 pub const SEND_DESC_BYTES: usize = 8;
 /// Bytes per receive-connection descriptor: pid, next, protocol, head.
@@ -66,6 +67,13 @@ pub const REGION_HEADER_BYTES: usize = 512;
 /// Bytes per process heartbeat slot in an ipc carve (one cache-padded
 /// cell per process: os pid, attach generation, liveness, heartbeat).
 pub const PROCESS_SLOT_BYTES: usize = 128;
+/// Bytes of the facility-wide telemetry block (cache-line counters +
+/// size/latency histograms); see `mpf_shm::telemetry::FacilityTelemetry`.
+pub const FACILITY_TELEMETRY_BYTES: usize = mpf_shm::telemetry::FACILITY_TELEMETRY_BYTES;
+/// Bytes per LNVC telemetry slot (counters + latency histogram).
+pub const LNVC_TELEMETRY_BYTES: usize = mpf_shm::telemetry::LNVC_TELEMETRY_BYTES;
+/// Bytes per process flight-recorder ring (single-writer event log).
+pub const FLIGHT_RING_BYTES: usize = mpf_shm::telemetry::FLIGHT_RING_BYTES;
 
 impl RegionLayout {
     /// Computes the layout for `cfg`.
@@ -117,6 +125,12 @@ impl RegionLayout {
             "block payloads",
             cfg.total_blocks as usize * cfg.block_payload,
             cfg.total_blocks as usize,
+        );
+        push("facility telemetry", FACILITY_TELEMETRY_BYTES, 1);
+        push(
+            "lnvc telemetry",
+            cfg.max_lnvcs as usize * LNVC_TELEMETRY_BYTES,
+            cfg.max_lnvcs as usize,
         );
         Self { segments }
     }
@@ -182,6 +196,27 @@ impl RegionLayout {
             "block payloads",
             cfg.total_blocks as usize * cfg.block_payload,
             cfg.total_blocks as usize,
+        );
+        // Facility telemetry is sharded per process slot: each process
+        // updates only its own shard, so hot counters never bounce a cache
+        // line between processors; snapshots sum the shards.
+        push(
+            "facility telemetry",
+            cfg.max_processes as usize * FACILITY_TELEMETRY_BYTES,
+            cfg.max_processes as usize,
+        );
+        push(
+            "lnvc telemetry",
+            cfg.max_lnvcs as usize * LNVC_TELEMETRY_BYTES,
+            cfg.max_lnvcs as usize,
+        );
+        // One single-writer flight-recorder ring per process slot, so a
+        // crashed process's last events survive in the region (the thread
+        // backend has no per-OS-process identity, hence ipc-only).
+        push(
+            "flight rings",
+            cfg.max_processes as usize * FLIGHT_RING_BYTES,
+            cfg.max_processes as usize,
         );
         Self { segments }
     }
@@ -261,6 +296,8 @@ mod tests {
             "receive descriptors",
             "block links",
             "block payloads",
+            "facility telemetry",
+            "lnvc telemetry",
             "total:",
         ] {
             assert!(text.contains(name), "missing {name}");

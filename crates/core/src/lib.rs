@@ -95,7 +95,7 @@ pub use config::{ExhaustPolicy, MpfConfig};
 pub use error::{MpfError, Result};
 pub use facility::Mpf;
 pub use handle::{Receiver, Sender};
-pub use stats::MpfStats;
+pub use stats::{MpfStats, Reclaimable};
 pub use types::{LnvcId, LnvcName, Protocol, MAX_NAME_LEN};
 
 pub use mpf_shm::process::ProcessId;

@@ -621,6 +621,26 @@ impl<'a> Ctx<'a> {
         })
     }
 
+    /// Counts queued messages (and their blocks) that are fully consumed
+    /// and unpinned — corpses a sweep would free — without freeing them.
+    /// This is the `reclaimable()` metric: flow control can distinguish
+    /// "pool full of live messages" from "pool full of corpses awaiting
+    /// sweep".
+    pub fn count_reclaimable(&self) -> (u32, u64) {
+        let mut messages = 0u32;
+        let mut blocks = 0u64;
+        let mut idx = self.lnvc.q_head.load(Ordering::Relaxed);
+        while idx != NIL {
+            let m = self.msgs.get(idx);
+            if m.fully_consumed() && !m.is_pinned() {
+                messages += 1;
+                blocks += m.blocks() as u64;
+            }
+            idx = m.next();
+        }
+        (messages, blocks)
+    }
+
     /// Walks the queue collecting stamps (test/diagnostic helper).
     pub fn queue_stamps(&self) -> Vec<u64> {
         let mut out = Vec::new();
@@ -908,6 +928,25 @@ mod tests {
         assert_eq!(f.lnvc.q_head.load(Ordering::Relaxed), NIL);
         assert_eq!(f.lnvc.q_tail.load(Ordering::Relaxed), NIL);
         assert_eq!(f.blocks.available(), 128);
+    }
+
+    #[test]
+    fn count_reclaimable_sees_interior_corpse() {
+        // Same shape as reclaim_consumed_frees_interior_message: the
+        // metric must report the corpse without freeing it.
+        let f = Fixture::new();
+        f.add_recv(1, Protocol::Broadcast);
+        let a = f.send(b"a");
+        let b = f.send(b"b");
+        let c = f.send(b"c");
+        f.msgs.get(b).dec_bcast_pending();
+        let ctx = f.ctx();
+        let (msgs, blocks) = ctx.count_reclaimable();
+        assert_eq!(msgs, 1, "only b is a corpse");
+        assert_eq!(blocks, f.msgs.get(b).blocks() as u64);
+        assert_eq!(ctx.collect_queue(), vec![a, b, c], "counting freed nothing");
+        assert_eq!(ctx.reclaim_consumed(), 1);
+        assert_eq!(ctx.count_reclaimable(), (0, 0));
     }
 
     #[test]

@@ -46,6 +46,9 @@ pub struct MsgSlot {
     copying: AtomicU32,
     /// Per-LNVC send sequence number.
     stamp: AtomicU64,
+    /// Wall-clock nanoseconds at send time (0 = unstamped), feeding the
+    /// telemetry send→receive latency histogram.
+    sent_at: AtomicU64,
 }
 
 impl Default for MsgSlot {
@@ -60,6 +63,7 @@ impl Default for MsgSlot {
             fcfs_taken: AtomicBool::new(false),
             copying: AtomicU32::new(0),
             stamp: AtomicU64::new(0),
+            sent_at: AtomicU64::new(0),
         }
     }
 }
@@ -85,6 +89,7 @@ impl MsgSlot {
         self.fcfs_taken.store(false, Ordering::Relaxed);
         self.copying.store(0, Ordering::Relaxed);
         self.stamp.store(stamp, Ordering::Relaxed);
+        self.sent_at.store(0, Ordering::Relaxed);
     }
 
     /// Payload length in bytes.
@@ -173,6 +178,17 @@ impl MsgSlot {
     /// Send sequence number within the LNVC.
     pub fn stamp(&self) -> u64 {
         self.stamp.load(Ordering::Relaxed)
+    }
+
+    /// Stamps the send wall-clock time (telemetry; written under the LNVC
+    /// lock before the message becomes visible to receivers).
+    pub fn set_sent_at(&self, nanos: u64) {
+        self.sent_at.store(nanos, Ordering::Relaxed);
+    }
+
+    /// Send wall-clock nanoseconds, 0 if telemetry was off at send time.
+    pub fn sent_at(&self) -> u64 {
+        self.sent_at.load(Ordering::Relaxed)
     }
 
     /// A message is consumed — and its region memory reclaimable — once no

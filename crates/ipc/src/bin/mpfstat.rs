@@ -1,0 +1,442 @@
+//! `mpfstat` — inspect a named MPF shared-memory region, live or dead.
+//!
+//! ```text
+//! mpfstat <region-name> [--json] [--watch [seconds]] [--ring N]
+//! ```
+//!
+//! Attaches **read-only** ([`RegionInspector`]): no process slot is
+//! claimed, no lock taken, no byte written, so it is safe to point at a
+//! region whose writers are running — or crashed.  Prints the process
+//! table (with liveness), the LNVC table (queue depths, protocols,
+//! poison state), facility counters, latency/size percentiles, and the
+//! tail of each attached-or-dead process's flight ring.
+//!
+//! `--json` emits one machine-readable document instead (hand-rolled —
+//! the workspace is dependency-free by design).  `--watch` re-samples
+//! every `seconds` (default 1), printing counter deltas per interval.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use mpf_ipc::inspect::RegionInspector;
+use mpf_shm::telemetry::{event_name, HistSnapshot, TelSnapshot};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut name = None;
+    let mut json = false;
+    let mut watch: Option<Duration> = None;
+    let mut ring_tail = 16usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--watch" => {
+                let secs = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .inspect(|_| i += 1)
+                    .unwrap_or(1.0);
+                watch = Some(Duration::from_secs_f64(secs.max(0.05)));
+            }
+            "--ring" => {
+                if let Some(n) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+                    ring_tail = n;
+                    i += 1;
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: mpfstat <region-name> [--json] [--watch [seconds]] [--ring N]");
+                return;
+            }
+            other if name.is_none() && !other.starts_with('-') => name = Some(other.to_string()),
+            other => {
+                eprintln!("mpfstat: unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(name) = name else {
+        eprintln!("usage: mpfstat <region-name> [--json] [--watch [seconds]] [--ring N]");
+        std::process::exit(2);
+    };
+
+    let insp = match RegionInspector::attach(&name) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("mpfstat: cannot attach `{name}`: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    match watch {
+        None => {
+            let out = if json {
+                render_json(&insp, ring_tail)
+            } else {
+                render_text(&insp, ring_tail, None)
+            };
+            println!("{out}");
+        }
+        Some(interval) => {
+            let mut prev = insp.telemetry_snapshot();
+            loop {
+                std::thread::sleep(interval);
+                let now = insp.telemetry_snapshot();
+                let out = if json {
+                    render_json(&insp, ring_tail)
+                } else {
+                    // ANSI clear-screen + home keeps the table in place.
+                    format!(
+                        "\x1b[2J\x1b[H{}",
+                        render_text(&insp, ring_tail, Some(now.diff(&prev)))
+                    )
+                };
+                println!("{out}");
+                prev = now;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Text rendering
+// ---------------------------------------------------------------------------
+
+fn render_text(insp: &RegionInspector, ring_tail: usize, delta: Option<TelSnapshot>) -> String {
+    let mut s = String::new();
+    let cfg = insp.config();
+    let _ = writeln!(
+        s,
+        "region {} — {} bytes, telemetry {}",
+        insp.name(),
+        insp.region_bytes(),
+        if insp.telemetry_enabled() {
+            "on"
+        } else {
+            "off"
+        },
+    );
+    let _ = writeln!(
+        s,
+        "config: {} lnvcs, {} processes, {} messages, {} blocks × {} B; {} total sends, sweep epoch {}",
+        cfg.max_lnvcs,
+        cfg.max_processes,
+        cfg.max_messages,
+        cfg.total_blocks,
+        cfg.block_payload,
+        insp.next_stamp(),
+        insp.sweep_epoch(),
+    );
+
+    let _ = writeln!(s, "\nprocesses:");
+    let _ = writeln!(
+        s,
+        "  {:>4} {:>9} {:>8} {:>6} {:>10} {:>4}",
+        "pid", "state", "os-pid", "alive", "heartbeat", "gen"
+    );
+    for p in insp.processes() {
+        if p.state == "free" && p.heartbeat == 0 {
+            continue; // never used
+        }
+        let _ = writeln!(
+            s,
+            "  {:>4} {:>9} {:>8} {:>6} {:>10} {:>4}",
+            p.pid,
+            p.state,
+            p.os_pid,
+            if p.state == "attached" {
+                if p.alive {
+                    "yes"
+                } else {
+                    "NO"
+                }
+            } else {
+                "-"
+            },
+            p.heartbeat,
+            p.generation,
+        );
+    }
+
+    let lnvcs = insp.lnvcs();
+    let _ = writeln!(s, "\nlnvcs ({} active):", lnvcs.len());
+    let _ = writeln!(
+        s,
+        "  {:>3} {:<16} {:>6} {:>7} {:>4} {:>5} {:>6} {:>7} {:>7} {:>5} {:>8}",
+        "idx",
+        "name",
+        "queued",
+        "reclaim",
+        "tx",
+        "fcfs",
+        "bcast",
+        "sends",
+        "recvs",
+        "hwm",
+        "poison"
+    );
+    for l in &lnvcs {
+        let _ = writeln!(
+            s,
+            "  {:>3} {:<16} {:>6} {:>7} {:>4} {:>5} {:>6} {:>7} {:>7} {:>5} {:>8}",
+            l.index,
+            l.name,
+            l.queued,
+            l.reclaimable,
+            l.n_senders,
+            l.n_fcfs,
+            l.n_bcast,
+            l.tel.sends,
+            l.tel.receives,
+            l.tel.depth_hwm,
+            if l.poisoned {
+                format!("pid {}", l.dead_pid)
+            } else {
+                "-".into()
+            },
+        );
+    }
+
+    let t = insp.telemetry_snapshot();
+    let _ = writeln!(s, "\ncounters:");
+    let _ = writeln!(
+        s,
+        "  sends {}  receives {}  bytes-in {}  bytes-out {}",
+        t.sends, t.receives, t.bytes_in, t.bytes_out
+    );
+    let _ = writeln!(
+        s,
+        "  recv-waits {}  send-waits {}  reclaims {}  lock-contended {}",
+        t.recv_waits, t.send_waits, t.reclaims, t.lock_contended
+    );
+    let _ = writeln!(
+        s,
+        "  lnvcs created {} / deleted {}  sweeps {}  peers-died {}",
+        t.lnvcs_created, t.lnvcs_deleted, t.sweeps, t.peers_died
+    );
+    if let Some(d) = delta {
+        let _ = writeln!(
+            s,
+            "  Δ interval: sends {}  receives {}  bytes-in {}  bytes-out {}",
+            d.sends, d.receives, d.bytes_in, d.bytes_out
+        );
+    }
+    let _ = writeln!(s, "\nmessage size   {}", hist_line(&t.size_hist, "B"));
+    let _ = writeln!(s, "send→recv lat  {}", hist_line(&t.latency_hist, "ns"));
+
+    for p in insp.processes() {
+        if p.state == "free" {
+            continue;
+        }
+        let ev = insp.flight_events(p.pid);
+        if ev.is_empty() {
+            continue;
+        }
+        let _ = writeln!(
+            s,
+            "\nflight ring, mpf pid {} (os pid {}, {}):",
+            p.pid,
+            insp.ring_writer(p.pid),
+            p.state
+        );
+        for e in ev.iter().rev().take(ring_tail).rev() {
+            let _ = writeln!(
+                s,
+                "  #{:<6} t={} {:<12} lnvc={} arg={}",
+                e.seq,
+                e.tstamp,
+                event_name(e.kind),
+                if e.lnvc == u32::MAX {
+                    "-".into()
+                } else {
+                    e.lnvc.to_string()
+                },
+                e.arg,
+            );
+        }
+    }
+    s
+}
+
+fn hist_line(h: &HistSnapshot, unit: &str) -> String {
+    if h.count == 0 {
+        return "(no samples)".into();
+    }
+    format!(
+        "n={} mean={:.0}{unit} p50={}{unit} p99={}{unit} max={}{unit}",
+        h.count,
+        h.mean(),
+        h.percentile(0.50),
+        h.percentile(0.99),
+        h.max,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// JSON rendering (no deps: escape + emit by hand)
+// ---------------------------------------------------------------------------
+
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn jhist(h: &HistSnapshot) -> String {
+    format!(
+        "{{\"count\":{},\"sum\":{},\"max\":{},\"mean\":{:.1},\"p50\":{},\"p99\":{},\"buckets\":[{}]}}",
+        h.count,
+        h.sum,
+        h.max,
+        h.mean(),
+        h.percentile(0.50),
+        h.percentile(0.99),
+        h.buckets
+            .iter()
+            .map(|b| b.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+    )
+}
+
+fn render_json(insp: &RegionInspector, ring_tail: usize) -> String {
+    let cfg = insp.config();
+    let t = insp.telemetry_snapshot();
+
+    let procs = insp
+        .processes()
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"pid\":{},\"state\":{},\"os_pid\":{},\"alive\":{},\"heartbeat\":{},\"generation\":{}}}",
+                p.pid,
+                jstr(p.state),
+                p.os_pid,
+                p.alive,
+                p.heartbeat,
+                p.generation
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+
+    let lnvcs = insp
+        .lnvcs()
+        .iter()
+        .map(|l| {
+            format!(
+                "{{\"index\":{},\"name\":{},\"generation\":{},\"queued\":{},\"reclaimable\":{},\
+                 \"n_senders\":{},\"n_fcfs\":{},\"n_bcast\":{},\"next_seq\":{},\"poisoned\":{},\
+                 \"dead_pid\":{},\"sends\":{},\"receives\":{},\"bytes_in\":{},\"bytes_out\":{},\
+                 \"recv_waits\":{},\"reclaims\":{},\"depth_hwm\":{},\"latency\":{}}}",
+                l.index,
+                jstr(&l.name),
+                l.generation,
+                l.queued,
+                l.reclaimable,
+                l.n_senders,
+                l.n_fcfs,
+                l.n_bcast,
+                l.next_seq,
+                l.poisoned,
+                l.dead_pid,
+                l.tel.sends,
+                l.tel.receives,
+                l.tel.bytes_in,
+                l.tel.bytes_out,
+                l.tel.recv_waits,
+                l.tel.reclaims,
+                l.tel.depth_hwm,
+                jhist(&l.tel.latency),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+
+    let rings = insp
+        .processes()
+        .iter()
+        .filter(|p| p.state != "free")
+        .map(|p| {
+            let ev = insp.flight_events(p.pid);
+            let tail = ev
+                .iter()
+                .rev()
+                .take(ring_tail)
+                .rev()
+                .map(|e| {
+                    format!(
+                        "{{\"seq\":{},\"tstamp\":{},\"kind\":{},\"lnvc\":{},\"arg\":{}}}",
+                        e.seq,
+                        e.tstamp,
+                        jstr(event_name(e.kind)),
+                        if e.lnvc == u32::MAX {
+                            "null".into()
+                        } else {
+                            e.lnvc.to_string()
+                        },
+                        e.arg,
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            format!(
+                "{{\"pid\":{},\"os_pid\":{},\"state\":{},\"events\":[{tail}]}}",
+                p.pid,
+                insp.ring_writer(p.pid),
+                jstr(p.state),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+
+    format!(
+        "{{\"region\":{},\"region_bytes\":{},\"telemetry\":{},\"next_stamp\":{},\"sweep_epoch\":{},\
+         \"config\":{{\"max_lnvcs\":{},\"max_processes\":{},\"max_messages\":{},\"total_blocks\":{},\"block_payload\":{}}},\
+         \"counters\":{{\"sends\":{},\"receives\":{},\"bytes_in\":{},\"bytes_out\":{},\
+         \"recv_waits\":{},\"send_waits\":{},\"reclaims\":{},\"lnvcs_created\":{},\"lnvcs_deleted\":{},\
+         \"lock_contended\":{},\"sweeps\":{},\"peers_died\":{}}},\
+         \"size_hist\":{},\"latency_hist\":{},\
+         \"processes\":[{procs}],\"lnvcs\":[{lnvcs}],\"flight_rings\":[{rings}]}}",
+        jstr(insp.name()),
+        insp.region_bytes(),
+        insp.telemetry_enabled(),
+        insp.next_stamp(),
+        insp.sweep_epoch(),
+        cfg.max_lnvcs,
+        cfg.max_processes,
+        cfg.max_messages,
+        cfg.total_blocks,
+        cfg.block_payload,
+        t.sends,
+        t.receives,
+        t.bytes_in,
+        t.bytes_out,
+        t.recv_waits,
+        t.send_waits,
+        t.reclaims,
+        t.lnvcs_created,
+        t.lnvcs_deleted,
+        t.lock_contended,
+        t.sweeps,
+        t.peers_died,
+        jhist(&t.size_hist),
+        jhist(&t.latency_hist),
+    )
+}

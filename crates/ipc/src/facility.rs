@@ -21,7 +21,12 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::{Duration, Instant};
 
 use mpf::layout::{RegionLayout, LAYOUT_VERSION, REGION_MAGIC};
-use mpf::{LnvcName, MpfConfig, MpfError, Protocol, Result};
+use mpf::{LnvcName, MpfConfig, MpfError, Protocol, Reclaimable, Result};
+use mpf_shm::telemetry::{
+    bump, now_nanos, FacilityTelemetry, FlightEvent, FlightRing, LnvcTelSnapshot, LnvcTelemetry,
+    TelSnapshot, EV_CLOSE_RECV, EV_CLOSE_SEND, EV_LOCK_CONTEND, EV_OPEN_RECV, EV_OPEN_SEND,
+    EV_POISONED, EV_RECLAIM, EV_RECV, EV_RECV_BLOCK, EV_SEND, EV_SEND_BLOCK, EV_SWEEP_DEAD,
+};
 use mpf_shm::ShmRegion;
 
 use crate::shmem::{
@@ -108,29 +113,32 @@ enum ConnKind {
 /// the config echo — identical in every process because the layout is a
 /// pure function of the config).
 #[derive(Debug, Clone, Copy)]
-struct Offsets {
-    header: usize,
-    slots: usize,
-    lnvcs: usize,
-    registry: usize,
-    msgs: usize,
-    sends: usize,
-    recvs: usize,
-    links: usize,
-    payloads: usize,
+pub(crate) struct Offsets {
+    pub(crate) header: usize,
+    pub(crate) slots: usize,
+    pub(crate) lnvcs: usize,
+    pub(crate) registry: usize,
+    pub(crate) msgs: usize,
+    pub(crate) sends: usize,
+    pub(crate) recvs: usize,
+    pub(crate) links: usize,
+    pub(crate) payloads: usize,
+    pub(crate) fac_tel: usize,
+    pub(crate) lnvc_tel: usize,
+    pub(crate) rings: usize,
 }
 
 /// Pool sizes (config echo, denormalized for hot-path use).
 #[derive(Debug, Clone, Copy)]
-struct Counts {
-    max_lnvcs: u32,
-    max_processes: u32,
-    block_payload: usize,
-    total_blocks: u32,
-    max_messages: u32,
+pub(crate) struct Counts {
+    pub(crate) max_lnvcs: u32,
+    pub(crate) max_processes: u32,
+    pub(crate) block_payload: usize,
+    pub(crate) total_blocks: u32,
+    pub(crate) max_messages: u32,
 }
 
-fn offsets_for(cfg: &MpfConfig) -> Offsets {
+pub(crate) fn offsets_for(cfg: &MpfConfig) -> Offsets {
     let l = RegionLayout::for_ipc(cfg);
     let seg = |name: &str| l.segment(name).expect("for_ipc segment").offset;
     Offsets {
@@ -143,6 +151,9 @@ fn offsets_for(cfg: &MpfConfig) -> Offsets {
         recvs: seg("receive descriptors"),
         links: seg("block links"),
         payloads: seg("block payloads"),
+        fac_tel: seg("facility telemetry"),
+        lnvc_tel: seg("lnvc telemetry"),
+        rings: seg("flight rings"),
     }
 }
 
@@ -155,6 +166,9 @@ pub struct IpcMpf {
     counts: Counts,
     /// Our process slot index — the MPF process id.
     me: u32,
+    /// Whether telemetry recording is on (creator's choice, echoed in the
+    /// header so every attacher agrees).  The segments exist either way.
+    tel_on: bool,
 }
 
 impl IpcMpf {
@@ -178,6 +192,7 @@ impl IpcMpf {
             off,
             counts,
             me: 0,
+            tel_on: cfg.telemetry,
         };
         this.carve(cfg, total);
         this.me = this.claim_slot().map_err(AttachError::Mpf)?;
@@ -263,8 +278,14 @@ impl IpcMpf {
         .with_max_messages(echo.max_messages.load(Ordering::Acquire));
         cfg.max_send_conns = echo.max_send_conns.load(Ordering::Acquire);
         cfg.max_recv_conns = echo.max_recv_conns.load(Ordering::Acquire);
+        cfg.telemetry = echo.telemetry.load(Ordering::Acquire) != 0;
+        // Defense in depth beyond the version word: the creator stored the
+        // total it carved; if OUR layout computation for the echoed config
+        // disagrees, this binary and the creator carve different segment
+        // maps and every offset past the header would be garbage.
         let expected_bytes = header.total_bytes.load(Ordering::Acquire) as usize;
-        if region.len() < expected_bytes {
+        let computed_bytes = RegionLayout::for_ipc(&cfg).total_bytes();
+        if region.len() < expected_bytes || computed_bytes != expected_bytes {
             return Err(MpfError::LayoutMismatch {
                 expected: LAYOUT_VERSION,
                 found,
@@ -283,6 +304,7 @@ impl IpcMpf {
             off: offsets_for(&cfg),
             counts,
             me: 0,
+            tel_on: cfg.telemetry,
         };
         this.me = this.claim_slot().map_err(AttachError::Mpf)?;
         Ok(this)
@@ -314,6 +336,9 @@ impl IpcMpf {
         h.cfg
             .max_recv_conns
             .store(cfg.max_recv_conns, Ordering::Relaxed);
+        h.cfg
+            .telemetry
+            .store(cfg.telemetry as u32, Ordering::Relaxed);
         // Thread the four free lists (region bytes start zeroed; push in
         // reverse so pops hand out low indices first).
         h.msg_free.reset();
@@ -364,6 +389,10 @@ impl IpcMpf {
                     s.os_pid.store(std::process::id(), Ordering::Release);
                     s.generation.fetch_add(1, Ordering::AcqRel);
                     s.heartbeat.store(1, Ordering::Release);
+                    // Tag the slot's flight ring with the new writer; on a
+                    // recycled slot the predecessor's (timestamped) events
+                    // remain readable until overwritten.
+                    self.ring(i).set_writer_pid(std::process::id());
                     return Ok(i);
                 }
             }
@@ -436,6 +465,72 @@ impl IpcMpf {
         }
     }
 
+    /// Process `slot`'s facility-telemetry shard.  Sharding keeps hot
+    /// counters processor-local; [`Self::telemetry_snapshot`] sums them.
+    fn fac_tel(&self, slot: u32) -> &FacilityTelemetry {
+        debug_assert!(slot < self.counts.max_processes);
+        unsafe {
+            self.region
+                .at(self.off.fac_tel + slot as usize * std::mem::size_of::<FacilityTelemetry>())
+        }
+    }
+
+    fn lnvc_tel(&self, i: u32) -> &LnvcTelemetry {
+        debug_assert!(i < self.counts.max_lnvcs);
+        unsafe {
+            self.region
+                .at(self.off.lnvc_tel + i as usize * std::mem::size_of::<LnvcTelemetry>())
+        }
+    }
+
+    fn ring(&self, p: u32) -> &FlightRing {
+        debug_assert!(p < self.counts.max_processes);
+        unsafe {
+            self.region
+                .at(self.off.rings + p as usize * std::mem::size_of::<FlightRing>())
+        }
+    }
+
+    // -- telemetry plumbing --------------------------------------------
+
+    /// This process's facility-counter shard, gated on the recording flag.
+    #[inline]
+    fn tel(&self) -> Option<&FacilityTelemetry> {
+        self.tel_on.then(|| self.fac_tel(self.me))
+    }
+
+    /// Appends to this process's flight ring (single-writer: only `me`'s
+    /// slot owner writes `me`'s ring).
+    #[inline]
+    fn fly(&self, kind: u32, lnvc: u32, arg: u64) {
+        if self.tel_on {
+            self.ring(self.me).record(kind, lnvc, arg);
+        }
+    }
+
+    /// [`fly`](Self::fly) with a timestamp the caller already has, saving
+    /// a clock read on the send/receive hot paths.
+    #[inline]
+    fn fly_at(&self, tstamp: u64, kind: u32, lnvc: u32, arg: u64) {
+        if self.tel_on {
+            self.ring(self.me).record_at(tstamp, kind, lnvc, arg);
+        }
+    }
+
+    /// Books `freed` reclaimed messages against the facility and LNVC
+    /// counters (no-op when nothing was freed or telemetry is off).
+    fn note_reclaim(&self, idx: u32, freed: u32) {
+        if freed == 0 {
+            return;
+        }
+        let Some(t) = self.tel() else { return };
+        t.reclaims.add(freed as u64);
+        self.lnvc_tel(idx)
+            .reclaims
+            .fetch_add(freed as u64, Ordering::Relaxed);
+        self.fly(EV_RECLAIM, idx, freed as u64);
+    }
+
     /// Liveness oracle for [`mpf_shm::IpcLock`] holders.  Lock owner ids
     /// are `mpf_pid + 1` (0 means "free"), hence the shift.
     fn holder_alive(&self, owner: u32) -> bool {
@@ -452,7 +547,15 @@ impl IpcMpf {
     /// Acquires an LNVC (or registry) lock, poisoning `d` if the previous
     /// holder died inside its critical section.
     fn lock_lnvc(&self, d: &LnvcDesc) {
-        let acq = d.lock.lock(self.lock_owner(), |o| self.holder_alive(o));
+        let (acq, contended) = d
+            .lock
+            .lock_traced(self.lock_owner(), |o| self.holder_alive(o));
+        if contended {
+            if let Some(t) = self.tel() {
+                t.lock_contended.inc();
+                self.fly(EV_LOCK_CONTEND, NIL, 0);
+            }
+        }
         if matches!(acq, mpf_shm::IpcAcquire::Poisoned) {
             // The structure may be torn; survivors must not trust it.
             // The broken lock knows which owner died — surface it so
@@ -460,7 +563,11 @@ impl IpcMpf {
             if let Some(owner) = d.lock.poison_culprit() {
                 d.dead_pid.store(owner - 1, Ordering::Release);
             }
-            d.poisoned.store(1, Ordering::Release);
+            // Poison is sticky, so every later acquire lands here too —
+            // log the flight event only on the 0→1 transition.
+            if d.poisoned.swap(1, Ordering::AcqRel) == 0 {
+                self.fly(EV_POISONED, NIL, d.dead_pid.load(Ordering::Acquire) as u64);
+            }
             d.waitq.notify_all();
         }
     }
@@ -527,6 +634,9 @@ impl IpcMpf {
                 self.deactivate(idx);
             }
             d.lock.unlock();
+            if result.is_ok() {
+                self.fly(EV_OPEN_SEND, idx, 0);
+            }
             result
         })
     }
@@ -585,7 +695,8 @@ impl IpcMpf {
                 // only pin blocks.  Drop it now.
                 if first_receiver && protocol == Protocol::Broadcast {
                     self.clear_fcfs_obligations(d);
-                    self.reclaim_consumed(d);
+                    let freed = self.reclaim_consumed(d);
+                    self.note_reclaim(idx, freed);
                 }
                 Ok(IpcLnvcId::new(d.generation.load(Ordering::Acquire), idx))
             })();
@@ -593,6 +704,9 @@ impl IpcMpf {
                 self.deactivate(idx);
             }
             d.lock.unlock();
+            if result.is_ok() {
+                self.fly(EV_OPEN_RECV, idx, proto_code(protocol) as u64);
+            }
             result
         })
     }
@@ -618,6 +732,9 @@ impl IpcMpf {
                 Ok(())
             })();
             d.lock.unlock();
+            if result.is_ok() {
+                self.fly(EV_CLOSE_SEND, idx, 0);
+            }
             result
         })
     }
@@ -660,13 +777,17 @@ impl IpcMpf {
                 // Close is the slow path: sweep the whole queue, not just
                 // the head, so interior messages unpinned above (or
                 // consumed behind a still-claimed head) are returned too.
-                self.reclaim_consumed(d);
+                let freed = self.reclaim_consumed(d);
+                self.note_reclaim(idx, freed);
                 if d.total_connections() == 0 {
                     self.delete_conversation(idx, d);
                 }
                 Ok(())
             })();
             d.lock.unlock();
+            if result.is_ok() {
+                self.fly(EV_CLOSE_RECV, idx, 0);
+            }
             result
         })
     }
@@ -682,7 +803,7 @@ impl IpcMpf {
                 max,
             });
         }
-        let (_, d) = self.resolve(id)?;
+        let (idx, d) = self.resolve(id)?;
         // Poison is sticky for this descriptor generation, so an
         // unlocked pre-check is sound — and it must precede pool
         // allocation: a poisoned conversation whose corpse's messages
@@ -703,17 +824,30 @@ impl IpcMpf {
             // Memory pressure: reclaim fully-delivered messages stuck
             // behind a still-claimed queue head, then retry once.
             None => {
-                self.sweep_consumed(d);
+                if let Some(t) = self.tel() {
+                    t.send_waits.inc();
+                    self.fly(EV_SEND_BLOCK, idx, 0);
+                }
+                let freed = self.sweep_consumed(d);
+                self.note_reclaim(idx, freed);
                 pop_msg().ok_or(MpfError::MessagesExhausted)?
             }
         };
         let blocks = match self.alloc_blocks(payload) {
             Ok(b) => b,
             Err(first_err) => {
-                let retried = if matches!(first_err, MpfError::BlocksExhausted)
-                    && self.sweep_consumed(d) > 0
-                {
-                    self.alloc_blocks(payload)
+                let retried = if matches!(first_err, MpfError::BlocksExhausted) {
+                    if let Some(t) = self.tel() {
+                        t.send_waits.inc();
+                        self.fly(EV_SEND_BLOCK, idx, 0);
+                    }
+                    let freed = self.sweep_consumed(d);
+                    self.note_reclaim(idx, freed);
+                    if freed > 0 {
+                        self.alloc_blocks(payload)
+                    } else {
+                        Err(first_err)
+                    }
                 } else {
                     Err(first_err)
                 };
@@ -732,6 +866,10 @@ impl IpcMpf {
         m.n_blocks.store(blocks.1, Ordering::Release);
         m.len.store(payload.len() as u32, Ordering::Release);
         m.next.store(NIL, Ordering::Release);
+        // Latency origin stamp; 0 means "not stamped" (telemetry off), so
+        // the receiver never computes latency against a recycled value.
+        let sent_at = if self.tel_on { now_nanos() } else { 0 };
+        m.sent_at.store(sent_at, Ordering::Release);
 
         self.lock_lnvc(d);
         let result = (|| {
@@ -769,13 +907,25 @@ impl IpcMpf {
                 self.msg(tail).next.store(m_idx, Ordering::Release);
             }
             d.q_tail.store(m_idx, Ordering::Release);
-            d.msg_count.fetch_add(1, Ordering::AcqRel);
+            let depth = d.msg_count.fetch_add(1, Ordering::AcqRel) + 1;
             d.last_stamp.store(stamp, Ordering::Release);
+            if let Some(t) = self.tel() {
+                t.sends.inc();
+                t.bytes_in.add(payload.len() as u64);
+                t.size_hist.record(payload.len() as u64);
+                // lt.* writes are serialised by the LNVC lock we hold, so
+                // the RMW-free `bump` is sound (see telemetry::bump).
+                let lt = self.lnvc_tel(idx);
+                bump(&lt.sends, 1);
+                bump(&lt.bytes_in, payload.len() as u64);
+                lt.note_depth(depth as u64);
+            }
             Ok(())
         })();
         d.lock.unlock();
         match result {
             Ok(()) => {
+                self.fly_at(sent_at, EV_SEND, idx, payload.len() as u64);
                 d.waitq.notify_all();
                 Ok(())
             }
@@ -807,9 +957,9 @@ impl IpcMpf {
     /// deliverable.
     pub fn try_message_receive(&self, id: IpcLnvcId, buf: &mut [u8]) -> Result<Option<usize>> {
         self.heartbeat();
-        let (_, d) = self.resolve(id)?;
+        let (idx, d) = self.resolve(id)?;
         self.lock_lnvc(d);
-        let result = self.receive_locked(d, buf);
+        let result = self.receive_locked(idx, d, buf);
         d.lock.unlock();
         result
     }
@@ -839,14 +989,17 @@ impl IpcMpf {
         buf: &mut [u8],
         deadline: Option<Instant>,
     ) -> Result<usize> {
+        // One blocked call is one wait, however many 50 ms naps it takes —
+        // counting per nap would turn an idle receiver into a counter storm.
+        let mut waited = false;
         loop {
-            let (_, d) = self.resolve(id)?;
+            let (idx, d) = self.resolve(id)?;
             // Ticket before the predicate check (the sequence-count
             // protocol): a send between our check and our wait bumps the
             // sequence and the wait returns immediately.
             let ticket = d.waitq.ticket();
             self.lock_lnvc(d);
-            let result = self.receive_locked(d, buf);
+            let result = self.receive_locked(idx, d, buf);
             d.lock.unlock();
             match result? {
                 Some(n) => return Ok(n),
@@ -854,6 +1007,16 @@ impl IpcMpf {
                     if let Some(dl) = deadline {
                         if Instant::now() >= dl {
                             return Err(MpfError::WouldBlock);
+                        }
+                    }
+                    if !waited {
+                        waited = true;
+                        if let Some(t) = self.tel() {
+                            t.recv_waits.inc();
+                            self.lnvc_tel(idx)
+                                .recv_waits
+                                .fetch_add(1, Ordering::Relaxed);
+                            self.fly(EV_RECV_BLOCK, idx, 0);
                         }
                     }
                     d.waitq.wait(ticket, Some(RECV_SWEEP_INTERVAL));
@@ -878,7 +1041,7 @@ impl IpcMpf {
     }
 
     /// The scan both receive flavours share; caller holds the LNVC lock.
-    fn receive_locked(&self, d: &LnvcDesc, buf: &mut [u8]) -> Result<Option<usize>> {
+    fn receive_locked(&self, idx: u32, d: &LnvcDesc, buf: &mut [u8]) -> Result<Option<usize>> {
         self.poison_check(d)?;
         let conn = self
             .find_conn(ConnKind::Recv, d.recv_head.load(Ordering::Acquire), self.me)
@@ -893,6 +1056,8 @@ impl IpcMpf {
             // buffer (paper: the receiver learns the needed size).
             return Err(MpfError::BufferTooSmall { needed: len });
         }
+        // Read before reclaim may free the descriptor back to the pool.
+        let sent_at = m.sent_at.load(Ordering::Acquire);
         self.gather(m, &mut buf[..len]);
         let r = self.recv(conn);
         if r.protocol.load(Ordering::Acquire) == proto_code(Protocol::Broadcast) {
@@ -902,7 +1067,28 @@ impl IpcMpf {
         } else {
             m.flags.fetch_or(msg_flags::FCFS_TAKEN, Ordering::AcqRel);
         }
-        self.reclaim_prefix(d);
+        let freed = self.reclaim_prefix(d);
+        if let Some(t) = self.tel() {
+            // One clock read covers the latency sample and both flight
+            // records (reclaim + delivery) — this path runs per message.
+            let now = now_nanos();
+            let lt = self.lnvc_tel(idx);
+            if freed > 0 {
+                t.reclaims.add(freed as u64);
+                bump(&lt.reclaims, freed as u64);
+                self.fly_at(now, EV_RECLAIM, idx, freed as u64);
+            }
+            t.receives.inc();
+            t.bytes_out.add(len as u64);
+            bump(&lt.receives, 1);
+            bump(&lt.bytes_out, len as u64);
+            if sent_at != 0 {
+                let lat = now.saturating_sub(sent_at);
+                t.latency_hist.record(lat);
+                lt.latency.record_locked(lat);
+            }
+            self.fly_at(now, EV_RECV, idx, len as u64);
+        }
         Ok(Some(len))
     }
 
@@ -929,12 +1115,14 @@ impl IpcMpf {
         None
     }
 
-    /// Pops fully-delivered messages off the queue head and frees them.
-    fn reclaim_prefix(&self, d: &LnvcDesc) {
+    /// Pops fully-delivered messages off the queue head and frees them;
+    /// returns how many were freed.
+    fn reclaim_prefix(&self, d: &LnvcDesc) -> u32 {
+        let mut freed = 0;
         loop {
             let head = d.q_head.load(Ordering::Acquire);
             if head == NIL {
-                return;
+                return freed;
             }
             let m = self.msg(head);
             let flags = m.flags.load(Ordering::Acquire);
@@ -942,7 +1130,7 @@ impl IpcMpf {
                 flags & msg_flags::NEEDS_FCFS == 0 || flags & msg_flags::FCFS_TAKEN != 0;
             let bcast_done = m.bcast_pending.load(Ordering::Acquire) == 0;
             if !(fcfs_done && bcast_done) {
-                return;
+                return freed;
             }
             let next = m.next.load(Ordering::Acquire);
             d.q_head.store(next, Ordering::Release);
@@ -951,6 +1139,7 @@ impl IpcMpf {
             }
             d.msg_count.fetch_sub(1, Ordering::AcqRel);
             self.free_message(head);
+            freed += 1;
         }
     }
 
@@ -1121,9 +1310,14 @@ impl IpcMpf {
     /// Runs `f` holding the registry lock (lock order: registry → LNVC).
     fn with_registry<T>(&self, f: impl FnOnce() -> Result<T>) -> Result<T> {
         let h = self.header();
-        let _ = h
+        let (_, contended) = h
             .registry_lock
-            .lock(self.lock_owner(), |o| self.holder_alive(o));
+            .lock_traced(self.lock_owner(), |o| self.holder_alive(o));
+        if contended {
+            if let Some(t) = self.tel() {
+                t.lock_contended.inc();
+            }
+        }
         // Registry mutations are single-word writes; a broken dead
         // holder cannot tear them, so a poisoned registry stays usable.
         let out = f();
@@ -1176,6 +1370,12 @@ impl IpcMpf {
                 e.set_name(bytes);
                 e.lnvc.store(idx, Ordering::Release);
                 e.used.store(1, Ordering::Release);
+                if let Some(t) = self.tel() {
+                    t.lnvcs_created.inc();
+                    // A recycled slot must not inherit its predecessor's
+                    // numbers.
+                    self.lnvc_tel(idx).reset();
+                }
                 return Ok((idx, true));
             }
         }
@@ -1189,6 +1389,9 @@ impl IpcMpf {
         let e = self.reg_entry(d.registry_idx.load(Ordering::Acquire));
         e.used.store(0, Ordering::Release);
         d.active.store(0, Ordering::Release);
+        if let Some(t) = self.tel() {
+            t.lnvcs_deleted.inc();
+        }
     }
 
     /// Deletes a conversation whose last connection just closed: frees
@@ -1308,10 +1511,17 @@ impl IpcMpf {
                 .is_ok()
             {
                 found += 1;
+                if let Some(t) = self.tel() {
+                    t.peers_died.inc();
+                    self.fly(EV_SWEEP_DEAD, NIL, os_pid as u64);
+                }
                 self.sweep_connections_of(p);
             }
         }
         if found > 0 {
+            if let Some(t) = self.tel() {
+                t.sweeps.inc();
+            }
             self.header().sweep_epoch.fetch_add(1, Ordering::AcqRel);
         }
         found
@@ -1357,12 +1567,15 @@ impl IpcMpf {
                         self.clear_fcfs_obligations(d);
                     }
                 }
-                self.reclaim_consumed(d);
+                let freed = self.reclaim_consumed(d);
+                self.note_reclaim(idx, freed);
                 touched = true;
             }
             if touched {
                 d.dead_pid.store(dead, Ordering::Release);
-                d.poisoned.store(1, Ordering::Release);
+                if d.poisoned.swap(1, Ordering::AcqRel) == 0 {
+                    self.fly(EV_POISONED, idx, dead as u64);
+                }
                 // Nobody can drain a poisoned conversation (every
                 // receive now reports `PeerDied`), so its queued
                 // messages would leak pool slots for the region's
@@ -1383,6 +1596,72 @@ impl IpcMpf {
                 d.waitq.notify_all();
             }
         }
+    }
+
+    // -- telemetry ------------------------------------------------------
+
+    /// Whether the creator enabled telemetry recording for this region.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.tel_on
+    }
+
+    /// Snapshot of the facility-wide in-region counters and histograms
+    /// (sum of every process slot's shard).
+    pub fn telemetry_snapshot(&self) -> TelSnapshot {
+        let mut sum = TelSnapshot::default();
+        for p in 0..self.counts.max_processes {
+            sum.absorb(&self.fac_tel(p).snapshot());
+        }
+        sum
+    }
+
+    /// Snapshot of one conversation's telemetry.
+    pub fn lnvc_telemetry(&self, id: IpcLnvcId) -> Result<LnvcTelSnapshot> {
+        let (idx, d) = self.resolve(id)?;
+        self.lock_lnvc(d);
+        let snap = self.lnvc_tel(idx).snapshot();
+        d.lock.unlock();
+        Ok(snap)
+    }
+
+    /// Corpse census: messages that are fully delivered but still queued
+    /// (and the blocks they pin), summed over all active conversations.
+    /// Nonzero means a sweep (`close`, memory-pressure, or dead-peer)
+    /// would free memory right now.
+    pub fn reclaimable(&self) -> Reclaimable {
+        let mut out = Reclaimable::default();
+        for idx in 0..self.counts.max_lnvcs {
+            let d = self.lnvc(idx);
+            if d.active.load(Ordering::Acquire) != 1 {
+                continue;
+            }
+            self.lock_lnvc(d);
+            if d.active.load(Ordering::Acquire) == 1 {
+                let mut cur = d.q_head.load(Ordering::Acquire);
+                while cur != NIL {
+                    let m = self.msg(cur);
+                    let flags = m.flags.load(Ordering::Acquire);
+                    let fcfs_done =
+                        flags & msg_flags::NEEDS_FCFS == 0 || flags & msg_flags::FCFS_TAKEN != 0;
+                    if fcfs_done && m.bcast_pending.load(Ordering::Acquire) == 0 {
+                        out.messages += 1;
+                        out.blocks += m.n_blocks.load(Ordering::Acquire) as u64;
+                    }
+                    cur = m.next.load(Ordering::Acquire);
+                }
+            }
+            d.lock.unlock();
+        }
+        out
+    }
+
+    /// The tail of a process's flight ring, oldest first.  Readable for
+    /// any pid — including a dead one, which is the point.
+    pub fn flight_events(&self, pid: u32) -> Vec<FlightEvent> {
+        if pid >= self.counts.max_processes {
+            return Vec::new();
+        }
+        self.ring(pid).snapshot()
     }
 
     // -- diagnostics ----------------------------------------------------

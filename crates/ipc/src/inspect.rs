@@ -1,0 +1,457 @@
+//! Read-only region inspection — the library behind `mpfstat`.
+//!
+//! [`RegionInspector`] maps a named region with `PROT_READ` only
+//! ([`ShmRegion::attach_readonly`]): it claims no process slot, takes no
+//! lock, bumps no heartbeat, and cannot write a byte, so it observes a
+//! **live** session without perturbing it and a **crashed** one without
+//! the usual "attach re-initializes something" hazard.  Everything it
+//! reports is assembled from lock-free reads:
+//!
+//! * fixed-size tables (process slots, LNVC descriptors, telemetry,
+//!   flight rings) are scanned by index — no links followed;
+//! * queue walks are bounded by the message-pool capacity, so a cycle
+//!   torn by a mid-update crash terminates instead of hanging;
+//! * flight rings use their seqlock protocol ([`FlightRing::snapshot`]),
+//!   dropping records a live writer is mid-overwrite on.
+//!
+//! Numbers read while the session is running are each individually
+//! atomic but mutually unsynchronized — a send may be counted whose
+//! queue link is not yet visible.  For a crashed (quiescent) region the
+//! view is exact.
+
+use std::sync::atomic::Ordering;
+
+use mpf::layout::{RegionLayout, LAYOUT_VERSION, REGION_MAGIC};
+use mpf::{MpfConfig, MpfError};
+use mpf_shm::telemetry::{FacilityTelemetry, HISTOGRAM_BUCKETS};
+use mpf_shm::telemetry::{FlightEvent, FlightRing, LnvcTelSnapshot, LnvcTelemetry, TelSnapshot};
+use mpf_shm::ShmRegion;
+
+use crate::facility::{offsets_for, AttachError, Offsets};
+use crate::shmem::{
+    msg_flags, region_state, slot_state, LnvcDesc, MsgDesc, ProcessSlot, RegionHeader,
+    RegistryEntry, NIL,
+};
+
+/// One process slot, decoded.
+#[derive(Debug, Clone)]
+pub struct ProcessInfo {
+    /// Slot index = MPF pid.
+    pub pid: u32,
+    /// `"free"`, `"attached"`, or `"dead"`.
+    pub state: &'static str,
+    /// OS pid recorded at attach (0 after a clean detach).
+    pub os_pid: u32,
+    /// Whether that OS process exists *right now* (an attached slot with
+    /// `alive == false` is a corpse no survivor has swept yet).
+    pub alive: bool,
+    /// Activity counter (bumped on every primitive call).
+    pub heartbeat: u64,
+    /// Slot reuse count.
+    pub generation: u32,
+}
+
+/// One active conversation, decoded.
+#[derive(Debug, Clone)]
+pub struct LnvcInfo {
+    /// Descriptor index.
+    pub index: u32,
+    /// Registered name (lossy UTF-8, NUL padding stripped).
+    pub name: String,
+    /// Descriptor reuse count (high half of live handles).
+    pub generation: u32,
+    /// Messages currently queued.
+    pub queued: u32,
+    /// Of those, fully delivered but not yet freed (corpses).
+    pub reclaimable: u32,
+    /// Connected senders.
+    pub n_senders: u32,
+    /// Connected FCFS receivers.
+    pub n_fcfs: u32,
+    /// Connected BROADCAST receivers.
+    pub n_bcast: u32,
+    /// Next send sequence number (= messages ever sent here).
+    pub next_seq: u32,
+    /// Whether a peer died mid-conversation.
+    pub poisoned: bool,
+    /// The MPF pid blamed for the poison (meaningful when `poisoned`).
+    pub dead_pid: u32,
+    /// Per-conversation telemetry counters.
+    pub tel: LnvcTelSnapshot,
+}
+
+/// A read-only attachment to a named region (live or post-mortem).
+#[derive(Debug)]
+pub struct RegionInspector {
+    region: ShmRegion,
+    off: Offsets,
+    cfg: MpfConfig,
+    name: String,
+}
+
+impl RegionInspector {
+    /// Maps the named region read-only and validates its header.  Unlike
+    /// [`crate::IpcMpf::attach`] there is no barrier wait: a region whose
+    /// creator died mid-carve is reported as an error immediately.
+    pub fn attach(name: &str) -> Result<Self, AttachError> {
+        let region = ShmRegion::attach_readonly(name)?;
+        if region.len() < std::mem::size_of::<RegionHeader>() {
+            return Err(MpfError::LayoutMismatch {
+                expected: LAYOUT_VERSION,
+                found: 0,
+            }
+            .into());
+        }
+        let header: &RegionHeader = unsafe { region.at(0) };
+        if header.state.load(Ordering::Acquire) != region_state::READY
+            || header.magic.load(Ordering::Acquire) != REGION_MAGIC
+        {
+            return Err(MpfError::LayoutMismatch {
+                expected: LAYOUT_VERSION,
+                found: 0,
+            }
+            .into());
+        }
+        let found = header.layout_version.load(Ordering::Acquire);
+        if found != LAYOUT_VERSION {
+            return Err(MpfError::LayoutMismatch {
+                expected: LAYOUT_VERSION,
+                found,
+            }
+            .into());
+        }
+        let echo = &header.cfg;
+        let mut cfg = MpfConfig::new(
+            echo.max_lnvcs.load(Ordering::Acquire),
+            echo.max_processes.load(Ordering::Acquire),
+        )
+        .with_block_payload(echo.block_payload.load(Ordering::Acquire) as usize)
+        .with_total_blocks(echo.total_blocks.load(Ordering::Acquire))
+        .with_max_messages(echo.max_messages.load(Ordering::Acquire));
+        cfg.max_send_conns = echo.max_send_conns.load(Ordering::Acquire);
+        cfg.max_recv_conns = echo.max_recv_conns.load(Ordering::Acquire);
+        cfg.telemetry = echo.telemetry.load(Ordering::Acquire) != 0;
+        // Same defense as `IpcMpf::attach`: the stored total must match the
+        // total THIS binary computes for the echoed config, else reader and
+        // writer disagree on the segment map and every decoded offset lies.
+        let expected_bytes = header.total_bytes.load(Ordering::Acquire) as usize;
+        let computed_bytes = RegionLayout::for_ipc(&cfg).total_bytes();
+        if region.len() < expected_bytes || computed_bytes != expected_bytes {
+            return Err(MpfError::LayoutMismatch {
+                expected: LAYOUT_VERSION,
+                found,
+            }
+            .into());
+        }
+        Ok(Self {
+            region,
+            off: offsets_for(&cfg),
+            cfg,
+            name: name.to_string(),
+        })
+    }
+
+    // -- raw accessors (all reads) -------------------------------------
+
+    fn header(&self) -> &RegionHeader {
+        unsafe { self.region.at(self.off.header) }
+    }
+
+    fn slot(&self, i: u32) -> &ProcessSlot {
+        unsafe {
+            self.region
+                .at(self.off.slots + i as usize * std::mem::size_of::<ProcessSlot>())
+        }
+    }
+
+    fn lnvc(&self, i: u32) -> &LnvcDesc {
+        unsafe {
+            self.region
+                .at(self.off.lnvcs + i as usize * std::mem::size_of::<LnvcDesc>())
+        }
+    }
+
+    fn reg_entry(&self, i: u32) -> &RegistryEntry {
+        unsafe {
+            self.region
+                .at(self.off.registry + i as usize * std::mem::size_of::<RegistryEntry>())
+        }
+    }
+
+    fn msg(&self, i: u32) -> &MsgDesc {
+        unsafe {
+            self.region
+                .at(self.off.msgs + i as usize * std::mem::size_of::<MsgDesc>())
+        }
+    }
+
+    /// Process `slot`'s facility-telemetry shard.
+    fn fac_tel(&self, slot: u32) -> &FacilityTelemetry {
+        unsafe {
+            self.region
+                .at(self.off.fac_tel + slot as usize * std::mem::size_of::<FacilityTelemetry>())
+        }
+    }
+
+    fn lnvc_tel(&self, i: u32) -> &LnvcTelemetry {
+        unsafe {
+            self.region
+                .at(self.off.lnvc_tel + i as usize * std::mem::size_of::<LnvcTelemetry>())
+        }
+    }
+
+    fn ring(&self, p: u32) -> &FlightRing {
+        unsafe {
+            self.region
+                .at(self.off.rings + p as usize * std::mem::size_of::<FlightRing>())
+        }
+    }
+
+    // -- decoded views -------------------------------------------------
+
+    /// The region name this inspector attached to.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The config the creator carved with (rebuilt from the header echo).
+    pub fn config(&self) -> &MpfConfig {
+        &self.cfg
+    }
+
+    /// Whether participants are recording telemetry.  The counters and
+    /// rings exist (and read as zero) even when they are not.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.cfg.telemetry
+    }
+
+    /// Total region bytes.
+    pub fn region_bytes(&self) -> usize {
+        self.region.len()
+    }
+
+    /// Global send stamp — total messages ever sent through the region.
+    pub fn next_stamp(&self) -> u64 {
+        self.header().next_stamp.load(Ordering::Acquire)
+    }
+
+    /// Dead-peer sweep epoch (bumped each time corpses were found).
+    pub fn sweep_epoch(&self) -> u64 {
+        u64::from(self.header().sweep_epoch.load(Ordering::Acquire))
+    }
+
+    /// Every process slot, decoded, with an up-to-date liveness probe.
+    pub fn processes(&self) -> Vec<ProcessInfo> {
+        (0..self.cfg.max_processes)
+            .map(|i| {
+                let s = self.slot(i);
+                let state = s.state.load(Ordering::Acquire);
+                let os_pid = s.os_pid.load(Ordering::Acquire);
+                ProcessInfo {
+                    pid: i,
+                    state: match state {
+                        slot_state::ATTACHED => "attached",
+                        slot_state::DEAD => "dead",
+                        _ => "free",
+                    },
+                    os_pid,
+                    alive: state == slot_state::ATTACHED
+                        && os_pid != 0
+                        && mpf_shm::futex::process_alive(os_pid),
+                    heartbeat: s.heartbeat.load(Ordering::Acquire),
+                    generation: s.generation.load(Ordering::Acquire),
+                }
+            })
+            .collect()
+    }
+
+    /// Every active conversation, decoded.  Queue walks are bounded by
+    /// the message-pool capacity so a torn region cannot hang us.
+    pub fn lnvcs(&self) -> Vec<LnvcInfo> {
+        let mut out = Vec::new();
+        for idx in 0..self.cfg.max_lnvcs {
+            let d = self.lnvc(idx);
+            if d.active.load(Ordering::Acquire) != 1 {
+                continue;
+            }
+            let reg_idx = d.registry_idx.load(Ordering::Acquire);
+            let name = if reg_idx < self.cfg.max_lnvcs {
+                let raw = self.reg_entry(reg_idx).get_name();
+                let end = raw.iter().position(|&b| b == 0).unwrap_or(raw.len());
+                String::from_utf8_lossy(&raw[..end]).into_owned()
+            } else {
+                String::new()
+            };
+            let (queued, reclaimable) = self.queue_census(d);
+            out.push(LnvcInfo {
+                index: idx,
+                name,
+                generation: d.generation.load(Ordering::Acquire),
+                queued,
+                reclaimable,
+                n_senders: d.n_senders.load(Ordering::Acquire),
+                n_fcfs: d.n_fcfs.load(Ordering::Acquire),
+                n_bcast: d.n_bcast.load(Ordering::Acquire),
+                next_seq: d.next_seq.load(Ordering::Acquire),
+                poisoned: d.poisoned.load(Ordering::Acquire) != 0,
+                dead_pid: d.dead_pid.load(Ordering::Acquire),
+                tel: self.lnvc_tel(idx).snapshot(),
+            });
+        }
+        out
+    }
+
+    /// Bounded walk of one queue: (messages linked, of which corpses).
+    fn queue_census(&self, d: &LnvcDesc) -> (u32, u32) {
+        let mut queued = 0;
+        let mut reclaimable = 0;
+        let mut cur = d.q_head.load(Ordering::Acquire);
+        while cur != NIL && cur < self.cfg.max_messages && queued < self.cfg.max_messages {
+            let m = self.msg(cur);
+            queued += 1;
+            let flags = m.flags.load(Ordering::Acquire);
+            let fcfs_done =
+                flags & msg_flags::NEEDS_FCFS == 0 || flags & msg_flags::FCFS_TAKEN != 0;
+            if fcfs_done && m.bcast_pending.load(Ordering::Acquire) == 0 {
+                reclaimable += 1;
+            }
+            cur = m.next.load(Ordering::Acquire);
+        }
+        (queued, reclaimable)
+    }
+
+    /// Facility-wide counter/histogram snapshot (sum of every process
+    /// slot's shard).
+    pub fn telemetry_snapshot(&self) -> TelSnapshot {
+        let mut sum = TelSnapshot::default();
+        for p in 0..self.cfg.max_processes {
+            sum.absorb(&self.fac_tel(p).snapshot());
+        }
+        sum
+    }
+
+    /// The OS pid that owns (or owned) process `pid`'s flight ring.
+    pub fn ring_writer(&self, pid: u32) -> u32 {
+        if pid >= self.cfg.max_processes {
+            return 0;
+        }
+        self.ring(pid).writer_pid()
+    }
+
+    /// Tail of process `pid`'s flight ring, oldest first — the last
+    /// things that process did, even if it is now a corpse.
+    pub fn flight_events(&self, pid: u32) -> Vec<FlightEvent> {
+        if pid >= self.cfg.max_processes {
+            return Vec::new();
+        }
+        self.ring(pid).snapshot()
+    }
+}
+
+/// Re-exported so binary and tests can size bucket tables without
+/// importing `mpf_shm` directly.
+pub const BUCKETS: usize = HISTOGRAM_BUCKETS;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IpcMpf;
+    use mpf::Protocol;
+    use std::sync::atomic::AtomicU64;
+
+    fn unique_name(tag: &str) -> String {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        format!(
+            "inspect-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        )
+    }
+
+    fn small_cfg() -> MpfConfig {
+        MpfConfig::new(4, 4)
+            .with_max_messages(16)
+            .with_total_blocks(64)
+    }
+
+    #[test]
+    fn inspector_sees_live_session_state() {
+        if !mpf_shm::sys::HAVE_SYSCALLS {
+            return;
+        }
+        let name = unique_name("live");
+        let cfg = small_cfg();
+        let mpf = IpcMpf::create(&name, &cfg).unwrap();
+        let tx = mpf.open_send("metrics").unwrap();
+        let _rx = mpf.open_receive("metrics", Protocol::Fcfs).unwrap();
+        mpf.message_send(tx, b"hello-inspector").unwrap();
+
+        let insp = RegionInspector::attach(&name).unwrap();
+        assert!(insp.telemetry_enabled());
+        assert_eq!(insp.config().max_lnvcs, 4);
+        assert_eq!(insp.next_stamp(), 1);
+
+        let procs = insp.processes();
+        assert_eq!(procs.len(), 4);
+        assert_eq!(procs[0].state, "attached");
+        assert!(procs[0].alive);
+        assert_eq!(procs[0].os_pid, std::process::id());
+
+        let lnvcs = insp.lnvcs();
+        assert_eq!(lnvcs.len(), 1);
+        assert_eq!(lnvcs[0].name, "metrics");
+        assert_eq!(lnvcs[0].queued, 1);
+        assert_eq!(lnvcs[0].n_senders, 1);
+        assert_eq!(lnvcs[0].n_fcfs, 1);
+        assert!(!lnvcs[0].poisoned);
+        assert_eq!(lnvcs[0].tel.sends, 1);
+
+        let t = insp.telemetry_snapshot();
+        assert_eq!(t.sends, 1);
+        assert_eq!(t.bytes_in, 15);
+        assert_eq!(t.size_hist.count, 1);
+
+        // Our own flight ring shows the open/send history.
+        let ev = insp.flight_events(mpf.pid());
+        assert!(ev.len() >= 3, "expected open/open/send, got {ev:?}");
+        assert_eq!(insp.ring_writer(mpf.pid()), std::process::id());
+        drop(mpf);
+    }
+
+    #[test]
+    fn inspector_rejects_garbage_region() {
+        if !mpf_shm::sys::HAVE_SYSCALLS {
+            return;
+        }
+        assert!(matches!(
+            RegionInspector::attach(&unique_name("missing")),
+            Err(AttachError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn inspector_is_readonly_and_unobtrusive() {
+        if !mpf_shm::sys::HAVE_SYSCALLS {
+            return;
+        }
+        let name = unique_name("ro");
+        let cfg = small_cfg();
+        let mpf = IpcMpf::create(&name, &cfg).unwrap();
+        let insp = RegionInspector::attach(&name).unwrap();
+        // Attaching the inspector claims no process slot.
+        assert_eq!(
+            insp.processes()
+                .iter()
+                .filter(|p| p.state == "attached")
+                .count(),
+            1
+        );
+        // The session keeps working with the inspector mapped.
+        let tx = mpf.open_send("c").unwrap();
+        let rx = mpf.open_receive("c", Protocol::Fcfs).unwrap();
+        mpf.message_send(tx, b"x").unwrap();
+        let mut buf = [0u8; 8];
+        assert_eq!(mpf.message_receive(rx, &mut buf).unwrap(), 1);
+        assert_eq!(insp.telemetry_snapshot().receives, 1);
+    }
+}

@@ -25,6 +25,8 @@
 
 pub mod facility;
 pub mod ffi;
+pub mod inspect;
 pub mod shmem;
 
 pub use facility::{AttachError, IpcLnvcId, IpcMpf};
+pub use inspect::{LnvcInfo, ProcessInfo, RegionInspector};

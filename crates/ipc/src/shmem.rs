@@ -45,6 +45,9 @@ pub struct ConfigEcho {
     pub max_send_conns: AtomicU32,
     /// Receive-connection pool size.
     pub max_recv_conns: AtomicU32,
+    /// 1 when the creator enabled telemetry recording; the segments are
+    /// carved either way, this only tells attachers whether to write them.
+    pub telemetry: AtomicU32,
 }
 
 /// A Treiber free-list head over pool indices: `(aba_tag << 32) | index`.
@@ -137,7 +140,6 @@ pub struct RegionHeader {
     pub total_bytes: AtomicU64,
     /// Configuration the carve was computed from.
     pub cfg: ConfigEcho,
-    _pad0: u32,
     /// Guards the name registry and LNVC slot allocation (lock order:
     /// registry, then LNVC descriptor).
     pub registry_lock: IpcLock,
@@ -257,6 +259,9 @@ pub struct MsgDesc {
     _pad0: u32,
     /// Global send stamp (total order / tracing).
     pub stamp: AtomicU64,
+    /// Wall-clock nanoseconds at send (0 = unstamped), feeding the
+    /// telemetry send→receive latency histogram.
+    pub sent_at: AtomicU64,
 }
 
 /// One send-connection descriptor.

@@ -10,8 +10,8 @@ use std::io::Read as _;
 use std::process::{Child, Command, Stdio};
 use std::time::Duration;
 
-use mpf::{MpfConfig, MpfError, Protocol};
-use mpf_ipc::IpcMpf;
+use mpf::{MpfConfig, MpfError, Protocol, Reclaimable};
+use mpf_ipc::{IpcMpf, RegionInspector};
 
 const REGION_ENV: &str = "MPF_IPC_REGION";
 
@@ -311,4 +311,105 @@ fn fcfs_departure_releases_obligations_across_processes() {
     m.close_receive(ctl).expect("close ctl");
     assert_eq!(m.live_lnvcs(), 0);
     assert_eq!(m.free_blocks(), total);
+    // Conservation in telemetry terms: nothing queued means no corpses,
+    // and the in-region counters saw all 28 flood messages plus acks.
+    assert_eq!(m.reclaimable(), Reclaimable::default());
+    let t = m.telemetry_snapshot();
+    assert!(t.sends >= 28, "sends {} < flood volume", t.sends);
+    assert_eq!(t.lnvcs_created, t.lnvcs_deleted);
+}
+
+/// Child role for [`mpfstat_post_mortem_reads_a_sigkilled_writer`]: open a
+/// conversation, send a recognizable stream, report in, then park
+/// forever — the parent SIGKILLs this process mid-session, so its last
+/// acts must remain readable from the region afterwards.
+#[test]
+#[ignore = "helper: only meaningful when spawned by a parent test"]
+fn helper_doomed_sender() {
+    let Ok(region) = std::env::var(REGION_ENV) else {
+        return;
+    };
+    let m = IpcMpf::attach(&region).expect("attach");
+    let tx = m.open_send("blackbox").expect("open_send blackbox");
+    let ctl = m.open_send("ctl").expect("open ctl");
+    for i in 0..5u8 {
+        m.message_send(tx, &[i; 24]).expect("send stream");
+    }
+    m.message_send(ctl, b"sent").expect("report in");
+    std::thread::sleep(Duration::from_secs(60));
+}
+
+/// The flight recorder's reason to exist: a writer is SIGKILLed
+/// mid-session and `mpfstat --json` — attaching read-only, after the
+/// fact — still reports its last flight-ring events, the non-zero
+/// counters it contributed, and the poisoned conversation it left
+/// behind.
+#[test]
+fn mpfstat_post_mortem_reads_a_sigkilled_writer() {
+    let region = unique_region("postmortem");
+    let m = create_region(&region);
+    let rx = m.open_receive("blackbox", Protocol::Fcfs).unwrap();
+    let ctl = m.open_receive("ctl", Protocol::Fcfs).unwrap();
+
+    let mut victim = spawn_helper("helper_doomed_sender", &region);
+    let mut buf = [0u8; 64];
+    let n = m
+        .message_receive_timeout(ctl, &mut buf, Duration::from_secs(30))
+        .expect("victim reports in");
+    assert_eq!(&buf[..n], b"sent");
+    // Drain two of the five so receive-side counters are non-zero too.
+    for _ in 0..2 {
+        m.message_receive_timeout(rx, &mut buf, Duration::from_secs(30))
+            .expect("drain stream");
+    }
+
+    let victim_os_pid = victim.id();
+    victim.kill().expect("SIGKILL victim");
+    victim.wait().expect("reap victim");
+    // One survivor sweep converts the corpse's slot to DEAD and poisons
+    // the conversations it touched — exactly what a stuck operator's
+    // first `mpfstat` glance should show.
+    while m.sweep_dead_peers() == 0 {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // The library-level post-mortem view first.
+    let insp = RegionInspector::attach(&region).expect("inspector attach");
+    let dead: Vec<_> = insp
+        .processes()
+        .into_iter()
+        .filter(|p| p.state == "dead")
+        .collect();
+    assert_eq!(dead.len(), 1, "exactly one swept corpse");
+    assert_eq!(dead[0].os_pid, victim_os_pid);
+    let events = insp.flight_events(dead[0].pid);
+    assert!(
+        events
+            .iter()
+            .filter(|e| e.kind == mpf_shm::telemetry::EV_SEND)
+            .count()
+            >= 5,
+        "victim's sends must survive in its flight ring: {events:?}"
+    );
+    assert_eq!(insp.ring_writer(dead[0].pid), victim_os_pid);
+    assert!(insp.lnvcs().iter().any(|l| l.poisoned));
+    let t = insp.telemetry_snapshot();
+    assert!(t.sends >= 6 && t.receives >= 2 && t.peers_died == 1);
+
+    // Then the full binary, exactly as an operator would run it.
+    let out = Command::new(env!("CARGO_BIN_EXE_mpfstat"))
+        .args([region.as_str(), "--json"])
+        .output()
+        .expect("run mpfstat");
+    assert!(out.status.success(), "mpfstat failed: {out:?}");
+    let json = String::from_utf8(out.stdout).expect("utf8 json");
+    assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+    assert!(json.contains("\"state\":\"dead\""), "dead slot in {json}");
+    assert!(json.contains("\"poisoned\":true"), "poison in {json}");
+    assert!(json.contains("\"kind\":\"send\""), "ring events in {json}");
+    assert!(
+        json.contains(&format!("\"os_pid\":{victim_os_pid}")),
+        "victim os pid in {json}"
+    );
+    assert!(json.contains("\"peers_died\":1"), "sweep count in {json}");
 }

@@ -61,6 +61,7 @@ pub mod region;
 pub mod rng;
 pub mod stats;
 pub mod sys;
+pub mod telemetry;
 pub mod waitq;
 
 pub use arena::StridedArena;
@@ -75,4 +76,8 @@ pub use process::{run_processes, run_processes_collect, ProcessId};
 pub use region::ShmRegion;
 pub use rng::SmallRng;
 pub use stats::Counter;
+pub use telemetry::{
+    FacilityTelemetry, FlightEvent, FlightRing, HistSnapshot, Histogram, LnvcTelSnapshot,
+    LnvcTelemetry, TelSnapshot,
+};
 pub use waitq::{FutexSeq, WaitQueue, WaitStrategy};

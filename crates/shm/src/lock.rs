@@ -294,17 +294,32 @@ impl IpcLock {
     /// liveness; it is consulted only after [`IPC_LOCK_PATIENCE`] of
     /// fruitless waiting.  Returns whether the lock was clean.
     pub fn lock(&self, me: u32, is_alive: impl Fn(u32) -> bool) -> IpcAcquire {
+        self.lock_traced(me, is_alive).0
+    }
+
+    /// Like [`Self::lock`], additionally reporting whether the acquirer
+    /// found the lock held (`true` = contended) — the telemetry layer's
+    /// contention signal.  The lock itself carries no counter: its 16-byte
+    /// `#[repr(C)]` layout is part of the frozen region ABI.  Under a
+    /// schedule-exploration hook, blocking is modeled by the scheduler and
+    /// reported as uncontended.
+    pub fn lock_traced(&self, me: u32, is_alive: impl Fn(u32) -> bool) -> (IpcAcquire, bool) {
         // Under a schedule-exploration hook all peers are threads of one
         // process and cannot die mid-section, so the liveness oracle is
         // never consulted on the hooked path.
         if crate::hooks::lock_acquire(self as *const Self as usize, &mut || self.try_lock(me)) {
-            return if self.is_poisoned() {
-                IpcAcquire::Poisoned
-            } else {
-                IpcAcquire::Clean
-            };
+            return (
+                if self.is_poisoned() {
+                    IpcAcquire::Poisoned
+                } else {
+                    IpcAcquire::Clean
+                },
+                false,
+            );
         }
+        let mut contended = false;
         if !self.try_lock(me) {
+            contended = true;
             loop {
                 if self.state.swap(2, Ordering::Acquire) == 0 {
                     self.owner.store(me, Ordering::Relaxed);
@@ -317,11 +332,14 @@ impl IpcLock {
                 }
             }
         }
-        if self.is_poisoned() {
-            IpcAcquire::Poisoned
-        } else {
-            IpcAcquire::Clean
-        }
+        (
+            if self.is_poisoned() {
+                IpcAcquire::Poisoned
+            } else {
+                IpcAcquire::Clean
+            },
+            contended,
+        )
     }
 
     /// Breaks a lock whose recorded holder is known dead: poison, bump

@@ -120,6 +120,43 @@ impl ShmRegion {
         Self::map(file, len, None)
     }
 
+    /// Maps an existing named region **read-only** — the inspector's
+    /// attach: works on a live session or on the leftover region of a
+    /// crashed one, and can not perturb either (the mapping has no write
+    /// permission, so even a buggy reader faults instead of corrupting).
+    ///
+    /// All `at`/`bytes_at` accesses through the returned handle must be
+    /// reads; the hook layer is not engaged (an observer is not a
+    /// participant).
+    pub fn attach_readonly(name: &str) -> io::Result<Self> {
+        validate_name(name)?;
+        if !sys::HAVE_SYSCALLS {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "no mmap syscalls on this host; multi-process attach unavailable",
+            ));
+        }
+        let path = region_path(name);
+        let file = OpenOptions::new().read(true).open(&path)?;
+        let len = file.metadata()?.len() as usize;
+        if len == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::WouldBlock,
+                "region exists but has not been sized yet",
+            ));
+        }
+        use std::os::fd::AsRawFd;
+        // SAFETY: `file` is open, sized to `len`, and stored in the
+        // backing so it outlives the mapping.
+        let base = unsafe { sys::mmap_shared_ro(file.as_raw_fd(), len) }
+            .map_err(io::Error::from_raw_os_error)?;
+        Ok(Self {
+            base,
+            len,
+            backing: Backing::Mmap { file, unlink: None },
+        })
+    }
+
     /// A second, independent mapping of the same named region *within
     /// this process* — lands at a different base address, which is how
     /// the position-independence tests exercise offset addressing.
@@ -346,6 +383,21 @@ mod tests {
             a.bytes_at(4096, 1).write(9);
             assert_eq!(b.bytes_at(4096, 1).read(), 9);
         }
+    }
+
+    #[test]
+    fn readonly_attach_observes_writes() {
+        if !sys::HAVE_SYSCALLS {
+            return;
+        }
+        let name = unique("ro");
+        let a = ShmRegion::create(&name, 4096).unwrap();
+        let ro = ShmRegion::attach_readonly(&name).unwrap();
+        assert!(!ro.is_owner());
+        let wa: &AtomicU32 = unsafe { a.at(128) };
+        wa.store(41, Ordering::Release);
+        let wr: &AtomicU32 = unsafe { ro.at(128) };
+        assert_eq!(wr.load(Ordering::Acquire), 41);
     }
 
     #[test]

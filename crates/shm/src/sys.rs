@@ -151,6 +151,21 @@ mod real {
         }
     }
 
+    /// Maps `len` bytes of `fd` shared **read-only** — the inspector's
+    /// attach mode: observing a region must not be able to perturb it.
+    ///
+    /// # Safety
+    /// `fd` must be an open file descriptor at least `len` bytes long for
+    /// the lifetime of the mapping.
+    pub unsafe fn mmap_shared_ro(fd: i32, len: usize) -> Result<*mut u8, i32> {
+        let ret = syscall6(nr::MMAP, 0, len, PROT_READ, MAP_SHARED, fd as usize, 0);
+        if (-4095..0).contains(&ret) {
+            Err(-ret as i32)
+        } else {
+            Ok(ret as *mut u8)
+        }
+    }
+
     /// Unmaps a region previously returned by [`mmap_shared`].
     ///
     /// # Safety
@@ -237,6 +252,14 @@ mod real {
         Err(super::EAGAIN)
     }
 
+    /// Portable stub: no mapping support.
+    ///
+    /// # Safety
+    /// Trivially safe — always fails.
+    pub unsafe fn mmap_shared_ro(_fd: i32, _len: usize) -> Result<*mut u8, i32> {
+        Err(super::EAGAIN)
+    }
+
     /// Portable stub; nothing to unmap.
     ///
     /// # Safety
@@ -264,7 +287,9 @@ mod real {
     }
 }
 
-pub use real::{futex_wait_raw, futex_wake_raw, mmap_shared, munmap, process_alive};
+pub use real::{
+    futex_wait_raw, futex_wake_raw, mmap_shared, mmap_shared_ro, munmap, process_alive,
+};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,889 @@
+//! In-region telemetry: shared counters, log2-bucket histograms, and
+//! per-process single-writer flight-recorder rings.
+//!
+//! Everything here is `#[repr(C)]`, offset-addressed, and built from plain
+//! atomics so it can live *inside* the shared region carved by
+//! `RegionLayout` — cross-process readable, crash-persistent, and safe to
+//! inspect read-only from a process that never took part in the session
+//! (the `mpfstat` inspector).  Design rules:
+//!
+//! * **Counters** are one relaxed `fetch_add` on the hot path.  Facility
+//!   counters sit in their own 64-byte cells ([`PadCell`]) so two processes
+//!   bumping different counters never share a cache line.
+//! * **Histograms** ([`Histogram`]) use power-of-two buckets: value `v`
+//!   lands in bucket `64 - v.leading_zeros()` (capped), so recording is a
+//!   couple of ALU ops plus one relaxed add.  Percentiles are computed from
+//!   a snapshot, never in-region.
+//! * **Flight rings** ([`FlightRing`]) are strictly single-writer: each
+//!   process owns the ring in its own process-slot position and is the only
+//!   writer, following the wait-free SPSC discipline (Torquati; see
+//!   PAPERS.md).  Readers — concurrent or post-mortem — validate each
+//!   record with a seqlock-style before/after sequence check and simply
+//!   skip torn slots.  A record's `seq` is zero while it is being written,
+//!   so a reader can never mistake a half-written record for a valid one,
+//!   even if the writer was SIGKILLed mid-store.
+//!
+//! None of this module knows about LNVCs or facilities; it is the raw
+//! instrumentation substrate that `mpf-core` and `mpf-ipc` place via their
+//! region layouts.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Number of power-of-two histogram buckets.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// Bytes of one [`Histogram`]: count + sum + max + 32 buckets.
+pub const HISTOGRAM_BYTES: usize = 8 * 3 + 8 * HISTOGRAM_BUCKETS;
+
+/// Bytes of one [`FacilityTelemetry`].
+pub const FACILITY_TELEMETRY_BYTES: usize = 1344;
+
+/// Bytes of one [`LnvcTelemetry`].
+pub const LNVC_TELEMETRY_BYTES: usize = 384;
+
+/// Records kept per process flight ring (power of two).
+pub const FLIGHT_RING_SLOTS: usize = 64;
+
+/// Bytes of one [`FlightRing`]: 64-byte header + fixed-slot records.
+pub const FLIGHT_RING_BYTES: usize = 64 + FLIGHT_RING_SLOTS * 32;
+
+// ---------------------------------------------------------------------------
+// Flight-recorder event kinds
+// ---------------------------------------------------------------------------
+
+/// `open_send` completed; `arg` = 0.
+pub const EV_OPEN_SEND: u32 = 1;
+/// `open_receive` completed; `arg` = protocol code.
+pub const EV_OPEN_RECV: u32 = 2;
+/// `close_send` completed.
+pub const EV_CLOSE_SEND: u32 = 3;
+/// `close_receive` completed.
+pub const EV_CLOSE_RECV: u32 = 4;
+/// `message_send` completed; `arg` = payload length.
+pub const EV_SEND: u32 = 5;
+/// `message_receive` delivered; `arg` = payload length.
+pub const EV_RECV: u32 = 6;
+/// A receive found nothing and is about to block.
+pub const EV_RECV_BLOCK: u32 = 7;
+/// A send hit pool exhaustion and is about to wait.
+pub const EV_SEND_BLOCK: u32 = 8;
+/// Reclamation freed messages; `arg` = messages freed.
+pub const EV_RECLAIM: u32 = 9;
+/// An LNVC descriptor lock was contended.
+pub const EV_LOCK_CONTEND: u32 = 10;
+/// A dead peer's connections were swept; `arg` = the dead mpf pid.
+pub const EV_SWEEP_DEAD: u32 = 11;
+/// An LNVC was poisoned by a peer death; `arg` = the culprit mpf pid.
+pub const EV_POISONED: u32 = 12;
+
+/// Human-readable name for a flight-recorder event kind.
+pub fn event_name(kind: u32) -> &'static str {
+    match kind {
+        EV_OPEN_SEND => "open_send",
+        EV_OPEN_RECV => "open_recv",
+        EV_CLOSE_SEND => "close_send",
+        EV_CLOSE_RECV => "close_recv",
+        EV_SEND => "send",
+        EV_RECV => "recv",
+        EV_RECV_BLOCK => "recv_block",
+        EV_SEND_BLOCK => "send_block",
+        EV_RECLAIM => "reclaim",
+        EV_LOCK_CONTEND => "lock_contend",
+        EV_SWEEP_DEAD => "sweep_dead",
+        EV_POISONED => "poisoned",
+        _ => "unknown",
+    }
+}
+
+/// Wall-clock nanoseconds since the Unix epoch.  Used for flight-recorder
+/// timestamps and send→receive latency because it is the one clock every
+/// process attached to the region shares (the shm layer deliberately has
+/// no `clock_gettime` syscall wrapper; `SystemTime` is std-portable).
+#[inline]
+pub fn now_nanos() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos() as u64)
+}
+
+// ---------------------------------------------------------------------------
+// PadCell: one counter per cache line
+// ---------------------------------------------------------------------------
+
+/// A single `AtomicU64` padded to its own 64-byte line.
+///
+/// Unlike `CachePadded` (128-byte aligned, for heap use) this has **align
+/// 8** and explicit tail padding, so it can be placed at any 64-byte region
+/// offset without over-alignment constraints the region carver cannot
+/// honour.
+#[repr(C)]
+#[derive(Debug)]
+pub struct PadCell {
+    value: AtomicU64,
+    _pad: [u8; 56],
+}
+
+impl Default for PadCell {
+    fn default() -> Self {
+        Self {
+            value: AtomicU64::new(0),
+            _pad: [0; 56],
+        }
+    }
+}
+
+impl PadCell {
+    /// Adds one, relaxed.
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`, relaxed.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value, relaxed.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+/// Log2-bucket histogram: bucket `b >= 1` counts values in
+/// `[2^(b-1), 2^b - 1]`; bucket 0 counts zeros.  Values past the last
+/// bucket are clamped into it (the tracked `max` keeps the true extreme).
+#[repr(C)]
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Adds `n` to `c` with a plain load+store instead of a locked RMW.
+///
+/// Sound only while the caller is the sole writer of `c` — in practice,
+/// while holding the LNVC descriptor lock that serialises updates to a
+/// [`LnvcTelemetry`] block.  Readers still see untorn 64-bit values; they
+/// just race the increment, exactly as they would a `fetch_add`.
+#[inline]
+pub fn bump(c: &AtomicU64, n: u64) {
+    c.store(c.load(Ordering::Relaxed).wrapping_add(n), Ordering::Relaxed);
+}
+
+/// Bucket index for `v` (shared by writer and snapshot percentile math).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Largest value bucket `b` can represent (before clamping).
+pub fn bucket_upper_bound(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+impl Histogram {
+    /// Records one observation.  All stores relaxed; torn cross-field reads
+    /// only make a concurrent snapshot momentarily inconsistent, never
+    /// corrupt.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        // Plain load first: once warmed up a new maximum is rare, and the
+        // load avoids the RMW (a cmpxchg loop) on every observation.
+        if v > self.max.load(Ordering::Relaxed) {
+            self.max.fetch_max(v, Ordering::Relaxed);
+        }
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// [`record`](Self::record) for a histogram whose writes are already
+    /// serialised by an external lock: plain load+store ([`bump`]) instead
+    /// of locked RMWs.  Used for the per-LNVC latency histogram, which is
+    /// only written under the LNVC descriptor lock.
+    #[inline]
+    pub fn record_locked(&self, v: u64) {
+        bump(&self.count, 1);
+        bump(&self.sum, v);
+        if v > self.max.load(Ordering::Relaxed) {
+            self.max.store(v, Ordering::Relaxed);
+        }
+        bump(&self.buckets[bucket_index(v)], 1);
+    }
+
+    /// Copies the current state out of the region.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`], with percentile math.
+#[derive(Clone, Copy, Debug)]
+pub struct HistSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Per-bucket counts (see [`bucket_index`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl HistSnapshot {
+    /// Value at quantile `q` in `[0, 1]`, reported as the upper bound of
+    /// the bucket containing that rank (clamped to the observed max).
+    /// Returns 0 for an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_upper_bound(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean observation, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Adds `other` into `self` (summing per-process telemetry shards).
+    pub fn absorb(&mut self, other: &HistSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        for (b, &c) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += c;
+        }
+    }
+
+    /// Counts accumulated since `earlier` (monotone counters; `max` is
+    /// kept from `self` since a running maximum cannot be differenced).
+    pub fn diff(&self, earlier: &HistSnapshot) -> HistSnapshot {
+        HistSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            max: self.max,
+            buckets: std::array::from_fn(|i| self.buckets[i].saturating_sub(earlier.buckets[i])),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Facility + per-LNVC telemetry blocks
+// ---------------------------------------------------------------------------
+
+/// Region-global counters, one cache line each, plus message-size and
+/// send→receive latency histograms.  Written by every attached process;
+/// all operations are single relaxed RMWs.
+#[repr(C)]
+#[derive(Debug, Default)]
+pub struct FacilityTelemetry {
+    /// `message_send` completions.
+    pub sends: PadCell,
+    /// `message_receive` deliveries.
+    pub receives: PadCell,
+    /// Payload bytes accepted from senders.
+    pub bytes_in: PadCell,
+    /// Payload bytes copied out to receivers.
+    pub bytes_out: PadCell,
+    /// Times a receive blocked (once per blocking call, not per nap).
+    pub recv_waits: PadCell,
+    /// Times a send waited on pool exhaustion.
+    pub send_waits: PadCell,
+    /// Messages reclaimed (prefix + sweep reclamation).
+    pub reclaims: PadCell,
+    /// Conversations created.
+    pub lnvcs_created: PadCell,
+    /// Conversations deleted.
+    pub lnvcs_deleted: PadCell,
+    /// LNVC descriptor lock acquisitions that found the lock held.
+    pub lock_contended: PadCell,
+    /// Dead-peer sweeps that found at least one corpse.
+    pub sweeps: PadCell,
+    /// Peers detected dead and swept.
+    pub peers_died: PadCell,
+    /// Payload sizes of accepted sends.
+    pub size_hist: Histogram,
+    /// Send→receive latency in nanoseconds (stamped at send, observed at
+    /// delivery).
+    pub latency_hist: Histogram,
+    _pad: [u8; 16],
+}
+
+impl FacilityTelemetry {
+    /// Copies every counter and histogram out of the region.
+    pub fn snapshot(&self) -> TelSnapshot {
+        TelSnapshot {
+            sends: self.sends.get(),
+            receives: self.receives.get(),
+            bytes_in: self.bytes_in.get(),
+            bytes_out: self.bytes_out.get(),
+            recv_waits: self.recv_waits.get(),
+            send_waits: self.send_waits.get(),
+            reclaims: self.reclaims.get(),
+            lnvcs_created: self.lnvcs_created.get(),
+            lnvcs_deleted: self.lnvcs_deleted.get(),
+            lock_contended: self.lock_contended.get(),
+            sweeps: self.sweeps.get(),
+            peers_died: self.peers_died.get(),
+            size_hist: self.size_hist.snapshot(),
+            latency_hist: self.latency_hist.snapshot(),
+        }
+    }
+}
+
+/// Point-in-time copy of [`FacilityTelemetry`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TelSnapshot {
+    /// See [`FacilityTelemetry::sends`].
+    pub sends: u64,
+    /// See [`FacilityTelemetry::receives`].
+    pub receives: u64,
+    /// See [`FacilityTelemetry::bytes_in`].
+    pub bytes_in: u64,
+    /// See [`FacilityTelemetry::bytes_out`].
+    pub bytes_out: u64,
+    /// See [`FacilityTelemetry::recv_waits`].
+    pub recv_waits: u64,
+    /// See [`FacilityTelemetry::send_waits`].
+    pub send_waits: u64,
+    /// See [`FacilityTelemetry::reclaims`].
+    pub reclaims: u64,
+    /// See [`FacilityTelemetry::lnvcs_created`].
+    pub lnvcs_created: u64,
+    /// See [`FacilityTelemetry::lnvcs_deleted`].
+    pub lnvcs_deleted: u64,
+    /// See [`FacilityTelemetry::lock_contended`].
+    pub lock_contended: u64,
+    /// See [`FacilityTelemetry::sweeps`].
+    pub sweeps: u64,
+    /// See [`FacilityTelemetry::peers_died`].
+    pub peers_died: u64,
+    /// See [`FacilityTelemetry::size_hist`].
+    pub size_hist: HistSnapshot,
+    /// See [`FacilityTelemetry::latency_hist`].
+    pub latency_hist: HistSnapshot,
+}
+
+impl TelSnapshot {
+    /// Adds `other` into `self` — used to sum the per-process facility
+    /// telemetry shards into one facility-wide view.
+    pub fn absorb(&mut self, other: &TelSnapshot) {
+        self.sends += other.sends;
+        self.receives += other.receives;
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+        self.recv_waits += other.recv_waits;
+        self.send_waits += other.send_waits;
+        self.reclaims += other.reclaims;
+        self.lnvcs_created += other.lnvcs_created;
+        self.lnvcs_deleted += other.lnvcs_deleted;
+        self.lock_contended += other.lock_contended;
+        self.sweeps += other.sweeps;
+        self.peers_died += other.peers_died;
+        self.size_hist.absorb(&other.size_hist);
+        self.latency_hist.absorb(&other.latency_hist);
+    }
+
+    /// Activity between `earlier` and `self` (counter-wise saturating
+    /// difference; histogram handled by [`HistSnapshot::diff`]).
+    pub fn diff(&self, earlier: &TelSnapshot) -> TelSnapshot {
+        TelSnapshot {
+            sends: self.sends.saturating_sub(earlier.sends),
+            receives: self.receives.saturating_sub(earlier.receives),
+            bytes_in: self.bytes_in.saturating_sub(earlier.bytes_in),
+            bytes_out: self.bytes_out.saturating_sub(earlier.bytes_out),
+            recv_waits: self.recv_waits.saturating_sub(earlier.recv_waits),
+            send_waits: self.send_waits.saturating_sub(earlier.send_waits),
+            reclaims: self.reclaims.saturating_sub(earlier.reclaims),
+            lnvcs_created: self.lnvcs_created.saturating_sub(earlier.lnvcs_created),
+            lnvcs_deleted: self.lnvcs_deleted.saturating_sub(earlier.lnvcs_deleted),
+            lock_contended: self.lock_contended.saturating_sub(earlier.lock_contended),
+            sweeps: self.sweeps.saturating_sub(earlier.sweeps),
+            peers_died: self.peers_died.saturating_sub(earlier.peers_died),
+            size_hist: self.size_hist.diff(&earlier.size_hist),
+            latency_hist: self.latency_hist.diff(&earlier.latency_hist),
+        }
+    }
+}
+
+/// Per-conversation counters and latency histogram.  Fields written under
+/// the LNVC descriptor lock in practice, but readers (snapshots, the
+/// inspector) take no lock, so everything stays atomic.
+#[repr(C)]
+#[derive(Debug)]
+pub struct LnvcTelemetry {
+    /// Messages enqueued on this conversation.
+    pub sends: AtomicU64,
+    /// Deliveries made from this conversation.
+    pub receives: AtomicU64,
+    /// Payload bytes enqueued.
+    pub bytes_in: AtomicU64,
+    /// Payload bytes delivered.
+    pub bytes_out: AtomicU64,
+    /// Blocking receives on this conversation.
+    pub recv_waits: AtomicU64,
+    /// Messages reclaimed from this conversation's queue.
+    pub reclaims: AtomicU64,
+    /// High-water mark of queued messages.
+    pub depth_hwm: AtomicU64,
+    _pad0: [u8; 8],
+    /// Send→receive latency in nanoseconds.
+    pub latency: Histogram,
+    _pad1: [u8; 40],
+}
+
+impl Default for LnvcTelemetry {
+    fn default() -> Self {
+        Self {
+            sends: AtomicU64::new(0),
+            receives: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            recv_waits: AtomicU64::new(0),
+            reclaims: AtomicU64::new(0),
+            depth_hwm: AtomicU64::new(0),
+            _pad0: [0; 8],
+            latency: Histogram::default(),
+            _pad1: [0; 40],
+        }
+    }
+}
+
+impl LnvcTelemetry {
+    /// Raises the queue-depth high-water mark to at least `depth`.
+    /// Caller holds the LNVC lock, so load+store suffices.
+    #[inline]
+    pub fn note_depth(&self, depth: u64) {
+        if depth > self.depth_hwm.load(Ordering::Relaxed) {
+            self.depth_hwm.store(depth, Ordering::Relaxed);
+        }
+    }
+
+    /// Resets every counter; called when an LNVC slot is recycled so a new
+    /// conversation does not inherit its predecessor's numbers.
+    pub fn reset(&self) {
+        self.sends.store(0, Ordering::Relaxed);
+        self.receives.store(0, Ordering::Relaxed);
+        self.bytes_in.store(0, Ordering::Relaxed);
+        self.bytes_out.store(0, Ordering::Relaxed);
+        self.recv_waits.store(0, Ordering::Relaxed);
+        self.reclaims.store(0, Ordering::Relaxed);
+        self.depth_hwm.store(0, Ordering::Relaxed);
+        self.latency.count.store(0, Ordering::Relaxed);
+        self.latency.sum.store(0, Ordering::Relaxed);
+        self.latency.max.store(0, Ordering::Relaxed);
+        for b in &self.latency.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Copies the current state out of the region.
+    pub fn snapshot(&self) -> LnvcTelSnapshot {
+        LnvcTelSnapshot {
+            sends: self.sends.load(Ordering::Relaxed),
+            receives: self.receives.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            recv_waits: self.recv_waits.load(Ordering::Relaxed),
+            reclaims: self.reclaims.load(Ordering::Relaxed),
+            depth_hwm: self.depth_hwm.load(Ordering::Relaxed),
+            latency: self.latency.snapshot(),
+        }
+    }
+}
+
+/// Point-in-time copy of [`LnvcTelemetry`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LnvcTelSnapshot {
+    /// See [`LnvcTelemetry::sends`].
+    pub sends: u64,
+    /// See [`LnvcTelemetry::receives`].
+    pub receives: u64,
+    /// See [`LnvcTelemetry::bytes_in`].
+    pub bytes_in: u64,
+    /// See [`LnvcTelemetry::bytes_out`].
+    pub bytes_out: u64,
+    /// See [`LnvcTelemetry::recv_waits`].
+    pub recv_waits: u64,
+    /// See [`LnvcTelemetry::reclaims`].
+    pub reclaims: u64,
+    /// See [`LnvcTelemetry::depth_hwm`].
+    pub depth_hwm: u64,
+    /// See [`LnvcTelemetry::latency`].
+    pub latency: HistSnapshot,
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+/// One fixed-size flight-recorder record.
+///
+/// `seq` doubles as the validity word: zero means "invalid / mid-write".
+/// The writer zeroes it (Release), stores the payload fields (Relaxed),
+/// then publishes `seq = logical_position + 1` (Release).  A reader that
+/// observes the same nonzero `seq` before and after reading the payload
+/// has a consistent record; anything else is torn and skipped.
+#[repr(C)]
+#[derive(Debug)]
+pub struct FlightRecord {
+    seq: AtomicU64,
+    tstamp: AtomicU64,
+    arg: AtomicU64,
+    kind: AtomicU32,
+    lnvc: AtomicU32,
+}
+
+impl Default for FlightRecord {
+    fn default() -> Self {
+        Self {
+            seq: AtomicU64::new(0),
+            tstamp: AtomicU64::new(0),
+            arg: AtomicU64::new(0),
+            kind: AtomicU32::new(0),
+            lnvc: AtomicU32::new(0),
+        }
+    }
+}
+
+/// A validated record read out of a ring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// 1-based logical position in the writer's event stream.
+    pub seq: u64,
+    /// Wall-clock nanoseconds at record time ([`now_nanos`]).
+    pub tstamp: u64,
+    /// Event argument (length, count, pid — see the `EV_*` docs).
+    pub arg: u64,
+    /// Event kind (`EV_*`).
+    pub kind: u32,
+    /// LNVC index the event concerns (`u32::MAX` when none).
+    pub lnvc: u32,
+}
+
+/// Per-process single-writer event ring.  The owning process appends with
+/// [`FlightRing::record`]; anyone may read with [`FlightRing::snapshot`],
+/// concurrently or after the writer died.
+#[repr(C)]
+#[derive(Debug)]
+pub struct FlightRing {
+    head: AtomicU64,
+    writer_pid: AtomicU32,
+    _pad: [u8; 52],
+    slots: [FlightRecord; FLIGHT_RING_SLOTS],
+}
+
+impl Default for FlightRing {
+    fn default() -> Self {
+        Self {
+            head: AtomicU64::new(0),
+            writer_pid: AtomicU32::new(0),
+            _pad: [0; 52],
+            slots: std::array::from_fn(|_| FlightRecord::default()),
+        }
+    }
+}
+
+impl FlightRing {
+    /// Tags the ring with its writer's OS pid (for the inspector).
+    pub fn set_writer_pid(&self, pid: u32) {
+        self.writer_pid.store(pid, Ordering::Relaxed);
+    }
+
+    /// OS pid of the process that owned this ring (0 = never used).
+    pub fn writer_pid(&self) -> u32 {
+        self.writer_pid.load(Ordering::Relaxed)
+    }
+
+    /// Total records ever written.
+    pub fn head(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Appends one record, stamping it with [`now_nanos`].  **Single-
+    /// writer**: only the owning process may call this; it is wait-free
+    /// and lock-free.
+    #[inline]
+    pub fn record(&self, kind: u32, lnvc: u32, arg: u64) {
+        self.record_at(now_nanos(), kind, lnvc, arg);
+    }
+
+    /// [`record`](Self::record) with a caller-supplied timestamp, so a hot
+    /// path that already read the clock (e.g. to stamp a message) does not
+    /// pay a second `clock_gettime` for its flight record.
+    #[inline]
+    pub fn record_at(&self, tstamp: u64, kind: u32, lnvc: u32, arg: u64) {
+        let h = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(h as usize) % FLIGHT_RING_SLOTS];
+        slot.seq.store(0, Ordering::Release);
+        slot.tstamp.store(tstamp, Ordering::Relaxed);
+        slot.arg.store(arg, Ordering::Relaxed);
+        slot.kind.store(kind, Ordering::Relaxed);
+        slot.lnvc.store(lnvc, Ordering::Relaxed);
+        slot.seq.store(h + 1, Ordering::Release);
+        self.head.store(h + 1, Ordering::Release);
+    }
+
+    /// Reads the surviving tail of the ring, oldest first, skipping torn
+    /// or never-written slots.  Safe against a live writer (seqlock check)
+    /// and against a writer that died mid-append (the half-written slot
+    /// still has `seq == 0`).
+    pub fn snapshot(&self) -> Vec<FlightEvent> {
+        let head = self.head.load(Ordering::Acquire);
+        let start = head.saturating_sub(FLIGHT_RING_SLOTS as u64);
+        let mut out = Vec::new();
+        for pos in start..head {
+            let slot = &self.slots[(pos as usize) % FLIGHT_RING_SLOTS];
+            let seq1 = slot.seq.load(Ordering::Acquire);
+            if seq1 != pos + 1 {
+                continue; // torn, mid-write, or already overwritten
+            }
+            let ev = FlightEvent {
+                seq: seq1,
+                tstamp: slot.tstamp.load(Ordering::Relaxed),
+                arg: slot.arg.load(Ordering::Relaxed),
+                kind: slot.kind.load(Ordering::Relaxed),
+                lnvc: slot.lnvc.load(Ordering::Relaxed),
+            };
+            let seq2 = slot.seq.load(Ordering::Acquire);
+            if seq2 == seq1 {
+                out.push(ev);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Layout checks
+// ---------------------------------------------------------------------------
+
+const _: () = {
+    assert!(std::mem::size_of::<PadCell>() == 64);
+    assert!(std::mem::align_of::<PadCell>() == 8);
+    assert!(std::mem::size_of::<Histogram>() == HISTOGRAM_BYTES);
+    assert!(std::mem::size_of::<FacilityTelemetry>() == FACILITY_TELEMETRY_BYTES);
+    assert!(FACILITY_TELEMETRY_BYTES.is_multiple_of(64));
+    assert!(std::mem::size_of::<LnvcTelemetry>() == LNVC_TELEMETRY_BYTES);
+    assert!(LNVC_TELEMETRY_BYTES.is_multiple_of(64));
+    assert!(std::mem::size_of::<FlightRecord>() == 32);
+    assert!(std::mem::size_of::<FlightRing>() == FLIGHT_RING_BYTES);
+    assert!(FLIGHT_RING_BYTES.is_multiple_of(64));
+    assert!(std::mem::align_of::<FacilityTelemetry>() == 8);
+    assert!(std::mem::align_of::<LnvcTelemetry>() == 8);
+    assert!(std::mem::align_of::<FlightRing>() == 8);
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_log2_plus_one() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_their_indices() {
+        for v in [0u64, 1, 2, 3, 5, 100, 4096, 1 << 30] {
+            let b = bucket_index(v);
+            assert!(v <= bucket_upper_bound(b), "v={v} b={b}");
+            if b > 0 && b < HISTOGRAM_BUCKETS - 1 {
+                assert!(v > bucket_upper_bound(b - 1), "v={v} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_counts_and_percentiles() {
+        let h = Histogram::default();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.sum, 5050);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.mean(), 50.5);
+        // Rank 50 of 1..=100 lands in bucket 6 ([32,63]): buckets 1..=5
+        // hold 31 values, bucket 6 the next 32.
+        assert_eq!(s.percentile(0.50), 63);
+        assert_eq!(s.percentile(1.0), 100);
+        assert_eq!(s.percentile(0.0), 1, "lowest rank lands in bucket 1");
+    }
+
+    #[test]
+    fn empty_histogram_percentile_is_zero() {
+        let s = Histogram::default().snapshot();
+        assert_eq!(s.percentile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn percentile_clamps_to_observed_max() {
+        let h = Histogram::default();
+        h.record(1_000_000);
+        let s = h.snapshot();
+        assert_eq!(s.percentile(0.99), 1_000_000);
+    }
+
+    #[test]
+    fn histogram_diff_subtracts_buckets() {
+        let h = Histogram::default();
+        h.record(10);
+        let early = h.snapshot();
+        h.record(10);
+        h.record(20);
+        let late = h.snapshot();
+        let d = late.diff(&early);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum, 30);
+        assert_eq!(d.buckets[bucket_index(10)], 1);
+        assert_eq!(d.buckets[bucket_index(20)], 1);
+    }
+
+    #[test]
+    fn flight_ring_keeps_last_slots_worth() {
+        let ring = FlightRing::default();
+        let total = FLIGHT_RING_SLOTS as u64 + 10;
+        for i in 0..total {
+            ring.record(EV_SEND, 3, i);
+        }
+        let evs = ring.snapshot();
+        assert_eq!(evs.len(), FLIGHT_RING_SLOTS);
+        assert_eq!(evs.first().unwrap().seq, 11, "oldest surviving record");
+        assert_eq!(evs.last().unwrap().seq, total);
+        assert_eq!(evs.last().unwrap().arg, total - 1);
+        assert!(evs.windows(2).all(|w| w[0].seq + 1 == w[1].seq));
+        assert!(evs.iter().all(|e| e.kind == EV_SEND && e.lnvc == 3));
+    }
+
+    #[test]
+    fn flight_ring_skips_torn_slot() {
+        let ring = FlightRing::default();
+        for i in 0..5u64 {
+            ring.record(EV_RECV, 0, i);
+        }
+        // Simulate a writer killed mid-append of record 6: slot zeroed,
+        // fields half-written, seq never published.
+        let h = ring.head.load(Ordering::Relaxed);
+        let slot = &ring.slots[(h as usize) % FLIGHT_RING_SLOTS];
+        slot.seq.store(0, Ordering::Release);
+        slot.arg.store(999, Ordering::Relaxed);
+        let evs = ring.snapshot();
+        assert_eq!(evs.len(), 5, "unpublished record is invisible");
+        assert_eq!(evs.last().unwrap().arg, 4);
+    }
+
+    #[test]
+    fn facility_snapshot_diff() {
+        let t = FacilityTelemetry::default();
+        t.sends.inc();
+        t.bytes_in.add(100);
+        t.size_hist.record(100);
+        let a = t.snapshot();
+        t.sends.inc();
+        t.receives.inc();
+        let b = t.snapshot();
+        let d = b.diff(&a);
+        assert_eq!(d.sends, 1);
+        assert_eq!(d.receives, 1);
+        assert_eq!(d.bytes_in, 0);
+    }
+
+    #[test]
+    fn lnvc_telemetry_reset_clears_everything() {
+        let t = LnvcTelemetry::default();
+        t.sends.fetch_add(4, Ordering::Relaxed);
+        t.note_depth(9);
+        t.latency.record(1234);
+        t.reset();
+        let s = t.snapshot();
+        assert_eq!(s.sends, 0);
+        assert_eq!(s.depth_hwm, 0);
+        assert_eq!(s.latency.count, 0);
+    }
+
+    #[test]
+    fn event_names_are_distinct() {
+        let kinds = [
+            EV_OPEN_SEND,
+            EV_OPEN_RECV,
+            EV_CLOSE_SEND,
+            EV_CLOSE_RECV,
+            EV_SEND,
+            EV_RECV,
+            EV_RECV_BLOCK,
+            EV_SEND_BLOCK,
+            EV_RECLAIM,
+            EV_LOCK_CONTEND,
+            EV_SWEEP_DEAD,
+            EV_POISONED,
+        ];
+        let names: std::collections::HashSet<_> = kinds.iter().map(|&k| event_name(k)).collect();
+        assert_eq!(names.len(), kinds.len());
+        assert_eq!(event_name(0), "unknown");
+    }
+}
