@@ -1,0 +1,365 @@
+//! Async wrappers over the two MPF backends.
+//!
+//! [`AsyncMpf`] wraps the in-process facility (`mpf::Mpf`), [`AsyncIpc`]
+//! the multi-process one (`mpf_ipc::IpcMpf`).  Both hand out the same
+//! three futures — [`RecvFuture`], [`SendFuture`], [`SelectAny`] — and
+//! own one [`Reactor`] thread that multiplexes every pending future over
+//! the backend's futex/waitq layer (see the reactor module for the
+//! lost-wakeup-free ticket protocol).
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use mpf::{LnvcId, Mpf, ProcessId, Protocol, Result};
+use mpf_ipc::{IpcLnvcId, IpcMpf};
+use mpf_shm::waitq::{WaitQueue, WaitStrategy};
+
+use crate::reactor::{Backend, Reactor};
+
+// ----------------------------------------------------------------------
+// Backends
+// ----------------------------------------------------------------------
+
+/// In-process (thread) backend: signals are heap wait queues, so the
+/// reactor's wait is a single `wait_many` over every registered
+/// conversation plus the memory queue plus its own wake channel.
+pub struct ThreadBackend {
+    mpf: Arc<Mpf>,
+    pid: ProcessId,
+}
+
+impl Backend for ThreadBackend {
+    type Id = LnvcId;
+
+    fn try_recv(&self, id: LnvcId) -> Result<Option<Vec<u8>>> {
+        self.mpf.try_message_receive_vec(self.pid, id)
+    }
+
+    fn try_send(&self, id: LnvcId, payload: &[u8]) -> Result<bool> {
+        self.mpf.try_message_send(self.pid, id, payload)
+    }
+
+    fn recv_ticket(&self, id: LnvcId) -> Result<u32> {
+        self.mpf.recv_signal_ticket(id)
+    }
+
+    fn mem_ticket(&self) -> u32 {
+        self.mpf.mem_signal_ticket()
+    }
+
+    fn has_mem_signal(&self) -> bool {
+        true
+    }
+
+    fn wait(&self, recv: &[(LnvcId, u32)], mem: Option<u32>, wake: (&WaitQueue, u32)) {
+        self.mpf.wait_signals(recv, mem, Some(wake));
+    }
+}
+
+/// Multi-process backend: receive signals live in the shared region
+/// (`FutexSeq`), which can only park on one address at a time, so the
+/// reactor naps on the first registered conversation's futex with a
+/// bounded timeout and re-scans.  There is no region-wide free signal —
+/// pending senders are re-polled at nap cadence instead.
+pub struct IpcBackend {
+    ipc: Arc<IpcMpf>,
+}
+
+/// Upper bound on how long the ipc reactor sleeps between scans while
+/// interests it cannot park on directly (other conversations, pending
+/// sends) are outstanding.
+const IPC_NAP: Duration = Duration::from_millis(2);
+
+impl Backend for IpcBackend {
+    type Id = IpcLnvcId;
+
+    fn try_recv(&self, id: IpcLnvcId) -> Result<Option<Vec<u8>>> {
+        self.ipc.try_message_receive_vec(id)
+    }
+
+    fn try_send(&self, id: IpcLnvcId, payload: &[u8]) -> Result<bool> {
+        self.ipc.try_message_send(id, payload)
+    }
+
+    fn recv_ticket(&self, id: IpcLnvcId) -> Result<u32> {
+        self.ipc.recv_signal_ticket(id)
+    }
+
+    fn mem_ticket(&self) -> u32 {
+        0
+    }
+
+    fn has_mem_signal(&self) -> bool {
+        false
+    }
+
+    fn wait(&self, recv: &[(IpcLnvcId, u32)], mem: Option<u32>, wake: (&WaitQueue, u32)) {
+        if let Some(&(id, ticket)) = recv.first() {
+            // Park on the first conversation's in-region futex; the
+            // bounded timeout keeps the other interests live.
+            self.ipc.wait_recv_signal(id, ticket, IPC_NAP);
+        } else if mem.is_some() {
+            std::thread::sleep(IPC_NAP);
+        } else {
+            // Only the reactor's own (process-local) wake channel can
+            // fire: park until a registration or shutdown bumps it.
+            wake.0.wait(wake.1, WaitStrategy::Park);
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Reactor lifetime
+// ----------------------------------------------------------------------
+
+/// Owns the reactor thread; dropping the last clone of a facility stops
+/// and joins it.
+struct Driver<B: Backend> {
+    reactor: Arc<Reactor<B>>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl<B: Backend> Driver<B> {
+    fn start(backend: Arc<B>) -> Self {
+        let (reactor, thread) = Reactor::start(backend);
+        Driver {
+            reactor,
+            thread: Some(thread),
+        }
+    }
+}
+
+impl<B: Backend> Drop for Driver<B> {
+    fn drop(&mut self) {
+        self.reactor.stop();
+        if let Some(h) = self.thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Futures
+// ----------------------------------------------------------------------
+
+/// Resolves to the next message on one conversation.
+pub struct RecvFuture<B: Backend> {
+    reactor: Arc<Reactor<B>>,
+    id: B::Id,
+}
+
+impl<B: Backend> Future for RecvFuture<B> {
+    type Output = Result<Vec<u8>>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // Ticket before the try: traffic landing in between has already
+        // moved the sequence, so the reactor fires us on its next scan.
+        let ticket = match self.reactor.backend.recv_ticket(self.id) {
+            Ok(t) => t,
+            Err(e) => return Poll::Ready(Err(e)),
+        };
+        match self.reactor.backend.try_recv(self.id) {
+            Ok(Some(msg)) => Poll::Ready(Ok(msg)),
+            Ok(None) => {
+                self.reactor.register_recv(self.id, ticket, cx.waker());
+                Poll::Pending
+            }
+            Err(e) => Poll::Ready(Err(e)),
+        }
+    }
+}
+
+/// Resolves when the owned payload has been enqueued on the
+/// conversation; pends (with flow control) while the region's message
+/// or block pool is exhausted.
+pub struct SendFuture<B: Backend> {
+    reactor: Arc<Reactor<B>>,
+    id: B::Id,
+    payload: Vec<u8>,
+}
+
+impl<B: Backend> Future for SendFuture<B> {
+    type Output = Result<()>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let ticket = self.reactor.backend.mem_ticket();
+        match self.reactor.backend.try_send(self.id, &self.payload) {
+            Ok(true) => Poll::Ready(Ok(())),
+            Ok(false) => {
+                self.reactor.register_send(ticket, cx.waker());
+                Poll::Pending
+            }
+            Err(e) => Poll::Ready(Err(e)),
+        }
+    }
+}
+
+/// Resolves to `(conversation, message)` for whichever registered
+/// conversation delivers first.
+pub struct SelectAny<B: Backend> {
+    reactor: Arc<Reactor<B>>,
+    ids: Vec<B::Id>,
+}
+
+impl<B: Backend> Future for SelectAny<B> {
+    type Output = Result<(B::Id, Vec<u8>)>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // All tickets first, then all tries: a message arriving at any
+        // conversation after its ticket was sampled re-wakes us.
+        let mut tickets = Vec::with_capacity(self.ids.len());
+        for &id in &self.ids {
+            match self.reactor.backend.recv_ticket(id) {
+                Ok(t) => tickets.push(t),
+                Err(e) => return Poll::Ready(Err(e)),
+            }
+        }
+        for &id in &self.ids {
+            match self.reactor.backend.try_recv(id) {
+                Ok(Some(msg)) => return Poll::Ready(Ok((id, msg))),
+                Ok(None) => {}
+                Err(e) => return Poll::Ready(Err(e)),
+            }
+        }
+        for (&id, &ticket) in self.ids.iter().zip(&tickets) {
+            self.reactor.register_recv(id, ticket, cx.waker());
+        }
+        Poll::Pending
+    }
+}
+
+// ----------------------------------------------------------------------
+// Public facades
+// ----------------------------------------------------------------------
+
+macro_rules! future_ctors {
+    ($backend:ty, $id:ty) => {
+        /// Receives the next message on `id`.
+        pub fn recv(&self, id: $id) -> RecvFuture<$backend> {
+            RecvFuture {
+                reactor: Arc::clone(&self.driver.reactor),
+                id,
+            }
+        }
+
+        /// Sends `payload` on `id`, pending while the region is full.
+        pub fn send(&self, id: $id, payload: Vec<u8>) -> SendFuture<$backend> {
+            SendFuture {
+                reactor: Arc::clone(&self.driver.reactor),
+                id,
+                payload,
+            }
+        }
+
+        /// Receives from whichever of `ids` delivers first.
+        pub fn select_any(&self, ids: &[$id]) -> SelectAny<$backend> {
+            assert!(
+                !ids.is_empty(),
+                "select_any needs at least one conversation"
+            );
+            SelectAny {
+                reactor: Arc::clone(&self.driver.reactor),
+                ids: ids.to_vec(),
+            }
+        }
+    };
+}
+
+/// Async facade over the in-process facility, bound to one logical
+/// process.  Clones share the reactor thread.
+#[derive(Clone)]
+pub struct AsyncMpf {
+    mpf: Arc<Mpf>,
+    pid: ProcessId,
+    driver: Arc<Driver<ThreadBackend>>,
+}
+
+impl AsyncMpf {
+    /// Wraps `mpf` for logical process `pid`, starting the reactor.
+    pub fn new(mpf: Arc<Mpf>, pid: ProcessId) -> Self {
+        let backend = Arc::new(ThreadBackend {
+            mpf: Arc::clone(&mpf),
+            pid,
+        });
+        AsyncMpf {
+            mpf,
+            pid,
+            driver: Arc::new(Driver::start(backend)),
+        }
+    }
+
+    /// The wrapped facility, for the sync primitives.
+    pub fn facility(&self) -> &Arc<Mpf> {
+        &self.mpf
+    }
+
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    pub fn open_send(&self, name: &str) -> Result<LnvcId> {
+        self.mpf.open_send(self.pid, name)
+    }
+
+    pub fn open_receive(&self, name: &str, protocol: Protocol) -> Result<LnvcId> {
+        self.mpf.open_receive(self.pid, name, protocol)
+    }
+
+    pub fn close_send(&self, id: LnvcId) -> Result<()> {
+        self.mpf.close_send(self.pid, id)
+    }
+
+    pub fn close_receive(&self, id: LnvcId) -> Result<()> {
+        self.mpf.close_receive(self.pid, id)
+    }
+
+    future_ctors!(ThreadBackend, LnvcId);
+}
+
+/// Async facade over the multi-process facility.  Clones share the
+/// reactor thread.
+#[derive(Clone)]
+pub struct AsyncIpc {
+    ipc: Arc<IpcMpf>,
+    driver: Arc<Driver<IpcBackend>>,
+}
+
+impl AsyncIpc {
+    /// Wraps an attached region view, starting the reactor.
+    pub fn new(ipc: Arc<IpcMpf>) -> Self {
+        let backend = Arc::new(IpcBackend {
+            ipc: Arc::clone(&ipc),
+        });
+        AsyncIpc {
+            ipc,
+            driver: Arc::new(Driver::start(backend)),
+        }
+    }
+
+    /// The wrapped region view, for the sync primitives.
+    pub fn facility(&self) -> &Arc<IpcMpf> {
+        &self.ipc
+    }
+
+    pub fn open_send(&self, name: &str) -> Result<IpcLnvcId> {
+        self.ipc.open_send(name)
+    }
+
+    pub fn open_receive(&self, name: &str, protocol: Protocol) -> Result<IpcLnvcId> {
+        self.ipc.open_receive(name, protocol)
+    }
+
+    pub fn close_send(&self, id: IpcLnvcId) -> Result<()> {
+        self.ipc.close_send(id)
+    }
+
+    pub fn close_receive(&self, id: IpcLnvcId) -> Result<()> {
+        self.ipc.close_receive(id)
+    }
+
+    future_ctors!(IpcBackend, IpcLnvcId);
+}

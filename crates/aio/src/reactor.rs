@@ -1,0 +1,169 @@
+//! The reactor: one thread per async facility whose single waiter
+//! multiplexes every registered interest over the existing futex/waitq
+//! layer.
+//!
+//! ## Lost-wakeup-free protocol
+//!
+//! A future takes the signal's sequence **ticket before** attempting the
+//! non-blocking operation.  If the operation would block it registers
+//! `(interest, ticket, waker)` here.  Traffic that lands between the try
+//! and the registration has already moved the sequence past the stored
+//! ticket, so the reactor's next scan fires the waker immediately
+//! instead of sleeping on it.  Registration bumps the reactor's own wake
+//! queue, and the reactor samples that queue's ticket before each scan —
+//! the same protocol one level up — so a registration landing mid-scan
+//! cuts the following wait short.
+//!
+//! Wakes are allowed to be spurious (futures re-poll and re-register);
+//! they are never allowed to be lost.
+
+use std::fmt::Debug;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::task::Waker;
+use std::thread::JoinHandle;
+
+use mpf::Result;
+use mpf_shm::waitq::WaitQueue;
+
+/// What the reactor needs from a facility.  Implemented for the thread
+/// backend (`mpf::Mpf`) and the multi-process backend
+/// (`mpf_ipc::IpcMpf`).
+pub trait Backend: Send + Sync + 'static {
+    /// Conversation handle (`LnvcId` or `IpcLnvcId`).
+    type Id: Copy + PartialEq + Send + Sync + Debug + 'static;
+
+    /// Non-blocking receive; `Ok(None)` when nothing is deliverable.
+    fn try_recv(&self, id: Self::Id) -> Result<Option<Vec<u8>>>;
+    /// Non-blocking send; `Ok(false)` when the region is exhausted and
+    /// the caller should retry after capacity frees.
+    fn try_send(&self, id: Self::Id, payload: &[u8]) -> Result<bool>;
+    /// Current sequence of `id`'s receive signal.
+    fn recv_ticket(&self, id: Self::Id) -> Result<u32>;
+    /// Current sequence of the sender flow-control (memory) signal.
+    fn mem_ticket(&self) -> u32;
+    /// Whether [`Backend::mem_ticket`] is a real signal.  When `false`
+    /// the reactor re-fires pending senders after every bounded wait
+    /// instead of watching the ticket.
+    fn has_mem_signal(&self) -> bool;
+    /// Blocks until any of the signals may have fired: a listed receive
+    /// queue moves past its ticket, the memory signal moves past `mem`,
+    /// or the reactor's `wake` queue moves past its ticket.  Bounded
+    /// waits (returning early with nothing fired) are fine.
+    fn wait(&self, recv: &[(Self::Id, u32)], mem: Option<u32>, wake: (&WaitQueue, u32));
+}
+
+struct State<Id> {
+    recv: Vec<(Id, u32, Waker)>,
+    send: Vec<(u32, Waker)>,
+}
+
+pub(crate) struct Reactor<B: Backend> {
+    pub(crate) backend: Arc<B>,
+    state: Mutex<State<B::Id>>,
+    wake: WaitQueue,
+    shutdown: AtomicBool,
+}
+
+impl<B: Backend> Reactor<B> {
+    pub(crate) fn start(backend: Arc<B>) -> (Arc<Self>, JoinHandle<()>) {
+        let reactor = Arc::new(Reactor {
+            backend,
+            state: Mutex::new(State {
+                recv: Vec::new(),
+                send: Vec::new(),
+            }),
+            wake: WaitQueue::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let r = Arc::clone(&reactor);
+        let thread = std::thread::Builder::new()
+            .name("mpf-aio-reactor".into())
+            .spawn(move || r.run())
+            .expect("spawn mpf-aio reactor thread");
+        (reactor, thread)
+    }
+
+    /// Registers interest in `id`'s receive signal moving past `ticket`.
+    pub(crate) fn register_recv(&self, id: B::Id, ticket: u32, waker: &Waker) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.recv.push((id, ticket, waker.clone()));
+        drop(st);
+        self.wake.notify_all();
+    }
+
+    /// Registers interest in the memory signal moving past `ticket`.
+    pub(crate) fn register_send(&self, ticket: u32, waker: &Waker) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.send.push((ticket, waker.clone()));
+        drop(st);
+        self.wake.notify_all();
+    }
+
+    pub(crate) fn stop(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.wake.notify_all();
+    }
+
+    fn run(&self) {
+        let poll_sends = !self.backend.has_mem_signal();
+        while !self.shutdown.load(Ordering::Acquire) {
+            // Sampled before the scan so a registration landing mid-scan
+            // makes the wait below return immediately.
+            let wake_ticket = self.wake.ticket();
+            let mut fired: Vec<Waker> = Vec::new();
+            let (recv_wait, mem_wait) = {
+                let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                st.recv.retain(|(id, ticket, waker)| {
+                    match self.backend.recv_ticket(*id) {
+                        Ok(cur) if cur == *ticket => true,
+                        // Moved — or the conversation is gone, in which
+                        // case the future surfaces the error on re-poll.
+                        _ => {
+                            fired.push(waker.clone());
+                            false
+                        }
+                    }
+                });
+                if !poll_sends {
+                    let mem_now = self.backend.mem_ticket();
+                    st.send.retain(|(ticket, waker)| {
+                        if mem_now == *ticket {
+                            true
+                        } else {
+                            fired.push(waker.clone());
+                            false
+                        }
+                    });
+                }
+                (
+                    st.recv
+                        .iter()
+                        .map(|&(id, ticket, _)| (id, ticket))
+                        .collect::<Vec<_>>(),
+                    st.send.first().map(|&(ticket, _)| ticket),
+                )
+            };
+            let woke_any = !fired.is_empty();
+            for w in fired {
+                w.wake();
+            }
+            if woke_any {
+                continue;
+            }
+            self.backend
+                .wait(&recv_wait, mem_wait, (&self.wake, wake_ticket));
+            if poll_sends && mem_wait.is_some() {
+                // No region-wide free signal: re-fire pending senders
+                // after each bounded wait so they retry at nap cadence
+                // rather than spinning.
+                let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                let pending = std::mem::take(&mut st.send);
+                drop(st);
+                for (_, w) in pending {
+                    w.wake();
+                }
+            }
+        }
+    }
+}

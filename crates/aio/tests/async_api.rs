@@ -1,0 +1,227 @@
+//! End-to-end tests for the waker-based async surface over both
+//! backends: futures pend without burning CPU, wake on real traffic,
+//! exercise flow control, and interoperate with the sync primitives.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use mpf::{Mpf, MpfConfig, ProcessId, Protocol};
+use mpf_aio::{block_on, AsyncIpc, AsyncMpf, Executor};
+use mpf_ipc::IpcMpf;
+
+fn unique_name(tag: &str) -> String {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    format!(
+        "aio-async-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    )
+}
+
+#[test]
+fn recv_pends_then_wakes_on_delayed_send() {
+    let m = Arc::new(Mpf::init(MpfConfig::new(8, 4)).unwrap());
+    let a = AsyncMpf::new(Arc::clone(&m), ProcessId::from_index(0));
+    let b = AsyncMpf::new(Arc::clone(&m), ProcessId::from_index(1));
+
+    let tx = a.open_send("delayed").unwrap();
+    let rx = b.open_receive("delayed", Protocol::Fcfs).unwrap();
+
+    let sender = thread::spawn(move || {
+        thread::sleep(Duration::from_millis(30));
+        block_on(a.send(tx, b"took a while".to_vec())).unwrap();
+    });
+
+    let msg = block_on(b.recv(rx)).unwrap();
+    assert_eq!(msg, b"took a while");
+    sender.join().unwrap();
+}
+
+#[test]
+fn select_any_returns_whichever_delivers_first() {
+    let m = Arc::new(Mpf::init(MpfConfig::new(8, 4)).unwrap());
+    let a = AsyncMpf::new(Arc::clone(&m), ProcessId::from_index(0));
+    let b = AsyncMpf::new(Arc::clone(&m), ProcessId::from_index(1));
+
+    let tx_west = a.open_send("west").unwrap();
+    let _tx_east = a.open_send("east").unwrap();
+    let rx_east = b.open_receive("east", Protocol::Fcfs).unwrap();
+    let rx_west = b.open_receive("west", Protocol::Fcfs).unwrap();
+
+    // Already-ready conversation wins without pending.
+    block_on(a.send(tx_west, b"immediate".to_vec())).unwrap();
+    let (id, msg) = block_on(b.select_any(&[rx_east, rx_west])).unwrap();
+    assert_eq!(id, rx_west);
+    assert_eq!(msg, b"immediate");
+
+    // Nothing ready: the select pends, then wakes on the east arrival.
+    let sender = thread::spawn(move || {
+        thread::sleep(Duration::from_millis(30));
+        block_on(a.send(_tx_east, b"late".to_vec())).unwrap();
+    });
+    let (id, msg) = block_on(b.select_any(&[rx_east, rx_west])).unwrap();
+    assert_eq!(id, rx_east);
+    assert_eq!(msg, b"late");
+    sender.join().unwrap();
+}
+
+#[test]
+fn send_pends_until_a_receive_frees_capacity() {
+    // Two messages fill the pool; the third send must wait for a
+    // receive on the other side.
+    let cfg = MpfConfig::new(4, 2)
+        .with_block_payload(16)
+        .with_total_blocks(8)
+        .with_max_messages(2);
+    let m = Arc::new(Mpf::init(cfg).unwrap());
+    let a = AsyncMpf::new(Arc::clone(&m), ProcessId::from_index(0));
+    let p1 = ProcessId::from_index(1);
+
+    let tx = a.open_send("narrow").unwrap();
+    let rx = m.open_receive(p1, "narrow", Protocol::Fcfs).unwrap();
+
+    let drainer = {
+        let m = Arc::clone(&m);
+        thread::spawn(move || {
+            thread::sleep(Duration::from_millis(40));
+            let mut buf = [0u8; 16];
+            assert_eq!(m.message_receive(p1, rx, &mut buf).unwrap(), 4);
+        })
+    };
+
+    block_on(async {
+        a.send(tx, b"one!".to_vec()).await.unwrap();
+        a.send(tx, b"two!".to_vec()).await.unwrap();
+        // Pool is now exhausted; this pends until the drainer receives.
+        a.send(tx, b"three".to_vec()).await.unwrap();
+    });
+    drainer.join().unwrap();
+
+    let mut buf = [0u8; 16];
+    assert_eq!(m.message_receive(p1, rx, &mut buf).unwrap(), 4);
+    assert_eq!(m.message_receive(p1, rx, &mut buf).unwrap(), 5);
+    assert_eq!(&buf[..5], b"three");
+}
+
+#[test]
+fn executor_drives_many_concurrent_tasks() {
+    let m = Arc::new(Mpf::init(MpfConfig::new(16, 8)).unwrap());
+    let server = AsyncMpf::new(Arc::clone(&m), ProcessId::from_index(0));
+
+    const CLIENTS: usize = 6;
+    let exec = Executor::new();
+    let mut handles = Vec::new();
+    for i in 0..CLIENTS {
+        let client = AsyncMpf::new(Arc::clone(&m), ProcessId::from_index(1 + i));
+        let name = format!("lane-{i}");
+        let rx = client.open_receive(&name, Protocol::Fcfs).unwrap();
+        handles.push(exec.spawn(async move {
+            let msg = client.recv(rx).await.unwrap();
+            (i, msg)
+        }));
+    }
+
+    // Every receiver is registered before any message exists; the
+    // reactor wakes each as its lane fills.
+    let producer = thread::spawn(move || {
+        thread::sleep(Duration::from_millis(20));
+        for i in 0..CLIENTS {
+            let tx = server.open_send(&format!("lane-{i}")).unwrap();
+            block_on(server.send(tx, format!("payload-{i}").into_bytes())).unwrap();
+        }
+    });
+
+    exec.run();
+    producer.join().unwrap();
+    for h in handles {
+        let (i, msg) = h.join();
+        assert_eq!(msg, format!("payload-{i}").into_bytes());
+    }
+}
+
+#[test]
+fn async_recv_over_the_shared_memory_region() {
+    if !mpf_shm::sys::HAVE_SYSCALLS {
+        return;
+    }
+    let cfg = MpfConfig::new(8, 4)
+        .with_block_payload(64)
+        .with_total_blocks(64)
+        .with_max_messages(32)
+        .with_max_connections(16);
+    let creator = Arc::new(IpcMpf::create(&unique_name("region"), &cfg).unwrap());
+    let peer = Arc::new(creator.attach_view().unwrap());
+
+    let rx = creator.open_receive("uplink", Protocol::Fcfs).unwrap();
+    let tx = peer.open_send("uplink").unwrap();
+
+    let sender = {
+        let peer = Arc::clone(&peer);
+        thread::spawn(move || {
+            thread::sleep(Duration::from_millis(30));
+            peer.message_send(tx, b"crossed the region").unwrap();
+        })
+    };
+
+    let facility = AsyncIpc::new(Arc::clone(&creator));
+    let msg = block_on(facility.recv(rx)).unwrap();
+    assert_eq!(msg, b"crossed the region");
+    sender.join().unwrap();
+
+    // Round-trip the other way with the async send path.
+    let rx2 = peer.open_receive("downlink", Protocol::Fcfs).unwrap();
+    let tx2 = creator.open_send("downlink").unwrap();
+    block_on(facility.send(tx2, b"pong".to_vec())).unwrap();
+    let mut buf = [0u8; 64];
+    let n = peer
+        .message_receive_timeout(rx2, &mut buf, Duration::from_secs(5))
+        .unwrap();
+    assert_eq!(&buf[..n], b"pong");
+}
+
+#[test]
+fn ipc_send_pends_until_capacity_frees() {
+    if !mpf_shm::sys::HAVE_SYSCALLS {
+        return;
+    }
+    // One block, one message: the second async send must wait until the
+    // receiver drains the first (covers the ipc reactor's poll-driven
+    // sender retry, since the region has no free signal).
+    let cfg = MpfConfig::new(4, 4)
+        .with_block_payload(32)
+        .with_total_blocks(1)
+        .with_max_messages(8)
+        .with_max_connections(16);
+    let creator = Arc::new(IpcMpf::create(&unique_name("narrow"), &cfg).unwrap());
+
+    let tx = creator.open_send("strait").unwrap();
+    let rx = creator.open_receive("strait", Protocol::Fcfs).unwrap();
+
+    let drainer = {
+        let c = Arc::clone(&creator);
+        thread::spawn(move || {
+            thread::sleep(Duration::from_millis(40));
+            let mut buf = [0u8; 32];
+            assert_eq!(
+                c.message_receive_timeout(rx, &mut buf, Duration::from_secs(5))
+                    .unwrap(),
+                5
+            );
+        })
+    };
+
+    let facility = AsyncIpc::new(Arc::clone(&creator));
+    block_on(async {
+        facility.send(tx, b"first".to_vec()).await.unwrap();
+        facility.send(tx, b"second".to_vec()).await.unwrap();
+    });
+    drainer.join().unwrap();
+
+    let mut buf = [0u8; 32];
+    let n = creator
+        .message_receive_timeout(rx, &mut buf, Duration::from_secs(5))
+        .unwrap();
+    assert_eq!(&buf[..n], b"second");
+}

@@ -1,0 +1,102 @@
+//! Batched (submission/completion ring) loop-back throughput, for the
+//! `fig3_aio` binary.
+//!
+//! The measurement mirrors the paper's Figure 3 `base` loop — one sender,
+//! one FCFS receiver, alternating — but moves `batch` messages per
+//! iteration through `send_batch`/`recv_batch`, so the per-message
+//! doorbell, conversation lock, notify, and clock costs are amortised
+//! across the batch.  `batch = 1` degenerates to the unbatched cost plus
+//! ring overhead, which is exactly the baseline the amortisation claim is
+//! measured against.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mpf::{Mpf, MpfConfig, ProcessId, Protocol};
+use mpf_ipc::IpcMpf;
+
+/// Ring capacity is 64 entries; batches are clamped there by submit, so
+/// the bench never asks for more in one call.
+pub const MAX_BATCH: usize = 64;
+
+fn config(len: usize) -> MpfConfig {
+    MpfConfig::new(4, 4)
+        .with_block_payload(len.clamp(16, 256))
+        .with_total_blocks(4096)
+        .with_max_messages(256)
+        .with_max_connections(8)
+        // Satellite of the same PR: stamp 1-in-32 messages instead of
+        // every one, so the latency histogram stays populated without a
+        // clock read per message.
+        .latency_sample_rate(32)
+}
+
+/// Thread-backend loop-back: `msgs` messages of `len` bytes moved in
+/// `batch`-sized bursts.  Returns bytes/s.
+pub fn thread_batched_throughput(len: usize, msgs: u64, batch: usize) -> f64 {
+    assert!((1..=MAX_BATCH).contains(&batch));
+    let m = Arc::new(Mpf::init(config(len)).expect("init"));
+    let p0 = ProcessId::from_index(0);
+    let p1 = ProcessId::from_index(1);
+    let tx = m.open_send(p0, "bench").expect("tx");
+    let rx = m.open_receive(p1, "bench", Protocol::Fcfs).expect("rx");
+    let payload = vec![0xA5u8; len];
+    let refs: Vec<&[u8]> = (0..batch).map(|_| payload.as_slice()).collect();
+    let rounds = msgs / batch as u64;
+    // Untimed warm-up: fault in the block pool and queue pages so the
+    // first measured point (batch=1, 16B) isn't dominated by first-touch.
+    for _ in 0..(rounds / 16).clamp(1, 64) {
+        let completions = m.send_batch(p0, tx, &refs).expect("send_batch");
+        assert_eq!(completions.len(), batch);
+        let mut got = 0;
+        while got < batch {
+            got += m.recv_batch(p1, rx, batch - got).expect("recv_batch").len();
+        }
+    }
+    let start = Instant::now();
+    for _ in 0..rounds {
+        let completions = m.send_batch(p0, tx, &refs).expect("send_batch");
+        assert_eq!(completions.len(), batch);
+        let mut got = 0;
+        while got < batch {
+            got += m.recv_batch(p1, rx, batch - got).expect("recv_batch").len();
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (rounds * batch as u64) as f64 * len as f64 / secs
+}
+
+/// Shared-region loop-back, same shape as the thread variant.
+pub fn ipc_batched_throughput(len: usize, msgs: u64, batch: usize) -> f64 {
+    assert!((1..=MAX_BATCH).contains(&batch));
+    let m = IpcMpf::create(
+        &format!("fig3-aio-{}-{len}-{batch}", std::process::id()),
+        &config(len),
+    )
+    .expect("create region");
+    let tx = m.open_send("bench").expect("tx");
+    let rx = m.open_receive("bench", Protocol::Fcfs).expect("rx");
+    let payload = vec![0xA5u8; len];
+    let refs: Vec<&[u8]> = (0..batch).map(|_| payload.as_slice()).collect();
+    let rounds = msgs / batch as u64;
+    // Untimed warm-up, as in the thread variant.
+    for _ in 0..(rounds / 16).clamp(1, 64) {
+        let completions = m.send_batch(tx, &refs).expect("send_batch");
+        assert_eq!(completions.len(), batch);
+        let mut got = 0;
+        while got < batch {
+            got += m.recv_batch(rx, batch - got).expect("recv_batch").len();
+        }
+    }
+    let start = Instant::now();
+    for _ in 0..rounds {
+        let completions = m.send_batch(tx, &refs).expect("send_batch");
+        assert_eq!(completions.len(), batch);
+        let mut got = 0;
+        while got < batch {
+            got += m.recv_batch(rx, batch - got).expect("recv_batch").len();
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (rounds * batch as u64) as f64 * len as f64 / secs
+}

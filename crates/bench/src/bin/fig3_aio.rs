@@ -1,0 +1,92 @@
+//! Figure 3, batched: loop-back throughput vs message length at batch
+//! sizes 1, 8, and 64, on both backends.
+//!
+//! The point of the submission/completion rings is amortisation — one
+//! doorbell, one conversation lock, one notify, and (with latency
+//! sampling) roughly one clock read per *batch* instead of per message.
+//! That shows up as a throughput multiple at small message sizes, where
+//! per-message overhead dominates the copy; at large sizes the copy wins
+//! and the curves converge.  `batch = 1` pays the ring machinery with no
+//! amortisation, so it bounds the unbatched path from below.
+//!
+//! Usage: `fig3_aio [--msgs N] [--json <path>]` (default 4096 messages
+//! per point).  The JSON extras record the 16-byte batch=64 vs batch=1
+//! speedup per backend — the acceptance number for the aio PR.
+
+use mpf_bench::report::{json_num, print_series, JsonReport};
+use mpf_bench::{aio, Series};
+
+const LENGTHS: [usize; 5] = [16, 64, 256, 1024, 2048];
+const BATCHES: [usize; 3] = [1, 8, 64];
+
+fn speedup_at_16(series: &[Series]) -> f64 {
+    let at16 = |label_frag: &str| {
+        series
+            .iter()
+            .find(|s| s.label.contains(label_frag))
+            .and_then(|s| s.points.iter().find(|(x, _)| *x == 16.0))
+            .map(|&(_, y)| y)
+            .expect("16-byte point present")
+    };
+    at16("batch=64") / at16("batch=1")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let msgs: u64 = args
+        .iter()
+        .position(|a| a == "--msgs")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--msgs N"))
+        .unwrap_or(4096);
+    let mut json = JsonReport::from_args();
+
+    let measure = |backend: &str, f: &dyn Fn(usize, u64, usize) -> f64| -> Vec<Series> {
+        BATCHES
+            .iter()
+            .map(|&batch| Series {
+                label: format!("{backend} batch={batch}"),
+                points: LENGTHS
+                    .iter()
+                    .map(|&len| (len as f64, f(len, msgs, batch)))
+                    .collect(),
+            })
+            .collect()
+    };
+
+    let threads = measure("threads", &aio::thread_batched_throughput);
+    let thread_speedup = speedup_at_16(&threads);
+    let have_ipc = mpf_shm::sys::HAVE_SYSCALLS;
+    let ipc = if have_ipc {
+        measure("ipc loop-back", &aio::ipc_batched_throughput)
+    } else {
+        Vec::new()
+    };
+
+    let title = "Figure 3, batched rings: loop-back throughput (bytes/s) vs message length";
+    let mut series = threads;
+    series.extend(ipc);
+    print_series(title, &series);
+    println!("# 16-byte speedup, batch=64 vs batch=1");
+    println!("threads        {thread_speedup:.2}x");
+    if have_ipc {
+        let ipc_speedup = speedup_at_16(&series[BATCHES.len()..]);
+        println!("ipc loop-back  {ipc_speedup:.2}x");
+    }
+
+    if let Some(j) = json.as_mut() {
+        j.add(title, &series);
+        j.add_extra("msgs_per_point", format!("{msgs}"));
+        j.add_extra("speedup_16B_batch64_vs_1_threads", json_num(thread_speedup));
+        if have_ipc {
+            j.add_extra(
+                "speedup_16B_batch64_vs_1_ipc",
+                json_num(speedup_at_16(&series[BATCHES.len()..])),
+            );
+        }
+    }
+    if let Some(j) = json {
+        let path = j.write().expect("write --json");
+        eprintln!("wrote {}", path.display());
+    }
+}

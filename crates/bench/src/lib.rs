@@ -16,6 +16,7 @@
 //! The [`native`] module contains the thread-backed measurement routines;
 //! [`report`] prints series as aligned tables.
 
+pub mod aio;
 pub mod crit;
 pub mod native;
 pub mod replay;

@@ -486,13 +486,97 @@ fn telemetry_conserved_under_schedules() {
     explore_random(&opts, 0x7E1E, make).assert_ok();
 }
 
+/// Batched submission under permuted schedules: two senders push a batch
+/// each through their submission/completion rings while a receiver drains
+/// the conversation.  Batch conservation is the invariant — every
+/// submitted descriptor completes exactly once (tokens in order, all
+/// successful), the rings end empty, and the message pools balance.
+#[test]
+fn aio_batch_conservation_under_schedules() {
+    let make = || {
+        let cfg = MpfConfig::new(4, 4)
+            .with_total_blocks(64)
+            .with_block_payload(16)
+            .with_max_messages(16);
+        let total = cfg.total_blocks;
+        let mpf = Arc::new(Mpf::init(cfg).expect("init"));
+        let rx = mpf
+            .open_receive(p(2), "ring", Protocol::Fcfs)
+            .expect("open recv");
+        let batch_sender = |pid: usize| {
+            let mpf = Arc::clone(&mpf);
+            Box::new(move || {
+                let tx = mpf.open_send(p(pid), "ring").expect("open send");
+                let payloads: Vec<Vec<u8>> =
+                    (0..3u8).map(|i| vec![pid as u8 * 10 + i; 8]).collect();
+                let refs: Vec<&[u8]> = payloads.iter().map(|v| v.as_slice()).collect();
+                let completions = mpf.send_batch(p(pid), tx, &refs).expect("send_batch");
+                assert_eq!(completions.len(), 3, "whole batch completes");
+                for (i, c) in completions.iter().enumerate() {
+                    assert!(c.ok(), "completion {i} failed: status {}", c.status);
+                    assert_eq!(c.user_data, i as u64, "tokens in submission order");
+                }
+            }) as Proc
+        };
+        let received = Arc::new(AtomicUsize::new(0));
+        let receiver = {
+            let (mpf, received) = (Arc::clone(&mpf), Arc::clone(&received));
+            Box::new(move || {
+                let mut got = 0;
+                while got < 6 {
+                    let msgs = mpf.recv_batch(p(2), rx, 6 - got).expect("recv_batch");
+                    for m in &msgs {
+                        assert_eq!(m.len(), 8, "frame length survives the ring");
+                    }
+                    got += msgs.len();
+                }
+                received.store(got, Ordering::Relaxed);
+            }) as Proc
+        };
+        let procs = vec![batch_sender(0), batch_sender(1), receiver];
+        let received = Arc::clone(&received);
+        Case {
+            procs,
+            check: Box::new(move || {
+                mpf.check_invariants()?;
+                if received.load(Ordering::Relaxed) != 6 {
+                    return Err("receiver finished short of both batches".into());
+                }
+                for pid in 0..2 {
+                    let st = mpf.aio_stats(p(pid)).map_err(|e| e.to_string())?;
+                    if st.submitted != 3 || st.drained != 3 || st.completed != 3 || st.reaped != 3 {
+                        return Err(format!(
+                            "batch conservation broken for process {pid}: \
+                             {}/{}/{}/{} submitted/drained/completed/reaped, want 3 each",
+                            st.submitted, st.drained, st.completed, st.reaped
+                        ));
+                    }
+                    if st.sq_depth != 0 || st.cq_depth != 0 {
+                        return Err(format!(
+                            "rings not empty for process {pid}: sq {} cq {}",
+                            st.sq_depth, st.cq_depth
+                        ));
+                    }
+                }
+                if mpf.free_blocks() != total {
+                    return Err("batched traffic leaked blocks".into());
+                }
+                Ok(())
+            }),
+        }
+    };
+    let opts = ExploreOpts::new("aio-batch-conservation").max_schedules(300);
+    explore_dfs(&opts, make).assert_ok();
+    explore_random(&opts, 0xA10, make).assert_ok();
+}
+
 /// The schedule counts above must add up: this is the floor the PR CI run
 /// is expected to clear ("≥ 1000 distinct schedules across the suite").
 /// Random exploration always runs its full budget, so the guaranteed
 /// minimum is the sum of the random budgets alone: 600 + 300 + 300 + 300 +
-/// 200 + 300 + 300 = 2300.
+/// 200 + 300 + 300 + 300 = 2600.
 #[test]
 fn suite_budget_floor() {
-    let budgets = [600usize, 300, 300, 300, 200, 300, 300];
+    let budgets = [600usize, 300, 300, 300, 200, 300, 300, 300];
     assert!(budgets.iter().sum::<usize>() >= 1000);
 }

@@ -57,6 +57,14 @@ pub struct MpfConfig {
     /// exactly that cost.  The telemetry segments are always carved (the
     /// layout does not depend on this flag); disabling only stops writes.
     pub telemetry: bool,
+    /// Latency sampling period: stamp a send timestamp on 1-in-N messages
+    /// (1 = every message, the default).  The send→receive latency
+    /// histogram costs two `clock_gettime` calls per message — the last
+    /// per-message syscalls on the hot path; sampling keeps the histogram
+    /// statistically useful while removing both calls from the other
+    /// N−1 messages.  Unsampled deliveries skip latency recording only;
+    /// every other counter still updates.
+    pub latency_sample_every: u32,
 }
 
 /// The paper's experimental block payload: 10 bytes.
@@ -83,6 +91,7 @@ impl MpfConfig {
             exhaust_policy: ExhaustPolicy::Wait,
             trace_capacity: 0,
             telemetry: true,
+            latency_sample_every: 1,
         }
     }
 
@@ -149,6 +158,15 @@ impl MpfConfig {
         self
     }
 
+    /// Samples send→receive latency on 1-in-`every` messages (≥ 1).  The
+    /// default, 1, stamps every message; larger values drop the two
+    /// remaining per-message clock reads from the hot path.
+    pub fn latency_sample_rate(mut self, every: u32) -> Self {
+        assert!(every >= 1, "latency sample period must be at least 1");
+        self.latency_sample_every = every;
+        self
+    }
+
     /// Largest single message payload the configured region can hold
     /// (every block devoted to one message).
     pub fn max_message_bytes(&self) -> usize {
@@ -187,8 +205,10 @@ mod tests {
             .with_lock_kind(LockKind::Ticket)
             .with_wait_strategy(WaitStrategy::Park)
             .with_exhaust_policy(ExhaustPolicy::Error)
-            .with_telemetry(false);
+            .with_telemetry(false)
+            .latency_sample_rate(16);
         assert!(!cfg.telemetry);
+        assert_eq!(cfg.latency_sample_every, 16);
         assert_eq!(cfg.block_payload, 128);
         assert_eq!(cfg.total_blocks, 100);
         assert_eq!(cfg.max_messages, 10);
@@ -224,5 +244,11 @@ mod tests {
     #[should_panic(expected = "at least one byte")]
     fn zero_block_payload_rejected() {
         let _ = MpfConfig::new(1, 1).with_block_payload(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample period")]
+    fn zero_sample_period_rejected() {
+        let _ = MpfConfig::new(1, 1).latency_sample_rate(0);
     }
 }

@@ -18,17 +18,19 @@
 //! BROADCAST receivers copy one message concurrently — the effect behind
 //! the paper's Figure 5.
 
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use mpf_shm::idxstack::NIL;
 use mpf_shm::pool::Pool;
 use mpf_shm::process::ProcessId;
+use mpf_shm::ring::{AioRing, RingEntry};
 use mpf_shm::telemetry::{
     now_nanos, FacilityTelemetry, LnvcTelSnapshot, LnvcTelemetry, TelSnapshot,
 };
 use mpf_shm::waitq::WaitQueue;
 
-use crate::block::BlockPool;
+use crate::aio::{AioCompletion, AioStats};
+use crate::block::{BlockPool, Chain};
 use crate::config::{ExhaustPolicy, MpfConfig};
 use crate::conn::{RecvConn, SendConn};
 use crate::error::{MpfError, Result};
@@ -61,6 +63,14 @@ pub struct Mpf {
     /// Per-conversation telemetry, indexed like the LNVC pool.
     lnvc_tel: Box<[LnvcTelemetry]>,
     tracer: Option<Tracer>,
+    /// Batched-submission rings, one SQ per process slot (layout segment
+    /// "aio sq rings"; heap-held here like every other pool).
+    aio_sq: Box<[AioRing]>,
+    /// Completion rings, one CQ per process slot ("aio cq rings").
+    aio_cq: Box<[AioRing]>,
+    /// Monotonic send tick driving 1-in-N latency sampling
+    /// ([`MpfConfig::latency_sample_rate`]).
+    latency_tick: AtomicU64,
 }
 
 impl Mpf {
@@ -85,6 +95,9 @@ impl Mpf {
                 .map(|_| LnvcTelemetry::default())
                 .collect(),
             tracer: (cfg.trace_capacity > 0).then(|| Tracer::new(cfg.trace_capacity)),
+            aio_sq: (0..cfg.max_processes).map(|_| AioRing::new()).collect(),
+            aio_cq: (0..cfg.max_processes).map(|_| AioRing::new()).collect(),
+            latency_tick: AtomicU64::new(0),
             cfg,
         })
     }
@@ -150,6 +163,19 @@ impl Mpf {
     #[inline]
     fn ltel(&self, idx: u32) -> Option<&LnvcTelemetry> {
         self.cfg.telemetry.then(|| &self.lnvc_tel[idx as usize])
+    }
+
+    /// Whether this send's latency is sampled.  With the default period of
+    /// 1 no counter is touched; otherwise one relaxed increment replaces
+    /// the two per-message `clock_gettime` calls on unsampled sends.
+    #[inline]
+    fn sample_latency(&self) -> bool {
+        let every = self.cfg.latency_sample_every;
+        every <= 1
+            || self
+                .latency_tick
+                .fetch_add(1, Ordering::Relaxed)
+                .is_multiple_of(u64::from(every))
     }
 
     /// Telemetry for one completed delivery: receive counters, bytes, the
@@ -557,6 +583,67 @@ impl Mpf {
         // authoritative check repeats under the lock.
         Self::validate(slot, id)?;
         let (msg_idx, chain) = self.alloc_message(slot, buf)?;
+        self.publish_message(pid, id, msg_idx, chain, buf)
+    }
+
+    /// Non-blocking send: `Ok(false)` when the region is exhausted right
+    /// now (the async layer retries after a memory wakeup instead of
+    /// parking the thread).  Connection/validity errors still fail.
+    pub fn try_message_send(&self, pid: ProcessId, id: LnvcId, buf: &[u8]) -> Result<bool> {
+        self.check_pid(pid)?;
+        let slot = self.slot(id)?;
+        Self::validate(slot, id)?;
+        match self.try_alloc_message(slot, buf)? {
+            Some((msg_idx, chain)) => {
+                self.publish_message(pid, id, msg_idx, chain, buf)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// One non-blocking pass of [`Self::alloc_message`]: tries the pools,
+    /// sweeps the destination queue once on exhaustion, and reports
+    /// `Ok(None)` instead of waiting.
+    fn try_alloc_message(&self, slot: &LnvcSlot, buf: &[u8]) -> Result<Option<(u32, Chain)>> {
+        let mut swept = false;
+        loop {
+            match self.blocks.alloc_chain(buf) {
+                Ok(chain) => match self.msgs.alloc() {
+                    Some(msg) => return Ok(Some((msg, chain))),
+                    None => {
+                        self.blocks.free_chain(chain);
+                        if !swept && self.sweep_consumed(slot) > 0 {
+                            swept = true;
+                            continue;
+                        }
+                        return Ok(None);
+                    }
+                },
+                Err(MpfError::BlocksExhausted) => {
+                    if !swept && self.sweep_consumed(slot) > 0 {
+                        swept = true;
+                        continue;
+                    }
+                    return Ok(None);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Publishes an allocated message: links it at the FIFO tail under the
+    /// descriptor lock, wakes receivers, and records send bookkeeping.
+    /// Frees the allocation if the conversation vanished in between.
+    fn publish_message(
+        &self,
+        pid: ProcessId,
+        id: LnvcId,
+        msg_idx: u32,
+        chain: Chain,
+        buf: &[u8],
+    ) -> Result<()> {
+        let slot = self.slot(id)?;
         {
             let _guard = slot.lock.lock();
             let ctx = self.ctx(slot);
@@ -572,8 +659,15 @@ impl Mpf {
             let stamp = ctx.enqueue(msg_idx, buf.len(), chain);
             if let Some(lt) = self.ltel(id.index()) {
                 // Stamped under the lock, before receivers can see the
-                // message, so `sent_at` is final once the lock drops.
-                self.msgs.get(msg_idx).set_sent_at(now_nanos());
+                // message, so `sent_at` is final once the lock drops.  An
+                // unsampled message is stamped 0 (the pooled header may
+                // carry a stale timestamp) and skips latency recording.
+                let sent_at = if self.sample_latency() {
+                    now_nanos()
+                } else {
+                    0
+                };
+                self.msgs.get(msg_idx).set_sent_at(sent_at);
                 lt.sends.fetch_add(1, Ordering::Relaxed);
                 lt.bytes_in.fetch_add(buf.len() as u64, Ordering::Relaxed);
                 lt.note_depth(u64::from(slot.msg_count()));
@@ -870,6 +964,445 @@ impl Mpf {
             }
             WaitQueue::wait_many(&entries, self.cfg.wait_strategy);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Batched submission (aio): SQ/CQ rings, one doorbell per batch.
+    // ------------------------------------------------------------------
+
+    /// Stages up to `payloads.len()` send descriptors in `pid`'s
+    /// submission ring and rings the doorbell **once**.  Each descriptor's
+    /// `user_data` token is its index within `payloads`.
+    ///
+    /// Returns the number staged: allocation follows the exhaustion policy
+    /// (it may block under [`ExhaustPolicy::Wait`]), and a full ring stops
+    /// the batch early — a partial submit.  An empty batch is `Ok(0)` with
+    /// no doorbell; a ring with no room for even the first descriptor is
+    /// [`MpfError::WouldBlock`] (drain, then resubmit the rest).
+    pub fn submit_sends(&self, pid: ProcessId, id: LnvcId, payloads: &[&[u8]]) -> Result<usize> {
+        self.check_pid(pid)?;
+        let slot = self.slot(id)?;
+        Self::validate(slot, id)?;
+        if payloads.is_empty() {
+            return Ok(0);
+        }
+        let sq = &self.aio_sq[pid.index()];
+        let mut submitted = 0usize;
+        for (i, buf) in payloads.iter().enumerate() {
+            if sq.is_full() {
+                break;
+            }
+            let (msg_idx, chain) = match self.alloc_message(slot, buf) {
+                Ok(alloc) => alloc,
+                // Keep what was already staged; surface the error only
+                // when nothing was (callers see partial progress first).
+                Err(e) if submitted == 0 => return Err(e),
+                Err(_) => break,
+            };
+            // The payload chain is filled but unpublished; the descriptor
+            // carries everything the drain needs to link it: the chain
+            // head rides the low half of user_data, the batch token the
+            // high half.
+            let pushed = sq.try_push(RingEntry {
+                user_data: (u64::from(u32::try_from(i).unwrap_or(u32::MAX)) << 32)
+                    | u64::from(chain.head),
+                lnvc: id.as_i32() as u32,
+                arg0: msg_idx,
+                arg1: buf.len() as u32,
+                status: 0,
+            });
+            debug_assert!(pushed, "single-submitter ring had room");
+            submitted += 1;
+        }
+        if submitted == 0 {
+            return Err(MpfError::WouldBlock);
+        }
+        sq.ring_doorbell();
+        Ok(submitted)
+    }
+
+    /// Drains `pid`'s submission ring: links every staged message under
+    /// one descriptor-lock hold per run of same-conversation descriptors,
+    /// wakes receivers **once** per run, and pushes one completion per
+    /// descriptor into the CQ (doorbell rung once).  Stops early if the
+    /// CQ lacks space, so no completion is ever dropped.  Returns the
+    /// number completed.
+    pub fn drain_sends(&self, pid: ProcessId) -> Result<usize> {
+        self.check_pid(pid)?;
+        let sq = &self.aio_sq[pid.index()];
+        let cq = &self.aio_cq[pid.index()];
+        // Reap-side space only grows (we are the only CQ producer), so
+        // this bound is conservative and conservation holds.
+        let budget = cq.capacity() - cq.depth();
+        let mut entries = Vec::with_capacity(budget.min(sq.depth()));
+        while entries.len() < budget {
+            let Some(e) = sq.try_pop() else { break };
+            entries.push(e);
+        }
+        if entries.is_empty() {
+            return Ok(0);
+        }
+        let mut done = 0usize;
+        while done < entries.len() {
+            let lnvc_raw = entries[done].lnvc;
+            let run_end = entries[done..]
+                .iter()
+                .position(|e| e.lnvc != lnvc_raw)
+                .map_or(entries.len(), |p| done + p);
+            self.drain_run(pid, &entries[done..run_end], cq);
+            done = run_end;
+        }
+        cq.ring_doorbell();
+        Ok(entries.len())
+    }
+
+    /// Completes one run of same-conversation submission descriptors:
+    /// a single lock hold, a single receiver wake, one CQ push each.
+    fn drain_run(&self, pid: ProcessId, run: &[RingEntry], cq: &AioRing) {
+        let id = LnvcId::from_i32(run[0].lnvc as i32).expect("submit staged a valid id");
+        let complete = |e: &RingEntry, status: i32| {
+            let pushed = cq.try_push(RingEntry {
+                user_data: e.user_data >> 32,
+                lnvc: e.lnvc,
+                arg0: 0,
+                arg1: e.arg1,
+                status,
+            });
+            debug_assert!(pushed, "drain reserved CQ space");
+        };
+        let release = |e: &RingEntry| {
+            let len = e.arg1 as usize;
+            self.blocks.free_chain(Chain {
+                head: (e.user_data & u64::from(u32::MAX)) as u32,
+                blocks: self.blocks.blocks_needed(len),
+            });
+            self.msgs.free(e.arg0);
+        };
+        let slot = match self.slot(id) {
+            Ok(slot) => slot,
+            Err(e) => {
+                for entry in run {
+                    release(entry);
+                    complete(entry, e.status_code());
+                }
+                self.mem_waitq.notify_all();
+                return;
+            }
+        };
+        let mut sent = 0usize;
+        let mut bytes = 0u64;
+        {
+            let guard = slot.lock.lock();
+            let ctx = self.ctx(slot);
+            let valid = Self::validate(slot, id)
+                .and_then(|()| ctx.find_send(pid).map(|_| ()).ok_or(MpfError::NotConnected));
+            if let Err(e) = valid {
+                drop(guard);
+                for entry in run {
+                    release(entry);
+                    complete(entry, e.status_code());
+                }
+                self.mem_waitq.notify_all();
+                return;
+            }
+            for entry in run {
+                let len = entry.arg1 as usize;
+                let chain = Chain {
+                    head: (entry.user_data & u64::from(u32::MAX)) as u32,
+                    blocks: self.blocks.blocks_needed(len),
+                };
+                let stamp = ctx.enqueue(entry.arg0, len, chain);
+                if let Some(lt) = self.ltel(id.index()) {
+                    let sent_at = if self.sample_latency() {
+                        now_nanos()
+                    } else {
+                        0
+                    };
+                    self.msgs.get(entry.arg0).set_sent_at(sent_at);
+                    lt.sends.fetch_add(1, Ordering::Relaxed);
+                    lt.bytes_in.fetch_add(len as u64, Ordering::Relaxed);
+                }
+                self.trace(pid, EventKind::Send, id.index(), len, stamp);
+                sent += 1;
+                bytes += len as u64;
+            }
+            if let Some(lt) = self.ltel(id.index()) {
+                lt.note_depth(u64::from(slot.msg_count()));
+            }
+        }
+        // One wake for the whole run — the amortisation the rings buy.
+        slot.waitq.notify_all();
+        self.stats.sends.add(sent as u64);
+        self.stats.bytes_in.add(bytes);
+        if let Some(t) = self.tel() {
+            t.sends.add(sent as u64);
+            t.bytes_in.add(bytes);
+            for entry in run {
+                t.size_hist.record(u64::from(entry.arg1));
+            }
+        }
+        for entry in run {
+            complete(entry, 0);
+        }
+    }
+
+    /// Reaps every pending completion from `pid`'s CQ into `out`; returns
+    /// how many were appended.
+    pub fn reap_completions(&self, pid: ProcessId, out: &mut Vec<AioCompletion>) -> Result<usize> {
+        self.check_pid(pid)?;
+        let cq = &self.aio_cq[pid.index()];
+        let mut n = 0usize;
+        while let Some(e) = cq.try_pop() {
+            out.push(AioCompletion {
+                user_data: e.user_data,
+                lnvc: e.lnvc,
+                len: e.arg1,
+                status: e.status,
+            });
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Submit + drain + reap in one call: sends the whole batch with one
+    /// doorbell, one lock hold, and one receiver wake, returning the
+    /// completions (tokens are indices into `payloads`).  May also return
+    /// completions left over from earlier partial cycles on this ring.
+    pub fn send_batch(
+        &self,
+        pid: ProcessId,
+        id: LnvcId,
+        payloads: &[&[u8]],
+    ) -> Result<Vec<AioCompletion>> {
+        if payloads.is_empty() {
+            return Ok(Vec::new());
+        }
+        let submitted = self.submit_sends(pid, id, payloads)?;
+        self.drain_sends(pid)?;
+        let mut out = Vec::with_capacity(submitted);
+        self.reap_completions(pid, &mut out)?;
+        Ok(out)
+    }
+
+    /// Collects up to `max` deliverable messages under one lock hold,
+    /// copies them outside the lock, then finishes delivery bookkeeping
+    /// and prefix reclamation under a second single hold.  Appends to
+    /// `out`; returns the number received.
+    fn recv_many(
+        &self,
+        pid: ProcessId,
+        id: LnvcId,
+        max: usize,
+        out: &mut Vec<Vec<u8>>,
+    ) -> Result<usize> {
+        let slot = self.slot(id)?;
+        let guard = slot.lock.lock();
+        Self::validate(slot, id)?;
+        let ctx = self.ctx(slot);
+        let Some(conn_idx) = ctx.find_recv(pid) else {
+            return Err(MpfError::NotConnected);
+        };
+        let conn = self.recvs.get(conn_idx);
+        let protocol = conn.protocol();
+        // (msg_idx, len, head_block, stamp, sent_at) per claimed message.
+        let mut picked: Vec<(u32, usize, u32, u64, u64)> = Vec::new();
+        while picked.len() < max {
+            let found = match protocol {
+                Protocol::Fcfs => ctx.fcfs_peek(),
+                Protocol::Broadcast => {
+                    let h = conn.head();
+                    (h != NIL).then_some(h)
+                }
+            };
+            let Some(msg_idx) = found else { break };
+            let msg = self.msgs.get(msg_idx);
+            match protocol {
+                Protocol::Fcfs => msg.set_fcfs_taken(),
+                Protocol::Broadcast => conn.set_head(msg.next()),
+            }
+            msg.begin_copy();
+            picked.push((
+                msg_idx,
+                msg.len(),
+                msg.head_block(),
+                msg.stamp(),
+                msg.sent_at(),
+            ));
+        }
+        drop(guard);
+        if picked.is_empty() {
+            return Ok(0);
+        }
+
+        for &(_, len, head_block, _, _) in &picked {
+            let mut buf = vec![0u8; len];
+            self.blocks.read_chain(head_block, len, &mut buf);
+            out.push(buf);
+        }
+
+        let guard = slot.lock.lock();
+        for &(msg_idx, ..) in &picked {
+            let msg = self.msgs.get(msg_idx);
+            msg.end_copy();
+            if protocol == Protocol::Broadcast {
+                msg.dec_bcast_pending();
+            }
+        }
+        let freed = self.ctx(slot).reclaim_prefix();
+        drop(guard);
+
+        let received = picked.len() as u64;
+        let bytes: u64 = picked.iter().map(|&(_, len, ..)| len as u64).sum();
+        if freed > 0 {
+            self.stats.reclaims.add(freed as u64);
+            self.mem_waitq.notify_all();
+        }
+        self.stats.receives.add(received);
+        self.stats.bytes_out.add(bytes);
+        if let Some(t) = self.tel() {
+            t.receives.add(received);
+            t.bytes_out.add(bytes);
+            if freed > 0 {
+                t.reclaims.add(freed as u64);
+            }
+            let lt = &self.lnvc_tel[id.index() as usize];
+            lt.receives.fetch_add(received, Ordering::Relaxed);
+            lt.bytes_out.fetch_add(bytes, Ordering::Relaxed);
+            if freed > 0 {
+                lt.reclaims.fetch_add(freed as u64, Ordering::Relaxed);
+            }
+            // One clock read covers every sampled message in the batch.
+            if picked.iter().any(|&(.., sent_at)| sent_at != 0) {
+                let now = now_nanos();
+                for &(.., sent_at) in &picked {
+                    if sent_at != 0 {
+                        let lat = now.saturating_sub(sent_at);
+                        t.latency_hist.record(lat);
+                        lt.latency.record(lat);
+                    }
+                }
+            }
+        }
+        for &(_, len, _, stamp, _) in &picked {
+            self.trace(pid, EventKind::Recv, id.index(), len, stamp);
+        }
+        Ok(picked.len())
+    }
+
+    /// Batched blocking receive: waits for traffic, then drains up to
+    /// `max` messages with two lock holds and one reclamation pass total.
+    /// `max == 0` returns an empty batch immediately.
+    pub fn recv_batch(&self, pid: ProcessId, id: LnvcId, max: usize) -> Result<Vec<Vec<u8>>> {
+        self.check_pid(pid)?;
+        let mut out = Vec::new();
+        if max == 0 {
+            return Ok(out);
+        }
+        loop {
+            let slot = self.slot(id)?;
+            let ticket = slot.waitq.ticket();
+            if self.recv_many(pid, id, max, &mut out)? > 0 {
+                return Ok(out);
+            }
+            self.stats.recv_waits.inc();
+            self.note_recv_wait(id.index());
+            self.trace(pid, EventKind::RecvBlocked, id.index(), 0, NO_STAMP);
+            slot.waitq.wait(ticket, self.cfg.wait_strategy);
+        }
+    }
+
+    /// Non-blocking [`Self::recv_batch`]: drains whatever is deliverable
+    /// right now (possibly nothing).
+    pub fn try_recv_batch(&self, pid: ProcessId, id: LnvcId, max: usize) -> Result<Vec<Vec<u8>>> {
+        self.check_pid(pid)?;
+        let mut out = Vec::new();
+        if max > 0 {
+            self.recv_many(pid, id, max, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    /// Counters of `pid`'s submission/completion ring pair.
+    pub fn aio_stats(&self, pid: ProcessId) -> Result<AioStats> {
+        self.check_pid(pid)?;
+        Ok(AioStats::from_rings(
+            &self.aio_sq[pid.index()],
+            &self.aio_cq[pid.index()],
+        ))
+    }
+
+    // ------------------------------------------------------------------
+    // Reactor support: registered-waker multiplexing over the waitq layer.
+    // ------------------------------------------------------------------
+
+    /// Non-blocking receive into a fresh `Vec`; `Ok(None)` when nothing is
+    /// deliverable.
+    pub fn try_message_receive_vec(&self, pid: ProcessId, id: LnvcId) -> Result<Option<Vec<u8>>> {
+        self.check_pid(pid)?;
+        let mut buf = Vec::new();
+        loop {
+            match self.pending_len(pid, id)? {
+                Some(len) => {
+                    buf.resize(len.max(1), 0);
+                    match self.recv_once(pid, id, &mut buf) {
+                        Ok(Some(n)) => {
+                            buf.truncate(n);
+                            return Ok(Some(buf));
+                        }
+                        // Raced by another FCFS receiver or a longer head;
+                        // re-examine.
+                        Ok(None) | Err(MpfError::BufferTooSmall { .. }) => continue,
+                        Err(e) => return Err(e),
+                    }
+                }
+                None => return Ok(None),
+            }
+        }
+    }
+
+    /// Current wait-queue ticket for `id`'s conversation.  Take it
+    /// *before* a failed try-operation: if the sequence has moved past it
+    /// by the time a waiter checks again, traffic arrived in between (the
+    /// lost-wakeup guard the blocking primitives use, exposed for the
+    /// async reactor).
+    pub fn recv_signal_ticket(&self, id: LnvcId) -> Result<u32> {
+        Ok(self.slot(id)?.waitq.ticket())
+    }
+
+    /// Current ticket of the region-exhaustion wait queue (senders'
+    /// flow-control signal).
+    pub fn mem_signal_ticket(&self) -> u32 {
+        self.mem_waitq.ticket()
+    }
+
+    /// Blocks until any of the given signals fires: a conversation's wait
+    /// queue moves past its ticket, the memory queue moves past `mem`, or
+    /// the caller-owned `extra` queue moves past its ticket (the reactor's
+    /// own wake channel).  Conversations that no longer resolve are
+    /// skipped (their futures will surface the error on the next poll).
+    /// Returns immediately when no signal could ever fire.
+    pub fn wait_signals(
+        &self,
+        recv: &[(LnvcId, u32)],
+        mem: Option<u32>,
+        extra: Option<(&WaitQueue, u32)>,
+    ) {
+        let mut entries: Vec<(&WaitQueue, u32)> = Vec::with_capacity(recv.len() + 2);
+        for &(id, ticket) in recv {
+            if let Ok(slot) = self.slot(id) {
+                entries.push((&slot.waitq, ticket));
+            }
+        }
+        if let Some(ticket) = mem {
+            entries.push((&self.mem_waitq, ticket));
+        }
+        if let Some(entry) = extra {
+            entries.push(entry);
+        }
+        if entries.is_empty() {
+            return;
+        }
+        WaitQueue::wait_many(&entries, self.cfg.wait_strategy);
     }
 
     /// Audits every structural invariant of the facility.  Intended for
@@ -1690,5 +2223,209 @@ mod tests {
             mpf.open_send(p(0), "c").unwrap_err(),
             MpfError::LnvcsExhausted
         );
+    }
+
+    #[test]
+    fn send_batch_delivers_in_order_with_one_doorbell() {
+        let mpf = facility();
+        let tx = mpf.open_send(p(0), "batch").unwrap();
+        let rx = mpf.open_receive(p(1), "batch", Protocol::Fcfs).unwrap();
+        let payloads: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i; 3]).collect();
+        let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+        let completions = mpf.send_batch(p(0), tx, &refs).unwrap();
+        assert_eq!(completions.len(), 8);
+        for (i, c) in completions.iter().enumerate() {
+            assert!(c.ok(), "completion {i} failed: {}", c.status);
+            assert_eq!(c.user_data, i as u64, "tokens come back in order");
+            assert_eq!(c.len, 3);
+        }
+        let st = mpf.aio_stats(p(0)).unwrap();
+        assert_eq!(st.submitted, 8);
+        assert_eq!(st.drained, 8);
+        assert_eq!(st.completed, 8);
+        assert_eq!(st.reaped, 8);
+        assert_eq!(st.sq_doorbells, 1, "one doorbell for the whole batch");
+        assert_eq!((st.sq_depth, st.cq_depth), (0, 0));
+        let got = mpf.recv_batch(p(1), rx, 64).unwrap();
+        assert_eq!(got, payloads, "FIFO order survives batching");
+        mpf.assert_invariants();
+    }
+
+    #[test]
+    fn recv_batch_respects_max_and_broadcast() {
+        let mpf = facility();
+        let tx = mpf.open_send(p(0), "bcastb").unwrap();
+        let r1 = mpf
+            .open_receive(p(1), "bcastb", Protocol::Broadcast)
+            .unwrap();
+        let r2 = mpf
+            .open_receive(p(2), "bcastb", Protocol::Broadcast)
+            .unwrap();
+        for i in 0..6u8 {
+            mpf.message_send(p(0), tx, &[i]).unwrap();
+        }
+        let first = mpf.recv_batch(p(1), r1, 4).unwrap();
+        assert_eq!(first, (0..4u8).map(|i| vec![i]).collect::<Vec<_>>());
+        let rest = mpf.recv_batch(p(1), r1, 4).unwrap();
+        assert_eq!(rest, (4..6u8).map(|i| vec![i]).collect::<Vec<_>>());
+        // The second broadcast receiver still sees all six.
+        assert_eq!(mpf.recv_batch(p(2), r2, 64).unwrap().len(), 6);
+        assert_eq!(mpf.free_blocks(), 256, "everything reclaimed");
+        mpf.assert_invariants();
+    }
+
+    #[test]
+    fn zero_length_batches_are_noops() {
+        let mpf = facility();
+        let tx = mpf.open_send(p(0), "zb").unwrap();
+        let rx = mpf.open_receive(p(0), "zb", Protocol::Fcfs).unwrap();
+        assert_eq!(mpf.submit_sends(p(0), tx, &[]).unwrap(), 0);
+        assert!(mpf.send_batch(p(0), tx, &[]).unwrap().is_empty());
+        assert!(mpf.recv_batch(p(0), rx, 0).unwrap().is_empty());
+        let st = mpf.aio_stats(p(0)).unwrap();
+        assert_eq!(st.submitted, 0);
+        assert_eq!(st.sq_doorbells, 0, "empty batch rings no doorbell");
+        mpf.assert_invariants();
+    }
+
+    #[test]
+    fn batch_larger_than_ring_capacity_partially_submits() {
+        use mpf_shm::ring::AIO_RING_SLOTS;
+        // Headroom above the ring: 70 staged-but-unreceived messages must
+        // not trip flow control (headers are held until delivery).
+        let mpf = Mpf::init(
+            MpfConfig::new(8, 8)
+                .with_total_blocks(256)
+                .with_max_messages(128),
+        )
+        .unwrap();
+        let tx = mpf.open_send(p(0), "over").unwrap();
+        let rx = mpf.open_receive(p(1), "over", Protocol::Fcfs).unwrap();
+        let payloads: Vec<Vec<u8>> = (0..AIO_RING_SLOTS + 6).map(|i| vec![i as u8]).collect();
+        let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+        let n = mpf.submit_sends(p(0), tx, &refs).unwrap();
+        assert_eq!(n, AIO_RING_SLOTS, "ring capacity bounds one submit");
+        // A full ring refuses even the first descriptor of the remainder.
+        assert_eq!(
+            mpf.submit_sends(p(0), tx, &refs[n..]).unwrap_err(),
+            MpfError::WouldBlock
+        );
+        assert_eq!(mpf.drain_sends(p(0)).unwrap(), AIO_RING_SLOTS);
+        let rest = mpf.submit_sends(p(0), tx, &refs[n..]).unwrap();
+        assert_eq!(rest, 6);
+        // The CQ is still full of unreaped completions, so a drain would
+        // drop them if it proceeded — it must hold off instead.
+        assert_eq!(mpf.drain_sends(p(0)).unwrap(), 0, "CQ backpressure");
+        let mut completions = Vec::new();
+        mpf.reap_completions(p(0), &mut completions).unwrap();
+        assert_eq!(completions.len(), AIO_RING_SLOTS);
+        assert_eq!(mpf.drain_sends(p(0)).unwrap(), 6);
+        mpf.reap_completions(p(0), &mut completions).unwrap();
+        assert_eq!(completions.len(), AIO_RING_SLOTS + 6);
+        let mut got = Vec::new();
+        while got.len() < payloads.len() {
+            got.extend(mpf.recv_batch(p(1), rx, 16).unwrap());
+        }
+        assert_eq!(got, payloads);
+        let st = mpf.aio_stats(p(0)).unwrap();
+        assert_eq!(st.submitted, st.drained, "every descriptor drained");
+        assert_eq!(st.completed, st.reaped, "every completion reaped");
+        mpf.assert_invariants();
+    }
+
+    #[test]
+    fn drain_completes_with_error_when_conversation_vanishes() {
+        let mpf = facility();
+        let tx = mpf.open_send(p(0), "gone").unwrap();
+        let _rx = mpf.open_receive(p(1), "gone", Protocol::Fcfs).unwrap();
+        assert_eq!(mpf.submit_sends(p(0), tx, &[b"x".as_slice()]).unwrap(), 1);
+        // The conversation disappears between submit and drain.
+        mpf.close_send(p(0), tx).unwrap();
+        assert_eq!(mpf.drain_sends(p(0)).unwrap(), 1);
+        let mut completions = Vec::new();
+        mpf.reap_completions(p(0), &mut completions).unwrap();
+        assert_eq!(completions.len(), 1);
+        assert!(!completions[0].ok());
+        assert_eq!(
+            completions[0].status,
+            MpfError::NotConnected.status_code(),
+            "stale descriptor surfaces the close, resources reclaimed"
+        );
+        assert_eq!(mpf.free_blocks(), 256);
+        mpf.assert_invariants();
+    }
+
+    #[test]
+    fn try_send_and_try_receive_vec_report_would_block() {
+        let mpf = Mpf::init(
+            MpfConfig::new(2, 2)
+                .with_total_blocks(4)
+                .with_block_payload(10),
+        )
+        .unwrap();
+        let tx = mpf.open_send(p(0), "nb").unwrap();
+        let rx = mpf.open_receive(p(1), "nb", Protocol::Fcfs).unwrap();
+        assert_eq!(mpf.try_message_receive_vec(p(1), rx).unwrap(), None);
+        assert!(mpf.try_message_send(p(0), tx, &[1u8; 40]).unwrap());
+        assert!(
+            !mpf.try_message_send(p(0), tx, &[2u8; 10]).unwrap(),
+            "region full: try-send declines instead of parking"
+        );
+        assert_eq!(
+            mpf.try_message_receive_vec(p(1), rx).unwrap().unwrap(),
+            vec![1u8; 40]
+        );
+        assert!(mpf.try_message_send(p(0), tx, &[2u8; 10]).unwrap());
+        mpf.assert_invariants();
+    }
+
+    #[test]
+    fn latency_sampling_stamps_one_in_n() {
+        let mpf = Mpf::init(
+            MpfConfig::new(8, 8)
+                .with_total_blocks(256)
+                .with_max_messages(64)
+                .latency_sample_rate(4),
+        )
+        .unwrap();
+        let tx = mpf.open_send(p(0), "sampled").unwrap();
+        let rx = mpf.open_receive(p(1), "sampled", Protocol::Fcfs).unwrap();
+        for _ in 0..8 {
+            mpf.message_send(p(0), tx, &[0u8; 20]).unwrap();
+        }
+        for _ in 0..8 {
+            mpf.message_receive_vec(p(1), rx).unwrap();
+        }
+        let t = mpf.telemetry_snapshot();
+        assert_eq!(t.sends, 8, "all traffic still counted");
+        assert_eq!(t.receives, 8);
+        assert_eq!(t.latency_hist.count, 2, "1-in-4 of 8 sends sampled");
+        assert_eq!(mpf.lnvc_telemetry(rx).unwrap().latency.count, 2);
+        mpf.assert_invariants();
+    }
+
+    #[test]
+    fn wait_signals_wakes_on_any_registered_source() {
+        let mpf = facility();
+        let tx = mpf.open_send(p(0), "sig").unwrap();
+        let rx = mpf.open_receive(p(1), "sig", Protocol::Fcfs).unwrap();
+        let ticket = mpf.recv_signal_ticket(rx).unwrap();
+        std::thread::scope(|s| {
+            let h = s.spawn(|| mpf.wait_signals(&[(rx, ticket)], None, None));
+            std::thread::sleep(std::time::Duration::from_millis(15));
+            mpf.message_send(p(0), tx, b"wake").unwrap();
+            h.join().unwrap();
+        });
+        // The extra (caller-owned) queue alone also wakes it.
+        let wake = WaitQueue::new();
+        let ticket = mpf.recv_signal_ticket(rx).unwrap();
+        std::thread::scope(|s| {
+            let h =
+                s.spawn(|| mpf.wait_signals(&[(rx, ticket)], None, Some((&wake, wake.ticket()))));
+            std::thread::sleep(std::time::Duration::from_millis(15));
+            wake.notify_all();
+            h.join().unwrap();
+        });
+        mpf.assert_invariants();
     }
 }

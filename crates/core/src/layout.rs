@@ -21,7 +21,7 @@ use crate::config::MpfConfig;
 /// Version of the region byte layout.  Bump on ANY change to the segment
 /// order, the constants below, or the in-region struct layouts; attach
 /// refuses regions with a different version ([`crate::MpfError::LayoutMismatch`]).
-pub const LAYOUT_VERSION: u32 = 3;
+pub const LAYOUT_VERSION: u32 = 4;
 
 /// Magic at byte 0 of every MPF region ("MPFREGN1" little-endian).
 pub const REGION_MAGIC: u64 = u64::from_le_bytes(*b"MPFREGN1");
@@ -74,6 +74,9 @@ pub const FACILITY_TELEMETRY_BYTES: usize = mpf_shm::telemetry::FACILITY_TELEMET
 pub const LNVC_TELEMETRY_BYTES: usize = mpf_shm::telemetry::LNVC_TELEMETRY_BYTES;
 /// Bytes per process flight-recorder ring (single-writer event log).
 pub const FLIGHT_RING_BYTES: usize = mpf_shm::telemetry::FLIGHT_RING_BYTES;
+/// Bytes per aio submission/completion ring (header + descriptor slots);
+/// see `mpf_shm::ring::AioRing`.  Each process slot owns one SQ and one CQ.
+pub const AIO_RING_BYTES: usize = mpf_shm::ring::AIO_RING_BYTES;
 
 impl RegionLayout {
     /// Computes the layout for `cfg`.
@@ -131,6 +134,18 @@ impl RegionLayout {
             "lnvc telemetry",
             cfg.max_lnvcs as usize * LNVC_TELEMETRY_BYTES,
             cfg.max_lnvcs as usize,
+        );
+        // One submission ring and one completion ring per process slot
+        // (single-producer/single-consumer by construction).
+        push(
+            "aio sq rings",
+            cfg.max_processes as usize * AIO_RING_BYTES,
+            cfg.max_processes as usize,
+        );
+        push(
+            "aio cq rings",
+            cfg.max_processes as usize * AIO_RING_BYTES,
+            cfg.max_processes as usize,
         );
         Self { segments }
     }
@@ -218,6 +233,18 @@ impl RegionLayout {
             cfg.max_processes as usize * FLIGHT_RING_BYTES,
             cfg.max_processes as usize,
         );
+        // Batched-submission rings: one SQ + one CQ per process slot,
+        // each a fixed-size `mpf_shm::ring::AioRing`.
+        push(
+            "aio sq rings",
+            cfg.max_processes as usize * AIO_RING_BYTES,
+            cfg.max_processes as usize,
+        );
+        push(
+            "aio cq rings",
+            cfg.max_processes as usize * AIO_RING_BYTES,
+            cfg.max_processes as usize,
+        );
         Self { segments }
     }
 
@@ -298,6 +325,8 @@ mod tests {
             "block payloads",
             "facility telemetry",
             "lnvc telemetry",
+            "aio sq rings",
+            "aio cq rings",
             "total:",
         ] {
             assert!(text.contains(name), "missing {name}");

@@ -73,6 +73,7 @@
 //! mpf.close_receive(p2, rx).unwrap();
 //! ```
 
+pub mod aio;
 pub mod block;
 pub mod capi;
 pub mod capi_ffi;
@@ -91,6 +92,7 @@ pub mod sync_channel;
 pub mod trace;
 pub mod types;
 
+pub use aio::{AioCompletion, AioStats};
 pub use config::{ExhaustPolicy, MpfConfig};
 pub use error::{MpfError, Result};
 pub use facility::Mpf;

@@ -18,6 +18,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use mpf_shm::backoff::Backoff;
+use mpf_shm::hooks::{self, SyncEvent};
 use mpf_shm::pad::CachePadded;
 
 use crate::error::{MpfError, Result};
@@ -125,6 +126,10 @@ impl O2OSender {
                 max: self.max_message(),
             });
         }
+        // Schedule-exploration seam: the only racy step on this side is
+        // the cursor handshake, so one decision point before it lets the
+        // harness permute producer and consumer at message granularity.
+        hooks::yield_point(SyncEvent::StackPush(&ring.tail as *const _ as usize));
         let tail = ring.tail.load(Ordering::Relaxed);
         let head = ring.head.load(Ordering::Acquire);
         if ring.buf.len() - (tail - head) < need {
@@ -138,6 +143,7 @@ impl O2OSender {
             ring.write(tail + FRAME_HEADER, buf);
         }
         ring.tail.store(tail + need, Ordering::Release);
+        hooks::notify(&ring.tail as *const _ as usize);
         Ok(true)
     }
 
@@ -145,7 +151,17 @@ impl O2OSender {
     pub fn send(&mut self, buf: &[u8]) -> Result<()> {
         let mut backoff = Backoff::new();
         while !self.try_send(buf)? {
-            backoff.snooze();
+            let ring = Arc::clone(&self.ring);
+            let need = FRAME_HEADER + buf.len();
+            // Under the harness, park until the consumer frees enough
+            // space instead of spinning through the decision budget.
+            if !hooks::wait(&ring.head as *const _ as usize, &mut || {
+                let tail = ring.tail.load(Ordering::Relaxed);
+                let head = ring.head.load(Ordering::Acquire);
+                ring.buf.len() - (tail - head) >= need
+            }) {
+                backoff.snooze();
+            }
         }
         Ok(())
     }
@@ -173,6 +189,8 @@ impl O2OReceiver {
 
     /// Attempts to dequeue into `buf`; `Ok(None)` when empty.
     pub fn try_recv(&mut self, buf: &mut [u8]) -> Result<Option<usize>> {
+        // Mirror of the producer's yield point (see `try_send`).
+        hooks::yield_point(SyncEvent::StackPop(&self.ring.head as *const _ as usize));
         let Some(len) = self.peek_len() else {
             return Ok(None);
         };
@@ -185,6 +203,7 @@ impl O2OReceiver {
         unsafe { ring.read(head + FRAME_HEADER, &mut buf[..len]) };
         ring.head
             .store(head + FRAME_HEADER + len, Ordering::Release);
+        hooks::notify(&ring.head as *const _ as usize);
         Ok(Some(len))
     }
 
@@ -195,7 +214,14 @@ impl O2OReceiver {
             if let Some(n) = self.try_recv(buf)? {
                 return Ok(n);
             }
-            backoff.snooze();
+            let ring = Arc::clone(&self.ring);
+            // Hooked wait: parked until the producer publishes a frame.
+            if !hooks::wait(&ring.tail as *const _ as usize, &mut || {
+                let head = ring.head.load(Ordering::Relaxed);
+                ring.tail.load(Ordering::Acquire) != head
+            }) {
+                backoff.snooze();
+            }
         }
     }
 }

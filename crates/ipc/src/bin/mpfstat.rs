@@ -226,6 +226,43 @@ fn render_text(insp: &RegionInspector, ring_tail: usize, delta: Option<TelSnapsh
     let _ = writeln!(s, "\nmessage size   {}", hist_line(&t.size_hist, "B"));
     let _ = writeln!(s, "send→recv lat  {}", hist_line(&t.latency_hist, "ns"));
 
+    let rings: Vec<_> = insp
+        .aio_rings()
+        .into_iter()
+        .filter(|r| r.stats.submitted > 0 || r.stats.sq_depth > 0 || r.stats.cq_depth > 0)
+        .collect();
+    if !rings.is_empty() {
+        let _ = writeln!(s, "\naio rings:");
+        let _ = writeln!(
+            s,
+            "  {:>4} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8}",
+            "pid",
+            "sq-depth",
+            "cq-depth",
+            "submitted",
+            "drained",
+            "completed",
+            "reaped",
+            "sq-bell",
+            "cq-bell"
+        );
+        for r in &rings {
+            let _ = writeln!(
+                s,
+                "  {:>4} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8}",
+                r.pid,
+                r.stats.sq_depth,
+                r.stats.cq_depth,
+                r.stats.submitted,
+                r.stats.drained,
+                r.stats.completed,
+                r.stats.reaped,
+                r.stats.sq_doorbells,
+                r.stats.cq_doorbells,
+            );
+        }
+    }
+
     for p in insp.processes() {
         if p.state == "free" {
             continue;
@@ -406,13 +443,34 @@ fn render_json(insp: &RegionInspector, ring_tail: usize) -> String {
         .collect::<Vec<_>>()
         .join(",");
 
+    let aio = insp
+        .aio_rings()
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"pid\":{},\"sq_depth\":{},\"cq_depth\":{},\"sq_doorbells\":{},\"cq_doorbells\":{},\
+                 \"submitted\":{},\"drained\":{},\"completed\":{},\"reaped\":{}}}",
+                r.pid,
+                r.stats.sq_depth,
+                r.stats.cq_depth,
+                r.stats.sq_doorbells,
+                r.stats.cq_doorbells,
+                r.stats.submitted,
+                r.stats.drained,
+                r.stats.completed,
+                r.stats.reaped,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+
     format!(
         "{{\"region\":{},\"region_bytes\":{},\"telemetry\":{},\"next_stamp\":{},\"sweep_epoch\":{},\
          \"config\":{{\"max_lnvcs\":{},\"max_processes\":{},\"max_messages\":{},\"total_blocks\":{},\"block_payload\":{}}},\
          \"counters\":{{\"sends\":{},\"receives\":{},\"bytes_in\":{},\"bytes_out\":{},\
          \"recv_waits\":{},\"send_waits\":{},\"reclaims\":{},\"lnvcs_created\":{},\"lnvcs_deleted\":{},\
          \"lock_contended\":{},\"sweeps\":{},\"peers_died\":{}}},\
-         \"size_hist\":{},\"latency_hist\":{},\
+         \"size_hist\":{},\"latency_hist\":{},\"aio_rings\":[{aio}],\
          \"processes\":[{procs}],\"lnvcs\":[{lnvcs}],\"flight_rings\":[{rings}]}}",
         jstr(insp.name()),
         insp.region_bytes(),

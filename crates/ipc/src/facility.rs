@@ -17,11 +17,13 @@
 //! connections, and **poisons** the conversations they touched so
 //! survivors unblock with [`MpfError::PeerDied`] instead of deadlocking.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use mpf::aio::{AioCompletion, AioStats};
 use mpf::layout::{RegionLayout, LAYOUT_VERSION, REGION_MAGIC};
 use mpf::{LnvcName, MpfConfig, MpfError, Protocol, Reclaimable, Result};
+use mpf_shm::ring::{AioRing, RingEntry};
 use mpf_shm::telemetry::{
     bump, now_nanos, FacilityTelemetry, FlightEvent, FlightRing, LnvcTelSnapshot, LnvcTelemetry,
     TelSnapshot, EV_CLOSE_RECV, EV_CLOSE_SEND, EV_LOCK_CONTEND, EV_OPEN_RECV, EV_OPEN_SEND,
@@ -126,6 +128,8 @@ pub(crate) struct Offsets {
     pub(crate) fac_tel: usize,
     pub(crate) lnvc_tel: usize,
     pub(crate) rings: usize,
+    pub(crate) aio_sq: usize,
+    pub(crate) aio_cq: usize,
 }
 
 /// Pool sizes (config echo, denormalized for hot-path use).
@@ -154,6 +158,8 @@ pub(crate) fn offsets_for(cfg: &MpfConfig) -> Offsets {
         fac_tel: seg("facility telemetry"),
         lnvc_tel: seg("lnvc telemetry"),
         rings: seg("flight rings"),
+        aio_sq: seg("aio sq rings"),
+        aio_cq: seg("aio cq rings"),
     }
 }
 
@@ -169,6 +175,11 @@ pub struct IpcMpf {
     /// Whether telemetry recording is on (creator's choice, echoed in the
     /// header so every attacher agrees).  The segments exist either way.
     tel_on: bool,
+    /// Latency sampling period (creator's choice, echoed in the header):
+    /// stamp `sent_at` on 1-in-N sends.
+    latency_every: u32,
+    /// Local send counter driving the 1-in-N latency sample.
+    latency_tick: AtomicU64,
 }
 
 impl IpcMpf {
@@ -193,6 +204,8 @@ impl IpcMpf {
             counts,
             me: 0,
             tel_on: cfg.telemetry,
+            latency_every: cfg.latency_sample_every.max(1),
+            latency_tick: AtomicU64::new(0),
         };
         this.carve(cfg, total);
         this.me = this.claim_slot().map_err(AttachError::Mpf)?;
@@ -279,6 +292,7 @@ impl IpcMpf {
         cfg.max_send_conns = echo.max_send_conns.load(Ordering::Acquire);
         cfg.max_recv_conns = echo.max_recv_conns.load(Ordering::Acquire);
         cfg.telemetry = echo.telemetry.load(Ordering::Acquire) != 0;
+        cfg.latency_sample_every = echo.latency_sample_every.load(Ordering::Acquire).max(1);
         // Defense in depth beyond the version word: the creator stored the
         // total it carved; if OUR layout computation for the echoed config
         // disagrees, this binary and the creator carve different segment
@@ -305,6 +319,8 @@ impl IpcMpf {
             counts,
             me: 0,
             tel_on: cfg.telemetry,
+            latency_every: cfg.latency_sample_every,
+            latency_tick: AtomicU64::new(0),
         };
         this.me = this.claim_slot().map_err(AttachError::Mpf)?;
         Ok(this)
@@ -339,6 +355,9 @@ impl IpcMpf {
         h.cfg
             .telemetry
             .store(cfg.telemetry as u32, Ordering::Relaxed);
+        h.cfg
+            .latency_sample_every
+            .store(cfg.latency_sample_every.max(1), Ordering::Relaxed);
         // Thread the four free lists (region bytes start zeroed; push in
         // reverse so pops hand out low indices first).
         h.msg_free.reset();
@@ -367,6 +386,10 @@ impl IpcMpf {
             self.lnvc(i).send_head.store(NIL, Ordering::Relaxed);
             self.lnvc(i).recv_head.store(NIL, Ordering::Relaxed);
         }
+        for p in 0..cfg.max_processes {
+            self.aio_sq(p).reset();
+            self.aio_cq(p).reset();
+        }
         h.magic.store(REGION_MAGIC, Ordering::Release);
         h.state.store(region_state::READY, Ordering::Release);
     }
@@ -386,6 +409,10 @@ impl IpcMpf {
                     )
                     .is_ok()
                 {
+                    // A predecessor that died (or detached) with staged
+                    // submissions would leak its pool allocations into the
+                    // new owner's ring; reclaim before reuse.
+                    self.reclaim_aio_of(i);
                     s.os_pid.store(std::process::id(), Ordering::Release);
                     s.generation.fetch_add(1, Ordering::AcqRel);
                     s.heartbeat.store(1, Ordering::Release);
@@ -491,6 +518,40 @@ impl IpcMpf {
         }
     }
 
+    /// Process `p`'s aio submission ring.
+    fn aio_sq(&self, p: u32) -> &AioRing {
+        debug_assert!(p < self.counts.max_processes);
+        unsafe {
+            self.region
+                .at(self.off.aio_sq + p as usize * std::mem::size_of::<AioRing>())
+        }
+    }
+
+    /// Process `p`'s aio completion ring.
+    fn aio_cq(&self, p: u32) -> &AioRing {
+        debug_assert!(p < self.counts.max_processes);
+        unsafe {
+            self.region
+                .at(self.off.aio_cq + p as usize * std::mem::size_of::<AioRing>())
+        }
+    }
+
+    /// Frees every message still staged in process `p`'s submission ring
+    /// and discards its unreaped completions.  Called when a slot changes
+    /// hands (dead-peer sweep, slot reuse, clean detach): staged messages
+    /// were allocated from the shared pools but never enqueued, so nobody
+    /// else will ever free them.
+    fn reclaim_aio_of(&self, p: u32) {
+        let sq = self.aio_sq(p);
+        while let Some(e) = sq.try_pop() {
+            if e.arg0 < self.counts.max_messages {
+                self.free_message(e.arg0);
+            }
+        }
+        let cq = self.aio_cq(p);
+        while cq.try_pop().is_some() {}
+    }
+
     // -- telemetry plumbing --------------------------------------------
 
     /// This process's facility-counter shard, gated on the recording flag.
@@ -574,6 +635,17 @@ impl IpcMpf {
 
     fn heartbeat(&self) {
         self.slot(self.me).heartbeat.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Whether this send should carry a latency origin stamp (1-in-N
+    /// sampling, period fixed at region creation).
+    #[inline]
+    fn sample_latency(&self) -> bool {
+        self.latency_every <= 1
+            || self
+                .latency_tick
+                .fetch_add(1, Ordering::Relaxed)
+                .is_multiple_of(u64::from(self.latency_every))
     }
 
     // -- identity ------------------------------------------------------
@@ -817,60 +889,19 @@ impl IpcMpf {
         // Allocate from the lock-free pools *before* taking the LNVC
         // lock: exhaustion then never happens inside the critical
         // section, and a death mid-allocation cannot corrupt the queue.
-        let h = self.header();
-        let pop_msg = || h.msg_free.pop(|i| self.msg(i).next.load(Ordering::Acquire));
-        let m_idx = match pop_msg() {
-            Some(i) => i,
-            // Memory pressure: reclaim fully-delivered messages stuck
-            // behind a still-claimed queue head, then retry once.
-            None => {
-                if let Some(t) = self.tel() {
-                    t.send_waits.inc();
-                    self.fly(EV_SEND_BLOCK, idx, 0);
-                }
-                let freed = self.sweep_consumed(d);
-                self.note_reclaim(idx, freed);
-                pop_msg().ok_or(MpfError::MessagesExhausted)?
-            }
-        };
-        let blocks = match self.alloc_blocks(payload) {
-            Ok(b) => b,
-            Err(first_err) => {
-                let retried = if matches!(first_err, MpfError::BlocksExhausted) {
-                    if let Some(t) = self.tel() {
-                        t.send_waits.inc();
-                        self.fly(EV_SEND_BLOCK, idx, 0);
-                    }
-                    let freed = self.sweep_consumed(d);
-                    self.note_reclaim(idx, freed);
-                    if freed > 0 {
-                        self.alloc_blocks(payload)
-                    } else {
-                        Err(first_err)
-                    }
-                } else {
-                    Err(first_err)
-                };
-                match retried {
-                    Ok(b) => b,
-                    Err(e) => {
-                        h.msg_free
-                            .push(m_idx, |s, n| self.msg(s).next.store(n, Ordering::Release));
-                        return Err(e);
-                    }
-                }
-            }
-        };
+        let m_idx = self.stage_message(idx, d, payload)?;
         let m = self.msg(m_idx);
-        m.head_block.store(blocks.0, Ordering::Release);
-        m.n_blocks.store(blocks.1, Ordering::Release);
-        m.len.store(payload.len() as u32, Ordering::Release);
-        m.next.store(NIL, Ordering::Release);
-        // Latency origin stamp; 0 means "not stamped" (telemetry off), so
-        // the receiver never computes latency against a recycled value.
-        let sent_at = if self.tel_on { now_nanos() } else { 0 };
+        // Latency origin stamp; 0 means "not stamped" (telemetry off, or
+        // this send fell outside the 1-in-N latency sample), so the
+        // receiver never computes latency against a recycled value.
+        let sent_at = if self.tel_on && self.sample_latency() {
+            now_nanos()
+        } else {
+            0
+        };
         m.sent_at.store(sent_at, Ordering::Release);
 
+        let h = self.header();
         self.lock_lnvc(d);
         let result = (|| {
             if d.poisoned.load(Ordering::Acquire) != 0 {
@@ -925,7 +956,11 @@ impl IpcMpf {
         d.lock.unlock();
         match result {
             Ok(()) => {
-                self.fly_at(sent_at, EV_SEND, idx, payload.len() as u64);
+                if sent_at != 0 {
+                    self.fly_at(sent_at, EV_SEND, idx, payload.len() as u64);
+                } else {
+                    self.fly(EV_SEND, idx, payload.len() as u64);
+                }
                 d.waitq.notify_all();
                 Ok(())
             }
@@ -1026,6 +1061,471 @@ impl IpcMpf {
                     self.sweep_dead_peers();
                 }
             }
+        }
+    }
+
+    /// Allocates a message header and a filled block chain for `payload`
+    /// from the lock-free pools (sweeping conversation `idx` once for
+    /// reclaimable corpses under memory pressure) and preps the
+    /// descriptor: everything except the queue link and the publish-time
+    /// fields (`seq`, `stamp`, `flags`, `bcast_pending`, `sent_at`).
+    fn stage_message(&self, idx: u32, d: &LnvcDesc, payload: &[u8]) -> Result<u32> {
+        let h = self.header();
+        let pop_msg = || h.msg_free.pop(|i| self.msg(i).next.load(Ordering::Acquire));
+        let m_idx = match pop_msg() {
+            Some(i) => i,
+            // Memory pressure: reclaim fully-delivered messages stuck
+            // behind a still-claimed queue head, then retry once.
+            None => {
+                if let Some(t) = self.tel() {
+                    t.send_waits.inc();
+                    self.fly(EV_SEND_BLOCK, idx, 0);
+                }
+                let freed = self.sweep_consumed(d);
+                self.note_reclaim(idx, freed);
+                pop_msg().ok_or(MpfError::MessagesExhausted)?
+            }
+        };
+        let blocks = match self.alloc_blocks(payload) {
+            Ok(b) => b,
+            Err(first_err) => {
+                let retried = if matches!(first_err, MpfError::BlocksExhausted) {
+                    if let Some(t) = self.tel() {
+                        t.send_waits.inc();
+                        self.fly(EV_SEND_BLOCK, idx, 0);
+                    }
+                    let freed = self.sweep_consumed(d);
+                    self.note_reclaim(idx, freed);
+                    if freed > 0 {
+                        self.alloc_blocks(payload)
+                    } else {
+                        Err(first_err)
+                    }
+                } else {
+                    Err(first_err)
+                };
+                match retried {
+                    Ok(b) => b,
+                    Err(e) => {
+                        h.msg_free
+                            .push(m_idx, |s, n| self.msg(s).next.store(n, Ordering::Release));
+                        return Err(e);
+                    }
+                }
+            }
+        };
+        let m = self.msg(m_idx);
+        m.head_block.store(blocks.0, Ordering::Release);
+        m.n_blocks.store(blocks.1, Ordering::Release);
+        m.len.store(payload.len() as u32, Ordering::Release);
+        m.next.store(NIL, Ordering::Release);
+        m.sent_at.store(0, Ordering::Release);
+        Ok(m_idx)
+    }
+
+    // -- batched submission (aio) --------------------------------------
+
+    /// Stages up to `payloads.len()` send descriptors in this process's
+    /// in-region submission ring and rings the doorbell **once**.  Each
+    /// descriptor's completion token is its index within `payloads`.
+    ///
+    /// Returns the number staged: pool exhaustion or a full ring stops
+    /// the batch early (a partial submit).  An empty batch is `Ok(0)`
+    /// with no doorbell; no room for even the first descriptor is
+    /// [`MpfError::WouldBlock`] (drain, reap, then resubmit the rest).
+    pub fn submit_sends(&self, id: IpcLnvcId, payloads: &[&[u8]]) -> Result<usize> {
+        self.heartbeat();
+        let max = self.counts.block_payload * self.counts.total_blocks as usize;
+        let (idx, d) = self.resolve(id)?;
+        if d.poisoned.load(Ordering::Acquire) != 0 {
+            return Err(MpfError::PeerDied {
+                pid: d.dead_pid.load(Ordering::Acquire),
+            });
+        }
+        if payloads.is_empty() {
+            return Ok(0);
+        }
+        let sq = self.aio_sq(self.me);
+        let mut submitted = 0usize;
+        for (i, buf) in payloads.iter().enumerate() {
+            if sq.is_full() {
+                break;
+            }
+            if buf.len() > max {
+                if submitted == 0 {
+                    return Err(MpfError::MessageTooLarge {
+                        len: buf.len(),
+                        max,
+                    });
+                }
+                break;
+            }
+            let m_idx = match self.stage_message(idx, d, buf) {
+                Ok(m) => m,
+                // Keep what was already staged; surface the error only
+                // when nothing was (callers see partial progress first).
+                Err(e) if submitted == 0 => return Err(e),
+                Err(_) => break,
+            };
+            // The descriptor carries everything the drain needs: the
+            // message index, the length, and the handle generation (so a
+            // recreated conversation fails the run instead of receiving
+            // a stranger's backlog).
+            let pushed = sq.try_push(RingEntry {
+                user_data: (u64::from(u32::try_from(i).unwrap_or(u32::MAX)) << 32)
+                    | u64::from(id.generation()),
+                lnvc: idx,
+                arg0: m_idx,
+                arg1: buf.len() as u32,
+                status: 0,
+            });
+            debug_assert!(pushed, "single-submitter ring had room");
+            submitted += 1;
+        }
+        if submitted == 0 {
+            return Err(MpfError::WouldBlock);
+        }
+        sq.ring_doorbell();
+        Ok(submitted)
+    }
+
+    /// Drains this process's submission ring: links every staged message
+    /// under one LNVC-lock hold per run of same-conversation descriptors,
+    /// wakes receivers **once** per run, and pushes one completion per
+    /// descriptor into the completion ring (doorbell rung once).  Stops
+    /// early if the completion ring lacks space, so no completion is ever
+    /// dropped.  Returns the number completed.
+    pub fn drain_sends(&self) -> usize {
+        self.heartbeat();
+        let sq = self.aio_sq(self.me);
+        let cq = self.aio_cq(self.me);
+        // Reap-side space only grows (we are the only CQ producer), so
+        // this bound is conservative and conservation holds.
+        let budget = cq.capacity() - cq.depth();
+        let mut entries = Vec::with_capacity(budget.min(sq.depth()));
+        while entries.len() < budget {
+            let Some(e) = sq.try_pop() else { break };
+            entries.push(e);
+        }
+        if entries.is_empty() {
+            return 0;
+        }
+        let run_key = |e: &RingEntry| (e.lnvc, e.user_data & u64::from(u32::MAX));
+        let mut done = 0usize;
+        while done < entries.len() {
+            let key = run_key(&entries[done]);
+            let run_end = entries[done..]
+                .iter()
+                .position(|e| run_key(e) != key)
+                .map_or(entries.len(), |p| done + p);
+            self.drain_run(&entries[done..run_end], cq);
+            done = run_end;
+        }
+        cq.ring_doorbell();
+        entries.len()
+    }
+
+    /// Completes one run of same-conversation submission descriptors:
+    /// a single lock hold, a single receiver wake, one CQ push each.
+    fn drain_run(&self, run: &[RingEntry], cq: &AioRing) {
+        let id = IpcLnvcId::new((run[0].user_data & u64::from(u32::MAX)) as u32, run[0].lnvc);
+        let complete = |e: &RingEntry, status: i32| {
+            let pushed = cq.try_push(RingEntry {
+                user_data: e.user_data >> 32,
+                lnvc: e.lnvc,
+                arg0: 0,
+                arg1: e.arg1,
+                status,
+            });
+            debug_assert!(pushed, "drain reserved CQ space");
+        };
+        let fail_all = |err: MpfError| {
+            for e in run {
+                self.free_message(e.arg0);
+                complete(e, err.status_code());
+            }
+        };
+        let (idx, d) = match self.resolve(id) {
+            Ok(found) => found,
+            Err(e) => return fail_all(e),
+        };
+        self.lock_lnvc(d);
+        let result = (|| {
+            if d.poisoned.load(Ordering::Acquire) != 0 {
+                return Err(MpfError::PeerDied {
+                    pid: d.dead_pid.load(Ordering::Acquire),
+                });
+            }
+            if self
+                .find_conn(ConnKind::Send, d.send_head.load(Ordering::Acquire), self.me)
+                .is_none()
+            {
+                return Err(MpfError::NotConnected);
+            }
+            let h = self.header();
+            let n_fcfs = d.n_fcfs.load(Ordering::Acquire);
+            let n_bcast = d.n_bcast.load(Ordering::Acquire);
+            let needs_fcfs = n_fcfs > 0 || (n_fcfs + n_bcast) == 0;
+            // One clock read covers every sampled stamp in the run.
+            let now = if self.tel_on { now_nanos() } else { 0 };
+            let mut bytes = 0u64;
+            for e in run {
+                let m = self.msg(e.arg0);
+                let seq = d.next_seq.fetch_add(1, Ordering::AcqRel);
+                let stamp = h.next_stamp.fetch_add(1, Ordering::AcqRel);
+                m.seq.store(seq, Ordering::Release);
+                m.stamp.store(stamp, Ordering::Release);
+                m.bcast_pending.store(n_bcast, Ordering::Release);
+                m.flags.store(
+                    if needs_fcfs { msg_flags::NEEDS_FCFS } else { 0 },
+                    Ordering::Release,
+                );
+                let sent_at = if self.tel_on && self.sample_latency() {
+                    now
+                } else {
+                    0
+                };
+                m.sent_at.store(sent_at, Ordering::Release);
+                let tail = d.q_tail.load(Ordering::Acquire);
+                if tail == NIL {
+                    d.q_head.store(e.arg0, Ordering::Release);
+                } else {
+                    self.msg(tail).next.store(e.arg0, Ordering::Release);
+                }
+                d.q_tail.store(e.arg0, Ordering::Release);
+                d.msg_count.fetch_add(1, Ordering::AcqRel);
+                d.last_stamp.store(stamp, Ordering::Release);
+                bytes += u64::from(e.arg1);
+            }
+            if let Some(t) = self.tel() {
+                t.sends.add(run.len() as u64);
+                t.bytes_in.add(bytes);
+                for e in run {
+                    t.size_hist.record(u64::from(e.arg1));
+                }
+                let lt = self.lnvc_tel(idx);
+                bump(&lt.sends, run.len() as u64);
+                bump(&lt.bytes_in, bytes);
+                lt.note_depth(u64::from(d.msg_count.load(Ordering::Acquire)));
+            }
+            Ok(now)
+        })();
+        d.lock.unlock();
+        match result {
+            Ok(now) => {
+                // One wake for the whole run — the amortisation the
+                // rings buy.
+                d.waitq.notify_all();
+                if now != 0 {
+                    for e in run {
+                        self.fly_at(now, EV_SEND, idx, u64::from(e.arg1));
+                    }
+                }
+                for e in run {
+                    complete(e, 0);
+                }
+            }
+            Err(e) => fail_all(e),
+        }
+    }
+
+    /// Reaps every pending completion from this process's CQ into `out`;
+    /// returns how many were appended.
+    pub fn reap_completions(&self, out: &mut Vec<AioCompletion>) -> usize {
+        let cq = self.aio_cq(self.me);
+        let mut n = 0usize;
+        while let Some(e) = cq.try_pop() {
+            out.push(AioCompletion {
+                user_data: e.user_data,
+                lnvc: e.lnvc,
+                len: e.arg1,
+                status: e.status,
+            });
+            n += 1;
+        }
+        n
+    }
+
+    /// Submit + drain + reap in one call: sends the whole batch with one
+    /// doorbell, one lock hold, and one receiver wake, returning the
+    /// completions (tokens are indices into `payloads`).  May also return
+    /// completions left over from earlier partial cycles on this ring.
+    pub fn send_batch(&self, id: IpcLnvcId, payloads: &[&[u8]]) -> Result<Vec<AioCompletion>> {
+        if payloads.is_empty() {
+            return Ok(Vec::new());
+        }
+        let submitted = self.submit_sends(id, payloads)?;
+        self.drain_sends();
+        let mut out = Vec::with_capacity(submitted);
+        self.reap_completions(&mut out);
+        Ok(out)
+    }
+
+    /// Batched blocking receive: waits for traffic (running the liveness
+    /// sweep between naps, like [`Self::message_receive`]), then drains
+    /// up to `max` messages under one lock hold with one reclamation
+    /// pass.  `max == 0` returns an empty batch immediately.
+    pub fn recv_batch(&self, id: IpcLnvcId, max: usize) -> Result<Vec<Vec<u8>>> {
+        self.heartbeat();
+        let mut out = Vec::new();
+        if max == 0 {
+            return Ok(out);
+        }
+        let mut waited = false;
+        loop {
+            let (idx, d) = self.resolve(id)?;
+            let ticket = d.waitq.ticket();
+            self.lock_lnvc(d);
+            let result = self.recv_many_locked(idx, d, max, &mut out);
+            d.lock.unlock();
+            if result? > 0 {
+                return Ok(out);
+            }
+            if !waited {
+                waited = true;
+                if let Some(t) = self.tel() {
+                    t.recv_waits.inc();
+                    self.lnvc_tel(idx)
+                        .recv_waits
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.fly(EV_RECV_BLOCK, idx, 0);
+                }
+            }
+            d.waitq.wait(ticket, Some(RECV_SWEEP_INTERVAL));
+            self.sweep_dead_peers();
+        }
+    }
+
+    /// Non-blocking [`Self::recv_batch`]: drains whatever is deliverable
+    /// right now (possibly nothing).
+    pub fn try_recv_batch(&self, id: IpcLnvcId, max: usize) -> Result<Vec<Vec<u8>>> {
+        self.heartbeat();
+        let mut out = Vec::new();
+        if max == 0 {
+            return Ok(out);
+        }
+        let (idx, d) = self.resolve(id)?;
+        self.lock_lnvc(d);
+        let result = self.recv_many_locked(idx, d, max, &mut out);
+        d.lock.unlock();
+        result?;
+        Ok(out)
+    }
+
+    /// Collects up to `max` deliverable messages into `out` and runs one
+    /// prefix reclamation; caller holds the LNVC lock.  Telemetry for the
+    /// whole batch shares a single clock read.
+    fn recv_many_locked(
+        &self,
+        idx: u32,
+        d: &LnvcDesc,
+        max: usize,
+        out: &mut Vec<Vec<u8>>,
+    ) -> Result<usize> {
+        self.poison_check(d)?;
+        let conn = self
+            .find_conn(ConnKind::Recv, d.recv_head.load(Ordering::Acquire), self.me)
+            .ok_or(MpfError::NotConnected)?;
+        let r = self.recv(conn);
+        let bcast = r.protocol.load(Ordering::Acquire) == proto_code(Protocol::Broadcast);
+        let mut received = 0usize;
+        let mut bytes = 0u64;
+        let mut sampled: Vec<u64> = Vec::new();
+        while received < max {
+            let Some(m_idx) = self.next_deliverable(d, conn) else {
+                break;
+            };
+            let m = self.msg(m_idx);
+            let len = m.len.load(Ordering::Acquire) as usize;
+            let sent_at = m.sent_at.load(Ordering::Acquire);
+            let mut buf = vec![0u8; len];
+            self.gather(m, &mut buf);
+            if bcast {
+                r.cursor
+                    .store(m.seq.load(Ordering::Acquire) + 1, Ordering::Release);
+                m.bcast_pending.fetch_sub(1, Ordering::AcqRel);
+            } else {
+                m.flags.fetch_or(msg_flags::FCFS_TAKEN, Ordering::AcqRel);
+            }
+            out.push(buf);
+            received += 1;
+            bytes += len as u64;
+            if sent_at != 0 {
+                sampled.push(sent_at);
+            }
+        }
+        if received == 0 {
+            return Ok(0);
+        }
+        let freed = self.reclaim_prefix(d);
+        if let Some(t) = self.tel() {
+            let now = now_nanos();
+            let lt = self.lnvc_tel(idx);
+            if freed > 0 {
+                t.reclaims.add(freed as u64);
+                bump(&lt.reclaims, freed as u64);
+                self.fly_at(now, EV_RECLAIM, idx, freed as u64);
+            }
+            t.receives.add(received as u64);
+            t.bytes_out.add(bytes);
+            bump(&lt.receives, received as u64);
+            bump(&lt.bytes_out, bytes);
+            for sent_at in sampled {
+                let lat = now.saturating_sub(sent_at);
+                t.latency_hist.record(lat);
+                lt.latency.record_locked(lat);
+            }
+            self.fly_at(now, EV_RECV, idx, bytes);
+        }
+        Ok(received)
+    }
+
+    /// Counters of this process's submission/completion ring pair.
+    pub fn aio_stats(&self) -> AioStats {
+        AioStats::from_rings(self.aio_sq(self.me), self.aio_cq(self.me))
+    }
+
+    // -- reactor support ------------------------------------------------
+
+    /// Non-blocking send for async callers: `Ok(false)` when the shared
+    /// pools are exhausted (retry after a reclaim), errors otherwise.
+    pub fn try_message_send(&self, id: IpcLnvcId, payload: &[u8]) -> Result<bool> {
+        match self.message_send(id, payload) {
+            Ok(()) => Ok(true),
+            Err(MpfError::MessagesExhausted | MpfError::BlocksExhausted) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Non-blocking receive into a fresh `Vec`; `Ok(None)` when nothing
+    /// is deliverable.
+    pub fn try_message_receive_vec(&self, id: IpcLnvcId) -> Result<Option<Vec<u8>>> {
+        self.heartbeat();
+        let (idx, d) = self.resolve(id)?;
+        self.lock_lnvc(d);
+        let mut out = Vec::new();
+        let result = self.recv_many_locked(idx, d, 1, &mut out);
+        d.lock.unlock();
+        result?;
+        Ok(out.pop())
+    }
+
+    /// Current wait-queue ticket for `id`'s conversation.  Take it
+    /// *before* a failed try-operation: if the sequence has moved past it
+    /// by the next check, traffic arrived in between (the lost-wakeup
+    /// guard the blocking primitives use, exposed for the async reactor).
+    pub fn recv_signal_ticket(&self, id: IpcLnvcId) -> Result<u32> {
+        Ok(self.resolve(id)?.1.waitq.ticket())
+    }
+
+    /// Waits (bounded by `timeout`) for `id`'s wait queue to move past
+    /// `ticket`.  Returns `true` when the signal fired — or when the
+    /// conversation no longer resolves, so the caller re-polls and
+    /// surfaces the error instead of sleeping on a corpse.
+    pub fn wait_recv_signal(&self, id: IpcLnvcId, ticket: u32, timeout: Duration) -> bool {
+        match self.resolve(id) {
+            Ok((_, d)) => d.waitq.wait(ticket, Some(timeout)),
+            Err(_) => true,
         }
     }
 
@@ -1515,6 +2015,11 @@ impl IpcMpf {
                     t.peers_died.inc();
                     self.fly(EV_SWEEP_DEAD, NIL, os_pid as u64);
                 }
+                // The corpse may have died between submit and drain:
+                // its staged messages are pool allocations linked to no
+                // queue, visible only through its submission ring.  The
+                // CAS above made us the ring's sole consumer.
+                self.reclaim_aio_of(p);
                 self.sweep_connections_of(p);
             }
         }
@@ -1698,12 +2203,26 @@ impl IpcMpf {
         self.lock_lnvc(d);
         Ok(())
     }
+
+    /// Simulates this process's sudden death for tests: the slot stays
+    /// ATTACHED but its `os_pid` is pointed at a pid that cannot exist,
+    /// so the next [`Self::sweep_dead_peers`] (from any survivor)
+    /// classifies it as a corpse.  The handle must not be used afterwards
+    /// except to drop it.
+    #[doc(hidden)]
+    pub fn debug_abandon_slot(&self) {
+        self.slot(self.me)
+            .os_pid
+            .store(0x7fff_fffe, Ordering::Release);
+    }
 }
 
 impl Drop for IpcMpf {
     fn drop(&mut self) {
-        // Clean detach: release the heartbeat slot so the pid can be
+        // Clean detach: return any staged-but-undrained submissions to
+        // the pools, then release the heartbeat slot so the pid can be
         // reused and sweeps don't flag us.
+        self.reclaim_aio_of(self.me);
         let s = self.slot(self.me);
         s.os_pid.store(0, Ordering::Release);
         s.state.store(slot_state::FREE, Ordering::Release);

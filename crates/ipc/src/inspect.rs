@@ -21,8 +21,10 @@
 
 use std::sync::atomic::Ordering;
 
+use mpf::aio::AioStats;
 use mpf::layout::{RegionLayout, LAYOUT_VERSION, REGION_MAGIC};
 use mpf::{MpfConfig, MpfError};
+use mpf_shm::ring::AioRing;
 use mpf_shm::telemetry::{FacilityTelemetry, HISTOGRAM_BUCKETS};
 use mpf_shm::telemetry::{FlightEvent, FlightRing, LnvcTelSnapshot, LnvcTelemetry, TelSnapshot};
 use mpf_shm::ShmRegion;
@@ -78,6 +80,16 @@ pub struct LnvcInfo {
     pub dead_pid: u32,
     /// Per-conversation telemetry counters.
     pub tel: LnvcTelSnapshot,
+}
+
+/// One process's aio submission/completion ring pair, decoded.
+#[derive(Debug, Clone)]
+pub struct AioRingInfo {
+    /// Slot index = MPF pid that owns the ring pair.
+    pub pid: u32,
+    /// Depths, doorbell counts, and lifetime submit/drain/complete/reap
+    /// counters.
+    pub stats: AioStats,
 }
 
 /// A read-only attachment to a named region (live or post-mortem).
@@ -207,6 +219,20 @@ impl RegionInspector {
         }
     }
 
+    fn aio_sq(&self, p: u32) -> &AioRing {
+        unsafe {
+            self.region
+                .at(self.off.aio_sq + p as usize * std::mem::size_of::<AioRing>())
+        }
+    }
+
+    fn aio_cq(&self, p: u32) -> &AioRing {
+        unsafe {
+            self.region
+                .at(self.off.aio_cq + p as usize * std::mem::size_of::<AioRing>())
+        }
+    }
+
     // -- decoded views -------------------------------------------------
 
     /// The region name this inspector attached to.
@@ -330,6 +356,18 @@ impl RegionInspector {
         sum
     }
 
+    /// Every process slot's aio submission/completion ring counters.
+    /// Depths read on a live region are instantaneous (head and tail are
+    /// separately atomic); lifetime counters only grow.
+    pub fn aio_rings(&self) -> Vec<AioRingInfo> {
+        (0..self.cfg.max_processes)
+            .map(|p| AioRingInfo {
+                pid: p,
+                stats: AioStats::from_rings(self.aio_sq(p), self.aio_cq(p)),
+            })
+            .collect()
+    }
+
     /// The OS pid that owns (or owned) process `pid`'s flight ring.
     pub fn ring_writer(&self, pid: u32) -> u32 {
         if pid >= self.cfg.max_processes {
@@ -416,6 +454,31 @@ mod tests {
         assert!(ev.len() >= 3, "expected open/open/send, got {ev:?}");
         assert_eq!(insp.ring_writer(mpf.pid()), std::process::id());
         drop(mpf);
+    }
+
+    #[test]
+    fn inspector_reports_aio_ring_counters() {
+        if !mpf_shm::sys::HAVE_SYSCALLS {
+            return;
+        }
+        let name = unique_name("aio");
+        let mpf = IpcMpf::create(&name, &small_cfg()).unwrap();
+        let tx = mpf.open_send("bulk").unwrap();
+        let _rx = mpf.open_receive("bulk", Protocol::Fcfs).unwrap();
+        let payloads: Vec<&[u8]> = vec![b"a", b"bb", b"ccc"];
+        assert_eq!(mpf.send_batch(tx, &payloads).unwrap().len(), 3);
+
+        let insp = RegionInspector::attach(&name).unwrap();
+        let rings = insp.aio_rings();
+        assert_eq!(rings.len(), 4, "one ring pair per process slot");
+        let mine = &rings[mpf.pid() as usize].stats;
+        assert_eq!(mine.submitted, 3);
+        assert_eq!(mine.drained, 3);
+        assert_eq!(mine.completed, 3);
+        assert_eq!(mine.reaped, 3);
+        assert_eq!(mine.sq_doorbells, 1);
+        assert_eq!(mine.sq_depth, 0);
+        assert_eq!(mine.cq_depth, 0);
     }
 
     #[test]

@@ -29,4 +29,4 @@ pub mod inspect;
 pub mod shmem;
 
 pub use facility::{AttachError, IpcLnvcId, IpcMpf};
-pub use inspect::{LnvcInfo, ProcessInfo, RegionInspector};
+pub use inspect::{AioRingInfo, LnvcInfo, ProcessInfo, RegionInspector};

@@ -48,6 +48,10 @@ pub struct ConfigEcho {
     /// 1 when the creator enabled telemetry recording; the segments are
     /// carved either way, this only tells attachers whether to write them.
     pub telemetry: AtomicU32,
+    /// Latency sampling period: send timestamps are stamped on 1-in-N
+    /// messages (1 = every message).  Echoed so every attacher samples at
+    /// the creator's rate.
+    pub latency_sample_every: AtomicU32,
 }
 
 /// A Treiber free-list head over pool indices: `(aba_tag << 32) | index`.
@@ -140,6 +144,9 @@ pub struct RegionHeader {
     pub total_bytes: AtomicU64,
     /// Configuration the carve was computed from.
     pub cfg: ConfigEcho,
+    /// Explicit alignment hole: the 36-byte echo would otherwise leave
+    /// compiler-inserted padding before the 8-aligned lock.
+    _pad_cfg: u32,
     /// Guards the name registry and LNVC slot allocation (lock order:
     /// registry, then LNVC descriptor).
     pub registry_lock: IpcLock,
@@ -155,7 +162,7 @@ pub struct RegionHeader {
     pub next_stamp: AtomicU64,
     /// Liveness-sweep epoch (diagnostic; bumped per completed sweep).
     pub sweep_epoch: AtomicU32,
-    _pad: [u8; REGION_HEADER_BYTES - 116],
+    _pad: [u8; REGION_HEADER_BYTES - 124],
 }
 
 /// Process-slot state values.

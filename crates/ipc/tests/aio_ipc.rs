@@ -1,0 +1,151 @@
+//! Batched-submission (aio) tests for the multi-process backend, run
+//! single-OS-process via `attach_view` (see `ipc_loopback.rs` for why
+//! that exercises the real multi-process code paths).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mpf::{MpfConfig, MpfError, Protocol};
+use mpf_ipc::IpcMpf;
+
+fn unique_name(tag: &str) -> String {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    format!(
+        "aio-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    )
+}
+
+fn small_cfg() -> MpfConfig {
+    MpfConfig::new(8, 4)
+        .with_block_payload(64)
+        .with_total_blocks(64)
+        .with_max_messages(32)
+        .with_max_connections(16)
+}
+
+#[test]
+fn batched_send_recv_roundtrip_across_views() {
+    if !mpf_shm::sys::HAVE_SYSCALLS {
+        return;
+    }
+    let a = IpcMpf::create(&unique_name("loop"), &small_cfg()).unwrap();
+    let b = a.attach_view().unwrap();
+
+    let tx = a.open_send("bulk").unwrap();
+    let rx = b.open_receive("bulk", Protocol::Fcfs).unwrap();
+
+    let payloads: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i; 16]).collect();
+    let refs: Vec<&[u8]> = payloads.iter().map(|p| p.as_slice()).collect();
+    let completions = a.send_batch(tx, &refs).unwrap();
+    assert_eq!(completions.len(), 8);
+    for (i, c) in completions.iter().enumerate() {
+        assert!(c.ok(), "completion {i} failed with status {}", c.status);
+        assert_eq!(c.user_data, i as u64, "tokens come back in order");
+        assert_eq!(c.len, 16);
+    }
+
+    let st = a.aio_stats();
+    assert_eq!(st.sq_doorbells, 1, "one doorbell for the whole batch");
+    assert_eq!(st.submitted, 8);
+    assert_eq!(st.drained, 8);
+    assert_eq!(st.completed, 8);
+    assert_eq!(st.reaped, 8);
+    assert_eq!(st.sq_depth, 0);
+    assert_eq!(st.cq_depth, 0);
+
+    let got = b.recv_batch(rx, 64).unwrap();
+    assert_eq!(got.len(), 8, "batched receive drains the backlog");
+    for (i, msg) in got.iter().enumerate() {
+        assert_eq!(msg.as_slice(), &payloads[i][..], "FIFO order preserved");
+    }
+
+    // Empty batches are no-ops with no doorbell.
+    assert!(a.send_batch(tx, &[]).unwrap().is_empty());
+    assert!(b.recv_batch(rx, 0).unwrap().is_empty());
+    assert_eq!(a.aio_stats().sq_doorbells, 1);
+}
+
+#[test]
+fn dead_sender_mid_batch_reclaims_staged_messages_and_poisons() {
+    if !mpf_shm::sys::HAVE_SYSCALLS {
+        return;
+    }
+    let main = IpcMpf::create(&unique_name("dead"), &small_cfg()).unwrap();
+    let sender = main.attach_view().unwrap();
+
+    let rx = main.open_receive("doomed", Protocol::Fcfs).unwrap();
+    let tx = sender.open_send("doomed").unwrap();
+
+    let free_before = main.free_blocks();
+    // Stage a batch but "die" before draining it: the messages exist only
+    // in the corpse's submission ring.
+    let payloads: Vec<&[u8]> = vec![b"one", b"two", b"three", b"four"];
+    assert_eq!(sender.submit_sends(tx, &payloads).unwrap(), 4);
+    assert_eq!(sender.aio_stats().sq_depth, 4);
+    assert!(main.free_blocks() < free_before, "staged blocks are held");
+
+    sender.debug_abandon_slot();
+    assert_eq!(main.sweep_dead_peers(), 1, "sweep finds the corpse");
+
+    assert_eq!(
+        main.free_blocks(),
+        free_before,
+        "the corpse's staged ring entries are reclaimed"
+    );
+    let mut buf = [0u8; 64];
+    match main.message_receive_timeout(rx, &mut buf, std::time::Duration::from_secs(2)) {
+        Err(MpfError::PeerDied { pid }) => assert_eq!(pid, sender.pid()),
+        other => panic!("expected PeerDied, got {other:?}"),
+    }
+    drop(sender);
+}
+
+#[test]
+fn clean_detach_returns_staged_batch_to_the_pools() {
+    if !mpf_shm::sys::HAVE_SYSCALLS {
+        return;
+    }
+    let main = IpcMpf::create(&unique_name("detach"), &small_cfg()).unwrap();
+    let free_before = main.free_blocks();
+    {
+        let sender = main.attach_view().unwrap();
+        let tx = sender.open_send("short-lived").unwrap();
+        assert_eq!(
+            sender.submit_sends(tx, &[b"a".as_slice(), b"b"]).unwrap(),
+            2
+        );
+        assert!(main.free_blocks() < free_before);
+        sender.close_send(tx).unwrap();
+        // Dropped with two staged, undrained submissions.
+    }
+    assert_eq!(
+        main.free_blocks(),
+        free_before,
+        "clean detach frees staged submissions"
+    );
+}
+
+#[test]
+fn latency_sampling_follows_creator_rate() {
+    if !mpf_shm::sys::HAVE_SYSCALLS {
+        return;
+    }
+    let cfg = small_cfg().latency_sample_rate(4);
+    let m = IpcMpf::create(&unique_name("sample"), &cfg).unwrap();
+    let tx = m.open_send("sampled").unwrap();
+    let rx = m.open_receive("sampled", Protocol::Fcfs).unwrap();
+    for i in 0..8u8 {
+        m.message_send(tx, &[i; 8]).unwrap();
+    }
+    let mut buf = [0u8; 16];
+    for _ in 0..8 {
+        m.message_receive(rx, &mut buf).unwrap();
+    }
+    let t = m.telemetry_snapshot();
+    assert_eq!(t.receives, 8, "every message is still counted");
+    assert_eq!(
+        t.latency_hist.count, 2,
+        "1-in-4 sampling stamps exactly two of eight sends"
+    );
+}

@@ -42,6 +42,8 @@
 //! * [`lock::FutexLock`] / [`lock::IpcLock`] — `#[repr(C)]` in-region
 //!   locks; `IpcLock` adds holder identity and dead-peer recovery.
 //! * [`waitq::FutexSeq`] — the in-region wait queue.
+//! * [`ring::AioRing`] — io_uring-style SPSC descriptor ring with a futex
+//!   doorbell, the substrate of the batched/async `mpf-aio` layer.
 //!
 //! Nothing in this crate knows about messages or LNVCs; it only provides
 //! "shared memory allocation and synchronization", the two facilities the
@@ -58,6 +60,7 @@ pub mod pad;
 pub mod pool;
 pub mod process;
 pub mod region;
+pub mod ring;
 pub mod rng;
 pub mod stats;
 pub mod sys;
@@ -74,6 +77,7 @@ pub use pad::CachePadded;
 pub use pool::Pool;
 pub use process::{run_processes, run_processes_collect, ProcessId};
 pub use region::ShmRegion;
+pub use ring::{AioRing, RingEntry, AIO_RING_BYTES, AIO_RING_ENTRY_BYTES, AIO_RING_SLOTS};
 pub use rng::SmallRng;
 pub use stats::Counter;
 pub use telemetry::{
