@@ -31,12 +31,16 @@ const REGION_ENV: &str = "MPF_FIG3_REGION";
 const ROUNDS_ENV: &str = "MPF_FIG3_ROUNDS";
 
 fn region_config(telemetry: bool) -> MpfConfig {
+    // `--no-telemetry` is the undisturbed baseline, so it switches off
+    // causal tracing too; the default configuration carries both, which
+    // is what the measured observability overhead covers.
     MpfConfig::new(4, 4)
         .with_block_payload(256)
         .with_total_blocks(1024)
         .with_max_messages(256)
         .with_max_connections(8)
         .with_telemetry(telemetry)
+        .trace_sample_rate(u32::from(telemetry))
 }
 
 /// Sends with back-pressure: pool exhaustion usually means the receiver

@@ -570,13 +570,103 @@ fn aio_batch_conservation_under_schedules() {
     explore_random(&opts, 0xA10, make).assert_ok();
 }
 
+/// Trace-event conservation: under every schedule, the causal record the
+/// trace rings retain must tell a complete, conformance-clean story — one
+/// `TR_SEND` per message, each paired with exactly one delivery, each
+/// reclaim after its delivery, and replies continuing the request's chain
+/// at hop 1.  A trace stamped outside the send critical section, or a
+/// ring write racing the delivery it describes, shows up here as a
+/// schedule-dependent violation from the offline checker.
+#[test]
+fn trace_conservation_under_schedules() {
+    use mpf_shm::tracering::{TR_RECLAIM, TR_RECV, TR_SEND};
+
+    let make = || {
+        let cfg = MpfConfig::new(4, 4)
+            .with_total_blocks(64)
+            .with_block_payload(16)
+            .with_max_messages(16);
+        let mpf = Arc::new(Mpf::init(cfg).expect("init"));
+        let req_tx = mpf.open_send(p(0), "req").expect("open req tx");
+        let req_rx = mpf
+            .open_receive(p(1), "req", Protocol::Fcfs)
+            .expect("open req rx");
+        let rep_tx = mpf.open_send(p(1), "rep").expect("open rep tx");
+        let rep_rx = mpf
+            .open_receive(p(0), "rep", Protocol::Fcfs)
+            .expect("open rep rx");
+        let requester = {
+            let mpf = Arc::clone(&mpf);
+            Box::new(move || {
+                // Both roots go out before any reply is read, so neither
+                // request can accidentally continue the other's chain.
+                for i in 0..2u8 {
+                    mpf.message_send(p(0), req_tx, &[i; 8]).expect("send req");
+                }
+                for _ in 0..2 {
+                    mpf.message_receive_vec(p(0), rep_rx).expect("recv rep");
+                }
+            }) as Proc
+        };
+        let responder = {
+            let mpf = Arc::clone(&mpf);
+            Box::new(move || {
+                for _ in 0..2 {
+                    let m = mpf.message_receive_vec(p(1), req_rx).expect("recv req");
+                    mpf.message_send(p(1), rep_tx, &m).expect("send rep");
+                }
+            }) as Proc
+        };
+        let procs = vec![requester, responder];
+        Case {
+            procs,
+            check: Box::new(move || {
+                mpf.check_invariants()?;
+                let log = mpf_trace::TraceLog::from_mpf(&mpf);
+                let report = log.check();
+                if !report.is_clean() {
+                    return Err(format!("conformance violations: {:?}", report.violations));
+                }
+                if report.messages != 4 || report.deliveries != 4 {
+                    return Err(format!(
+                        "traced message conservation broken: {} messages, {} deliveries, want 4/4",
+                        report.messages, report.deliveries
+                    ));
+                }
+                let chains = log.chains();
+                if chains.len() != 2 {
+                    return Err(format!("want 2 request/reply chains, got {}", chains.len()));
+                }
+                for chain in &chains {
+                    if chain.hops() != 2 {
+                        return Err(format!("chain lost a hop: {chain:?}"));
+                    }
+                    let count = |k: u32| chain.events.iter().filter(|r| r.ev.kind == k).count();
+                    if count(TR_SEND) != 2 || count(TR_RECV) != 2 || count(TR_RECLAIM) != 2 {
+                        return Err(format!(
+                            "chain event conservation broken ({}/{}/{} send/recv/reclaim): {chain:?}",
+                            count(TR_SEND),
+                            count(TR_RECV),
+                            count(TR_RECLAIM),
+                        ));
+                    }
+                }
+                Ok(())
+            }),
+        }
+    };
+    let opts = ExploreOpts::new("trace-conservation").max_schedules(300);
+    explore_dfs(&opts, make).assert_ok();
+    explore_random(&opts, 0x7ACE, make).assert_ok();
+}
+
 /// The schedule counts above must add up: this is the floor the PR CI run
 /// is expected to clear ("≥ 1000 distinct schedules across the suite").
 /// Random exploration always runs its full budget, so the guaranteed
 /// minimum is the sum of the random budgets alone: 600 + 300 + 300 + 300 +
-/// 200 + 300 + 300 + 300 = 2600.
+/// 200 + 300 + 300 + 300 + 300 = 2900.
 #[test]
 fn suite_budget_floor() {
-    let budgets = [600usize, 300, 300, 300, 200, 300, 300, 300];
+    let budgets = [600usize, 300, 300, 300, 200, 300, 300, 300, 300];
     assert!(budgets.iter().sum::<usize>() >= 1000);
 }

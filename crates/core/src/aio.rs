@@ -17,6 +17,9 @@ pub struct AioCompletion {
     /// The submitter's token: for `submit_sends`/`send_batch`, the index
     /// of the payload within the submitted batch.
     pub user_data: u64,
+    /// Causal trace id the send carried (0 = untraced), so async callers
+    /// can continue the chain without touching the descriptor again.
+    pub trace: u64,
     /// The conversation, as the raw id (`LnvcId::as_i32` encoding for the
     /// thread backend, the LNVC descriptor index for the multi-process
     /// backend).

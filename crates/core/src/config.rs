@@ -65,6 +65,13 @@ pub struct MpfConfig {
     /// N−1 messages.  Unsampled deliveries skip latency recording only;
     /// every other counter still updates.
     pub latency_sample_every: u32,
+    /// Causal-trace sampling period: record 1-in-N causal chains in the
+    /// per-process trace rings (1 = trace every chain, the default;
+    /// 0 disables trace recording entirely).  The decision is made at the
+    /// chain's **root** send and inherited by every downstream hop, so
+    /// sampled chains are always complete — N thins the population of
+    /// chains, never the events within one.
+    pub trace_sample_every: u32,
 }
 
 /// The paper's experimental block payload: 10 bytes.
@@ -92,6 +99,7 @@ impl MpfConfig {
             trace_capacity: 0,
             telemetry: true,
             latency_sample_every: 1,
+            trace_sample_every: 1,
         }
     }
 
@@ -167,6 +175,13 @@ impl MpfConfig {
         self
     }
 
+    /// Traces 1-in-`every` causal chains in the per-process trace rings
+    /// (1 = every chain, the default; 0 disables trace recording).
+    pub fn trace_sample_rate(mut self, every: u32) -> Self {
+        self.trace_sample_every = every;
+        self
+    }
+
     /// Largest single message payload the configured region can hold
     /// (every block devoted to one message).
     pub fn max_message_bytes(&self) -> usize {
@@ -206,9 +221,11 @@ mod tests {
             .with_wait_strategy(WaitStrategy::Park)
             .with_exhaust_policy(ExhaustPolicy::Error)
             .with_telemetry(false)
-            .latency_sample_rate(16);
+            .latency_sample_rate(16)
+            .trace_sample_rate(8);
         assert!(!cfg.telemetry);
         assert_eq!(cfg.latency_sample_every, 16);
+        assert_eq!(cfg.trace_sample_every, 8);
         assert_eq!(cfg.block_payload, 128);
         assert_eq!(cfg.total_blocks, 100);
         assert_eq!(cfg.max_messages, 10);

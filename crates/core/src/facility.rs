@@ -18,7 +18,7 @@
 //! BROADCAST receivers copy one message concurrently — the effect behind
 //! the paper's Figure 5.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 use mpf_shm::idxstack::NIL;
 use mpf_shm::pool::Pool;
@@ -26,6 +26,10 @@ use mpf_shm::process::ProcessId;
 use mpf_shm::ring::{AioRing, RingEntry};
 use mpf_shm::telemetry::{
     now_nanos, FacilityTelemetry, LnvcTelSnapshot, LnvcTelemetry, TelSnapshot,
+};
+use mpf_shm::tracering::{
+    TraceEvent, TraceRing, TR_CLOSE_RECV, TR_ENQUEUE, TR_OPEN_RECV, TR_RECV, TR_RECV_B, TR_SEND,
+    TR_WAKEUP,
 };
 use mpf_shm::waitq::WaitQueue;
 
@@ -71,6 +75,29 @@ pub struct Mpf {
     /// Monotonic send tick driving 1-in-N latency sampling
     /// ([`MpfConfig::latency_sample_rate`]).
     latency_tick: AtomicU64,
+    /// Facility-global send stamp: one serial per published message,
+    /// region-wide (mirrors the IPC header's `next_stamp`).  The stamp is
+    /// a message's logical identity in telemetry and causal traces.
+    next_stamp: AtomicU64,
+    /// Per-process causal trace rings (layout segment "trace rings";
+    /// heap-held here like the aio rings, carved into the region by the
+    /// IPC backend).
+    trace_rings: Box<[TraceRing]>,
+    /// Per-process causal context: the chain of the process's last
+    /// delivery, which its next send continues.
+    trace_ctx: Box<[TraceCtx]>,
+    /// Monotonic root-chain counter: drives 1-in-N chain sampling
+    /// ([`MpfConfig::trace_sample_rate`]) and makes root ids unique.
+    trace_tick: AtomicU64,
+}
+
+/// One process's causal context: set by every delivery, consumed (with an
+/// incremented hop) by the process's next send.  An untraced delivery
+/// clears it, so unsampled chains never splice into sampled ones.
+#[derive(Debug, Default)]
+struct TraceCtx {
+    trace: AtomicU64,
+    hop: AtomicU32,
 }
 
 impl Mpf {
@@ -80,6 +107,9 @@ impl Mpf {
         if cfg.max_lnvcs == 0 || cfg.max_lnvcs > MAX_LNVC_INDEX + 1 || cfg.max_processes == 0 {
             return Err(MpfError::BadInit);
         }
+        // Pay the cycle-counter calibration cost once, up front, instead of
+        // on the first timestamped event (see mpf_shm::clock).
+        mpf_shm::clock::calibrate();
         let lock_kind = cfg.lock_kind;
         Ok(Self {
             lnvcs: Pool::new_with(cfg.max_lnvcs, |_| LnvcSlot::new(lock_kind)),
@@ -98,6 +128,14 @@ impl Mpf {
             aio_sq: (0..cfg.max_processes).map(|_| AioRing::new()).collect(),
             aio_cq: (0..cfg.max_processes).map(|_| AioRing::new()).collect(),
             latency_tick: AtomicU64::new(0),
+            next_stamp: AtomicU64::new(0),
+            trace_rings: (0..cfg.max_processes)
+                .map(|_| TraceRing::default())
+                .collect(),
+            trace_ctx: (0..cfg.max_processes)
+                .map(|_| TraceCtx::default())
+                .collect(),
+            trace_tick: AtomicU64::new(0),
             cfg,
         })
     }
@@ -252,7 +290,115 @@ impl Mpf {
             blocks: &self.blocks,
             sends: &self.sends,
             recvs: &self.recvs,
+            tring: None,
+            stamps: &self.next_stamp,
         }
+    }
+
+    /// [`Self::ctx`] with `pid`'s trace ring attached, so reclaims of
+    /// traced messages performed under this borrow are recorded.
+    fn ctx_t<'a>(&'a self, lnvc: &'a LnvcSlot, pid: ProcessId) -> Ctx<'a> {
+        Ctx {
+            tring: self.tracing().then(|| &self.trace_rings[pid.index()]),
+            ..self.ctx(lnvc)
+        }
+    }
+
+    /// Whether causal tracing is enabled at all
+    /// ([`MpfConfig::trace_sample_rate`]`(0)` turns it off).
+    #[inline]
+    fn tracing(&self) -> bool {
+        self.cfg.trace_sample_every != 0
+    }
+
+    /// Decides the (trace id, hop) of a send by `pid`: continues the chain
+    /// of the process's last delivery when there is one, else mints a root
+    /// id — sampled 1-in-N, with the owner in bits 40..63, a serial in the
+    /// low 40 bits, and the sampled flag in bit 63.  `(0, 0)` = untraced.
+    fn trace_for_send(&self, pid: ProcessId) -> (u64, u32) {
+        if !self.tracing() {
+            return (0, 0);
+        }
+        let ctx = &self.trace_ctx[pid.index()];
+        let inherited = ctx.trace.load(Ordering::Relaxed);
+        if inherited != 0 {
+            return (inherited, ctx.hop.load(Ordering::Relaxed) + 1);
+        }
+        let n = self.trace_tick.fetch_add(1, Ordering::Relaxed);
+        if !n.is_multiple_of(u64::from(self.cfg.trace_sample_every)) {
+            self.trace_rings[pid.index()].note_skipped();
+            return (0, 0);
+        }
+        let root = (1u64 << 63) | ((pid.index() as u64 + 1) << 40) | (n & ((1u64 << 40) - 1));
+        (root, 0)
+    }
+
+    /// Appends one record to `pid`'s trace ring; a no-op for untraced
+    /// chains, so callers thread the gate through `trace == 0`.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn trace_rec(
+        &self,
+        pid: ProcessId,
+        kind: u32,
+        hop: u32,
+        trace: u64,
+        lnvc: u32,
+        stamp: u64,
+        arg: u32,
+        arg2: u32,
+    ) {
+        if trace != 0 {
+            self.trace_rings[pid.index()].record_at(
+                now_nanos(),
+                trace,
+                stamp,
+                kind,
+                hop,
+                lnvc,
+                arg,
+                arg2,
+            );
+        }
+    }
+
+    /// Records a receiver-population change marker (`TR_OPEN_RECV` /
+    /// `TR_CLOSE_RECV`).  Not sampled: the conformance checker needs the
+    /// population timeline even across untraced gaps.
+    fn trace_pop(&self, pid: ProcessId, kind: u32, lnvc: u32, protocol: Protocol) {
+        if self.tracing() {
+            let code = match protocol {
+                Protocol::Fcfs => 1,
+                Protocol::Broadcast => 2,
+            };
+            self.trace_rings[pid.index()].record_at(now_nanos(), 0, 0, kind, 0, lnvc, code, 0);
+        }
+    }
+
+    /// Adopts a delivered message's chain as `pid`'s causal context; an
+    /// untraced delivery clears it.
+    #[inline]
+    fn adopt_trace(&self, pid: ProcessId, trace: u64, hop: u32) {
+        if self.tracing() {
+            let ctx = &self.trace_ctx[pid.index()];
+            ctx.trace.store(trace, Ordering::Relaxed);
+            ctx.hop.store(hop, Ordering::Relaxed);
+        }
+    }
+
+    /// The surviving contents of `pid`'s causal trace ring, oldest first
+    /// (the `mpf-trace` crate reconstructs chains from these).
+    pub fn trace_events(&self, pid: ProcessId) -> Result<Vec<TraceEvent>> {
+        self.check_pid(pid)?;
+        Ok(self.trace_rings[pid.index()].snapshot())
+    }
+
+    /// Occupancy of `pid`'s trace ring: `(records ever written, chains
+    /// skipped by sampling)`.
+    pub fn trace_ring_stats(&self, pid: ProcessId) -> Result<(u64, u64)> {
+        self.check_pid(pid)?;
+        let ring = &self.trace_rings[pid.index()];
+        Ok((ring.head(), ring.skipped()))
     }
 
     /// Resolves an id to its slot, without liveness validation (that
@@ -364,7 +510,7 @@ impl Mpf {
         let mut freed = 0;
         let result = (|| {
             let _guard = slot.lock.lock();
-            let ctx = self.ctx(slot);
+            let ctx = self.ctx_t(slot, pid);
             if let Some(existing) = ctx.find_recv(pid) {
                 return Err(if self.recvs.get(existing).protocol() != protocol {
                     MpfError::ProtocolConflict
@@ -406,6 +552,7 @@ impl Mpf {
         }
         if result.is_ok() {
             self.trace(pid, EventKind::OpenRecv, idx, 0, NO_STAMP);
+            self.trace_pop(pid, TR_OPEN_RECV, idx, protocol);
         }
         result
     }
@@ -466,11 +613,13 @@ impl Mpf {
         let mut reg = self.registry.lock();
         let slot = self.slot(id)?;
         let mut reclaimed = 0;
+        let closed_protocol;
         {
             let _guard = slot.lock.lock();
             Self::validate(slot, id)?;
-            let ctx = self.ctx(slot);
+            let ctx = self.ctx_t(slot, pid);
             let (conn, protocol, head) = ctx.unlink_recv(pid).ok_or(MpfError::NotConnected)?;
+            closed_protocol = protocol;
             self.recvs.free(conn);
             if protocol == Protocol::Broadcast && head != NIL {
                 reclaimed = ctx.release_bcast_claims(head);
@@ -506,6 +655,7 @@ impl Mpf {
         slot.waitq.notify_all();
         self.mem_waitq.notify_all();
         self.trace(pid, EventKind::CloseRecv, id.index(), 0, NO_STAMP);
+        self.trace_pop(pid, TR_CLOSE_RECV, id.index(), closed_protocol);
         Ok(())
     }
 
@@ -657,6 +807,18 @@ impl Mpf {
                 return Err(e);
             }
             let stamp = ctx.enqueue(msg_idx, buf.len(), chain);
+            // Causal id stamped under the lock, before receivers can see
+            // the message; obligations are fixed at this instant, so the
+            // packed arg2 is what the conformance checker audits against.
+            let (trace, hop) = self.trace_for_send(pid);
+            let obligations = {
+                let n_bcast = slot.n_bcast();
+                let needs_fcfs = slot.n_fcfs() > 0 || n_bcast == 0;
+                (u32::from(needs_fcfs) << 16) | n_bcast
+            };
+            if trace != 0 {
+                self.msgs.get(msg_idx).set_trace(trace, hop);
+            }
             if let Some(lt) = self.ltel(id.index()) {
                 // Stamped under the lock, before receivers can see the
                 // message, so `sent_at` is final once the lock drops.  An
@@ -674,6 +836,16 @@ impl Mpf {
             }
             drop(_guard);
             self.trace(pid, EventKind::Send, id.index(), buf.len(), stamp);
+            self.trace_rec(
+                pid,
+                TR_SEND,
+                hop,
+                trace,
+                id.index(),
+                stamp,
+                buf.len() as u32,
+                obligations,
+            );
         }
         slot.waitq.notify_all();
         self.stats.sends.inc();
@@ -724,16 +896,26 @@ impl Mpf {
         let head_block = msg.head_block();
         let stamp = msg.stamp();
         let sent_at = msg.sent_at();
+        let (trace, hop) = (msg.trace(), msg.hop());
         drop(guard);
 
         self.blocks.read_chain(head_block, len, &mut buf[..len]);
         msg.end_copy();
 
+        // Delivery is claimed; record it before the reclamation sweep can
+        // append this message's TR_RECLAIM, so ring order matches logic.
+        self.adopt_trace(pid, trace, hop);
+        let kind = match protocol {
+            Protocol::Fcfs => TR_RECV,
+            Protocol::Broadcast => TR_RECV_B,
+        };
+        self.trace_rec(pid, kind, hop, trace, id.index(), stamp, len as u32, 0);
+
         let _guard = slot.lock.lock();
         if protocol == Protocol::Broadcast {
             msg.dec_bcast_pending();
         }
-        let ctx = self.ctx(slot);
+        let ctx = self.ctx_t(slot, pid);
         let freed = ctx.reclaim_prefix();
         drop(_guard);
         if freed > 0 {
@@ -753,14 +935,31 @@ impl Mpf {
     /// transferred").
     pub fn message_receive(&self, pid: ProcessId, id: LnvcId, buf: &mut [u8]) -> Result<usize> {
         self.check_pid(pid)?;
+        let mut waited = false;
         loop {
             // Ticket before the check: a send between our check and our
             // wait bumps the sequence and the wait returns immediately.
             let slot = self.slot(id)?;
             let ticket = slot.waitq.ticket();
             if let Some(len) = self.recv_once(pid, id, buf)? {
+                if waited && self.tracing() {
+                    // The delivery that ended the block; its chain is the
+                    // context recv_once just adopted.
+                    let ctx = &self.trace_ctx[pid.index()];
+                    self.trace_rec(
+                        pid,
+                        TR_WAKEUP,
+                        ctx.hop.load(Ordering::Relaxed),
+                        ctx.trace.load(Ordering::Relaxed),
+                        id.index(),
+                        0,
+                        len as u32,
+                        0,
+                    );
+                }
                 return Ok(len);
             }
+            waited = true;
             self.stats.recv_waits.inc();
             self.note_recv_wait(id.index());
             self.trace(pid, EventKind::RecvBlocked, id.index(), 0, NO_STAMP);
@@ -832,6 +1031,7 @@ impl Mpf {
             let head_block = msg.head_block();
             let stamp = msg.stamp();
             let sent_at = msg.sent_at();
+            let (trace, hop) = (msg.trace(), msg.hop());
             drop(guard);
 
             // SAFETY: the message is published and pinned; blocks of a
@@ -840,11 +1040,18 @@ impl Mpf {
             unsafe { self.blocks.scan_chain(head_block, len, &mut visit) };
             msg.end_copy();
 
+            self.adopt_trace(pid, trace, hop);
+            let kind = match protocol {
+                Protocol::Fcfs => TR_RECV,
+                Protocol::Broadcast => TR_RECV_B,
+            };
+            self.trace_rec(pid, kind, hop, trace, id.index(), stamp, len as u32, 0);
+
             let _guard = slot.lock.lock();
             if protocol == Protocol::Broadcast {
                 msg.dec_bcast_pending();
             }
-            let ctx = self.ctx(slot);
+            let ctx = self.ctx_t(slot, pid);
             let freed = ctx.reclaim_prefix();
             drop(_guard);
             if freed > 0 {
@@ -1002,16 +1209,30 @@ impl Mpf {
             // The payload chain is filled but unpublished; the descriptor
             // carries everything the drain needs to link it: the chain
             // head rides the low half of user_data, the batch token the
-            // high half.
+            // high half.  The causal id is decided here — staging is the
+            // send's causal point — and the hop count rides the status
+            // field, which carries no meaning until completion.
+            let (trace, hop) = self.trace_for_send(pid);
             let pushed = sq.try_push(RingEntry {
                 user_data: (u64::from(u32::try_from(i).unwrap_or(u32::MAX)) << 32)
                     | u64::from(chain.head),
+                trace,
                 lnvc: id.as_i32() as u32,
                 arg0: msg_idx,
                 arg1: buf.len() as u32,
-                status: 0,
+                status: hop as i32,
             });
             debug_assert!(pushed, "single-submitter ring had room");
+            self.trace_rec(
+                pid,
+                TR_ENQUEUE,
+                hop,
+                trace,
+                id.index(),
+                0,
+                buf.len() as u32,
+                i as u32,
+            );
             submitted += 1;
         }
         if submitted == 0 {
@@ -1063,6 +1284,7 @@ impl Mpf {
         let complete = |e: &RingEntry, status: i32| {
             let pushed = cq.try_push(RingEntry {
                 user_data: e.user_data >> 32,
+                trace: e.trace,
                 lnvc: e.lnvc,
                 arg0: 0,
                 arg1: e.arg1,
@@ -1105,6 +1327,13 @@ impl Mpf {
                 self.mem_waitq.notify_all();
                 return;
             }
+            // Obligations are fixed per-send, but the connection set cannot
+            // change while we hold the lock — one computation covers the run.
+            let obligations = {
+                let n_bcast = slot.n_bcast();
+                let needs_fcfs = slot.n_fcfs() > 0 || n_bcast == 0;
+                (u32::from(needs_fcfs) << 16) | n_bcast
+            };
             for entry in run {
                 let len = entry.arg1 as usize;
                 let chain = Chain {
@@ -1112,6 +1341,21 @@ impl Mpf {
                     blocks: self.blocks.blocks_needed(len),
                 };
                 let stamp = ctx.enqueue(entry.arg0, len, chain);
+                // The staged hop rode the (pre-completion) status field.
+                let hop = entry.status as u32;
+                if entry.trace != 0 {
+                    self.msgs.get(entry.arg0).set_trace(entry.trace, hop);
+                }
+                self.trace_rec(
+                    pid,
+                    TR_SEND,
+                    hop,
+                    entry.trace,
+                    id.index(),
+                    stamp,
+                    len as u32,
+                    obligations,
+                );
                 if let Some(lt) = self.ltel(id.index()) {
                     let sent_at = if self.sample_latency() {
                         now_nanos()
@@ -1155,6 +1399,7 @@ impl Mpf {
         while let Some(e) = cq.try_pop() {
             out.push(AioCompletion {
                 user_data: e.user_data,
+                trace: e.trace,
                 lnvc: e.lnvc,
                 len: e.arg1,
                 status: e.status,
@@ -1204,8 +1449,10 @@ impl Mpf {
         };
         let conn = self.recvs.get(conn_idx);
         let protocol = conn.protocol();
-        // (msg_idx, len, head_block, stamp, sent_at) per claimed message.
-        let mut picked: Vec<(u32, usize, u32, u64, u64)> = Vec::new();
+        // (msg_idx, len, head_block, stamp, sent_at, trace, hop) per
+        // claimed message.
+        #[allow(clippy::type_complexity)]
+        let mut picked: Vec<(u32, usize, u32, u64, u64, u64, u32)> = Vec::new();
         while picked.len() < max {
             let found = match protocol {
                 Protocol::Fcfs => ctx.fcfs_peek(),
@@ -1227,6 +1474,8 @@ impl Mpf {
                 msg.head_block(),
                 msg.stamp(),
                 msg.sent_at(),
+                msg.trace(),
+                msg.hop(),
             ));
         }
         drop(guard);
@@ -1234,10 +1483,23 @@ impl Mpf {
             return Ok(0);
         }
 
-        for &(_, len, head_block, _, _) in &picked {
+        for &(_, len, head_block, ..) in &picked {
             let mut buf = vec![0u8; len];
             self.blocks.read_chain(head_block, len, &mut buf);
             out.push(buf);
+        }
+
+        // Deliveries are claimed; record them (and adopt the last chain as
+        // this process's context) before reclamation can log TR_RECLAIMs.
+        let recv_kind = match protocol {
+            Protocol::Fcfs => TR_RECV,
+            Protocol::Broadcast => TR_RECV_B,
+        };
+        for &(_, len, _, stamp, _, trace, hop) in &picked {
+            self.trace_rec(pid, recv_kind, hop, trace, id.index(), stamp, len as u32, 0);
+        }
+        if let Some(&(.., trace, hop)) = picked.last() {
+            self.adopt_trace(pid, trace, hop);
         }
 
         let guard = slot.lock.lock();
@@ -1248,7 +1510,7 @@ impl Mpf {
                 msg.dec_bcast_pending();
             }
         }
-        let freed = self.ctx(slot).reclaim_prefix();
+        let freed = self.ctx_t(slot, pid).reclaim_prefix();
         drop(guard);
 
         let received = picked.len() as u64;
@@ -1272,9 +1534,9 @@ impl Mpf {
                 lt.reclaims.fetch_add(freed as u64, Ordering::Relaxed);
             }
             // One clock read covers every sampled message in the batch.
-            if picked.iter().any(|&(.., sent_at)| sent_at != 0) {
+            if picked.iter().any(|&(_, _, _, _, sent_at, ..)| sent_at != 0) {
                 let now = now_nanos();
-                for &(.., sent_at) in &picked {
+                for &(_, _, _, _, sent_at, ..) in &picked {
                     if sent_at != 0 {
                         let lat = now.saturating_sub(sent_at);
                         t.latency_hist.record(lat);
@@ -1283,7 +1545,7 @@ impl Mpf {
                 }
             }
         }
-        for &(_, len, _, stamp, _) in &picked {
+        for &(_, len, _, stamp, ..) in &picked {
             self.trace(pid, EventKind::Recv, id.index(), len, stamp);
         }
         Ok(picked.len())

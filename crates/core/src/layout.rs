@@ -21,7 +21,7 @@ use crate::config::MpfConfig;
 /// Version of the region byte layout.  Bump on ANY change to the segment
 /// order, the constants below, or the in-region struct layouts; attach
 /// refuses regions with a different version ([`crate::MpfError::LayoutMismatch`]).
-pub const LAYOUT_VERSION: u32 = 4;
+pub const LAYOUT_VERSION: u32 = 5;
 
 /// Magic at byte 0 of every MPF region ("MPFREGN1" little-endian).
 pub const REGION_MAGIC: u64 = u64::from_le_bytes(*b"MPFREGN1");
@@ -50,9 +50,9 @@ pub struct RegionLayout {
 /// lists, counts, stamp.  `mpf-ipc` const-asserts its `#[repr(C)]` struct
 /// against this.
 pub const LNVC_DESC_BYTES: usize = 192;
-/// Bytes per message header: len, chain, next, pending, flags, stamp,
-/// send timestamp (for the send→receive latency histogram).
-pub const MSG_HEADER_BYTES: usize = 48;
+/// Bytes per message header: len, chain, next, pending, flags, hop,
+/// stamp, send timestamp (latency histogram), causal trace id.
+pub const MSG_HEADER_BYTES: usize = 56;
 /// Bytes per send-connection descriptor: pid, next.
 pub const SEND_DESC_BYTES: usize = 8;
 /// Bytes per receive-connection descriptor: pid, next, protocol, head.
@@ -77,6 +77,9 @@ pub const FLIGHT_RING_BYTES: usize = mpf_shm::telemetry::FLIGHT_RING_BYTES;
 /// Bytes per aio submission/completion ring (header + descriptor slots);
 /// see `mpf_shm::ring::AioRing`.  Each process slot owns one SQ and one CQ.
 pub const AIO_RING_BYTES: usize = mpf_shm::ring::AIO_RING_BYTES;
+/// Bytes per process causal trace ring (single-writer, seqlock-published,
+/// KB-sized); see `mpf_shm::tracering::TraceRing`.
+pub const TRACE_RING_BYTES: usize = mpf_shm::tracering::TRACE_RING_BYTES;
 
 impl RegionLayout {
     /// Computes the layout for `cfg`.
@@ -233,6 +236,14 @@ impl RegionLayout {
             cfg.max_processes as usize * FLIGHT_RING_BYTES,
             cfg.max_processes as usize,
         );
+        // One single-writer causal trace ring per process slot, next to
+        // the flight rings: deeper (KB-sized) and message-centric, the
+        // substrate of `mpf-trace`'s post-mortem reconstruction.
+        push(
+            "trace rings",
+            cfg.max_processes as usize * TRACE_RING_BYTES,
+            cfg.max_processes as usize,
+        );
         // Batched-submission rings: one SQ + one CQ per process slot,
         // each a fixed-size `mpf_shm::ring::AioRing`.
         push(
@@ -348,6 +359,9 @@ mod tests {
         assert!(header.bytes >= REGION_HEADER_BYTES);
         let slots = ipc.segment("process slots").unwrap();
         assert_eq!(slots.slots, cfg.max_processes as usize);
+        let traces = ipc.segment("trace rings").unwrap();
+        assert_eq!(traces.slots, cfg.max_processes as usize);
+        assert_eq!(traces.bytes, cfg.max_processes as usize * TRACE_RING_BYTES);
         // Every thread-backend segment exists in the ipc carve too.
         for s in &RegionLayout::for_config(&cfg).segments {
             assert!(

@@ -18,6 +18,8 @@ use mpf_shm::idxstack::NIL;
 use mpf_shm::lock::{LockKind, ShmLock};
 use mpf_shm::pool::Pool;
 use mpf_shm::process::ProcessId;
+use mpf_shm::telemetry::now_nanos;
+use mpf_shm::tracering::{TraceRing, TR_RECLAIM};
 use mpf_shm::waitq::WaitQueue;
 
 use crate::block::{BlockPool, Chain};
@@ -56,8 +58,6 @@ pub struct LnvcSlot {
     n_fcfs: AtomicU32,
     /// Connected BROADCAST receivers.
     n_bcast: AtomicU32,
-    /// Next send sequence number (time-ordering witness).
-    next_stamp: AtomicU64,
     /// Receivers blocked in `message_receive` wait here.
     pub waitq: WaitQueue,
 }
@@ -84,7 +84,6 @@ impl LnvcSlot {
             n_senders: AtomicU32::new(0),
             n_fcfs: AtomicU32::new(0),
             n_bcast: AtomicU32::new(0),
-            next_stamp: AtomicU64::new(0),
             waitq: WaitQueue::new(),
         }
     }
@@ -101,7 +100,6 @@ impl LnvcSlot {
         self.n_senders.store(0, Ordering::Relaxed);
         self.n_fcfs.store(0, Ordering::Relaxed);
         self.n_bcast.store(0, Ordering::Relaxed);
-        self.next_stamp.store(0, Ordering::Relaxed);
         self.active.store(true, Ordering::Release);
     }
 
@@ -177,9 +175,37 @@ pub struct Ctx<'a> {
     pub sends: &'a Pool<SendConn>,
     /// Receive-descriptor pool.
     pub recvs: &'a Pool<RecvConn>,
+    /// Causal trace ring of the process driving this operation, when the
+    /// caller knows it (reclaims of traced messages are recorded here).
+    pub tring: Option<&'a TraceRing>,
+    /// Facility-global send stamp counter.  Global — not per-LNVC — so a
+    /// stamp identifies one message region-wide, the identity causal
+    /// tracing and the conformance checker key on (the IPC backend's
+    /// `next_stamp` header field has the same contract).
+    pub stamps: &'a AtomicU64,
 }
 
 impl<'a> Ctx<'a> {
+    /// Records the reclamation of a traced message, if a ring is attached.
+    /// Called at every site that frees a message header back to the pool.
+    #[inline]
+    fn note_reclaim(&self, m: &MsgSlot, msg_idx: u32) {
+        if let Some(ring) = self.tring {
+            let trace = m.trace();
+            if trace != 0 {
+                ring.record_at(
+                    now_nanos(),
+                    trace,
+                    m.stamp(),
+                    TR_RECLAIM,
+                    m.hop(),
+                    u32::MAX,
+                    msg_idx,
+                    0,
+                );
+            }
+        }
+    }
     /// Finds `pid`'s send descriptor.
     pub fn find_send(&self, pid: ProcessId) -> Option<u32> {
         let mut idx = self.lnvc.send_list.load(Ordering::Relaxed);
@@ -279,7 +305,7 @@ impl<'a> Ctx<'a> {
     /// broadcast receiver at it.  Returns the message's stamp.
     pub fn enqueue(&self, msg_idx: u32, payload_len: usize, chain: Chain) -> u64 {
         let lnvc = self.lnvc;
-        let stamp = lnvc.next_stamp.fetch_add(1, Ordering::Relaxed);
+        let stamp = self.stamps.fetch_add(1, Ordering::Relaxed);
         let n_bcast = lnvc.n_bcast();
         // A message owes an FCFS delivery if FCFS receivers are connected,
         // or if nobody is listening yet (it waits for a future receiver —
@@ -362,6 +388,7 @@ impl<'a> Ctx<'a> {
             if lnvc.fcfs_head.load(Ordering::Relaxed) == head {
                 lnvc.fcfs_head.store(next, Ordering::Relaxed);
             }
+            self.note_reclaim(m, head);
             self.blocks.free_chain(Chain {
                 head: m.head_block(),
                 blocks: m.blocks(),
@@ -424,6 +451,7 @@ impl<'a> Ctx<'a> {
                 if lnvc.fcfs_head.load(Ordering::Relaxed) == idx {
                     lnvc.fcfs_head.store(next, Ordering::Relaxed);
                 }
+                self.note_reclaim(m, idx);
                 self.blocks.free_chain(Chain {
                     head: m.head_block(),
                     blocks: m.blocks(),
@@ -463,6 +491,7 @@ impl<'a> Ctx<'a> {
             let m = self.msgs.get(idx);
             debug_assert!(!m.is_pinned(), "deleting an LNVC with an in-flight copy");
             let next = m.next();
+            self.note_reclaim(m, idx);
             self.blocks.free_chain(Chain {
                 head: m.head_block(),
                 blocks: m.blocks(),
@@ -664,6 +693,7 @@ mod tests {
         blocks: BlockPool,
         sends: Pool<SendConn>,
         recvs: Pool<RecvConn>,
+        stamps: AtomicU64,
     }
 
     impl Fixture {
@@ -674,6 +704,7 @@ mod tests {
                 blocks: BlockPool::new(128, 10),
                 sends: Pool::new(8),
                 recvs: Pool::new(8),
+                stamps: AtomicU64::new(0),
             };
             f.lnvc.activate();
             f
@@ -686,6 +717,8 @@ mod tests {
                 blocks: &self.blocks,
                 sends: &self.sends,
                 recvs: &self.recvs,
+                tring: None,
+                stamps: &self.stamps,
             }
         }
 

@@ -49,6 +49,11 @@ pub struct MsgSlot {
     /// Wall-clock nanoseconds at send time (0 = unstamped), feeding the
     /// telemetry send→receive latency histogram.
     sent_at: AtomicU64,
+    /// Causal trace id (0 = untraced; bit 63 = sampled flag).  Stamped at
+    /// send, read at delivery to continue the chain.
+    trace: AtomicU64,
+    /// Hop count of the causal chain this message continues (0 = root).
+    hop: AtomicU32,
 }
 
 impl Default for MsgSlot {
@@ -64,6 +69,8 @@ impl Default for MsgSlot {
             copying: AtomicU32::new(0),
             stamp: AtomicU64::new(0),
             sent_at: AtomicU64::new(0),
+            trace: AtomicU64::new(0),
+            hop: AtomicU32::new(0),
         }
     }
 }
@@ -90,6 +97,8 @@ impl MsgSlot {
         self.copying.store(0, Ordering::Relaxed);
         self.stamp.store(stamp, Ordering::Relaxed);
         self.sent_at.store(0, Ordering::Relaxed);
+        self.trace.store(0, Ordering::Relaxed);
+        self.hop.store(0, Ordering::Relaxed);
     }
 
     /// Payload length in bytes.
@@ -189,6 +198,23 @@ impl MsgSlot {
     /// Send wall-clock nanoseconds, 0 if telemetry was off at send time.
     pub fn sent_at(&self) -> u64 {
         self.sent_at.load(Ordering::Relaxed)
+    }
+
+    /// Stamps the causal trace id and hop (written under the LNVC lock
+    /// before the message becomes visible to receivers).
+    pub fn set_trace(&self, trace: u64, hop: u32) {
+        self.trace.store(trace, Ordering::Relaxed);
+        self.hop.store(hop, Ordering::Relaxed);
+    }
+
+    /// Causal trace id, 0 if the chain was not sampled.
+    pub fn trace(&self) -> u64 {
+        self.trace.load(Ordering::Relaxed)
+    }
+
+    /// Hop count within the causal chain (0 = root send).
+    pub fn hop(&self) -> u32 {
+        self.hop.load(Ordering::Relaxed)
     }
 
     /// A message is consumed — and its region memory reclaimable — once no

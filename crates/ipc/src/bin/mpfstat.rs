@@ -1,7 +1,7 @@
 //! `mpfstat` — inspect a named MPF shared-memory region, live or dead.
 //!
 //! ```text
-//! mpfstat <region-name> [--json] [--watch [seconds]] [--ring N]
+//! mpfstat <region-name> [--json] [--watch [seconds]] [--ring N] [--trace]
 //! ```
 //!
 //! Attaches **read-only** ([`RegionInspector`]): no process slot is
@@ -13,24 +13,33 @@
 //!
 //! `--json` emits one machine-readable document instead (hand-rolled —
 //! the workspace is dependency-free by design).  `--watch` re-samples
-//! every `seconds` (default 1), printing counter deltas per interval.
+//! every `seconds` (default 1), printing counter deltas per interval
+//! with sparkline rate history.  `--trace` switches to the causal
+//! trace-ring subview: per-process ring occupancy/drops plus the raw
+//! record tail `mpf-trace` reconstructs chains from.
 
 use std::fmt::Write as _;
 use std::time::Duration;
 
 use mpf_ipc::inspect::RegionInspector;
 use mpf_shm::telemetry::{event_name, HistSnapshot, TelSnapshot};
+use mpf_shm::tracering::trace_event_name;
+
+const USAGE: &str =
+    "usage: mpfstat <region-name> [--json] [--watch [seconds]] [--ring N] [--trace]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut name = None;
     let mut json = false;
+    let mut trace = false;
     let mut watch: Option<Duration> = None;
     let mut ring_tail = 16usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--json" => json = true,
+            "--trace" => trace = true,
             "--watch" => {
                 let secs = args
                     .get(i + 1)
@@ -46,7 +55,7 @@ fn main() {
                 }
             }
             "--help" | "-h" => {
-                eprintln!("usage: mpfstat <region-name> [--json] [--watch [seconds]] [--ring N]");
+                eprintln!("{USAGE}");
                 return;
             }
             other if name.is_none() && !other.starts_with('-') => name = Some(other.to_string()),
@@ -58,7 +67,7 @@ fn main() {
         i += 1;
     }
     let Some(name) = name else {
-        eprintln!("usage: mpfstat <region-name> [--json] [--watch [seconds]] [--ring N]");
+        eprintln!("{USAGE}");
         std::process::exit(2);
     };
 
@@ -72,26 +81,33 @@ fn main() {
 
     match watch {
         None => {
-            let out = if json {
-                render_json(&insp, ring_tail)
-            } else {
-                render_text(&insp, ring_tail, None)
+            let out = match (trace, json) {
+                (true, true) => render_trace_json(&insp, ring_tail),
+                (true, false) => render_trace_text(&insp, ring_tail),
+                (false, true) => render_json(&insp, ring_tail),
+                (false, false) => render_text(&insp, ring_tail, &[]),
             };
             println!("{out}");
         }
         Some(interval) => {
             let mut prev = insp.telemetry_snapshot();
+            // Per-interval counter deltas, oldest first — the raw series
+            // the sparklines are drawn from.
+            let mut history: Vec<TelSnapshot> = Vec::new();
             loop {
                 std::thread::sleep(interval);
                 let now = insp.telemetry_snapshot();
-                let out = if json {
+                history.push(now.diff(&prev));
+                if history.len() > SPARK_WIDTH {
+                    history.remove(0);
+                }
+                let out = if trace {
+                    format!("\x1b[2J\x1b[H{}", render_trace_text(&insp, ring_tail))
+                } else if json {
                     render_json(&insp, ring_tail)
                 } else {
                     // ANSI clear-screen + home keeps the table in place.
-                    format!(
-                        "\x1b[2J\x1b[H{}",
-                        render_text(&insp, ring_tail, Some(now.diff(&prev)))
-                    )
+                    format!("\x1b[2J\x1b[H{}", render_text(&insp, ring_tail, &history))
                 };
                 println!("{out}");
                 prev = now;
@@ -101,10 +117,45 @@ fn main() {
 }
 
 // ---------------------------------------------------------------------------
+// Sparklines
+// ---------------------------------------------------------------------------
+
+/// Intervals of history a `--watch` sparkline spans.
+const SPARK_WIDTH: usize = 32;
+
+const SPARK_RAMP: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// One block glyph per value, scaled to the series maximum (a flat-zero
+/// series renders as a baseline).
+fn spark(values: impl Iterator<Item = u64>) -> String {
+    let values: Vec<u64> = values.collect();
+    let max = values.iter().copied().max().unwrap_or(0);
+    values
+        .iter()
+        .map(|&v| {
+            if max == 0 || v == 0 {
+                SPARK_RAMP[0]
+            } else {
+                SPARK_RAMP[1 + (v * 6 / max) as usize]
+            }
+        })
+        .collect()
+}
+
+/// Histogram bucket profile, trimmed to the occupied prefix.
+fn hist_spark(h: &HistSnapshot) -> String {
+    let last = match h.buckets.iter().rposition(|&b| b != 0) {
+        Some(i) => i,
+        None => return String::new(),
+    };
+    format!("  [{}]", spark(h.buckets[..=last].iter().copied()))
+}
+
+// ---------------------------------------------------------------------------
 // Text rendering
 // ---------------------------------------------------------------------------
 
-fn render_text(insp: &RegionInspector, ring_tail: usize, delta: Option<TelSnapshot>) -> String {
+fn render_text(insp: &RegionInspector, ring_tail: usize, history: &[TelSnapshot]) -> String {
     let mut s = String::new();
     let cfg = insp.config();
     let _ = writeln!(
@@ -216,15 +267,32 @@ fn render_text(insp: &RegionInspector, ring_tail: usize, delta: Option<TelSnapsh
         "  lnvcs created {} / deleted {}  sweeps {}  peers-died {}",
         t.lnvcs_created, t.lnvcs_deleted, t.sweeps, t.peers_died
     );
-    if let Some(d) = delta {
+    if let Some(d) = history.last() {
         let _ = writeln!(
             s,
             "  Δ interval: sends {}  receives {}  bytes-in {}  bytes-out {}",
             d.sends, d.receives, d.bytes_in, d.bytes_out
         );
+        let _ = writeln!(
+            s,
+            "  sends/ivl    {}\n  receives/ivl {}\n  bytes-in/ivl {}",
+            spark(history.iter().map(|d| d.sends)),
+            spark(history.iter().map(|d| d.receives)),
+            spark(history.iter().map(|d| d.bytes_in)),
+        );
     }
-    let _ = writeln!(s, "\nmessage size   {}", hist_line(&t.size_hist, "B"));
-    let _ = writeln!(s, "send→recv lat  {}", hist_line(&t.latency_hist, "ns"));
+    let _ = writeln!(
+        s,
+        "\nmessage size   {}{}",
+        hist_line(&t.size_hist, "B"),
+        hist_spark(&t.size_hist)
+    );
+    let _ = writeln!(
+        s,
+        "send→recv lat  {}{}",
+        hist_line(&t.latency_hist, "ns"),
+        hist_spark(&t.latency_hist)
+    );
 
     let rings: Vec<_> = insp
         .aio_rings()
@@ -496,5 +564,135 @@ fn render_json(insp: &RegionInspector, ring_tail: usize) -> String {
         t.peers_died,
         jhist(&t.size_hist),
         jhist(&t.latency_hist),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Trace subview (`--trace`)
+// ---------------------------------------------------------------------------
+
+fn render_trace_text(insp: &RegionInspector, ring_tail: usize) -> String {
+    let mut s = String::new();
+    let every = insp.config().trace_sample_every;
+    let _ = writeln!(
+        s,
+        "region {} — causal tracing {}",
+        insp.name(),
+        match every {
+            0 => "off".to_string(),
+            1 => "on (every chain)".to_string(),
+            n => format!("on (1-in-{n} chains)"),
+        },
+    );
+
+    let rings: Vec<_> = insp
+        .trace_rings()
+        .into_iter()
+        .filter(|r| r.recorded > 0 || r.sampled_out > 0)
+        .collect();
+    let _ = writeln!(s, "\ntrace rings ({} active):", rings.len());
+    let _ = writeln!(
+        s,
+        "  {:>4} {:>8} {:>9} {:>6} {:>6} {:>11}",
+        "pid", "os-pid", "recorded", "live", "lost", "sampled-out"
+    );
+    for r in &rings {
+        let _ = writeln!(
+            s,
+            "  {:>4} {:>8} {:>9} {:>6} {:>6} {:>11}",
+            r.pid,
+            r.writer_pid,
+            r.recorded,
+            r.recorded - r.overwritten,
+            r.overwritten,
+            r.sampled_out,
+        );
+    }
+
+    for r in &rings {
+        let ev = insp.trace_events(r.pid);
+        if ev.is_empty() {
+            continue;
+        }
+        let _ = writeln!(
+            s,
+            "\ntrace tail, mpf pid {} (os pid {}):",
+            r.pid, r.writer_pid
+        );
+        for e in ev.iter().rev().take(ring_tail).rev() {
+            let _ = writeln!(
+                s,
+                "  #{:<6} t={} {:<10} trace={:#x} hop={} stamp={} lnvc={} arg={} arg2={}",
+                e.seq,
+                e.tstamp,
+                trace_event_name(e.kind),
+                e.trace,
+                e.hop,
+                e.stamp,
+                if e.lnvc == u32::MAX {
+                    "-".into()
+                } else {
+                    e.lnvc.to_string()
+                },
+                e.arg,
+                e.arg2,
+            );
+        }
+    }
+    if rings.is_empty() {
+        let _ = writeln!(
+            s,
+            "\n(no trace records; was the region created with tracing on?)"
+        );
+    }
+    s
+}
+
+fn render_trace_json(insp: &RegionInspector, ring_tail: usize) -> String {
+    let rings = insp
+        .trace_rings()
+        .iter()
+        .filter(|r| r.recorded > 0 || r.sampled_out > 0)
+        .map(|r| {
+            let ev = insp.trace_events(r.pid);
+            let tail = ev
+                .iter()
+                .rev()
+                .take(ring_tail)
+                .rev()
+                .map(|e| {
+                    format!(
+                        "{{\"seq\":{},\"tstamp\":{},\"kind\":{},\"trace\":\"{:#x}\",\
+                         \"hop\":{},\"stamp\":{},\"lnvc\":{},\"arg\":{},\"arg2\":{}}}",
+                        e.seq,
+                        e.tstamp,
+                        jstr(trace_event_name(e.kind)),
+                        e.trace,
+                        e.hop,
+                        e.stamp,
+                        if e.lnvc == u32::MAX {
+                            "null".into()
+                        } else {
+                            e.lnvc.to_string()
+                        },
+                        e.arg,
+                        e.arg2,
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            format!(
+                "{{\"pid\":{},\"os_pid\":{},\"recorded\":{},\"overwritten\":{},\
+                 \"sampled_out\":{},\"events\":[{tail}]}}",
+                r.pid, r.writer_pid, r.recorded, r.overwritten, r.sampled_out,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"region\":{},\"trace_enabled\":{},\"sample_every\":{},\"trace_rings\":[{rings}]}}",
+        jstr(insp.name()),
+        insp.trace_enabled(),
+        insp.config().trace_sample_every,
     )
 }

@@ -29,6 +29,10 @@ use mpf_shm::telemetry::{
     TelSnapshot, EV_CLOSE_RECV, EV_CLOSE_SEND, EV_LOCK_CONTEND, EV_OPEN_RECV, EV_OPEN_SEND,
     EV_POISONED, EV_RECLAIM, EV_RECV, EV_RECV_BLOCK, EV_SEND, EV_SEND_BLOCK, EV_SWEEP_DEAD,
 };
+use mpf_shm::tracering::{
+    TraceEvent, TraceRing, TR_CLOSE_RECV, TR_ENQUEUE, TR_OPEN_RECV, TR_POISON, TR_RECLAIM, TR_RECV,
+    TR_RECV_B, TR_SEND, TR_WAKEUP,
+};
 use mpf_shm::ShmRegion;
 
 use crate::shmem::{
@@ -128,6 +132,7 @@ pub(crate) struct Offsets {
     pub(crate) fac_tel: usize,
     pub(crate) lnvc_tel: usize,
     pub(crate) rings: usize,
+    pub(crate) trace_rings: usize,
     pub(crate) aio_sq: usize,
     pub(crate) aio_cq: usize,
 }
@@ -158,6 +163,7 @@ pub(crate) fn offsets_for(cfg: &MpfConfig) -> Offsets {
         fac_tel: seg("facility telemetry"),
         lnvc_tel: seg("lnvc telemetry"),
         rings: seg("flight rings"),
+        trace_rings: seg("trace rings"),
         aio_sq: seg("aio sq rings"),
         aio_cq: seg("aio cq rings"),
     }
@@ -180,6 +186,18 @@ pub struct IpcMpf {
     latency_every: u32,
     /// Local send counter driving the 1-in-N latency sample.
     latency_tick: AtomicU64,
+    /// Chain-sampling period (creator's choice, echoed in the header):
+    /// mint a traced root for 1-in-N new causal chains; 0 disables
+    /// tracing entirely.
+    trace_every: u32,
+    /// Local counter driving root-id serials and the 1-in-N chain sample.
+    trace_tick: AtomicU64,
+    /// This process's causal context: the chain of its last delivery,
+    /// which its next send continues (one handle = one process).  An
+    /// untraced delivery clears it, so unsampled chains never splice
+    /// into sampled ones.
+    ctx_trace: AtomicU64,
+    ctx_hop: AtomicU32,
 }
 
 impl IpcMpf {
@@ -187,6 +205,9 @@ impl IpcMpf {
 
     /// Creates the named region, carves it, and claims process slot 0.
     pub fn create(name: &str, cfg: &MpfConfig) -> std::result::Result<Self, AttachError> {
+        // Calibrate the cycle-counter clock before any event can need a
+        // timestamp (one-time cost, shared by telemetry and tracing).
+        mpf_shm::clock::calibrate();
         let layout = RegionLayout::for_ipc(cfg);
         let total = layout.total_bytes();
         let region = ShmRegion::create(name, total)?;
@@ -206,6 +227,10 @@ impl IpcMpf {
             tel_on: cfg.telemetry,
             latency_every: cfg.latency_sample_every.max(1),
             latency_tick: AtomicU64::new(0),
+            trace_every: cfg.trace_sample_every,
+            trace_tick: AtomicU64::new(0),
+            ctx_trace: AtomicU64::new(0),
+            ctx_hop: AtomicU32::new(0),
         };
         this.carve(cfg, total);
         this.me = this.claim_slot().map_err(AttachError::Mpf)?;
@@ -247,6 +272,7 @@ impl IpcMpf {
     }
 
     fn adopt(region: ShmRegion) -> std::result::Result<Self, AttachError> {
+        mpf_shm::clock::calibrate();
         if region.len() < std::mem::size_of::<RegionHeader>() {
             return Err(MpfError::LayoutMismatch {
                 expected: LAYOUT_VERSION,
@@ -281,18 +307,10 @@ impl IpcMpf {
             }
             .into());
         }
-        let echo = &header.cfg;
-        let mut cfg = MpfConfig::new(
-            echo.max_lnvcs.load(Ordering::Acquire),
-            echo.max_processes.load(Ordering::Acquire),
-        )
-        .with_block_payload(echo.block_payload.load(Ordering::Acquire) as usize)
-        .with_total_blocks(echo.total_blocks.load(Ordering::Acquire))
-        .with_max_messages(echo.max_messages.load(Ordering::Acquire));
-        cfg.max_send_conns = echo.max_send_conns.load(Ordering::Acquire);
-        cfg.max_recv_conns = echo.max_recv_conns.load(Ordering::Acquire);
-        cfg.telemetry = echo.telemetry.load(Ordering::Acquire) != 0;
-        cfg.latency_sample_every = echo.latency_sample_every.load(Ordering::Acquire).max(1);
+        let cfg = header.cfg.decode().ok_or(MpfError::LayoutMismatch {
+            expected: LAYOUT_VERSION,
+            found,
+        })?;
         // Defense in depth beyond the version word: the creator stored the
         // total it carved; if OUR layout computation for the echoed config
         // disagrees, this binary and the creator carve different segment
@@ -321,6 +339,10 @@ impl IpcMpf {
             tel_on: cfg.telemetry,
             latency_every: cfg.latency_sample_every,
             latency_tick: AtomicU64::new(0),
+            trace_every: cfg.trace_sample_every,
+            trace_tick: AtomicU64::new(0),
+            ctx_trace: AtomicU64::new(0),
+            ctx_hop: AtomicU32::new(0),
         };
         this.me = this.claim_slot().map_err(AttachError::Mpf)?;
         Ok(this)
@@ -358,6 +380,9 @@ impl IpcMpf {
         h.cfg
             .latency_sample_every
             .store(cfg.latency_sample_every.max(1), Ordering::Relaxed);
+        h.cfg
+            .trace_sample_every
+            .store(cfg.trace_sample_every, Ordering::Relaxed);
         // Thread the four free lists (region bytes start zeroed; push in
         // reverse so pops hand out low indices first).
         h.msg_free.reset();
@@ -420,6 +445,7 @@ impl IpcMpf {
                     // recycled slot the predecessor's (timestamped) events
                     // remain readable until overwritten.
                     self.ring(i).set_writer_pid(std::process::id());
+                    self.trace_ring(i).set_writer_pid(std::process::id());
                     return Ok(i);
                 }
             }
@@ -515,6 +541,15 @@ impl IpcMpf {
         unsafe {
             self.region
                 .at(self.off.rings + p as usize * std::mem::size_of::<FlightRing>())
+        }
+    }
+
+    /// Process `p`'s causal trace ring.
+    fn trace_ring(&self, p: u32) -> &TraceRing {
+        debug_assert!(p < self.counts.max_processes);
+        unsafe {
+            self.region
+                .at(self.off.trace_rings + p as usize * std::mem::size_of::<TraceRing>())
         }
     }
 
@@ -627,7 +662,9 @@ impl IpcMpf {
             // Poison is sticky, so every later acquire lands here too —
             // log the flight event only on the 0→1 transition.
             if d.poisoned.swap(1, Ordering::AcqRel) == 0 {
-                self.fly(EV_POISONED, NIL, d.dead_pid.load(Ordering::Acquire) as u64);
+                let dead = d.dead_pid.load(Ordering::Acquire);
+                self.fly(EV_POISONED, NIL, dead as u64);
+                self.trace_pop(TR_POISON, NIL, dead);
             }
             d.waitq.notify_all();
         }
@@ -648,11 +685,110 @@ impl IpcMpf {
                 .is_multiple_of(u64::from(self.latency_every))
     }
 
+    // -- causal tracing -------------------------------------------------
+
+    /// Whether causal tracing is enabled for this region (the creator's
+    /// `trace_sample_rate(0)` turns it off, echoed in the header).
+    #[inline]
+    fn tracing(&self) -> bool {
+        self.trace_every != 0
+    }
+
+    /// Decides the (trace id, hop) of a send by this process: continues
+    /// the chain of the process's last delivery when there is one, else
+    /// mints a root id — sampled 1-in-N, with the owner pid in bits
+    /// 40..63, a serial in the low 40 bits, and the sampled flag in bit
+    /// 63.  `(0, 0)` = untraced.
+    fn trace_for_send(&self) -> (u64, u32) {
+        if !self.tracing() {
+            return (0, 0);
+        }
+        let inherited = self.ctx_trace.load(Ordering::Relaxed);
+        if inherited != 0 {
+            return (inherited, self.ctx_hop.load(Ordering::Relaxed) + 1);
+        }
+        let n = self.trace_tick.fetch_add(1, Ordering::Relaxed);
+        if !n.is_multiple_of(u64::from(self.trace_every)) {
+            self.trace_ring(self.me).note_skipped();
+            return (0, 0);
+        }
+        // The serial is process-local, but the owner bits make roots
+        // unique region-wide.
+        let root = (1u64 << 63) | ((u64::from(self.me) + 1) << 40) | (n & ((1u64 << 40) - 1));
+        (root, 0)
+    }
+
+    /// Appends one record to this process's trace ring; a no-op for
+    /// untraced chains, so callers thread the gate through `trace == 0`.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn trace_rec(
+        &self,
+        kind: u32,
+        hop: u32,
+        trace: u64,
+        lnvc: u32,
+        stamp: u64,
+        arg: u32,
+        arg2: u32,
+    ) {
+        self.trace_rec_at(0, kind, hop, trace, lnvc, stamp, arg, arg2);
+    }
+
+    /// [`trace_rec`](Self::trace_rec) with a timestamp the caller already
+    /// has (0 = read the clock here), sharing one clock read across the
+    /// trace records, latency sample, and flight records of an operation.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn trace_rec_at(
+        &self,
+        tstamp: u64,
+        kind: u32,
+        hop: u32,
+        trace: u64,
+        lnvc: u32,
+        stamp: u64,
+        arg: u32,
+        arg2: u32,
+    ) {
+        if trace != 0 {
+            let t = if tstamp != 0 { tstamp } else { now_nanos() };
+            self.trace_ring(self.me)
+                .record_at(t, trace, stamp, kind, hop, lnvc, arg, arg2);
+        }
+    }
+
+    /// Records a marker event (`TR_OPEN_RECV` / `TR_CLOSE_RECV` /
+    /// `TR_POISON`).  Not sampled: the conformance checker needs the
+    /// receiver-population timeline even across untraced gaps.
+    fn trace_pop(&self, kind: u32, lnvc: u32, arg: u32) {
+        if self.tracing() {
+            self.trace_ring(self.me)
+                .record_at(now_nanos(), 0, 0, kind, 0, lnvc, arg, 0);
+        }
+    }
+
+    /// Adopts a delivered message's chain as this process's causal
+    /// context; an untraced delivery clears it.
+    #[inline]
+    fn adopt_trace(&self, trace: u64, hop: u32) {
+        if self.tracing() {
+            self.ctx_trace.store(trace, Ordering::Relaxed);
+            self.ctx_hop.store(hop, Ordering::Relaxed);
+        }
+    }
+
     // -- identity ------------------------------------------------------
 
     /// This process's MPF pid (its process-slot index).
     pub fn pid(&self) -> u32 {
         self.me
+    }
+
+    /// Number of process slots the region was carved for
+    /// (`MpfConfig::max_processes`).
+    pub fn max_processes(&self) -> u32 {
+        self.counts.max_processes
     }
 
     /// Total region bytes mapped.
@@ -778,6 +914,7 @@ impl IpcMpf {
             d.lock.unlock();
             if result.is_ok() {
                 self.fly(EV_OPEN_RECV, idx, proto_code(protocol) as u64);
+                self.trace_pop(TR_OPEN_RECV, idx, proto_code(protocol));
             }
             result
         })
@@ -854,13 +991,14 @@ impl IpcMpf {
                 if d.total_connections() == 0 {
                     self.delete_conversation(idx, d);
                 }
-                Ok(())
+                Ok(protocol)
             })();
             d.lock.unlock();
-            if result.is_ok() {
+            if let Ok(protocol) = result {
                 self.fly(EV_CLOSE_RECV, idx, 0);
+                self.trace_pop(TR_CLOSE_RECV, idx, protocol);
             }
-            result
+            result.map(|_| ())
         })
     }
 
@@ -923,6 +1061,12 @@ impl IpcMpf {
             let needs_fcfs = n_fcfs > 0 || (n_fcfs + n_bcast) == 0;
             let seq = d.next_seq.fetch_add(1, Ordering::AcqRel);
             let stamp = h.next_stamp.fetch_add(1, Ordering::AcqRel);
+            // Causal id stamped under the lock, before receivers can see
+            // the message; obligations are fixed at this instant, so the
+            // packed arg2 is what the conformance checker audits against.
+            let (trace, hop) = self.trace_for_send();
+            m.trace.store(trace, Ordering::Release);
+            m.hop.store(hop, Ordering::Release);
             m.seq.store(seq, Ordering::Release);
             m.stamp.store(stamp, Ordering::Release);
             m.bcast_pending.store(n_bcast, Ordering::Release);
@@ -951,16 +1095,26 @@ impl IpcMpf {
                 bump(&lt.bytes_in, payload.len() as u64);
                 lt.note_depth(depth as u64);
             }
-            Ok(())
+            Ok((stamp, trace, hop, (u32::from(needs_fcfs) << 16) | n_bcast))
         })();
         d.lock.unlock();
         match result {
-            Ok(()) => {
+            Ok((stamp, trace, hop, obligations)) => {
                 if sent_at != 0 {
                     self.fly_at(sent_at, EV_SEND, idx, payload.len() as u64);
                 } else {
                     self.fly(EV_SEND, idx, payload.len() as u64);
                 }
+                self.trace_rec_at(
+                    sent_at,
+                    TR_SEND,
+                    hop,
+                    trace,
+                    idx,
+                    stamp,
+                    payload.len() as u32,
+                    obligations,
+                );
                 d.waitq.notify_all();
                 Ok(())
             }
@@ -1037,7 +1191,22 @@ impl IpcMpf {
             let result = self.receive_locked(idx, d, buf);
             d.lock.unlock();
             match result? {
-                Some(n) => return Ok(n),
+                Some(n) => {
+                    if waited && self.tracing() {
+                        // The delivery that ended the block; its chain is
+                        // the context receive_locked just adopted.
+                        self.trace_rec(
+                            TR_WAKEUP,
+                            self.ctx_hop.load(Ordering::Relaxed),
+                            self.ctx_trace.load(Ordering::Relaxed),
+                            idx,
+                            0,
+                            n as u32,
+                            0,
+                        );
+                    }
+                    return Ok(n);
+                }
                 None => {
                     if let Some(dl) = deadline {
                         if Instant::now() >= dl {
@@ -1120,6 +1289,8 @@ impl IpcMpf {
         m.len.store(payload.len() as u32, Ordering::Release);
         m.next.store(NIL, Ordering::Release);
         m.sent_at.store(0, Ordering::Release);
+        m.trace.store(0, Ordering::Release);
+        m.hop.store(0, Ordering::Release);
         Ok(m_idx)
     }
 
@@ -1170,16 +1341,22 @@ impl IpcMpf {
             // The descriptor carries everything the drain needs: the
             // message index, the length, and the handle generation (so a
             // recreated conversation fails the run instead of receiving
-            // a stranger's backlog).
+            // a stranger's backlog).  The causal id is decided here —
+            // staging is the send's causal point — and the hop count
+            // rides the status field, which carries no meaning until
+            // completion.
+            let (trace, hop) = self.trace_for_send();
             let pushed = sq.try_push(RingEntry {
                 user_data: (u64::from(u32::try_from(i).unwrap_or(u32::MAX)) << 32)
                     | u64::from(id.generation()),
+                trace,
                 lnvc: idx,
                 arg0: m_idx,
                 arg1: buf.len() as u32,
-                status: 0,
+                status: hop as i32,
             });
             debug_assert!(pushed, "single-submitter ring had room");
+            self.trace_rec(TR_ENQUEUE, hop, trace, idx, 0, buf.len() as u32, i as u32);
             submitted += 1;
         }
         if submitted == 0 {
@@ -1232,6 +1409,7 @@ impl IpcMpf {
         let complete = |e: &RingEntry, status: i32| {
             let pushed = cq.try_push(RingEntry {
                 user_data: e.user_data >> 32,
+                trace: e.trace,
                 lnvc: e.lnvc,
                 arg0: 0,
                 arg1: e.arg1,
@@ -1250,6 +1428,7 @@ impl IpcMpf {
             Err(e) => return fail_all(e),
         };
         self.lock_lnvc(d);
+        let mut stamps: Vec<u64> = Vec::with_capacity(run.len());
         let result = (|| {
             if d.poisoned.load(Ordering::Acquire) != 0 {
                 return Err(MpfError::PeerDied {
@@ -1266,6 +1445,9 @@ impl IpcMpf {
             let n_fcfs = d.n_fcfs.load(Ordering::Acquire);
             let n_bcast = d.n_bcast.load(Ordering::Acquire);
             let needs_fcfs = n_fcfs > 0 || (n_fcfs + n_bcast) == 0;
+            // Obligations are shared by the whole run — one lock hold,
+            // one receiver population.
+            let obligations = (u32::from(needs_fcfs) << 16) | n_bcast;
             // One clock read covers every sampled stamp in the run.
             let now = if self.tel_on { now_nanos() } else { 0 };
             let mut bytes = 0u64;
@@ -1273,6 +1455,12 @@ impl IpcMpf {
                 let m = self.msg(e.arg0);
                 let seq = d.next_seq.fetch_add(1, Ordering::AcqRel);
                 let stamp = h.next_stamp.fetch_add(1, Ordering::AcqRel);
+                stamps.push(stamp);
+                // The staged hop rode the (pre-completion) status field.
+                if e.trace != 0 {
+                    m.trace.store(e.trace, Ordering::Release);
+                    m.hop.store(e.status as u32, Ordering::Release);
+                }
                 m.seq.store(seq, Ordering::Release);
                 m.stamp.store(stamp, Ordering::Release);
                 m.bcast_pending.store(n_bcast, Ordering::Release);
@@ -1308,11 +1496,11 @@ impl IpcMpf {
                 bump(&lt.bytes_in, bytes);
                 lt.note_depth(u64::from(d.msg_count.load(Ordering::Acquire)));
             }
-            Ok(now)
+            Ok((now, obligations))
         })();
         d.lock.unlock();
         match result {
-            Ok(now) => {
+            Ok((now, obligations)) => {
                 // One wake for the whole run — the amortisation the
                 // rings buy.
                 d.waitq.notify_all();
@@ -1320,6 +1508,17 @@ impl IpcMpf {
                     for e in run {
                         self.fly_at(now, EV_SEND, idx, u64::from(e.arg1));
                     }
+                }
+                for (e, &stamp) in run.iter().zip(&stamps) {
+                    self.trace_rec(
+                        TR_SEND,
+                        e.status as u32,
+                        e.trace,
+                        idx,
+                        stamp,
+                        e.arg1,
+                        obligations,
+                    );
                 }
                 for e in run {
                     complete(e, 0);
@@ -1337,6 +1536,7 @@ impl IpcMpf {
         while let Some(e) = cq.try_pop() {
             out.push(AioCompletion {
                 user_data: e.user_data,
+                trace: e.trace,
                 lnvc: e.lnvc,
                 len: e.arg1,
                 status: e.status,
@@ -1428,9 +1628,17 @@ impl IpcMpf {
             .ok_or(MpfError::NotConnected)?;
         let r = self.recv(conn);
         let bcast = r.protocol.load(Ordering::Acquire) == proto_code(Protocol::Broadcast);
+        // One clock read covers every trace record, latency sample, and
+        // flight record this batch produces.
+        let now = if self.tel_on || self.tracing() {
+            now_nanos()
+        } else {
+            0
+        };
         let mut received = 0usize;
         let mut bytes = 0u64;
         let mut sampled: Vec<u64> = Vec::new();
+        let mut last_chain = (0u64, 0u32);
         while received < max {
             let Some(m_idx) = self.next_deliverable(d, conn) else {
                 break;
@@ -1438,6 +1646,9 @@ impl IpcMpf {
             let m = self.msg(m_idx);
             let len = m.len.load(Ordering::Acquire) as usize;
             let sent_at = m.sent_at.load(Ordering::Acquire);
+            let stamp = m.stamp.load(Ordering::Acquire);
+            let trace = m.trace.load(Ordering::Acquire);
+            let hop = m.hop.load(Ordering::Acquire);
             let mut buf = vec![0u8; len];
             self.gather(m, &mut buf);
             if bcast {
@@ -1447,6 +1658,19 @@ impl IpcMpf {
             } else {
                 m.flags.fetch_or(msg_flags::FCFS_TAKEN, Ordering::AcqRel);
             }
+            // Delivery is claimed; record it before the batch's
+            // reclamation pass can append this message's TR_RECLAIM.
+            self.trace_rec_at(
+                now,
+                if bcast { TR_RECV_B } else { TR_RECV },
+                hop,
+                trace,
+                idx,
+                stamp,
+                len as u32,
+                0,
+            );
+            last_chain = (trace, hop);
             out.push(buf);
             received += 1;
             bytes += len as u64;
@@ -1457,9 +1681,10 @@ impl IpcMpf {
         if received == 0 {
             return Ok(0);
         }
-        let freed = self.reclaim_prefix(d);
+        // The last delivery of the batch becomes this process's context.
+        self.adopt_trace(last_chain.0, last_chain.1);
+        let freed = self.reclaim_prefix(d, now);
         if let Some(t) = self.tel() {
-            let now = now_nanos();
             let lt = self.lnvc_tel(idx);
             if freed > 0 {
                 t.reclaims.add(freed as u64);
@@ -1558,20 +1783,41 @@ impl IpcMpf {
         }
         // Read before reclaim may free the descriptor back to the pool.
         let sent_at = m.sent_at.load(Ordering::Acquire);
+        let stamp = m.stamp.load(Ordering::Acquire);
+        let trace = m.trace.load(Ordering::Acquire);
+        let hop = m.hop.load(Ordering::Acquire);
         self.gather(m, &mut buf[..len]);
         let r = self.recv(conn);
-        if r.protocol.load(Ordering::Acquire) == proto_code(Protocol::Broadcast) {
+        let bcast = r.protocol.load(Ordering::Acquire) == proto_code(Protocol::Broadcast);
+        if bcast {
             r.cursor
                 .store(m.seq.load(Ordering::Acquire) + 1, Ordering::Release);
             m.bcast_pending.fetch_sub(1, Ordering::AcqRel);
         } else {
             m.flags.fetch_or(msg_flags::FCFS_TAKEN, Ordering::AcqRel);
         }
-        let freed = self.reclaim_prefix(d);
+        // One clock read covers the trace records (delivery + reclaim),
+        // the latency sample, and both flight records of this receive.
+        let now = if self.tel_on || trace != 0 {
+            now_nanos()
+        } else {
+            0
+        };
+        // Delivery is claimed; record it before the reclamation sweep can
+        // append this message's TR_RECLAIM, so ring order matches logic.
+        self.adopt_trace(trace, hop);
+        self.trace_rec_at(
+            now,
+            if bcast { TR_RECV_B } else { TR_RECV },
+            hop,
+            trace,
+            idx,
+            stamp,
+            len as u32,
+            0,
+        );
+        let freed = self.reclaim_prefix(d, now);
         if let Some(t) = self.tel() {
-            // One clock read covers the latency sample and both flight
-            // records (reclaim + delivery) — this path runs per message.
-            let now = now_nanos();
             let lt = self.lnvc_tel(idx);
             if freed > 0 {
                 t.reclaims.add(freed as u64);
@@ -1616,8 +1862,10 @@ impl IpcMpf {
     }
 
     /// Pops fully-delivered messages off the queue head and frees them;
-    /// returns how many were freed.
-    fn reclaim_prefix(&self, d: &LnvcDesc) -> u32 {
+    /// returns how many were freed.  `tstamp` (0 = read the clock) dates
+    /// the freed messages' trace records — the receive hot paths pass the
+    /// clock read they already did.
+    fn reclaim_prefix(&self, d: &LnvcDesc, tstamp: u64) -> u32 {
         let mut freed = 0;
         loop {
             let head = d.q_head.load(Ordering::Acquire);
@@ -1638,7 +1886,7 @@ impl IpcMpf {
                 d.q_tail.store(NIL, Ordering::Release);
             }
             d.msg_count.fetch_sub(1, Ordering::AcqRel);
-            self.free_message(head);
+            self.free_message_at(head, tstamp);
             freed += 1;
         }
     }
@@ -1797,7 +2045,28 @@ impl IpcMpf {
     }
 
     fn free_message(&self, m_idx: u32) {
+        self.free_message_at(m_idx, 0);
+    }
+
+    fn free_message_at(&self, m_idx: u32, tstamp: u64) {
         let m = self.msg(m_idx);
+        // Reclaim is chain-attributed but not conversation-attributed
+        // (the descriptor may outlive its LNVC); clearing the id keeps a
+        // recycled descriptor from logging a second reclaim.
+        let trace = m.trace.load(Ordering::Acquire);
+        if trace != 0 {
+            self.trace_rec_at(
+                tstamp,
+                TR_RECLAIM,
+                m.hop.load(Ordering::Acquire),
+                trace,
+                NIL,
+                m.stamp.load(Ordering::Acquire),
+                m_idx,
+                0,
+            );
+            m.trace.store(0, Ordering::Release);
+        }
         self.free_block_chain(m.head_block.load(Ordering::Acquire));
         m.head_block.store(NIL, Ordering::Release);
         self.header()
@@ -2080,6 +2349,7 @@ impl IpcMpf {
                 d.dead_pid.store(dead, Ordering::Release);
                 if d.poisoned.swap(1, Ordering::AcqRel) == 0 {
                     self.fly(EV_POISONED, idx, dead as u64);
+                    self.trace_pop(TR_POISON, idx, dead);
                 }
                 // Nobody can drain a poisoned conversation (every
                 // receive now reports `PeerDied`), so its queued
@@ -2167,6 +2437,31 @@ impl IpcMpf {
             return Vec::new();
         }
         self.ring(pid).snapshot()
+    }
+
+    /// Whether causal tracing is enabled for this region (the creator's
+    /// choice, echoed in the header so every attacher agrees).
+    pub fn trace_enabled(&self) -> bool {
+        self.tracing()
+    }
+
+    /// The surviving contents of a process's causal trace ring, oldest
+    /// first (the `mpf-trace` crate reconstructs chains from these).
+    /// Readable for any pid — including a dead one, which is the point.
+    pub fn trace_events(&self, pid: u32) -> Vec<TraceEvent> {
+        if pid >= self.counts.max_processes {
+            return Vec::new();
+        }
+        self.trace_ring(pid).snapshot()
+    }
+
+    /// Occupancy of a process's trace ring: `(records ever written,
+    /// chains skipped by sampling)`; `None` for an out-of-range pid.
+    pub fn trace_ring_stats(&self, pid: u32) -> Option<(u64, u64)> {
+        (pid < self.counts.max_processes).then(|| {
+            let r = self.trace_ring(pid);
+            (r.head(), r.skipped())
+        })
     }
 
     // -- diagnostics ----------------------------------------------------

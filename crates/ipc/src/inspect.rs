@@ -27,6 +27,7 @@ use mpf::{MpfConfig, MpfError};
 use mpf_shm::ring::AioRing;
 use mpf_shm::telemetry::{FacilityTelemetry, HISTOGRAM_BUCKETS};
 use mpf_shm::telemetry::{FlightEvent, FlightRing, LnvcTelSnapshot, LnvcTelemetry, TelSnapshot};
+use mpf_shm::tracering::{TraceEvent, TraceRing, TRACE_RING_SLOTS};
 use mpf_shm::ShmRegion;
 
 use crate::facility::{offsets_for, AttachError, Offsets};
@@ -92,6 +93,22 @@ pub struct AioRingInfo {
     pub stats: AioStats,
 }
 
+/// Occupancy of one process's causal trace ring.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceRingInfo {
+    /// Slot index = MPF pid that owns the ring.
+    pub pid: u32,
+    /// OS pid that owns (or owned) the ring.
+    pub writer_pid: u32,
+    /// Records ever written (the ring keeps the most recent
+    /// [`TRACE_RING_SLOTS`]).
+    pub recorded: u64,
+    /// Of those, records already overwritten and lost.
+    pub overwritten: u64,
+    /// Causal chains never recorded because sampling skipped them.
+    pub sampled_out: u64,
+}
+
 /// A read-only attachment to a named region (live or post-mortem).
 #[derive(Debug)]
 pub struct RegionInspector {
@@ -132,17 +149,13 @@ impl RegionInspector {
             }
             .into());
         }
-        let echo = &header.cfg;
-        let mut cfg = MpfConfig::new(
-            echo.max_lnvcs.load(Ordering::Acquire),
-            echo.max_processes.load(Ordering::Acquire),
-        )
-        .with_block_payload(echo.block_payload.load(Ordering::Acquire) as usize)
-        .with_total_blocks(echo.total_blocks.load(Ordering::Acquire))
-        .with_max_messages(echo.max_messages.load(Ordering::Acquire));
-        cfg.max_send_conns = echo.max_send_conns.load(Ordering::Acquire);
-        cfg.max_recv_conns = echo.max_recv_conns.load(Ordering::Acquire);
-        cfg.telemetry = echo.telemetry.load(Ordering::Acquire) != 0;
+        // The echo is range-checked before any layout math: a corrupt
+        // region can present a READY header full of garbage, and the
+        // inspector's promise is a clean error, never a panic.
+        let cfg = header.cfg.decode().ok_or(MpfError::LayoutMismatch {
+            expected: LAYOUT_VERSION,
+            found,
+        })?;
         // Same defense as `IpcMpf::attach`: the stored total must match the
         // total THIS binary computes for the echoed config, else reader and
         // writer disagree on the segment map and every decoded offset lies.
@@ -216,6 +229,13 @@ impl RegionInspector {
         unsafe {
             self.region
                 .at(self.off.rings + p as usize * std::mem::size_of::<FlightRing>())
+        }
+    }
+
+    fn trace_ring(&self, p: u32) -> &TraceRing {
+        unsafe {
+            self.region
+                .at(self.off.trace_rings + p as usize * std::mem::size_of::<TraceRing>())
         }
     }
 
@@ -384,6 +404,39 @@ impl RegionInspector {
         }
         self.ring(pid).snapshot()
     }
+
+    /// Whether participants are recording causal traces (the creator's
+    /// sampling knob, echoed in the header; 0 = off).
+    pub fn trace_enabled(&self) -> bool {
+        self.cfg.trace_sample_every != 0
+    }
+
+    /// Tail of process `pid`'s causal trace ring, oldest first — the raw
+    /// material `mpf-trace` reconstructs chains from, readable for live
+    /// and dead processes alike.
+    pub fn trace_events(&self, pid: u32) -> Vec<TraceEvent> {
+        if pid >= self.cfg.max_processes {
+            return Vec::new();
+        }
+        self.trace_ring(pid).snapshot()
+    }
+
+    /// Every process slot's trace-ring occupancy.
+    pub fn trace_rings(&self) -> Vec<TraceRingInfo> {
+        (0..self.cfg.max_processes)
+            .map(|p| {
+                let r = self.trace_ring(p);
+                let recorded = r.head();
+                TraceRingInfo {
+                    pid: p,
+                    writer_pid: r.writer_pid(),
+                    recorded,
+                    overwritten: recorded.saturating_sub(TRACE_RING_SLOTS as u64),
+                    sampled_out: r.skipped(),
+                }
+            })
+            .collect()
+    }
 }
 
 /// Re-exported so binary and tests can size bucket tables without
@@ -490,6 +543,83 @@ mod tests {
             RegionInspector::attach(&unique_name("missing")),
             Err(AttachError::Io(_))
         ));
+    }
+
+    #[test]
+    fn inspector_surfaces_trace_rings() {
+        if !mpf_shm::sys::HAVE_SYSCALLS {
+            return;
+        }
+        let name = unique_name("trace");
+        let mpf = IpcMpf::create(&name, &small_cfg()).unwrap();
+        let tx = mpf.open_send("traced").unwrap();
+        let rx = mpf.open_receive("traced", Protocol::Fcfs).unwrap();
+        mpf.message_send(tx, b"follow me").unwrap();
+        let mut buf = [0u8; 16];
+        mpf.message_receive(rx, &mut buf).unwrap();
+
+        let insp = RegionInspector::attach(&name).unwrap();
+        assert!(insp.trace_enabled());
+        let rings = insp.trace_rings();
+        assert_eq!(rings.len(), 4, "one trace ring per process slot");
+        let mine = rings[mpf.pid() as usize];
+        assert!(mine.recorded >= 3, "open marker + send + recv at least");
+        assert_eq!(mine.overwritten, 0);
+        assert_eq!(mine.writer_pid, std::process::id());
+        let ev = insp.trace_events(mpf.pid());
+        assert_eq!(ev.len() as u64, mine.recorded);
+        assert!(ev.iter().any(|e| e.trace != 0), "a traced send survived");
+    }
+
+    /// Seeded byte-flip fuzz: whatever single byte is corrupted, the
+    /// inspector must either attach cleanly or return an error — never
+    /// panic, never hang.  Each flip is restored before the next so the
+    /// probes stay independent.
+    #[test]
+    fn inspector_survives_seeded_corruption() {
+        if !mpf_shm::sys::HAVE_SYSCALLS {
+            return;
+        }
+        let name = unique_name("fuzz");
+        let mpf = IpcMpf::create(&name, &small_cfg()).unwrap();
+        let tx = mpf.open_send("victim").unwrap();
+        let _rx = mpf.open_receive("victim", Protocol::Fcfs).unwrap();
+        for i in 0..4u8 {
+            mpf.message_send(tx, &[i; 100]).unwrap();
+        }
+        let raw = ShmRegion::attach(&name).unwrap();
+        let len = raw.len();
+        // xorshift64*: deterministic, so a failure reproduces exactly.
+        let mut seed = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..256 {
+            let r = next();
+            let off = (r as usize) % len;
+            let flip = ((r >> 40) as u8) | 1;
+            let p = unsafe { raw.bytes_at(off, 1) };
+            let old = unsafe { std::ptr::read_volatile(p) };
+            unsafe { std::ptr::write_volatile(p, old ^ flip) };
+            if let Ok(insp) = RegionInspector::attach(&name) {
+                let _ = insp.processes();
+                let _ = insp.lnvcs();
+                let _ = insp.telemetry_snapshot();
+                let _ = insp.aio_rings();
+                let _ = insp.trace_rings();
+                for pid in 0..insp.config().max_processes {
+                    let _ = insp.flight_events(pid);
+                    let _ = insp.trace_events(pid);
+                }
+            }
+            unsafe { std::ptr::write_volatile(p, old) };
+        }
+        // The region is pristine again; a normal attach must still work.
+        assert!(RegionInspector::attach(&name).is_ok());
+        drop(mpf);
     }
 
     #[test]

@@ -52,6 +52,51 @@ pub struct ConfigEcho {
     /// messages (1 = every message).  Echoed so every attacher samples at
     /// the creator's rate.
     pub latency_sample_every: AtomicU32,
+    /// Causal-trace sampling period: 1-in-N causal chains are recorded in
+    /// the trace rings (1 = every chain, 0 = tracing off).  Echoed so
+    /// every attacher traces at the creator's rate.
+    pub trace_sample_every: AtomicU32,
+}
+
+impl ConfigEcho {
+    /// Rebuilds the creator's [`mpf::MpfConfig`] from the echo,
+    /// range-checking every field first: a corrupt or truncated region can
+    /// present a READY header whose echo holds garbage, and
+    /// `MpfConfig::new` asserts (panics) on zeros while huge values would
+    /// overflow the layout arithmetic.  `None` means "this echo cannot
+    /// have come from a real carve" — attachers and inspectors surface it
+    /// as a layout mismatch instead of crashing.
+    pub fn decode(&self) -> Option<mpf::MpfConfig> {
+        let max_lnvcs = self.max_lnvcs.load(Ordering::Acquire);
+        let max_processes = self.max_processes.load(Ordering::Acquire);
+        let block_payload = self.block_payload.load(Ordering::Acquire);
+        let total_blocks = self.total_blocks.load(Ordering::Acquire);
+        let max_messages = self.max_messages.load(Ordering::Acquire);
+        let max_send_conns = self.max_send_conns.load(Ordering::Acquire);
+        let max_recv_conns = self.max_recv_conns.load(Ordering::Acquire);
+        let in_range = |v: u32, hi: u32| (1..=hi).contains(&v);
+        if !in_range(max_lnvcs, mpf::types::MAX_LNVC_INDEX + 1)
+            || !in_range(max_processes, 1 << 16)
+            || !in_range(block_payload, 1 << 24)
+            || !in_range(total_blocks, 1 << 28)
+            || !in_range(max_messages, 1 << 28)
+            || !in_range(max_send_conns, 1 << 24)
+            || !in_range(max_recv_conns, 1 << 24)
+        {
+            return None;
+        }
+        let mut cfg = mpf::MpfConfig::new(max_lnvcs, max_processes)
+            .with_block_payload(block_payload as usize)
+            .with_total_blocks(total_blocks)
+            .with_max_messages(max_messages);
+        cfg.max_send_conns = max_send_conns;
+        cfg.max_recv_conns = max_recv_conns;
+        cfg.telemetry = self.telemetry.load(Ordering::Acquire) != 0;
+        cfg.latency_sample_every = self.latency_sample_every.load(Ordering::Acquire).max(1);
+        // 0 is legal here: tracing off.
+        cfg.trace_sample_every = self.trace_sample_every.load(Ordering::Acquire);
+        Some(cfg)
+    }
 }
 
 /// A Treiber free-list head over pool indices: `(aba_tag << 32) | index`.
@@ -142,11 +187,9 @@ pub struct RegionHeader {
     pub state: AtomicU32,
     /// Total carved bytes (attach cross-checks the file length).
     pub total_bytes: AtomicU64,
-    /// Configuration the carve was computed from.
+    /// Configuration the carve was computed from.  The 40-byte echo ends
+    /// 8-aligned, so the 8-aligned lock follows with no padding hole.
     pub cfg: ConfigEcho,
-    /// Explicit alignment hole: the 36-byte echo would otherwise leave
-    /// compiler-inserted padding before the 8-aligned lock.
-    _pad_cfg: u32,
     /// Guards the name registry and LNVC slot allocation (lock order:
     /// registry, then LNVC descriptor).
     pub registry_lock: IpcLock,
@@ -263,12 +306,16 @@ pub struct MsgDesc {
     pub bcast_pending: AtomicU32,
     /// [`msg_flags`] bits.
     pub flags: AtomicU32,
-    _pad0: u32,
+    /// Hop count of the causal chain this message continues (0 = root).
+    pub hop: AtomicU32,
     /// Global send stamp (total order / tracing).
     pub stamp: AtomicU64,
     /// Wall-clock nanoseconds at send (0 = unstamped), feeding the
     /// telemetry send→receive latency histogram.
     pub sent_at: AtomicU64,
+    /// Causal trace id (0 = untraced; bit 63 = sampled flag).  Stamped at
+    /// send, read at delivery to continue the chain, cleared at reclaim.
+    pub trace: AtomicU64,
 }
 
 /// One send-connection descriptor.

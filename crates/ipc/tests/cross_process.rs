@@ -412,4 +412,21 @@ fn mpfstat_post_mortem_reads_a_sigkilled_writer() {
         "victim os pid in {json}"
     );
     assert!(json.contains("\"peers_died\":1"), "sweep count in {json}");
+
+    // The trace subview reads the corpse's causal ring the same way.
+    let out = Command::new(env!("CARGO_BIN_EXE_mpfstat"))
+        .args([region.as_str(), "--trace", "--json"])
+        .output()
+        .expect("run mpfstat --trace");
+    assert!(out.status.success(), "mpfstat --trace failed: {out:?}");
+    let json = String::from_utf8(out.stdout).expect("utf8 json");
+    assert!(
+        json.contains("\"trace_enabled\":true"),
+        "tracing on in {json}"
+    );
+    assert!(
+        json.contains("\"kind\":\"send\""),
+        "victim's trace records in {json}"
+    );
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
 }

@@ -52,6 +52,7 @@
 pub mod arena;
 pub mod backoff;
 pub mod barrier;
+pub mod clock;
 pub mod futex;
 pub mod hooks;
 pub mod idxstack;
@@ -65,6 +66,7 @@ pub mod rng;
 pub mod stats;
 pub mod sys;
 pub mod telemetry;
+pub mod tracering;
 pub mod waitq;
 
 pub use arena::StridedArena;
@@ -84,4 +86,5 @@ pub use telemetry::{
     FacilityTelemetry, FlightEvent, FlightRing, HistSnapshot, Histogram, LnvcTelSnapshot,
     LnvcTelemetry, TelSnapshot,
 };
+pub use tracering::{TraceEvent, TraceRing, TRACE_RING_BYTES, TRACE_RING_SLOTS};
 pub use waitq::{FutexSeq, WaitQueue, WaitStrategy};

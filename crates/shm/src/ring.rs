@@ -55,6 +55,9 @@ pub const AIO_RING_BYTES: usize = AIO_RING_HEADER_BYTES + AIO_RING_SLOTS * AIO_R
 pub struct RingEntry {
     /// Caller-owned token, returned untouched on the completion.
     pub user_data: u64,
+    /// Causal trace id of the staged message (0 = untraced); carried from
+    /// submission to completion so batched sends keep their chains.
+    pub trace: u64,
     /// Conversation the descriptor concerns.
     pub lnvc: u32,
     /// First operand (facility-defined; message header index here).
@@ -73,11 +76,11 @@ pub struct RingEntry {
 #[repr(C)]
 struct Slot {
     user_data: AtomicU64,
+    trace: AtomicU64,
     lnvc: AtomicU32,
     arg0: AtomicU32,
     arg1: AtomicU32,
     status: AtomicI32,
-    _pad: [u32; 2],
 }
 
 /// A bounded SPSC descriptor ring with a futex doorbell and counters.
@@ -170,6 +173,7 @@ impl AioRing {
         }
         let slot = &self.entries[tail as usize % AIO_RING_SLOTS];
         slot.user_data.store(e.user_data, Ordering::Relaxed);
+        slot.trace.store(e.trace, Ordering::Relaxed);
         slot.lnvc.store(e.lnvc, Ordering::Relaxed);
         slot.arg0.store(e.arg0, Ordering::Relaxed);
         slot.arg1.store(e.arg1, Ordering::Relaxed);
@@ -192,6 +196,7 @@ impl AioRing {
         let slot = &self.entries[head as usize % AIO_RING_SLOTS];
         let e = RingEntry {
             user_data: slot.user_data.load(Ordering::Relaxed),
+            trace: slot.trace.load(Ordering::Relaxed),
             lnvc: slot.lnvc.load(Ordering::Relaxed),
             arg0: slot.arg0.load(Ordering::Relaxed),
             arg1: slot.arg1.load(Ordering::Relaxed),
@@ -247,6 +252,7 @@ mod tests {
     fn e(n: u64) -> RingEntry {
         RingEntry {
             user_data: n,
+            trace: n.wrapping_mul(7),
             lnvc: n as u32,
             arg0: (n * 2) as u32,
             arg1: (n * 3) as u32,

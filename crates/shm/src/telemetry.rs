@@ -97,13 +97,12 @@ pub fn event_name(kind: u32) -> &'static str {
 
 /// Wall-clock nanoseconds since the Unix epoch.  Used for flight-recorder
 /// timestamps and send→receive latency because it is the one clock every
-/// process attached to the region shares (the shm layer deliberately has
-/// no `clock_gettime` syscall wrapper; `SystemTime` is std-portable).
+/// process attached to the region shares.  Delegates to the calibrated
+/// cycle-counter clock ([`crate::clock`]), which falls back to
+/// `SystemTime` when the hardware counter is unstable or absent.
 #[inline]
 pub fn now_nanos() -> u64 {
-    std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map_or(0, |d| d.as_nanos() as u64)
+    crate::clock::now_nanos()
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,191 @@
+//! `mpf-trace` — offline causal-trace reconstruction for an MPF region.
+//!
+//! ```text
+//! mpf-trace <region-name> [--chains] [--check] [--export <path|->] [--json]
+//! ```
+//!
+//! Attaches **read-only** (`RegionInspector`): no process slot, no lock,
+//! no write — safe on a live region and on the leftover region file of a
+//! SIGKILLed session.  With no mode flags it prints a summary plus the
+//! conformance report.
+//!
+//! - `--chains` renders every reconstructed causal chain, hop by hop.
+//! - `--check` runs only the §3 conformance checker; the process exits
+//!   with status 3 when violations are found, so CI can gate on it.
+//! - `--export <path>` writes Chrome `trace_event` JSON (Perfetto and
+//!   `chrome://tracing` load it); `-` writes to stdout.
+//! - `--json` switches the summary/check output to machine-readable JSON.
+
+use std::fmt::Write as _;
+
+use mpf_ipc::RegionInspector;
+use mpf_trace::TraceLog;
+
+fn usage() -> ! {
+    eprintln!("usage: mpf-trace <region-name> [--chains] [--check] [--export <path|->] [--json]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut name = None;
+    let mut chains = false;
+    let mut check_only = false;
+    let mut export: Option<String> = None;
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--chains" => chains = true,
+            "--check" => check_only = true,
+            "--json" => json = true,
+            "--export" => {
+                let Some(path) = args.get(i + 1) else { usage() };
+                export = Some(path.clone());
+                i += 1;
+            }
+            "--help" | "-h" => usage(),
+            other if name.is_none() && !other.starts_with('-') => name = Some(other.to_string()),
+            other => {
+                eprintln!("mpf-trace: unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(name) = name else { usage() };
+
+    let insp = match RegionInspector::attach(&name) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("mpf-trace: cannot attach `{name}`: {e}");
+            std::process::exit(1);
+        }
+    };
+    if !insp.trace_enabled() {
+        eprintln!("mpf-trace: region `{name}` was created with tracing disabled");
+    }
+    let log = TraceLog::from_inspector(&insp);
+
+    if let Some(path) = export {
+        let out = log.chrome_json();
+        if path == "-" {
+            println!("{out}");
+        } else if let Err(e) = std::fs::write(&path, &out) {
+            eprintln!("mpf-trace: cannot write `{path}`: {e}");
+            std::process::exit(1);
+        } else {
+            eprintln!(
+                "mpf-trace: wrote {} events to {path} (load in Perfetto or chrome://tracing)",
+                log.len()
+            );
+        }
+        if !chains && !check_only {
+            return;
+        }
+    }
+
+    if chains {
+        print!("{}", log.render_chains());
+        if !check_only {
+            return;
+        }
+    }
+
+    let report = log.check();
+    if json {
+        println!("{}", report_json(&name, &log, &report));
+    } else {
+        print!("{}", summary_text(&name, &log));
+        if report.truncated {
+            println!("note: a ring wrapped — completeness rules suppressed past the horizon");
+        }
+        println!(
+            "conformance: {} messages, {} deliveries, {} violation(s)",
+            report.messages,
+            report.deliveries,
+            report.violations.len()
+        );
+        for v in &report.violations {
+            println!("  {v}");
+        }
+    }
+    if !report.is_clean() {
+        std::process::exit(3);
+    }
+}
+
+fn summary_text(name: &str, log: &TraceLog) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "region {name}: {} surviving trace records across {} rings",
+        log.len(),
+        log.rings().len()
+    );
+    for r in log.rings() {
+        if r.events.is_empty() && r.sampled_out == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            s,
+            "  pid {:<3} {:>6} records{}{}",
+            r.pid,
+            r.events.len(),
+            if r.truncated { "  (wrapped)" } else { "" },
+            if r.sampled_out > 0 {
+                format!("  ({} chains sampled out)", r.sampled_out)
+            } else {
+                String::new()
+            },
+        );
+    }
+    let _ = writeln!(s, "chains reconstructed: {}", log.chains().len());
+    s
+}
+
+fn report_json(name: &str, log: &TraceLog, report: &mpf_trace::Report) -> String {
+    let rings = log
+        .rings()
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"pid\":{},\"records\":{},\"truncated\":{},\"sampled_out\":{}}}",
+                r.pid,
+                r.events.len(),
+                r.truncated,
+                r.sampled_out
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let violations = report
+        .violations
+        .iter()
+        .map(|v| {
+            format!(
+                "{{\"rule\":\"{}\",\"trace\":\"{:#x}\",\"stamp\":{},\"lnvc\":{},\"detail\":\"{}\"}}",
+                v.rule,
+                v.trace,
+                v.stamp,
+                if v.lnvc == u32::MAX {
+                    -1
+                } else {
+                    v.lnvc as i64
+                },
+                v.detail.replace('\\', "\\\\").replace('"', "\\\""),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"region\":\"{}\",\"records\":{},\"chains\":{},\"truncated\":{},\
+         \"messages\":{},\"deliveries\":{},\"rings\":[{rings}],\"violations\":[{violations}]}}",
+        name.replace('\\', "\\\\").replace('"', "\\\""),
+        log.len(),
+        log.chains().len(),
+        report.truncated,
+        report.messages,
+        report.deliveries,
+    )
+}

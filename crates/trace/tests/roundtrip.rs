@@ -1,0 +1,318 @@
+//! Trace round-trip: real traffic in, exact causal chains out.
+//!
+//! Thread-backend tests drive `Mpf` directly; the cross-process test
+//! re-executes this test binary (`--exact helper_* --ignored`) so the
+//! victim really is a separate OS process, then SIGKILLs it and
+//! reconstructs what it was doing from the region file alone.
+
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use mpf::{Mpf, MpfConfig, ProcessId, Protocol};
+use mpf_ipc::{IpcMpf, RegionInspector};
+use mpf_shm::tracering::{TR_RECLAIM, TR_RECV, TR_SEND};
+use mpf_trace::TraceLog;
+
+const REGION_ENV: &str = "MPF_TRACE_REGION";
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::from_index(i)
+}
+
+fn small_cfg() -> MpfConfig {
+    MpfConfig::new(8, 4)
+        .with_block_payload(64)
+        .with_total_blocks(128)
+        .with_max_messages(64)
+        .with_max_connections(32)
+}
+
+/// One request/reply bounce on the thread backend: the reply send must
+/// inherit the request's trace id with hop 1, and the reconstructed
+/// chain must read send → recv → send → recv in hop order, ending with
+/// both reclaims — conformance-clean.
+#[test]
+fn mpf_roundtrip_reconstructs_exact_chain() {
+    let mpf = Mpf::init(small_cfg()).unwrap();
+    let req_tx = mpf.open_send(p(0), "req").unwrap();
+    let req_rx = mpf.open_receive(p(1), "req", Protocol::Fcfs).unwrap();
+    let rep_tx = mpf.open_send(p(1), "reply").unwrap();
+    let rep_rx = mpf.open_receive(p(0), "reply", Protocol::Fcfs).unwrap();
+
+    let mut buf = [0u8; 64];
+    mpf.message_send(p(0), req_tx, b"ping").unwrap();
+    let n = mpf.message_receive(p(1), req_rx, &mut buf).unwrap();
+    assert_eq!(&buf[..n], b"ping");
+    mpf.message_send(p(1), rep_tx, b"pong!").unwrap();
+    let n = mpf.message_receive(p(0), rep_rx, &mut buf).unwrap();
+    assert_eq!(&buf[..n], b"pong!");
+
+    let log = TraceLog::from_mpf(&mpf);
+    let chains = log.chains();
+    assert_eq!(chains.len(), 1, "one causal chain: {chains:?}");
+    let chain = &chains[0];
+    assert_eq!(chain.hops(), 2, "request + reply hops: {chain:?}");
+
+    // The exact story, in order: p0 sends hop 0 on req, p1 receives it,
+    // p1 sends hop 1 on reply, p0 receives that.
+    let core: Vec<(u32, u32, u32)> = chain
+        .events
+        .iter()
+        .filter(|r| matches!(r.ev.kind, TR_SEND | TR_RECV))
+        .map(|r| (r.ev.hop, r.pid, r.ev.kind))
+        .collect();
+    assert_eq!(
+        core,
+        vec![
+            (0, 0, TR_SEND),
+            (0, 1, TR_RECV),
+            (1, 1, TR_SEND),
+            (1, 0, TR_RECV),
+        ],
+        "chain mis-reconstructed: {chain:?}"
+    );
+    assert_eq!(
+        chain
+            .events
+            .iter()
+            .filter(|r| r.ev.kind == TR_RECLAIM)
+            .count(),
+        2,
+        "both messages reclaimed in-chain: {chain:?}"
+    );
+
+    let report = log.check();
+    assert!(report.is_clean(), "violations: {:?}", report.violations);
+    assert_eq!(report.messages, 2);
+    assert_eq!(report.deliveries, 2);
+
+    // The export is loadable JSON with flow arrows for both hops.
+    let json = log.chrome_json();
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches("\"ph\":\"s\"").count(), 2);
+}
+
+/// Sampling thins chains, never the events inside one: at 1-in-2, four
+/// independent sends yield two fully-recorded chains and two skips, and
+/// the record stays conformance-clean.
+#[test]
+fn sampling_thins_chains_not_events() {
+    let mpf = Mpf::init(small_cfg().trace_sample_rate(2)).unwrap();
+    let tx = mpf.open_send(p(0), "sampled").unwrap();
+    let rx = mpf.open_receive(p(1), "sampled", Protocol::Fcfs).unwrap();
+    let mut buf = [0u8; 64];
+    for i in 0..4u8 {
+        mpf.message_send(p(0), tx, &[i; 16]).unwrap();
+        mpf.message_receive(p(1), rx, &mut buf).unwrap();
+    }
+    let log = TraceLog::from_mpf(&mpf);
+    assert_eq!(log.chains().len(), 2, "1-in-2 of four roots");
+    let skipped: u64 = log.rings().iter().map(|r| r.sampled_out).sum();
+    assert_eq!(skipped, 2);
+    for chain in log.chains() {
+        let kinds: Vec<u32> = chain.events.iter().map(|r| r.ev.kind).collect();
+        assert!(kinds.contains(&TR_SEND) && kinds.contains(&TR_RECV));
+    }
+    let report = log.check();
+    assert!(report.is_clean(), "violations: {:?}", report.violations);
+}
+
+/// `trace_sample_rate(0)` turns recording off entirely — population
+/// markers included — while traffic flows normally.
+#[test]
+fn rate_zero_disables_tracing() {
+    let mpf = Mpf::init(small_cfg().trace_sample_rate(0)).unwrap();
+    let tx = mpf.open_send(p(0), "silent").unwrap();
+    let rx = mpf.open_receive(p(1), "silent", Protocol::Fcfs).unwrap();
+    let mut buf = [0u8; 64];
+    mpf.message_send(p(0), tx, b"unseen").unwrap();
+    mpf.message_receive(p(1), rx, &mut buf).unwrap();
+    let log = TraceLog::from_mpf(&mpf);
+    assert!(log.is_empty(), "rate 0 must record nothing: {log:?}");
+}
+
+/// Broadcast delivery on the thread backend: one send, two `TR_RECV_B`
+/// records, population echoed in the send's obligations, clean report.
+#[test]
+fn broadcast_chain_covers_every_receiver() {
+    let mpf = Mpf::init(small_cfg()).unwrap();
+    let tx = mpf.open_send(p(0), "news").unwrap();
+    let r1 = mpf.open_receive(p(1), "news", Protocol::Broadcast).unwrap();
+    let r2 = mpf.open_receive(p(2), "news", Protocol::Broadcast).unwrap();
+    let mut buf = [0u8; 64];
+    mpf.message_send(p(0), tx, b"flash").unwrap();
+    mpf.message_receive(p(1), r1, &mut buf).unwrap();
+    mpf.message_receive(p(2), r2, &mut buf).unwrap();
+    // Closing both receivers reclaims the fully-delivered copy.
+    mpf.close_receive(p(1), r1).unwrap();
+    mpf.close_receive(p(2), r2).unwrap();
+
+    let log = TraceLog::from_mpf(&mpf);
+    let chains = log.chains();
+    assert_eq!(chains.len(), 1);
+    let send = chains[0]
+        .events
+        .iter()
+        .find(|r| r.ev.kind == TR_SEND)
+        .expect("send recorded");
+    assert_eq!(send.ev.arg2 & 0xffff, 2, "population 2 at send");
+    let report = log.check();
+    assert!(report.is_clean(), "violations: {:?}", report.violations);
+    assert_eq!(report.deliveries, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-process: SIGKILL a peer, reconstruct post-mortem
+// ---------------------------------------------------------------------------
+
+fn spawn_helper(helper: &str, region: &str) -> Child {
+    Command::new(std::env::current_exe().expect("current_exe"))
+        .args([
+            "--exact",
+            helper,
+            "--ignored",
+            "--nocapture",
+            "--test-threads=1",
+        ])
+        .env(REGION_ENV, region)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn helper process")
+}
+
+/// Child role for [`sigkilled_peer_reconstructs_post_mortem`]: answer one
+/// request (continuing its causal chain), queue undeliverable messages on
+/// a conversation nobody reads, then park until SIGKILLed.
+#[test]
+#[ignore = "helper: only meaningful when spawned by a parent test"]
+fn helper_traced_victim() {
+    let Ok(region) = std::env::var(REGION_ENV) else {
+        return;
+    };
+    let m = IpcMpf::attach(&region).expect("attach");
+    let req = m.open_receive("req", Protocol::Fcfs).expect("open req");
+    let rep = m.open_send("reply").expect("open reply");
+    let void = m.open_send("void").expect("open void");
+    let mut buf = [0u8; 64];
+    let n = m.message_receive(req, &mut buf).expect("receive request");
+    m.message_send(rep, &buf[..n]).expect("send reply");
+    for i in 0..3u8 {
+        m.message_send(void, &[i; 8]).expect("send into the void");
+    }
+    std::thread::sleep(Duration::from_secs(60));
+}
+
+/// The tentpole's acceptance story: a 2-process run whose peer is
+/// SIGKILLed mid-session still yields the exact request/reply causal
+/// chain — spanning both rings, dead process included — and a
+/// conformance-clean report (the victim's undelivered backlog is excused
+/// by the poison markers the survivor's sweep records).  The `mpf-trace`
+/// binary is exercised the way an operator would run it.
+#[test]
+fn sigkilled_peer_reconstructs_post_mortem() {
+    if !mpf_shm::sys::HAVE_SYSCALLS {
+        return;
+    }
+    let region = format!("trace-pm-{}", std::process::id());
+    let m = IpcMpf::create(&region, &small_cfg()).unwrap();
+    let req_tx = m.open_send("req").unwrap();
+    let rep_rx = m.open_receive("reply", Protocol::Fcfs).unwrap();
+    // "void" stays open on the survivor side so the victim's undelivered
+    // backlog remains queued (and poisoned) rather than vanishing with
+    // the conversation.
+    let _void_rx = m.open_receive("void", Protocol::Fcfs).unwrap();
+
+    let mut victim = spawn_helper("helper_traced_victim", &region);
+    m.message_send(req_tx, b"trace me").unwrap();
+    let mut buf = [0u8; 64];
+    let n = m
+        .message_receive_timeout(rep_rx, &mut buf, Duration::from_secs(30))
+        .expect("reply arrives");
+    assert_eq!(&buf[..n], b"trace me");
+
+    // Wait until the victim's three void sends are visible, then kill it.
+    let insp = RegionInspector::attach(&region).unwrap();
+    let victim_slot = loop {
+        let logs = TraceLog::from_inspector(&insp);
+        let victim_pid = logs
+            .rings()
+            .iter()
+            .find(|r| r.pid != m.pid() && !r.events.is_empty())
+            .map(|r| r.pid);
+        if let Some(pid) = victim_pid {
+            let voids = insp
+                .trace_events(pid)
+                .iter()
+                .filter(|e| e.kind == TR_SEND && e.arg == 8)
+                .count();
+            if voids >= 3 {
+                break pid;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    victim.kill().expect("SIGKILL victim");
+    victim.wait().expect("reap victim");
+    while m.sweep_dead_peers() == 0 {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Post-mortem reconstruction straight off the region file.
+    let log = TraceLog::from_inspector(&insp);
+    let chain = log
+        .chains()
+        .into_iter()
+        .find(|c| c.hops() == 2)
+        .expect("request/reply chain survives the kill");
+    let core: Vec<(u32, u32, u32)> = chain
+        .events
+        .iter()
+        .filter(|r| matches!(r.ev.kind, TR_SEND | TR_RECV))
+        .map(|r| (r.ev.hop, r.pid, r.ev.kind))
+        .collect();
+    // The victim adopted the request's chain on delivery, so every send
+    // it issued afterwards — the reply AND the three void sends — rides
+    // the same trace id at hop 1.
+    assert_eq!(
+        core,
+        vec![
+            (0, m.pid(), TR_SEND),
+            (0, victim_slot, TR_RECV),
+            (1, victim_slot, TR_SEND),
+            (1, m.pid(), TR_RECV),
+            (1, victim_slot, TR_SEND),
+            (1, victim_slot, TR_SEND),
+            (1, victim_slot, TR_SEND),
+        ],
+        "post-mortem chain mis-reconstructed: {chain:?}"
+    );
+
+    let report = log.check();
+    assert!(
+        report.is_clean(),
+        "SIGKILL run must check clean: {:?}",
+        report.violations
+    );
+
+    // The binary, exactly as an operator would run it: check gates on
+    // conformance (exit 0 = clean), export produces loadable JSON.
+    let out = Command::new(env!("CARGO_BIN_EXE_mpf-trace"))
+        .args([region.as_str(), "--check", "--json"])
+        .output()
+        .expect("run mpf-trace");
+    assert!(out.status.success(), "mpf-trace --check failed: {out:?}");
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert!(json.contains("\"violations\":[]"), "dirty report: {json}");
+
+    let export = std::env::temp_dir().join(format!("mpf-trace-{}.json", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_mpf-trace"))
+        .args([region.as_str(), "--export", export.to_str().unwrap()])
+        .output()
+        .expect("run mpf-trace --export");
+    assert!(out.status.success(), "export failed: {out:?}");
+    let exported = std::fs::read_to_string(&export).unwrap();
+    assert!(exported.contains("\"traceEvents\""));
+    assert_eq!(exported.matches('{').count(), exported.matches('}').count());
+    let _ = std::fs::remove_file(&export);
+}
