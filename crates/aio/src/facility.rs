@@ -9,6 +9,7 @@
 
 use std::future::Future;
 use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::task::{Context, Poll};
 use std::thread::JoinHandle;
@@ -64,15 +65,31 @@ impl Backend for ThreadBackend {
 /// (`FutexSeq`), which can only park on one address at a time, so the
 /// reactor naps on the first registered conversation's futex with a
 /// bounded timeout and re-scans.  There is no region-wide free signal —
-/// pending senders are re-polled at nap cadence instead.
+/// pending senders are re-polled at nap cadence instead, with the
+/// send-only nap backing off exponentially under sustained pool
+/// pressure (`send_nap_us`).
 pub struct IpcBackend {
     ipc: Arc<IpcMpf>,
+    /// Current send-retry nap in microseconds for waits where only
+    /// pending senders are outstanding.  Starts at [`SEND_NAP_MIN_US`],
+    /// doubles after each fruitless send-only nap up to
+    /// [`SEND_NAP_MAX_US`], and resets on any successful `try_send` —
+    /// bounded backoff instead of a tight fixed-cadence retry loop
+    /// burning a core while the pools stay exhausted.
+    send_nap_us: AtomicU64,
 }
 
 /// Upper bound on how long the ipc reactor sleeps between scans while
-/// interests it cannot park on directly (other conversations, pending
-/// sends) are outstanding.
+/// receive interests it cannot park on directly (other conversations)
+/// are outstanding.
 const IPC_NAP: Duration = Duration::from_millis(2);
+
+/// First send-only retry nap: quick enough that a transient pool blip
+/// costs well under a millisecond of extra latency.
+const SEND_NAP_MIN_US: u64 = 200;
+
+/// Send-only retry nap ceiling under sustained pool pressure.
+const SEND_NAP_MAX_US: u64 = 20_000;
 
 impl Backend for IpcBackend {
     type Id = IpcLnvcId;
@@ -82,7 +99,12 @@ impl Backend for IpcBackend {
     }
 
     fn try_send(&self, id: IpcLnvcId, payload: &[u8]) -> Result<bool> {
-        self.ipc.try_message_send(id, payload)
+        let r = self.ipc.try_message_send(id, payload);
+        if matches!(r, Ok(true)) {
+            // Capacity exists again; retry promptly next time.
+            self.send_nap_us.store(SEND_NAP_MIN_US, Ordering::Relaxed);
+        }
+        r
     }
 
     fn recv_ticket(&self, id: IpcLnvcId) -> Result<u32> {
@@ -100,10 +122,18 @@ impl Backend for IpcBackend {
     fn wait(&self, recv: &[(IpcLnvcId, u32)], mem: Option<u32>, wake: (&WaitQueue, u32)) {
         if let Some(&(id, ticket)) = recv.first() {
             // Park on the first conversation's in-region futex; the
-            // bounded timeout keeps the other interests live.
+            // bounded timeout keeps the other interests live.  Receive
+            // traffic implies the pools are moving, so pending senders
+            // riding on this wait keep the fast fixed cadence.
             self.ipc.wait_recv_signal(id, ticket, IPC_NAP);
         } else if mem.is_some() {
-            std::thread::sleep(IPC_NAP);
+            // Only senders are blocked and nothing in the region can
+            // signal a free: poll with exponential backoff so sustained
+            // pool pressure costs naps, not a spinning core.
+            let nap = self.send_nap_us.load(Ordering::Relaxed);
+            std::thread::sleep(Duration::from_micros(nap));
+            self.send_nap_us
+                .store((nap * 2).min(SEND_NAP_MAX_US), Ordering::Relaxed);
         } else {
             // Only the reactor's own (process-local) wake channel can
             // fire: park until a registration or shutdown bumps it.
@@ -333,6 +363,7 @@ impl AsyncIpc {
     pub fn new(ipc: Arc<IpcMpf>) -> Self {
         let backend = Arc::new(IpcBackend {
             ipc: Arc::clone(&ipc),
+            send_nap_us: AtomicU64::new(SEND_NAP_MIN_US),
         });
         AsyncIpc {
             ipc,

@@ -41,7 +41,7 @@ pub mod exec;
 pub mod facility;
 pub mod reactor;
 
-pub use exec::{block_on, Executor, JoinHandle};
+pub use exec::{block_on, block_on_deadline, block_on_timeout, Executor, JoinHandle};
 pub use facility::{
     AsyncIpc, AsyncMpf, IpcBackend, RecvFuture, SelectAny, SendFuture, ThreadBackend,
 };

@@ -103,6 +103,16 @@ impl JsonReport {
         })
     }
 
+    /// Targets an explicit path — for binaries whose contract is "always
+    /// write a report here" rather than an optional `--json` flag.
+    pub fn at(path: impl Into<PathBuf>) -> Self {
+        Self {
+            path: path.into(),
+            figures: Vec::new(),
+            extra: Vec::new(),
+        }
+    }
+
     /// Records one figure (same inputs as [`print_series`]).
     pub fn add(&mut self, title: &str, series: &[Series]) {
         let rendered = series

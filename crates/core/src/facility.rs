@@ -275,6 +275,27 @@ impl Mpf {
         self.blocks.available()
     }
 
+    /// Whether a conversation named `name` exists right now.  A hint only:
+    /// the answer can be stale the moment the registry lock is released.
+    /// Service layers poll this to discover rendezvous points (e.g. an
+    /// epoch-suffixed request queue) without creating them as a side
+    /// effect the way `open_*` would.
+    pub fn lnvc_exists(&self, name: &str) -> bool {
+        match LnvcName::new(name) {
+            Ok(n) => self.registry.lock().contains_key(&n),
+            Err(_) => false,
+        }
+    }
+
+    /// Queued (undelivered or partially-delivered) message count of a
+    /// conversation.  Racy diagnostic: drain protocols use it to decide
+    /// whether a queue has quiesced after pausing intake.
+    pub fn queue_depth(&self, id: LnvcId) -> Result<u32> {
+        let slot = self.slot(id)?;
+        Self::validate(slot, id)?;
+        Ok(slot.msg_count())
+    }
+
     fn check_pid(&self, pid: ProcessId) -> Result<()> {
         if pid.index() < self.cfg.max_processes as usize {
             Ok(())

@@ -2289,7 +2289,15 @@ impl IpcMpf {
                 // queue, visible only through its submission ring.  The
                 // CAS above made us the ring's sole consumer.
                 self.reclaim_aio_of(p);
-                self.sweep_connections_of(p);
+                // The sweep may delete a conversation outright (when the
+                // corpse held its only connection), which mutates the
+                // name registry — so it runs under the registry lock,
+                // registry → LNVC order, same as open/close.  Corpses
+                // are rare; the lock hold is not on any fast path.
+                let _ = self.with_registry(|| {
+                    self.sweep_connections_of(p);
+                    Ok(())
+                });
             }
         }
         if found > 0 {
@@ -2302,7 +2310,12 @@ impl IpcMpf {
     }
 
     /// Removes every connection the dead process held and poisons the
-    /// conversations it was party to.
+    /// conversations it was party to.  A conversation whose **only**
+    /// connection belonged to the corpse is deleted instead: no survivor
+    /// is connected to observe the poison or to close it away, so
+    /// poisoning would leak the descriptor and name until region
+    /// teardown (a SIGKILLed client's private reply LNVC is the
+    /// canonical case).  Caller holds the registry lock.
     fn sweep_connections_of(&self, dead: u32) {
         for idx in 0..self.counts.max_lnvcs {
             let d = self.lnvc(idx);
@@ -2345,7 +2358,13 @@ impl IpcMpf {
                 self.note_reclaim(idx, freed);
                 touched = true;
             }
-            if touched {
+            let orphaned = touched && d.total_connections() == 0;
+            if orphaned {
+                // The corpse held the only connection: delete rather
+                // than poison (frees the queue, releases the name,
+                // wakes any parker — see the method doc).
+                self.delete_conversation(idx, d);
+            } else if touched {
                 d.dead_pid.store(dead, Ordering::Release);
                 if d.poisoned.swap(1, Ordering::AcqRel) == 0 {
                     self.fly(EV_POISONED, idx, dead as u64);
@@ -2366,7 +2385,7 @@ impl IpcMpf {
                 d.msg_count.store(0, Ordering::Release);
             }
             d.lock.unlock();
-            if touched {
+            if touched && !orphaned {
                 // Unblock survivors; they will observe the poison.
                 d.waitq.notify_all();
             }
@@ -2487,6 +2506,39 @@ impl IpcMpf {
     /// Whether a given MPF pid's slot is currently attached and alive.
     pub fn peer_alive(&self, pid: u32) -> bool {
         pid < self.counts.max_processes && self.slot(pid).owner_alive()
+    }
+
+    /// Whether a conversation named `name` exists right now.  A lock-free
+    /// registry probe and a hint only: the answer can be stale by the
+    /// time the caller acts on it.  Service layers poll this to discover
+    /// rendezvous points (e.g. an epoch-suffixed request queue) without
+    /// creating them as a side effect the way `open_*` would.
+    pub fn lnvc_exists(&self, name: &str) -> bool {
+        let bytes = name.as_bytes();
+        if bytes.is_empty() || bytes.len() > 32 {
+            return false;
+        }
+        let mut padded = [0u8; 32];
+        padded[..bytes.len()].copy_from_slice(bytes);
+        (0..self.counts.max_lnvcs).any(|i| {
+            let e = self.reg_entry(i);
+            e.used.load(Ordering::Acquire) == 1 && e.get_name() == padded
+        })
+    }
+
+    /// Queued (undelivered or partially-delivered) message count of a
+    /// conversation.  Racy diagnostic: drain protocols use it to decide
+    /// whether a queue has quiesced after pausing intake.
+    pub fn queue_depth(&self, id: IpcLnvcId) -> Result<u32> {
+        let (_, d) = self.resolve(id)?;
+        Ok(d.msg_count.load(Ordering::Acquire))
+    }
+
+    /// Whether a conversation has been poisoned by a dead peer (sticky
+    /// until the conversation is deleted and its name recycled).
+    pub fn lnvc_poisoned(&self, id: IpcLnvcId) -> Result<bool> {
+        let (_, d) = self.resolve(id)?;
+        Ok(d.poisoned.load(Ordering::Acquire) != 0)
     }
 
     /// Seizes the LNVC's in-region lock and never releases it — a test

@@ -1,0 +1,439 @@
+//! The service anchor: epoch ownership, worker registry, and the
+//! BROADCAST control plane.
+//!
+//! The server does not serve requests itself — workers do.  Its job is
+//! to **anchor** the service's shared conversations so they outlive any
+//! individual worker or client, to track the worker pool via the ack
+//! channel, and to run the control plane:
+//!
+//! * It holds a send connection on the request queue, a send connection
+//!   on the control plane, and the (only) FCFS receive connection on the
+//!   ack channel — so none of the three is ever deleted by a transient
+//!   participant closing last.
+//! * **Epoch failover**: in the multi-process backend, any SIGKILLed
+//!   participant poisons the conversations it touched, and poison is
+//!   sticky for the descriptor's lifetime.  Rather than trying to
+//!   resurrect a poisoned queue, [`Server::supervise`] retires the whole
+//!   epoch: best-effort `K_EPOCH` notice on the old control plane, close
+//!   the old anchors, re-anchor under `epoch+1` names.  Workers and
+//!   clients rediscover the new epoch by name probing
+//!   ([`discover_epoch`]) — triggered either by the notice or by
+//!   `PeerDied` surfacing on the old names.
+//! * **Drain** ([`Server::drain`]): broadcast `K_DRAIN`; each worker
+//!   flushes the request queue, acks with its served count, and pauses
+//!   intake.  The server collects acks from every current-epoch worker
+//!   (deadline-bounded) and reports the residual queue depth.
+//! * **Shutdown** ([`Server::shutdown`]): broadcast `K_SHUTDOWN`;
+//!   workers flush, say `K_BYE`, and exit; the server then closes its
+//!   anchors.
+//!
+//! Control frames carry a server-monotonic `ctl_seq` and are only
+//! broadcast while at least one worker is registered: a BROADCAST send
+//! on a zero-receiver conversation would become an owed-FCFS message
+//! delivered to the *next* joiner (§3's zero-receiver rule), replaying a
+//! stale command — the guard plus the serial make that harmless.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mpf::{Protocol, Result};
+
+use crate::transport::Transport;
+use crate::wire::{
+    ack_name, ctl_name, decode_ack, encode_ctl, pres_name, q_name, validate_svc, Ack, K_ACK, K_BYE,
+    K_DRAIN, K_EPOCH, K_FAULT, K_HELLO, K_PAUSE, K_RESUME, K_SHUTDOWN,
+};
+
+/// One registered worker, as seen through its acks.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerEntry {
+    /// Epoch of the worker's last `K_HELLO`.
+    pub epoch: u32,
+    /// Served count from its last ack.
+    pub served: u64,
+    /// `ctl_seq` of the last `K_ACK` it sent (0 = none).
+    pub acked: u32,
+}
+
+/// Server-side counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    pub hellos: u64,
+    pub byes: u64,
+    pub faults: u64,
+    pub epoch_bumps: u32,
+}
+
+/// Outcome of a [`Server::drain`].
+#[derive(Debug, Clone)]
+pub struct DrainReport {
+    /// Workers that acknowledged this drain.
+    pub acked: Vec<u32>,
+    /// Current-epoch workers that did not ack before the deadline.
+    pub timed_out: Vec<u32>,
+    /// Request-queue depth after the acks (0 = fully quiesced).
+    pub residual: u32,
+    /// Sum of served counts reported in the acks.
+    pub served_total: u64,
+}
+
+/// Outcome of a [`Server::shutdown`].
+#[derive(Debug, Clone)]
+pub struct ShutdownReport {
+    /// Workers that said `K_BYE`.
+    pub byes: Vec<u32>,
+    /// Current-epoch workers still unaccounted for at the deadline.
+    pub stragglers: Vec<u32>,
+}
+
+/// `(q_tx, ctl_tx, ack_rx, pres_tx)` — one epoch's four anchors.
+type Anchors<T> = (
+    <T as Transport>::Id,
+    <T as Transport>::Id,
+    <T as Transport>::Id,
+    <T as Transport>::Id,
+);
+
+/// The anchor process of one service.
+pub struct Server<T: Transport> {
+    t: Arc<T>,
+    svc: String,
+    epoch: u32,
+    ctl_seq: u32,
+    q_tx: T::Id,
+    ctl_tx: T::Id,
+    ack_rx: T::Id,
+    /// Presence marker (see [`pres_name`]): held open, never written.
+    pres_tx: T::Id,
+    workers: BTreeMap<u32, WorkerEntry>,
+    pub stats: ServerStats,
+}
+
+impl<T: Transport> Server<T> {
+    /// Creates the service at epoch 1: opens (and thereby creates) the
+    /// request queue, control plane, and ack channel.
+    pub fn new(t: Arc<T>, svc: &str) -> Result<Self> {
+        assert!(
+            validate_svc(svc),
+            "service name must be 1..=7 bytes of [a-z0-9_-], got {svc:?}"
+        );
+        let epoch = 1;
+        let (q_tx, ctl_tx, ack_rx, pres_tx) = Self::open_anchors(&t, svc, epoch)?;
+        Ok(Server {
+            t,
+            svc: svc.to_string(),
+            epoch,
+            ctl_seq: 0,
+            q_tx,
+            ctl_tx,
+            ack_rx,
+            pres_tx,
+            workers: BTreeMap::new(),
+            stats: ServerStats::default(),
+        })
+    }
+
+    /// The request queue comes LAST: epoch discovery probes its name, so
+    /// by the time an epoch is discoverable the presence marker, control
+    /// plane, and ack channel already exist.
+    fn open_anchors(t: &T, svc: &str, epoch: u32) -> Result<Anchors<T>> {
+        let pres_tx = t.open_send(&pres_name(svc, epoch))?;
+        let ctl_tx = t.open_send(&ctl_name(svc, epoch))?;
+        let ack_rx = t.open_receive(&ack_name(svc, epoch), Protocol::Fcfs)?;
+        let q_tx = t.open_send(&q_name(svc, epoch))?;
+        Ok((q_tx, ctl_tx, ack_rx, pres_tx))
+    }
+
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    pub fn svc(&self) -> &str {
+        &self.svc
+    }
+
+    /// The current request-queue name (diagnostics / tests).
+    pub fn q_name(&self) -> String {
+        q_name(&self.svc, self.epoch)
+    }
+
+    /// Workers registered at the current epoch.
+    pub fn worker_count(&self) -> usize {
+        self.workers
+            .values()
+            .filter(|w| w.epoch == self.epoch)
+            .count()
+    }
+
+    /// Snapshot of the worker registry.
+    pub fn workers(&self) -> &BTreeMap<u32, WorkerEntry> {
+        &self.workers
+    }
+
+    /// Absorbs every queued ack, then (when `deadline` allows) blocks
+    /// for one more.  Returns the acks processed.
+    pub fn poll_acks(&mut self, deadline: Option<Instant>) -> Result<Vec<Ack>> {
+        let mut out = Vec::new();
+        while let Some(buf) = self.t.try_recv(self.ack_rx)? {
+            if let Some(a) = self.absorb(&buf) {
+                out.push(a);
+            }
+        }
+        if out.is_empty() {
+            if let Some(buf) = self.t.recv_deadline(self.ack_rx, deadline)? {
+                if let Some(a) = self.absorb(&buf) {
+                    out.push(a);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn absorb(&mut self, buf: &[u8]) -> Option<Ack> {
+        let a = decode_ack(buf)?;
+        match a.kind {
+            K_HELLO => {
+                self.stats.hellos += 1;
+                self.workers.insert(
+                    a.wid,
+                    WorkerEntry {
+                        epoch: a.epoch,
+                        served: a.served,
+                        acked: 0,
+                    },
+                );
+            }
+            K_BYE => {
+                self.stats.byes += 1;
+                if let Some(w) = self.workers.get_mut(&a.wid) {
+                    w.served = a.served;
+                }
+                self.workers.remove(&a.wid);
+            }
+            K_ACK => {
+                if let Some(w) = self.workers.get_mut(&a.wid) {
+                    w.served = a.served;
+                    w.acked = a.ctl_seq;
+                }
+            }
+            K_FAULT => {
+                self.stats.faults += 1;
+                // The worker will re-HELLO once it finds the new epoch;
+                // drop its stale registration so drains don't wait on it.
+                self.workers.remove(&a.wid);
+            }
+            _ => {}
+        }
+        Some(a)
+    }
+
+    /// Broadcasts one control frame.  Returns `Some(ctl_seq)` when sent,
+    /// `None` when skipped because no worker is registered (a BROADCAST
+    /// with zero receivers would be owed to the next joiner as a stale
+    /// command — see the module doc).
+    pub fn broadcast(&mut self, kind: u8, arg: u64) -> Result<Option<u32>> {
+        if self.workers.is_empty() {
+            return Ok(None);
+        }
+        self.ctl_seq += 1;
+        let frame = encode_ctl(kind, self.epoch, self.ctl_seq, arg);
+        self.t.send_deadline(self.ctl_tx, &frame, None)?;
+        Ok(Some(self.ctl_seq))
+    }
+
+    /// Pauses request intake on every worker.
+    pub fn pause(&mut self) -> Result<Option<u32>> {
+        self.broadcast(K_PAUSE, 0)
+    }
+
+    /// Resumes request intake after a pause or drain.
+    pub fn resume(&mut self) -> Result<Option<u32>> {
+        self.broadcast(K_RESUME, 0)
+    }
+
+    /// Drains the service: workers flush the request queue, ack, and
+    /// pause.  Blocks (bounded by `timeout` when given) until every
+    /// current-epoch worker acked.  Follow with [`Server::resume`] to
+    /// take traffic again.
+    pub fn drain(&mut self, timeout: Option<Duration>) -> Result<DrainReport> {
+        let deadline = timeout.map(|d| Instant::now() + d);
+        let Some(seq) = self.broadcast(K_DRAIN, 0)? else {
+            return Ok(DrainReport {
+                acked: Vec::new(),
+                timed_out: Vec::new(),
+                residual: self.t.queue_depth(self.q_tx)?,
+                served_total: 0,
+            });
+        };
+        let expect: Vec<u32> = self
+            .workers
+            .iter()
+            .filter(|(_, w)| w.epoch == self.epoch)
+            .map(|(&wid, _)| wid)
+            .collect();
+        loop {
+            let done: Vec<u32> = expect
+                .iter()
+                .copied()
+                .filter(|wid| self.workers.get(wid).is_some_and(|w| w.acked >= seq))
+                .collect();
+            if done.len() == expect.len() {
+                break;
+            }
+            if let Some(dl) = deadline {
+                if Instant::now() >= dl {
+                    break;
+                }
+            }
+            self.poll_acks(deadline)?;
+        }
+        let acked: Vec<u32> = expect
+            .iter()
+            .copied()
+            .filter(|wid| self.workers.get(wid).is_some_and(|w| w.acked >= seq))
+            .collect();
+        let timed_out: Vec<u32> = expect
+            .iter()
+            .copied()
+            .filter(|w| !acked.contains(w))
+            .collect();
+        let served_total = acked
+            .iter()
+            .filter_map(|wid| self.workers.get(wid))
+            .map(|w| w.served)
+            .sum();
+        Ok(DrainReport {
+            acked,
+            timed_out,
+            residual: self.t.queue_depth(self.q_tx)?,
+            served_total,
+        })
+    }
+
+    /// Stops the service: workers flush, `K_BYE`, and exit; then the
+    /// anchors close (deleting the conversations once the last worker
+    /// connection leaves).
+    pub fn shutdown(mut self, timeout: Option<Duration>) -> Result<ShutdownReport> {
+        let deadline = timeout.map(|d| Instant::now() + d);
+        let sent = self.broadcast(K_SHUTDOWN, 0)?;
+        let mut byes = Vec::new();
+        if sent.is_some() {
+            loop {
+                let waiting = self.workers.iter().any(|(_, w)| w.epoch == self.epoch);
+                if !waiting {
+                    break;
+                }
+                if let Some(dl) = deadline {
+                    if Instant::now() >= dl {
+                        break;
+                    }
+                }
+                for a in self.poll_acks(deadline)? {
+                    if a.kind == K_BYE {
+                        byes.push(a.wid);
+                    }
+                }
+            }
+        }
+        let stragglers: Vec<u32> = self
+            .workers
+            .iter()
+            .filter(|(_, w)| w.epoch == self.epoch)
+            .map(|(&wid, _)| wid)
+            .collect();
+        let _ = self.t.close_send(self.q_tx);
+        let _ = self.t.close_send(self.ctl_tx);
+        let _ = self.t.close_receive(self.ack_rx);
+        let _ = self.t.close_send(self.pres_tx);
+        Ok(ShutdownReport { byes, stragglers })
+    }
+
+    /// Health check: sweeps for dead peers and, if any anchor is
+    /// poisoned, retires the epoch and re-anchors.  Returns `true` when
+    /// an epoch bump happened (callers typically log it).  Run this
+    /// periodically from the process that owns the server.
+    pub fn supervise(&mut self) -> Result<bool> {
+        self.t.sweep_dead();
+        let hurt = self.t.is_poisoned(self.q_tx)
+            || self.t.is_poisoned(self.ctl_tx)
+            || self.t.is_poisoned(self.ack_rx)
+            || self.t.is_poisoned(self.pres_tx);
+        if !hurt {
+            return Ok(false);
+        }
+        self.bump_epoch()?;
+        Ok(true)
+    }
+
+    /// Retires the current epoch and re-anchors at `epoch + 1`.
+    fn bump_epoch(&mut self) -> Result<()> {
+        let next = self.epoch + 1;
+        // Best-effort notice on the old control plane; workers that miss
+        // it will hit PeerDied on the poisoned queue and probe anyway.
+        if !self.workers.is_empty() {
+            self.ctl_seq += 1;
+            let frame = encode_ctl(K_EPOCH, self.epoch, self.ctl_seq, u64::from(next));
+            let _ = self
+                .t
+                .send_deadline(self.ctl_tx, &frame, Some(Instant::now()));
+        }
+        let _ = self.t.close_send(self.q_tx);
+        let _ = self.t.close_send(self.ctl_tx);
+        let _ = self.t.close_receive(self.ack_rx);
+        let _ = self.t.close_send(self.pres_tx);
+        self.epoch = next;
+        self.stats.epoch_bumps += 1;
+        let (q_tx, ctl_tx, ack_rx, pres_tx) = Self::open_anchors(&self.t, &self.svc, next)?;
+        self.q_tx = q_tx;
+        self.ctl_tx = ctl_tx;
+        self.ack_rx = ack_rx;
+        self.pres_tx = pres_tx;
+        Ok(())
+    }
+}
+
+/// Finds the highest live epoch of a service by probing epoch-suffixed
+/// request-queue names upward from `floor` (epochs are dense — the
+/// server increments by one — so a bounded miss window is exhaustive).
+/// Blocks, napping between scans, until found or `deadline`; `None` on
+/// timeout.  Workers pass `floor = failed_epoch + 1` so they never
+/// re-adopt the epoch they just watched die.
+pub fn discover_epoch<T: Transport>(
+    t: &T,
+    svc: &str,
+    floor: u32,
+    deadline: Option<Instant>,
+) -> Option<u32> {
+    loop {
+        if let Some(found) = scan_epoch(t, svc, floor) {
+            return Some(found);
+        }
+        if let Some(dl) = deadline {
+            if Instant::now() >= dl {
+                return None;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// One non-blocking probe pass of [`discover_epoch`]: the highest
+/// existing epoch ≥ `floor`, or `None` without waiting.  Workers and
+/// clients also use this directly to notice, mid-conversation, that the
+/// server has moved past them.
+pub fn scan_epoch<T: Transport>(t: &T, svc: &str, floor: u32) -> Option<u32> {
+    let mut found = None;
+    let mut probe = floor.max(1);
+    let mut misses = 0u32;
+    while misses < 32 {
+        if t.lnvc_exists(&q_name(svc, probe)) {
+            found = Some(probe);
+            misses = 0;
+        } else {
+            misses += 1;
+        }
+        probe += 1;
+    }
+    found
+}

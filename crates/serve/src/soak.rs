@@ -1,0 +1,271 @@
+//! Shared pieces of the soak/chaos harness: the stamped payload scheme,
+//! the child→driver stat lines, and the per-phase SLO accounting.
+//!
+//! The soak driver ([`mpf-soak`](../../src/bin/mpf-soak.rs)) forks
+//! worker and client processes and SIGKILLs some of them on purpose, so
+//! the channel that reports results back must survive exactly the
+//! faults being injected — it cannot be an MPF conversation (a killed
+//! reporter would poison it).  Children therefore report over their own
+//! stdout as single `SOAK-FINAL <k>=<v>...` text lines: atomic for
+//! sane sizes on a pipe, trivially greppable in CI logs, and parsed
+//! here without any JSON machinery.
+//!
+//! ## Stamped payloads
+//!
+//! Every request body is reconstructible from `(cid, seq)`:
+//! `[cid u32][seq u64][fill…]` with a position-keyed fill byte.  A
+//! worker replies with the bitwise complement.  The client re-derives
+//! the expected complement and compares the whole buffer, so a reply
+//! that was duplicated, cross-wired to another client, or corrupted in
+//! block storage is caught at the byte level, not just by its header.
+
+use std::collections::BTreeMap;
+
+use mpf_bench::report::{json_num, json_str};
+use mpf_shm::telemetry::{HistSnapshot, HISTOGRAM_BUCKETS};
+
+/// Prefix of a child's final stat report on stdout.
+pub const FINAL_PREFIX: &str = "SOAK-FINAL ";
+
+/// Builds the stamped request body for `(cid, seq)`.
+pub fn make_payload(cid: u32, seq: u64, len: usize) -> Vec<u8> {
+    let len = len.max(12);
+    let mut out = Vec::with_capacity(len);
+    out.extend_from_slice(&cid.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    while out.len() < len {
+        let i = out.len();
+        out.push((cid as u8) ^ (seq as u8).wrapping_add(i as u8));
+    }
+    out
+}
+
+/// The worker's transform: bitwise complement (self-inverse, cheap, and
+/// turns an echoed-back request into a detectable non-reply).
+pub fn transform(payload: &[u8]) -> Vec<u8> {
+    payload.iter().map(|b| !b).collect()
+}
+
+/// Checks a reply against the payload `(cid, seq, len)` must have
+/// produced.
+pub fn verify_reply(cid: u32, seq: u64, len: usize, reply: &[u8]) -> bool {
+    transform(&make_payload(cid, seq, len)) == reply
+}
+
+/// Renders one `SOAK-FINAL` line from key/value pairs.
+pub fn encode_final(kvs: &[(&str, String)]) -> String {
+    let mut line = FINAL_PREFIX.to_string();
+    for (k, v) in kvs {
+        debug_assert!(
+            !v.contains(' ') && !v.contains('\n'),
+            "bad stat value {v:?}"
+        );
+        line.push_str(k);
+        line.push('=');
+        line.push_str(v);
+        line.push(' ');
+    }
+    line.trim_end().to_string()
+}
+
+/// Parses a `SOAK-FINAL` line (anywhere in `line`) into its pairs.
+pub fn parse_final(line: &str) -> Option<BTreeMap<String, String>> {
+    let rest = line.split(FINAL_PREFIX).nth(1)?;
+    let mut out = BTreeMap::new();
+    for tok in rest.split_whitespace() {
+        let (k, v) = tok.split_once('=')?;
+        out.insert(k.to_string(), v.to_string());
+    }
+    Some(out)
+}
+
+/// Compact text form of a latency histogram:
+/// `count:sum:max:b0,b1,…,b31`.
+pub fn encode_hist(h: &HistSnapshot) -> String {
+    let buckets = h
+        .buckets
+        .iter()
+        .map(|b| b.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("{}:{}:{}:{buckets}", h.count, h.sum, h.max)
+}
+
+/// Inverse of [`encode_hist`].
+pub fn decode_hist(s: &str) -> Option<HistSnapshot> {
+    let mut parts = s.splitn(4, ':');
+    let count = parts.next()?.parse().ok()?;
+    let sum = parts.next()?.parse().ok()?;
+    let max = parts.next()?.parse().ok()?;
+    let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+    let mut n = 0;
+    for (i, b) in parts.next()?.split(',').enumerate() {
+        *buckets.get_mut(i)? = b.parse().ok()?;
+        n = i + 1;
+    }
+    if n != HISTOGRAM_BUCKETS {
+        return None;
+    }
+    Some(HistSnapshot {
+        count,
+        sum,
+        max,
+        buckets,
+    })
+}
+
+/// Everything the driver accounts per phase, merged from the clients
+/// that ran during it.
+#[derive(Debug, Clone)]
+pub struct PhaseSlo {
+    pub name: String,
+    /// Calls that returned a verified reply.
+    pub ok: u64,
+    /// Calls that exhausted their retry budget.
+    pub timeouts: u64,
+    /// Replies failing byte-level verification (must stay 0).
+    pub corrupt: u64,
+    pub retries: u64,
+    pub epoch_failovers: u64,
+    pub gen_bumps: u64,
+    pub dup_replies: u64,
+    /// Send→reply latency over the calls that completed.
+    pub latency: HistSnapshot,
+}
+
+impl PhaseSlo {
+    pub fn new(name: &str) -> Self {
+        PhaseSlo {
+            name: name.to_string(),
+            ok: 0,
+            timeouts: 0,
+            corrupt: 0,
+            retries: 0,
+            epoch_failovers: 0,
+            gen_bumps: 0,
+            dup_replies: 0,
+            latency: HistSnapshot::default(),
+        }
+    }
+
+    /// Folds one client's final report into the phase.
+    pub fn absorb(&mut self, kv: &BTreeMap<String, String>) {
+        let get = |k: &str| kv.get(k).and_then(|v| v.parse::<u64>().ok()).unwrap_or(0);
+        self.ok += get("ok");
+        self.timeouts += get("timeouts");
+        self.corrupt += get("corrupt");
+        self.retries += get("retries");
+        self.epoch_failovers += get("epoch_failovers");
+        self.gen_bumps += get("gen_bumps");
+        self.dup_replies += get("dup_replies");
+        if let Some(h) = kv.get("lat").and_then(|s| decode_hist(s)) {
+            self.latency.absorb(&h);
+        }
+    }
+
+    /// `p50 <= p99 <= p999` and the latency count matches the completed
+    /// calls — the structural SLO invariants the driver gates on.
+    pub fn slo_structure_ok(&self) -> bool {
+        let (p50, p99, p999) = (
+            self.latency.percentile(0.50),
+            self.latency.percentile(0.99),
+            self.latency.percentile(0.999),
+        );
+        p50 <= p99 && p99 <= p999 && self.latency.count == self.ok
+    }
+
+    /// Renders the phase as a JSON object for `BENCH_soak.json`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"phase\":{},\"ok\":{},\"timeouts\":{},\"corrupt\":{},\"retries\":{},\
+             \"epoch_failovers\":{},\"gen_bumps\":{},\"dup_replies\":{},\
+             \"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"max_ns\":{},\"mean_ns\":{}}}",
+            json_str(&self.name),
+            self.ok,
+            self.timeouts,
+            self.corrupt,
+            self.retries,
+            self.epoch_failovers,
+            self.gen_bumps,
+            self.dup_replies,
+            self.latency.percentile(0.50),
+            self.latency.percentile(0.99),
+            self.latency.percentile(0.999),
+            self.latency.max,
+            json_num(if self.latency.count == 0 {
+                0.0
+            } else {
+                self.latency.sum as f64 / self.latency.count as f64
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_round_trip() {
+        let p = make_payload(7, 99, 64);
+        assert_eq!(p.len(), 64);
+        let r = transform(&p);
+        assert!(verify_reply(7, 99, 64, &r));
+        assert!(!verify_reply(7, 100, 64, &r));
+        assert!(!verify_reply(8, 99, 64, &r));
+        let mut bad = r.clone();
+        bad[40] ^= 1;
+        assert!(!verify_reply(7, 99, 64, &bad));
+    }
+
+    #[test]
+    fn final_line_round_trip() {
+        let line = encode_final(&[("role", "client".into()), ("ok", "42".into())]);
+        assert!(line.starts_with(FINAL_PREFIX));
+        let kv = parse_final(&format!("noise {line}")).unwrap();
+        assert_eq!(kv["role"], "client");
+        assert_eq!(kv["ok"], "42");
+        assert!(parse_final("no marker here").is_none());
+    }
+
+    #[test]
+    fn hist_round_trip() {
+        let mut h = HistSnapshot {
+            count: 10,
+            sum: 1234,
+            max: 500,
+            ..Default::default()
+        };
+        h.buckets[3] = 6;
+        h.buckets[31] = 4;
+        let back = decode_hist(&encode_hist(&h)).unwrap();
+        assert_eq!(back.count, 10);
+        assert_eq!(back.sum, 1234);
+        assert_eq!(back.max, 500);
+        assert_eq!(back.buckets, h.buckets);
+        assert!(decode_hist("1:2:3:4,5").is_none());
+    }
+
+    #[test]
+    fn phase_slo_absorbs_and_checks() {
+        let mut p = PhaseSlo::new("ramp");
+        let mut h = HistSnapshot::default();
+        for v in [100u64, 200, 50_000] {
+            h.count += 1;
+            h.sum += v;
+            h.max = h.max.max(v);
+            h.buckets[mpf_shm::telemetry::bucket_index(v)] += 1;
+        }
+        let mut kv = BTreeMap::new();
+        kv.insert("ok".to_string(), "3".to_string());
+        kv.insert("retries".to_string(), "1".to_string());
+        kv.insert("lat".to_string(), encode_hist(&h));
+        p.absorb(&kv);
+        assert_eq!(p.ok, 3);
+        assert_eq!(p.retries, 1);
+        assert!(p.slo_structure_ok());
+        let j = p.to_json();
+        assert!(j.contains("\"phase\":\"ramp\""));
+        assert!(j.contains("\"p50_ns\""));
+    }
+}

@@ -1,0 +1,284 @@
+//! Wire formats and LNVC naming for the service layer.
+//!
+//! Everything is little-endian and hand-packed: the region moves raw
+//! byte payloads, and the service layer's entire protocol state fits in
+//! three fixed headers.
+//!
+//! * **Request/reply** (`K_REQ`/`K_REP`): `[kind u8][cid u32][gen u32]
+//!   [seq u64][sent_ns u64][payload..]`.  A reply echoes the request's
+//!   identity triple `(cid, gen, seq)` so the client can de-duplicate
+//!   retried calls, and echoes `sent_ns` so send→reply latency is
+//!   measured from the attempt that was actually served.
+//! * **Control** (`K_PAUSE`..`K_EPOCH`): `[kind u8][epoch u32]
+//!   [ctl_seq u32][arg u64]`, broadcast by the server.  `ctl_seq` is a
+//!   server-monotonic serial; workers apply a command only when its
+//!   serial advances, so a command replayed to a late joiner (BROADCAST
+//!   over a zero-receiver FCFS-owed queue) is idempotent.
+//! * **Worker→server acks** (`K_HELLO`..`K_FAULT`): `[kind u8][wid u32]
+//!   [epoch u32][ctl_seq u32][served u64]`.
+//!
+//! ## Names
+//!
+//! All conversation names fit MPF's 32-byte limit with a service name of
+//! up to [`MAX_SVC_LEN`] bytes:
+//!
+//! | LNVC            | name                      | protocol  |
+//! |-----------------|---------------------------|-----------|
+//! | request queue   | `sq.{svc}.{epoch:x}`      | FCFS      |
+//! | control plane   | `sc.{svc}.{epoch:x}`      | BROADCAST |
+//! | worker acks     | `sa.{svc}.{epoch:x}`      | FCFS      |
+//! | client replies  | `sr.{svc}.{cid:x}.{gen:x}`| FCFS      |
+//!
+//! The epoch suffix is the failover mechanism: a SIGKILLed participant
+//! poisons the shared queue (poison is sticky per descriptor
+//! generation), so the server retires the whole epoch and re-anchors
+//! under fresh names; workers and clients rediscover the highest live
+//! epoch by name probing ([`crate::server::discover_epoch`]).
+
+/// A client request.
+pub const K_REQ: u8 = 1;
+/// A worker reply.
+pub const K_REP: u8 = 2;
+
+/// Stop taking new requests (keep watching the control plane).
+pub const K_PAUSE: u8 = 20;
+/// Resume taking requests after a pause or drain.
+pub const K_RESUME: u8 = 21;
+/// Flush the request queue, ack with the served count, then pause.
+pub const K_DRAIN: u8 = 22;
+/// Flush, say `K_BYE`, close everything, and exit.
+pub const K_SHUTDOWN: u8 = 23;
+/// The server re-anchored: rejoin at epoch ≥ `arg` (best-effort notice;
+/// workers also notice via `PeerDied` on the poisoned queue).
+pub const K_EPOCH: u8 = 24;
+
+/// Worker joined the epoch.
+pub const K_HELLO: u8 = 40;
+/// Worker acknowledges a `K_DRAIN` (carries `ctl_seq` and served count).
+pub const K_ACK: u8 = 41;
+/// Worker left cleanly (shutdown).
+pub const K_BYE: u8 = 42;
+/// Worker hit `PeerDied` and is rejoining (diagnostic).
+pub const K_FAULT: u8 = 43;
+
+/// Request/reply header bytes ahead of the payload.
+pub const REQ_HEADER: usize = 1 + 4 + 4 + 8 + 8;
+
+/// Longest service name: keeps every derived LNVC name within MPF's
+/// 32-byte cap (`sr.` + svc + `.` + 8 hex + `.` + 8 hex = 28).
+pub const MAX_SVC_LEN: usize = 7;
+
+/// Validates a service name: 1..=[`MAX_SVC_LEN`] bytes of
+/// `[a-z0-9_-]`, so derived names stay parseable and in-bounds.
+pub fn validate_svc(svc: &str) -> bool {
+    (1..=MAX_SVC_LEN).contains(&svc.len())
+        && svc
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_' || b == b'-')
+}
+
+/// Shared FCFS request queue of one epoch.
+pub fn q_name(svc: &str, epoch: u32) -> String {
+    format!("sq.{svc}.{epoch:x}")
+}
+
+/// BROADCAST control plane of one epoch.
+pub fn ctl_name(svc: &str, epoch: u32) -> String {
+    format!("sc.{svc}.{epoch:x}")
+}
+
+/// FCFS worker→server ack channel of one epoch.
+pub fn ack_name(svc: &str, epoch: u32) -> String {
+    format!("sa.{svc}.{epoch:x}")
+}
+
+/// The server's presence marker for one epoch: a conversation held open
+/// by the server **alone** (it never sends on it, nobody else connects).
+/// Everything else a worker could probe, the worker itself keeps alive
+/// by holding a connection — this is the one name whose existence
+/// tracks the server's opinion of the epoch, so workers poll it to
+/// notice a retired epoch or a vanished server.
+pub fn pres_name(svc: &str, epoch: u32) -> String {
+    format!("sp.{svc}.{epoch:x}")
+}
+
+/// One client's private FCFS reply queue.  `gen` bumps when the queue is
+/// poisoned by a dead worker, giving the client a fresh descriptor
+/// generation to fail over to.
+pub fn reply_name(svc: &str, cid: u32, gen: u32) -> String {
+    format!("sr.{svc}.{cid:x}.{gen:x}")
+}
+
+/// Decoded request or reply (`K_REQ` / `K_REP`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Req {
+    pub kind: u8,
+    /// Client id: names the reply queue together with `gen`.
+    pub cid: u32,
+    /// Client's reply-queue generation at send time.
+    pub gen: u32,
+    /// Client-monotonic call serial; the client's de-duplication key.
+    pub seq: u64,
+    /// `now_nanos()` at the send attempt; echoed in the reply.
+    pub sent_ns: u64,
+    pub payload: Vec<u8>,
+}
+
+/// Encodes a request or reply frame.
+pub fn encode_req(kind: u8, cid: u32, gen: u32, seq: u64, sent_ns: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(REQ_HEADER + payload.len());
+    out.push(kind);
+    out.extend_from_slice(&cid.to_le_bytes());
+    out.extend_from_slice(&gen.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&sent_ns.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decodes a request or reply frame; `None` on a malformed buffer.
+pub fn decode_req(buf: &[u8]) -> Option<Req> {
+    if buf.len() < REQ_HEADER || (buf[0] != K_REQ && buf[0] != K_REP) {
+        return None;
+    }
+    Some(Req {
+        kind: buf[0],
+        cid: u32::from_le_bytes(buf[1..5].try_into().ok()?),
+        gen: u32::from_le_bytes(buf[5..9].try_into().ok()?),
+        seq: u64::from_le_bytes(buf[9..17].try_into().ok()?),
+        sent_ns: u64::from_le_bytes(buf[17..25].try_into().ok()?),
+        payload: buf[REQ_HEADER..].to_vec(),
+    })
+}
+
+/// Decoded control-plane frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ctl {
+    pub kind: u8,
+    /// Epoch the server was on when broadcasting.
+    pub epoch: u32,
+    /// Server-monotonic command serial (replay-idempotence key).
+    pub ctl_seq: u32,
+    /// Command argument (`K_EPOCH`: the new epoch floor).
+    pub arg: u64,
+}
+
+/// Encodes a control frame.
+pub fn encode_ctl(kind: u8, epoch: u32, ctl_seq: u32, arg: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(17);
+    out.push(kind);
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&ctl_seq.to_le_bytes());
+    out.extend_from_slice(&arg.to_le_bytes());
+    out
+}
+
+/// Decodes a control frame; `None` on a malformed buffer.
+pub fn decode_ctl(buf: &[u8]) -> Option<Ctl> {
+    if buf.len() != 17 || !(K_PAUSE..=K_EPOCH).contains(&buf[0]) {
+        return None;
+    }
+    Some(Ctl {
+        kind: buf[0],
+        epoch: u32::from_le_bytes(buf[1..5].try_into().ok()?),
+        ctl_seq: u32::from_le_bytes(buf[5..9].try_into().ok()?),
+        arg: u64::from_le_bytes(buf[9..17].try_into().ok()?),
+    })
+}
+
+/// Decoded worker→server ack frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ack {
+    pub kind: u8,
+    pub wid: u32,
+    /// Epoch the worker is (or was) joined to.
+    pub epoch: u32,
+    /// For `K_ACK`: the `ctl_seq` of the drain being acknowledged.
+    pub ctl_seq: u32,
+    /// Requests the worker has served so far.
+    pub served: u64,
+}
+
+/// Encodes an ack frame.
+pub fn encode_ack(kind: u8, wid: u32, epoch: u32, ctl_seq: u32, served: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(21);
+    out.push(kind);
+    out.extend_from_slice(&wid.to_le_bytes());
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&ctl_seq.to_le_bytes());
+    out.extend_from_slice(&served.to_le_bytes());
+    out
+}
+
+/// Decodes an ack frame; `None` on a malformed buffer.
+pub fn decode_ack(buf: &[u8]) -> Option<Ack> {
+    if buf.len() != 21 || !(K_HELLO..=K_FAULT).contains(&buf[0]) {
+        return None;
+    }
+    Some(Ack {
+        kind: buf[0],
+        wid: u32::from_le_bytes(buf[1..5].try_into().ok()?),
+        epoch: u32::from_le_bytes(buf[5..9].try_into().ok()?),
+        ctl_seq: u32::from_le_bytes(buf[9..13].try_into().ok()?),
+        served: u64::from_le_bytes(buf[13..21].try_into().ok()?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn req_round_trip() {
+        let buf = encode_req(K_REQ, 7, 2, 99, 123_456, b"payload");
+        let r = decode_req(&buf).unwrap();
+        assert_eq!(
+            r,
+            Req {
+                kind: K_REQ,
+                cid: 7,
+                gen: 2,
+                seq: 99,
+                sent_ns: 123_456,
+                payload: b"payload".to_vec(),
+            }
+        );
+    }
+
+    #[test]
+    fn ctl_and_ack_round_trip() {
+        let c = decode_ctl(&encode_ctl(K_DRAIN, 3, 17, 42)).unwrap();
+        assert_eq!((c.kind, c.epoch, c.ctl_seq, c.arg), (K_DRAIN, 3, 17, 42));
+        let a = decode_ack(&encode_ack(K_ACK, 5, 3, 17, 1000)).unwrap();
+        assert_eq!(
+            (a.kind, a.wid, a.epoch, a.ctl_seq, a.served),
+            (K_ACK, 5, 3, 17, 1000)
+        );
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected() {
+        assert!(decode_req(b"").is_none());
+        assert!(decode_req(&[K_PAUSE; 30]).is_none());
+        assert!(decode_ctl(&encode_req(K_REQ, 0, 0, 0, 0, b"")).is_none());
+        assert!(decode_ack(&[0u8; 21]).is_none());
+    }
+
+    #[test]
+    fn names_fit_mpf_limit() {
+        let svc = "abcdefg"; // MAX_SVC_LEN
+        assert!(validate_svc(svc));
+        for n in [
+            q_name(svc, u32::MAX),
+            ctl_name(svc, u32::MAX),
+            ack_name(svc, u32::MAX),
+            pres_name(svc, u32::MAX),
+            reply_name(svc, u32::MAX, u32::MAX),
+        ] {
+            assert!(n.len() <= 32, "{n} is {} bytes", n.len());
+        }
+        assert!(!validate_svc(""));
+        assert!(!validate_svc("toolong-x"));
+        assert!(!validate_svc("UPPER"));
+    }
+}

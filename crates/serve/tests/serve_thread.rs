@@ -1,0 +1,163 @@
+//! Service-layer integration tests on the thread backend: full
+//! control-plane lifecycle (pause → resume → drain → shutdown) with
+//! real concurrency, plus conservation after everything disconnects.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mpf::{Mpf, MpfConfig, ProcessId};
+use mpf_aio::AsyncMpf;
+use mpf_serve::{run_worker, Client, ClientCfg, Server, ThreadTransport, WorkerCfg};
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::from_index(i)
+}
+
+fn thread_t(mpf: &Arc<Mpf>, pid: usize) -> ThreadTransport {
+    ThreadTransport(AsyncMpf::new(Arc::clone(mpf), p(pid)))
+}
+
+/// Pumps the server's ack channel until `cond` holds or `timeout`.
+fn pump_until<T, F>(server: &mut Server<T>, timeout: Duration, mut cond: F)
+where
+    T: mpf_serve::Transport,
+    F: FnMut(&Server<T>) -> bool,
+{
+    let deadline = Instant::now() + timeout;
+    while !cond(server) {
+        assert!(Instant::now() < deadline, "condition not reached in time");
+        server
+            .poll_acks(Some(Instant::now() + Duration::from_millis(10)))
+            .expect("poll_acks");
+    }
+}
+
+#[test]
+fn round_trip_and_lifecycle() {
+    let mpf = Arc::new(Mpf::init(MpfConfig::new(32, 16)).expect("init"));
+    let mut server = Server::new(Arc::new(thread_t(&mpf, 0)), "life").expect("anchor");
+
+    let worker = {
+        let mpf = Arc::clone(&mpf);
+        std::thread::spawn(move || {
+            let t = thread_t(&mpf, 1);
+            run_worker(&t, &WorkerCfg::new("life", 1), |req| {
+                let mut v = req.to_vec();
+                v.reverse();
+                v
+            })
+            .expect("worker")
+        })
+    };
+    pump_until(&mut server, Duration::from_secs(10), |s| {
+        s.worker_count() == 1
+    });
+
+    let t = Arc::new(thread_t(&mpf, 2));
+    let mut client = Client::connect(t, ClientCfg::new("life", 1)).expect("connect");
+    assert_eq!(client.call(b"abc").expect("call"), b"cba");
+
+    // Pause stops intake; a call issued while paused must still succeed
+    // once intake resumes (the request waits in the queue — FCFS owes it
+    // to the worker class, not to a live receiver).
+    server.pause().expect("pause");
+    let pauser = {
+        let mpf = Arc::clone(&mpf);
+        std::thread::spawn(move || {
+            let t = Arc::new(thread_t(&mpf, 3));
+            let mut c = Client::connect(t, ClientCfg::new("life", 2)).expect("connect");
+            let reply = c.call(b"paused").expect("call during pause");
+            c.close();
+            reply
+        })
+    };
+    std::thread::sleep(Duration::from_millis(50));
+    server.resume().expect("resume");
+    let reply = pauser.join().expect("pauser thread");
+    assert_eq!(reply, b"desuap");
+
+    // Drain: the worker flushes and acks; the queue ends empty.
+    let d = server.drain(Some(Duration::from_secs(10))).expect("drain");
+    assert_eq!(d.acked, vec![1], "{d:?}");
+    assert!(d.timed_out.is_empty(), "{d:?}");
+    assert_eq!(d.residual, 0, "{d:?}");
+
+    // Traffic flows again after the drain is resumed.
+    server.resume().expect("resume after drain");
+    assert_eq!(client.call(b"more").expect("post-drain call"), b"erom");
+    client.close();
+
+    let s = server
+        .shutdown(Some(Duration::from_secs(10)))
+        .expect("shutdown");
+    assert_eq!(s.byes, vec![1], "{s:?}");
+    assert!(s.stragglers.is_empty(), "{s:?}");
+    let stats = worker.join().expect("worker thread");
+    assert_eq!(stats.served, 3, "{stats:?}");
+
+    assert_eq!(mpf.live_lnvcs(), 0, "service conversations all deleted");
+    mpf.check_invariants().expect("invariants");
+}
+
+#[test]
+fn many_clients_one_worker_dedupe_free() {
+    const CLIENTS: usize = 6;
+    const CALLS: u64 = 25;
+    let mpf = Arc::new(Mpf::init(MpfConfig::new(32, 16)).expect("init"));
+    let mut server = Server::new(Arc::new(thread_t(&mpf, 0)), "echo").expect("anchor");
+
+    let worker = {
+        let mpf = Arc::clone(&mpf);
+        std::thread::spawn(move || {
+            let t = thread_t(&mpf, 1);
+            run_worker(&t, &WorkerCfg::new("echo", 9), |req| req.to_vec()).expect("worker")
+        })
+    };
+    pump_until(&mut server, Duration::from_secs(10), |s| {
+        s.worker_count() == 1
+    });
+
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let mpf = Arc::clone(&mpf);
+            std::thread::spawn(move || {
+                let t = Arc::new(thread_t(&mpf, 2 + c));
+                let mut cl =
+                    Client::connect(t, ClientCfg::new("echo", c as u32 + 1)).expect("connect");
+                for i in 0..CALLS {
+                    let msg = format!("c{c}-{i}");
+                    assert_eq!(cl.call(msg.as_bytes()).expect("call"), msg.as_bytes());
+                }
+                let stats = cl.stats.clone();
+                cl.close();
+                stats
+            })
+        })
+        .collect();
+
+    let mut done = Vec::new();
+    for h in clients {
+        while !h.is_finished() {
+            let _ = server.poll_acks(Some(Instant::now() + Duration::from_millis(5)));
+        }
+        done.push(h.join().expect("client thread"));
+    }
+    for st in &done {
+        assert_eq!(st.ok, CALLS, "{st:?}");
+        assert_eq!(st.timeouts, 0, "{st:?}");
+        // Private reply queues + per-seq matching: nothing to de-dupe
+        // when no worker died.
+        assert_eq!(st.dup_replies, 0, "{st:?}");
+        assert_eq!(st.latency().count, CALLS, "{st:?}");
+    }
+
+    let s = server
+        .shutdown(Some(Duration::from_secs(10)))
+        .expect("shutdown");
+    assert!(s.stragglers.is_empty(), "{s:?}");
+    let stats = worker.join().expect("worker thread");
+    assert_eq!(stats.served, CLIENTS as u64 * CALLS, "{stats:?}");
+
+    assert_eq!(mpf.live_lnvcs(), 0);
+    mpf.check_invariants().expect("invariants");
+}

@@ -1,122 +1,95 @@
-//! Request/reply (RPC) over LNVCs: a service conversation shared by many
-//! clients, with per-client reply conversations — the standard pattern
-//! for building client/server programs on the MPF model.
+//! Request/reply over LNVCs — now a thin wrapper around the `mpf-serve`
+//! service layer, which packages the pattern this example used to build
+//! by hand (shared FCFS request conversation, per-client reply
+//! conversations, a control plane for shutdown).
 //!
-//! Demonstrates two properties of the model at once:
-//! * many senders on one FCFS conversation (clients) with a pool of
-//!   servers splitting the load, and
-//! * dynamically named conversations (each client names its own reply
-//!   channel, and servers join it just long enough to answer — LNVCs are
-//!   created on first open and deleted on last close).
+//! What the service layer adds over the hand-rolled version:
+//! * a [`Server`] anchor so the shared conversations survive worker and
+//!   client churn (LNVCs die with their last connection otherwise),
+//! * a BROADCAST control plane — the orderly shutdown below replaces the
+//!   old empty-message poison pill,
+//! * per-call timeout/retry and duplicate suppression in [`Client`].
 //!
 //! ```sh
 //! cargo run --example request_reply
 //! ```
 
-use mpf::{Mpf, MpfConfig, ProcessId, Protocol};
+use std::sync::Arc;
 
-const CLIENTS: usize = 4;
-const SERVERS: usize = 2;
-const REQUESTS_PER_CLIENT: u32 = 8;
+use mpf::{Mpf, MpfConfig, ProcessId};
+use mpf_aio::AsyncMpf;
+use mpf_serve::{run_worker, Client, ClientCfg, Server, ThreadTransport, WorkerCfg};
+
+const CLIENTS: u32 = 4;
+const WORKERS: u32 = 2;
+const REQUESTS_PER_CLIENT: u64 = 8;
+const SVC: &str = "square";
 
 fn main() {
-    let mpf_owned = Mpf::init(MpfConfig::new(32, 16)).expect("init");
-    let mpf = &mpf_owned;
+    let mpf = Arc::new(Mpf::init(MpfConfig::new(32, 16)).expect("init"));
 
-    // All receive connections on the service conversation are opened
-    // before any client thread exists.  Two reasons (both §1/§3.2 model
-    // semantics): the auditor's broadcast ear sees only messages sent
-    // after it joins, and a request sent while *only* broadcast receivers
-    // are connected owes no FCFS delivery — a server joining later would
-    // never see it.
-    let controller_pid = ProcessId::from_index(CLIENTS + SERVERS);
-    let probe = mpf
-        .receiver(controller_pid, "service", Protocol::Broadcast)
-        .expect("ctl probe");
-    let server_rxs: Vec<_> = (0..SERVERS)
-        .map(|srv| {
-            mpf.receiver(
-                ProcessId::from_index(CLIENTS + srv),
-                "service",
-                Protocol::Fcfs,
-            )
-            .expect("service rx")
-        })
-        .collect();
+    // The server anchors the service's shared conversations (request
+    // queue, control plane, ack channel) before any worker or client
+    // exists, so nothing is lost to late joiners.
+    let server_t = Arc::new(ThreadTransport(AsyncMpf::new(
+        Arc::clone(&mpf),
+        ProcessId::from_index(0),
+    )));
+    let mut server = Server::new(Arc::clone(&server_t), SVC).expect("anchor service");
 
-    std::thread::scope(|s| {
-        for c in 0..CLIENTS {
-            s.spawn(move || {
-                let me = ProcessId::from_index(c);
-                let reply_name = format!("reply:{c}");
-                // Open our reply ear before sending, so no answer is lost.
-                let reply_rx = mpf
-                    .receiver(me, &reply_name, Protocol::Fcfs)
-                    .expect("reply rx");
-                let svc = mpf.sender(me, "service").expect("service tx");
-                for i in 0..REQUESTS_PER_CLIENT {
-                    // Request = client id, then the operand to square.
-                    let mut req = Vec::new();
-                    req.extend_from_slice(&(c as u32).to_le_bytes());
-                    req.extend_from_slice(&i.to_le_bytes());
-                    svc.send(&req).expect("request");
-                    let reply = reply_rx.recv_vec().expect("reply");
-                    let v = u32::from_le_bytes(reply.as_slice().try_into().expect("4 bytes"));
-                    assert_eq!(v, i * i, "client {c} got a wrong answer");
-                }
-                println!("client {c}: {REQUESTS_PER_CLIENT} calls answered correctly");
-            });
-        }
+    let mut workers = Vec::new();
+    for w in 0..WORKERS {
+        let m = Arc::clone(&mpf);
+        workers.push(std::thread::spawn(move || {
+            let t = ThreadTransport(AsyncMpf::new(m, ProcessId::from_index(1 + w as usize)));
+            // The handler squares a little-endian u32.
+            let stats = run_worker(&t, &WorkerCfg::new(SVC, w + 1), |req| {
+                let v = u32::from_le_bytes(req[..4].try_into().expect("4 bytes"));
+                (v * v).to_le_bytes().to_vec()
+            })
+            .expect("worker");
+            println!("worker {}: served {} requests", w + 1, stats.served);
+        }));
+    }
 
-        for (srv, rx) in server_rxs.into_iter().enumerate() {
-            s.spawn(move || {
-                let me = ProcessId::from_index(CLIENTS + srv);
-                let mut served = 0;
-                loop {
-                    let req = rx.recv_vec().expect("take request");
-                    if req.is_empty() {
-                        break;
-                    }
-                    let client = u32::from_le_bytes(req[..4].try_into().expect("4"));
-                    let operand = u32::from_le_bytes(req[4..].try_into().expect("4"));
-                    // Join the client's reply conversation only to answer.
-                    let reply = mpf
-                        .sender(me, &format!("reply:{client}"))
-                        .expect("reply tx");
-                    reply
-                        .send(&(operand * operand).to_le_bytes())
-                        .expect("answer");
-                    served += 1;
-                    // `reply` drops here: the server leaves; the
-                    // conversation survives because the client still holds
-                    // its receive connection.
-                }
-                println!("server {srv}: served {served} requests");
-            });
-        }
-
-        // Controller: shuts the servers down after the last request.  It
-        // audits the service conversation with a BROADCAST ear (every
-        // request is delivered to one FCFS server *and* to the auditor),
-        // counts requests, and poisons the servers when all clients are
-        // accounted for — mixed protocols on one LNVC doing real work.
-        let probe = probe;
-        s.spawn(move || {
-            let svc = mpf.sender(controller_pid, "service").expect("ctl tx");
-            let expected = (CLIENTS as u32 * REQUESTS_PER_CLIENT) as usize;
-            for _ in 0..expected {
-                let req = probe.recv_vec().expect("audit");
-                assert_eq!(req.len(), 8, "auditor sees every well-formed request");
+    let mut clients = Vec::new();
+    for c in 0..CLIENTS {
+        let m = Arc::clone(&mpf);
+        clients.push(std::thread::spawn(move || {
+            let pid = ProcessId::from_index(1 + WORKERS as usize + c as usize);
+            let t = Arc::new(ThreadTransport(AsyncMpf::new(m, pid)));
+            let mut client = Client::connect(t, ClientCfg::new(SVC, c + 1)).expect("connect");
+            for i in 0..REQUESTS_PER_CLIENT {
+                let reply = client.call(&(i as u32).to_le_bytes()).expect("call");
+                let v = u32::from_le_bytes(reply[..4].try_into().expect("4 bytes"));
+                assert_eq!(v, (i * i) as u32, "client {c} got a wrong answer");
             }
-            // Every request was *sent*; each client blocks on its reply
-            // before sending the next, so after the auditor has seen the
-            // final request the servers can be poisoned: FIFO order
-            // guarantees the poisons queue behind it.
-            for _ in 0..SERVERS {
-                svc.send(&[]).expect("poison");
-            }
-        });
-    });
+            client.close();
+            println!("client {c}: {REQUESTS_PER_CLIENT} calls answered correctly");
+        }));
+    }
+
+    // Pump worker registrations and serve acks while traffic runs.
+    while clients.iter().any(|h| !h.is_finished()) {
+        let _ = server.poll_acks(Some(
+            std::time::Instant::now() + std::time::Duration::from_millis(10),
+        ));
+    }
+    for h in clients {
+        h.join().expect("client");
+    }
+
+    // Orderly shutdown over the control plane: workers flush the queue,
+    // say goodbye, and exit.
+    let report = server
+        .shutdown(Some(std::time::Duration::from_secs(5)))
+        .expect("shutdown");
+    assert!(report.stragglers.is_empty(), "all workers said BYE");
+    for h in workers {
+        h.join().expect("worker");
+    }
+    drop(server_t);
+
     println!(
         "rpc demo complete; live conversations: {}",
         mpf.live_lnvcs()
