@@ -13,9 +13,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::task::{Context, Poll};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use mpf::{LnvcId, Mpf, ProcessId, Protocol, Result};
+use mpf::{LnvcId, Mpf, MpfError, ProcessId, Protocol, Result};
 use mpf_ipc::{IpcLnvcId, IpcMpf};
 use mpf_shm::waitq::{WaitQueue, WaitStrategy};
 
@@ -56,8 +56,14 @@ impl Backend for ThreadBackend {
         true
     }
 
-    fn wait(&self, recv: &[(LnvcId, u32)], mem: Option<u32>, wake: (&WaitQueue, u32)) {
-        self.mpf.wait_signals(recv, mem, Some(wake));
+    fn wait(
+        &self,
+        recv: &[(LnvcId, u32)],
+        mem: Option<u32>,
+        wake: (&WaitQueue, u32),
+        until: Option<Instant>,
+    ) {
+        self.mpf.wait_signals_deadline(recv, mem, Some(wake), until);
     }
 }
 
@@ -119,25 +125,39 @@ impl Backend for IpcBackend {
         false
     }
 
-    fn wait(&self, recv: &[(IpcLnvcId, u32)], mem: Option<u32>, wake: (&WaitQueue, u32)) {
+    fn wait(
+        &self,
+        recv: &[(IpcLnvcId, u32)],
+        mem: Option<u32>,
+        wake: (&WaitQueue, u32),
+        until: Option<Instant>,
+    ) {
+        // Every nap below is already bounded; the earliest registered
+        // timer just tightens the bound so expiry fires on time.
+        let clamp = |nap: Duration| {
+            until.map_or(nap, |at| {
+                nap.min(at.saturating_duration_since(Instant::now()))
+            })
+        };
         if let Some(&(id, ticket)) = recv.first() {
             // Park on the first conversation's in-region futex; the
             // bounded timeout keeps the other interests live.  Receive
             // traffic implies the pools are moving, so pending senders
             // riding on this wait keep the fast fixed cadence.
-            self.ipc.wait_recv_signal(id, ticket, IPC_NAP);
+            self.ipc.wait_recv_signal(id, ticket, clamp(IPC_NAP));
         } else if mem.is_some() {
             // Only senders are blocked and nothing in the region can
             // signal a free: poll with exponential backoff so sustained
             // pool pressure costs naps, not a spinning core.
             let nap = self.send_nap_us.load(Ordering::Relaxed);
-            std::thread::sleep(Duration::from_micros(nap));
+            std::thread::sleep(clamp(Duration::from_micros(nap)));
             self.send_nap_us
                 .store((nap * 2).min(SEND_NAP_MAX_US), Ordering::Relaxed);
         } else {
-            // Only the reactor's own (process-local) wake channel can
-            // fire: park until a registration or shutdown bumps it.
-            wake.0.wait(wake.1, WaitStrategy::Park);
+            // Only the reactor's own (process-local) wake channel or a
+            // timer can fire: park until a registration or shutdown
+            // bumps the queue, or the earliest timer expires.
+            wake.0.wait_deadline(wake.1, WaitStrategy::Park, until);
         }
     }
 }
@@ -227,6 +247,67 @@ impl<B: Backend> Future for SendFuture<B> {
         }
     }
 }
+
+/// A future bounded by a wall-clock deadline: resolves to the inner
+/// result if it completes first, or [`MpfError::TimedOut`] once the
+/// deadline passes.  Built by the `.deadline(at)` combinator on
+/// [`RecvFuture`], [`SendFuture`] and [`SelectAny`]; the reactor holds
+/// the expiry as a timer registration, so the wake needs no extra
+/// thread and no polling executor — plain [`crate::block_on`] works.
+///
+/// The inner future is polled *before* the clock check, so a completion
+/// racing the deadline resolves, not times out.
+pub struct Deadline<B: Backend, F> {
+    reactor: Arc<Reactor<B>>,
+    inner: F,
+    at: Instant,
+}
+
+impl<B: Backend, T, F> Future for Deadline<B, F>
+where
+    F: Future<Output = Result<T>> + Unpin,
+{
+    type Output = Result<T>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = &mut *self;
+        match Pin::new(&mut this.inner).poll(cx) {
+            Poll::Ready(r) => Poll::Ready(r),
+            Poll::Pending => {
+                if Instant::now() >= this.at {
+                    return Poll::Ready(Err(MpfError::TimedOut));
+                }
+                this.reactor.register_timer(this.at, cx.waker());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+macro_rules! deadline_combinator {
+    ($future:ident) => {
+        impl<B: Backend> $future<B> {
+            /// Bounds this future by a wall-clock deadline
+            /// ([`MpfError::TimedOut`] once it passes).
+            pub fn deadline(self, at: Instant) -> Deadline<B, Self> {
+                Deadline {
+                    reactor: Arc::clone(&self.reactor),
+                    inner: self,
+                    at,
+                }
+            }
+
+            /// [`deadline`](Self::deadline) with a relative timeout.
+            pub fn timeout(self, after: Duration) -> Deadline<B, Self> {
+                self.deadline(Instant::now() + after)
+            }
+        }
+    };
+}
+
+deadline_combinator!(RecvFuture);
+deadline_combinator!(SendFuture);
+deadline_combinator!(SelectAny);
 
 /// Resolves to `(conversation, message)` for whichever registered
 /// conversation delivers first.

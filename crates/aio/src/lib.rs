@@ -43,6 +43,6 @@ pub mod reactor;
 
 pub use exec::{block_on, block_on_deadline, block_on_timeout, Executor, JoinHandle};
 pub use facility::{
-    AsyncIpc, AsyncMpf, IpcBackend, RecvFuture, SelectAny, SendFuture, ThreadBackend,
+    AsyncIpc, AsyncMpf, Deadline, IpcBackend, RecvFuture, SelectAny, SendFuture, ThreadBackend,
 };
 pub use reactor::Backend;

@@ -22,6 +22,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::task::Waker;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use mpf::Result;
 use mpf_shm::waitq::WaitQueue;
@@ -49,13 +50,24 @@ pub trait Backend: Send + Sync + 'static {
     /// Blocks until any of the signals may have fired: a listed receive
     /// queue moves past its ticket, the memory signal moves past `mem`,
     /// or the reactor's `wake` queue moves past its ticket.  Bounded
-    /// waits (returning early with nothing fired) are fine.
-    fn wait(&self, recv: &[(Self::Id, u32)], mem: Option<u32>, wake: (&WaitQueue, u32));
+    /// waits (returning early with nothing fired) are fine.  `until` is
+    /// the earliest registered timer deadline: the wait must return by
+    /// then (give or take scheduler latency) so the reactor can fire it.
+    fn wait(
+        &self,
+        recv: &[(Self::Id, u32)],
+        mem: Option<u32>,
+        wake: (&WaitQueue, u32),
+        until: Option<Instant>,
+    );
 }
 
 struct State<Id> {
     recv: Vec<(Id, u32, Waker)>,
     send: Vec<(u32, Waker)>,
+    /// Deadline registrations from `Deadline`-wrapped futures: fired (and
+    /// dropped) once `Instant::now()` passes the stored instant.
+    timers: Vec<(Instant, Waker)>,
 }
 
 pub(crate) struct Reactor<B: Backend> {
@@ -72,6 +84,7 @@ impl<B: Backend> Reactor<B> {
             state: Mutex::new(State {
                 recv: Vec::new(),
                 send: Vec::new(),
+                timers: Vec::new(),
             }),
             wake: WaitQueue::new(),
             shutdown: AtomicBool::new(false),
@@ -100,6 +113,17 @@ impl<B: Backend> Reactor<B> {
         self.wake.notify_all();
     }
 
+    /// Registers a wake at `at` (a `Deadline` future's expiry).  The
+    /// wake is allowed to be late by one scheduler quantum and, like
+    /// every reactor wake, allowed to be spurious — the wrapped future
+    /// re-checks the clock on poll.
+    pub(crate) fn register_timer(&self, at: Instant, waker: &Waker) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.timers.push((at, waker.clone()));
+        drop(st);
+        self.wake.notify_all();
+    }
+
     pub(crate) fn stop(&self) {
         self.shutdown.store(true, Ordering::Release);
         self.wake.notify_all();
@@ -112,7 +136,7 @@ impl<B: Backend> Reactor<B> {
             // makes the wait below return immediately.
             let wake_ticket = self.wake.ticket();
             let mut fired: Vec<Waker> = Vec::new();
-            let (recv_wait, mem_wait) = {
+            let (recv_wait, mem_wait, next_timer) = {
                 let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
                 st.recv.retain(|(id, ticket, waker)| {
                     match self.backend.recv_ticket(*id) {
@@ -136,12 +160,24 @@ impl<B: Backend> Reactor<B> {
                         }
                     });
                 }
+                // Fire expired timers; the earliest survivor bounds the
+                // wait below.
+                let now = Instant::now();
+                st.timers.retain(|(at, waker)| {
+                    if now >= *at {
+                        fired.push(waker.clone());
+                        false
+                    } else {
+                        true
+                    }
+                });
                 (
                     st.recv
                         .iter()
                         .map(|&(id, ticket, _)| (id, ticket))
                         .collect::<Vec<_>>(),
                     st.send.first().map(|&(ticket, _)| ticket),
+                    st.timers.iter().map(|&(at, _)| at).min(),
                 )
             };
             let woke_any = !fired.is_empty();
@@ -152,7 +188,7 @@ impl<B: Backend> Reactor<B> {
                 continue;
             }
             self.backend
-                .wait(&recv_wait, mem_wait, (&self.wake, wake_ticket));
+                .wait(&recv_wait, mem_wait, (&self.wake, wake_ticket), next_timer);
             if poll_sends && mem_wait.is_some() {
                 // No region-wide free signal: re-fire pending senders
                 // after each bounded wait so they retry at nap cadence

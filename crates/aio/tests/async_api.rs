@@ -225,3 +225,75 @@ fn ipc_send_pends_until_capacity_frees() {
         .unwrap();
     assert_eq!(&buf[..n], b"second");
 }
+
+#[test]
+fn deadline_futures_time_out_with_typed_error() {
+    use std::time::Instant;
+
+    let m = Arc::new(Mpf::init(MpfConfig::new(8, 4)).unwrap());
+    let a = AsyncMpf::new(Arc::clone(&m), ProcessId::from_index(0));
+    let _tx = a.open_send("dl-quiet").unwrap();
+    let rx = a.open_receive("dl-quiet", Protocol::Fcfs).unwrap();
+
+    let start = Instant::now();
+    let err = block_on(a.recv(rx).timeout(Duration::from_millis(50))).unwrap_err();
+    assert_eq!(err, mpf::MpfError::TimedOut);
+    assert!(start.elapsed() >= Duration::from_millis(50));
+
+    // The select-any combinator carries the same bound.
+    let err = block_on(a.select_any(&[rx]).timeout(Duration::from_millis(50))).unwrap_err();
+    assert_eq!(err, mpf::MpfError::TimedOut);
+}
+
+#[test]
+fn deadline_recv_delivers_when_send_races_expiry() {
+    let m = Arc::new(Mpf::init(MpfConfig::new(8, 4)).unwrap());
+    let a = AsyncMpf::new(Arc::clone(&m), ProcessId::from_index(0));
+    let b = AsyncMpf::new(Arc::clone(&m), ProcessId::from_index(1));
+    let tx = a.open_send("dl-race").unwrap();
+    let rx = b.open_receive("dl-race", Protocol::Fcfs).unwrap();
+
+    let sender = {
+        let m = Arc::clone(&m);
+        thread::spawn(move || {
+            thread::sleep(Duration::from_millis(40));
+            m.message_send(ProcessId::from_index(0), tx, b"in time")
+                .unwrap();
+        })
+    };
+    let msg = block_on(b.recv(rx).timeout(Duration::from_secs(30))).unwrap();
+    assert_eq!(msg, b"in time");
+    sender.join().unwrap();
+}
+
+#[test]
+fn send_future_times_out_under_exhaustion_then_recovers() {
+    let m = Arc::new(
+        Mpf::init(
+            MpfConfig::new(8, 4)
+                .with_block_payload(64)
+                .with_total_blocks(4)
+                .with_max_messages(4),
+        )
+        .unwrap(),
+    );
+    let a = AsyncMpf::new(Arc::clone(&m), ProcessId::from_index(0));
+    let tx = a.open_send("dl-full").unwrap();
+    let rx = m
+        .open_receive(ProcessId::from_index(1), "dl-full", Protocol::Fcfs)
+        .unwrap();
+    for i in 0..4 {
+        m.message_send(ProcessId::from_index(0), tx, &[i; 64])
+            .unwrap();
+    }
+
+    let err = block_on(a.send(tx, vec![9; 64]).timeout(Duration::from_millis(60))).unwrap_err();
+    assert_eq!(err, mpf::MpfError::TimedOut);
+
+    // Draining one message frees capacity; the same send now completes
+    // well inside its bound, proving the timeout staged nothing sticky.
+    let mut buf = [0u8; 64];
+    m.message_receive(ProcessId::from_index(1), rx, &mut buf)
+        .unwrap();
+    block_on(a.send(tx, vec![9; 64]).timeout(Duration::from_secs(30))).unwrap();
+}

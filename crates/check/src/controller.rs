@@ -41,7 +41,8 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use mpf_shm::hooks::{self, SyncEvent, SyncHook};
 
-use crate::sched::Sched;
+use crate::explore::DeathPlan;
+use crate::sched::{Sched, KILL_BIT};
 
 /// Why a schedule failed.  Carried in [`crate::Failure`] together with the
 /// schedule id that reproduces it.
@@ -87,6 +88,15 @@ impl std::fmt::Display for FailureKind {
 /// torn down.  Not itself a failure; the real cause is already recorded.
 struct Aborted;
 
+/// Panic payload used to unwind a logical process the scheduler chose to
+/// *kill* (modeled `SIGKILL`).  Also not a failure: death is part of the
+/// explored state space, and the victim's thread must still exit so the
+/// run can join it.  The modeled process stays a corpse — its status
+/// remains [`Status::Dead`], any in-region locks it held stay held (the
+/// facility's manual lock/unlock discipline means unwinding releases
+/// nothing shared), and survivors must cope.
+struct Killed;
+
 /// Scheduling state of one logical process.
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Status {
@@ -98,6 +108,14 @@ enum Status {
     BlockedWait(Vec<usize>),
     /// Done (returned, or unwound after an abort).
     Finished,
+    /// Vanished by a kill pseudo-option: terminal, but *not* a clean
+    /// finish — whatever the process held in the region, it still holds.
+    Dead,
+}
+
+/// Terminal states: the schedule can end while processes are in these.
+fn terminal(s: &Status) -> bool {
+    matches!(s, Status::Finished | Status::Dead)
 }
 
 struct State {
@@ -108,6 +126,14 @@ struct State {
     /// Thread id currently holding the run token.
     current: usize,
     status: Vec<Status>,
+    /// Which processes the scheduler may kill (from the case's
+    /// [`DeathPlan`]; each dies at most once — `Dead` is terminal).
+    mortal: Vec<bool>,
+    /// Invoked under the state lock when a process is killed; flips the
+    /// facility's modeled liveness oracle.  Must be hook-free (atomic
+    /// stores only) — a hooked operation here would re-enter the
+    /// scheduler on the deciding thread and wedge the run.
+    on_death: Option<Box<dyn Fn(usize) + Send>>,
     /// Scheduling decisions taken so far.
     steps: u64,
     sched: Sched,
@@ -133,14 +159,17 @@ fn blocked_of(status: &[Status]) -> Vec<usize> {
 }
 
 /// Suppresses the default panic printout for the harness's own [`Aborted`]
-/// unwinds, which would otherwise spam one "thread panicked" banner per
-/// parked process per failing schedule.  Real panics still print.
+/// and [`Killed`] unwinds, which would otherwise spam one "thread
+/// panicked" banner per parked process per failing schedule (or per
+/// modeled death).  Real panics still print.
 fn silence_aborted_panics() {
     static ONCE: std::sync::Once = std::sync::Once::new();
     ONCE.call_once(|| {
         let prev = panic::take_hook();
         panic::set_hook(Box::new(move |info| {
-            if info.payload().downcast_ref::<Aborted>().is_none() {
+            if info.payload().downcast_ref::<Aborted>().is_none()
+                && info.payload().downcast_ref::<Killed>().is_none()
+            {
                 prev(info);
             }
         }));
@@ -158,14 +187,30 @@ pub(crate) struct Controller {
 }
 
 impl Controller {
-    pub fn new(n: usize, sched: Sched, preempt_events: bool, max_steps: u64) -> Arc<Self> {
+    pub fn new(
+        n: usize,
+        sched: Sched,
+        preempt_events: bool,
+        max_steps: u64,
+        death: Option<DeathPlan>,
+    ) -> Arc<Self> {
         assert!(n > 0, "a case needs at least one process");
+        let mut mortal = vec![false; n];
+        let on_death = death.map(|d| {
+            for t in d.victims {
+                assert!(t < n, "death plan victim {t} out of range (n = {n})");
+                mortal[t] = true;
+            }
+            d.on_death
+        });
         Arc::new(Self {
             state: Mutex::new(State {
                 started: false,
                 aborted: false,
                 current: usize::MAX,
                 status: vec![Status::Runnable; n],
+                mortal,
+                on_death,
                 steps: 0,
                 sched,
                 failure: None,
@@ -228,6 +273,12 @@ impl Controller {
                 if payload.downcast_ref::<Aborted>().is_some() {
                     // Harness-initiated teardown; cause already recorded.
                     self.finish_after_abort(tid);
+                } else if payload.downcast_ref::<Killed>().is_some() {
+                    // Modeled death: the thread exits so the run can join
+                    // it, but the logical process stays a corpse (status
+                    // `Dead`, in-region locks still held).  The unwind is
+                    // complete here — only now may anyone else run.
+                    self.after_kill();
                 } else {
                     let message = payload
                         .downcast_ref::<&str>()
@@ -249,12 +300,18 @@ impl Controller {
     /// Parks a freshly spawned worker until the launch decision picks it.
     fn first_wait(&self, tid: usize) {
         let mut st = self.lock_state();
-        while !(st.aborted || st.started && st.current == tid) {
+        while !(st.aborted || st.status[tid] == Status::Dead || st.started && st.current == tid) {
             st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
         }
         if st.aborted {
             drop(st);
             panic::panic_any(Aborted);
+        }
+        if st.status[tid] == Status::Dead {
+            // Killed before its first instruction ran: a valid modeled
+            // death (the process attached and then vanished).
+            drop(st);
+            panic::panic_any(Killed);
         }
     }
 
@@ -262,16 +319,71 @@ impl Controller {
     fn launch(&self) {
         let mut st = self.lock_state();
         st.started = true;
-        let runnable = runnable_of(&st.status);
-        st.current = st.sched.choose(&runnable);
+        if let Some(next) = self.decide(&mut st) {
+            // Possibly a victim killed at the starting line: it wakes,
+            // sees `Dead`, and unwinds before anyone else runs.
+            st.current = next;
+        }
         drop(st);
         self.cv.notify_all();
+    }
+
+    /// The scheduler's option set for the current state: runnable thread
+    /// ids (ascending) followed by one [`KILL_BIT`]-tagged kill
+    /// pseudo-option per still-alive mortal process (ascending).
+    fn options_of(st: &State) -> Vec<usize> {
+        let mut opts = runnable_of(&st.status);
+        for (t, s) in st.status.iter().enumerate() {
+            if st.mortal[t] && !terminal(s) {
+                opts.push(KILL_BIT | t);
+            }
+        }
+        opts
+    }
+
+    /// One scheduling decision.  A kill pseudo-option marks the victim
+    /// [`Status::Dead`], runs the case's `on_death` callback (which flips
+    /// the facility's modeled liveness oracle), wakes every blocked
+    /// process to re-evaluate against the new world — a corpse's locks
+    /// can now be broken, its notifies will never come — and returns the
+    /// *victim* as the next scheduled thread: it wakes, sees `Dead`, and
+    /// unwinds with [`Killed`] while every other process stays parked, so
+    /// its drop glue (process-local guard releases, `Arc` drops) cannot
+    /// race the next process's steps and perturb the schedule.  The
+    /// decision after a kill is taken in [`Self::after_kill`], once the
+    /// unwind has fully completed.  Returns `None` only when no option
+    /// remains (every process terminal, or a genuine deadlock — the
+    /// caller distinguishes).
+    fn decide(&self, st: &mut State) -> Option<usize> {
+        let opts = Self::options_of(st);
+        if opts.is_empty() {
+            return None;
+        }
+        let choice = st.sched.choose(&opts);
+        if choice & KILL_BIT == 0 {
+            return Some(choice);
+        }
+        let victim = choice & !KILL_BIT;
+        st.status[victim] = Status::Dead;
+        if let Some(cb) = &st.on_death {
+            cb(victim);
+        }
+        for s in st.status.iter_mut() {
+            if matches!(s, Status::BlockedLock(_) | Status::BlockedWait(_)) {
+                // Spurious wakeup (legal): once scheduled they retry
+                // their `try_lock`/`ready` against the corpse's state.
+                *s = Status::Runnable;
+            }
+        }
+        Some(victim)
     }
 
     /// The heart of the model: the calling process (which holds the run
     /// token) records its new status, the strategy picks the next process,
     /// and the caller parks until it is scheduled again.  Unwinds with
-    /// [`Aborted`] on abort, step-limit, or deadlock.
+    /// [`Aborted`] on abort, step-limit, or deadlock — and with
+    /// [`Killed`] when a kill decision (possibly its own) vanished the
+    /// caller.
     fn deschedule(&self, tid: usize, status: Status) {
         let mut st = self.lock_state();
         if st.aborted {
@@ -285,21 +397,31 @@ impl Controller {
             self.abort_locked(st);
         }
         st.status[tid] = status;
-        let runnable = runnable_of(&st.status);
-        if runnable.is_empty() {
-            // The caller just blocked and nobody can make progress.
-            let blocked = blocked_of(&st.status);
-            st.failure.get_or_insert(FailureKind::Deadlock { blocked });
-            self.abort_locked(st);
+        match self.decide(&mut st) {
+            Some(next) => st.current = next,
+            None => {
+                // The caller just blocked, nobody can make progress, and
+                // no kill can change that (the caller itself is blocked,
+                // so "all terminal" is impossible here).
+                let blocked = blocked_of(&st.status);
+                st.failure.get_or_insert(FailureKind::Deadlock { blocked });
+                self.abort_locked(st);
+            }
         }
-        st.current = st.sched.choose(&runnable);
         self.cv.notify_all();
-        while !(st.aborted || st.current == tid && st.status[tid] == Status::Runnable) {
+        while !(st.aborted
+            || st.status[tid] == Status::Dead
+            || st.current == tid && st.status[tid] == Status::Runnable)
+        {
             st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
         }
         if st.aborted {
             drop(st);
             panic::panic_any(Aborted);
+        }
+        if st.status[tid] == Status::Dead {
+            drop(st);
+            panic::panic_any(Killed);
         }
     }
 
@@ -346,18 +468,45 @@ impl Controller {
     fn finish(&self, tid: usize) {
         let mut st = self.lock_state();
         st.status[tid] = Status::Finished;
-        if st.aborted || st.status.iter().all(|s| *s == Status::Finished) {
+        if st.aborted || st.status.iter().all(terminal) {
             drop(st);
             self.cv.notify_all();
             return;
         }
-        let runnable = runnable_of(&st.status);
-        if runnable.is_empty() {
-            let blocked = blocked_of(&st.status);
-            st.failure.get_or_insert(FailureKind::Deadlock { blocked });
-            st.aborted = true;
-        } else {
-            st.current = st.sched.choose(&runnable);
+        match self.decide(&mut st) {
+            Some(next) => st.current = next,
+            None => {
+                // Someone is still non-terminal (checked above) with no
+                // runnable process and no kill left: deadlock.
+                let blocked = blocked_of(&st.status);
+                st.failure.get_or_insert(FailureKind::Deadlock { blocked });
+                st.aborted = true;
+            }
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Hand-off after a modeled death: the victim's thread calls this from
+    /// its [`Killed`] catch, once its unwind has fully completed — only
+    /// then is the next process scheduled, so unwind side effects
+    /// (process-local lock releases in drop glue) are ordered before
+    /// anything a survivor does.  Mirrors [`Self::finish`] except the
+    /// victim's status is already [`Status::Dead`].
+    fn after_kill(&self) {
+        let mut st = self.lock_state();
+        if st.aborted || st.status.iter().all(terminal) {
+            drop(st);
+            self.cv.notify_all();
+            return;
+        }
+        match self.decide(&mut st) {
+            Some(next) => st.current = next,
+            None => {
+                let blocked = blocked_of(&st.status);
+                st.failure.get_or_insert(FailureKind::Deadlock { blocked });
+                st.aborted = true;
+            }
         }
         drop(st);
         self.cv.notify_all();

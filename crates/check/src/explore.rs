@@ -19,6 +19,31 @@ pub struct Case {
     /// Final-state predicate, e.g. `Mpf::check_invariants` plus
     /// scenario-specific assertions.  An `Err` fails the schedule.
     pub check: Box<dyn FnOnce() -> Result<(), String>>,
+    /// Modeled sudden death, or `None` for an immortal case (the option
+    /// sets then contain only runnable thread ids, exactly as before).
+    pub death: Option<DeathPlan>,
+}
+
+/// Modeled `SIGKILL` for schedule exploration: lets the scheduler vanish
+/// a logical process at *any* decision point — including mid-critical-
+/// section, with in-region locks held — so dead-peer recovery paths are
+/// enumerated under DFS/random schedules instead of sampled by actually
+/// killing OS processes.
+///
+/// A kill appears to the strategy as an extra option at every decision
+/// (see [`crate::sched::KILL_BIT`]), so DFS enumerates deaths at every
+/// depth, random schedules take them with small probability, and a
+/// failing schedule's replay re-kills at exactly the recorded point.
+pub struct DeathPlan {
+    /// Process ids eligible to die (each dies at most once per schedule).
+    pub victims: Vec<usize>,
+    /// Called once per death, on the deciding thread, with every other
+    /// process parked: flip whatever liveness oracle the facility under
+    /// test consults (e.g. `IpcMpf::debug_abandon_slot` via a clone of
+    /// the victim's view) so survivors observe a corpse rather than a
+    /// clean shutdown.  **Must be hook-free** — atomic stores only, no
+    /// locks, sends, or waits — because it runs inside the scheduler.
+    pub on_death: Box<dyn Fn(usize) + Send>,
 }
 
 /// Identifies one schedule so a failure can be re-run exactly.
@@ -145,8 +170,18 @@ impl ExploreOpts {
 /// Runs one schedule of a freshly built case under `sched`.  Returns the
 /// failure (if any) and the strategy (with recorded decisions) back.
 fn run_once(opts: &ExploreOpts, sched: Sched, case: Case) -> (Option<FailureKind>, Sched) {
-    let Case { procs, check } = case;
-    let ctrl = Controller::new(procs.len(), sched, opts.preempt_events, opts.max_steps);
+    let Case {
+        procs,
+        check,
+        death,
+    } = case;
+    let ctrl = Controller::new(
+        procs.len(),
+        sched,
+        opts.preempt_events,
+        opts.max_steps,
+        death,
+    );
     let (mut failure, _steps) = ctrl.run(procs);
     if failure.is_none() {
         failure = check().err().map(FailureKind::CheckFailed);

@@ -47,6 +47,7 @@
 //!     let (c, f) = (Arc::clone(&counter), Arc::clone(&final_value));
 //!     Case {
 //!         procs,
+//!         death: None,
 //!         check: Box::new(move || {
 //!             f.store(*c.lock(), Ordering::Relaxed);
 //!             Ok(())
@@ -67,8 +68,8 @@ pub mod sched;
 mod explore;
 
 pub use explore::{
-    explore_dfs, explore_random, replay_choices, replay_seed, Case, ExploreOpts, Failure,
-    FailureKind, Report, ScheduleId,
+    explore_dfs, explore_random, replay_choices, replay_seed, Case, DeathPlan, ExploreOpts,
+    Failure, FailureKind, Report, ScheduleId,
 };
 
 #[cfg(test)]
@@ -99,6 +100,7 @@ mod tests {
             let c = Arc::clone(&counter);
             Case {
                 procs,
+                death: None,
                 check: Box::new(move || {
                     let v = *c.lock();
                     if v == 2 {
@@ -132,6 +134,7 @@ mod tests {
             let c = Arc::clone(&counter);
             Case {
                 procs,
+                death: None,
                 check: Box::new(move || {
                     let v = *c.lock();
                     if v == 2 {
@@ -183,6 +186,7 @@ mod tests {
             };
             Case {
                 procs: vec![p0, p1],
+                death: None,
                 check: Box::new(|| Ok(())),
             }
         });
@@ -208,6 +212,7 @@ mod tests {
             };
             Case {
                 procs: vec![p],
+                death: None,
                 check: Box::new(|| Ok(())),
             }
         });
@@ -243,6 +248,7 @@ mod tests {
             };
             Case {
                 procs: vec![p0, p1],
+                death: None,
                 check: Box::new(|| Ok(())),
             }
         };
@@ -260,6 +266,159 @@ mod tests {
         assert!(
             matches!(replayed, Some(FailureKind::Panic { thread: 1, .. })),
             "seed replay must reproduce the panic, got {replayed:?}"
+        );
+    }
+
+    /// A mortal single process: DFS must enumerate both the schedules
+    /// where it survives (counter reaches 1) and the schedules where it is
+    /// killed at some decision point — including before it ever ran.
+    #[test]
+    fn dfs_enumerates_death_at_every_depth() {
+        use std::sync::atomic::AtomicBool;
+        let died_runs = Arc::new(AtomicU32::new(0));
+        let survived_runs = Arc::new(AtomicU32::new(0));
+        let opts = ExploreOpts::new("mortal-increment").max_schedules(512);
+        let (dr, sr) = (Arc::clone(&died_runs), Arc::clone(&survived_runs));
+        let report = explore_dfs(&opts, move || {
+            let counter = Arc::new(HookedMutex::new(0u32));
+            let died = Arc::new(AtomicBool::new(false));
+            let proc0 = {
+                let c = Arc::clone(&counter);
+                Box::new(move || {
+                    *c.lock() += 1;
+                }) as Box<dyn FnOnce() + Send>
+            };
+            let on_death = {
+                let died = Arc::clone(&died);
+                Box::new(move |_tid: usize| died.store(true, Ordering::Relaxed))
+            };
+            let (c, died) = (Arc::clone(&counter), Arc::clone(&died));
+            let (dr, sr) = (Arc::clone(&dr), Arc::clone(&sr));
+            Case {
+                procs: vec![proc0],
+                death: Some(DeathPlan {
+                    victims: vec![0],
+                    on_death,
+                }),
+                check: Box::new(move || {
+                    let v = *c.lock();
+                    if died.load(Ordering::Relaxed) {
+                        // Killed before or after the increment — both are
+                        // legal final states of a sudden death.
+                        dr.fetch_add(1, Ordering::Relaxed);
+                        Ok(())
+                    } else if v == 1 {
+                        sr.fetch_add(1, Ordering::Relaxed);
+                        Ok(())
+                    } else {
+                        Err(format!("survived but counter is {v}"))
+                    }
+                }),
+            }
+        });
+        report.assert_ok();
+        assert!(report.exhausted, "mortal tree is small enough to enumerate");
+        assert!(died_runs.load(Ordering::Relaxed) > 0, "no death schedules");
+        assert!(
+            survived_runs.load(Ordering::Relaxed) > 0,
+            "no survival schedules"
+        );
+    }
+
+    /// A death-dependent failure (killed before the increment) is found by
+    /// DFS and its choice list replays the kill at exactly the recorded
+    /// decision.
+    #[test]
+    fn dfs_death_failures_replay() {
+        use std::sync::atomic::AtomicBool;
+        let make = || {
+            let counter = Arc::new(HookedMutex::new(0u32));
+            let died = Arc::new(AtomicBool::new(false));
+            let proc0 = {
+                let c = Arc::clone(&counter);
+                Box::new(move || {
+                    *c.lock() += 1;
+                }) as Box<dyn FnOnce() + Send>
+            };
+            let on_death = {
+                let died = Arc::clone(&died);
+                Box::new(move |_tid: usize| died.store(true, Ordering::Relaxed))
+            };
+            let (c, died) = (Arc::clone(&counter), Arc::clone(&died));
+            Case {
+                procs: vec![proc0],
+                death: Some(DeathPlan {
+                    victims: vec![0],
+                    on_death,
+                }),
+                check: Box::new(move || {
+                    if died.load(Ordering::Relaxed) && *c.lock() == 0 {
+                        Err("killed before the increment".into())
+                    } else {
+                        Ok(())
+                    }
+                }),
+            }
+        };
+        let opts = ExploreOpts::new("death-replay").max_schedules(512);
+        let report = explore_dfs(&opts, make);
+        let failure = report.failure.expect("DFS must kill before the increment");
+        assert!(
+            matches!(failure.kind, FailureKind::CheckFailed(_)),
+            "{failure:?}"
+        );
+        let ScheduleId::Choices(choices) = &failure.schedule else {
+            panic!("DFS failures carry choice lists");
+        };
+        let replayed = replay_choices(&opts, choices, make);
+        assert!(
+            matches!(replayed, Some(FailureKind::CheckFailed(_))),
+            "replay must re-kill at the recorded decision, got {replayed:?}"
+        );
+    }
+
+    /// Random schedules take kill options with their seeded probability:
+    /// across a modest seed range, some runs must kill the victim.
+    #[test]
+    fn random_schedules_take_kills() {
+        use std::sync::atomic::AtomicBool;
+        let died_runs = Arc::new(AtomicU32::new(0));
+        let dr = Arc::clone(&died_runs);
+        let opts = ExploreOpts::new("random-kills").max_schedules(64);
+        let report = explore_random(&opts, 0x5EED, move || {
+            let counter = Arc::new(HookedMutex::new(0u32));
+            let died = Arc::new(AtomicBool::new(false));
+            let procs: Vec<Box<dyn FnOnce() + Send>> = (0..2)
+                .map(|_| {
+                    let c = Arc::clone(&counter);
+                    Box::new(move || {
+                        *c.lock() += 1;
+                    }) as Box<dyn FnOnce() + Send>
+                })
+                .collect();
+            let on_death = {
+                let died = Arc::clone(&died);
+                Box::new(move |_tid: usize| died.store(true, Ordering::Relaxed))
+            };
+            let (died, dr) = (Arc::clone(&died), Arc::clone(&dr));
+            Case {
+                procs,
+                death: Some(DeathPlan {
+                    victims: vec![0],
+                    on_death,
+                }),
+                check: Box::new(move || {
+                    if died.load(Ordering::Relaxed) {
+                        dr.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(())
+                }),
+            }
+        });
+        report.assert_ok();
+        assert!(
+            died_runs.load(Ordering::Relaxed) > 0,
+            "no random schedule took a kill in 64 seeds"
         );
     }
 
@@ -292,6 +451,7 @@ mod tests {
             let data = Arc::clone(&data);
             Case {
                 procs: vec![consumer, producer],
+                death: None,
                 check: Box::new(move || {
                     if data.load(Ordering::Relaxed) == 7 {
                         Ok(())

@@ -23,11 +23,21 @@
 
 use mpf_shm::SmallRng;
 
-/// One recorded scheduling decision: the runnable set the controller saw
+/// Tag bit marking an option as a *kill* pseudo-option: choosing
+/// `KILL_BIT | tid` vanishes logical process `tid` at this decision point
+/// instead of running anyone (modeled `SIGKILL` — see
+/// [`crate::DeathPlan`]).  Thread ids are tiny, so the top bit is never a
+/// real tid; DFS, replay, and the recorded [`Frame`]s treat the tagged
+/// value as just another opaque option, which keeps kill decisions
+/// enumerable and replayable for free.
+pub const KILL_BIT: usize = 1 << (usize::BITS - 1);
+
+/// One recorded scheduling decision: the option set the controller saw
 /// and which index into it was chosen.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
-    /// Thread ids that were runnable, in ascending order.
+    /// Runnable thread ids in ascending order, followed by any
+    /// [`KILL_BIT`]-tagged kill pseudo-options (also ascending).
     pub options: Vec<usize>,
     /// Index into `options` that was chosen.
     pub chosen: usize,
@@ -113,6 +123,12 @@ impl RandomSched {
     /// i.e. the chance of a preemption point.  PCT keeps this small.
     const DEMOTE_P: f64 = 0.15;
 
+    /// Probability of taking a kill pseudo-option when one is on offer.
+    /// Small for the same reason `DEMOTE_P` is: most schedules should
+    /// explore deep into normal execution, with deaths sprinkled at
+    /// random depths rather than dominating every run.
+    const KILL_P: f64 = 0.1;
+
     /// A scheduler for `n_threads` logical processes, fully determined by
     /// `seed`.
     pub fn new(seed: u64, n_threads: usize) -> Self {
@@ -127,11 +143,28 @@ impl RandomSched {
         }
     }
 
-    fn choose(&mut self, runnable: &[usize]) -> usize {
-        let winner = *runnable
+    fn choose(&mut self, options: &[usize]) -> usize {
+        // Kill pseudo-options don't have priorities; they fire with a
+        // small seeded probability (and unconditionally when nobody is
+        // runnable — the only remaining transition is a death).
+        let kills: Vec<usize> = options
+            .iter()
+            .copied()
+            .filter(|o| o & KILL_BIT != 0)
+            .collect();
+        let real: Vec<usize> = options
+            .iter()
+            .copied()
+            .filter(|o| o & KILL_BIT == 0)
+            .collect();
+        if !kills.is_empty() && (real.is_empty() || self.rng.gen_bool(Self::KILL_P)) {
+            let i = self.rng.gen_range(0..kills.len() as u32) as usize;
+            return kills[i];
+        }
+        let winner = *real
             .iter()
             .max_by_key(|&&t| self.prio[t])
-            .expect("runnable set is never empty at a decision");
+            .expect("option set is never empty at a decision");
         if self.rng.gen_bool(Self::DEMOTE_P) {
             self.prio[winner] = self.next_low;
             self.next_low -= 1;
@@ -173,13 +206,14 @@ pub enum Sched {
 }
 
 impl Sched {
-    /// Picks the next thread to run from `runnable` (ascending thread ids,
-    /// never empty).
-    pub fn choose(&mut self, runnable: &[usize]) -> usize {
+    /// Picks the next option (a runnable thread id, or a [`KILL_BIT`]
+    /// kill pseudo-option) from `options` — never empty, runnable ids
+    /// ascending first, kill options ascending after them.
+    pub fn choose(&mut self, options: &[usize]) -> usize {
         match self {
-            Sched::Dfs(s) => s.choose(runnable),
-            Sched::Random(s) => s.choose(runnable),
-            Sched::Replay(s) => s.choose(runnable),
+            Sched::Dfs(s) => s.choose(options),
+            Sched::Random(s) => s.choose(options),
+            Sched::Replay(s) => s.choose(options),
         }
     }
 }

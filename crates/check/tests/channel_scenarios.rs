@@ -39,6 +39,7 @@ fn rendezvous_case() -> Case {
     let (r, got) = (Arc::clone(&r), Arc::clone(&got));
     Case {
         procs,
+        death: None,
         check: Box::new(move || {
             if r.check() {
                 return Err("offer left dangling after both receives".into());
@@ -93,6 +94,7 @@ fn one2one_case() -> Case {
     };
     Case {
         procs: vec![producer, consumer],
+        death: None,
         check: Box::new(move || {
             let seen = received.lock().unwrap().clone();
             let want: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 3]).collect();
@@ -148,6 +150,7 @@ fn one2one_try_case() -> Case {
     };
     Case {
         procs: vec![producer, consumer],
+        death: None,
         check: Box::new(move || {
             // Frames still queued when the consumer gave up are counted
             // here, after both sides have quiesced — not lost.

@@ -8,11 +8,11 @@
 //! `crates/ipc/tests/cross_process.rs`; here the scheduler can permute the
 //! racy regions deterministically instead of hoping the OS happens to.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use mpf::{MpfConfig, Protocol};
-use mpf_check::{explore_dfs, explore_random, Case, ExploreOpts};
+use mpf::{MpfConfig, MpfError, Protocol};
+use mpf_check::{explore_dfs, explore_random, Case, DeathPlan, ExploreOpts};
 use mpf_ipc::IpcMpf;
 
 type Proc = Box<dyn FnOnce() + Send>;
@@ -63,6 +63,7 @@ fn ipc_leak_case() -> Case {
     }) as Proc;
     Case {
         procs: vec![sender, fcfs_closer, bcast_reader],
+        death: None,
         check: Box::new(move || {
             if checker.free_blocks() != total {
                 return Err(format!(
@@ -123,6 +124,7 @@ fn ipc_fcfs_exactly_once_across_views() {
         let got = Arc::clone(&got);
         Case {
             procs,
+            death: None,
             check: Box::new(move || {
                 let n = got.load(Ordering::Relaxed);
                 if n != 1 {
@@ -138,4 +140,267 @@ fn ipc_fcfs_exactly_once_across_views() {
     let opts = ExploreOpts::new("ipc-fcfs-exactly-once").max_schedules(200);
     explore_dfs(&opts, make).assert_ok();
     explore_random(&opts, 0x10CE, make).assert_ok();
+}
+
+/// Death mid-critical-section: the victim seizes the conversation's
+/// in-region lock through its own view, and the scheduler may kill it at
+/// any decision point — including while the lock is held.  The survivor's
+/// next acquire must consult the liveness oracle, break the dead holder,
+/// poison the conversation, and surface `PeerDied`; its close path must
+/// still run on the poisoned conversation and free every block.  Before
+/// modeled death this path was reachable only by actually SIGKILLing an
+/// OS process mid-send (`mpf-soak`); here every kill point is enumerated.
+///
+/// `when_poisoned` is called once per schedule in which the survivor
+/// observed `PeerDied` — the caller proves the lock-held kill point was
+/// actually enumerated (and not just survived schedules).
+fn ipc_death_mid_lock_case(when_poisoned: Arc<dyn Fn() + Send + Sync>) -> Case {
+    let a = region("death");
+    let v = a.attach_view().expect("victim view");
+    let total = a.free_blocks();
+    let tx = a.open_send("mort").expect("open send");
+    let rx = a.open_receive("mort", Protocol::Fcfs).expect("open recv");
+    // A second conversation whose only purpose is to give the victim a
+    // *parked* decision point while it holds the first conversation's
+    // lock: hooked processes park only at decision points (pre-acquire,
+    // post-release), so without a nested acquire the victim could never
+    // be caught mid-critical-section.
+    let txb = a.open_send("mort-aux").expect("open aux send");
+    let a = Arc::new(a);
+    let v = Arc::new(v);
+    let checker = Arc::clone(&a);
+    let died = Arc::new(AtomicBool::new(false));
+    let saw_poison = Arc::new(AtomicBool::new(false));
+    // Victim (process 0, mortal): seize the conversation's lock, then
+    // acquire a second one — parking, with the first lock held, at the
+    // nested acquire's decision point.  A kill there dies holding the
+    // lock: the in-region lock is not RAII, so unwinding the thread
+    // releases nothing, exactly like a real SIGKILL.  Every call
+    // tolerates `UnknownLnvc` — in schedules where the survivor runs to
+    // completion first, its closes delete the conversations and the
+    // victim's handles go stale.
+    let victim = {
+        let v = Arc::clone(&v);
+        Box::new(move || {
+            if v.debug_seize_lnvc_lock(tx).is_ok() {
+                if v.debug_seize_lnvc_lock(txb).is_ok() {
+                    let _ = v.debug_release_lnvc_lock(txb);
+                }
+                let _ = v.debug_release_lnvc_lock(tx);
+            }
+        }) as Proc
+    };
+    // Survivor (process 1): one send/receive round-trip, accepting
+    // PeerDied wherever the poison surfaces, then production recovery —
+    // close both connections (close works on poisoned conversations; the
+    // last one out deletes the conversation and frees any queued blocks).
+    let survivor = {
+        let a = Arc::clone(&a);
+        let saw_poison = Arc::clone(&saw_poison);
+        Box::new(move || {
+            let mut buf = [0u8; 32];
+            match a.message_send(tx, b"ping") {
+                Ok(()) => match a.try_message_receive(rx, &mut buf) {
+                    Ok(got) => assert!(got.is_some(), "sent message must be queued"),
+                    Err(MpfError::PeerDied { .. }) => saw_poison.store(true, Ordering::Relaxed),
+                    Err(e) => panic!("recv after send: {e:?}"),
+                },
+                Err(MpfError::PeerDied { .. }) => saw_poison.store(true, Ordering::Relaxed),
+                Err(e) => panic!("send: {e:?}"),
+            }
+            a.close_send(tx)
+                .expect("close send on poisoned conversation");
+            a.close_receive(rx)
+                .expect("close recv on poisoned conversation");
+            a.close_send(txb).expect("close aux send");
+        }) as Proc
+    };
+    let on_death = {
+        let died = Arc::clone(&died);
+        let v = Arc::clone(&v);
+        Box::new(move |_tid: usize| {
+            // Hook-free by contract: two atomic stores.  Abandoning the
+            // slot flips the liveness oracle so survivors see a corpse.
+            died.store(true, Ordering::Relaxed);
+            v.debug_abandon_slot();
+        })
+    };
+    Case {
+        procs: vec![victim, survivor],
+        death: Some(DeathPlan {
+            victims: vec![0],
+            on_death,
+        }),
+        check: Box::new(move || {
+            if saw_poison.load(Ordering::Relaxed) {
+                if !died.load(Ordering::Relaxed) {
+                    return Err("observed PeerDied but nobody was killed".into());
+                }
+                when_poisoned();
+            }
+            if checker.free_blocks() != total {
+                return Err(format!(
+                    "block leak after modeled death: {} free of {total}",
+                    checker.free_blocks()
+                ));
+            }
+            if checker.live_lnvcs() != 0 {
+                return Err("conversation must be gone after the survivor closes".into());
+            }
+            Ok(())
+        }),
+    }
+}
+
+#[test]
+fn ipc_death_mid_critical_section_dfs() {
+    let poisoned_runs = Arc::new(AtomicUsize::new(0));
+    let bump: Arc<dyn Fn() + Send + Sync> = {
+        let p = Arc::clone(&poisoned_runs);
+        Arc::new(move || {
+            p.fetch_add(1, Ordering::Relaxed);
+        })
+    };
+    let opts = ExploreOpts::new("ipc-death-mid-lock").max_schedules(400);
+    explore_dfs(&opts, || ipc_death_mid_lock_case(Arc::clone(&bump))).assert_ok();
+    assert!(
+        poisoned_runs.load(Ordering::Relaxed) > 0,
+        "DFS never enumerated a kill-while-lock-held schedule"
+    );
+}
+
+#[test]
+fn ipc_death_mid_critical_section_random() {
+    let poisoned_runs = Arc::new(AtomicUsize::new(0));
+    let bump: Arc<dyn Fn() + Send + Sync> = {
+        let p = Arc::clone(&poisoned_runs);
+        Arc::new(move || {
+            p.fetch_add(1, Ordering::Relaxed);
+        })
+    };
+    let opts = ExploreOpts::new("ipc-death-mid-lock-pct").max_schedules(200);
+    explore_random(&opts, 0xDEAD, || ipc_death_mid_lock_case(Arc::clone(&bump))).assert_ok();
+    assert!(
+        poisoned_runs.load(Ordering::Relaxed) > 0,
+        "random schedules never took a kill-while-lock-held option"
+    );
+}
+
+/// The acceptance path end-to-end: DFS *finds* a schedule in which the
+/// poison surfaced (reported here as a deliberate check failure), and the
+/// recorded choice list replays that exact schedule — kill point included
+/// — reproducing the same failure.  This is the previously SIGKILL-only
+/// failure mode made deterministic and replayable.
+#[test]
+fn ipc_death_schedule_is_replayable() {
+    let make = || {
+        let flagged = Arc::new(AtomicBool::new(false));
+        let mark: Arc<dyn Fn() + Send + Sync> = {
+            let f = Arc::clone(&flagged);
+            Arc::new(move || f.store(true, Ordering::Relaxed))
+        };
+        let mut case = ipc_death_mid_lock_case(mark);
+        let inner = case.check;
+        case.check = Box::new(move || {
+            inner()?;
+            if flagged.load(Ordering::Relaxed) {
+                return Err("poison-observed".into());
+            }
+            Ok(())
+        });
+        case
+    };
+    let opts = ExploreOpts::new("ipc-death-replay").max_schedules(400);
+    let report = explore_dfs(&opts, make);
+    let failure = report
+        .failure
+        .expect("DFS must reach a schedule where the survivor observes PeerDied");
+    let mpf_check::FailureKind::CheckFailed(msg) = &failure.kind else {
+        panic!("expected the marker check failure, got {:?}", failure.kind);
+    };
+    assert_eq!(msg, "poison-observed");
+    let mpf_check::ScheduleId::Choices(choices) = &failure.schedule else {
+        panic!("DFS failures carry choice lists");
+    };
+    let replayed = mpf_check::replay_choices(&opts, choices, make);
+    assert!(
+        matches!(replayed, Some(mpf_check::FailureKind::CheckFailed(ref m)) if m == "poison-observed"),
+        "replay must re-kill at the recorded point, got {replayed:?}"
+    );
+}
+
+/// Conservation under a dead sender: a message is queued from the victim's
+/// own connection before exploration, and the victim may be killed before
+/// it can close.  Whatever the interleaving — survivor sweeps the corpse
+/// and sees poison, or drains the message first, or the victim survives
+/// and closes cleanly — every payload block must return to the free list
+/// and the conversation must be deletable.
+fn ipc_dead_sender_case() -> Case {
+    let a = region("corpse");
+    let v = a.attach_view().expect("victim view");
+    let total = a.free_blocks();
+    let tx = v.open_send("doomed").expect("open send");
+    let rx = a.open_receive("doomed", Protocol::Fcfs).expect("open recv");
+    v.message_send(tx, b"last words").expect("seed send");
+    let a = Arc::new(a);
+    let v = Arc::new(v);
+    let checker = Arc::clone(&a);
+    let victim = {
+        let v = Arc::clone(&v);
+        Box::new(move || {
+            v.close_send(tx).expect("close send");
+        }) as Proc
+    };
+    let survivor = {
+        let a = Arc::clone(&a);
+        Box::new(move || {
+            a.sweep_dead_peers();
+            let mut buf = [0u8; 32];
+            match a.try_message_receive(rx, &mut buf) {
+                Ok(_) | Err(MpfError::PeerDied { .. }) => {}
+                Err(e) => panic!("recv: {e:?}"),
+            }
+            a.close_receive(rx).expect("close recv");
+        }) as Proc
+    };
+    let on_death = {
+        let v = Arc::clone(&v);
+        Box::new(move |_tid: usize| v.debug_abandon_slot())
+    };
+    Case {
+        procs: vec![victim, survivor],
+        death: Some(DeathPlan {
+            victims: vec![0],
+            on_death,
+        }),
+        check: Box::new(move || {
+            // The victim may have died after the survivor's sweep; reap
+            // it now (the check runs unhooked) so the corpse's send
+            // connection is swept and an orphaned conversation deleted —
+            // exactly what the next live process would do.
+            checker.sweep_dead_peers();
+            if checker.free_blocks() != total {
+                return Err(format!(
+                    "dead sender leaked blocks: {} free of {total}",
+                    checker.free_blocks()
+                ));
+            }
+            if checker.live_lnvcs() != 0 {
+                return Err("conversation must be reclaimable after the corpse is swept".into());
+            }
+            Ok(())
+        }),
+    }
+}
+
+#[test]
+fn ipc_dead_sender_conservation_dfs() {
+    let opts = ExploreOpts::new("ipc-dead-sender").max_schedules(300);
+    explore_dfs(&opts, ipc_dead_sender_case).assert_ok();
+}
+
+#[test]
+fn ipc_dead_sender_conservation_random() {
+    let opts = ExploreOpts::new("ipc-dead-sender-pct").max_schedules(150);
+    explore_random(&opts, 0xC0FFE, ipc_dead_sender_case).assert_ok();
 }

@@ -89,6 +89,7 @@ fn leak_case() -> Case {
     };
     Case {
         procs: vec![sender, fcfs_closer, bcast_reader],
+        death: None,
         check: Box::new(move || {
             mpf.check_invariants()?;
             if mpf.free_blocks() != total {
@@ -155,6 +156,7 @@ fn concurrent_fcfs_receivers_race_one_message() {
         let got = Arc::clone(&got);
         Case {
             procs,
+            death: None,
             check: Box::new(move || {
                 mpf.check_invariants()?;
                 let n = got.load(Ordering::Relaxed);
@@ -212,6 +214,7 @@ fn broadcast_close_with_unread_vs_concurrent_reads() {
         };
         Case {
             procs: vec![reader, closer],
+            death: None,
             check: Box::new(move || {
                 mpf.check_invariants()?;
                 if mpf.free_blocks() != total {
@@ -264,6 +267,7 @@ fn send_races_delete() {
         };
         Case {
             procs: vec![sender, receiver_closer],
+            death: None,
             check: Box::new(move || {
                 mpf.check_invariants()?;
                 if mpf.live_lnvcs() != 0 {
@@ -323,6 +327,7 @@ fn flow_control_wakeups_under_pressure() {
         };
         Case {
             procs: vec![sender, receiver],
+            death: None,
             check: Box::new(move || {
                 mpf.check_invariants()?;
                 if mpf.free_blocks() != total {
@@ -378,6 +383,7 @@ fn open_close_churn_vs_traffic() {
         };
         Case {
             procs: vec![churn_sender, churn_receiver],
+            death: None,
             check: Box::new(move || {
                 mpf.check_invariants()?;
                 if mpf.live_lnvcs() != 0 {
@@ -436,6 +442,7 @@ fn telemetry_conserved_under_schedules() {
         let procs = vec![sender, reader(1, r1), reader(2, r2)];
         Case {
             procs,
+            death: None,
             check: Box::new(move || {
                 mpf.check_invariants()?;
                 let t = mpf.telemetry_snapshot();
@@ -537,6 +544,7 @@ fn aio_batch_conservation_under_schedules() {
         let received = Arc::clone(&received);
         Case {
             procs,
+            death: None,
             check: Box::new(move || {
                 mpf.check_invariants()?;
                 if received.load(Ordering::Relaxed) != 6 {
@@ -620,6 +628,7 @@ fn trace_conservation_under_schedules() {
         let procs = vec![requester, responder];
         Case {
             procs,
+            death: None,
             check: Box::new(move || {
                 mpf.check_invariants()?;
                 let log = mpf_trace::TraceLog::from_mpf(&mpf);

@@ -93,6 +93,7 @@ fn handshake_case() -> Case {
 
     Case {
         procs: vec![worker, controller],
+        death: None,
         check: Box::new(move || {
             mpf.check_invariants()?;
             if mpf.live_lnvcs() != 0 {

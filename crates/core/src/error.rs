@@ -73,6 +73,12 @@ pub enum MpfError {
     /// `wait_any`/`check_any` was given an empty LNVC set; waiting on
     /// nothing would block forever.
     EmptyWaitSet,
+    /// A deadline-bounded call (`recv_deadline`, `send_deadline`,
+    /// `wait_any_deadline`, …) reached its deadline with the operation
+    /// not performed.  Distinct from [`MpfError::WouldBlock`]: the
+    /// caller *did* wait, and the facility guarantees no partial effect
+    /// (nothing enqueued, nothing consumed).
+    TimedOut,
 }
 
 impl MpfError {
@@ -96,6 +102,7 @@ impl MpfError {
             MpfError::PeerDied { .. } => -15,
             MpfError::LayoutMismatch { .. } => -16,
             MpfError::EmptyWaitSet => -17,
+            MpfError::TimedOut => -18,
         }
     }
 }
@@ -142,6 +149,7 @@ impl std::fmt::Display for MpfError {
                 "region layout mismatch: library speaks version {expected}, region is {found}"
             ),
             MpfError::EmptyWaitSet => write!(f, "wait_any on an empty LNVC set would never wake"),
+            MpfError::TimedOut => write!(f, "deadline reached before the operation completed"),
         }
     }
 }
@@ -175,6 +183,7 @@ mod tests {
                 found: 2,
             },
             MpfError::EmptyWaitSet,
+            MpfError::TimedOut,
         ];
         let mut codes: Vec<i32> = all.iter().map(|e| e.status_code()).collect();
         assert!(codes.iter().all(|&c| c < 0));

@@ -19,7 +19,9 @@
 //! the paper's Figure 5.
 
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::time::Instant;
 
+use mpf_shm::faultplane::{self, FaultSite};
 use mpf_shm::idxstack::NIL;
 use mpf_shm::pool::Pool;
 use mpf_shm::process::ProcessId;
@@ -28,8 +30,8 @@ use mpf_shm::telemetry::{
     now_nanos, FacilityTelemetry, LnvcTelSnapshot, LnvcTelemetry, TelSnapshot,
 };
 use mpf_shm::tracering::{
-    TraceEvent, TraceRing, TR_CLOSE_RECV, TR_ENQUEUE, TR_OPEN_RECV, TR_RECV, TR_RECV_B, TR_SEND,
-    TR_WAKEUP,
+    TraceEvent, TraceRing, TR_CLOSE_RECV, TR_ENQUEUE, TR_FAULT, TR_OPEN_RECV, TR_RECV, TR_RECV_B,
+    TR_SEND, TR_WAKEUP,
 };
 use mpf_shm::waitq::WaitQueue;
 
@@ -386,6 +388,24 @@ impl Mpf {
     /// Records a receiver-population change marker (`TR_OPEN_RECV` /
     /// `TR_CLOSE_RECV`).  Not sampled: the conformance checker needs the
     /// population timeline even across untraced gaps.
+    /// Records an injected fault this process acted on (`TR_FAULT`):
+    /// `arg` names the site, `arg2` the magnitude of the typed error it
+    /// surfaced as — the pairing the offline conformance checker audits.
+    fn trace_fault(&self, pid: ProcessId, site: FaultSite, err: MpfError) {
+        if self.tracing() {
+            self.trace_rings[pid.index()].record_at(
+                now_nanos(),
+                0,
+                0,
+                TR_FAULT,
+                0,
+                u32::MAX,
+                site.code(),
+                err.status_code().unsigned_abs(),
+            );
+        }
+    }
+
     fn trace_pop(&self, pid: ProcessId, kind: u32, lnvc: u32, protocol: Protocol) {
         if self.tracing() {
             let code = match protocol {
@@ -701,10 +721,37 @@ impl Mpf {
     /// exhaustion policy.  Before waiting (or erroring), tries a full-queue
     /// sweep of the destination conversation — the sender-side slow path of
     /// non-prefix reclamation.  Returns `(msg_idx, chain)`.
-    fn alloc_message(&self, slot: &LnvcSlot, buf: &[u8]) -> Result<(u32, crate::block::Chain)> {
+    fn alloc_message(
+        &self,
+        pid: ProcessId,
+        slot: &LnvcSlot,
+        buf: &[u8],
+    ) -> Result<(u32, crate::block::Chain)> {
+        self.alloc_message_deadline(pid, slot, buf, None)
+    }
+
+    /// [`Self::alloc_message`] bounded by `deadline`: under
+    /// [`ExhaustPolicy::Wait`] the exhaustion wait times out with
+    /// [`MpfError::TimedOut`] and nothing allocated.
+    fn alloc_message_deadline(
+        &self,
+        pid: ProcessId,
+        slot: &LnvcSlot,
+        buf: &[u8],
+        deadline: Option<Instant>,
+    ) -> Result<(u32, crate::block::Chain)> {
+        // An injected pool-exhaustion fault behaves exactly like a real
+        // one-shot exhaustion: typed error under `ExhaustPolicy::Error`,
+        // one bounded wait round under `Wait`.
+        let mut injected = faultplane::inject(FaultSite::PoolExhaust);
         loop {
             let ticket = self.mem_waitq.ticket();
-            match self.blocks.alloc_chain(buf) {
+            let attempt = if injected {
+                Err(MpfError::BlocksExhausted)
+            } else {
+                self.blocks.alloc_chain(buf)
+            };
+            match attempt {
                 Ok(chain) => match self.msgs.alloc() {
                     Some(msg) => return Ok((msg, chain)),
                     None => {
@@ -722,10 +769,42 @@ impl Mpf {
                         if let Some(t) = self.tel() {
                             t.send_waits.inc();
                         }
-                        self.mem_waitq.wait(ticket, self.cfg.wait_strategy);
+                        if !self
+                            .mem_waitq
+                            .wait_deadline(ticket, self.cfg.wait_strategy, deadline)
+                        {
+                            return Err(MpfError::TimedOut);
+                        }
                     }
                 },
                 Err(MpfError::BlocksExhausted) => {
+                    if injected {
+                        injected = false;
+                        if self.cfg.exhaust_policy == ExhaustPolicy::Error {
+                            self.trace_fault(
+                                pid,
+                                FaultSite::PoolExhaust,
+                                MpfError::BlocksExhausted,
+                            );
+                            return Err(MpfError::BlocksExhausted);
+                        }
+                        // Wait policy: the fault costs one bounded nap
+                        // (nothing will notify — memory was never truly
+                        // exhausted), then allocation proceeds normally
+                        // unless the caller's real deadline expired.
+                        self.stats.send_waits.inc();
+                        let nap = Instant::now() + std::time::Duration::from_millis(2);
+                        self.mem_waitq.wait_deadline(
+                            ticket,
+                            self.cfg.wait_strategy,
+                            Some(deadline.map_or(nap, |d| d.min(nap))),
+                        );
+                        if deadline.is_some_and(|d| Instant::now() >= d) {
+                            self.trace_fault(pid, FaultSite::PoolExhaust, MpfError::TimedOut);
+                            return Err(MpfError::TimedOut);
+                        }
+                        continue;
+                    }
                     if self.sweep_consumed(slot) > 0 {
                         continue;
                     }
@@ -736,7 +815,12 @@ impl Mpf {
                     if let Some(t) = self.tel() {
                         t.send_waits.inc();
                     }
-                    self.mem_waitq.wait(ticket, self.cfg.wait_strategy);
+                    if !self
+                        .mem_waitq
+                        .wait_deadline(ticket, self.cfg.wait_strategy, deadline)
+                    {
+                        return Err(MpfError::TimedOut);
+                    }
                 }
                 Err(e) => return Err(e),
             }
@@ -753,7 +837,26 @@ impl Mpf {
         // Cheap stale-id rejection before paying for allocation; the
         // authoritative check repeats under the lock.
         Self::validate(slot, id)?;
-        let (msg_idx, chain) = self.alloc_message(slot, buf)?;
+        let (msg_idx, chain) = self.alloc_message(pid, slot, buf)?;
+        self.publish_message(pid, id, msg_idx, chain, buf)
+    }
+
+    /// [`Self::message_send`] bounded by `deadline`: under region
+    /// exhaustion with [`ExhaustPolicy::Wait`] the sender blocks only
+    /// until the deadline, then fails with [`MpfError::TimedOut`] and
+    /// **nothing enqueued** (safe to retry or drop).  `None` blocks
+    /// indefinitely, exactly like `message_send`.
+    pub fn send_deadline(
+        &self,
+        pid: ProcessId,
+        id: LnvcId,
+        buf: &[u8],
+        deadline: Option<Instant>,
+    ) -> Result<()> {
+        self.check_pid(pid)?;
+        let slot = self.slot(id)?;
+        Self::validate(slot, id)?;
+        let (msg_idx, chain) = self.alloc_message_deadline(pid, slot, buf, deadline)?;
         self.publish_message(pid, id, msg_idx, chain, buf)
     }
 
@@ -988,6 +1091,42 @@ impl Mpf {
         }
     }
 
+    /// [`Self::message_receive`] bounded by `deadline`: blocks until a
+    /// message is delivered or the deadline passes, then fails with
+    /// [`MpfError::TimedOut`] and nothing consumed.  A delivery racing
+    /// the deadline wins — the queue is always re-checked after the
+    /// final wait.  `None` blocks indefinitely.
+    pub fn recv_deadline(
+        &self,
+        pid: ProcessId,
+        id: LnvcId,
+        buf: &mut [u8],
+        deadline: Option<Instant>,
+    ) -> Result<usize> {
+        self.check_pid(pid)?;
+        loop {
+            let slot = self.slot(id)?;
+            let ticket = slot.waitq.ticket();
+            if let Some(len) = self.recv_once(pid, id, buf)? {
+                return Ok(len);
+            }
+            self.stats.recv_waits.inc();
+            self.note_recv_wait(id.index());
+            self.trace(pid, EventKind::RecvBlocked, id.index(), 0, NO_STAMP);
+            if !slot
+                .waitq
+                .wait_deadline(ticket, self.cfg.wait_strategy, deadline)
+            {
+                // Deadline: one final non-blocking look so a delivery
+                // that raced the expiry is delivered, not timed out.
+                if let Some(len) = self.recv_once(pid, id, buf)? {
+                    return Ok(len);
+                }
+                return Err(MpfError::TimedOut);
+            }
+        }
+    }
+
     /// Non-blocking variant of [`Self::message_receive`]; `Ok(None)` when
     /// no message is available.
     pub fn try_message_receive(
@@ -1194,6 +1333,42 @@ impl Mpf {
         }
     }
 
+    /// [`Self::wait_any`] bounded by `deadline`: [`MpfError::TimedOut`]
+    /// if no conversation has a message for `pid` by then.  A message
+    /// arriving as the deadline expires is reported, not timed out (the
+    /// set is re-polled after the final wait).
+    pub fn wait_any_deadline(
+        &self,
+        pid: ProcessId,
+        ids: &[LnvcId],
+        deadline: Option<Instant>,
+    ) -> Result<LnvcId> {
+        self.check_pid(pid)?;
+        if ids.is_empty() {
+            return Err(MpfError::EmptyWaitSet);
+        }
+        loop {
+            let mut entries = Vec::with_capacity(ids.len());
+            for &id in ids {
+                let slot = self.slot(id)?;
+                entries.push((&slot.waitq, slot.waitq.ticket()));
+            }
+            if let Some(id) = self.check_any(pid, ids)? {
+                return Ok(id);
+            }
+            self.stats.recv_waits.inc();
+            if let Some(t) = self.tel() {
+                t.recv_waits.inc();
+            }
+            if !WaitQueue::wait_many_deadline(&entries, self.cfg.wait_strategy, deadline) {
+                if let Some(id) = self.check_any(pid, ids)? {
+                    return Ok(id);
+                }
+                return Err(MpfError::TimedOut);
+            }
+        }
+    }
+
     // ------------------------------------------------------------------
     // Batched submission (aio): SQ/CQ rings, one doorbell per batch.
     // ------------------------------------------------------------------
@@ -1208,6 +1383,20 @@ impl Mpf {
     /// no doorbell; a ring with no room for even the first descriptor is
     /// [`MpfError::WouldBlock`] (drain, then resubmit the rest).
     pub fn submit_sends(&self, pid: ProcessId, id: LnvcId, payloads: &[&[u8]]) -> Result<usize> {
+        self.submit_sends_deadline(pid, id, payloads, None)
+    }
+
+    /// [`Self::submit_sends`] bounded by `deadline`: exhaustion waits
+    /// under [`ExhaustPolicy::Wait`] time out, surfacing
+    /// [`MpfError::TimedOut`] when nothing was staged (partial progress
+    /// still wins otherwise).
+    pub fn submit_sends_deadline(
+        &self,
+        pid: ProcessId,
+        id: LnvcId,
+        payloads: &[&[u8]],
+        deadline: Option<Instant>,
+    ) -> Result<usize> {
         self.check_pid(pid)?;
         let slot = self.slot(id)?;
         Self::validate(slot, id)?;
@@ -1220,7 +1409,7 @@ impl Mpf {
             if sq.is_full() {
                 break;
             }
-            let (msg_idx, chain) = match self.alloc_message(slot, buf) {
+            let (msg_idx, chain) = match self.alloc_message_deadline(pid, slot, buf, deadline) {
                 Ok(alloc) => alloc,
                 // Keep what was already staged; surface the error only
                 // when nothing was (callers see partial progress first).
@@ -1450,6 +1639,26 @@ impl Mpf {
         Ok(out)
     }
 
+    /// [`Self::send_batch`] bounded by `deadline`: allocation waits time
+    /// out with [`MpfError::TimedOut`] when nothing could be staged by
+    /// the deadline; a partially staged batch is drained and returned.
+    pub fn send_batch_deadline(
+        &self,
+        pid: ProcessId,
+        id: LnvcId,
+        payloads: &[&[u8]],
+        deadline: Option<Instant>,
+    ) -> Result<Vec<AioCompletion>> {
+        if payloads.is_empty() {
+            return Ok(Vec::new());
+        }
+        let submitted = self.submit_sends_deadline(pid, id, payloads, deadline)?;
+        self.drain_sends(pid)?;
+        let mut out = Vec::with_capacity(submitted);
+        self.reap_completions(pid, &mut out)?;
+        Ok(out)
+    }
+
     /// Collects up to `max` deliverable messages under one lock hold,
     /// copies them outside the lock, then finishes delivery bookkeeping
     /// and prefix reclamation under a second single hold.  Appends to
@@ -1594,6 +1803,42 @@ impl Mpf {
         }
     }
 
+    /// [`Self::recv_batch`] bounded by `deadline`: [`MpfError::TimedOut`]
+    /// if nothing was deliverable by then (a batch racing the deadline is
+    /// delivered — the queue is drained once more after the final wait).
+    pub fn recv_batch_deadline(
+        &self,
+        pid: ProcessId,
+        id: LnvcId,
+        max: usize,
+        deadline: Option<Instant>,
+    ) -> Result<Vec<Vec<u8>>> {
+        self.check_pid(pid)?;
+        let mut out = Vec::new();
+        if max == 0 {
+            return Ok(out);
+        }
+        loop {
+            let slot = self.slot(id)?;
+            let ticket = slot.waitq.ticket();
+            if self.recv_many(pid, id, max, &mut out)? > 0 {
+                return Ok(out);
+            }
+            self.stats.recv_waits.inc();
+            self.note_recv_wait(id.index());
+            self.trace(pid, EventKind::RecvBlocked, id.index(), 0, NO_STAMP);
+            if !slot
+                .waitq
+                .wait_deadline(ticket, self.cfg.wait_strategy, deadline)
+            {
+                if self.recv_many(pid, id, max, &mut out)? > 0 {
+                    return Ok(out);
+                }
+                return Err(MpfError::TimedOut);
+            }
+        }
+    }
+
     /// Non-blocking [`Self::recv_batch`]: drains whatever is deliverable
     /// right now (possibly nothing).
     pub fn try_recv_batch(&self, pid: ProcessId, id: LnvcId, max: usize) -> Result<Vec<Vec<u8>>> {
@@ -1670,6 +1915,19 @@ impl Mpf {
         mem: Option<u32>,
         extra: Option<(&WaitQueue, u32)>,
     ) {
+        self.wait_signals_deadline(recv, mem, extra, None);
+    }
+
+    /// [`wait_signals`](Self::wait_signals) bounded by a deadline: also
+    /// returns (with nothing fired) once `deadline` passes, the seam the
+    /// async reactor uses to fire expired timer registrations.
+    pub fn wait_signals_deadline(
+        &self,
+        recv: &[(LnvcId, u32)],
+        mem: Option<u32>,
+        extra: Option<(&WaitQueue, u32)>,
+        deadline: Option<Instant>,
+    ) {
         let mut entries: Vec<(&WaitQueue, u32)> = Vec::with_capacity(recv.len() + 2);
         for &(id, ticket) in recv {
             if let Ok(slot) = self.slot(id) {
@@ -1685,7 +1943,7 @@ impl Mpf {
         if entries.is_empty() {
             return;
         }
-        WaitQueue::wait_many(&entries, self.cfg.wait_strategy);
+        WaitQueue::wait_many_deadline(&entries, self.cfg.wait_strategy, deadline);
     }
 
     /// Audits every structural invariant of the facility.  Intended for

@@ -23,6 +23,7 @@ use std::time::{Duration, Instant};
 use mpf::aio::{AioCompletion, AioStats};
 use mpf::layout::{RegionLayout, LAYOUT_VERSION, REGION_MAGIC};
 use mpf::{LnvcName, MpfConfig, MpfError, Protocol, Reclaimable, Result};
+use mpf_shm::faultplane::{self, FaultSite};
 use mpf_shm::ring::{AioRing, RingEntry};
 use mpf_shm::telemetry::{
     bump, now_nanos, FacilityTelemetry, FlightEvent, FlightRing, LnvcTelSnapshot, LnvcTelemetry,
@@ -30,8 +31,8 @@ use mpf_shm::telemetry::{
     EV_POISONED, EV_RECLAIM, EV_RECV, EV_RECV_BLOCK, EV_SEND, EV_SEND_BLOCK, EV_SWEEP_DEAD,
 };
 use mpf_shm::tracering::{
-    TraceEvent, TraceRing, TR_CLOSE_RECV, TR_ENQUEUE, TR_OPEN_RECV, TR_POISON, TR_RECLAIM, TR_RECV,
-    TR_RECV_B, TR_SEND, TR_WAKEUP,
+    TraceEvent, TraceRing, TR_CLOSE_RECV, TR_ENQUEUE, TR_FAULT, TR_OPEN_RECV, TR_POISON,
+    TR_RECLAIM, TR_RECV, TR_RECV_B, TR_SEND, TR_WAKEUP,
 };
 use mpf_shm::ShmRegion;
 
@@ -768,6 +769,25 @@ impl IpcMpf {
         }
     }
 
+    /// Records an injected fault and the typed error it surfaced as.
+    /// Not sampled, like [`trace_pop`](Self::trace_pop): the `mpf-trace`
+    /// conformance checker audits that every error-class injection
+    /// produced a typed error (`arg2 != 0`), never silent corruption.
+    fn trace_fault(&self, site: FaultSite, err: &MpfError) {
+        if self.tracing() {
+            self.trace_ring(self.me).record_at(
+                now_nanos(),
+                0,
+                0,
+                TR_FAULT,
+                0,
+                u32::MAX,
+                site.code(),
+                err.status_code().unsigned_abs(),
+            );
+        }
+    }
+
     /// Adopts a delivered message's chain as this process's causal
     /// context; an untraced delivery clears it.
     #[inline]
@@ -1014,6 +1034,13 @@ impl IpcMpf {
             });
         }
         let (idx, d) = self.resolve(id)?;
+        // Injected peer death: surface the same typed error a real
+        // poisoned conversation produces, without touching the region.
+        if faultplane::inject(FaultSite::PeerDied) {
+            let err = MpfError::PeerDied { pid: 0 };
+            self.trace_fault(FaultSite::PeerDied, &err);
+            return Err(err);
+        }
         // Poison is sticky for this descriptor generation, so an
         // unlocked pre-check is sound — and it must precede pool
         // allocation: a poisoned conversation whose corpse's messages
@@ -1183,6 +1210,13 @@ impl IpcMpf {
         let mut waited = false;
         loop {
             let (idx, d) = self.resolve(id)?;
+            // Injected peer death on the receive path: identical shape to
+            // a sweep-detected poisoning, minus the region mutation.
+            if faultplane::inject(FaultSite::PeerDied) {
+                let err = MpfError::PeerDied { pid: 0 };
+                self.trace_fault(FaultSite::PeerDied, &err);
+                return Err(err);
+            }
             // Ticket before the predicate check (the sequence-count
             // protocol): a send between our check and our wait bumps the
             // sequence and the wait returns immediately.
@@ -1208,8 +1242,9 @@ impl IpcMpf {
                     return Ok(n);
                 }
                 None => {
+                    let now = Instant::now();
                     if let Some(dl) = deadline {
-                        if Instant::now() >= dl {
+                        if now >= dl {
                             return Err(MpfError::WouldBlock);
                         }
                     }
@@ -1223,12 +1258,126 @@ impl IpcMpf {
                             self.fly(EV_RECV_BLOCK, idx, 0);
                         }
                     }
-                    d.waitq.wait(ticket, Some(RECV_SWEEP_INTERVAL));
+                    // Nap to the sweep cadence, clamped so a near
+                    // deadline is missed by microseconds, not 50 ms.
+                    let nap = deadline.map_or(RECV_SWEEP_INTERVAL, |dl| {
+                        RECV_SWEEP_INTERVAL.min(dl.saturating_duration_since(now))
+                    });
+                    d.waitq.wait(ticket, Some(nap));
                     // Between naps, look for dead peers so a vanished
                     // sender poisons the conversation instead of leaving
                     // us blocked forever.
                     self.sweep_dead_peers();
                 }
+            }
+        }
+    }
+
+    /// Deadline-bounded blocking receive: [`MpfError::TimedOut`] once
+    /// `deadline` passes with nothing deliverable (`None` blocks
+    /// forever, like [`Self::message_receive`]).
+    ///
+    /// The expiry check runs *after* each delivery attempt, so a message
+    /// racing the deadline is delivered, not timed out.  Distinct from
+    /// [`Self::message_receive_timeout`], which keeps its original
+    /// [`MpfError::WouldBlock`] contract for existing callers.
+    pub fn recv_deadline(
+        &self,
+        id: IpcLnvcId,
+        buf: &mut [u8],
+        deadline: Option<Instant>,
+    ) -> Result<usize> {
+        match self.message_receive_deadline(id, buf, deadline) {
+            // The internal loop only reports WouldBlock at expiry, and
+            // only when a deadline was supplied.
+            Err(MpfError::WouldBlock) => Err(MpfError::TimedOut),
+            other => other,
+        }
+    }
+
+    /// Deadline-bounded blocking send: where [`Self::message_send`]
+    /// surfaces pool exhaustion immediately, this retries (sweeping dead
+    /// peers between bounded naps so a vanished consumer poisons the
+    /// conversation rather than starving us) until the message is
+    /// enqueued or `deadline` passes ([`MpfError::TimedOut`]).  `None`
+    /// retries until the send succeeds or fails for a non-exhaustion
+    /// reason.
+    pub fn send_deadline(
+        &self,
+        id: IpcLnvcId,
+        payload: &[u8],
+        deadline: Option<Instant>,
+    ) -> Result<()> {
+        // Short naps: exhaustion clears when a receiver drains, which the
+        // sender cannot be notified about (there is no per-pool waitq in
+        // the region), so we poll with a bounded sleep.
+        const SEND_RETRY_NAP: Duration = Duration::from_millis(2);
+        loop {
+            match self.message_send(id, payload) {
+                Err(MpfError::MessagesExhausted) | Err(MpfError::BlocksExhausted) => {
+                    let now = Instant::now();
+                    if let Some(dl) = deadline {
+                        if now >= dl {
+                            return Err(MpfError::TimedOut);
+                        }
+                        std::thread::sleep(SEND_RETRY_NAP.min(dl - now));
+                    } else {
+                        std::thread::sleep(SEND_RETRY_NAP);
+                    }
+                    self.sweep_dead_peers();
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Blocks until one of `ids` has a deliverable message and returns
+    /// that conversation's id, or [`MpfError::TimedOut`] once `deadline`
+    /// passes.  The wait-set analogue of `mpf-core`'s
+    /// `wait_any_deadline`; polls each conversation and naps on the
+    /// first one's futex between rounds (any send to any member bumps
+    /// its own sequence, so the nap is bounded, not notified — 2 ms
+    /// keeps cross-member wake latency tight).  An empty set is
+    /// [`MpfError::EmptyWaitSet`]; poisoning of any member surfaces as
+    /// its error.
+    pub fn wait_any_deadline(
+        &self,
+        ids: &[IpcLnvcId],
+        deadline: Option<Instant>,
+    ) -> Result<IpcLnvcId> {
+        const MULTI_NAP: Duration = Duration::from_millis(2);
+        if ids.is_empty() {
+            return Err(MpfError::EmptyWaitSet);
+        }
+        self.heartbeat();
+        let mut last_sweep = Instant::now();
+        loop {
+            // Tickets for every member before any predicate check, so a
+            // send racing the poll bumps a sequence we already hold.
+            let ticket = {
+                let (_, d0) = self.resolve(ids[0])?;
+                d0.waitq.ticket()
+            };
+            for &id in ids {
+                if self.check_receive(id)? {
+                    return Ok(id);
+                }
+            }
+            let now = Instant::now();
+            if let Some(dl) = deadline {
+                if now >= dl {
+                    return Err(MpfError::TimedOut);
+                }
+            }
+            let nap = deadline.map_or(MULTI_NAP, |dl| MULTI_NAP.min(dl - now));
+            let (_, d0) = self.resolve(ids[0])?;
+            d0.waitq.wait(ticket, Some(nap));
+            // The liveness sweep is rate-limited to the usual receive
+            // cadence — 2 ms naps would otherwise probe heartbeats 25×
+            // too often.
+            if last_sweep.elapsed() >= RECV_SWEEP_INTERVAL {
+                self.sweep_dead_peers();
+                last_sweep = Instant::now();
             }
         }
     }
@@ -1239,6 +1388,14 @@ impl IpcMpf {
     /// descriptor: everything except the queue link and the publish-time
     /// fields (`seq`, `stamp`, `flags`, `bcast_pending`, `sent_at`).
     fn stage_message(&self, idx: u32, d: &LnvcDesc, payload: &[u8]) -> Result<u32> {
+        // Injected pool exhaustion: the pools are fine, but the caller
+        // must cope as if they were not.  Nothing was allocated, so the
+        // typed error carries no cleanup obligation.
+        if faultplane::inject(FaultSite::PoolExhaust) {
+            let err = MpfError::MessagesExhausted;
+            self.trace_fault(FaultSite::PoolExhaust, &err);
+            return Err(err);
+        }
         let h = self.header();
         let pop_msg = || h.msg_free.pop(|i| self.msg(i).next.load(Ordering::Acquire));
         let m_idx = match pop_msg() {
@@ -1561,6 +1718,71 @@ impl IpcMpf {
         Ok(out)
     }
 
+    /// Deadline-bounded [`Self::send_batch`]: keeps resubmitting the
+    /// unstaged tail (draining and reaping between rounds, so completed
+    /// descriptors release ring slots and pool memory) until every
+    /// payload is submitted or `deadline` passes.
+    ///
+    /// On expiry: [`MpfError::TimedOut`] if *nothing* was submitted;
+    /// otherwise the completions gathered so far — a partial batch,
+    /// exactly the contract [`Self::submit_sends`] already documents.
+    /// Completion tokens index into the original `payloads`.
+    pub fn send_batch_deadline(
+        &self,
+        id: IpcLnvcId,
+        payloads: &[&[u8]],
+        deadline: Option<Instant>,
+    ) -> Result<Vec<AioCompletion>> {
+        const BATCH_RETRY_NAP: Duration = Duration::from_millis(2);
+        if payloads.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::with_capacity(payloads.len());
+        let mut submitted = 0usize;
+        loop {
+            // Tokens from `submit_sends` index the *slice* we hand it;
+            // re-base them to the original batch after each reap.
+            let base = submitted as u64;
+            match self.submit_sends(id, &payloads[submitted..]) {
+                Ok(n) => submitted += n,
+                // Ring full or pools dry: drain/reap below frees both,
+                // then retry until the deadline says otherwise.
+                Err(
+                    MpfError::WouldBlock | MpfError::MessagesExhausted | MpfError::BlocksExhausted,
+                ) => {}
+                Err(e) => {
+                    if submitted == 0 {
+                        return Err(e);
+                    }
+                    break;
+                }
+            }
+            self.drain_sends();
+            let start = out.len();
+            self.reap_completions(&mut out);
+            for c in &mut out[start..] {
+                c.user_data += base;
+            }
+            if submitted >= payloads.len() {
+                break;
+            }
+            let now = Instant::now();
+            if let Some(dl) = deadline {
+                if now >= dl {
+                    if submitted == 0 {
+                        return Err(MpfError::TimedOut);
+                    }
+                    break;
+                }
+                std::thread::sleep(BATCH_RETRY_NAP.min(dl - now));
+            } else {
+                std::thread::sleep(BATCH_RETRY_NAP);
+            }
+            self.sweep_dead_peers();
+        }
+        Ok(out)
+    }
+
     /// Batched blocking receive: waits for traffic (running the liveness
     /// sweep between naps, like [`Self::message_receive`]), then drains
     /// up to `max` messages under one lock hold with one reclamation
@@ -1592,6 +1814,56 @@ impl IpcMpf {
                 }
             }
             d.waitq.wait(ticket, Some(RECV_SWEEP_INTERVAL));
+            self.sweep_dead_peers();
+        }
+    }
+
+    /// Deadline-bounded [`Self::recv_batch`]: waits until at least one
+    /// message is deliverable, then drains up to `max` under one lock
+    /// hold; [`MpfError::TimedOut`] once `deadline` passes with nothing
+    /// delivered.  The expiry check runs after each drain attempt, so a
+    /// batch racing the deadline is delivered, not timed out.
+    pub fn recv_batch_deadline(
+        &self,
+        id: IpcLnvcId,
+        max: usize,
+        deadline: Option<Instant>,
+    ) -> Result<Vec<Vec<u8>>> {
+        self.heartbeat();
+        let mut out = Vec::new();
+        if max == 0 {
+            return Ok(out);
+        }
+        let mut waited = false;
+        loop {
+            let (idx, d) = self.resolve(id)?;
+            let ticket = d.waitq.ticket();
+            self.lock_lnvc(d);
+            let result = self.recv_many_locked(idx, d, max, &mut out);
+            d.lock.unlock();
+            if result? > 0 {
+                return Ok(out);
+            }
+            let now = Instant::now();
+            if let Some(dl) = deadline {
+                if now >= dl {
+                    return Err(MpfError::TimedOut);
+                }
+            }
+            if !waited {
+                waited = true;
+                if let Some(t) = self.tel() {
+                    t.recv_waits.inc();
+                    self.lnvc_tel(idx)
+                        .recv_waits
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.fly(EV_RECV_BLOCK, idx, 0);
+                }
+            }
+            let nap = deadline.map_or(RECV_SWEEP_INTERVAL, |dl| {
+                RECV_SWEEP_INTERVAL.min(dl.saturating_duration_since(now))
+            });
+            d.waitq.wait(ticket, Some(nap));
             self.sweep_dead_peers();
         }
     }
@@ -2548,6 +2820,16 @@ impl IpcMpf {
     pub fn debug_seize_lnvc_lock(&self, id: IpcLnvcId) -> Result<()> {
         let (_, d) = self.resolve(id)?;
         self.lock_lnvc(d);
+        Ok(())
+    }
+
+    /// Releases a lock taken by [`Self::debug_seize_lnvc_lock`] — the
+    /// survival path of modeled-death scenarios, where the would-be
+    /// victim outlives the schedule and must hand the lock back.
+    #[doc(hidden)]
+    pub fn debug_release_lnvc_lock(&self, id: IpcLnvcId) -> Result<()> {
+        let (_, d) = self.resolve(id)?;
+        d.lock.unlock();
         Ok(())
     }
 

@@ -18,10 +18,12 @@
 //! * after shutdown the region must conserve: zero live conversations,
 //!   every payload block back on the free list, nothing reclaimable.
 //!
-//! Phases (`ramp` → `churn` → `kill_worker` → `pressure` → `runout` →
-//! drain/shutdown) each account their own SLO: p50/p99/p999 send→reply
-//! latency plus error/retry counters, written to `BENCH_soak.json`
-//! (override with `--json`).
+//! Phases (`ramp` → `churn` → `kill_worker` → `pressure` →
+//! `fault_plane` → `runout` → drain/shutdown) each account their own
+//! SLO: p50/p99/p999 send→reply latency plus error/retry counters,
+//! written to `BENCH_soak.json` (override with `--json`).  The
+//! `fault_plane` phase exports `MPF_FAULTS` to its clients, arming the
+//! seeded in-region fault plane inside every client process.
 //!
 //! Exit codes: 0 ok, 2 region-conservation violation, 4 SLO-structure
 //! violation, 5 lost/duplicated/corrupt replies or child failure,
@@ -218,6 +220,10 @@ fn worker_child(wid: u32) -> i32 {
 }
 
 fn client_child(cid: u32, quota: u64, payload: usize) -> i32 {
+    // Arms the deterministic fault plane when the driver exported
+    // `MPF_FAULTS` (the `fault_plane` phase); a no-op otherwise.  The
+    // guard must outlive the work loop, not the attach.
+    let _faults = mpf_shm::faultplane::install_from_env();
     let Some(t) = attach_transport() else {
         eprintln!("mpf-soak client {cid}: cannot attach region");
         return 1;
@@ -343,6 +349,9 @@ struct Driver {
     done: u64,
     /// First hard failure (exit code, description).
     failure: Option<(i32, String)>,
+    /// `MPF_FAULTS` spec exported to clients spawned while set (the
+    /// `fault_plane` phase); workers never inherit it.
+    fault_spec: Option<String>,
 }
 
 impl Driver {
@@ -353,22 +362,30 @@ impl Driver {
         quota: u64,
         payload: usize,
     ) -> std::io::Result<Child> {
-        Command::new(&self.exe)
-            .args([
-                "--role",
-                role,
-                "--id",
-                &id.to_string(),
-                "--quota",
-                &quota.to_string(),
-                "--payload",
-                &payload.to_string(),
-            ])
-            .env(REGION_ENV, &self.region)
-            .env(SVC_ENV, SVC)
-            .stdout(Stdio::piped())
-            .stderr(Stdio::inherit())
-            .spawn()
+        let mut cmd = Command::new(&self.exe);
+        cmd.args([
+            "--role",
+            role,
+            "--id",
+            &id.to_string(),
+            "--quota",
+            &quota.to_string(),
+            "--payload",
+            &payload.to_string(),
+        ])
+        .env(REGION_ENV, &self.region)
+        .env(SVC_ENV, SVC)
+        // Never inherited: a driver launched with MPF_FAULTS set (the
+        // CI seed matrix) must not leak it into every phase's children.
+        .env_remove("MPF_FAULTS")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit());
+        if role == "client" {
+            if let Some(spec) = &self.fault_spec {
+                cmd.env("MPF_FAULTS", spec);
+            }
+        }
+        cmd.spawn()
     }
 
     fn spawn_worker(&mut self) {
@@ -582,6 +599,7 @@ fn driver_ipc(args: &Args) -> i32 {
         next_wid: 1,
         done: 0,
         failure: None,
+        fault_spec: None,
     };
     for _ in 0..args.workers {
         d.spawn_worker();
@@ -639,6 +657,25 @@ fn driver_ipc(args: &Args) -> i32 {
     let big = args.payload.max(1024);
     let wave = d.spawn_clients(args.clients, (n / 10).max(c) / c, big);
     d.pump_wave(&mut server, wave, Vec::new(), &mut phase);
+    phases.push(phase);
+
+    // -- fault_plane: clients run under deterministic injected faults ---
+    // Delay-class sites (dropped notifies, lock stalls) plus absorbed
+    // pool exhaustion: the facility's bounded naps and `send_deadline`
+    // retry loops must hide every injection — the SLO gate still
+    // requires each call verified.  Peer-death injection stays out of
+    // the soak (a lied-about server death triggers a real 10 s epoch
+    // discovery); mpf-check's modeled death covers that plane.
+    // The driver's own MPF_FAULTS (if any) overrides the default spec —
+    // this is how the CI matrix sweeps seeds.
+    let mut phase = PhaseSlo::new("fault_plane");
+    d.fault_spec = Some(
+        std::env::var("MPF_FAULTS")
+            .unwrap_or_else(|_| "seed=64151,notify=0.02,lock=0.01,pool=0.01".to_string()),
+    );
+    let wave = d.spawn_clients(args.clients, (n / 10).max(c) / c, args.payload);
+    d.pump_wave(&mut server, wave, Vec::new(), &mut phase);
+    d.fault_spec = None;
     phases.push(phase);
 
     // -- runout: whatever is left of the request target -----------------

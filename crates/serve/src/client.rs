@@ -44,6 +44,13 @@ pub struct ClientCfg {
     pub max_attempts: u32,
     /// Bound on epoch discovery during connect/failover.
     pub discover: Duration,
+    /// Total wall-clock budget for one [`Client::call`], covering every
+    /// retry, failover, and rediscovery it performs.  The attempt loop
+    /// alone is bounded by `max_attempts`, but each attempt can also
+    /// spend up to `discover` rediscovering an epoch — this is the cap
+    /// that holds regardless of how those compose.  Expiry surfaces as
+    /// [`crate::ServeError::DeadlineExceeded`].
+    pub call_budget: Duration,
 }
 
 impl ClientCfg {
@@ -55,6 +62,10 @@ impl ClientCfg {
             attempt: Duration::from_millis(500),
             max_attempts: 8,
             discover: Duration::from_secs(10),
+            // Generous by default: 8 attempts × (500 ms + a failover's
+            // rediscovery) fits, but a pathological failover loop no
+            // longer runs open-ended.
+            call_budget: Duration::from_secs(30),
         }
     }
 }
@@ -70,6 +81,9 @@ pub struct ClientStats {
     pub retries: u64,
     /// Epoch rediscoveries (request-queue failovers).
     pub epoch_failovers: u64,
+    /// Calls that ran out of total wall-clock budget
+    /// ([`ClientCfg::call_budget`]) before running out of attempts.
+    pub deadline_exceeded: u64,
     /// Reply-queue generation bumps.
     pub gen_bumps: u64,
     /// Stale replies dropped by the de-duplication filter.
@@ -87,6 +101,7 @@ impl Default for ClientStats {
             timeouts: 0,
             retries: 0,
             epoch_failovers: 0,
+            deadline_exceeded: 0,
             gen_bumps: 0,
             dup_replies: 0,
             lat_count: 0,
@@ -167,17 +182,27 @@ impl<T: Transport> Client<T> {
     }
 
     /// One request-reply exchange.  Retries internally; errors are
-    /// [`ServeError::TimedOut`] after the attempt budget, or a
+    /// [`ServeError::TimedOut`] after the attempt budget,
+    /// [`ServeError::DeadlineExceeded`] once the call's total
+    /// wall-clock budget runs out (whichever bound trips first), or a
     /// non-recoverable facility error.
     pub fn call(&mut self, payload: &[u8]) -> ServeResult<Vec<u8>> {
         self.seq += 1;
         let seq = self.seq;
+        // The overall bound: every per-attempt and per-discovery
+        // deadline below is clamped to it, so no combination of
+        // retries and failovers outlives it.
+        let overall = Instant::now() + self.cfg.call_budget;
         for attempt in 0..self.cfg.max_attempts {
             if attempt > 0 {
                 self.stats.retries += 1;
             }
-            let deadline = Instant::now() + self.cfg.attempt;
-            match self.attempt_once(seq, payload, deadline) {
+            if Instant::now() >= overall {
+                self.stats.deadline_exceeded += 1;
+                return Err(ServeError::DeadlineExceeded);
+            }
+            let deadline = (Instant::now() + self.cfg.attempt).min(overall);
+            match self.attempt_once(seq, payload, deadline, overall) {
                 Ok(Some(reply)) => {
                     self.stats.ok += 1;
                     return Ok(reply);
@@ -205,11 +230,14 @@ impl<T: Transport> Client<T> {
 
     /// One attempt: send the frame, then wait for a reply bearing `seq`
     /// until `deadline`.  `Ok(None)` = deadline, retry is safe.
+    /// `overall` is the call's total wall-clock bound; any failover this
+    /// attempt triggers clamps its rediscovery to it.
     fn attempt_once(
         &mut self,
         seq: u64,
         payload: &[u8],
         deadline: Instant,
+        overall: Instant,
     ) -> ServeResult<Option<Vec<u8>>> {
         let sent_ns = now_nanos();
         let frame = encode_req(K_REQ, self.cfg.cid, self.gen, seq, sent_ns, payload);
@@ -217,7 +245,7 @@ impl<T: Transport> Client<T> {
             Ok(true) => {}
             Ok(false) => return Ok(None), // pool pressure held us past the deadline
             Err(e) if is_failover(&e) => {
-                self.failover_request_queue()?;
+                self.failover_request_queue(overall)?;
                 return Ok(None);
             }
             Err(e) => return Err(e.into()),
@@ -247,13 +275,22 @@ impl<T: Transport> Client<T> {
     }
 
     /// The epoch died: rediscover above it and reopen the request queue.
-    fn failover_request_queue(&mut self) -> ServeResult<()> {
+    /// Discovery is bounded by the smaller of the discovery budget and
+    /// the calling request's `overall` deadline.
+    fn failover_request_queue(&mut self, overall: Instant) -> ServeResult<()> {
         let _ = self.t.close_send(self.q_tx);
-        let deadline = Instant::now() + self.cfg.discover;
+        let deadline = (Instant::now() + self.cfg.discover).min(overall);
         let floor = self.epoch + 1;
         let Some(epoch) = discover_epoch(self.t.as_ref(), &self.cfg.svc, floor, Some(deadline))
         else {
-            return Err(ServeError::Unavailable);
+            // Distinguish "service gone" from "the call's budget clipped
+            // the search": the latter is retryable with a fresh call.
+            return Err(if Instant::now() >= overall {
+                self.stats.deadline_exceeded += 1;
+                ServeError::DeadlineExceeded
+            } else {
+                ServeError::Unavailable
+            });
         };
         self.q_tx = self.t.open_send(&q_name(&self.cfg.svc, epoch))?;
         self.epoch = epoch;

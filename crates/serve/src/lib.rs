@@ -55,6 +55,13 @@ pub enum ServeError {
     Mpf(MpfError),
     /// The retry budget ran out without a reply.
     TimedOut,
+    /// The call's total wall-clock budget ([`ClientCfg::call_budget`])
+    /// expired — across however many retries, failovers, and epoch
+    /// rediscoveries were in flight.  Distinct from
+    /// [`ServeError::TimedOut`] (attempt *count* exhausted): this is the
+    /// bound that holds even when every attempt keeps finding new ways
+    /// to fail over.
+    DeadlineExceeded,
     /// No live epoch of the service was found within the discovery
     /// budget (server not started, or gone for good).
     Unavailable,
@@ -71,6 +78,9 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Mpf(e) => write!(f, "facility error: {e}"),
             ServeError::TimedOut => write!(f, "call timed out (retry budget exhausted)"),
+            ServeError::DeadlineExceeded => {
+                write!(f, "call deadline exceeded (total wall-clock budget)")
+            }
             ServeError::Unavailable => write!(f, "service unavailable (no live epoch found)"),
         }
     }

@@ -366,6 +366,37 @@ impl<T: Transport> Server<T> {
         Ok(true)
     }
 
+    /// The supervision *loop*: alternates [`Server::poll_acks`] and
+    /// [`Server::supervise`] until the deadline passes or `stop` is
+    /// raised — every blocking step inside is deadline-bounded, so the
+    /// loop's lifetime is exactly the caller's signal, never an
+    /// unbounded wait.  Returns the number of epoch bumps performed.
+    /// This is the idle loop a service-owning process runs between
+    /// control-plane actions.
+    pub fn supervise_until(
+        &mut self,
+        deadline: Instant,
+        stop: Option<&std::sync::atomic::AtomicBool>,
+    ) -> Result<u32> {
+        // Ack-poll quantum: how long one iteration may block, and hence
+        // the worst-case latency to notice `stop`.
+        const QUANTUM: Duration = Duration::from_millis(20);
+        let mut bumps = 0u32;
+        loop {
+            if stop.is_some_and(|s| s.load(std::sync::atomic::Ordering::Acquire)) {
+                return Ok(bumps);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(bumps);
+            }
+            self.poll_acks(Some((now + QUANTUM).min(deadline)))?;
+            if self.supervise()? {
+                bumps += 1;
+            }
+        }
+    }
+
     /// Retires the current epoch and re-anchors at `epoch + 1`.
     fn bump_epoch(&mut self) -> Result<()> {
         let next = self.epoch + 1;

@@ -161,3 +161,66 @@ fn many_clients_one_worker_dedupe_free() {
     assert_eq!(mpf.live_lnvcs(), 0);
     mpf.check_invariants().expect("invariants");
 }
+
+#[test]
+fn call_budget_bounds_a_workerless_call() {
+    // A service with an anchored epoch but no workers: every attempt
+    // times out, and with a generous attempt allowance the *total*
+    // wall-clock budget is the bound that trips.
+    let mpf = Arc::new(Mpf::init(MpfConfig::new(32, 16)).expect("init"));
+    let _server = Server::new(Arc::new(thread_t(&mpf, 0)), "stall").expect("anchor");
+
+    let mut cfg = ClientCfg::new("stall", 1);
+    cfg.attempt = Duration::from_millis(30);
+    cfg.max_attempts = 1000;
+    cfg.call_budget = Duration::from_millis(150);
+    let t = Arc::new(thread_t(&mpf, 1));
+    let mut client = Client::connect(t, cfg).expect("connect");
+
+    let start = Instant::now();
+    let err = client.call(b"anyone there?").unwrap_err();
+    assert!(
+        matches!(err, mpf_serve::ServeError::DeadlineExceeded),
+        "{err:?}"
+    );
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed >= Duration::from_millis(150),
+        "budget honored: {elapsed:?}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(20),
+        "budget trips long before 1000 attempts could: {elapsed:?}"
+    );
+    assert_eq!(client.stats.deadline_exceeded, 1);
+    assert_eq!(client.stats.ok, 0);
+}
+
+#[test]
+fn supervise_until_returns_at_deadline_or_stop() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let mpf = Arc::new(Mpf::init(MpfConfig::new(32, 16)).expect("init"));
+    let mut server = Server::new(Arc::new(thread_t(&mpf, 0)), "idle").expect("anchor");
+
+    // Deadline path: a healthy, workerless service supervises quietly
+    // until the clock runs out — no epoch bumps, no unbounded block.
+    let start = Instant::now();
+    let bumps = server
+        .supervise_until(start + Duration::from_millis(150), None)
+        .expect("supervise");
+    assert_eq!(bumps, 0);
+    let elapsed = start.elapsed();
+    assert!(elapsed >= Duration::from_millis(150), "{elapsed:?}");
+    assert!(elapsed < Duration::from_secs(20), "{elapsed:?}");
+
+    // Stop path: a pre-raised flag returns before any waiting happens.
+    let stop = AtomicBool::new(true);
+    let start = Instant::now();
+    let bumps = server
+        .supervise_until(start + Duration::from_secs(60), Some(&stop))
+        .expect("supervise");
+    assert_eq!(bumps, 0);
+    assert!(start.elapsed() < Duration::from_secs(5));
+    assert!(stop.load(Ordering::Acquire));
+}

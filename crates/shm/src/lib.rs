@@ -53,6 +53,7 @@ pub mod arena;
 pub mod backoff;
 pub mod barrier;
 pub mod clock;
+pub mod faultplane;
 pub mod futex;
 pub mod hooks;
 pub mod idxstack;
@@ -72,6 +73,7 @@ pub mod waitq;
 pub use arena::StridedArena;
 pub use backoff::Backoff;
 pub use barrier::SpinBarrier;
+pub use faultplane::{FaultConfig, FaultGuard, FaultSite, FaultStats};
 pub use hooks::{HookGuard, HookedMutex, SyncEvent, SyncHook};
 pub use idxstack::{IndexStack, NIL};
 pub use lock::{FutexLock, IpcAcquire, IpcLock, LockKind, ShmLock, ShmLockGuard};

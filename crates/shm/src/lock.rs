@@ -304,10 +304,22 @@ impl IpcLock {
     /// schedule-exploration hook, blocking is modeled by the scheduler and
     /// reported as uncontended.
     pub fn lock_traced(&self, me: u32, is_alive: impl Fn(u32) -> bool) -> (IpcAcquire, bool) {
-        // Under a schedule-exploration hook all peers are threads of one
-        // process and cannot die mid-section, so the liveness oracle is
-        // never consulted on the hooked path.
-        if crate::hooks::lock_acquire(self as *const Self as usize, &mut || self.try_lock(me)) {
+        // Under a schedule-exploration hook, peers are threads of one
+        // process but can still *model* death: the harness marks a
+        // victim's slot dead, so the oracle is consulted on every failed
+        // try (no wall-clock patience — the scheduler already controls
+        // when this retry runs).
+        if crate::hooks::lock_acquire(self as *const Self as usize, &mut || {
+            if self.try_lock(me) {
+                return true;
+            }
+            let holder = self.owner.load(Ordering::Relaxed);
+            if holder != 0 && holder != me && !is_alive(holder) {
+                self.break_dead_holder(holder);
+                return self.try_lock(me);
+            }
+            false
+        }) {
             return (
                 if self.is_poisoned() {
                     IpcAcquire::Poisoned
@@ -316,6 +328,12 @@ impl IpcLock {
                 },
                 false,
             );
+        }
+        if crate::faultplane::inject(crate::faultplane::FaultSite::LockStall) {
+            // Injected acquire stall: long enough that peers observe a
+            // slow holder, far shorter than IPC_LOCK_PATIENCE so a live
+            // staller is never mistaken for a corpse.
+            std::thread::sleep(IPC_LOCK_PATIENCE / 10);
         }
         let mut contended = false;
         if !self.try_lock(me) {

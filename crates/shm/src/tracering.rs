@@ -57,6 +57,11 @@ pub const TR_OPEN_RECV: u32 = 7;
 pub const TR_CLOSE_RECV: u32 = 8;
 /// Conversation poisoned by a peer death (`arg` = dead MPF pid).
 pub const TR_POISON: u32 = 9;
+/// Injected fault acted on by the fault plane (`arg` =
+/// [`crate::faultplane::FaultSite::code`], `arg2` = magnitude of the
+/// typed error status the fault surfaced as — nonzero for error-class
+/// faults, which is the pairing `mpf-trace --check` audits).
+pub const TR_FAULT: u32 = 10;
 
 /// Human-readable name of a `TR_*` kind.
 pub fn trace_event_name(kind: u32) -> &'static str {
@@ -70,6 +75,7 @@ pub fn trace_event_name(kind: u32) -> &'static str {
         TR_OPEN_RECV => "open_recv",
         TR_CLOSE_RECV => "close_recv",
         TR_POISON => "poison",
+        TR_FAULT => "fault",
         _ => "unknown",
     }
 }

@@ -19,7 +19,7 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Mutex;
 use std::thread::{self, Thread};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::backoff::Backoff;
 use crate::futex;
@@ -77,28 +77,59 @@ impl WaitQueue {
 
     /// Blocks until the sequence moves past `ticket` (or spuriously).
     pub fn wait(&self, ticket: u32, strategy: WaitStrategy) {
+        self.wait_deadline(ticket, strategy, None);
+    }
+
+    /// Blocks until the sequence moves past `ticket`, the deadline
+    /// passes, or spuriously.  Returns `true` if the sequence moved,
+    /// `false` on deadline expiry with the sequence unmoved.  A hooked
+    /// wait (schedule exploration) ignores the deadline — the harness
+    /// runs no wall clock, and scenarios built for determinism pass
+    /// `None`.
+    pub fn wait_deadline(
+        &self,
+        ticket: u32,
+        strategy: WaitStrategy,
+        deadline: Option<Instant>,
+    ) -> bool {
         if crate::hooks::wait(self as *const Self as usize, &mut || {
             self.seq.load(Ordering::Acquire) != ticket
         }) {
-            return;
+            return true;
         }
+        let expired = || deadline.is_some_and(|d| Instant::now() >= d);
+        // Remaining time, clamped to `cap` — the recurring bound for the
+        // strategies that sleep in bounded naps.
+        let nap = |cap: Duration| match deadline {
+            None => Some(cap),
+            Some(d) => Some(d.saturating_duration_since(Instant::now()).min(cap)),
+        };
         match strategy {
             WaitStrategy::Spin => {
                 let mut backoff = Backoff::new();
                 while self.seq.load(Ordering::Acquire) == ticket {
+                    if expired() {
+                        return false;
+                    }
                     backoff.spin();
                 }
             }
             WaitStrategy::Yield => {
                 let mut backoff = Backoff::new();
                 while self.seq.load(Ordering::Acquire) == ticket {
+                    if expired() {
+                        return false;
+                    }
                     backoff.snooze();
                 }
             }
             WaitStrategy::Park => {
                 loop {
                     if self.seq.load(Ordering::Acquire) != ticket {
-                        return;
+                        return true;
+                    }
+                    if expired() {
+                        return false;
                     }
                     self.parked
                         .lock()
@@ -107,39 +138,49 @@ impl WaitQueue {
                     if self.seq.load(Ordering::Acquire) != ticket {
                         // Notification raced with registration; our stale
                         // handle will at worst receive a harmless unpark.
-                        return;
+                        return true;
                     }
                     // The timeout is a belt-and-braces bound, not the wake
                     // mechanism; notify_all unparks promptly.
-                    thread::park_timeout(Duration::from_millis(2));
+                    thread::park_timeout(nap(Duration::from_millis(2)).unwrap());
                 }
             }
             WaitStrategy::Futex => {
                 self.futex_waiters.fetch_add(1, Ordering::SeqCst);
                 while self.seq.load(Ordering::Acquire) == ticket {
+                    if expired() {
+                        self.futex_waiters.fetch_sub(1, Ordering::SeqCst);
+                        return false;
+                    }
                     // The futex atomically re-checks `seq == ticket` at
                     // sleep time, so a notify between our check and the
                     // syscall is never lost; the timeout is only a
-                    // liveness bound on fallback hosts.
-                    futex::futex_wait(&self.seq, ticket, Some(Duration::from_millis(50)));
+                    // liveness bound on fallback hosts (and the deadline
+                    // clamp).
+                    futex::futex_wait(&self.seq, ticket, nap(Duration::from_millis(50)));
                 }
                 self.futex_waiters.fetch_sub(1, Ordering::SeqCst);
             }
         }
+        true
     }
 
     /// Bumps the sequence and wakes every parked waiter.  Call after the
     /// state change is visible under the predicate's lock.
     pub fn notify_all(&self) {
         self.seq.fetch_add(1, Ordering::Release);
-        if self.futex_waiters.load(Ordering::SeqCst) != 0 {
-            futex::futex_wake_all(&self.seq);
+        // An injected notify-drop swallows the wake syscalls but never
+        // the sequence bump: waiters recover via their bounded naps, so
+        // the fault delays delivery without ever losing it.
+        if !crate::faultplane::inject(crate::faultplane::FaultSite::NotifyDrop) {
+            if self.futex_waiters.load(Ordering::SeqCst) != 0 {
+                futex::futex_wake_all(&self.seq);
+            }
+            let mut parked = self.parked.lock().unwrap_or_else(|e| e.into_inner());
+            for t in parked.drain(..) {
+                t.unpark();
+            }
         }
-        let mut parked = self.parked.lock().unwrap_or_else(|e| e.into_inner());
-        for t in parked.drain(..) {
-            t.unpark();
-        }
-        drop(parked);
         crate::hooks::notify(self as *const Self as usize);
     }
 
@@ -151,8 +192,20 @@ impl WaitQueue {
     /// slice (there is nothing to wait on; callers reject that case
     /// before blocking forever).
     pub fn wait_many(entries: &[(&WaitQueue, u32)], strategy: WaitStrategy) {
+        Self::wait_many_deadline(entries, strategy, None);
+    }
+
+    /// [`WaitQueue::wait_many`] with a deadline.  Returns `true` if some
+    /// sequence moved (or spuriously), `false` on expiry with every
+    /// sequence unmoved.  Hooked waits ignore the deadline, as for
+    /// [`WaitQueue::wait_deadline`].
+    pub fn wait_many_deadline(
+        entries: &[(&WaitQueue, u32)],
+        strategy: WaitStrategy,
+        deadline: Option<Instant>,
+    ) -> bool {
         if entries.is_empty() {
-            return;
+            return true;
         }
         let moved = || {
             entries
@@ -164,25 +217,39 @@ impl WaitQueue {
             .map(|&(q, _)| q as *const WaitQueue as usize)
             .collect();
         if crate::hooks::wait_multi(&resources, &mut || moved()) {
-            return;
+            return true;
         }
+        let expired = || deadline.is_some_and(|d| Instant::now() >= d);
+        let nap = |cap: Duration| match deadline {
+            None => cap,
+            Some(d) => d.saturating_duration_since(Instant::now()).min(cap),
+        };
         match strategy {
             WaitStrategy::Spin => {
                 let mut backoff = Backoff::new();
                 while !moved() {
+                    if expired() {
+                        return false;
+                    }
                     backoff.spin();
                 }
             }
             WaitStrategy::Yield => {
                 let mut backoff = Backoff::new();
                 while !moved() {
+                    if expired() {
+                        return false;
+                    }
                     backoff.snooze();
                 }
             }
             WaitStrategy::Park => {
                 loop {
                     if moved() {
-                        return;
+                        return true;
+                    }
+                    if expired() {
+                        return false;
                     }
                     // Register with every queue; whichever notifies first
                     // unparks us, and the stale registrations at worst
@@ -194,9 +261,9 @@ impl WaitQueue {
                             .push(thread::current());
                     }
                     if moved() {
-                        return;
+                        return true;
                     }
-                    thread::park_timeout(Duration::from_millis(2));
+                    thread::park_timeout(nap(Duration::from_millis(2)));
                 }
             }
             WaitStrategy::Futex => {
@@ -206,12 +273,16 @@ impl WaitQueue {
                 // are immediate, like the single-queue path.
                 let (q0, t0) = entries[0];
                 while !moved() {
+                    if expired() {
+                        return false;
+                    }
                     q0.futex_waiters.fetch_add(1, Ordering::SeqCst);
-                    futex::futex_wait(&q0.seq, t0, Some(Duration::from_millis(2)));
+                    futex::futex_wait(&q0.seq, t0, Some(nap(Duration::from_millis(2))));
                     q0.futex_waiters.fetch_sub(1, Ordering::SeqCst);
                 }
             }
         }
+        true
     }
 }
 
@@ -266,7 +337,11 @@ impl FutexSeq {
     /// attached process.
     pub fn notify_all(&self) {
         self.seq.fetch_add(1, Ordering::Release);
-        futex::futex_wake_all(&self.seq);
+        // See `WaitQueue::notify_all`: a dropped wake is recovered by
+        // the bounded futex naps every in-region waiter already uses.
+        if !crate::faultplane::inject(crate::faultplane::FaultSite::NotifyDrop) {
+            futex::futex_wake_all(&self.seq);
+        }
         crate::hooks::notify(self as *const Self as usize);
     }
 }
@@ -416,6 +491,52 @@ mod tests {
         q.notify_all();
         q.notify_all();
         assert_ne!(q.ticket(), t0);
+    }
+
+    #[test]
+    fn wait_deadline_expires_without_notify() {
+        for strategy in [
+            WaitStrategy::Spin,
+            WaitStrategy::Yield,
+            WaitStrategy::Park,
+            WaitStrategy::Futex,
+        ] {
+            let q = WaitQueue::new();
+            let t = q.ticket();
+            let dl = Instant::now() + Duration::from_millis(15);
+            assert!(!q.wait_deadline(t, strategy, Some(dl)), "{strategy:?}");
+            assert!(Instant::now() >= dl, "{strategy:?} returned early");
+        }
+    }
+
+    #[test]
+    fn wait_deadline_notified_returns_true() {
+        let q = Arc::new(WaitQueue::new());
+        let t = q.ticket();
+        let notifier = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                thread::sleep(Duration::from_millis(10));
+                q.notify_all();
+            })
+        };
+        let dl = Instant::now() + Duration::from_secs(5);
+        assert!(q.wait_deadline(t, WaitStrategy::Futex, Some(dl)));
+        notifier.join().unwrap();
+    }
+
+    #[test]
+    fn wait_many_deadline_expires() {
+        let a = WaitQueue::new();
+        let b = WaitQueue::new();
+        let entries = [(&a, a.ticket()), (&b, b.ticket())];
+        let dl = Instant::now() + Duration::from_millis(15);
+        assert!(!WaitQueue::wait_many_deadline(
+            &entries,
+            WaitStrategy::Park,
+            Some(dl)
+        ));
+        assert!(Instant::now() >= dl);
     }
 
     #[test]

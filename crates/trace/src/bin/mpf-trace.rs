@@ -133,9 +133,10 @@ fn main() {
             println!("note: a ring wrapped — completeness rules suppressed past the horizon");
         }
         println!(
-            "conformance: {} messages, {} deliveries, {} violation(s)",
+            "conformance: {} messages, {} deliveries, {} injected fault(s), {} violation(s)",
             report.messages,
             report.deliveries,
+            report.faults,
             report.violations.len()
         );
         for v in &report.violations {
@@ -273,12 +274,14 @@ fn report_json(name: &str, log: &TraceLog, report: &mpf_trace::Report) -> String
         .join(",");
     format!(
         "{{\"region\":\"{}\",\"records\":{},\"chains\":{},\"truncated\":{},\
-         \"messages\":{},\"deliveries\":{},\"rings\":[{rings}],\"violations\":[{violations}]}}",
+         \"messages\":{},\"deliveries\":{},\"faults\":{},\"rings\":[{rings}],\
+         \"violations\":[{violations}]}}",
         name.replace('\\', "\\\\").replace('"', "\\\""),
         log.len(),
         log.chains().len(),
         report.truncated,
         report.messages,
         report.deliveries,
+        report.faults,
     )
 }

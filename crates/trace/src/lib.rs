@@ -32,8 +32,10 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
+use mpf_shm::faultplane::FaultSite;
 use mpf_shm::tracering::{
-    trace_event_name, TraceEvent, TR_CLOSE_RECV, TR_POISON, TR_RECLAIM, TR_RECV, TR_RECV_B, TR_SEND,
+    trace_event_name, TraceEvent, TR_CLOSE_RECV, TR_FAULT, TR_POISON, TR_RECLAIM, TR_RECV,
+    TR_RECV_B, TR_SEND,
 };
 
 const NIL: u32 = u32::MAX;
@@ -107,6 +109,11 @@ pub enum Rule {
     /// A message owing an FCFS delivery was reclaimed undelivered, with no
     /// poison/close event to explain it.
     ReclaimBeforeDelivery,
+    /// An error-class fault injection (pool-exhaust, peer-died) recorded no
+    /// surfaced status: the fault plane claims the caller was told, but the
+    /// record carries `arg2 == 0`.  Delay-class faults (notify-drop,
+    /// lock-stall) legitimately surface nothing and are exempt.
+    SilentErrorFault,
 }
 
 impl fmt::Display for Rule {
@@ -119,6 +126,7 @@ impl fmt::Display for Rule {
             Rule::BcastOverDelivery => "bcast-over-delivery",
             Rule::BcastUnderDelivery => "bcast-under-delivery",
             Rule::ReclaimBeforeDelivery => "reclaim-before-delivery",
+            Rule::SilentErrorFault => "silent-error-fault",
         };
         f.write_str(s)
     }
@@ -162,6 +170,8 @@ pub struct Report {
     pub messages: usize,
     /// Deliveries examined.
     pub deliveries: usize,
+    /// Injected-fault records examined.
+    pub faults: usize,
 }
 
 impl Report {
@@ -319,6 +329,7 @@ impl TraceLog {
         let mut poisoned: BTreeSet<u32> = BTreeSet::new();
         let mut closed: BTreeSet<u32> = BTreeSet::new();
         let mut global_poison = false;
+        let mut fault_recs: Vec<Rec> = Vec::new();
 
         for rec in self.recs() {
             match rec.ev.kind {
@@ -350,6 +361,14 @@ impl TraceLog {
                 TR_CLOSE_RECV => {
                     closed.insert(rec.ev.lnvc);
                 }
+                TR_FAULT => {
+                    // An injected peer-death on a conversation voids its
+                    // delivery obligations exactly like a real poison.
+                    if rec.ev.arg == FaultSite::PeerDied.code() && rec.ev.lnvc != NIL {
+                        poisoned.insert(rec.ev.lnvc);
+                    }
+                    fault_recs.push(rec);
+                }
                 _ => {}
             }
         }
@@ -361,6 +380,27 @@ impl TraceLog {
         let mut violations = Vec::new();
         let mut deliveries = 0usize;
         let mut messages = 0usize;
+
+        // Rule: error-class fault injections must carry the status they
+        // surfaced (`arg2` = magnitude of the typed error code).  A zero
+        // here means the plane injected pool-exhaust or peer-died but the
+        // caller was never told — a silently swallowed failure.
+        for rec in &fault_recs {
+            let site = FaultSite::from_code(rec.ev.arg);
+            if site.is_some_and(|s| s.is_error_fault()) && rec.ev.arg2 == 0 {
+                violations.push(Violation {
+                    rule: Rule::SilentErrorFault,
+                    trace: rec.ev.trace,
+                    stamp: rec.ev.stamp,
+                    lnvc: rec.ev.lnvc,
+                    detail: format!(
+                        "pid {} injected {} but recorded no surfaced status",
+                        rec.pid,
+                        site.map_or("?", |s| s.name())
+                    ),
+                });
+            }
+        }
 
         for (&(trace, stamp), msg) in &msgs {
             deliveries += msg.fcfs.len() + msg.bcast.len();
@@ -497,6 +537,7 @@ impl TraceLog {
             truncated,
             messages,
             deliveries,
+            faults: fault_recs.len(),
         }
     }
 
@@ -844,6 +885,51 @@ mod tests {
             .1
             .push(ev(TR_CLOSE_RECV, 0, 0, 0, 3, 1, 0));
         let report = log(with_close).check();
+        assert!(report.is_clean(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn silent_error_fault_detected_and_delay_faults_exempt() {
+        // A pool-exhaust injection (site 3) with no surfaced status.
+        let l = log(vec![(0, vec![ev(TR_FAULT, 0, 0, 0, NIL, 3, 0)])]);
+        let report = l.check();
+        assert_eq!(report.faults, 1);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.rule == Rule::SilentErrorFault));
+
+        // The same injection carrying |PoolsExhausted| is conformant, and
+        // delay-class faults (notify-drop, lock-stall) never need one.
+        let l = log(vec![(
+            0,
+            vec![
+                ev(TR_FAULT, 0, 0, 0, NIL, 3, 9),
+                ev(TR_FAULT, 0, 0, 0, 3, 1, 0),
+                ev(TR_FAULT, 0, 0, 0, 3, 2, 0),
+            ],
+        )]);
+        let report = l.check();
+        assert_eq!(report.faults, 3);
+        assert!(report.is_clean(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn injected_peer_death_excuses_obligations_like_poison() {
+        // Population 2 at send, one delivery, reclaimed — normally an
+        // under-delivery, but a peer-died injection on the LNVC voids it.
+        let l = log(vec![
+            (0, vec![ev(TR_SEND, 0x10, 1, 0, 3, 64, 2)]),
+            (
+                1,
+                vec![
+                    ev(TR_RECV_B, 0x10, 1, 0, 3, 64, 0),
+                    ev(TR_RECLAIM, 0x10, 1, 0, NIL, 7, 0),
+                    ev(TR_FAULT, 0, 0, 0, 3, 4, 18),
+                ],
+            ),
+        ]);
+        let report = l.check();
         assert!(report.is_clean(), "{:?}", report.violations);
     }
 
